@@ -1,0 +1,89 @@
+// Ablation: the original finite-M game (§III, iterated best response with
+// the exact Eq. 5 market) against the mean-field approximation (§IV), as
+// M grows. This quantifies the paper's core claim that "the solution
+// under the MFG-CP framework is nearly equivalent to that of the
+// stochastic differential game when dealing with a large number of
+// players" — and shows the computational asymmetry behind Fig. 2 and
+// Table II (the finite game costs M HJB solves per sweep, the mean field
+// one).
+
+#include <chrono>
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/finite_game.h"
+
+namespace mfg {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void Run(const common::Config& config) {
+  bench::Banner("Ablation finite-M",
+                "original M-player game vs mean-field approximation");
+  core::MfgParams params = bench::SolverParams(config);
+  params.grid.num_q_nodes = static_cast<std::size_t>(config.GetInt(
+      "grid", 61));
+  params.grid.num_time_steps = 80;
+
+  const auto mf_start = std::chrono::steady_clock::now();
+  core::Equilibrium mf_eq = bench::Solve(params);
+  const double mf_seconds = Seconds(mf_start);
+  std::vector<double> mf_mean(params.grid.num_time_steps + 1);
+  for (std::size_t n = 0; n < mf_mean.size(); ++n) {
+    mf_mean[n] = mf_eq.fpk.densities[n].Mean();
+  }
+  auto rollout = core::RolloutEquilibrium(
+      params, mf_eq, params.init_mean_frac * params.content_size);
+  MFG_CHECK(rollout.ok()) << rollout.status();
+  const double mf_utility = rollout->cumulative_utility.back();
+
+  common::TextTable table({"M", "rounds", "converged",
+                           "max |mean traj - MFG|", "mean utility",
+                           "wall time (s)"});
+  for (std::size_t players : {2u, 4u, 8u, 16u, 32u}) {
+    core::FiniteGameOptions options;
+    options.num_players = players;
+    options.params = params;
+    options.max_rounds =
+        static_cast<std::size_t>(config.GetInt("rounds", 25));
+    const auto start = std::chrono::steady_clock::now();
+    auto solver = core::FiniteGameSolver::Create(options);
+    MFG_CHECK(solver.ok()) << solver.status();
+    auto result = solver->Solve();
+    MFG_CHECK(result.ok()) << result.status();
+    const double seconds = Seconds(start);
+    const auto mean = result->MeanTrajectory();
+    double gap = 0.0;
+    for (std::size_t n = 0; n < mean.size(); ++n) {
+      gap = std::max(gap, std::fabs(mean[n] - mf_mean[n]));
+    }
+    table.AddRow({std::to_string(players),
+                  std::to_string(result->rounds),
+                  result->converged ? "yes" : "no",
+                  common::FormatDouble(gap, 4),
+                  common::FormatDouble(result->MeanUtility(), 5),
+                  common::FormatDouble(seconds, 3)});
+  }
+  table.AddRow({"mean field", "-", "-", "0 (reference)",
+                common::FormatDouble(mf_utility, 5),
+                common::FormatDouble(mf_seconds, 3)});
+  bench::Emit(config, "ablation_finite_m_table", table);
+  std::printf(
+      "\nExpected shape: the trajectory gap to the mean-field reference "
+      "is modest already at small M and does not grow with M, while the "
+      "finite game's wall time grows ~linearly in M — the computational "
+      "story of Fig. 2 / Table II.\n");
+}
+
+}  // namespace
+}  // namespace mfg
+
+int main(int argc, char** argv) {
+  mfg::Run(mfg::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Ablation (extension beyond the paper's figures): anticipatory caching
+// under time-varying demand. The paper's Eqs. 3-4 make Π, L and |I| time
+// dependent; this bench puts a demand spike in the last third of the
+// horizon and compares the profile-aware equilibrium against a policy
+// solved for the (equal-average) flat workload — both evaluated against
+// the spiky population. Forward-looking caching should front-load the
+// downloads and collect the spike at a full cache.
+
+#include <cmath>
+
+#include "bench_common.h"
+#include "core/equilibrium_metrics.h"
+
+namespace mfg {
+namespace {
+
+void Run(const common::Config& config) {
+  bench::Banner("Ablation profiles",
+                "anticipatory caching under a demand spike");
+  core::MfgParams spiky = bench::SolverParams(config);
+  const std::size_t nt = spiky.grid.num_time_steps;
+  // Spike: baseline 2 requests/u, 26 requests/u in the last third —
+  // the same average load as the flat default of 10.
+  spiky.requests_profile.assign(nt + 1, 2.0);
+  const std::size_t spike_start = (2 * nt) / 3;
+  for (std::size_t n = spike_start; n <= nt; ++n) {
+    spiky.requests_profile[n] = 26.0;
+  }
+  core::MfgParams flat = bench::SolverParams(config);
+  flat.num_requests = 10.0;
+
+  core::Equilibrium eq_spiky = bench::Solve(spiky);
+  core::Equilibrium eq_flat = bench::Solve(flat);
+
+  bench::Section("policies at q = 60 MB over time");
+  common::TextTable policies({"t", "x* (spike-aware)", "x* (flat-solved)"});
+  auto q_grid = spiky.MakeQGrid().value();
+  const std::size_t iq = q_grid.NearestIndex(60.0);
+  for (std::size_t n = 0; n <= nt; n += nt / 10) {
+    policies.AddNumericRow({static_cast<double>(n) * spiky.TimeStep(),
+                            eq_spiky.hjb.policy[n][iq],
+                            eq_flat.hjb.policy[n][iq]});
+  }
+  bench::Emit(config, "ablation_profiles_policies", policies);
+
+  bench::Section("value of each policy against the spiky population");
+  auto value_of = [&](const std::vector<std::vector<double>>& policy) {
+    auto report =
+        core::ComputeExploitabilityOfPolicy(spiky, eq_spiky, policy);
+    MFG_CHECK(report.ok()) << report.status();
+    return report->policy_value;
+  };
+  const double aware_value = value_of(eq_spiky.hjb.policy);
+  const double flat_value = value_of(eq_flat.hjb.policy);
+  common::TextTable values({"policy", "value on spiky workload"});
+  values.AddRow({"spike-aware equilibrium",
+                 common::FormatDouble(aware_value, 6)});
+  values.AddRow({"flat-average policy",
+                 common::FormatDouble(flat_value, 6)});
+  values.AddRow({"anticipation premium",
+                 common::FormatDouble(aware_value - flat_value, 4)});
+  bench::Emit(config, "ablation_profiles_values", values);
+
+  bench::Section("cache trajectory under the spike-aware policy");
+  auto rollout = core::RolloutEquilibrium(spiky, eq_spiky, 70.0);
+  MFG_CHECK(rollout.ok()) << rollout.status();
+  common::TextTable traj({"t", "remaining (MB)", "requests/u",
+                          "utility/dt"});
+  for (std::size_t n = 0; n <= nt; n += nt / 10) {
+    traj.AddNumericRow({rollout->time[n], rollout->cache_state[n],
+                        spiky.RequestsAt(n), rollout->utility[n]});
+  }
+  bench::Emit(config, "ablation_profiles_trajectory", traj);
+  std::printf(
+      "\nExpected shape: the spike-aware policy caches ahead of the spike "
+      "(remaining space is low before t = 2/3); its value on the spiky "
+      "workload weakly dominates the flat-solved policy's.\n");
+}
+
+}  // namespace
+}  // namespace mfg
+
+int main(int argc, char** argv) {
+  mfg::Run(mfg::bench::ParseArgs(argc, argv));
+  return 0;
+}

@@ -1,0 +1,120 @@
+#ifndef MFGCP_BENCH_BENCH_COMMON_H_
+#define MFGCP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "baselines/mfg_no_sharing.h"
+#include "baselines/most_popular.h"
+#include "baselines/random_replacement.h"
+#include "baselines/udcs.h"
+#include "common/config.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "core/best_response.h"
+#include "core/policy.h"
+#include "sim/simulator.h"
+
+// Shared plumbing for the figure/table reproduction binaries. Every bench
+// accepts `key=value` command-line overrides (seed=, num_edps=, slots=,
+// grid=, iters=) and prints aligned text tables with the same series the
+// paper plots. See EXPERIMENTS.md for the experiment index.
+
+namespace mfg::bench {
+
+// Prints a figure/table banner.
+inline void Banner(const std::string& id, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void Section(const std::string& text) {
+  std::printf("\n--- %s ---\n", text.c_str());
+}
+
+// Solver parameters with bench-wide defaults and config overrides.
+inline core::MfgParams SolverParams(const common::Config& config) {
+  core::MfgParams params = core::DefaultPaperParams();
+  params.grid.num_q_nodes =
+      static_cast<std::size_t>(config.GetInt("grid", 81));
+  params.grid.num_time_steps =
+      static_cast<std::size_t>(config.GetInt("time_steps", 100));
+  params.learning.max_iterations =
+      static_cast<std::size_t>(config.GetInt("iters", 40));
+  return params;
+}
+
+// Simulator options consistent with the solver parameters. The paper's
+// headline scale is M = 300, K = 20; benches default to a lighter M = 100,
+// K = 10 so the full `for b in bench/*` sweep stays fast — pass num_edps=
+// and num_contents= to reproduce at full scale.
+inline sim::SimulatorOptions SimOptions(const common::Config& config,
+                                        const core::MfgParams& params) {
+  sim::SimulatorOptions options;
+  options.base_params = params;
+  options.num_edps =
+      static_cast<std::size_t>(config.GetInt("num_edps", 100));
+  options.num_requesters = static_cast<std::size_t>(
+      config.GetInt("num_requesters", 3 * options.num_edps));
+  options.num_contents =
+      static_cast<std::size_t>(config.GetInt("num_contents", 10));
+  options.num_slots =
+      static_cast<std::size_t>(config.GetInt("slots", 100));
+  options.request_rate = config.GetDouble("request_rate", 20.0);
+  options.seed = static_cast<std::uint64_t>(config.GetInt("seed", 42));
+  options.topology.adjacency_radius =
+      config.GetDouble("adjacency_radius", 500.0);
+  return options;
+}
+
+// Solves the mean-field equilibrium for `params` (dies on error: benches
+// treat solver failures as fatal).
+inline core::Equilibrium Solve(const core::MfgParams& params) {
+  auto learner = core::BestResponseLearner::Create(params);
+  MFG_CHECK(learner.ok()) << learner.status();
+  auto equilibrium = learner->Solve();
+  MFG_CHECK(equilibrium.ok()) << equilibrium.status();
+  return std::move(equilibrium).value();
+}
+
+// Wraps an equilibrium policy for every content of a simulator run.
+inline sim::SchemePolicies MfgScheme(const core::MfgParams& params,
+                                     const core::Equilibrium& equilibrium,
+                                     std::size_t num_contents,
+                                     const std::string& name) {
+  auto policy = core::MfgPolicy::Create(params, equilibrium, name);
+  MFG_CHECK(policy.ok()) << policy.status();
+  std::shared_ptr<core::CachingPolicy> shared(std::move(policy).value());
+  return sim::UniformScheme(name, shared, num_contents);
+}
+
+// Prints a table and, when the config carries csv_dir=<dir>, also writes
+// it to <dir>/<name>.csv for external plotting.
+inline void Emit(const common::Config& config, const std::string& name,
+                 const common::TextTable& table) {
+  std::printf("%s", table.ToString().c_str());
+  const std::string dir = config.GetString("csv_dir", "");
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    MFG_LOG(WARNING) << "cannot write " << path;
+    return;
+  }
+  out << table.ToCsv();
+}
+
+// Parses CLI config or dies with usage.
+inline common::Config ParseArgs(int argc, const char* const* argv) {
+  auto config = common::Config::FromArgs(argc, argv);
+  MFG_CHECK(config.ok()) << config.status()
+                         << " (usage: key=value, e.g. seed=7 num_edps=300)";
+  return std::move(config).value();
+}
+
+}  // namespace mfg::bench
+
+#endif  // MFGCP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,72 @@
+// Fig. 10 reproduction: impact of the initial mean-field distribution.
+// λ(0) ~ N(mean, 0.1²) with mean in {0.5, 0.6, 0.7, 0.8}; the paper
+// reports the EDP's utility and the population's average sharing benefit
+// Φ̄² over time: the sharing benefit fluctuates slightly across initial
+// distributions while the utilities reach a stable level.
+
+#include "bench_common.h"
+
+namespace mfg {
+namespace {
+
+void Run(const common::Config& config) {
+  bench::Banner("Fig. 10", "initial distribution sweep");
+  const std::vector<double> means = {0.5, 0.6, 0.7, 0.8};
+
+  std::vector<core::EquilibriumRollout> rollouts;
+  std::vector<core::Equilibrium> equilibria;
+  for (double mean : means) {
+    core::MfgParams params = bench::SolverParams(config);
+    params.init_mean_frac = mean;
+    core::Equilibrium eq = bench::Solve(params);
+    auto rollout = core::RolloutEquilibrium(
+        params, eq, mean * params.content_size);
+    MFG_CHECK(rollout.ok()) << rollout.status();
+    rollouts.push_back(std::move(rollout).value());
+    equilibria.push_back(std::move(eq));
+  }
+  const std::size_t n_points = rollouts[0].time.size();
+
+  bench::Section("(a) EDP utility over time per initial mean");
+  common::TextTable utility({"t", "mean=0.5", "mean=0.6", "mean=0.7",
+                             "mean=0.8"});
+  for (std::size_t i = 0; i < n_points; i += (n_points - 1) / 10) {
+    utility.AddNumericRow({rollouts[0].time[i], rollouts[0].utility[i],
+                           rollouts[1].utility[i], rollouts[2].utility[i],
+                           rollouts[3].utility[i]});
+  }
+  bench::Emit(config, "fig10_init_dist_utility", utility);
+
+  bench::Section("(b) average sharing benefit (mean-field estimate)");
+  common::TextTable sharing({"t", "mean=0.5", "mean=0.6", "mean=0.7",
+                             "mean=0.8"});
+  const std::size_t nt = equilibria[0].mean_field.size() - 1;
+  for (std::size_t n = 0; n <= nt; n += nt / 10) {
+    std::vector<double> row = {static_cast<double>(n) *
+                               equilibria[0].fpk.dt};
+    for (const auto& eq : equilibria) {
+      row.push_back(eq.mean_field[n].sharing_benefit);
+    }
+    sharing.AddNumericRow(row);
+  }
+  bench::Emit(config, "fig10_init_dist_sharing", sharing);
+
+  bench::Section("(c) accumulated utility at T");
+  common::TextTable totals({"initial mean", "total utility"});
+  for (std::size_t v = 0; v < means.size(); ++v) {
+    totals.AddNumericRow({means[v],
+                          rollouts[v].cumulative_utility.back()});
+  }
+  bench::Emit(config, "fig10_init_dist_totals", totals);
+  std::printf(
+      "\nExpected shape: sharing benefit shows mild fluctuation across "
+      "initial means; utilities converge to a stable band.\n");
+}
+
+}  // namespace
+}  // namespace mfg
+
+int main(int argc, char** argv) {
+  mfg::Run(mfg::bench::ParseArgs(argc, argv));
+  return 0;
+}

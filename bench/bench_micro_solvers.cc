@@ -1,0 +1,98 @@
+// Google-benchmark microbenchmarks of the numerical kernels: one backward
+// HJB sweep, one forward FPK sweep, the mean-field estimator, a full
+// best-response solve, and one simulator slot. These are the budgets
+// behind Table II's "MFG-CP computation time does not increase with M".
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/random_replacement.h"
+#include "core/best_response.h"
+#include "core/fpk_solver.h"
+#include "core/hjb_solver.h"
+#include "core/mean_field_estimator.h"
+#include "sim/simulator.h"
+
+namespace mfg {
+namespace {
+
+core::MfgParams Params(std::size_t q_nodes, std::size_t time_steps) {
+  core::MfgParams params = core::DefaultPaperParams();
+  params.grid.num_q_nodes = q_nodes;
+  params.grid.num_time_steps = time_steps;
+  return params;
+}
+
+void BM_HjbSolve(benchmark::State& state) {
+  core::MfgParams params =
+      Params(static_cast<std::size_t>(state.range(0)), 100);
+  auto solver = core::HjbSolver1D::Create(params).value();
+  std::vector<core::MeanFieldQuantities> mf(101);
+  for (auto& q : mf) {
+    q.price = 5.0;
+    q.mean_peer_remaining = 50.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(mf).value());
+  }
+}
+BENCHMARK(BM_HjbSolve)->Arg(41)->Arg(81)->Arg(161);
+
+void BM_FpkSolve(benchmark::State& state) {
+  core::MfgParams params =
+      Params(static_cast<std::size_t>(state.range(0)), 100);
+  auto solver = core::FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  std::vector<std::vector<double>> policy(
+      101, std::vector<double>(params.grid.num_q_nodes, 0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(initial, policy).value());
+  }
+}
+BENCHMARK(BM_FpkSolve)->Arg(41)->Arg(81)->Arg(161);
+
+void BM_MeanFieldEstimate(benchmark::State& state) {
+  core::MfgParams params =
+      Params(static_cast<std::size_t>(state.range(0)), 100);
+  auto estimator = core::MeanFieldEstimator::Create(params).value();
+  auto fpk = core::FpkSolver1D::Create(params).value();
+  auto density = fpk.MakeInitialDensity().value();
+  std::vector<double> policy(params.grid.num_q_nodes, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator.Estimate(density, policy).value());
+  }
+}
+BENCHMARK(BM_MeanFieldEstimate)->Arg(101)->Arg(401);
+
+void BM_BestResponseSolve(benchmark::State& state) {
+  core::MfgParams params =
+      Params(static_cast<std::size_t>(state.range(0)), 100);
+  params.learning.max_iterations = 40;
+  auto learner = core::BestResponseLearner::Create(params).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(learner.Solve().value());
+  }
+}
+BENCHMARK(BM_BestResponseSolve)->Arg(41)->Arg(81)->Unit(benchmark::kMillisecond);
+
+// One full simulated slot's cost per EDP count: the per-epoch work that
+// grows with M for decision-per-EDP schemes.
+void BM_SimulatorRun(benchmark::State& state) {
+  sim::SimulatorOptions options;
+  options.num_edps = static_cast<std::size_t>(state.range(0));
+  options.num_requesters = 3 * options.num_edps;
+  options.num_contents = 10;
+  options.num_slots = 10;
+  auto simulator = sim::Simulator::Create(options).value();
+  auto scheme = sim::UniformScheme(
+      "RR", baselines::MakeRandomReplacement(), options.num_contents);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulator.Run(scheme).value());
+  }
+}
+BENCHMARK(BM_SimulatorRun)->Arg(50)->Arg(100)->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mfg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Capacity-constrained placement: the extension sketched in the paper's
+// Remark (§IV-C). When an EDP's total storage is smaller than the sum of
+// the per-content equilibrium allocations, the final placement is a
+// knapsack: weight = the equilibrium plan's cache amount for content k,
+// value = the content's expected accumulated utility. This example solves
+// the per-content equilibria, then compares the fractional (divisible
+// contents — the natural reading, since caching rates are continuous) and
+// 0/1 selections across capacities.
+//
+//   $ ./capacity_constrained [capacity=250] [num_contents=6]
+
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "content/popularity.h"
+#include "core/best_response.h"
+#include "core/knapsack.h"
+
+int main(int argc, char** argv) {
+  using namespace mfg;
+  auto config_or = common::Config::FromArgs(argc, argv);
+  MFG_CHECK(config_or.ok()) << config_or.status();
+  const common::Config& config = *config_or;
+
+  const std::size_t k_total =
+      static_cast<std::size_t>(config.GetInt("num_contents", 6));
+  auto zipf = content::ZipfDistribution(k_total, 0.8).value();
+
+  // 1. Per-content equilibrium plans.
+  std::printf("solving %zu per-content equilibria...\n", k_total);
+  std::vector<core::KnapsackItem> items(k_total);
+  common::TextTable plan_table({"content", "popularity", "planned MB",
+                                "expected utility", "value density"});
+  for (std::size_t k = 0; k < k_total; ++k) {
+    core::MfgParams params = core::DefaultPaperParams();
+    params.grid.num_q_nodes = 61;
+    params.grid.num_time_steps = 80;
+    params.learning.max_iterations = 25;
+    params.popularity = zipf[k];
+    params.num_requests = 30.0 * zipf[k];
+    auto learner = core::BestResponseLearner::Create(params);
+    MFG_CHECK(learner.ok()) << learner.status();
+    auto eq = learner->Solve();
+    MFG_CHECK(eq.ok()) << eq.status();
+    auto rollout = core::RolloutEquilibrium(params, *eq, 70.0).value();
+    // Planned amount: how much the equilibrium actually caches.
+    const double planned =
+        (70.0 - rollout.cache_state.back()) + 30.0;  // Initial + new stock.
+    items[k].weight = std::max(planned, 1.0);
+    items[k].value = std::max(rollout.cumulative_utility.back(), 0.0);
+    plan_table.AddNumericRow({static_cast<double>(k), zipf[k],
+                              items[k].weight, items[k].value,
+                              items[k].value / items[k].weight});
+  }
+  std::printf("%s\n", plan_table.ToString().c_str());
+
+  // 2. Capacity sweep: fractional vs 0/1 selection.
+  common::TextTable sweep({"capacity (MB)", "fractional value",
+                           "0/1 value", "0/1 contents kept"});
+  const double base_capacity = config.GetDouble("capacity", 250.0);
+  for (double capacity :
+       {base_capacity * 0.5, base_capacity, base_capacity * 1.5,
+        base_capacity * 2.5}) {
+    auto fractional = core::SolveFractionalKnapsack(items, capacity);
+    MFG_CHECK(fractional.ok()) << fractional.status();
+    auto zero_one = core::SolveZeroOneKnapsack(items, capacity, 1.0);
+    MFG_CHECK(zero_one.ok()) << zero_one.status();
+    std::string kept;
+    for (std::size_t k = 0; k < k_total; ++k) {
+      if (zero_one->fraction[k] > 0.5) {
+        if (!kept.empty()) kept += ",";
+        kept += std::to_string(k);
+      }
+    }
+    sweep.AddRow({common::FormatDouble(capacity, 5),
+                  common::FormatDouble(fractional->total_value, 5),
+                  common::FormatDouble(zero_one->total_value, 5),
+                  kept.empty() ? "-" : kept});
+  }
+  std::printf("%s", sweep.ToString().c_str());
+  std::printf(
+      "\n-> under tight capacity both selections keep the head "
+      "(high-popularity) contents first; the fractional value upper-bounds "
+      "the 0/1 value and they coincide once everything fits.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// The paper's motivating scenario (§I-A): Alice and Bob both want to
+// cache the hot video v1 — if both do, price competition craters their
+// profits, and one of them is better off serving v2. This example shows
+// how the market machinery expresses that story:
+//
+//   1. Eq. (5) prices: what happens to v1's price as more EDPs stock it,
+//   2. utilities of the four (Alice, Bob) pure caching profiles — the
+//      2x2 game matrix whose best responses avoid the (v1, v1) clash,
+//   3. the mean-field resolution: the equilibrium caching intensity per
+//      content when the market has hundreds of Alices and Bobs.
+//
+//   $ ./competitive_market [seed=1]
+
+#include <cstdio>
+
+#include "common/config.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "core/best_response.h"
+#include "econ/pricing.h"
+#include "econ/utility.h"
+
+namespace {
+
+using namespace mfg;
+
+// Utility of one EDP serving one content it fully cached, at a given
+// price and request load (steady-state, one time unit).
+double SteadyUtility(const core::MfgParams& params, double price,
+                     double requests) {
+  econ::UtilityInputs in;
+  in.content_size = params.content_size;
+  in.caching_rate = 0.0;        // Already cached; no new downloads.
+  in.own_remaining = 5.0;       // Fully stocked.
+  in.peer_remaining = 50.0;
+  in.num_requests = requests;
+  in.price = price;
+  in.edge_rate = params.edge_rate;
+  auto case_model = params.MakeCaseModel().value();
+  in.cases = case_model.Evaluate(5.0, 50.0, params.content_size);
+  return econ::EvaluateUtility(params.utility, in).value().total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto config = common::Config::FromArgs(argc, argv);
+  MFG_CHECK(config.ok()) << config.status();
+
+  core::MfgParams params = core::DefaultPaperParams();
+  auto pricing = econ::PricingModel::Create(params.pricing).value();
+  const double q_full = 5.0;    // Remaining space when fully stocked.
+  const double q_empty = 95.0;  // Remaining space when not cached.
+
+  std::printf("1) Price competition on the hot video v1 (Eq. 5)\n");
+  common::TextTable price_table({"EDPs stocking v1 (out of 10)",
+                                 "price Alice can charge"});
+  for (int stocked = 0; stocked <= 10; stocked += 2) {
+    std::vector<double> remainings(11, q_empty);
+    for (int i = 1; i <= stocked; ++i) remainings[i] = q_full;
+    price_table.AddNumericRow(
+        {static_cast<double>(stocked),
+         pricing.FiniteMarketPrice(remainings, 0, params.content_size)
+             .value()});
+  }
+  std::printf("%s\n", price_table.ToString().c_str());
+
+  std::printf("2) Alice vs Bob: the 2x2 caching game\n");
+  // v1 draws 12 requests per unit time, v2 draws 6. When both EDPs stock
+  // the same video they split its requests and depress its price.
+  const double v1_requests = 12.0;
+  const double v2_requests = 6.0;
+  auto duopoly_price = [&](bool rival_stocked) {
+    std::vector<double> remainings = {q_full,
+                                      rival_stocked ? q_full : q_empty};
+    return pricing.FiniteMarketPrice(remainings, 0, params.content_size)
+        .value();
+  };
+  const double clash_u =
+      SteadyUtility(params, duopoly_price(true), v1_requests / 2.0);
+  const double solo_v1_u =
+      SteadyUtility(params, duopoly_price(false), v1_requests);
+  const double solo_v2_u =
+      SteadyUtility(params, duopoly_price(false), v2_requests);
+  const double clash_v2_u =
+      SteadyUtility(params, duopoly_price(true), v2_requests / 2.0);
+  common::TextTable game({"Alice \\ Bob", "Bob caches v1", "Bob caches v2"});
+  game.AddRow({"Alice caches v1",
+               common::FormatDouble(clash_u, 5) + " / " +
+                   common::FormatDouble(clash_u, 5),
+               common::FormatDouble(solo_v1_u, 5) + " / " +
+                   common::FormatDouble(solo_v2_u, 5)});
+  game.AddRow({"Alice caches v2",
+               common::FormatDouble(solo_v2_u, 5) + " / " +
+                   common::FormatDouble(solo_v1_u, 5),
+               common::FormatDouble(clash_v2_u, 5) + " / " +
+                   common::FormatDouble(clash_v2_u, 5)});
+  std::printf("%s", game.ToString().c_str());
+  std::printf(
+      "-> splitting the catalog (off-diagonal) beats the (v1, v1) clash "
+      "when %.0f + %.0f > 2 x %.0f.\n\n",
+      solo_v1_u, solo_v2_u, clash_u);
+
+  std::printf("3) Mean-field resolution with a large population\n");
+  // Solve the per-content equilibria; the mean-field price internalizes
+  // the competition so nobody needs to know who caches what.
+  common::TextTable mf_table({"content", "requests", "mean x* @ t=0",
+                              "price @ T", "total utility (rollout)"});
+  struct Content {
+    const char* name;
+    double requests;
+    double popularity;
+  };
+  for (const Content& c : {Content{"v1 (hot)", 12.0, 0.6},
+                           Content{"v2 (cool)", 6.0, 0.3}}) {
+    core::MfgParams p = params;
+    p.num_requests = c.requests;
+    p.popularity = c.popularity;
+    auto learner = core::BestResponseLearner::Create(p);
+    MFG_CHECK(learner.ok()) << learner.status();
+    auto eq = learner->Solve();
+    MFG_CHECK(eq.ok()) << eq.status();
+    double mean_x = 0.0;
+    for (double x : eq->hjb.policy[0]) mean_x += x;
+    mean_x /= static_cast<double>(eq->hjb.policy[0].size());
+    auto rollout = core::RolloutEquilibrium(p, *eq, 70.0).value();
+    mf_table.AddRow({c.name, common::FormatDouble(c.requests, 3),
+                     common::FormatDouble(mean_x, 3),
+                     common::FormatDouble(eq->mean_field.back().price, 4),
+                     common::FormatDouble(
+                         rollout.cumulative_utility.back(), 5)});
+  }
+  std::printf("%s", mf_table.ToString().c_str());
+  std::printf(
+      "-> the hot content is cached harder and its price ends lower: the "
+      "market saturates exactly where demand is, without any EDP-to-EDP "
+      "coordination.\n");
+  return 0;
+}

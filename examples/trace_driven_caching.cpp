@@ -1,0 +1,141 @@
+// Trace-driven caching: drive the full MFG-CP framework (Alg. 1) with a
+// YouTube-like trending trace — the paper's evaluation workload. Loads a
+// CSV trace (schema: category_id, day, views) if `trace=<path>` is given,
+// otherwise generates a synthetic trace with the same statistics (see
+// content/trace.h and DESIGN.md "Substitutions").
+//
+//   $ ./trace_driven_caching [trace=path.csv] [days=5] [num_edps=80]
+//
+// For each trace day (= one optimization epoch): update popularity from
+// the day's request counts (Eq. 3), plan the per-content equilibrium
+// policies (Alg. 2), then score the day in the multi-agent market
+// simulator against the Most-Popular-Caching baseline.
+
+#include <cstdio>
+
+#include "baselines/most_popular.h"
+#include "common/config.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "content/trace.h"
+#include "core/mfg_cp.h"
+#include "sim/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace mfg;
+  auto config_or = common::Config::FromArgs(argc, argv);
+  MFG_CHECK(config_or.ok()) << config_or.status();
+  const common::Config& config = *config_or;
+
+  // --- Load or synthesize the trace ------------------------------------
+  common::Rng rng(static_cast<std::uint64_t>(config.GetInt("seed", 42)));
+  content::Trace trace;
+  if (config.Has("trace")) {
+    auto loaded = content::LoadTraceCsv(config.GetString("trace", ""));
+    MFG_CHECK(loaded.ok()) << loaded.status();
+    trace = std::move(loaded).value();
+    std::printf("loaded trace: %zu categories x %zu days\n",
+                trace.num_categories, trace.num_days());
+  } else {
+    content::SyntheticTraceOptions trace_options;
+    trace_options.num_categories =
+        static_cast<std::size_t>(config.GetInt("num_contents", 10));
+    trace_options.num_days =
+        static_cast<std::size_t>(config.GetInt("days", 5));
+    auto generated = content::GenerateSyntheticTrace(trace_options, rng);
+    MFG_CHECK(generated.ok()) << generated.status();
+    trace = std::move(generated).value();
+    std::printf("synthesized trace: %zu categories x %zu days\n",
+                trace.num_categories, trace.num_days());
+  }
+  const std::size_t k_total = trace.num_categories;
+  const std::size_t days =
+      std::min(trace.num_days(),
+               static_cast<std::size_t>(config.GetInt("days", 5)));
+
+  // --- Framework + simulator setup -------------------------------------
+  core::MfgCpOptions framework_options;
+  framework_options.base_params = core::DefaultPaperParams();
+  framework_options.base_params.grid.num_q_nodes = 61;
+  framework_options.base_params.grid.num_time_steps = 80;
+  framework_options.base_params.learning.max_iterations = 25;
+
+  auto catalog = content::Catalog::CreateUniform(k_total, 100.0).value();
+  auto popularity = content::PopularityModel::CreateZipf(k_total, 0.8).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  auto framework = core::MfgCpFramework::Create(
+      framework_options, catalog, popularity, timeliness);
+  MFG_CHECK(framework.ok()) << framework.status();
+
+  sim::SimulatorOptions sim_options;
+  sim_options.base_params = framework_options.base_params;
+  sim_options.num_edps =
+      static_cast<std::size_t>(config.GetInt("num_edps", 80));
+  sim_options.num_requesters = 3 * sim_options.num_edps;
+  sim_options.num_contents = k_total;
+  sim_options.num_slots = 80;
+  sim_options.seed = static_cast<std::uint64_t>(config.GetInt("seed", 42));
+
+  // --- One epoch per trace day ------------------------------------------
+  common::TextTable table({"day", "requests", "active |K'|",
+                           "MFG-CP utility", "MPC utility", "hit ratio"});
+  double mean_remaining = 70.0;
+  for (std::size_t day = 0; day < days; ++day) {
+    auto weights = trace.DayWeights(day);
+    MFG_CHECK(weights.ok()) << weights.status();
+
+    // Epoch observation from the day's counts (scaled to the epoch).
+    core::EpochObservation obs;
+    obs.request_counts.resize(k_total);
+    const double day_total = trace.DayTotal(day);
+    for (std::size_t k = 0; k < k_total; ++k) {
+      obs.request_counts[k] = static_cast<std::size_t>(
+          trace.daily_counts[day][k] / day_total * 200.0);
+    }
+    obs.mean_timeliness.assign(k_total, 2.5);
+    obs.mean_remaining.assign(k_total, mean_remaining);
+
+    auto plan = framework->PlanEpoch(obs);
+    MFG_CHECK(plan.ok()) << plan.status();
+    std::size_t active = 0;
+    for (bool a : plan->active) active += a ? 1 : 0;
+
+    // Fall back to a tiny-rate default policy for inactive contents.
+    sim::SchemePolicies mfgcp;
+    mfgcp.name = "MFG-CP";
+    mfgcp.per_content.resize(k_total);
+    std::shared_ptr<core::CachingPolicy> idle =
+        baselines::MakeMostPopular(1e-9);  // Rate 0 everywhere.
+    for (std::size_t k = 0; k < k_total; ++k) {
+      mfgcp.per_content[k] =
+          plan->policies[k] != nullptr
+              ? std::static_pointer_cast<core::CachingPolicy>(
+                    plan->policies[k])
+              : idle;
+    }
+
+    sim::SimulatorOptions day_options = sim_options;
+    day_options.seed = sim_options.seed + day;
+    day_options.trace_daily_weights = {*weights};
+    day_options.initial_fill_frac_mean = mean_remaining / 100.0;
+    auto simulator = sim::Simulator::Create(day_options);
+    MFG_CHECK(simulator.ok()) << simulator.status();
+    auto result = simulator->Run(mfgcp);
+    MFG_CHECK(result.ok()) << result.status();
+    auto mpc = simulator->Run(sim::UniformScheme(
+        "MPC", baselines::MakeMostPopular(), k_total));
+    MFG_CHECK(mpc.ok()) << mpc.status();
+
+    table.AddRow({std::to_string(day),
+                  common::FormatDouble(day_total, 6),
+                  std::to_string(active),
+                  common::FormatDouble(result->MeanUtility(), 5),
+                  common::FormatDouble(mpc->MeanUtility(), 5),
+                  common::FormatDouble(result->HitRatio(), 3)});
+    // Carry the day's final cache level into the next epoch.
+    mean_remaining = result->per_slot.back().mean_cache_remaining;
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "baselines/mfg_no_sharing.h"
+
+namespace mfg::baselines {
+
+core::MfgParams DisableSharing(core::MfgParams params) {
+  params.sharing_enabled = false;
+  return params;
+}
+
+common::StatusOr<core::Equilibrium> SolveMfgNoSharingEquilibrium(
+    core::MfgParams params) {
+  params = DisableSharing(std::move(params));
+  MFG_ASSIGN_OR_RETURN(core::BestResponseLearner learner,
+                       core::BestResponseLearner::Create(params));
+  return learner.Solve();
+}
+
+common::StatusOr<std::unique_ptr<core::MfgPolicy>> SolveMfgNoSharingPolicy(
+    core::MfgParams params) {
+  params = DisableSharing(std::move(params));
+  MFG_ASSIGN_OR_RETURN(core::BestResponseLearner learner,
+                       core::BestResponseLearner::Create(params));
+  MFG_ASSIGN_OR_RETURN(core::Equilibrium equilibrium, learner.Solve());
+  return core::MfgPolicy::Create(params, equilibrium, "MFG");
+}
+
+}  // namespace mfg::baselines

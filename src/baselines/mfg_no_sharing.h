@@ -1,0 +1,33 @@
+#ifndef MFGCP_BASELINES_MFG_NO_SHARING_H_
+#define MFGCP_BASELINES_MFG_NO_SHARING_H_
+
+#include <memory>
+
+#include "core/best_response.h"
+#include "core/policy.h"
+
+// The "MFG" baseline of §V-A: MFG-CP with peer content sharing disabled.
+// The utility drops Φ² and C³, and requests an EDP cannot self-serve go
+// straight to the cloud (case 2 folds into case 3). Trading income is
+// slightly *higher* than MFG-CP (whole contents are sold after cloud
+// top-ups) but the staleness cost is much higher, so total utility is
+// lower — the paper's Figs. 12/14 story.
+
+namespace mfg::baselines {
+
+// Solves the no-sharing mean-field equilibrium for the given parameters
+// (sharing_enabled is forced off) and wraps it as a policy named "MFG".
+common::StatusOr<std::unique_ptr<core::MfgPolicy>> SolveMfgNoSharingPolicy(
+    core::MfgParams params);
+
+// The no-sharing equilibrium itself, for benches that need the value /
+// density too.
+common::StatusOr<core::Equilibrium> SolveMfgNoSharingEquilibrium(
+    core::MfgParams params);
+
+// Returns `params` with sharing disabled (utility + case routing).
+core::MfgParams DisableSharing(core::MfgParams params);
+
+}  // namespace mfg::baselines
+
+#endif  // MFGCP_BASELINES_MFG_NO_SHARING_H_

@@ -1,0 +1,21 @@
+#include "baselines/most_popular.h"
+
+#include "common/math_util.h"
+
+namespace mfg::baselines {
+
+MostPopularPolicy::MostPopularPolicy(double top_fraction)
+    : top_fraction_(common::Clamp(top_fraction, 1e-9, 1.0)) {}
+
+double MostPopularPolicy::Rate(const core::PolicyContext& context,
+                               common::Rng& rng) {
+  (void)rng;
+  // popularity_rank ∈ [0, 1): 0 is the most popular content.
+  return context.popularity_rank < top_fraction_ ? 1.0 : 0.0;
+}
+
+std::unique_ptr<core::CachingPolicy> MakeMostPopular(double top_fraction) {
+  return std::make_unique<MostPopularPolicy>(top_fraction);
+}
+
+}  // namespace mfg::baselines

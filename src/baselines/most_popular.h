@@ -1,0 +1,36 @@
+#ifndef MFGCP_BASELINES_MOST_POPULAR_H_
+#define MFGCP_BASELINES_MOST_POPULAR_H_
+
+#include <memory>
+
+#include "core/policy.h"
+
+// Most Popular Caching (MPC) baseline [18]: cache only the currently most
+// popular contents, at full rate; ignore everything else. The decision is
+// by popularity rank: a content in the top `top_fraction` of the catalog's
+// popularity ordering is cached at rate 1, the rest at rate 0. No
+// economics, no coordination — two MPC neighbours will both cache the same
+// head content and crash its price, which is exactly what Fig. 14 shows.
+
+namespace mfg::baselines {
+
+class MostPopularPolicy final : public core::CachingPolicy {
+ public:
+  // `top_fraction` ∈ (0, 1]: how much of the catalog's head to cache.
+  explicit MostPopularPolicy(double top_fraction = 0.3);
+
+  double Rate(const core::PolicyContext& context, common::Rng& rng) override;
+  std::string name() const override { return "MPC"; }
+
+  double top_fraction() const { return top_fraction_; }
+
+ private:
+  double top_fraction_;
+};
+
+std::unique_ptr<core::CachingPolicy> MakeMostPopular(
+    double top_fraction = 0.3);
+
+}  // namespace mfg::baselines
+
+#endif  // MFGCP_BASELINES_MOST_POPULAR_H_

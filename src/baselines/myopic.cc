@@ -1,0 +1,34 @@
+#include "baselines/myopic.h"
+
+#include "common/math_util.h"
+
+namespace mfg::baselines {
+
+MyopicPolicy::MyopicPolicy(const MyopicParams& params) : params_(params) {}
+
+double MyopicPolicy::MarginalUtility(double x, double content_size,
+                                     double availability) const {
+  // d/dx of the x-dependent part of Eq. 10:
+  //   −(w4 + 2 w5 x) − η2 Q a / Hc.
+  return -econ::PlacementCostDerivative(params_.placement, x) -
+         params_.eta2 * content_size * availability / params_.cloud_rate;
+}
+
+double MyopicPolicy::Rate(const core::PolicyContext& context,
+                          common::Rng& rng) {
+  (void)rng;
+  // The marginal is negative at x = 0 already (all x-terms are costs), so
+  // the interior maximizer is below zero and clamps to 0. Computed rather
+  // than hard-coded so parameter changes (e.g. a subsidized download)
+  // would be honored.
+  const double unconstrained =
+      MarginalUtility(0.0, context.content_size, 1.0) /
+      (2.0 * params_.placement.w5);
+  return common::ClampUnit(unconstrained);
+}
+
+std::unique_ptr<core::CachingPolicy> MakeMyopic(const MyopicParams& params) {
+  return std::make_unique<MyopicPolicy>(params);
+}
+
+}  // namespace mfg::baselines

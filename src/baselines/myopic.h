@@ -1,0 +1,47 @@
+#ifndef MFGCP_BASELINES_MYOPIC_H_
+#define MFGCP_BASELINES_MYOPIC_H_
+
+#include <memory>
+
+#include "core/policy.h"
+#include "econ/costs.h"
+
+// Myopic baseline: maximizes the *instantaneous* utility (Eq. 10) over x,
+// ignoring the value of the future cache state. Every x-dependent term of
+// the running utility is a cost (placement w₄x + w₅x², download delay
+// η₂Q_k a(q) x / H_c), so the myopic optimum degenerates to x* ≡ 0: a
+// player who cannot see the future never caches. Included as the ablation
+// that isolates the contribution of the HJB's dynamic term Q_k w₁ ∂_q V —
+// the entire caching incentive in Theorem 1 — and as a worst-case anchor
+// for the scheme comparisons.
+
+namespace mfg::baselines {
+
+struct MyopicParams {
+  econ::PlacementCostParams placement;
+  double eta2 = 25.0;       // Staleness conversion.
+  double cloud_rate = 20.0; // Bulk download rate H_c.
+};
+
+class MyopicPolicy final : public core::CachingPolicy {
+ public:
+  explicit MyopicPolicy(const MyopicParams& params = MyopicParams());
+
+  double Rate(const core::PolicyContext& context, common::Rng& rng) override;
+  std::string name() const override { return "Myopic"; }
+
+  // The instantaneous x-marginal utility at rate x (always <= 0 for
+  // x >= 0); exposed so tests can verify the degeneracy claim.
+  double MarginalUtility(double x, double content_size,
+                         double availability) const;
+
+ private:
+  MyopicParams params_;
+};
+
+std::unique_ptr<core::CachingPolicy> MakeMyopic(
+    const MyopicParams& params = MyopicParams());
+
+}  // namespace mfg::baselines
+
+#endif  // MFGCP_BASELINES_MYOPIC_H_

@@ -1,0 +1,15 @@
+#include "baselines/random_replacement.h"
+
+namespace mfg::baselines {
+
+double RandomReplacementPolicy::Rate(const core::PolicyContext& context,
+                                     common::Rng& rng) {
+  (void)context;
+  return rng.Uniform();
+}
+
+std::unique_ptr<core::CachingPolicy> MakeRandomReplacement() {
+  return std::make_unique<RandomReplacementPolicy>();
+}
+
+}  // namespace mfg::baselines

@@ -1,0 +1,27 @@
+#ifndef MFGCP_BASELINES_RANDOM_REPLACEMENT_H_
+#define MFGCP_BASELINES_RANDOM_REPLACEMENT_H_
+
+#include <memory>
+
+#include "core/policy.h"
+
+// Random Replacement (RR) baseline: "the RR policy adopts random caching
+// decisions" (§V-A). Each decision draws an independent caching rate
+// uniformly from [0, 1]. Its per-epoch cost is M draws — which is why its
+// computation time grows with M in Table II while MFG-CP's does not.
+
+namespace mfg::baselines {
+
+class RandomReplacementPolicy final : public core::CachingPolicy {
+ public:
+  RandomReplacementPolicy() = default;
+
+  double Rate(const core::PolicyContext& context, common::Rng& rng) override;
+  std::string name() const override { return "RR"; }
+};
+
+std::unique_ptr<core::CachingPolicy> MakeRandomReplacement();
+
+}  // namespace mfg::baselines
+
+#endif  // MFGCP_BASELINES_RANDOM_REPLACEMENT_H_

@@ -1,0 +1,27 @@
+#include "baselines/udcs.h"
+
+#include "common/math_util.h"
+
+namespace mfg::baselines {
+
+UdcsPolicy::UdcsPolicy(const UdcsParams& params) : params_(params) {}
+
+double UdcsPolicy::Rate(const core::PolicyContext& context,
+                        common::Rng& rng) {
+  (void)rng;
+  const double fill_need =
+      context.content_size > 0.0 ? context.remaining / context.content_size
+                                 : 0.0;
+  const double marginal_gain = params_.hit_gain * context.popularity *
+                               common::ClampUnit(fill_need);
+  const double marginal_overlap =
+      params_.overlap_penalty * context.overlap_estimate;
+  return common::ClampUnit((marginal_gain - marginal_overlap) /
+                           (2.0 * params_.placement_cost));
+}
+
+std::unique_ptr<core::CachingPolicy> MakeUdcs(const UdcsParams& params) {
+  return std::make_unique<UdcsPolicy>(params);
+}
+
+}  // namespace mfg::baselines

@@ -1,0 +1,46 @@
+#ifndef MFGCP_BASELINES_UDCS_H_
+#define MFGCP_BASELINES_UDCS_H_
+
+#include <memory>
+
+#include "core/policy.h"
+
+// Ultra-Dense Caching Strategy (UDCS) baseline, after Kim et al. [28]:
+// minimizes a long-run average *cost* that accounts for content overlap
+// with neighbouring caches and aggregate interference, with no pricing and
+// no paid sharing. Per decision it solves the scalar first-order condition
+// of
+//
+//   cost(x) = c_place x² − gain·Π·(q/Q)·x + c_overlap·overlap·x
+//
+// i.e. x* = clamp( (gain·Π·(q/Q) − c_overlap·overlap) / (2 c_place) ).
+// Popularity enters only through the (small) hit-gain term, which is why
+// UDCS's utility is nearly flat across the popularity sweep (Fig. 13).
+
+namespace mfg::baselines {
+
+struct UdcsParams {
+  double placement_cost = 1.0;   // c_place: quadratic effort penalty.
+  double hit_gain = 14.0;        // gain: value of serving hits locally.
+  double overlap_penalty = 1.0;  // c_overlap: duplicated-content penalty.
+};
+
+class UdcsPolicy final : public core::CachingPolicy {
+ public:
+  explicit UdcsPolicy(const UdcsParams& params = UdcsParams());
+
+  double Rate(const core::PolicyContext& context, common::Rng& rng) override;
+  std::string name() const override { return "UDCS"; }
+
+  const UdcsParams& params() const { return params_; }
+
+ private:
+  UdcsParams params_;
+};
+
+std::unique_ptr<core::CachingPolicy> MakeUdcs(
+    const UdcsParams& params = UdcsParams());
+
+}  // namespace mfg::baselines
+
+#endif  // MFGCP_BASELINES_UDCS_H_

@@ -1,0 +1,49 @@
+#ifndef MFGCP_COMMON_CONFIG_H_
+#define MFGCP_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+// `key=value` command-line / file configuration used by the example and
+// benchmark binaries (e.g. `./quickstart seed=7 num_edps=300`). Keeps the
+// binaries dependency-free while making every experiment parameterizable.
+
+namespace mfg::common {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses `argv`-style tokens of the form key=value. Unrecognized tokens
+  // (no '=') produce InvalidArgument. argv[0] is skipped.
+  static StatusOr<Config> FromArgs(int argc, const char* const* argv);
+
+  // Parses newline-separated key=value text ('#' starts a comment).
+  static StatusOr<Config> FromText(std::string_view text);
+
+  void Set(std::string key, std::string value);
+
+  bool Has(std::string_view key) const;
+
+  // Typed getters with defaults; a present-but-malformed value is an error
+  // surfaced through *status if provided, otherwise falls back to default.
+  std::string GetString(std::string_view key, std::string def) const;
+  double GetDouble(std::string_view key, double def) const;
+  std::int64_t GetInt(std::string_view key, std::int64_t def) const;
+  bool GetBool(std::string_view key, bool def) const;
+
+  const std::map<std::string, std::string, std::less<>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string, std::less<>> entries_;
+};
+
+}  // namespace mfg::common
+
+#endif  // MFGCP_COMMON_CONFIG_H_

@@ -1,0 +1,191 @@
+#include "common/csv.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace mfg::common {
+
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');  // Escaped quote.
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  if (field.find_first_of(",\"\n") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += "\"";
+  return out;
+}
+
+CsvTable::CsvTable(std::vector<std::string> header,
+                   std::vector<std::vector<std::string>> rows)
+    : header_(std::move(header)), rows_(std::move(rows)) {}
+
+StatusOr<CsvTable> CsvTable::Parse(std::string_view text) {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  std::size_t start = 0;
+  bool first_line = true;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    std::string_view line = (end == std::string_view::npos)
+                                ? text.substr(start)
+                                : text.substr(start, end - start);
+    if (!line.empty() && line != "\r") {
+      auto fields = SplitCsvLine(line);
+      if (first_line) {
+        header = std::move(fields);
+        first_line = false;
+      } else {
+        if (fields.size() != header.size()) {
+          return Status::InvalidArgument(
+              "CSV row has " + std::to_string(fields.size()) +
+              " fields, header has " + std::to_string(header.size()));
+        }
+        rows.push_back(std::move(fields));
+      }
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  if (first_line) return Status::InvalidArgument("empty CSV document");
+  return CsvTable(std::move(header), std::move(rows));
+}
+
+StatusOr<CsvTable> CsvTable::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Parse(buffer.str());
+}
+
+const std::vector<std::string>& CsvTable::row(std::size_t i) const {
+  MFG_CHECK_LT(i, rows_.size());
+  return rows_[i];
+}
+
+StatusOr<std::size_t> CsvTable::ColumnIndex(std::string_view name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return Status::NotFound("no CSV column named '" + std::string(name) + "'");
+}
+
+StatusOr<std::string> CsvTable::Cell(std::size_t row, std::size_t col) const {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("CSV row " + std::to_string(row));
+  }
+  if (col >= header_.size()) {
+    return Status::OutOfRange("CSV col " + std::to_string(col));
+  }
+  return rows_[row][col];
+}
+
+StatusOr<double> CsvTable::CellAsDouble(std::size_t row,
+                                        std::size_t col) const {
+  MFG_ASSIGN_OR_RETURN(std::string text, Cell(row, col));
+  // std::from_chars for double is not universally available; strtod is fine.
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("not a number: '" + text + "'");
+  }
+  return value;
+}
+
+StatusOr<std::int64_t> CsvTable::CellAsInt(std::size_t row,
+                                           std::size_t col) const {
+  MFG_ASSIGN_OR_RETURN(std::string text, Cell(row, col));
+  std::int64_t value = 0;
+  auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument("not an integer: '" + text + "'");
+  }
+  return value;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MFG_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& row) {
+  MFG_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(row);
+}
+
+void CsvWriter::AddRow(const std::vector<double>& row) {
+  MFG_CHECK_EQ(row.size(), header_.size());
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    cells.emplace_back(buf);
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) out += ',';
+    out += EscapeCsvField(header_[i]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += EscapeCsvField(row[i]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToString();
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace mfg::common

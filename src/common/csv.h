@@ -1,0 +1,79 @@
+#ifndef MFGCP_COMMON_CSV_H_
+#define MFGCP_COMMON_CSV_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+// Minimal CSV support: enough to load trace files (content/trace.h) and to
+// dump benchmark series for external plotting. Handles quoted fields with
+// embedded commas/quotes; does not handle embedded newlines (traces we
+// produce and consume never contain them).
+
+namespace mfg::common {
+
+// An in-memory CSV document: a header row plus data rows.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  CsvTable(std::vector<std::string> header,
+           std::vector<std::vector<std::string>> rows);
+
+  // Parses CSV text. Fails with InvalidArgument on ragged rows.
+  static StatusOr<CsvTable> Parse(std::string_view text);
+
+  // Reads and parses a CSV file.
+  static StatusOr<CsvTable> Load(const std::string& path);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const;
+
+  // Index of a named column, or NotFound.
+  StatusOr<std::size_t> ColumnIndex(std::string_view name) const;
+
+  // Cell accessors with bounds/parse checking.
+  StatusOr<std::string> Cell(std::size_t row, std::size_t col) const;
+  StatusOr<double> CellAsDouble(std::size_t row, std::size_t col) const;
+  StatusOr<std::int64_t> CellAsInt(std::size_t row, std::size_t col) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Streaming CSV writer used by benches to emit plot-ready series.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  // Appends a row; must match the header arity.
+  void AddRow(const std::vector<std::string>& row);
+  void AddRow(const std::vector<double>& row);
+
+  // Serializes header + rows to CSV text.
+  std::string ToString() const;
+
+  // Writes the document to a file.
+  Status WriteFile(const std::string& path) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Splits a single CSV record into fields (exposed for testing).
+std::vector<std::string> SplitCsvLine(std::string_view line);
+
+// Escapes a field (quotes it when it contains a comma/quote).
+std::string EscapeCsvField(std::string_view field);
+
+}  // namespace mfg::common
+
+#endif  // MFGCP_COMMON_CSV_H_

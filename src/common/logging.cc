@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mfg::common {
+namespace {
+
+std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
+
+// Trims a path down to its basename for compact log prefixes.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  return base;
+}
+
+}  // namespace
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+void SetLogThreshold(LogLevel level) { g_threshold.store(level); }
+LogLevel GetLogThreshold() { return g_threshold.load(); }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LogLevelToString(level) << " " << Basename(file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < GetLogThreshold()) return;
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << Basename(file) << ":" << line << "] Check failed: "
+          << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace mfg::common

@@ -1,0 +1,46 @@
+#ifndef MFGCP_COMMON_MATH_UTIL_H_
+#define MFGCP_COMMON_MATH_UTIL_H_
+
+#include <cstddef>
+#include <vector>
+
+// Small numeric helpers shared across the library.
+
+namespace mfg::common {
+
+// Clamps x into [lo, hi]. Requires lo <= hi.
+double Clamp(double x, double lo, double hi);
+
+// The paper's [x]^+ projection onto [0, 1] used in Theorem 1.
+double ClampUnit(double x);
+
+// True if |a - b| <= atol + rtol * max(|a|, |b|).
+bool AlmostEqual(double a, double b, double atol = 1e-12, double rtol = 1e-9);
+
+// Linear interpolation between a (t = 0) and b (t = 1).
+double Lerp(double a, double b, double t);
+
+// n evenly spaced values from lo to hi inclusive. Requires n >= 2.
+std::vector<double> Linspace(double lo, double hi, std::size_t n);
+
+// Arithmetic mean. Requires non-empty input.
+double Mean(const std::vector<double>& v);
+
+// Unbiased sample variance (n-1 denominator). Requires size >= 2.
+double Variance(const std::vector<double>& v);
+
+// Max absolute difference between two equal-length vectors.
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b);
+
+// Sum of elements (Kahan-compensated; densities need the extra digits).
+double Sum(const std::vector<double>& v);
+
+// True if every element is finite (no NaN/Inf).
+bool AllFinite(const std::vector<double>& v);
+
+// x^2; spelled out for readability in cost formulas.
+inline double Square(double x) { return x * x; }
+
+}  // namespace mfg::common
+
+#endif  // MFGCP_COMMON_MATH_UTIL_H_

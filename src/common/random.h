@@ -1,0 +1,67 @@
+#ifndef MFGCP_COMMON_RANDOM_H_
+#define MFGCP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library draw through `Rng` so that every
+// simulation and benchmark is reproducible from a single seed. The engine is
+// xoshiro256** (Blackman & Vigna) seeded via SplitMix64; it is faster than
+// std::mt19937_64 and has no measurable bias for our use (Monte Carlo paths).
+
+namespace mfg::common {
+
+// SplitMix64 step; used for seeding and as a cheap standalone mixer.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  // Seeds the generator. Two Rng instances with the same seed produce
+  // identical streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  // Raw 64 uniform bits.
+  std::uint64_t NextUint64();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi). Requires lo <= hi.
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid
+  // modulo bias.
+  std::uint64_t UniformInt(std::uint64_t n);
+
+  // Standard normal via Box–Muller (cached second variate).
+  double Gaussian();
+
+  // Normal with the given mean and standard deviation (stddev >= 0).
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with the given rate (rate > 0).
+  double Exponential(double rate);
+
+  // Poisson-distributed count with the given mean (mean >= 0).
+  // Knuth's method for small means, normal approximation for mean > 64.
+  std::uint64_t Poisson(double mean);
+
+  // Samples an index from an (unnormalized) non-negative weight vector.
+  // Requires at least one strictly positive weight.
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  // Derives an independent child generator; useful for giving each agent
+  // its own stream while preserving determinism of the whole simulation.
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace mfg::common
+
+#endif  // MFGCP_COMMON_RANDOM_H_

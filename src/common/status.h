@@ -1,0 +1,166 @@
+#ifndef MFGCP_COMMON_STATUS_H_
+#define MFGCP_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+// Error-handling model for the mfgcp library.
+//
+// Public APIs never throw: fallible operations return `Status` (or
+// `StatusOr<T>` for value-producing operations), mirroring the RocksDB /
+// Abseil convention. Programming errors (violated preconditions inside the
+// library) abort via MFG_CHECK in logging.h instead.
+
+namespace mfg::common {
+
+// Canonical error categories. Deliberately small: numerical code mostly
+// needs to distinguish "bad configuration" from "computation failed".
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,   // Caller passed an out-of-domain value.
+  kFailedPrecondition = 2,// Object not in a state that allows the call.
+  kOutOfRange = 3,        // Index / coordinate outside a grid or interval.
+  kNotFound = 4,          // Lookup miss (content id, file, column...).
+  kNumericalError = 5,    // Divergence, NaN, CFL violation at run time.
+  kIoError = 6,           // File read/write failure.
+  kUnimplemented = 7,     // Feature intentionally not provided.
+  kInternal = 8,          // Invariant violation that was recoverable.
+};
+
+// Human-readable name of a code ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+// Value-semantic status. Cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// A Status plus, on success, a value of type T. Minimal stand-in for
+// absl::StatusOr: supports ok()/status()/value()/operator*.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so `return SomeT{...};` and `return SomeStatus;`
+  // both work, as with absl::StatusOr.
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Precondition: ok(). Checked at runtime.
+  const T& value() const&;
+  T& value() &;
+  T&& value() &&;
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;            // kOk iff value_ engaged.
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieOnBadAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+const T& StatusOr<T>::value() const& {
+  if (!value_.has_value()) internal_status::DieOnBadAccess(status_);
+  return *value_;
+}
+template <typename T>
+T& StatusOr<T>::value() & {
+  if (!value_.has_value()) internal_status::DieOnBadAccess(status_);
+  return *value_;
+}
+template <typename T>
+T&& StatusOr<T>::value() && {
+  if (!value_.has_value()) internal_status::DieOnBadAccess(status_);
+  return *std::move(value_);
+}
+
+// Propagates a non-OK status to the caller, RocksDB/Abseil style:
+//   MFG_RETURN_IF_ERROR(DoThing());
+#define MFG_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::mfg::common::Status _mfg_status = (expr);          \
+    if (!_mfg_status.ok()) return _mfg_status;           \
+  } while (false)
+
+// Assigns the value of a StatusOr expression or propagates its error:
+//   MFG_ASSIGN_OR_RETURN(auto grid, Grid1D::Create(...));
+#define MFG_ASSIGN_OR_RETURN(lhs, expr)                  \
+  MFG_ASSIGN_OR_RETURN_IMPL_(                            \
+      MFG_STATUS_CONCAT_(_mfg_statusor, __LINE__), lhs, expr)
+
+#define MFG_STATUS_CONCAT_INNER_(a, b) a##b
+#define MFG_STATUS_CONCAT_(a, b) MFG_STATUS_CONCAT_INNER_(a, b)
+#define MFG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)       \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace mfg::common
+
+#endif  // MFGCP_COMMON_STATUS_H_

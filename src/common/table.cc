@@ -1,0 +1,70 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace mfg::common {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MFG_CHECK(!header_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  MFG_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddNumericRow(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatDouble(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::string TextTable::ToCsv() const {
+  CsvWriter writer(header_);
+  for (const auto& row : rows_) writer.AddRow(row);
+  return writer.ToString();
+}
+
+std::string TextTable::ToString() const {
+  const std::size_t cols = header_.size();
+  std::vector<std::size_t> width(cols);
+  for (std::size_t c = 0; c < cols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c) out += " | ";
+      out += row[c];
+      out.append(width[c] - row[c].size(), ' ');
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (c) out += "-+-";
+    out.append(width[c], '-');
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace mfg::common

@@ -1,0 +1,43 @@
+#ifndef MFGCP_COMMON_TABLE_H_
+#define MFGCP_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+// Aligned ASCII table printer used by benches and examples to render the
+// same rows/series the paper's tables and figures report.
+
+namespace mfg::common {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision.
+  void AddNumericRow(const std::vector<double>& row, int precision = 4);
+
+  // Renders the table with column-aligned cells and a header separator:
+  //   col_a  | col_b
+  //   -------+------
+  //   1.0    | 2.0
+  std::string ToString() const;
+
+  // Serializes header + rows as CSV (fields escaped); the machine-readable
+  // twin of ToString() used by the benches' csv_dir= option.
+  std::string ToCsv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with %.*g (compact scientific/fixed).
+std::string FormatDouble(double value, int precision = 4);
+
+}  // namespace mfg::common
+
+#endif  // MFGCP_COMMON_TABLE_H_

@@ -1,0 +1,50 @@
+#include "content/catalog.h"
+
+#include "common/logging.h"
+
+namespace mfg::content {
+
+common::StatusOr<Catalog> Catalog::CreateUniform(std::size_t k,
+                                                 double size_mb) {
+  if (k == 0) {
+    return common::Status::InvalidArgument("catalog needs >= 1 content");
+  }
+  if (size_mb <= 0.0) {
+    return common::Status::InvalidArgument("content size must be positive");
+  }
+  std::vector<ContentInfo> contents(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    contents[i].id = i;
+    contents[i].name = "content_" + std::to_string(i);
+    contents[i].size_mb = size_mb;
+  }
+  return Catalog(std::move(contents));
+}
+
+common::StatusOr<Catalog> Catalog::Create(std::vector<ContentInfo> contents) {
+  if (contents.empty()) {
+    return common::Status::InvalidArgument("catalog needs >= 1 content");
+  }
+  for (std::size_t i = 0; i < contents.size(); ++i) {
+    if (contents[i].size_mb <= 0.0) {
+      return common::Status::InvalidArgument(
+          "content size must be positive (content " + std::to_string(i) +
+          ")");
+    }
+    contents[i].id = i;
+  }
+  return Catalog(std::move(contents));
+}
+
+const ContentInfo& Catalog::info(ContentId k) const {
+  MFG_CHECK_LT(k, contents_.size());
+  return contents_[k];
+}
+
+double Catalog::TotalSizeMb() const {
+  double total = 0.0;
+  for (const auto& c : contents_) total += c.size_mb;
+  return total;
+}
+
+}  // namespace mfg::content

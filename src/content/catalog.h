@@ -1,0 +1,54 @@
+#ifndef MFGCP_CONTENT_CATALOG_H_
+#define MFGCP_CONTENT_CATALOG_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// The content catalog K = {1..K} held by the cloud center (§II-B): per
+// content a data size Q_k and an update period (the paper's example of
+// hourly traffic data vs. daily financial news).
+
+namespace mfg::content {
+
+using ContentId = std::size_t;
+
+struct ContentInfo {
+  ContentId id = 0;
+  std::string name;
+  double size_mb = 100.0;       // Q_k; paper default 100 MB.
+  double update_period = 1.0;   // How often the center refreshes it.
+};
+
+class Catalog {
+ public:
+  // A homogeneous catalog of `k` contents of size `size_mb` (the paper's
+  // simulation setting: K = 20, Q_k = 100 MB).
+  static common::StatusOr<Catalog> CreateUniform(std::size_t k,
+                                                 double size_mb);
+
+  // A heterogeneous catalog from explicit descriptors (ids are reassigned
+  // to be dense 0..K-1).
+  static common::StatusOr<Catalog> Create(std::vector<ContentInfo> contents);
+
+  std::size_t size() const { return contents_.size(); }
+  const ContentInfo& info(ContentId k) const;
+  double size_mb(ContentId k) const { return info(k).size_mb; }
+
+  const std::vector<ContentInfo>& contents() const { return contents_; }
+
+  // Total bytes across the catalog (MB).
+  double TotalSizeMb() const;
+
+ private:
+  explicit Catalog(std::vector<ContentInfo> contents)
+      : contents_(std::move(contents)) {}
+
+  std::vector<ContentInfo> contents_;
+};
+
+}  // namespace mfg::content
+
+#endif  // MFGCP_CONTENT_CATALOG_H_

@@ -1,0 +1,84 @@
+#include "content/popularity.h"
+
+#include <cmath>
+
+namespace mfg::content {
+
+common::StatusOr<std::vector<double>> ZipfDistribution(std::size_t k,
+                                                       double iota) {
+  if (k == 0) {
+    return common::Status::InvalidArgument("Zipf needs k >= 1");
+  }
+  if (iota <= 0.0) {
+    return common::Status::InvalidArgument("Zipf steepness must be positive");
+  }
+  std::vector<double> probs(k);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    probs[i] = 1.0 / std::pow(static_cast<double>(i + 1), iota);
+    norm += probs[i];
+  }
+  for (double& p : probs) p /= norm;
+  return probs;
+}
+
+common::StatusOr<PopularityModel> PopularityModel::CreateZipf(std::size_t k,
+                                                              double iota) {
+  MFG_ASSIGN_OR_RETURN(std::vector<double> prior, ZipfDistribution(k, iota));
+  return PopularityModel(std::move(prior));
+}
+
+common::StatusOr<PopularityModel> PopularityModel::Create(
+    std::vector<double> prior) {
+  if (prior.empty()) {
+    return common::Status::InvalidArgument("empty popularity prior");
+  }
+  double sum = 0.0;
+  for (double p : prior) {
+    if (p < 0.0 || !std::isfinite(p)) {
+      return common::Status::InvalidArgument(
+          "popularity prior entries must be finite and non-negative");
+    }
+    sum += p;
+  }
+  if (sum <= 0.0) {
+    return common::Status::InvalidArgument("popularity prior sums to zero");
+  }
+  for (double& p : prior) p /= sum;
+  return PopularityModel(std::move(prior));
+}
+
+common::StatusOr<std::vector<double>> PopularityModel::Update(
+    const std::vector<std::size_t>& request_counts) const {
+  const std::size_t k = prior_.size();
+  if (request_counts.size() != k) {
+    return common::Status::InvalidArgument(
+        "request_counts must have one entry per content");
+  }
+  std::size_t total = 0;
+  for (std::size_t c : request_counts) total += c;
+  std::vector<double> updated(k);
+  const double denom = static_cast<double>(k) + static_cast<double>(total);
+  for (std::size_t i = 0; i < k; ++i) {
+    updated[i] = (static_cast<double>(k) * prior_[i] +
+                  static_cast<double>(request_counts[i])) /
+                 denom;
+  }
+  return updated;
+}
+
+common::StatusOr<double> PopularityModel::UpdateOne(
+    std::size_t k, std::size_t requests_k, std::size_t total_requests) const {
+  if (k >= prior_.size()) {
+    return common::Status::OutOfRange("content index out of range");
+  }
+  if (requests_k > total_requests) {
+    return common::Status::InvalidArgument(
+        "per-content requests exceed the total");
+  }
+  const double kk = static_cast<double>(prior_.size());
+  return (kk * prior_[k] + static_cast<double>(requests_k)) /
+         (kk + static_cast<double>(total_requests));
+}
+
+}  // namespace mfg::content

@@ -1,0 +1,54 @@
+#ifndef MFGCP_CONTENT_POPULARITY_H_
+#define MFGCP_CONTENT_POPULARITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+// Content popularity (Definition 1). The prior is a Zipf distribution
+//   Π_k(t0) = (1/k^ι) / Σ_{k'} (1/k'^ι)
+// and the dynamic update blends the prior with observed request counts
+// (Eq. 3):
+//   Π_k(t) = (K·Π_k(t0) + |I_k(t)|) / (K + Σ_{k'} |I_{k'}(t)|).
+
+namespace mfg::content {
+
+// Zipf probability vector over K contents with steepness iota > 0.
+common::StatusOr<std::vector<double>> ZipfDistribution(std::size_t k,
+                                                       double iota);
+
+class PopularityModel {
+ public:
+  // Builds the model from a Zipf prior.
+  static common::StatusOr<PopularityModel> CreateZipf(std::size_t k,
+                                                      double iota);
+
+  // Builds the model from an arbitrary prior (normalized internally);
+  // entries must be non-negative with positive sum.
+  static common::StatusOr<PopularityModel> Create(std::vector<double> prior);
+
+  std::size_t num_contents() const { return prior_.size(); }
+
+  // The static prior Π_k(t0).
+  const std::vector<double>& prior() const { return prior_; }
+
+  // Eq. 3: popularity given per-content observed request counts.
+  // `request_counts` must have K entries.
+  common::StatusOr<std::vector<double>> Update(
+      const std::vector<std::size_t>& request_counts) const;
+
+  // Single-content version of Eq. 3.
+  common::StatusOr<double> UpdateOne(std::size_t k, std::size_t requests_k,
+                                     std::size_t total_requests) const;
+
+ private:
+  explicit PopularityModel(std::vector<double> prior)
+      : prior_(std::move(prior)) {}
+
+  std::vector<double> prior_;
+};
+
+}  // namespace mfg::content
+
+#endif  // MFGCP_CONTENT_POPULARITY_H_

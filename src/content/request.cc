@@ -1,0 +1,64 @@
+#include "content/request.h"
+
+#include "common/logging.h"
+
+namespace mfg::content {
+
+std::vector<std::size_t> RequestBatch::CountsPerContent(
+    std::size_t num_contents) const {
+  std::vector<std::size_t> counts(num_contents, 0);
+  for (const auto& r : requests) {
+    MFG_DCHECK_LT(r.content, num_contents);
+    ++counts[r.content];
+  }
+  return counts;
+}
+
+std::vector<double> RequestBatch::MeanTimelinessPerContent(
+    std::size_t num_contents) const {
+  std::vector<double> sums(num_contents, 0.0);
+  std::vector<std::size_t> counts(num_contents, 0);
+  for (const auto& r : requests) {
+    MFG_DCHECK_LT(r.content, num_contents);
+    sums[r.content] += r.timeliness;
+    ++counts[r.content];
+  }
+  for (std::size_t k = 0; k < num_contents; ++k) {
+    if (counts[k] > 0) sums[k] /= static_cast<double>(counts[k]);
+  }
+  return sums;
+}
+
+common::StatusOr<RequestGenerator> RequestGenerator::Create(
+    const RequestGeneratorOptions& options, const PopularityModel& popularity,
+    const TimelinessModel& timeliness) {
+  if (options.request_rate <= 0.0) {
+    return common::Status::InvalidArgument("request rate must be positive");
+  }
+  return RequestGenerator(options, popularity, timeliness);
+}
+
+RequestBatch RequestGenerator::Generate(std::size_t num_requesters,
+                                        common::Rng& rng) const {
+  return GenerateWithWeights(num_requesters, popularity_.prior(), rng);
+}
+
+RequestBatch RequestGenerator::GenerateWithWeights(
+    std::size_t num_requesters, const std::vector<double>& weights,
+    common::Rng& rng) const {
+  MFG_CHECK_EQ(weights.size(), popularity_.num_contents());
+  RequestBatch batch;
+  for (std::size_t j = 0; j < num_requesters; ++j) {
+    const std::uint64_t n = rng.Poisson(options_.request_rate);
+    for (std::uint64_t r = 0; r < n; ++r) {
+      Request req;
+      req.requester = j;
+      req.content = rng.Categorical(weights);
+      req.timeliness = timeliness_.SampleRequirement(rng);
+      batch.requests.push_back(req);
+    }
+  }
+  return batch;
+}
+
+}  // namespace mfg::content

@@ -1,0 +1,68 @@
+#ifndef MFGCP_CONTENT_REQUEST_H_
+#define MFGCP_CONTENT_REQUEST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "content/catalog.h"
+#include "content/popularity.h"
+#include "content/timeliness.h"
+
+// Request workload generation: in each time slot every requester issues
+// content requests with content chosen by the popularity distribution and
+// a per-request timeliness requirement (Defs. 1–2). This is what drives
+// I_{i,k}(t) in the utility (Eq. 6) and the popularity update (Eq. 3).
+
+namespace mfg::content {
+
+struct Request {
+  std::size_t requester = 0;   // Index into the topology's requester set.
+  ContentId content = 0;
+  double timeliness = 0.0;     // L_{i,k,j} of this request.
+};
+
+struct RequestBatch {
+  std::vector<Request> requests;
+
+  // Per-content request counts (|I_k|), length K.
+  std::vector<std::size_t> CountsPerContent(std::size_t num_contents) const;
+
+  // Mean timeliness per content (Def. 2 aggregate), length K; contents
+  // without requests get 0.
+  std::vector<double> MeanTimelinessPerContent(std::size_t num_contents) const;
+};
+
+struct RequestGeneratorOptions {
+  double request_rate = 1.0;  // Mean requests per requester per slot.
+};
+
+class RequestGenerator {
+ public:
+  // Fails on a non-positive rate.
+  static common::StatusOr<RequestGenerator> Create(
+      const RequestGeneratorOptions& options, const PopularityModel& popularity,
+      const TimelinessModel& timeliness);
+
+  // Generates one slot of requests for requesters [0, num_requesters),
+  // optionally biased by `popularity_override` (e.g. trace-driven weights).
+  RequestBatch Generate(std::size_t num_requesters, common::Rng& rng) const;
+  RequestBatch GenerateWithWeights(std::size_t num_requesters,
+                                   const std::vector<double>& weights,
+                                   common::Rng& rng) const;
+
+ private:
+  RequestGenerator(const RequestGeneratorOptions& options,
+                   const PopularityModel& popularity,
+                   const TimelinessModel& timeliness)
+      : options_(options), popularity_(popularity), timeliness_(timeliness) {}
+
+  RequestGeneratorOptions options_;
+  PopularityModel popularity_;
+  TimelinessModel timeliness_;
+};
+
+}  // namespace mfg::content
+
+#endif  // MFGCP_CONTENT_REQUEST_H_

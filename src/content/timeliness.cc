@@ -1,0 +1,38 @@
+#include "content/timeliness.h"
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace mfg::content {
+
+common::StatusOr<TimelinessModel> TimelinessModel::Create(
+    const TimelinessParams& params) {
+  if (params.l_max <= 0.0) {
+    return common::Status::InvalidArgument("L_max must be positive");
+  }
+  if (params.xi <= 0.0 || params.xi >= 1.0) {
+    return common::Status::InvalidArgument("xi must be in (0, 1)");
+  }
+  return TimelinessModel(params);
+}
+
+double TimelinessModel::Aggregate(
+    const std::vector<double>& per_request_levels) const {
+  if (per_request_levels.empty()) return 0.0;
+  double sum = 0.0;
+  for (double l : per_request_levels) {
+    sum += common::Clamp(l, 0.0, params_.l_max);
+  }
+  return sum / static_cast<double>(per_request_levels.size());
+}
+
+double TimelinessModel::DriftFactor(double l) const {
+  return std::pow(params_.xi, common::Clamp(l, 0.0, params_.l_max));
+}
+
+double TimelinessModel::SampleRequirement(common::Rng& rng) const {
+  return rng.Uniform(0.0, params_.l_max);
+}
+
+}  // namespace mfg::content

@@ -1,0 +1,50 @@
+#ifndef MFGCP_CONTENT_TIMELINESS_H_
+#define MFGCP_CONTENT_TIMELINESS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+// Content timeliness (Definition 2): the urgency L_{i,k} ∈ [0, L_max] with
+// which requesters want content k. Each request carries its own timeliness
+// requirement; the per-content value is the mean over current requesters.
+// The cache drift (Eq. 4) uses the decreasing map  ξ^{L}  (ξ ∈ (0,1)):
+// urgent content (large L) is *kept/added* faster, i.e. contributes a
+// smaller increment to the remaining space.
+
+namespace mfg::content {
+
+struct TimelinessParams {
+  double l_max = 5.0;  // Upper bound of the urgency scale.
+  double xi = 0.1;     // Steepness ξ of the drift map (paper: ξ = 0.1).
+};
+
+class TimelinessModel {
+ public:
+  // Fails on l_max <= 0 or xi outside (0, 1).
+  static common::StatusOr<TimelinessModel> Create(
+      const TimelinessParams& params);
+
+  double l_max() const { return params_.l_max; }
+  double xi() const { return params_.xi; }
+
+  // Mean urgency over a set of per-request requirements (Def. 2);
+  // empty input -> 0 (no pending requests, nothing is urgent).
+  double Aggregate(const std::vector<double>& per_request_levels) const;
+
+  // Drift factor ξ^{L} appearing in Eq. 4; decreasing in L.
+  double DriftFactor(double l) const;
+
+  // Samples a requester's timeliness requirement uniformly in [0, L_max].
+  double SampleRequirement(common::Rng& rng) const;
+
+ private:
+  explicit TimelinessModel(const TimelinessParams& params) : params_(params) {}
+
+  TimelinessParams params_;
+};
+
+}  // namespace mfg::content
+
+#endif  // MFGCP_CONTENT_TIMELINESS_H_

@@ -1,0 +1,277 @@
+#include "content/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "content/popularity.h"
+
+namespace mfg::content {
+
+common::StatusOr<std::vector<double>> Trace::DayWeights(
+    std::size_t day) const {
+  if (day >= daily_counts.size()) {
+    return common::Status::OutOfRange("day " + std::to_string(day) +
+                                      " out of range");
+  }
+  std::vector<double> weights = daily_counts[day];
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    return common::Status::NumericalError("day has zero requests");
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+common::StatusOr<std::vector<double>> Trace::AverageWeights() const {
+  if (daily_counts.empty()) {
+    return common::Status::FailedPrecondition("empty trace");
+  }
+  std::vector<double> weights(num_categories, 0.0);
+  for (const auto& day : daily_counts) {
+    for (std::size_t k = 0; k < num_categories; ++k) weights[k] += day[k];
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    return common::Status::NumericalError("trace has zero requests");
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+double Trace::DayTotal(std::size_t day) const {
+  MFG_CHECK_LT(day, daily_counts.size());
+  double total = 0.0;
+  for (double c : daily_counts[day]) total += c;
+  return total;
+}
+
+common::StatusOr<Trace> GenerateSyntheticTrace(
+    const SyntheticTraceOptions& options, common::Rng& rng) {
+  if (options.num_categories == 0 || options.num_days == 0) {
+    return common::Status::InvalidArgument(
+        "trace needs >= 1 category and >= 1 day");
+  }
+  if (options.base_daily_requests <= 0.0) {
+    return common::Status::InvalidArgument(
+        "base_daily_requests must be positive");
+  }
+  MFG_ASSIGN_OR_RETURN(
+      std::vector<double> zipf,
+      ZipfDistribution(options.num_categories, options.zipf_iota));
+
+  // Trend events: (category, start day, magnitude).
+  struct Burst {
+    std::size_t category;
+    double start_day;
+    double magnitude;
+  };
+  std::vector<Burst> bursts;
+  const double expected_bursts =
+      options.bursts_per_month *
+      (static_cast<double>(options.num_days) / 30.0) *
+      static_cast<double>(options.num_categories);
+  const std::uint64_t num_bursts = rng.Poisson(expected_bursts);
+  bursts.reserve(num_bursts);
+  for (std::uint64_t b = 0; b < num_bursts; ++b) {
+    Burst burst;
+    burst.category = rng.UniformInt(options.num_categories);
+    burst.start_day =
+        rng.Uniform(0.0, static_cast<double>(options.num_days));
+    burst.magnitude = 1.0 + rng.Uniform() * (options.burst_magnitude - 1.0);
+    bursts.push_back(burst);
+  }
+
+  Trace trace;
+  trace.num_categories = options.num_categories;
+  trace.daily_counts.assign(
+      options.num_days, std::vector<double>(options.num_categories, 0.0));
+  for (std::size_t day = 0; day < options.num_days; ++day) {
+    for (std::size_t k = 0; k < options.num_categories; ++k) {
+      double mean = options.base_daily_requests * zipf[k];
+      // Apply active trend multipliers with exponential decay.
+      for (const Burst& burst : bursts) {
+        if (burst.category != k) continue;
+        const double age = static_cast<double>(day) - burst.start_day;
+        if (age < 0.0) continue;
+        mean *= 1.0 + (burst.magnitude - 1.0) *
+                          std::exp(-age / options.burst_decay_days);
+      }
+      // Heavy-ish tail: lognormal multiplicative noise.
+      const double noise = std::exp(rng.Gaussian(0.0, 0.35));
+      trace.daily_counts[day][k] =
+          std::floor(mean * noise + rng.Uniform());
+    }
+  }
+  return trace;
+}
+
+common::StatusOr<Trace> ParseTraceCsv(const std::string& text) {
+  MFG_ASSIGN_OR_RETURN(common::CsvTable table, common::CsvTable::Parse(text));
+  MFG_ASSIGN_OR_RETURN(std::size_t cat_col, table.ColumnIndex("category_id"));
+  MFG_ASSIGN_OR_RETURN(std::size_t day_col, table.ColumnIndex("day"));
+  MFG_ASSIGN_OR_RETURN(std::size_t views_col, table.ColumnIndex("views"));
+
+  std::size_t max_cat = 0;
+  std::size_t max_day = 0;
+  struct Row {
+    std::size_t cat;
+    std::size_t day;
+    double views;
+  };
+  std::vector<Row> rows;
+  rows.reserve(table.num_rows());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    MFG_ASSIGN_OR_RETURN(std::int64_t cat, table.CellAsInt(r, cat_col));
+    MFG_ASSIGN_OR_RETURN(std::int64_t day, table.CellAsInt(r, day_col));
+    MFG_ASSIGN_OR_RETURN(double views, table.CellAsDouble(r, views_col));
+    if (cat < 0 || day < 0) {
+      return common::Status::InvalidArgument(
+          "negative category_id/day in trace row " + std::to_string(r));
+    }
+    if (views < 0.0) {
+      return common::Status::InvalidArgument("negative views in trace row " +
+                                             std::to_string(r));
+    }
+    rows.push_back({static_cast<std::size_t>(cat),
+                    static_cast<std::size_t>(day), views});
+    max_cat = std::max(max_cat, rows.back().cat);
+    max_day = std::max(max_day, rows.back().day);
+  }
+  if (rows.empty()) {
+    return common::Status::InvalidArgument("trace has no rows");
+  }
+
+  Trace trace;
+  trace.num_categories = max_cat + 1;
+  trace.daily_counts.assign(max_day + 1,
+                            std::vector<double>(max_cat + 1, 0.0));
+  for (const Row& row : rows) {
+    trace.daily_counts[row.day][row.cat] += row.views;
+  }
+  return trace;
+}
+
+common::StatusOr<Trace> LoadTraceCsv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTraceCsv(buffer.str());
+}
+
+namespace {
+
+// Parses the Kaggle dataset's YY.DD.MM trending_date into a day ordinal
+// (days since 2000-01-01, Gregorian). Returns -1 on malformed input.
+std::int64_t ParseTrendingDate(const std::string& text) {
+  int yy = 0, dd = 0, mm = 0;
+  if (std::sscanf(text.c_str(), "%d.%d.%d", &yy, &dd, &mm) != 3) return -1;
+  if (yy < 0 || yy > 99 || mm < 1 || mm > 12 || dd < 1 || dd > 31) {
+    return -1;
+  }
+  // Days-from-civil (Howard Hinnant's algorithm), year 2000 + yy.
+  std::int64_t y = 2000 + yy;
+  const int m = mm;
+  y -= m <= 2 ? 1 : 0;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(dd) - 1u;
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468 + 10957;
+}
+
+}  // namespace
+
+common::StatusOr<Trace> ParseYoutubeTrendingCsv(const std::string& text) {
+  MFG_ASSIGN_OR_RETURN(common::CsvTable table, common::CsvTable::Parse(text));
+  MFG_ASSIGN_OR_RETURN(std::size_t date_col,
+                       table.ColumnIndex("trending_date"));
+  MFG_ASSIGN_OR_RETURN(std::size_t cat_col, table.ColumnIndex("category_id"));
+  MFG_ASSIGN_OR_RETURN(std::size_t views_col, table.ColumnIndex("views"));
+
+  struct Row {
+    std::int64_t day;
+    std::int64_t category;  // Sparse YouTube id.
+    double views;
+  };
+  std::vector<Row> rows;
+  rows.reserve(table.num_rows());
+  std::int64_t min_day = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max_day = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    MFG_ASSIGN_OR_RETURN(std::string date, table.Cell(r, date_col));
+    const std::int64_t day = ParseTrendingDate(date);
+    if (day < 0) {
+      return common::Status::InvalidArgument("bad trending_date '" + date +
+                                             "' in row " +
+                                             std::to_string(r));
+    }
+    MFG_ASSIGN_OR_RETURN(std::int64_t category,
+                         table.CellAsInt(r, cat_col));
+    MFG_ASSIGN_OR_RETURN(double views, table.CellAsDouble(r, views_col));
+    if (views < 0.0) {
+      return common::Status::InvalidArgument("negative views in row " +
+                                             std::to_string(r));
+    }
+    rows.push_back({day, category, views});
+    min_day = std::min(min_day, day);
+    max_day = std::max(max_day, day);
+  }
+  if (rows.empty()) {
+    return common::Status::InvalidArgument("trace has no rows");
+  }
+  if (max_day - min_day > 3650) {
+    return common::Status::InvalidArgument(
+        "trending_date span exceeds 10 years; probably malformed dates");
+  }
+
+  // Densify the sparse YouTube category ids (ascending id order).
+  std::map<std::int64_t, std::size_t> category_index;
+  for (const Row& row : rows) category_index.emplace(row.category, 0);
+  std::size_t next = 0;
+  for (auto& [sparse, dense] : category_index) dense = next++;
+
+  Trace trace;
+  trace.num_categories = category_index.size();
+  trace.daily_counts.assign(
+      static_cast<std::size_t>(max_day - min_day + 1),
+      std::vector<double>(trace.num_categories, 0.0));
+  for (const Row& row : rows) {
+    trace.daily_counts[static_cast<std::size_t>(row.day - min_day)]
+                      [category_index.at(row.category)] += row.views;
+  }
+  return trace;
+}
+
+common::StatusOr<Trace> LoadYoutubeTrendingCsv(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseYoutubeTrendingCsv(buffer.str());
+}
+
+std::string TraceToCsv(const Trace& trace) {
+  common::CsvWriter writer({"category_id", "day", "views"});
+  for (std::size_t day = 0; day < trace.num_days(); ++day) {
+    for (std::size_t k = 0; k < trace.num_categories; ++k) {
+      writer.AddRow(std::vector<double>{static_cast<double>(k),
+                                        static_cast<double>(day),
+                                        trace.daily_counts[day][k]});
+    }
+  }
+  return writer.ToString();
+}
+
+}  // namespace mfg::content

@@ -1,0 +1,83 @@
+#ifndef MFGCP_CONTENT_TRACE_H_
+#define MFGCP_CONTENT_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+// Trace-driven workload support.
+//
+// The paper drives its simulations with per-category request counts from
+// the Kaggle "Trending YouTube Video Statistics" dataset. That dataset is
+// not redistributable here, so this module provides (a) a CSV loader with
+// a compatible schema (category_id, day, views) and (b) a synthetic
+// generator that reproduces the statistical features the experiments
+// consume: Zipf-distributed category popularity, day-scale trending
+// dynamics (rise and exponential decay), and heavy-tailed per-video view
+// counts. See DESIGN.md "Substitutions".
+
+namespace mfg::content {
+
+// Requests per category per day: counts[day][category].
+struct Trace {
+  std::size_t num_categories = 0;
+  std::vector<std::vector<double>> daily_counts;
+
+  std::size_t num_days() const { return daily_counts.size(); }
+
+  // Normalized popularity weights for one day (sums to 1). Fails on an
+  // out-of-range day or a day with zero total requests.
+  common::StatusOr<std::vector<double>> DayWeights(std::size_t day) const;
+
+  // Popularity averaged over all days (sums to 1).
+  common::StatusOr<std::vector<double>> AverageWeights() const;
+
+  // Total requests on a day.
+  double DayTotal(std::size_t day) const;
+};
+
+struct SyntheticTraceOptions {
+  std::size_t num_categories = 20;  // K in the paper.
+  std::size_t num_days = 30;
+  double zipf_iota = 0.8;           // Category skew.
+  double base_daily_requests = 1e4; // Mean requests/day across categories.
+  // Trending dynamics: each category gets `bursts_per_month` trend events,
+  // each multiplying its traffic by up to `burst_magnitude` with an
+  // exponential decay of `burst_decay_days`.
+  double bursts_per_month = 1.5;
+  double burst_magnitude = 4.0;
+  double burst_decay_days = 3.0;
+};
+
+// Generates a synthetic YouTube-like trending trace.
+common::StatusOr<Trace> GenerateSyntheticTrace(
+    const SyntheticTraceOptions& options, common::Rng& rng);
+
+// Loads a trace from CSV with header columns: category_id, day, views.
+// category_id in [0, num_categories), day >= 0 (dense days are not
+// required; missing (day, category) cells default to 0).
+common::StatusOr<Trace> LoadTraceCsv(const std::string& path);
+
+// Parses the Kaggle "Trending YouTube Video Statistics" schema directly
+// (the dataset the paper uses): rows carry `trending_date` in the
+// dataset's YY.DD.MM format, `category_id` (sparse YouTube ids) and
+// `views`. Days are numbered from the earliest trending_date seen;
+// category ids are densified in ascending id order. Unparsable dates
+// or negative views fail; extra columns are ignored.
+common::StatusOr<Trace> ParseYoutubeTrendingCsv(const std::string& text);
+
+// File wrapper around ParseYoutubeTrendingCsv.
+common::StatusOr<Trace> LoadYoutubeTrendingCsv(const std::string& path);
+
+// Parses the same schema from an in-memory string (for tests).
+common::StatusOr<Trace> ParseTraceCsv(const std::string& text);
+
+// Serializes a trace back to the CSV schema.
+std::string TraceToCsv(const Trace& trace);
+
+}  // namespace mfg::content
+
+#endif  // MFGCP_CONTENT_TRACE_H_

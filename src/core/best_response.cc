@@ -1,0 +1,169 @@
+#include "core/best_response.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "econ/utility.h"
+#include "numerics/interpolation.h"
+
+namespace mfg::core {
+
+common::StatusOr<BestResponseLearner> BestResponseLearner::Create(
+    const MfgParams& params) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_ASSIGN_OR_RETURN(HjbSolver1D hjb, HjbSolver1D::Create(params));
+  MFG_ASSIGN_OR_RETURN(FpkSolver1D fpk, FpkSolver1D::Create(params));
+  MFG_ASSIGN_OR_RETURN(MeanFieldEstimator estimator,
+                       MeanFieldEstimator::Create(params));
+  return BestResponseLearner(params, std::move(hjb), std::move(fpk),
+                             std::move(estimator));
+}
+
+common::StatusOr<Equilibrium> BestResponseLearner::Solve() const {
+  MFG_ASSIGN_OR_RETURN(numerics::Density1D initial,
+                       fpk_.MakeInitialDensity());
+  return SolveFrom(initial, 0.5);
+}
+
+common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
+    const numerics::Density1D& initial, double initial_rate) const {
+  if (initial_rate < 0.0 || initial_rate > 1.0) {
+    return common::Status::InvalidArgument(
+        "initial policy rate must be in [0, 1]");
+  }
+  const std::size_t nt = params_.grid.num_time_steps;
+  const std::size_t nq = params_.grid.num_q_nodes;
+
+  std::vector<std::vector<double>> policy(
+      nt + 1, std::vector<double>(nq, initial_rate));
+
+  // λ trajectory under the initial guess.
+  MFG_ASSIGN_OR_RETURN(FpkSolution fpk, fpk_.Solve(initial, policy));
+
+  Equilibrium eq{HjbSolution{fpk.q_grid, fpk.dt, {}, {}}, std::move(fpk),
+                 {}, 0, false, {}};
+
+  for (std::size_t iter = 1; iter <= params_.learning.max_iterations;
+       ++iter) {
+    eq.iterations = iter;
+
+    // (1) Mean-field quantities per time node from (λ, x).
+    std::vector<MeanFieldQuantities> mean_field(nt + 1);
+    for (std::size_t n = 0; n <= nt; ++n) {
+      MFG_ASSIGN_OR_RETURN(
+          mean_field[n],
+          estimator_.Estimate(eq.fpk.densities[n], policy[n]));
+    }
+
+    // (2) Backward HJB -> candidate best response.
+    MFG_ASSIGN_OR_RETURN(HjbSolution hjb, hjb_.Solve(mean_field));
+
+    // (3) Relaxed policy update + convergence test (Alg. 2, line 6).
+    double max_change = 0.0;
+    const double gamma = params_.learning.relaxation;
+    for (std::size_t n = 0; n <= nt; ++n) {
+      for (std::size_t i = 0; i < nq; ++i) {
+        const double updated =
+            (1.0 - gamma) * policy[n][i] + gamma * hjb.policy[n][i];
+        max_change = std::max(max_change, std::fabs(updated - policy[n][i]));
+        policy[n][i] = updated;
+      }
+    }
+    eq.policy_change_history.push_back(max_change);
+    eq.hjb = std::move(hjb);
+    // Expose the *relaxed* policy (the population's actual play).
+    eq.hjb.policy = policy;
+    eq.mean_field = std::move(mean_field);
+
+    if (max_change < params_.learning.tolerance) {
+      eq.converged = true;
+      break;
+    }
+
+    // (4) Forward FPK under the relaxed policy.
+    MFG_ASSIGN_OR_RETURN(eq.fpk, fpk_.Solve(initial, policy));
+  }
+
+  if (!eq.converged) {
+    MFG_LOG(WARNING) << "best response did not reach tolerance "
+                     << params_.learning.tolerance << " after "
+                     << eq.iterations << " iterations (last change "
+                     << eq.policy_change_history.back() << ")";
+  }
+  // Refresh the mean-field quantities for the final policy/density pair so
+  // callers see a consistent triple (x, λ, mf).
+  for (std::size_t n = 0; n <= nt; ++n) {
+    MFG_ASSIGN_OR_RETURN(
+        eq.mean_field[n],
+        estimator_.Estimate(eq.fpk.densities[n], eq.hjb.policy[n]));
+  }
+  return eq;
+}
+
+common::StatusOr<EquilibriumRollout> RolloutEquilibrium(
+    const MfgParams& params, const Equilibrium& equilibrium, double q0) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  if (q0 < 0.0 || q0 > params.content_size) {
+    return common::Status::InvalidArgument(
+        "q0 must lie in [0, content_size]");
+  }
+  MFG_ASSIGN_OR_RETURN(econ::CaseModel case_model, params.MakeCaseModel());
+  const numerics::Grid1D& grid = equilibrium.hjb.q_grid;
+  const std::size_t nt = params.grid.num_time_steps;
+  if (equilibrium.hjb.policy.size() != nt + 1 ||
+      equilibrium.mean_field.size() != nt + 1) {
+    return common::Status::InvalidArgument(
+        "equilibrium does not match params' time discretization");
+  }
+  const double dt = params.TimeStep();
+
+  EquilibriumRollout out;
+  out.time.reserve(nt + 1);
+  double q = q0;
+  double cumulative = 0.0;
+  double cumulative_income = 0.0;
+  for (std::size_t n = 0; n <= nt; ++n) {
+    MFG_ASSIGN_OR_RETURN(
+        double x, numerics::LinearInterpolate(grid,
+                                              equilibrium.hjb.policy[n], q));
+    const MeanFieldQuantities& mf = equilibrium.mean_field[n];
+
+    econ::UtilityInputs in;
+    in.content_size = params.content_size;
+    in.caching_rate = x;
+    in.own_remaining = q;
+    in.peer_remaining = mf.mean_peer_remaining;
+    in.num_requests = params.RequestsAt(n);
+    in.price = mf.price;
+    in.edge_rate = params.edge_rate;
+    in.sharing_benefit = mf.sharing_benefit;
+    in.download_scale = params.ControlAvailability(q);
+    in.cases =
+        case_model.Evaluate(q, mf.mean_peer_remaining, params.content_size);
+    in.sharing_enabled = params.sharing_enabled;
+    MFG_ASSIGN_OR_RETURN(econ::UtilityBreakdown u,
+                         econ::EvaluateUtility(params.utility, in));
+
+    out.time.push_back(static_cast<double>(n) * dt);
+    out.cache_state.push_back(q);
+    out.utility.push_back(u.total);
+    out.trading_income.push_back(u.trading_income);
+    out.staleness_cost.push_back(u.staleness_cost);
+    out.sharing_benefit.push_back(u.sharing_benefit);
+    cumulative += u.total * dt;
+    cumulative_income += u.trading_income * dt;
+    out.cumulative_utility.push_back(cumulative);
+    out.cumulative_trading_income.push_back(cumulative_income);
+
+    if (n < nt) {
+      // Deterministic drift step (mean dynamics), reflected into [0, Q].
+      q += params.CacheDriftAtNode(x, q, n) * dt;
+      q = common::Clamp(q, 0.0, params.content_size);
+    }
+  }
+  return out;
+}
+
+}  // namespace mfg::core

@@ -1,0 +1,89 @@
+#ifndef MFGCP_CORE_BEST_RESPONSE_H_
+#define MFGCP_CORE_BEST_RESPONSE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/fpk_solver.h"
+#include "core/hjb_solver.h"
+#include "core/mean_field_estimator.h"
+#include "core/mfg_params.h"
+
+// Iterative best-response learning (Algorithm 2): the fixed-point loop
+// that couples the backward HJB equation (the generic player's best
+// response) with the forward FPK equation (the population's density
+// evolution). Each iteration:
+//
+//   1. estimate the mean-field quantities from (λ, x)            [Eq. 17-18]
+//   2. solve the HJB backward under those quantities  -> x_new    [Eq. 20-21]
+//   3. relax: x <- (1-γ) x + γ x_new and test convergence         [Alg. 2 l.6]
+//   4. solve the FPK forward under x                 -> λ         [Eq. 15]
+//
+// Theorem 2 guarantees a unique fixed point; the relaxation factor γ only
+// affects the path to it (the ablation bench sweeps γ and grid size).
+
+namespace mfg::core {
+
+// The converged mean-field equilibrium for one content.
+struct Equilibrium {
+  HjbSolution hjb;                       // V(t, q) and x*(t, q).
+  FpkSolution fpk;                       // λ(t, q).
+  std::vector<MeanFieldQuantities> mean_field;  // Per time node.
+  std::size_t iterations = 0;
+  bool converged = false;
+  // max_{t,q} |x^ψ − x^{ψ−1}| after each iteration (convergence trace).
+  std::vector<double> policy_change_history;
+};
+
+class BestResponseLearner {
+ public:
+  static common::StatusOr<BestResponseLearner> Create(const MfgParams& params);
+
+  // Runs Alg. 2 from the params' initial density and a flat initial
+  // policy guess.
+  common::StatusOr<Equilibrium> Solve() const;
+
+  // Same, but from an explicit initial density and/or initial policy
+  // guess (policy guess is a constant rate in [0, 1]). Used by the
+  // uniqueness property tests (different starts -> same fixed point).
+  common::StatusOr<Equilibrium> SolveFrom(const numerics::Density1D& initial,
+                                          double initial_rate) const;
+
+  const MfgParams& params() const { return params_; }
+
+ private:
+  BestResponseLearner(const MfgParams& params, HjbSolver1D hjb,
+                      FpkSolver1D fpk, MeanFieldEstimator estimator)
+      : params_(params),
+        hjb_(std::move(hjb)),
+        fpk_(std::move(fpk)),
+        estimator_(std::move(estimator)) {}
+
+  MfgParams params_;
+  HjbSolver1D hjb_;
+  FpkSolver1D fpk_;
+  MeanFieldEstimator estimator_;
+};
+
+// Accumulates the generic player's realized utility along the equilibrium:
+// integrates U(t, x*(t, q(t)), q(t)) over [0, T] for a cache trajectory
+// started at q0 and driven by the equilibrium policy (deterministic drift;
+// the Brownian term averages out). Returns per-time-node cumulative
+// utility and the trajectory itself. Used by Figs. 9-13.
+struct EquilibriumRollout {
+  std::vector<double> time;         // t_n.
+  std::vector<double> cache_state;  // q(t_n).
+  std::vector<double> utility;      // Instantaneous U(t_n).
+  std::vector<double> cumulative_utility;
+  std::vector<double> trading_income;
+  std::vector<double> staleness_cost;
+  std::vector<double> sharing_benefit;
+  std::vector<double> cumulative_trading_income;
+};
+
+common::StatusOr<EquilibriumRollout> RolloutEquilibrium(
+    const MfgParams& params, const Equilibrium& equilibrium, double q0);
+
+}  // namespace mfg::core
+
+#endif  // MFGCP_CORE_BEST_RESPONSE_H_

@@ -1,0 +1,117 @@
+#include "core/best_response_2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "numerics/density.h"
+
+namespace mfg::core {
+
+common::StatusOr<BestResponseLearner2D> BestResponseLearner2D::Create(
+    const MfgParams& params) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_ASSIGN_OR_RETURN(HjbSolver2D hjb, HjbSolver2D::Create(params));
+  MFG_ASSIGN_OR_RETURN(FpkSolver2D fpk, FpkSolver2D::Create(params));
+  MFG_ASSIGN_OR_RETURN(MeanFieldEstimator estimator,
+                       MeanFieldEstimator::Create(params));
+  return BestResponseLearner2D(params, std::move(hjb), std::move(fpk),
+                               std::move(estimator));
+}
+
+common::StatusOr<Equilibrium2D> BestResponseLearner2D::Solve(
+    double initial_rate) const {
+  if (initial_rate < 0.0 || initial_rate > 1.0) {
+    return common::Status::InvalidArgument(
+        "initial policy rate must be in [0, 1]");
+  }
+  const std::size_t nt = params_.grid.num_time_steps;
+  const std::size_t nh = fpk_.h_grid().size();
+  const std::size_t nq = fpk_.q_grid().size();
+  const std::size_t nodes = nh * nq;
+  MFG_ASSIGN_OR_RETURN(numerics::Grid1D q_grid, params_.MakeQGrid());
+
+  std::vector<std::vector<double>> policy(
+      nt + 1, std::vector<double>(nodes, initial_rate));
+  MFG_ASSIGN_OR_RETURN(std::vector<double> initial,
+                       fpk_.MakeInitialDensity());
+  MFG_ASSIGN_OR_RETURN(Fpk2DSolution fpk, fpk_.Solve(initial, policy));
+
+  Equilibrium2D eq{Hjb2DSolution{fpk.h_grid, fpk.q_grid, fpk.dt, {}, {}},
+                   std::move(fpk),
+                   {},
+                   0,
+                   false,
+                   {}};
+
+  // Estimates the mean-field quantities from the q-marginal of the joint
+  // density and the population-mean policy per q node (the estimator's
+  // ⟨x⟩ integral needs x(q); we use the density-weighted h-average).
+  auto estimate = [&](const Fpk2DSolution& solution,
+                      const std::vector<std::vector<double>>& pol)
+      -> common::StatusOr<std::vector<MeanFieldQuantities>> {
+    std::vector<MeanFieldQuantities> mean_field(nt + 1);
+    for (std::size_t n = 0; n <= nt; ++n) {
+      const std::vector<double> marginal = solution.QMarginal(n);
+      MFG_ASSIGN_OR_RETURN(
+          numerics::Density1D density,
+          numerics::Density1D::FromSamplesUnchecked(q_grid, marginal));
+      MFG_RETURN_IF_ERROR(density.ClipAndNormalize());
+      // Density-weighted h-average of the policy per q node.
+      std::vector<double> policy_slice(nq, 0.0);
+      for (std::size_t iq = 0; iq < nq; ++iq) {
+        double weighted = 0.0;
+        double weight = 0.0;
+        for (std::size_t ih = 0; ih < nh; ++ih) {
+          const double w = solution.densities[n][ih * nq + iq];
+          weighted += w * pol[n][ih * nq + iq];
+          weight += w;
+        }
+        policy_slice[iq] = weight > 1e-300 ? weighted / weight : 0.0;
+      }
+      MFG_ASSIGN_OR_RETURN(mean_field[n],
+                           estimator_.Estimate(density, policy_slice));
+    }
+    return mean_field;
+  };
+
+  for (std::size_t iter = 1; iter <= params_.learning.max_iterations;
+       ++iter) {
+    eq.iterations = iter;
+    MFG_ASSIGN_OR_RETURN(std::vector<MeanFieldQuantities> mean_field,
+                         estimate(eq.fpk, policy));
+    MFG_ASSIGN_OR_RETURN(Hjb2DSolution hjb, hjb_.Solve(mean_field));
+
+    double max_change = 0.0;
+    const double gamma = params_.learning.relaxation;
+    for (std::size_t n = 0; n <= nt; ++n) {
+      for (std::size_t node = 0; node < nodes; ++node) {
+        const double updated =
+            (1.0 - gamma) * policy[n][node] + gamma * hjb.policy[n][node];
+        max_change =
+            std::max(max_change, std::fabs(updated - policy[n][node]));
+        policy[n][node] = updated;
+      }
+    }
+    eq.policy_change_history.push_back(max_change);
+    eq.hjb = std::move(hjb);
+    eq.hjb.policy = policy;
+    eq.mean_field = std::move(mean_field);
+
+    if (max_change < params_.learning.tolerance) {
+      eq.converged = true;
+      break;
+    }
+    MFG_ASSIGN_OR_RETURN(eq.fpk, fpk_.Solve(initial, policy));
+  }
+
+  if (!eq.converged) {
+    MFG_LOG(WARNING) << "2-D best response did not converge after "
+                     << eq.iterations << " iterations (last change "
+                     << eq.policy_change_history.back() << ")";
+  }
+  MFG_ASSIGN_OR_RETURN(eq.mean_field, estimate(eq.fpk, eq.hjb.policy));
+  return eq;
+}
+
+}  // namespace mfg::core

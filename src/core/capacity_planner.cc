@@ -1,0 +1,76 @@
+#include "core/capacity_planner.h"
+
+#include <algorithm>
+
+#include "core/best_response.h"
+
+namespace mfg::core {
+
+common::StatusOr<std::vector<ContentPlanSummary>> SummarizeEpochPlan(
+    const MfgCpFramework& framework, const EpochPlan& plan,
+    const EpochObservation& observation, double q0_frac) {
+  if (q0_frac <= 0.0 || q0_frac > 1.0) {
+    return common::Status::InvalidArgument("q0_frac must be in (0, 1]");
+  }
+  if (plan.equilibria.size() != plan.equilibrium_content.size()) {
+    return common::Status::InvalidArgument("inconsistent epoch plan");
+  }
+  std::vector<ContentPlanSummary> summaries;
+  summaries.reserve(plan.equilibria.size());
+  for (std::size_t e = 0; e < plan.equilibria.size(); ++e) {
+    const std::size_t k = plan.equilibrium_content[e];
+    if (k >= plan.popularity.size() ||
+        k >= observation.request_counts.size()) {
+      return common::Status::InvalidArgument(
+          "plan references content outside the observation");
+    }
+    MFG_ASSIGN_OR_RETURN(
+        MfgParams params,
+        framework.ContentParams(
+            k, plan.popularity[k], observation.mean_timeliness[k],
+            static_cast<double>(observation.request_counts[k])));
+    const double q0 = q0_frac * params.content_size;
+    MFG_ASSIGN_OR_RETURN(EquilibriumRollout rollout,
+                         RolloutEquilibrium(params, plan.equilibria[e], q0));
+    ContentPlanSummary summary;
+    summary.content = k;
+    // Planned stock at the end of the horizon: what was already cached
+    // (Q - q0) plus what the equilibrium adds (q0 - q_T).
+    summary.planned_mb = std::max(
+        params.content_size - rollout.cache_state.back(), 1e-6);
+    summary.expected_utility =
+        std::max(rollout.cumulative_utility.back(), 0.0);
+    summaries.push_back(summary);
+  }
+  return summaries;
+}
+
+common::StatusOr<CapacityPlan> PlanUnderCapacity(
+    const std::vector<ContentPlanSummary>& summaries, double capacity_mb,
+    bool divisible) {
+  if (capacity_mb < 0.0) {
+    return common::Status::InvalidArgument("capacity must be >= 0");
+  }
+  std::vector<KnapsackItem> items(summaries.size());
+  CapacityPlan plan;
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    items[i].weight = summaries[i].planned_mb;
+    items[i].value = summaries[i].expected_utility;
+    plan.planned_total_mb += summaries[i].planned_mb;
+  }
+  KnapsackSelection selection;
+  if (divisible) {
+    MFG_ASSIGN_OR_RETURN(selection,
+                         SolveFractionalKnapsack(items, capacity_mb));
+  } else {
+    MFG_ASSIGN_OR_RETURN(selection,
+                         SolveZeroOneKnapsack(items, capacity_mb));
+  }
+  plan.fraction = selection.fraction;
+  plan.capacity_used_mb = selection.total_weight;
+  plan.expected_value = selection.total_value;
+  plan.constrained = plan.planned_total_mb > capacity_mb + 1e-9;
+  return plan;
+}
+
+}  // namespace mfg::core

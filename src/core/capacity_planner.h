@@ -1,0 +1,54 @@
+#ifndef MFGCP_CORE_CAPACITY_PLANNER_H_
+#define MFGCP_CORE_CAPACITY_PLANNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/knapsack.h"
+#include "core/mfg_cp.h"
+
+// The paper's Remark (§IV-C) end-to-end: when an EDP's storage capacity is
+// below the sum of the per-content equilibrium plans, "the final caching
+// strategy will be further derived by solving the knapsack problem" —
+// weight = the plan's cache amount, value = the content's expected
+// equilibrium utility. This module turns an EpochPlan plus a capacity into
+// per-content *admission fractions* that scale the equilibrium policies.
+
+namespace mfg::core {
+
+struct CapacityPlan {
+  // fraction[k] ∈ [0, 1]: how much of content k's planned caching to
+  // admit (1 = play the equilibrium policy unchanged, 0 = drop).
+  std::vector<double> fraction;
+  double capacity_used_mb = 0.0;
+  double planned_total_mb = 0.0;  // Demand before the constraint.
+  double expected_value = 0.0;    // Sum of admitted plan values.
+  bool constrained = false;       // True if the knapsack actually bound.
+};
+
+// Per-content planning summaries extracted from an epoch plan: how many MB
+// the equilibrium intends to cache and what utility that is worth.
+struct ContentPlanSummary {
+  std::size_t content = 0;
+  double planned_mb = 0.0;
+  double expected_utility = 0.0;
+};
+
+// Summarizes the active contents of an epoch plan by rolling each
+// equilibrium out from `q0_frac · Q_k` (deterministic mean dynamics):
+// planned MB = initial stock + newly cached amount; value = accumulated
+// utility. Fails if plan/params are inconsistent.
+common::StatusOr<std::vector<ContentPlanSummary>> SummarizeEpochPlan(
+    const MfgCpFramework& framework, const EpochPlan& plan,
+    const EpochObservation& observation, double q0_frac = 0.7);
+
+// Solves the admission problem for a storage capacity (MB). `divisible`
+// selects the fractional relaxation (contents are streams; the natural
+// reading since caching rates are continuous) vs the 0/1 knapsack.
+common::StatusOr<CapacityPlan> PlanUnderCapacity(
+    const std::vector<ContentPlanSummary>& summaries, double capacity_mb,
+    bool divisible = true);
+
+}  // namespace mfg::core
+
+#endif  // MFGCP_CORE_CAPACITY_PLANNER_H_

@@ -1,0 +1,74 @@
+#ifndef MFGCP_CORE_FINITE_GAME_H_
+#define MFGCP_CORE_FINITE_GAME_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/mfg_params.h"
+
+// The *original* finite-M stochastic differential game of §III — the one
+// the mean-field framework approximates (paper's Fig. 2 contrasts the two).
+// Each of the M explicit players best-responds to the other players'
+// actual trajectories: the price follows the finite-market Eq. (5), the
+// peer cache state q̄₋ is the empirical mean of the others, and the
+// sharing statistics come from the empirical population fractions.
+// Iterated (damped) best response until no trajectory moves.
+//
+// Purpose: validating the paper's central approximation claim — "the
+// solution under the MFG-CP framework is nearly equivalent to that of the
+// stochastic differential game when dealing with a large number of
+// players". The consistency tests and `bench_ablation_finite_m` measure
+// the finite-M-to-mean-field gap as M grows.
+
+namespace mfg::core {
+
+struct FiniteGameOptions {
+  std::size_t num_players = 10;   // M.
+  MfgParams params;               // Shared model parameters.
+  // Initial remaining space per player; empty = spread evenly over
+  // [mean − std, mean + std] of the params' initial distribution.
+  std::vector<double> initial_remaining;
+  std::size_t max_rounds = 30;    // Best-response sweeps over all players.
+  double tolerance = 0.1;         // Max trajectory change (MB) to stop.
+  double relaxation = 0.5;        // Damping of the trajectory update.
+};
+
+struct FiniteGameResult {
+  // trajectories[i][n]: player i's remaining space at time node n.
+  std::vector<std::vector<double>> trajectories;
+  // policies[i][n]: the caching rate player i applies on [t_n, t_{n+1}).
+  std::vector<std::vector<double>> policies;
+  // Accumulated utility per player over the horizon.
+  std::vector<double> utilities;
+  // Price trajectory as seen by player 0 (finite-market Eq. 5).
+  std::vector<double> price_of_player0;
+  std::size_t rounds = 0;
+  bool converged = false;
+
+  // Population means per time node.
+  std::vector<double> MeanTrajectory() const;
+  std::vector<double> MeanPolicy() const;
+  double MeanUtility() const;
+};
+
+class FiniteGameSolver {
+ public:
+  static common::StatusOr<FiniteGameSolver> Create(
+      const FiniteGameOptions& options);
+
+  // Runs damped iterated best response to an (approximate) Nash point of
+  // the finite game.
+  common::StatusOr<FiniteGameResult> Solve() const;
+
+  const FiniteGameOptions& options() const { return options_; }
+
+ private:
+  explicit FiniteGameSolver(const FiniteGameOptions& options)
+      : options_(options) {}
+
+  FiniteGameOptions options_;
+};
+
+}  // namespace mfg::core
+
+#endif  // MFGCP_CORE_FINITE_GAME_H_

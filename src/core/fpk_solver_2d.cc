@@ -1,0 +1,182 @@
+#include "core/fpk_solver_2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "numerics/density.h"
+#include "numerics/field2d.h"
+
+namespace mfg::core {
+namespace {
+
+numerics::Grid2D MakeGrid2D(const numerics::Grid1D& h_grid,
+                            const numerics::Grid1D& q_grid) {
+  return numerics::Grid2D::Create(h_grid, q_grid).value();
+}
+
+}  // namespace
+
+double Fpk2DSolution::Mass(std::size_t n) const {
+  return numerics::Trapezoid2D(MakeGrid2D(h_grid, q_grid), densities[n])
+      .value();
+}
+
+std::vector<double> Fpk2DSolution::QMarginal(std::size_t n) const {
+  return numerics::MarginalizeAxis0(MakeGrid2D(h_grid, q_grid),
+                                    densities[n])
+      .value();
+}
+
+std::vector<double> Fpk2DSolution::HMarginal(std::size_t n) const {
+  return numerics::MarginalizeAxis1(MakeGrid2D(h_grid, q_grid),
+                                    densities[n])
+      .value();
+}
+
+common::StatusOr<FpkSolver2D> FpkSolver2D::Create(const MfgParams& params) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_ASSIGN_OR_RETURN(numerics::Grid1D h_grid, params.MakeHGrid());
+  MFG_ASSIGN_OR_RETURN(numerics::Grid1D q_grid, params.MakeQGrid());
+  return FpkSolver2D(params, h_grid, q_grid);
+}
+
+common::StatusOr<std::vector<double>> FpkSolver2D::MakeInitialDensity()
+    const {
+  const std::size_t nh = h_grid_.size();
+  const std::size_t nq = q_grid_.size();
+  // h: OU stationary law N(υ, ϱ²/ς); degenerate diffusion -> a narrow
+  // Gaussian at 10% of the grid width (a near-delta the grid can hold).
+  double h_std = params_.channel.rho / std::sqrt(params_.channel.varsigma);
+  if (h_std <= 0.0) h_std = 0.1 * (h_grid_.hi() - h_grid_.lo());
+  std::vector<double> h_values(nh);
+  for (std::size_t i = 0; i < nh; ++i) {
+    h_values[i] =
+        numerics::GaussianPdf(h_grid_.x(i), params_.channel.upsilon, h_std);
+  }
+  std::vector<double> q_values(nq);
+  for (std::size_t j = 0; j < nq; ++j) {
+    q_values[j] = numerics::GaussianPdf(
+        q_grid_.x(j), params_.init_mean_frac * params_.content_size,
+        params_.init_std_frac * params_.content_size);
+  }
+  numerics::Grid2D grid = MakeGrid2D(h_grid_, q_grid_);
+  MFG_ASSIGN_OR_RETURN(std::vector<double> field,
+                       numerics::OuterProduct(grid, h_values, q_values));
+  MFG_RETURN_IF_ERROR(numerics::ClipAndNormalize2D(grid, field));
+  return field;
+}
+
+common::StatusOr<Fpk2DSolution> FpkSolver2D::Solve(
+    const std::vector<double>& initial,
+    const std::vector<std::vector<double>>& policy) const {
+  const std::size_t nt = params_.grid.num_time_steps;
+  const std::size_t nh = h_grid_.size();
+  const std::size_t nq = q_grid_.size();
+  const std::size_t nodes = nh * nq;
+  if (initial.size() != nodes) {
+    return common::Status::InvalidArgument("initial density size mismatch");
+  }
+  if (policy.size() != nt + 1) {
+    return common::Status::InvalidArgument(
+        "policy must have num_time_steps + 1 slices");
+  }
+  for (const auto& slice : policy) {
+    if (slice.size() != nodes) {
+      return common::Status::InvalidArgument("policy slice size mismatch");
+    }
+  }
+
+  const double dt_out = params_.TimeStep();
+  const double dxq = q_grid_.dx();
+  const double dxh = h_grid_.dx();
+  const double diffusion_q =
+      0.5 * params_.dynamics.rho_q * params_.dynamics.rho_q;
+  const double diffusion_h = 0.5 * params_.channel.rho * params_.channel.rho;
+  const double max_speed_q =
+      params_.content_size *
+      (params_.dynamics.w1 + params_.dynamics.w2 +
+       params_.dynamics.w3 *
+           std::pow(params_.dynamics.xi, params_.timeliness));
+  const double max_speed_h =
+      0.5 * params_.channel.varsigma * (h_grid_.hi() - h_grid_.lo());
+  const double rate_sum = max_speed_q / dxq + 2.0 * diffusion_q / (dxq * dxq) +
+                          max_speed_h / dxh + 2.0 * diffusion_h / (dxh * dxh);
+  const double stable_dt =
+      rate_sum > 0.0 ? params_.grid.cfl_safety / rate_sum : dt_out;
+  const std::size_t substeps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(dt_out / stable_dt)));
+  const double dt_sub = dt_out / static_cast<double>(substeps);
+
+  numerics::Grid2D grid = MakeGrid2D(h_grid_, q_grid_);
+
+  // Per-node drifts (h-drift is time-invariant; q-drift depends on x).
+  std::vector<double> drift_h(nodes);
+  for (std::size_t ih = 0; ih < nh; ++ih) {
+    const double vh = 0.5 * params_.channel.varsigma *
+                      (params_.channel.upsilon - h_grid_.x(ih));
+    for (std::size_t iq = 0; iq < nq; ++iq) drift_h[ih * nq + iq] = vh;
+  }
+
+  Fpk2DSolution solution{h_grid_, q_grid_, dt_out, {}};
+  solution.densities.reserve(nt + 1);
+  solution.densities.push_back(initial);
+
+  std::vector<double> lambda = initial;
+  std::vector<double> drift_q(nodes);
+  std::vector<double> update(nodes);
+
+  for (std::size_t n = 0; n < nt; ++n) {
+    for (std::size_t ih = 0; ih < nh; ++ih) {
+      for (std::size_t iq = 0; iq < nq; ++iq) {
+        const std::size_t node = ih * nq + iq;
+        drift_q[node] =
+            params_.CacheDriftAt(policy[n][node], q_grid_.x(iq));
+      }
+    }
+    for (std::size_t sub = 0; sub < substeps; ++sub) {
+      std::fill(update.begin(), update.end(), 0.0);
+      // q-direction fluxes per h-row (boundary faces closed).
+      for (std::size_t ih = 0; ih < nh; ++ih) {
+        const std::size_t row = ih * nq;
+        for (std::size_t face = 1; face < nq; ++face) {
+          const std::size_t left = row + face - 1;
+          const std::size_t right = row + face;
+          const double v_face = 0.5 * (drift_q[left] + drift_q[right]);
+          const double donor = v_face > 0.0 ? lambda[left] : lambda[right];
+          const double flux =
+              v_face * donor -
+              diffusion_q * (lambda[right] - lambda[left]) / dxq;
+          update[left] -= flux / dxq;
+          update[right] += flux / dxq;
+        }
+      }
+      // h-direction fluxes per q-column.
+      for (std::size_t iq = 0; iq < nq; ++iq) {
+        for (std::size_t face = 1; face < nh; ++face) {
+          const std::size_t lower = (face - 1) * nq + iq;
+          const std::size_t upper = face * nq + iq;
+          const double v_face = 0.5 * (drift_h[lower] + drift_h[upper]);
+          const double donor = v_face > 0.0 ? lambda[lower] : lambda[upper];
+          const double flux =
+              v_face * donor -
+              diffusion_h * (lambda[upper] - lambda[lower]) / dxh;
+          update[lower] -= flux / dxh;
+          update[upper] += flux / dxh;
+        }
+      }
+      for (std::size_t node = 0; node < nodes; ++node) {
+        lambda[node] += dt_sub * update[node];
+      }
+      if (!common::AllFinite(lambda)) {
+        return common::Status::NumericalError(
+            "2-D FPK density diverged at time node " + std::to_string(n));
+      }
+    }
+    MFG_RETURN_IF_ERROR(numerics::ClipAndNormalize2D(grid, lambda));
+    solution.densities.push_back(lambda);
+  }
+  return solution;
+}
+
+}  // namespace mfg::core

@@ -1,0 +1,141 @@
+#include "core/hjb_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "numerics/finite_difference.h"
+
+namespace mfg::core {
+
+common::StatusOr<HjbSolver1D> HjbSolver1D::Create(const MfgParams& params) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_ASSIGN_OR_RETURN(numerics::Grid1D q_grid, params.MakeQGrid());
+  MFG_ASSIGN_OR_RETURN(econ::CaseModel case_model, params.MakeCaseModel());
+  return HjbSolver1D(params, q_grid, case_model);
+}
+
+double HjbSolver1D::OptimalRate(double dq_value, double availability) const {
+  const auto& placement = params_.utility.placement;
+  const double numerator =
+      placement.w4 +
+      availability * (params_.utility.staleness.eta2 *
+                          params_.content_size /
+                          params_.utility.staleness.cloud_rate +
+                      params_.content_size * params_.dynamics.w1 * dq_value);
+  return common::ClampUnit(-numerator / (2.0 * placement.w5));
+}
+
+common::StatusOr<double> HjbSolver1D::RunningUtility(
+    double x, double q, const MeanFieldQuantities& mf) const {
+  return RunningUtilityAtNode(x, q, mf, 0);
+}
+
+common::StatusOr<double> HjbSolver1D::RunningUtilityAtNode(
+    double x, double q, const MeanFieldQuantities& mf,
+    std::size_t node) const {
+  econ::UtilityInputs in;
+  in.content_size = params_.content_size;
+  in.caching_rate = x;
+  in.own_remaining = q;
+  in.peer_remaining = mf.mean_peer_remaining;
+  in.num_requests = params_.RequestsAt(node);
+  in.price = mf.price;
+  in.edge_rate = params_.edge_rate;
+  in.sharing_benefit = mf.sharing_benefit;
+  in.download_scale = params_.ControlAvailability(q);
+  in.cases = case_model_.Evaluate(q, mf.mean_peer_remaining,
+                                  params_.content_size);
+  in.sharing_enabled = params_.sharing_enabled;
+  MFG_ASSIGN_OR_RETURN(econ::UtilityBreakdown breakdown,
+                       econ::EvaluateUtility(params_.utility, in));
+  return breakdown.total;
+}
+
+common::StatusOr<HjbSolution> HjbSolver1D::Solve(
+    const std::vector<MeanFieldQuantities>& mean_field) const {
+  const std::size_t nt = params_.grid.num_time_steps;
+  const std::size_t nq = q_grid_.size();
+  if (mean_field.size() != nt + 1) {
+    return common::Status::InvalidArgument(
+        "mean_field must have num_time_steps + 1 entries, got " +
+        std::to_string(mean_field.size()));
+  }
+
+  HjbSolution solution{q_grid_, params_.TimeStep(), {}, {}};
+  solution.value.assign(nt + 1, std::vector<double>(nq, 0.0));
+  solution.policy.assign(nt + 1, std::vector<double>(nq, 0.0));
+
+  // Sub-stepping: conservative drift bound over the horizon (profiles
+  // included); the diffusion coefficient is ½ ϱ_q².
+  const double max_speed = params_.MaxAbsDriftSpeed();
+  const double diffusion =
+      0.5 * params_.dynamics.rho_q * params_.dynamics.rho_q;
+  const double stable_dt = numerics::StableTimeStep(
+      q_grid_.dx(), max_speed, diffusion, params_.grid.cfl_safety);
+  const std::size_t substeps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(solution.dt / stable_dt)));
+  const double dt_sub = solution.dt / static_cast<double>(substeps);
+
+  // Terminal condition V(T, ·) = 0 and the corresponding terminal policy.
+  std::vector<double> v = solution.value[nt];
+  {
+    MFG_ASSIGN_OR_RETURN(std::vector<double> dv,
+                         numerics::Gradient(q_grid_, v));
+    for (std::size_t i = 0; i < nq; ++i) {
+      solution.policy[nt][i] =
+          OptimalRate(dv[i], params_.ControlAvailability(q_grid_.x(i)));
+    }
+  }
+
+  std::vector<double> drift(nq);
+  std::vector<double> upwind_velocity(nq);
+  for (std::size_t n = nt; n-- > 0;) {
+    // Mean-field quantities are held at the *start-of-interval* node n
+    // (consistent with the FPK forward pass using the policy at node n).
+    const MeanFieldQuantities& mf = mean_field[n];
+    for (std::size_t sub = 0; sub < substeps; ++sub) {
+      MFG_ASSIGN_OR_RETURN(std::vector<double> dv_central,
+                           numerics::Gradient(q_grid_, v));
+      // Optimal control from the current gradient (Theorem 1).
+      std::vector<double> x_star(nq);
+      for (std::size_t i = 0; i < nq; ++i) {
+        const double availability =
+            params_.ControlAvailability(q_grid_.x(i));
+        x_star[i] = OptimalRate(dv_central[i], availability);
+        drift[i] = params_.CacheDriftAtNode(x_star[i], q_grid_.x(i), n);
+        // Backward time: in the tau = T - t variable the equation reads
+        // dV/dtau + (-drift) dV/dq = ..., so the transport velocity that
+        // decides the upwind side is the *negated* drift.
+        upwind_velocity[i] = -drift[i];
+      }
+      MFG_ASSIGN_OR_RETURN(
+          std::vector<double> dv_upwind,
+          numerics::UpwindGradient(q_grid_, v, upwind_velocity));
+      MFG_ASSIGN_OR_RETURN(std::vector<double> d2v,
+                           numerics::SecondDerivative(q_grid_, v));
+      for (std::size_t i = 0; i < nq; ++i) {
+        MFG_ASSIGN_OR_RETURN(
+            double utility,
+            RunningUtilityAtNode(x_star[i], q_grid_.x(i), mf, n));
+        const double hamiltonian =
+            drift[i] * dv_upwind[i] + diffusion * d2v[i] + utility;
+        v[i] += dt_sub * hamiltonian;  // Backward: V(t) = V(t+dt) + dt·H.
+      }
+      if (!common::AllFinite(v)) {
+        return common::Status::NumericalError(
+            "HJB value diverged at time node " + std::to_string(n));
+      }
+    }
+    solution.value[n] = v;
+    MFG_ASSIGN_OR_RETURN(std::vector<double> dv,
+                         numerics::Gradient(q_grid_, v));
+    for (std::size_t i = 0; i < nq; ++i) {
+      solution.policy[n][i] =
+          OptimalRate(dv[i], params_.ControlAvailability(q_grid_.x(i)));
+    }
+  }
+  return solution;
+}
+
+}  // namespace mfg::core

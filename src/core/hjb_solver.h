@@ -1,0 +1,75 @@
+#ifndef MFGCP_CORE_HJB_SOLVER_H_
+#define MFGCP_CORE_HJB_SOLVER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/mean_field_estimator.h"
+#include "core/mfg_params.h"
+#include "numerics/grid.h"
+
+// Backward Hamilton–Jacobi–Bellman solver for the generic player (Eq. 20):
+//
+//   ∂_t V + max_x [ Q_k(−w1 x − w2 Π + w3 ξ^L) ∂_q V + ½ ϱ_q² ∂²_qq V
+//                   + U(t, x, q, λ) ] = 0,     V(T, ·) = 0,
+//
+// on the reduced 1-D cache-state domain (the channel coordinate is frozen
+// at its OU long-term mean; its drift/diffusion terms then vanish from the
+// generic player's equation — see DESIGN.md §4). The inner maximization is
+// closed-form (Theorem 1):
+//
+//   x*(t, q) = [ −( w4 + η₂ Q_k / H_c + Q_k w1 ∂_q V ) / (2 w5) ]₀¹
+//
+// Discretization: explicit backward Euler with automatic sub-stepping to
+// satisfy the advection/diffusion CFL bound, upwind first derivatives
+// (biased by the drift sign) and central second derivatives.
+
+namespace mfg::core {
+
+// V and x* tabulated on the (time, q) product grid. Index [n][i] is time
+// node t_n = n·dt (n = 0..num_time_steps) and q node i.
+struct HjbSolution {
+  numerics::Grid1D q_grid;
+  double dt = 0.0;
+  std::vector<std::vector<double>> value;   // V(t_n, q_i).
+  std::vector<std::vector<double>> policy;  // x*(t_n, q_i).
+
+  std::size_t num_time_nodes() const { return value.size(); }
+};
+
+class HjbSolver1D {
+ public:
+  static common::StatusOr<HjbSolver1D> Create(const MfgParams& params);
+
+  // Solves backward from V(T) = 0 given the mean-field quantities at each
+  // output time node (`mean_field.size()` must be num_time_steps + 1).
+  common::StatusOr<HjbSolution> Solve(
+      const std::vector<MeanFieldQuantities>& mean_field) const;
+
+  // Theorem 1's closed-form optimizer given the local value gradient and
+  // the control availability a(q) (1 away from the full-cache boundary):
+  //   x* = [ −( w4 + a·(η₂ Q_k / H_c + Q_k w1 ∂_q V) ) / (2 w5) ]₀¹.
+  double OptimalRate(double dq_value, double availability = 1.0) const;
+
+  // The running utility U(t, x, q) under the given mean-field quantities;
+  // exposed for tests that check the HJB optimality property. The no-node
+  // overload evaluates at time node 0 (constant workloads).
+  common::StatusOr<double> RunningUtility(double x, double q,
+                                          const MeanFieldQuantities& mf) const;
+  common::StatusOr<double> RunningUtilityAtNode(
+      double x, double q, const MeanFieldQuantities& mf,
+      std::size_t node) const;
+
+ private:
+  HjbSolver1D(const MfgParams& params, const numerics::Grid1D& q_grid,
+              const econ::CaseModel& case_model)
+      : params_(params), q_grid_(q_grid), case_model_(case_model) {}
+
+  MfgParams params_;
+  numerics::Grid1D q_grid_;
+  econ::CaseModel case_model_;
+};
+
+}  // namespace mfg::core
+
+#endif  // MFGCP_CORE_HJB_SOLVER_H_

@@ -1,0 +1,215 @@
+#include "core/hjb_solver_2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "core/hjb_solver.h"
+#include "numerics/finite_difference.h"
+
+namespace mfg::core {
+
+std::vector<double> Hjb2DSolution::PolicyAtH(std::size_t n,
+                                             double h_fix) const {
+  const std::size_t ih = h_grid.NearestIndex(h_fix);
+  const std::size_t nq = q_grid.size();
+  std::vector<double> slice(nq);
+  for (std::size_t iq = 0; iq < nq; ++iq) {
+    slice[iq] = policy[n][Index(ih, iq)];
+  }
+  return slice;
+}
+
+common::StatusOr<HjbSolver2D> HjbSolver2D::Create(const MfgParams& params) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_ASSIGN_OR_RETURN(numerics::Grid1D h_grid, params.MakeHGrid());
+  MFG_ASSIGN_OR_RETURN(numerics::Grid1D q_grid, params.MakeQGrid());
+  MFG_ASSIGN_OR_RETURN(econ::CaseModel case_model, params.MakeCaseModel());
+  return HjbSolver2D(params, h_grid, q_grid, case_model);
+}
+
+common::StatusOr<double> HjbSolver2D::RunningUtility(
+    double x, double h, double q, const MeanFieldQuantities& mf) const {
+  econ::UtilityInputs in;
+  in.content_size = params_.content_size;
+  in.caching_rate = x;
+  in.own_remaining = q;
+  in.peer_remaining = mf.mean_peer_remaining;
+  in.num_requests = params_.num_requests;
+  in.price = mf.price;
+  in.edge_rate = std::max(params_.EdgeRateAt(h), 1e-3);
+  in.sharing_benefit = mf.sharing_benefit;
+  in.download_scale = params_.ControlAvailability(q);
+  in.cases = case_model_.Evaluate(q, mf.mean_peer_remaining,
+                                  params_.content_size);
+  in.sharing_enabled = params_.sharing_enabled;
+  MFG_ASSIGN_OR_RETURN(econ::UtilityBreakdown breakdown,
+                       econ::EvaluateUtility(params_.utility, in));
+  return breakdown.total;
+}
+
+common::StatusOr<Hjb2DSolution> HjbSolver2D::Solve(
+    const std::vector<MeanFieldQuantities>& mean_field) const {
+  const std::size_t nt = params_.grid.num_time_steps;
+  const std::size_t nh = h_grid_.size();
+  const std::size_t nq = q_grid_.size();
+  const std::size_t nodes = nh * nq;
+  if (mean_field.size() != nt + 1) {
+    return common::Status::InvalidArgument(
+        "mean_field must have num_time_steps + 1 entries");
+  }
+  // Reuse the 1-D solver's closed-form optimizer (Theorem 1).
+  MFG_ASSIGN_OR_RETURN(HjbSolver1D theorem1, HjbSolver1D::Create(params_));
+
+  Hjb2DSolution solution{h_grid_, q_grid_, params_.TimeStep(), {}, {}};
+  solution.value.assign(nt + 1, std::vector<double>(nodes, 0.0));
+  solution.policy.assign(nt + 1, std::vector<double>(nodes, 0.0));
+
+  const double dxq = q_grid_.dx();
+  const double dxh = h_grid_.dx();
+  const double diffusion_q =
+      0.5 * params_.dynamics.rho_q * params_.dynamics.rho_q;
+  const double diffusion_h = 0.5 * params_.channel.rho * params_.channel.rho;
+  const double max_speed_q =
+      params_.content_size *
+      (params_.dynamics.w1 + params_.dynamics.w2 +
+       params_.dynamics.w3 *
+           std::pow(params_.dynamics.xi, params_.timeliness));
+  const double max_speed_h =
+      0.5 * params_.channel.varsigma * (h_grid_.hi() - h_grid_.lo());
+  // Combined explicit stability bound over both dimensions.
+  const double rate_sum = max_speed_q / dxq + 2.0 * diffusion_q / (dxq * dxq) +
+                          max_speed_h / dxh + 2.0 * diffusion_h / (dxh * dxh);
+  const double stable_dt =
+      rate_sum > 0.0 ? params_.grid.cfl_safety / rate_sum : solution.dt;
+  const std::size_t substeps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(solution.dt / stable_dt)));
+  const double dt_sub = solution.dt / static_cast<double>(substeps);
+
+  // Per-node constants.
+  std::vector<double> h_of(nodes), q_of(nodes), availability(nodes),
+      drift_h(nodes);
+  for (std::size_t ih = 0; ih < nh; ++ih) {
+    for (std::size_t iq = 0; iq < nq; ++iq) {
+      const std::size_t node = ih * nq + iq;
+      h_of[node] = h_grid_.x(ih);
+      q_of[node] = q_grid_.x(iq);
+      availability[node] = params_.ControlAvailability(q_of[node]);
+      drift_h[node] =
+          0.5 * params_.channel.varsigma *
+          (params_.channel.upsilon - h_of[node]);
+    }
+  }
+
+  std::vector<double> v(nodes, 0.0);
+  std::vector<double> dvq(nodes), x_star(nodes), drift_q(nodes);
+
+  // Fill policy for a value field (terminal and per-step output).
+  auto fill_policy = [&](const std::vector<double>& value_field,
+                         std::vector<double>& policy_field) {
+    for (std::size_t ih = 0; ih < nh; ++ih) {
+      for (std::size_t iq = 0; iq < nq; ++iq) {
+        const std::size_t node = ih * nq + iq;
+        double dq;
+        if (iq == 0) {
+          dq = (value_field[node + 1] - value_field[node]) / dxq;
+        } else if (iq + 1 == nq) {
+          dq = (value_field[node] - value_field[node - 1]) / dxq;
+        } else {
+          dq = (value_field[node + 1] - value_field[node - 1]) /
+               (2.0 * dxq);
+        }
+        policy_field[node] = theorem1.OptimalRate(dq, availability[node]);
+      }
+    }
+  };
+  fill_policy(v, solution.policy[nt]);
+
+  for (std::size_t n = nt; n-- > 0;) {
+    const MeanFieldQuantities& mf = mean_field[n];
+    for (std::size_t sub = 0; sub < substeps; ++sub) {
+      // Central q-gradient -> optimal control -> q-drift.
+      for (std::size_t ih = 0; ih < nh; ++ih) {
+        for (std::size_t iq = 0; iq < nq; ++iq) {
+          const std::size_t node = ih * nq + iq;
+          double dq;
+          if (iq == 0) {
+            dq = (v[node + 1] - v[node]) / dxq;
+          } else if (iq + 1 == nq) {
+            dq = (v[node] - v[node - 1]) / dxq;
+          } else {
+            dq = (v[node + 1] - v[node - 1]) / (2.0 * dxq);
+          }
+          dvq[node] = dq;
+          x_star[node] = theorem1.OptimalRate(dq, availability[node]);
+          drift_q[node] =
+              params_.CacheDriftAt(x_star[node], q_of[node]);
+        }
+      }
+
+      std::vector<double> v_new = v;
+      for (std::size_t ih = 0; ih < nh; ++ih) {
+        for (std::size_t iq = 0; iq < nq; ++iq) {
+          const std::size_t node = ih * nq + iq;
+          // Upwind q-derivative: backward-time transport velocity is
+          // -drift, so difference on the side the velocity points from.
+          double dvq_up;
+          if (-drift_q[node] > 0.0) {
+            dvq_up = (iq == 0) ? (v[node + 1] - v[node]) / dxq
+                               : (v[node] - v[node - 1]) / dxq;
+          } else {
+            dvq_up = (iq + 1 == nq) ? (v[node] - v[node - 1]) / dxq
+                                    : (v[node + 1] - v[node]) / dxq;
+          }
+          // Upwind h-derivative, same convention.
+          double dvh_up;
+          if (-drift_h[node] > 0.0) {
+            dvh_up = (ih == 0) ? (v[node + nq] - v[node]) / dxh
+                               : (v[node] - v[node - nq]) / dxh;
+          } else {
+            dvh_up = (ih + 1 == nh) ? (v[node] - v[node - nq]) / dxh
+                                    : (v[node + nq] - v[node]) / dxh;
+          }
+          // Central second derivatives; zero-curvature at boundaries.
+          double d2q = 0.0;
+          if (iq > 0 && iq + 1 < nq) {
+            d2q = (v[node + 1] - 2.0 * v[node] + v[node - 1]) / (dxq * dxq);
+          } else if (nq >= 3) {
+            const std::size_t inner =
+                (iq == 0) ? node + 1 : node - 1;
+            d2q = (v[inner + 1] - 2.0 * v[inner] + v[inner - 1]) /
+                  (dxq * dxq);
+          }
+          double d2h = 0.0;
+          if (ih > 0 && ih + 1 < nh) {
+            d2h = (v[node + nq] - 2.0 * v[node] + v[node - nq]) /
+                  (dxh * dxh);
+          } else if (nh >= 3) {
+            const std::size_t inner =
+                (ih == 0) ? node + nq : node - nq;
+            d2h = (v[inner + nq] - 2.0 * v[inner] + v[inner - nq]) /
+                  (dxh * dxh);
+          }
+
+          MFG_ASSIGN_OR_RETURN(
+              double utility,
+              RunningUtility(x_star[node], h_of[node], q_of[node], mf));
+          const double hamiltonian =
+              drift_q[node] * dvq_up + diffusion_q * d2q +
+              drift_h[node] * dvh_up + diffusion_h * d2h + utility;
+          v_new[node] += dt_sub * hamiltonian;
+        }
+      }
+      v.swap(v_new);
+      if (!common::AllFinite(v)) {
+        return common::Status::NumericalError(
+            "2-D HJB value diverged at time node " + std::to_string(n));
+      }
+    }
+    solution.value[n] = v;
+    fill_policy(v, solution.policy[n]);
+  }
+  return solution;
+}
+
+}  // namespace mfg::core

@@ -1,0 +1,110 @@
+#include "core/knapsack.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mfg::core {
+namespace {
+
+common::Status ValidateItems(const std::vector<KnapsackItem>& items,
+                             double capacity) {
+  if (capacity < 0.0) {
+    return common::Status::InvalidArgument("capacity must be >= 0");
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight < 0.0 || !std::isfinite(items[i].weight)) {
+      return common::Status::InvalidArgument("item " + std::to_string(i) +
+                                             " has invalid weight");
+    }
+    if (items[i].value < 0.0 || !std::isfinite(items[i].value)) {
+      return common::Status::InvalidArgument("item " + std::to_string(i) +
+                                             " has invalid value");
+    }
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+common::StatusOr<KnapsackSelection> SolveFractionalKnapsack(
+    const std::vector<KnapsackItem>& items, double capacity) {
+  MFG_RETURN_IF_ERROR(ValidateItems(items, capacity));
+
+  KnapsackSelection sel;
+  sel.fraction.assign(items.size(), 0.0);
+
+  // Zero-weight items are free value: always take them fully.
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].weight == 0.0) {
+      sel.fraction[i] = 1.0;
+      sel.total_value += items[i].value;
+    } else {
+      order.push_back(i);
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return items[a].value / items[a].weight >
+           items[b].value / items[b].weight;
+  });
+
+  double remaining = capacity;
+  for (std::size_t i : order) {
+    if (remaining <= 0.0) break;
+    const double take = std::min(items[i].weight, remaining);
+    sel.fraction[i] = take / items[i].weight;
+    sel.total_weight += take;
+    sel.total_value += items[i].value * sel.fraction[i];
+    remaining -= take;
+  }
+  return sel;
+}
+
+common::StatusOr<KnapsackSelection> SolveZeroOneKnapsack(
+    const std::vector<KnapsackItem>& items, double capacity,
+    double resolution) {
+  MFG_RETURN_IF_ERROR(ValidateItems(items, capacity));
+  if (resolution <= 0.0) {
+    return common::Status::InvalidArgument("resolution must be positive");
+  }
+
+  const std::size_t buckets =
+      static_cast<std::size_t>(std::floor(capacity / resolution));
+  std::vector<std::size_t> weight_buckets(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    weight_buckets[i] = static_cast<std::size_t>(
+        std::ceil(items[i].weight / resolution - 1e-12));
+  }
+
+  // dp[w] = best value using capacity w buckets; keep[i][w] for traceback.
+  std::vector<double> dp(buckets + 1, 0.0);
+  std::vector<std::vector<bool>> keep(
+      items.size(), std::vector<bool>(buckets + 1, false));
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const std::size_t wi = weight_buckets[i];
+    if (wi > buckets) continue;
+    for (std::size_t w = buckets + 1; w-- > wi;) {
+      const double candidate = dp[w - wi] + items[i].value;
+      if (candidate > dp[w]) {
+        dp[w] = candidate;
+        keep[i][w] = true;
+      }
+    }
+  }
+
+  KnapsackSelection sel;
+  sel.fraction.assign(items.size(), 0.0);
+  sel.total_value = dp[buckets];
+  std::size_t w = buckets;
+  for (std::size_t i = items.size(); i-- > 0;) {
+    if (w < keep[i].size() && keep[i][w]) {
+      sel.fraction[i] = 1.0;
+      sel.total_weight += items[i].weight;
+      w -= weight_buckets[i];
+    }
+  }
+  return sel;
+}
+
+}  // namespace mfg::core

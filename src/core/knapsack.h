@@ -1,0 +1,45 @@
+#ifndef MFGCP_CORE_KNAPSACK_H_
+#define MFGCP_CORE_KNAPSACK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+// Capacity-constrained extension (the paper's Remark at the end of §IV-C):
+// when an EDP's total cache capacity is below the sum of the per-content
+// equilibrium allocations, the final placement is a knapsack over contents
+// — weight = planned cache amount Q_k · x̄_k, value = the equilibrium
+// utility of carrying that content. Both the exact 0/1 DP (discretized
+// weights) and the fractional greedy relaxation (contents are divisible —
+// caching rates are continuous) are provided.
+
+namespace mfg::core {
+
+struct KnapsackItem {
+  double weight = 0.0;  // MB the plan wants to cache.
+  double value = 0.0;   // Expected accumulated utility.
+};
+
+struct KnapsackSelection {
+  // fraction[k] ∈ [0, 1]: how much of item k's planned amount to keep.
+  std::vector<double> fraction;
+  double total_weight = 0.0;
+  double total_value = 0.0;
+};
+
+// Fractional knapsack (greedy by value density); optimal for divisible
+// items, O(n log n). Fails on negative weights/values or capacity < 0.
+common::StatusOr<KnapsackSelection> SolveFractionalKnapsack(
+    const std::vector<KnapsackItem>& items, double capacity);
+
+// 0/1 knapsack via DP on weights discretized to `resolution` MB buckets
+// (fraction[k] ∈ {0, 1}). Exact for the discretized weights. Fails on
+// non-positive resolution or inputs as above.
+common::StatusOr<KnapsackSelection> SolveZeroOneKnapsack(
+    const std::vector<KnapsackItem>& items, double capacity,
+    double resolution = 1.0);
+
+}  // namespace mfg::core
+
+#endif  // MFGCP_CORE_KNAPSACK_H_

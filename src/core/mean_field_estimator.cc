@@ -1,0 +1,61 @@
+#include "core/mean_field_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/quadrature.h"
+
+namespace mfg::core {
+
+common::StatusOr<MeanFieldEstimator> MeanFieldEstimator::Create(
+    const MfgParams& params) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_ASSIGN_OR_RETURN(econ::PricingModel pricing,
+                       econ::PricingModel::Create(params.pricing));
+  return MeanFieldEstimator(params, pricing);
+}
+
+common::StatusOr<MeanFieldQuantities> MeanFieldEstimator::Estimate(
+    const numerics::Density1D& density,
+    const std::vector<double>& policy_slice) const {
+  const numerics::Grid1D& grid = density.grid();
+  if (policy_slice.size() != grid.size()) {
+    return common::Status::InvalidArgument(
+        "policy slice size does not match the density grid");
+  }
+
+  MeanFieldQuantities out;
+  MFG_ASSIGN_OR_RETURN(
+      out.mean_caching_rate,
+      numerics::TrapezoidProduct(grid, density.values(), policy_slice));
+  // Numerical quadrature can produce tiny negatives near empty regions.
+  out.mean_caching_rate = std::clamp(out.mean_caching_rate, 0.0, 1.0);
+
+  out.mean_peer_remaining = density.Mean();
+  out.price = pricing_.MeanFieldPrice(out.mean_peer_remaining,
+                                      params_.content_size);
+
+  const double threshold = params_.case_alpha * params_.content_size;
+  const double sharer_moment = density.MeanOnInterval(grid.lo(), threshold);
+  const double needer_moment = density.MeanOnInterval(threshold, grid.hi());
+  out.delta_q = std::fabs(sharer_moment - needer_moment);
+
+  out.sharer_fraction =
+      std::clamp(density.MassOnInterval(grid.lo(), threshold), 0.0, 1.0);
+  const double lacking = 1.0 - out.sharer_fraction;
+  out.case3_fraction = lacking * lacking;
+
+  // Φ̄² = p̄ Δq̄ ((1 − M'/M) / (M_k/M) − 1); guard the empty-sharer corner
+  // (nobody can share -> no sharing benefit).
+  if (out.sharer_fraction > 1e-9) {
+    const double ratio = (1.0 - out.case3_fraction) / out.sharer_fraction;
+    out.sharing_benefit = params_.utility.sharing_price * out.delta_q *
+                          std::max(ratio - 1.0, 0.0);
+  } else {
+    out.sharing_benefit = 0.0;
+  }
+  if (!params_.sharing_enabled) out.sharing_benefit = 0.0;
+  return out;
+}
+
+}  // namespace mfg::core

@@ -1,0 +1,62 @@
+#ifndef MFGCP_CORE_MEAN_FIELD_ESTIMATOR_H_
+#define MFGCP_CORE_MEAN_FIELD_ESTIMATOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/mfg_params.h"
+#include "numerics/density.h"
+
+// The mean-field estimator (§IV-B module 1): converts the mean-field
+// density λ(t, ·) and the candidate policy x(t, ·) into the economic
+// quantities a generic EDP needs — without any peer communication:
+//
+//   mean caching rate  ⟨x⟩(t) = ∫ λ x dq
+//   price              p(t)   = p̂ − η₁ (Q_k − q̄(t))          (Eq. 17,
+//                         supply = cached stock; see econ/pricing.h)
+//   mean peer state    q̄₋(t)  = ∫ q λ dq                      (Eq. 18)
+//   transfer size      Δq̄(t)  = |∫_{q≤αQ} q λ dq − ∫_{q>αQ} q λ dq|
+//   sharing benefit    Φ̄²(t)  = p̄ Δq̄ ((M − M'_k)/M_k − 1)
+//
+// with M_k/M ≈ mass(q ≤ αQ) (EDPs that cached enough to share) and
+// M'_k/M ≈ mass(q > αQ)² (both the EDP and its candidate peer lack the
+// content → case 3). Note the algebraic collapse: with s = mass(q > αQ),
+// (1 − s²)/(1 − s) − 1 = s, so Φ̄² = p̄ Δq̄ s away from the degenerate
+// m_q → 0 corner (which is guarded).
+
+namespace mfg::core {
+
+struct MeanFieldQuantities {
+  double mean_caching_rate = 0.0;  // ⟨x⟩.
+  double price = 0.0;              // p_k(t).
+  double mean_peer_remaining = 0.0;  // q̄₋,k(t).
+  double delta_q = 0.0;            // Δq̄(t).
+  double sharer_fraction = 0.0;    // M_k/M estimate.
+  double case3_fraction = 0.0;     // M'_k/M estimate.
+  double sharing_benefit = 0.0;    // Φ̄²(t).
+};
+
+class MeanFieldEstimator {
+ public:
+  // Fails on invalid params (delegates to MfgParams::Validate()).
+  static common::StatusOr<MeanFieldEstimator> Create(const MfgParams& params);
+
+  // Computes all quantities for one time slice. `policy_slice` is x(t, ·)
+  // sampled on the density's grid.
+  common::StatusOr<MeanFieldQuantities> Estimate(
+      const numerics::Density1D& density,
+      const std::vector<double>& policy_slice) const;
+
+  const MfgParams& params() const { return params_; }
+
+ private:
+  MeanFieldEstimator(const MfgParams& params, const econ::PricingModel& pricing)
+      : params_(params), pricing_(pricing) {}
+
+  MfgParams params_;
+  econ::PricingModel pricing_;
+};
+
+}  // namespace mfg::core
+
+#endif  // MFGCP_CORE_MEAN_FIELD_ESTIMATOR_H_

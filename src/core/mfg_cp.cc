@@ -1,0 +1,136 @@
+#include "core/mfg_cp.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <optional>
+
+#include "common/logging.h"
+
+namespace mfg::core {
+
+common::StatusOr<MfgCpFramework> MfgCpFramework::Create(
+    const MfgCpOptions& options, const content::Catalog& catalog,
+    const content::PopularityModel& popularity,
+    const content::TimelinessModel& timeliness) {
+  MFG_RETURN_IF_ERROR(options.base_params.Validate());
+  if (popularity.num_contents() != catalog.size()) {
+    return common::Status::InvalidArgument(
+        "popularity model does not cover the catalog");
+  }
+  return MfgCpFramework(options, catalog, popularity, timeliness);
+}
+
+common::StatusOr<MfgParams> MfgCpFramework::ContentParams(
+    content::ContentId k, double popularity, double timeliness,
+    double num_requests) const {
+  if (k >= catalog_.size()) {
+    return common::Status::OutOfRange("content id out of range");
+  }
+  MfgParams params = options_.base_params;
+  params.content_size = catalog_.size_mb(k);
+  params.popularity = std::clamp(popularity, 0.0, 1.0);
+  params.timeliness = timeliness;
+  params.num_requests = num_requests;
+  MFG_RETURN_IF_ERROR(params.Validate());
+  return params;
+}
+
+common::StatusOr<EpochPlan> MfgCpFramework::PlanEpoch(
+    const EpochObservation& obs) const {
+  const std::size_t k_total = catalog_.size();
+  if (obs.request_counts.size() != k_total ||
+      obs.mean_timeliness.size() != k_total ||
+      obs.mean_remaining.size() != k_total) {
+    return common::Status::InvalidArgument(
+        "epoch observation arity does not match the catalog");
+  }
+
+  EpochPlan plan;
+  plan.active.assign(k_total, false);
+  plan.policies.assign(k_total, nullptr);
+
+  // Popularity update (Eq. 3) from the epoch's request counts.
+  MFG_ASSIGN_OR_RETURN(plan.popularity,
+                       popularity_.Update(obs.request_counts));
+
+  // K' (Alg. 1 line 5): contents that still have uncached data and were
+  // actually requested this epoch.
+  std::vector<content::ContentId> active_ids;
+  for (content::ContentId k = 0; k < k_total; ++k) {
+    const bool needs_cache = obs.mean_remaining[k] > 0.0;
+    const bool requested =
+        static_cast<double>(obs.request_counts[k]) >= options_.min_requests;
+    if (!needs_cache || !requested) continue;
+    plan.active[k] = true;
+    active_ids.push_back(k);
+  }
+
+  // Solve the independent per-content equilibria, optionally in parallel
+  // (Alg. 1 line 2). Each worker writes only its own slot.
+  struct Solved {
+    common::Status status;
+    std::optional<Equilibrium> equilibrium;
+  };
+  std::vector<Solved> solved(active_ids.size());
+  auto solve_one = [&](std::size_t slot) {
+    const content::ContentId k = active_ids[slot];
+    auto params = ContentParams(k, plan.popularity[k],
+                                obs.mean_timeliness[k],
+                                static_cast<double>(obs.request_counts[k]));
+    if (!params.ok()) {
+      solved[slot].status = params.status();
+      return;
+    }
+    auto learner = BestResponseLearner::Create(*params);
+    if (!learner.ok()) {
+      solved[slot].status = learner.status();
+      return;
+    }
+    auto equilibrium = learner->Solve();
+    if (!equilibrium.ok()) {
+      solved[slot].status = equilibrium.status();
+      return;
+    }
+    solved[slot].equilibrium = std::move(equilibrium).value();
+  };
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(options_.parallelism,
+                                        active_ids.size()));
+  if (workers <= 1) {
+    for (std::size_t slot = 0; slot < active_ids.size(); ++slot) {
+      solve_one(slot);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::future<void>> futures;
+    futures.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      futures.push_back(std::async(std::launch::async, [&] {
+        for (std::size_t slot = next.fetch_add(1);
+             slot < active_ids.size(); slot = next.fetch_add(1)) {
+          solve_one(slot);
+        }
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }
+
+  for (std::size_t slot = 0; slot < active_ids.size(); ++slot) {
+    MFG_RETURN_IF_ERROR(solved[slot].status);
+    const content::ContentId k = active_ids[slot];
+    MFG_ASSIGN_OR_RETURN(
+        MfgParams params,
+        ContentParams(k, plan.popularity[k], obs.mean_timeliness[k],
+                      static_cast<double>(obs.request_counts[k])));
+    MFG_ASSIGN_OR_RETURN(
+        std::unique_ptr<MfgPolicy> policy,
+        MfgPolicy::Create(params, *solved[slot].equilibrium));
+    plan.policies[k] = std::shared_ptr<MfgPolicy>(std::move(policy));
+    plan.equilibria.push_back(std::move(*solved[slot].equilibrium));
+    plan.equilibrium_content.push_back(k);
+  }
+  return plan;
+}
+
+}  // namespace mfg::core

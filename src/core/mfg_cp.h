@@ -1,0 +1,95 @@
+#ifndef MFGCP_CORE_MFG_CP_H_
+#define MFGCP_CORE_MFG_CP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "content/catalog.h"
+#include "content/popularity.h"
+#include "content/timeliness.h"
+#include "core/best_response.h"
+#include "core/policy.h"
+
+// The MFG-CP framework (Algorithm 1): per optimization epoch, from the
+// recorded requests, (i) update content popularity (Eq. 3) and timeliness
+// (Def. 2), (ii) determine the content set K' that needs caching, (iii)
+// run the iterative best-response learner (Alg. 2) per content to obtain
+// the equilibrium caching policy, and hand the policies to the trading
+// phase (the agent simulator or an application).
+//
+// Because the equilibrium is a property of the *population* (mean field),
+// one plan serves every EDP — this is exactly why the per-epoch cost is
+// O(K ψ_th), independent of M (paper's Remark; reproduced by Table II).
+
+namespace mfg::core {
+
+struct MfgCpOptions {
+  // Template parameters; PlanEpoch overwrites the per-content fields
+  // (popularity, timeliness, num_requests, content_size).
+  MfgParams base_params;
+  // Requests below this rate leave a content out of K' (Alg. 1 line 5
+  // requires at least one request).
+  double min_requests = 0.5;
+  // Worker threads for the per-content equilibrium solves (Alg. 1 line 2:
+  // EDPs plan "in parallel"; the per-content problems are independent).
+  // 1 = serial.
+  std::size_t parallelism = 1;
+};
+
+// What the framework observes about one epoch (aggregated per content).
+struct EpochObservation {
+  std::vector<std::size_t> request_counts;  // |I_k| per content.
+  std::vector<double> mean_timeliness;      // L_k per content.
+  std::vector<double> mean_remaining;       // Current q_k per content.
+};
+
+// The epoch's plan: per content, an optional equilibrium policy.
+struct EpochPlan {
+  std::vector<bool> active;          // active[k]: k ∈ K'.
+  std::vector<double> popularity;    // Updated Π_k (Eq. 3).
+  // policies[k] is null for inactive contents.
+  std::vector<std::shared_ptr<MfgPolicy>> policies;
+  std::vector<Equilibrium> equilibria;  // Only for active contents,
+  std::vector<std::size_t> equilibrium_content;  // parallel content ids.
+};
+
+class MfgCpFramework {
+ public:
+  static common::StatusOr<MfgCpFramework> Create(
+      const MfgCpOptions& options, const content::Catalog& catalog,
+      const content::PopularityModel& popularity,
+      const content::TimelinessModel& timeliness);
+
+  // Runs one epoch of Alg. 1 (lines 4–10). Fails if the observation's
+  // arity does not match the catalog.
+  common::StatusOr<EpochPlan> PlanEpoch(const EpochObservation& obs) const;
+
+  // Builds the per-content MfgParams PlanEpoch would use; exposed so
+  // benches can solve single contents directly.
+  common::StatusOr<MfgParams> ContentParams(content::ContentId k,
+                                            double popularity,
+                                            double timeliness,
+                                            double num_requests) const;
+
+  const MfgCpOptions& options() const { return options_; }
+  const content::Catalog& catalog() const { return catalog_; }
+
+ private:
+  MfgCpFramework(const MfgCpOptions& options, content::Catalog catalog,
+                 content::PopularityModel popularity,
+                 content::TimelinessModel timeliness)
+      : options_(options),
+        catalog_(std::move(catalog)),
+        popularity_(std::move(popularity)),
+        timeliness_(std::move(timeliness)) {}
+
+  MfgCpOptions options_;
+  content::Catalog catalog_;
+  content::PopularityModel popularity_;
+  content::TimelinessModel timeliness_;
+};
+
+}  // namespace mfg::core
+
+#endif  // MFGCP_CORE_MFG_CP_H_

@@ -1,0 +1,163 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/math_util.h"
+#include "numerics/interpolation.h"
+
+namespace mfg::core {
+
+common::StatusOr<std::unique_ptr<MfgPolicy>> MfgPolicy::Create(
+    const MfgParams& params, const Equilibrium& equilibrium,
+    std::string name) {
+  if (equilibrium.hjb.policy.empty()) {
+    return common::Status::InvalidArgument("equilibrium has no policy table");
+  }
+  for (const auto& slice : equilibrium.hjb.policy) {
+    if (slice.size() != equilibrium.hjb.q_grid.size()) {
+      return common::Status::InvalidArgument("ragged policy table");
+    }
+  }
+  if (equilibrium.hjb.dt <= 0.0) {
+    return common::Status::InvalidArgument("equilibrium has dt <= 0");
+  }
+  (void)params;
+  return std::unique_ptr<MfgPolicy>(
+      new MfgPolicy(std::move(name), equilibrium.hjb.q_grid,
+                    equilibrium.hjb.dt, equilibrium.hjb.policy));
+}
+
+double MfgPolicy::RateAt(double t, double q) const {
+  // Linear interpolation in time between the two bracketing policy slices,
+  // linear interpolation in q within each slice.
+  const double pos = std::max(t, 0.0) / dt_;
+  const std::size_t n0 =
+      std::min(static_cast<std::size_t>(pos), table_.size() - 1);
+  const std::size_t n1 = std::min(n0 + 1, table_.size() - 1);
+  const double frac = common::Clamp(pos - static_cast<double>(n0), 0.0, 1.0);
+  const double x0 =
+      numerics::LinearInterpolate(q_grid_, table_[n0], q).value();
+  const double x1 =
+      numerics::LinearInterpolate(q_grid_, table_[n1], q).value();
+  return common::ClampUnit(common::Lerp(x0, x1, frac));
+}
+
+double MfgPolicy::Rate(const PolicyContext& context, common::Rng& rng) {
+  (void)rng;
+  return RateAt(context.time, context.remaining);
+}
+
+std::string MfgPolicy::ToCsv() const {
+  std::vector<std::string> header = {"t"};
+  header.reserve(q_grid_.size() + 1);
+  for (std::size_t i = 0; i < q_grid_.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "q=%.10g", q_grid_.x(i));
+    header.emplace_back(buf);
+  }
+  common::CsvWriter writer(std::move(header));
+  for (std::size_t n = 0; n < table_.size(); ++n) {
+    std::vector<double> row;
+    row.reserve(q_grid_.size() + 1);
+    row.push_back(static_cast<double>(n) * dt_);
+    row.insert(row.end(), table_[n].begin(), table_[n].end());
+    writer.AddRow(row);
+  }
+  return writer.ToString();
+}
+
+common::StatusOr<std::unique_ptr<MfgPolicy>> MfgPolicy::FromCsv(
+    const std::string& csv_text, std::string name) {
+  MFG_ASSIGN_OR_RETURN(common::CsvTable csv,
+                       common::CsvTable::Parse(csv_text));
+  if (csv.num_cols() < 3 || csv.header()[0] != "t") {
+    return common::Status::InvalidArgument(
+        "policy CSV needs a 't' column and >= 2 q columns");
+  }
+  if (csv.num_rows() < 2) {
+    return common::Status::InvalidArgument(
+        "policy CSV needs >= 2 time rows");
+  }
+  // Recover the q grid from the header and check uniform spacing.
+  const std::size_t nq = csv.num_cols() - 1;
+  std::vector<double> q_coords(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    const std::string& label = csv.header()[i + 1];
+    if (label.rfind("q=", 0) != 0) {
+      return common::Status::InvalidArgument("bad q column label: " +
+                                             label);
+    }
+    char* end = nullptr;
+    q_coords[i] = std::strtod(label.c_str() + 2, &end);
+    if (end == label.c_str() + 2) {
+      return common::Status::InvalidArgument("bad q column label: " +
+                                             label);
+    }
+  }
+  const double dx = (q_coords.back() - q_coords.front()) /
+                    static_cast<double>(nq - 1);
+  for (std::size_t i = 0; i < nq; ++i) {
+    const double expected =
+        q_coords.front() + dx * static_cast<double>(i);
+    if (!common::AlmostEqual(q_coords[i], expected, 1e-6, 1e-6)) {
+      return common::Status::InvalidArgument(
+          "policy CSV q grid is not uniform");
+    }
+  }
+  MFG_ASSIGN_OR_RETURN(
+      numerics::Grid1D grid,
+      numerics::Grid1D::Create(q_coords.front(), q_coords.back(), nq));
+
+  // Rows: t must be a uniform ramp from 0; rates must be in [0, 1].
+  std::vector<std::vector<double>> table(csv.num_rows(),
+                                         std::vector<double>(nq));
+  MFG_ASSIGN_OR_RETURN(double t1, csv.CellAsDouble(1, 0));
+  MFG_ASSIGN_OR_RETURN(double t0, csv.CellAsDouble(0, 0));
+  const double dt = t1 - t0;
+  if (dt <= 0.0) {
+    return common::Status::InvalidArgument(
+        "policy CSV time column must increase");
+  }
+  for (std::size_t n = 0; n < csv.num_rows(); ++n) {
+    MFG_ASSIGN_OR_RETURN(double t, csv.CellAsDouble(n, 0));
+    if (!common::AlmostEqual(t, t0 + dt * static_cast<double>(n), 1e-6,
+                             1e-6)) {
+      return common::Status::InvalidArgument(
+          "policy CSV time column is not uniform");
+    }
+    for (std::size_t i = 0; i < nq; ++i) {
+      MFG_ASSIGN_OR_RETURN(double x, csv.CellAsDouble(n, i + 1));
+      if (x < -1e-9 || x > 1.0 + 1e-9) {
+        return common::Status::InvalidArgument(
+            "policy CSV rate out of [0, 1]");
+      }
+      table[n][i] = common::ClampUnit(x);
+    }
+  }
+  return std::unique_ptr<MfgPolicy>(
+      new MfgPolicy(std::move(name), grid, dt, std::move(table)));
+}
+
+common::Status MfgPolicy::SaveFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return common::Status::IoError("cannot open " + path);
+  out << ToCsv();
+  if (!out) return common::Status::IoError("write failed for " + path);
+  return common::Status::Ok();
+}
+
+common::StatusOr<std::unique_ptr<MfgPolicy>> MfgPolicy::LoadFile(
+    const std::string& path, std::string name) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return common::Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromCsv(buffer.str(), std::move(name));
+}
+
+}  // namespace mfg::core

@@ -1,0 +1,98 @@
+#ifndef MFGCP_CORE_POLICY_H_
+#define MFGCP_CORE_POLICY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/best_response.h"
+
+// The caching-policy abstraction shared by MFG-CP and every baseline: a
+// policy maps an EDP's local observation to a caching rate x ∈ [0, 1] for
+// one content. The agent-based simulator (src/sim) drives all schemes
+// through this interface so their accounting is identical.
+
+namespace mfg::core {
+
+// What a single EDP can observe locally when deciding (no peer states —
+// the incomplete-information setting of the paper).
+struct PolicyContext {
+  double time = 0.0;            // t within the current epoch's horizon.
+  std::size_t content = 0;      // k.
+  double remaining = 0.0;       // q_{i,k}(t).
+  double content_size = 100.0;  // Q_k.
+  double popularity = 0.0;      // Π_{i,k}(t).
+  double popularity_rank = 0.0; // Rank of k by popularity, in [0, 1).
+  double timeliness = 0.0;      // L_{i,k}(t).
+  double num_requests = 0.0;    // |I_{i,k}(t)| observed this slot.
+  // Fraction of this EDP's *other* observed contents that overlap with
+  // neighbours' hot sets (UDCS uses this; others ignore it).
+  double overlap_estimate = 0.0;
+};
+
+class CachingPolicy {
+ public:
+  virtual ~CachingPolicy() = default;
+
+  // The caching rate for this observation. Implementations must return a
+  // value in [0, 1]. `rng` supports randomized policies (RR).
+  virtual double Rate(const PolicyContext& context, common::Rng& rng) = 0;
+
+  // Display name ("MFG-CP", "RR", ...).
+  virtual std::string name() const = 0;
+
+  // Per-decision computational cost marker used by the Table II bench: a
+  // policy may expose how much work one decision performs. Default: one
+  // table lookup.
+  virtual void PrepareEpoch(std::size_t /*num_edps*/) {}
+};
+
+// MFG-CP's policy: the tabulated equilibrium control x*(t, q) from the
+// best-response learner, queried by bilinear interpolation in (t, q).
+class MfgPolicy final : public CachingPolicy {
+ public:
+  // Builds from a solved equilibrium. Fails on an empty solution.
+  static common::StatusOr<std::unique_ptr<MfgPolicy>> Create(
+      const MfgParams& params, const Equilibrium& equilibrium,
+      std::string name = "MFG-CP");
+
+  double Rate(const PolicyContext& context, common::Rng& rng) override;
+  std::string name() const override { return name_; }
+
+  // Direct (t, q) lookup, exposed for tests and benches.
+  double RateAt(double t, double q) const;
+
+  // Serializes the tabulated policy as CSV (columns: t, then one column
+  // per q node). An offline-solved equilibrium can be shipped to EDPs as
+  // a file and reloaded with FromCsv — no solver required at run time.
+  std::string ToCsv() const;
+
+  // Reconstructs a policy from ToCsv output. Fails on malformed tables
+  // (non-uniform grids, ragged rows, out-of-range rates).
+  static common::StatusOr<std::unique_ptr<MfgPolicy>> FromCsv(
+      const std::string& csv_text, std::string name = "MFG-CP");
+
+  // File convenience wrappers around ToCsv/FromCsv.
+  common::Status SaveFile(const std::string& path) const;
+  static common::StatusOr<std::unique_ptr<MfgPolicy>> LoadFile(
+      const std::string& path, std::string name = "MFG-CP");
+
+ private:
+  MfgPolicy(std::string name, numerics::Grid1D q_grid, double dt,
+            std::vector<std::vector<double>> table)
+      : name_(std::move(name)),
+        q_grid_(q_grid),
+        dt_(dt),
+        table_(std::move(table)) {}
+
+  std::string name_;
+  numerics::Grid1D q_grid_;
+  double dt_;
+  std::vector<std::vector<double>> table_;  // [time node][q node].
+};
+
+}  // namespace mfg::core
+
+#endif  // MFGCP_CORE_POLICY_H_

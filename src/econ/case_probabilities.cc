@@ -1,0 +1,34 @@
+#include "econ/case_probabilities.h"
+
+namespace mfg::econ {
+
+common::StatusOr<CaseModel> CaseModel::Create(double alpha, double sharpness) {
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    return common::Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  MFG_ASSIGN_OR_RETURN(SmoothHeaviside f, SmoothHeaviside::Create(sharpness));
+  return CaseModel(alpha, f);
+}
+
+CaseProbabilities CaseModel::Evaluate(double q, double q_peer,
+                                      double content_size) const {
+  const double threshold = alpha_ * content_size;
+  CaseProbabilities p;
+  p.p1 = f_(threshold - q);
+  p.p2 = f_(q - threshold) * f_(threshold - q_peer);
+  p.p3 = f_(q - threshold) * f_(q_peer - threshold);
+  return p;
+}
+
+CaseProbabilities CaseModel::DerivativeQ(double q, double q_peer,
+                                         double content_size) const {
+  const double threshold = alpha_ * content_size;
+  CaseProbabilities d;
+  // d/dq f(threshold - q) = -f'(threshold - q).
+  d.p1 = -f_.Derivative(threshold - q);
+  d.p2 = f_.Derivative(q - threshold) * f_(threshold - q_peer);
+  d.p3 = f_.Derivative(q - threshold) * f_(q_peer - threshold);
+  return d;
+}
+
+}  // namespace mfg::econ

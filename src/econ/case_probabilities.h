@@ -1,0 +1,53 @@
+#ifndef MFGCP_ECON_CASE_PROBABILITIES_H_
+#define MFGCP_ECON_CASE_PROBABILITIES_H_
+
+#include "common/status.h"
+#include "econ/smooth_heaviside.h"
+
+// Occurrence probabilities of the three request-service cases (§III-A).
+// With q = remaining (un-cached) space for content k, Q = Q_k, and the
+// sufficiency threshold α (paper default 20%):
+//
+//   Case 1: EDP itself has cached enough            P¹ = f(αQ − q)
+//   Case 2: a peer EDP has cached enough            P² = f(q − αQ) f(αQ − q₋)
+//   Case 3: nobody cached enough, go to the cloud   P³ = f(q − αQ) f(q₋ − αQ)
+//
+// Because f(x) + f(−x) = 1 for the logistic f, these three sum to exactly
+// one for any (q, q₋) — an invariant the tests rely on.
+
+namespace mfg::econ {
+
+struct CaseProbabilities {
+  double p1 = 0.0;  // Self-serve.
+  double p2 = 0.0;  // Peer-share.
+  double p3 = 0.0;  // Cloud download.
+};
+
+class CaseModel {
+ public:
+  // `alpha` is the acceptable-missing fraction α ∈ (0, 1); `sharpness` is
+  // the logistic steepness l > 0.
+  static common::StatusOr<CaseModel> Create(double alpha, double sharpness);
+
+  // Probabilities given own remaining space q, peer remaining space q_peer
+  // and content size Q.
+  CaseProbabilities Evaluate(double q, double q_peer, double content_size) const;
+
+  // Partial derivatives w.r.t. own q (Eq. 24's ∂_q P terms); used by the
+  // Lipschitz property tests.
+  CaseProbabilities DerivativeQ(double q, double q_peer,
+                                double content_size) const;
+
+  double alpha() const { return alpha_; }
+  const SmoothHeaviside& heaviside() const { return f_; }
+
+ private:
+  CaseModel(double alpha, SmoothHeaviside f) : alpha_(alpha), f_(f) {}
+
+  double alpha_;
+  SmoothHeaviside f_;
+};
+
+}  // namespace mfg::econ
+
+#endif  // MFGCP_ECON_CASE_PROBABILITIES_H_

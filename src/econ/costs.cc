@@ -1,0 +1,62 @@
+#include "econ/costs.h"
+
+#include <algorithm>
+
+namespace mfg::econ {
+
+double PlacementCost(const PlacementCostParams& params, double x) {
+  return params.w4 * x + params.w5 * x * x;
+}
+
+double PlacementCostDerivative(const PlacementCostParams& params, double x) {
+  return params.w4 + 2.0 * params.w5 * x;
+}
+
+common::StatusOr<double> ServiceDelay(const StalenessCostParams& params,
+                                      const ServiceDelayInputs& in) {
+  if (params.cloud_rate <= 0.0 || params.cloud_ondemand_rate <= 0.0) {
+    return common::Status::InvalidArgument("cloud rates must be positive");
+  }
+  if (in.edge_rate <= 0.0) {
+    return common::Status::InvalidArgument("edge rate must be positive");
+  }
+  if (in.content_size <= 0.0) {
+    return common::Status::InvalidArgument("content size must be positive");
+  }
+  // Term 1: downloading from the center at the chosen caching rate
+  // (scaled by how much of the download can land).
+  double delay = in.content_size * in.caching_rate * in.download_scale /
+                 params.cloud_rate;
+
+  // Terms 2-4, accumulated over the |I| requesters of this content. The
+  // served amounts (Q - q) are clamped at zero: remaining space can
+  // transiently exceed Q in the stochastic dynamics.
+  const double served_own = std::max(in.content_size - in.own_remaining, 0.0);
+  const double served_peer =
+      std::max(in.content_size - in.peer_remaining, 0.0);
+  const double per_request =
+      in.cases.p1 * served_own / in.edge_rate +
+      in.cases.p2 * served_peer / in.edge_rate +
+      in.cases.p3 *
+          (std::max(in.own_remaining, 0.0) / params.cloud_ondemand_rate +
+           in.content_size / in.edge_rate);
+  delay += in.num_requests * per_request;
+  return delay;
+}
+
+common::StatusOr<double> StalenessCost(const StalenessCostParams& params,
+                                       const ServiceDelayInputs& inputs) {
+  if (params.eta2 < 0.0) {
+    return common::Status::InvalidArgument("eta2 must be non-negative");
+  }
+  MFG_ASSIGN_OR_RETURN(double delay, ServiceDelay(params, inputs));
+  return params.eta2 * delay;
+}
+
+double SharingCost(double sharing_price, double p2, double own_remaining,
+                   double peer_remaining) {
+  const double transferred = std::max(own_remaining - peer_remaining, 0.0);
+  return p2 * sharing_price * transferred;
+}
+
+}  // namespace mfg::econ

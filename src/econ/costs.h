@@ -1,0 +1,82 @@
+#ifndef MFGCP_ECON_COSTS_H_
+#define MFGCP_ECON_COSTS_H_
+
+#include "common/status.h"
+#include "econ/case_probabilities.h"
+
+// The three cost components of an EDP's utility (§III-A):
+//
+//   Placement cost  (Eq. 8):  C¹ = w₄ x + w₅ x²
+//   Staleness cost  (Eq. 9):  C² = η₂ [ Q x / H_c
+//                                   + Σ_j ( P¹ (Q−q)/H_j + P² (Q−q₋)/H_j
+//                                         + P³ ( q/H_c + Q/H_j ) ) ]
+//   Sharing cost:             C³ = P² p̄ (q − q₋)
+//
+// All quantities in MB / abstract currency; see DESIGN.md for the unit
+// calibration relative to the paper's nominal coefficients.
+
+namespace mfg::econ {
+
+struct PlacementCostParams {
+  // Calibrated (with η₂ below) so that the equilibrium caching rate is
+  // interior and the population reaches the serving threshold α·Q within
+  // one horizon, as in the paper's Figs. 4-5. The paper's nominal values
+  // (w₄ = 2.5e3, w₅ = 0.65e8) live in its per-byte unit system; the
+  // sweeps in the benches preserve the paper's ratios.
+  double w4 = 100.0;  // Linear coefficient.
+  double w5 = 400.0;  // Quadratic coefficient (the paper's sweep axis).
+};
+
+// C¹(x) for caching rate x ∈ [0, 1].
+double PlacementCost(const PlacementCostParams& params, double x);
+
+// Marginal placement cost dC¹/dx = w₄ + 2 w₅ x.
+double PlacementCostDerivative(const PlacementCostParams& params, double x);
+
+struct StalenessCostParams {
+  // Delay-to-cost conversion η₂. Calibrated so the staleness penalty of a
+  // cloud round-trip (case 3) outweighs its larger sale volume — otherwise
+  // Eq. 6/9 together would *reward* not caching.
+  double eta2 = 25.0;
+  // H_c, MB per unit time, for *bulk* proactive downloads (Eq. 9's first
+  // term and Theorem 1's marginal-download offset).
+  double cloud_rate = 20.0;
+  // Effective backhaul rate for the *on-demand* case-3 top-up. Interactive
+  // fetches contend with foreground traffic on the cloud path, so the
+  // effective rate is lower than the background bulk rate — this is what
+  // makes missing the cache genuinely expensive (the paper's premise).
+  double cloud_ondemand_rate = 4.5;
+};
+
+// Inputs describing one content's service situation at an EDP.
+struct ServiceDelayInputs {
+  double content_size = 100.0;   // Q_k.
+  double caching_rate = 0.0;     // x_k(t).
+  double own_remaining = 0.0;    // q_k(t).
+  double peer_remaining = 0.0;   // q₋,k(t) (mean-field estimate or actual).
+  double num_requests = 0.0;     // |I_k(t)| (fractional allowed: rates).
+  // Scales the proactive-download delay term (Eq. 9's first term): the
+  // fraction of the requested download that can actually land given the
+  // remaining space (core::MfgParams::ControlAvailability).
+  double download_scale = 1.0;
+  double edge_rate = 10.0;       // Representative H_{i,j}, MB per unit time.
+  CaseProbabilities cases;       // P¹, P², P³ at (q, q₋).
+};
+
+// C²: total delay-weighted staleness cost. Fails on non-positive rates.
+common::StatusOr<double> StalenessCost(const StalenessCostParams& params,
+                                       const ServiceDelayInputs& inputs);
+
+// The raw total service delay (C² / η₂); reported separately by Fig. 8/13.
+common::StatusOr<double> ServiceDelay(const StalenessCostParams& params,
+                                      const ServiceDelayInputs& inputs);
+
+// C³: expected payment to the sharing peer. `sharing_price` is p̄ per MB;
+// the transferred amount is (q − q₋) when positive (the peer tops up the
+// part this EDP is missing relative to the peer).
+double SharingCost(double sharing_price, double p2, double own_remaining,
+                   double peer_remaining);
+
+}  // namespace mfg::econ
+
+#endif  // MFGCP_ECON_COSTS_H_

@@ -1,0 +1,52 @@
+#include "econ/pricing.h"
+
+#include <algorithm>
+
+namespace mfg::econ {
+
+common::StatusOr<PricingModel> PricingModel::Create(
+    const PricingParams& params) {
+  if (params.max_price <= 0.0) {
+    return common::Status::InvalidArgument("max price must be positive");
+  }
+  if (params.eta1 < 0.0) {
+    return common::Status::InvalidArgument("eta1 must be non-negative");
+  }
+  return PricingModel(params);
+}
+
+common::StatusOr<double> PricingModel::FiniteMarketPrice(
+    const std::vector<double>& remaining_spaces, std::size_t self,
+    double content_size) const {
+  const std::size_t m = remaining_spaces.size();
+  if (m == 0) {
+    return common::Status::InvalidArgument("empty market");
+  }
+  if (self >= m) {
+    return common::Status::OutOfRange("self index out of range");
+  }
+  if (content_size <= 0.0) {
+    return common::Status::InvalidArgument("content size must be positive");
+  }
+  if (m == 1) return params_.max_price;
+
+  double supply = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (i == self) continue;
+    // Competitor supply: the cached stock, clamped into [0, Q_k].
+    supply += std::clamp(content_size - remaining_spaces[i], 0.0,
+                         content_size);
+  }
+  const double price =
+      params_.max_price - params_.eta1 * supply / static_cast<double>(m - 1);
+  return std::max(price, 0.0);
+}
+
+double PricingModel::MeanFieldPrice(double mean_remaining,
+                                    double content_size) const {
+  const double supply =
+      std::clamp(content_size - mean_remaining, 0.0, content_size);
+  return std::max(params_.max_price - params_.eta1 * supply, 0.0);
+}
+
+}  // namespace mfg::econ

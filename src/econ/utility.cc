@@ -1,0 +1,68 @@
+#include "econ/utility.h"
+
+#include <algorithm>
+
+namespace mfg::econ {
+
+double TradingIncome(double num_requests, double price,
+                     const CaseProbabilities& cases, double content_size,
+                     double own_remaining, double peer_remaining) {
+  const double served_own = std::max(content_size - own_remaining, 0.0);
+  const double served_peer = std::max(content_size - peer_remaining, 0.0);
+  const double expected_data = cases.p1 * served_own +
+                               cases.p2 * served_peer +
+                               cases.p3 * content_size;
+  return num_requests * price * expected_data;
+}
+
+double SharingBenefit(double sharing_price, double own_remaining,
+                      const std::vector<double>& peer_remainings) {
+  double benefit = 0.0;
+  for (double peer_q : peer_remainings) {
+    benefit += sharing_price * std::max(peer_q - own_remaining, 0.0);
+  }
+  return benefit;
+}
+
+common::StatusOr<UtilityBreakdown> EvaluateUtility(
+    const UtilityParams& params, const UtilityInputs& in) {
+  UtilityBreakdown out;
+
+  // With sharing disabled, requests that would have been peer-served go to
+  // the cloud instead: fold P2 into P3.
+  CaseProbabilities cases = in.cases;
+  if (!in.sharing_enabled) {
+    cases.p3 += cases.p2;
+    cases.p2 = 0.0;
+  }
+
+  out.trading_income =
+      TradingIncome(in.num_requests, in.price, cases, in.content_size,
+                    in.own_remaining, in.peer_remaining);
+  out.sharing_benefit = in.sharing_enabled ? in.sharing_benefit : 0.0;
+  out.placement_cost = PlacementCost(params.placement, in.caching_rate);
+
+  ServiceDelayInputs delay;
+  delay.content_size = in.content_size;
+  delay.caching_rate = in.caching_rate;
+  delay.own_remaining = in.own_remaining;
+  delay.peer_remaining = in.peer_remaining;
+  delay.num_requests = in.num_requests;
+  delay.edge_rate = in.edge_rate;
+  delay.download_scale = in.download_scale;
+  delay.cases = cases;
+  MFG_ASSIGN_OR_RETURN(out.staleness_cost,
+                       StalenessCost(params.staleness, delay));
+
+  out.sharing_cost =
+      in.sharing_enabled
+          ? SharingCost(params.sharing_price, cases.p2, in.own_remaining,
+                        in.peer_remaining)
+          : 0.0;
+
+  out.total = out.trading_income + out.sharing_benefit - out.placement_cost -
+              out.staleness_cost - out.sharing_cost;
+  return out;
+}
+
+}  // namespace mfg::econ

@@ -1,0 +1,75 @@
+#ifndef MFGCP_ECON_UTILITY_H_
+#define MFGCP_ECON_UTILITY_H_
+
+#include "common/status.h"
+#include "econ/case_probabilities.h"
+#include "econ/costs.h"
+#include "econ/pricing.h"
+
+// The per-content instantaneous utility of an EDP (Eq. 10):
+//
+//   U = Φ¹ (trading income, Eq. 6)
+//     + Φ² (sharing benefit, Eq. 7)
+//     − C¹ (placement cost, Eq. 8)
+//     − C² (staleness cost, Eq. 9)
+//     − C³ (sharing cost)
+//
+// This header provides both the raw components and a single evaluator the
+// HJB solver and the agent simulator share, so the generic player's
+// objective and the simulated EDPs' accounting cannot drift apart.
+
+namespace mfg::econ {
+
+// Eq. (6): trading income. `price` is the (supply-adjusted) unit price;
+// each of the |I| requesters pays for the data actually delivered:
+// (Q − q) when self-served (case 1), (Q − q₋) via a peer (case 2), the
+// full Q after a cloud top-up (case 3).
+double TradingIncome(double num_requests, double price,
+                     const CaseProbabilities& cases, double content_size,
+                     double own_remaining, double peer_remaining);
+
+// Eq. (7): sharing benefit Σ_{i'∈M_i} p̄ (q_{i'} − q_i) over the peers this
+// EDP serves. Negative contributions are dropped: an EDP only tops peers
+// *up* (transfers data it has and the peer lacks).
+double SharingBenefit(double sharing_price, double own_remaining,
+                      const std::vector<double>& peer_remainings);
+
+// All parameters needed to evaluate U for one content at one instant.
+struct UtilityParams {
+  PlacementCostParams placement;
+  StalenessCostParams staleness;
+  double sharing_price = 1.0;  // p̄_k.
+};
+
+struct UtilityInputs {
+  double content_size = 100.0;  // Q_k.
+  double caching_rate = 0.0;    // x.
+  double own_remaining = 0.0;   // q.
+  double peer_remaining = 0.0;  // q₋ (mean-field estimate in MFG mode).
+  double num_requests = 0.0;    // |I_k|.
+  double price = 0.0;           // p_k (from the pricing model).
+  double edge_rate = 10.0;      // Representative H_{i,j}.
+  double sharing_benefit = 0.0; // Φ² (mean-field Φ̄² or settled amount).
+  double download_scale = 1.0;  // Availability of the proactive download.
+  CaseProbabilities cases;      // P¹/P²/P³ at (q, q₋).
+  bool sharing_enabled = true;  // false = the "MFG" baseline (no sharing).
+};
+
+struct UtilityBreakdown {
+  double trading_income = 0.0;  // Φ¹.
+  double sharing_benefit = 0.0; // Φ².
+  double placement_cost = 0.0;  // C¹.
+  double staleness_cost = 0.0;  // C².
+  double sharing_cost = 0.0;    // C³.
+  double total = 0.0;           // Eq. 10.
+};
+
+// Evaluates Eq. (10) and its components. With sharing disabled, Φ² and C³
+// are zero and case 2 is folded into case 3 (the peer route becomes a
+// cloud download), matching the paper's "MFG" baseline description.
+common::StatusOr<UtilityBreakdown> EvaluateUtility(
+    const UtilityParams& params, const UtilityInputs& inputs);
+
+}  // namespace mfg::econ
+
+#endif  // MFGCP_ECON_UTILITY_H_

@@ -1,0 +1,27 @@
+#include "net/channel.h"
+
+#include <cmath>
+
+namespace mfg::net {
+
+double ChannelGain(double h, double distance, double tau) {
+  return h * h * std::pow(distance, -tau);
+}
+
+common::StatusOr<FadingChannel> FadingChannel::Create(
+    const ChannelParams& params, double distance, double initial_h) {
+  if (distance <= 0.0) {
+    return common::Status::InvalidArgument("link distance must be positive");
+  }
+  MFG_ASSIGN_OR_RETURN(sde::OrnsteinUhlenbeck ou,
+                       sde::OrnsteinUhlenbeck::Create(params.fading));
+  return FadingChannel(ou, params.path_loss_exponent, distance, initial_h);
+}
+
+void FadingChannel::Step(double dt, common::Rng& rng) {
+  h_ = ou_.StepEulerMaruyama(h_, dt, rng);
+}
+
+double FadingChannel::Gain() const { return ChannelGain(h_, distance_, tau_); }
+
+}  // namespace mfg::net

@@ -1,0 +1,60 @@
+#ifndef MFGCP_NET_CHANNEL_H_
+#define MFGCP_NET_CHANNEL_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sde/ornstein_uhlenbeck.h"
+
+// Wireless channel model of the paper (§II-A): per-link fading coefficient
+// h_{i,j}(t) following the mean-reverting OU SDE (Eq. 1), combined with
+// power-law path loss into the channel gain |g|² = |h|² d^{-tau}.
+
+namespace mfg::net {
+
+struct ChannelParams {
+  sde::OuParams fading;       // OU parameters (ς_h, υ_h, ϱ_h).
+  double path_loss_exponent = 3.0;  // τ in Eq. 2 (paper sets τ = 3).
+};
+
+// One fading link evolving in time.
+class FadingChannel {
+ public:
+  // `distance` is the (fixed) link distance; fails on distance <= 0 or
+  // invalid OU parameters.
+  static common::StatusOr<FadingChannel> Create(const ChannelParams& params,
+                                                double distance,
+                                                double initial_h);
+
+  // Advances the fading state by dt (Euler–Maruyama, matching Eq. 1).
+  void Step(double dt, common::Rng& rng);
+
+  // Current fading coefficient h(t).
+  double fading() const { return h_; }
+
+  // Channel gain |g|² = h² · d^{-τ}.
+  double Gain() const;
+
+  double distance() const { return distance_; }
+
+  // Resets to a specific fading value (for replaying scenarios).
+  void Reset(double h) { h_ = h; }
+
+ private:
+  FadingChannel(const sde::OrnsteinUhlenbeck& ou, double tau, double distance,
+                double initial_h)
+      : ou_(ou), tau_(tau), distance_(distance), h_(initial_h) {}
+
+  sde::OrnsteinUhlenbeck ou_;
+  double tau_;
+  double distance_;
+  double h_;
+};
+
+// Convenience: gain for a given fading coefficient and distance.
+double ChannelGain(double h, double distance, double tau);
+
+}  // namespace mfg::net
+
+#endif  // MFGCP_NET_CHANNEL_H_

@@ -1,0 +1,47 @@
+#include "net/geometry.h"
+
+#include <cmath>
+#include <limits>
+
+namespace mfg::net {
+
+double Distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+common::StatusOr<std::vector<Point>> UniformDeployment(const Region& region,
+                                                       std::size_t n,
+                                                       common::Rng& rng) {
+  if (region.width <= 0.0 || region.height <= 0.0) {
+    return common::Status::InvalidArgument(
+        "deployment region must have positive area");
+  }
+  if (n == 0) {
+    return common::Status::InvalidArgument("deployment needs n > 0 points");
+  }
+  std::vector<Point> points(n);
+  for (auto& p : points) {
+    p.x = rng.Uniform(0.0, region.width);
+    p.y = rng.Uniform(0.0, region.height);
+  }
+  return points;
+}
+
+common::StatusOr<std::size_t> NearestIndex(
+    const Point& p, const std::vector<Point>& candidates) {
+  if (candidates.empty()) {
+    return common::Status::InvalidArgument("no candidates");
+  }
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double d = Distance(p, candidates[i]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace mfg::net

@@ -1,0 +1,42 @@
+#ifndef MFGCP_NET_GEOMETRY_H_
+#define MFGCP_NET_GEOMETRY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+// Planar geometry for the MEC deployment: EDPs and requesters are
+// "randomly distributed within a certain range" (paper §V-A). Distances
+// feed the path-loss term d^{-tau} of the channel gain (Eq. 2).
+
+namespace mfg::net {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+// Axis-aligned deployment region [0, width] x [0, height].
+struct Region {
+  double width = 1000.0;   // Meters.
+  double height = 1000.0;  // Meters.
+};
+
+// Samples n points uniformly in the region. Fails on degenerate regions.
+common::StatusOr<std::vector<Point>> UniformDeployment(const Region& region,
+                                                       std::size_t n,
+                                                       common::Rng& rng);
+
+// Index of the point in `candidates` nearest to `p` (ties -> lowest index).
+// Fails on an empty candidate set.
+common::StatusOr<std::size_t> NearestIndex(const Point& p,
+                                           const std::vector<Point>& candidates);
+
+}  // namespace mfg::net
+
+#endif  // MFGCP_NET_GEOMETRY_H_

@@ -1,0 +1,44 @@
+#include "net/rate.h"
+
+#include <cmath>
+
+namespace mfg::net {
+
+double Sinr(double serving_gain_power,
+            const std::vector<double>& interference_powers,
+            double noise_power) {
+  double interference = 0.0;
+  for (double p : interference_powers) interference += p;
+  return serving_gain_power / (noise_power + interference);
+}
+
+double ShannonRate(double bandwidth_hz, double sinr) {
+  return bandwidth_hz * std::log2(1.0 + sinr);
+}
+
+common::StatusOr<double> TransmissionRate(
+    const RateParams& params, double serving_gain, double serving_power,
+    const std::vector<double>& interferer_gains,
+    const std::vector<double>& interferer_powers) {
+  if (params.bandwidth_hz <= 0.0) {
+    return common::Status::InvalidArgument("bandwidth must be positive");
+  }
+  if (params.noise_power <= 0.0) {
+    return common::Status::InvalidArgument("noise power must be positive");
+  }
+  if (interferer_gains.size() != interferer_powers.size()) {
+    return common::Status::InvalidArgument(
+        "interferer gain/power size mismatch");
+  }
+  std::vector<double> interference(interferer_gains.size());
+  for (std::size_t i = 0; i < interference.size(); ++i) {
+    interference[i] = interferer_gains[i] * interferer_powers[i];
+  }
+  const double sinr =
+      Sinr(serving_gain * serving_power, interference, params.noise_power);
+  return ShannonRate(params.bandwidth_hz, sinr);
+}
+
+double BitsToMegabytes(double bits) { return bits / 8.0 / 1e6; }
+
+}  // namespace mfg::net

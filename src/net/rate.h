@@ -1,0 +1,49 @@
+#ifndef MFGCP_NET_RATE_H_
+#define MFGCP_NET_RATE_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+// Achievable wireless transmission rate (Eq. 2):
+//
+//   H_{i,j}(t) = B log2( 1 + |g_{i,j}|² G_i / (ϱ² + Σ_{i'≠i} |g_{i',j}|² G_{i'}) )
+//
+// plus the fixed cloud-to-EDP backhaul rate H_c used by the staleness cost.
+
+namespace mfg::net {
+
+struct RateParams {
+  double bandwidth_hz = 10e6;     // B = 10 MHz (paper §V-A).
+  double noise_power = 1e-13;     // ϱ² (thermal noise, Watts).
+  double cloud_rate = 20.0;       // H_c, MB per unit time (backhaul).
+  // Fraction of co-channel EDPs transmitting simultaneously. Eq. 2 sums
+  // interference over *all* other EDPs; with hundreds of always-on
+  // interferers the SINR would be pinned near 0 dB regardless of
+  // deployment. A small duty cycle keeps downlink rates in the same
+  // regime as the solvers' representative edge rate.
+  double interferer_activity = 0.005;
+};
+
+// SINR of the serving link: signal / (noise + interference).
+// `serving_gain_power` = |g|² G of the serving EDP; `interference_powers`
+// are |g'|² G' of the other EDPs' links to the same requester.
+double Sinr(double serving_gain_power,
+            const std::vector<double>& interference_powers,
+            double noise_power);
+
+// Shannon rate B log2(1 + sinr), in bits per unit time.
+double ShannonRate(double bandwidth_hz, double sinr);
+
+// Full Eq. 2 evaluation; fails on non-positive bandwidth or noise.
+common::StatusOr<double> TransmissionRate(
+    const RateParams& params, double serving_gain, double serving_power,
+    const std::vector<double>& interferer_gains,
+    const std::vector<double>& interferer_powers);
+
+// Converts a bit rate to MB per unit time (the unit system of Q_k).
+double BitsToMegabytes(double bits);
+
+}  // namespace mfg::net
+
+#endif  // MFGCP_NET_RATE_H_

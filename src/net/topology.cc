@@ -1,0 +1,90 @@
+#include "net/topology.h"
+
+#include "common/logging.h"
+
+namespace mfg::net {
+
+common::StatusOr<Topology> Topology::CreateRandom(
+    const TopologyOptions& options, common::Rng& rng) {
+  MFG_ASSIGN_OR_RETURN(
+      std::vector<Point> edps,
+      UniformDeployment(options.region, options.num_edps, rng));
+  MFG_ASSIGN_OR_RETURN(
+      std::vector<Point> requesters,
+      UniformDeployment(options.region, options.num_requesters, rng));
+  return Create(options, std::move(edps), std::move(requesters));
+}
+
+common::StatusOr<Topology> Topology::Create(const TopologyOptions& options,
+                                            std::vector<Point> edps,
+                                            std::vector<Point> requesters) {
+  if (edps.empty()) {
+    return common::Status::InvalidArgument("topology needs at least one EDP");
+  }
+  if (options.adjacency_radius < 0.0) {
+    return common::Status::InvalidArgument(
+        "adjacency radius must be non-negative");
+  }
+  Topology topo;
+  topo.edp_positions_ = std::move(edps);
+  topo.requester_positions_ = std::move(requesters);
+  topo.BuildAssociations(options.adjacency_radius);
+  return topo;
+}
+
+void Topology::BuildAssociations(double adjacency_radius) {
+  const std::size_t m = edp_positions_.size();
+  const std::size_t j = requester_positions_.size();
+
+  serving_edp_.resize(j);
+  served_requesters_.assign(m, {});
+  for (std::size_t r = 0; r < j; ++r) {
+    const std::size_t nearest =
+        NearestIndex(requester_positions_[r], edp_positions_).value();
+    serving_edp_[r] = nearest;
+    served_requesters_[nearest].push_back(r);
+  }
+
+  adjacent_edps_.assign(m, {});
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      if (Distance(edp_positions_[a], edp_positions_[b]) <=
+          adjacency_radius) {
+        adjacent_edps_[a].push_back(b);
+        adjacent_edps_[b].push_back(a);
+      }
+    }
+  }
+}
+
+const Point& Topology::edp_position(std::size_t i) const {
+  MFG_CHECK_LT(i, edp_positions_.size());
+  return edp_positions_[i];
+}
+
+const Point& Topology::requester_position(std::size_t j) const {
+  MFG_CHECK_LT(j, requester_positions_.size());
+  return requester_positions_[j];
+}
+
+std::size_t Topology::ServingEdp(std::size_t j) const {
+  MFG_CHECK_LT(j, serving_edp_.size());
+  return serving_edp_[j];
+}
+
+const std::vector<std::size_t>& Topology::ServedRequesters(
+    std::size_t i) const {
+  MFG_CHECK_LT(i, served_requesters_.size());
+  return served_requesters_[i];
+}
+
+const std::vector<std::size_t>& Topology::AdjacentEdps(std::size_t i) const {
+  MFG_CHECK_LT(i, adjacent_edps_.size());
+  return adjacent_edps_[i];
+}
+
+double Topology::EdpRequesterDistance(std::size_t i, std::size_t j) const {
+  return Distance(edp_position(i), requester_position(j));
+}
+
+}  // namespace mfg::net

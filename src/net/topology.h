@@ -1,0 +1,69 @@
+#ifndef MFGCP_NET_TOPOLOGY_H_
+#define MFGCP_NET_TOPOLOGY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "net/geometry.h"
+
+// MEC deployment topology: positions of EDPs and requesters plus the
+// default-serving association ("each requester is associated with a default
+// serving EDP that is nearest geographically", §II-A).
+
+namespace mfg::net {
+
+struct TopologyOptions {
+  Region region;                 // Deployment area.
+  std::size_t num_edps = 300;    // M.
+  std::size_t num_requesters = 900;  // J.
+  // Radius within which two EDPs count as adjacent for content sharing.
+  double adjacency_radius = 300.0;
+};
+
+class Topology {
+ public:
+  // Samples a random deployment and computes associations/adjacency.
+  static common::StatusOr<Topology> CreateRandom(const TopologyOptions& options,
+                                                 common::Rng& rng);
+
+  // Builds a topology from explicit positions (used in tests).
+  static common::StatusOr<Topology> Create(const TopologyOptions& options,
+                                           std::vector<Point> edps,
+                                           std::vector<Point> requesters);
+
+  std::size_t num_edps() const { return edp_positions_.size(); }
+  std::size_t num_requesters() const { return requester_positions_.size(); }
+
+  const Point& edp_position(std::size_t i) const;
+  const Point& requester_position(std::size_t j) const;
+
+  // The serving EDP of requester j (nearest geographically).
+  std::size_t ServingEdp(std::size_t j) const;
+
+  // Requesters served by EDP i: the set J_i(t) of the paper (static here;
+  // requester mobility enters through the channel SDE instead).
+  const std::vector<std::size_t>& ServedRequesters(std::size_t i) const;
+
+  // EDPs within adjacency_radius of EDP i (excluding i).
+  const std::vector<std::size_t>& AdjacentEdps(std::size_t i) const;
+
+  // Distance between EDP i and requester j.
+  double EdpRequesterDistance(std::size_t i, std::size_t j) const;
+
+ private:
+  Topology() = default;
+
+  void BuildAssociations(double adjacency_radius);
+
+  std::vector<Point> edp_positions_;
+  std::vector<Point> requester_positions_;
+  std::vector<std::size_t> serving_edp_;                  // Per requester.
+  std::vector<std::vector<std::size_t>> served_requesters_;  // Per EDP.
+  std::vector<std::vector<std::size_t>> adjacent_edps_;      // Per EDP.
+};
+
+}  // namespace mfg::net
+
+#endif  // MFGCP_NET_TOPOLOGY_H_

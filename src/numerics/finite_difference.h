@@ -1,0 +1,51 @@
+#ifndef MFGCP_NUMERICS_FINITE_DIFFERENCE_H_
+#define MFGCP_NUMERICS_FINITE_DIFFERENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "numerics/grid.h"
+
+// Finite-difference operators on uniform 1-D grids. These back both PDE
+// solvers: upwind first derivatives for advection (stability of HJB/FPK
+// transport terms), central second derivatives for the Brownian diffusion
+// terms, and a CFL helper for choosing explicit time steps.
+
+namespace mfg::numerics {
+
+// First derivative by central differences in the interior, one-sided at the
+// boundaries (second-order interior, first-order boundary).
+common::StatusOr<std::vector<double>> Gradient(const Grid1D& grid,
+                                               const std::vector<double>& f);
+
+// Upwind first derivative: at node i uses the backward difference when
+// velocity[i] > 0 and the forward difference otherwise, matching the
+// information flow of the advection term  velocity * df/dx.
+common::StatusOr<std::vector<double>> UpwindGradient(
+    const Grid1D& grid, const std::vector<double>& f,
+    const std::vector<double>& velocity);
+
+// Central second derivative with zero-curvature (linear extrapolation)
+// boundary treatment.
+common::StatusOr<std::vector<double>> SecondDerivative(
+    const Grid1D& grid, const std::vector<double>& f);
+
+// Conservative upwind divergence of the flux (velocity * f):
+//   out[i] = d/dx (velocity * f) |_i
+// computed from face fluxes so that the total mass change equals the
+// boundary flux (exactly zero with the no-flux closure used here). This is
+// what the FPK solver needs to conserve probability mass.
+common::StatusOr<std::vector<double>> ConservativeAdvectionDivergence(
+    const Grid1D& grid, const std::vector<double>& f,
+    const std::vector<double>& velocity);
+
+// Largest stable explicit time step for advection speed `max_speed` and
+// diffusion coefficient `diffusion` (sigma^2/2) on spacing dx:
+//   dt <= safety * min(dx / max_speed, dx^2 / (2 * diffusion)).
+// Returns +inf when both terms vanish.
+double StableTimeStep(double dx, double max_speed, double diffusion,
+                      double safety = 0.9);
+
+}  // namespace mfg::numerics
+
+#endif  // MFGCP_NUMERICS_FINITE_DIFFERENCE_H_

@@ -1,0 +1,35 @@
+#ifndef MFGCP_NUMERICS_INTERPOLATION_H_
+#define MFGCP_NUMERICS_INTERPOLATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "numerics/grid.h"
+
+// Interpolation of grid fields. The tabulated equilibrium policy x*(t, q)
+// produced by the best-response learner is queried at arbitrary cache
+// states by the agent-based simulator through these routines.
+
+namespace mfg::numerics {
+
+// Piecewise-linear interpolation of f at x; clamps x into the grid span
+// (constant extrapolation), which is the right behaviour for policies and
+// densities defined on a truncated physical domain.
+common::StatusOr<double> LinearInterpolate(const Grid1D& grid,
+                                           const std::vector<double>& f,
+                                           double x);
+
+// Bilinear interpolation of a row-major field over (grid0, grid1).
+common::StatusOr<double> BilinearInterpolate(const Grid1D& grid0,
+                                             const Grid1D& grid1,
+                                             const std::vector<double>& f,
+                                             double x0, double x1);
+
+// Resamples a field from one grid onto another by linear interpolation.
+common::StatusOr<std::vector<double>> Resample(const Grid1D& from,
+                                               const std::vector<double>& f,
+                                               const Grid1D& to);
+
+}  // namespace mfg::numerics
+
+#endif  // MFGCP_NUMERICS_INTERPOLATION_H_

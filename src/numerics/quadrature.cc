@@ -1,0 +1,78 @@
+#include "numerics/quadrature.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "numerics/interpolation.h"
+
+namespace mfg::numerics {
+namespace {
+
+common::Status ValidateField(const Grid1D& grid,
+                             const std::vector<double>& f) {
+  if (f.size() != grid.size()) {
+    return common::Status::InvalidArgument("field/grid size mismatch");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+common::StatusOr<double> Trapezoid(const Grid1D& grid,
+                                   const std::vector<double>& f) {
+  MFG_RETURN_IF_ERROR(ValidateField(grid, f));
+  const std::size_t n = grid.size();
+  double acc = 0.5 * (f[0] + f[n - 1]);
+  for (std::size_t i = 1; i + 1 < n; ++i) acc += f[i];
+  return acc * grid.dx();
+}
+
+common::StatusOr<double> TrapezoidProduct(const Grid1D& grid,
+                                          const std::vector<double>& f,
+                                          const std::vector<double>& g) {
+  MFG_RETURN_IF_ERROR(ValidateField(grid, f));
+  MFG_RETURN_IF_ERROR(ValidateField(grid, g));
+  std::vector<double> prod(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) prod[i] = f[i] * g[i];
+  return Trapezoid(grid, prod);
+}
+
+common::StatusOr<double> TrapezoidOnInterval(const Grid1D& grid,
+                                             const std::vector<double>& f,
+                                             double a, double b) {
+  MFG_RETURN_IF_ERROR(ValidateField(grid, f));
+  a = std::max(a, grid.lo());
+  b = std::min(b, grid.hi());
+  if (a >= b) return 0.0;
+
+  // Node values strictly inside (a, b) contribute full trapezoid cells;
+  // the partial cells at each end use interpolated endpoint values.
+  MFG_ASSIGN_OR_RETURN(double fa, LinearInterpolate(grid, f, a));
+  MFG_ASSIGN_OR_RETURN(double fb, LinearInterpolate(grid, f, b));
+
+  // First node strictly greater than a, last node strictly less than b.
+  std::size_t first = grid.CellIndex(a) + 1;
+  while (first < grid.size() && grid.x(first) <= a) ++first;
+  std::size_t last = grid.CellIndex(b);
+  while (last > 0 && grid.x(last) >= b) --last;
+  if (first > last || first >= grid.size() || grid.x(first) >= b) {
+    // a and b fall in the same cell.
+    return 0.5 * (fa + fb) * (b - a);
+  }
+
+  double acc = 0.5 * (fa + f[first]) * (grid.x(first) - a);
+  for (std::size_t i = first; i < last; ++i) {
+    acc += 0.5 * (f[i] + f[i + 1]) * grid.dx();
+  }
+  acc += 0.5 * (f[last] + fb) * (b - grid.x(last));
+  return acc;
+}
+
+common::StatusOr<double> TrapezoidFunction(
+    const Grid1D& grid, const std::function<double(double)>& fn) {
+  std::vector<double> samples(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) samples[i] = fn(grid.x(i));
+  return Trapezoid(grid, samples);
+}
+
+}  // namespace mfg::numerics

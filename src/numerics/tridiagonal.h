@@ -1,0 +1,35 @@
+#ifndef MFGCP_NUMERICS_TRIDIAGONAL_H_
+#define MFGCP_NUMERICS_TRIDIAGONAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+// Thomas-algorithm solver for tridiagonal linear systems, the kernel of the
+// implicit time-stepping options in the HJB/FPK solvers.
+
+namespace mfg::numerics {
+
+// A tridiagonal system of dimension n:
+//   lower[i] * x[i-1] + diag[i] * x[i] + upper[i] * x[i+1] = rhs[i]
+// with lower[0] and upper[n-1] ignored.
+struct TridiagonalSystem {
+  std::vector<double> lower;
+  std::vector<double> diag;
+  std::vector<double> upper;
+  std::vector<double> rhs;
+};
+
+// Solves the system with the Thomas algorithm (O(n)). Fails on inconsistent
+// sizes or an (effectively) singular pivot. Stable for the diagonally
+// dominant matrices produced by implicit FD schemes.
+common::StatusOr<std::vector<double>> SolveTridiagonal(
+    const TridiagonalSystem& system);
+
+// Multiplies the tridiagonal matrix by x (for residual checks in tests).
+common::StatusOr<std::vector<double>> TridiagonalApply(
+    const TridiagonalSystem& system, const std::vector<double>& x);
+
+}  // namespace mfg::numerics
+
+#endif  // MFGCP_NUMERICS_TRIDIAGONAL_H_

@@ -1,0 +1,37 @@
+#include "sde/brownian.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mfg::sde {
+
+BrownianMotion::BrownianMotion(double scale) : scale_(scale) {
+  MFG_CHECK_GE(scale, 0.0);
+}
+
+double BrownianMotion::SampleIncrement(double dt, common::Rng& rng) const {
+  MFG_DCHECK_GT(dt, 0.0);
+  return rng.Gaussian(0.0, scale_ * std::sqrt(dt));
+}
+
+common::StatusOr<BrownianPath> BrownianMotion::SamplePath(
+    double dt, std::size_t steps, common::Rng& rng) const {
+  if (dt <= 0.0) {
+    return common::Status::InvalidArgument("Brownian path requires dt > 0");
+  }
+  if (steps == 0) {
+    return common::Status::InvalidArgument(
+        "Brownian path requires at least one step");
+  }
+  BrownianPath path;
+  path.dt = dt;
+  path.values.resize(steps + 1);
+  path.values[0] = 0.0;
+  for (std::size_t i = 1; i <= steps; ++i) {
+    path.values[i] = path.values[i - 1] + SampleIncrement(dt, rng);
+  }
+  return path;
+}
+
+}  // namespace mfg::sde

@@ -1,0 +1,45 @@
+#ifndef MFGCP_SDE_BROWNIAN_H_
+#define MFGCP_SDE_BROWNIAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+// Standard Brownian motion (Wiener process) sampling, the noise source of
+// the paper's channel SDE (Eq. 1) and cache-state SDE (Eq. 4).
+
+namespace mfg::sde {
+
+// A sampled Brownian path W(t_0..t_n) on a uniform time grid.
+struct BrownianPath {
+  double dt = 0.0;                // Uniform step.
+  std::vector<double> values;     // W(0), W(dt), ..., W(n*dt); W(0) = 0.
+};
+
+class BrownianMotion {
+ public:
+  // `scale` multiplies the unit-variance process (i.e. the path of
+  // scale * W(t)). Typically 1 — SDE diffusion coefficients are applied by
+  // the integrator, not here.
+  explicit BrownianMotion(double scale = 1.0);
+
+  // One Gaussian increment dW over a step dt: N(0, scale^2 * dt).
+  // Requires dt > 0.
+  double SampleIncrement(double dt, common::Rng& rng) const;
+
+  // Full path with `steps` increments of size dt (values has steps+1
+  // entries). Fails on non-positive dt or zero steps.
+  common::StatusOr<BrownianPath> SamplePath(double dt, std::size_t steps,
+                                            common::Rng& rng) const;
+
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+};
+
+}  // namespace mfg::sde
+
+#endif  // MFGCP_SDE_BROWNIAN_H_

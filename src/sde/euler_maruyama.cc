@@ -1,0 +1,76 @@
+#include "sde/euler_maruyama.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mfg::sde {
+
+common::StatusOr<EulerMaruyama> EulerMaruyama::Create(
+    const EulerMaruyamaOptions& options) {
+  if (options.dt <= 0.0) {
+    return common::Status::InvalidArgument("Euler-Maruyama requires dt > 0");
+  }
+  if (options.steps == 0) {
+    return common::Status::InvalidArgument(
+        "Euler-Maruyama requires steps > 0");
+  }
+  if (options.reflect && options.lo >= options.hi) {
+    return common::Status::InvalidArgument(
+        "reflecting bounds require lo < hi");
+  }
+  return EulerMaruyama(options);
+}
+
+double EulerMaruyama::Reflect(double x) const {
+  if (!options_.reflect) return x;
+  const double lo = options_.lo;
+  const double hi = options_.hi;
+  const double span = hi - lo;
+  // Fold x into [lo, lo + 2*span) then mirror the upper half. This is the
+  // standard reflection map for one-sided overshoots; overshoots larger
+  // than the domain width (rare with sane dt) are folded repeatedly.
+  double y = std::fmod(x - lo, 2.0 * span);
+  if (y < 0.0) y += 2.0 * span;
+  if (y > span) y = 2.0 * span - y;
+  return lo + y;
+}
+
+double EulerMaruyama::Step(double t, double x, const SdeCoefficient& drift,
+                           const SdeCoefficient& diffusion,
+                           common::Rng& rng) const {
+  const double dw = rng.Gaussian(0.0, std::sqrt(options_.dt));
+  const double next = x + drift(t, x) * options_.dt + diffusion(t, x) * dw;
+  return Reflect(next);
+}
+
+std::vector<double> EulerMaruyama::Integrate(double x0,
+                                             const SdeCoefficient& drift,
+                                             const SdeCoefficient& diffusion,
+                                             common::Rng& rng) const {
+  std::vector<double> path(options_.steps + 1);
+  path[0] = Reflect(x0);
+  double t = options_.t0;
+  for (std::size_t i = 1; i <= options_.steps; ++i) {
+    path[i] = Step(t, path[i - 1], drift, diffusion, rng);
+    t += options_.dt;
+  }
+  return path;
+}
+
+std::vector<double> EulerMaruyama::MeanPath(double x0,
+                                            const SdeCoefficient& drift,
+                                            const SdeCoefficient& diffusion,
+                                            std::size_t paths,
+                                            common::Rng& rng) const {
+  MFG_CHECK_GT(paths, 0u);
+  std::vector<double> mean(options_.steps + 1, 0.0);
+  for (std::size_t p = 0; p < paths; ++p) {
+    const std::vector<double> path = Integrate(x0, drift, diffusion, rng);
+    for (std::size_t i = 0; i < path.size(); ++i) mean[i] += path[i];
+  }
+  for (double& v : mean) v /= static_cast<double>(paths);
+  return mean;
+}
+
+}  // namespace mfg::sde

@@ -1,0 +1,65 @@
+#ifndef MFGCP_SDE_EULER_MARUYAMA_H_
+#define MFGCP_SDE_EULER_MARUYAMA_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+// Generic explicit Euler–Maruyama integrator for one-dimensional Itô SDEs
+//   dX(t) = b(t, X) dt + sigma(t, X) dW(t),
+// used for the cache-state dynamics (Eq. 4) whose drift depends on the
+// caching strategy, popularity and timeliness at each instant.
+
+namespace mfg::sde {
+
+// Time- and state-dependent coefficient.
+using SdeCoefficient = std::function<double(double t, double x)>;
+
+struct EulerMaruyamaOptions {
+  double t0 = 0.0;        // Integration start time.
+  double dt = 1e-3;       // Step size; must be > 0.
+  std::size_t steps = 0;  // Number of steps; must be > 0.
+  // Optional reflecting bounds (e.g. cache space confined to [0, Q_k]).
+  // When enabled, each step's result is reflected back into [lo, hi].
+  bool reflect = false;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+class EulerMaruyama {
+ public:
+  // Validates options (dt > 0, steps > 0, lo < hi when reflecting).
+  static common::StatusOr<EulerMaruyama> Create(
+      const EulerMaruyamaOptions& options);
+
+  // One step from (t, x).
+  double Step(double t, double x, const SdeCoefficient& drift,
+              const SdeCoefficient& diffusion, common::Rng& rng) const;
+
+  // Integrates a full path from x0; returns steps+1 values.
+  std::vector<double> Integrate(double x0, const SdeCoefficient& drift,
+                                const SdeCoefficient& diffusion,
+                                common::Rng& rng) const;
+
+  // Monte-Carlo mean path over `paths` independent runs.
+  std::vector<double> MeanPath(double x0, const SdeCoefficient& drift,
+                               const SdeCoefficient& diffusion,
+                               std::size_t paths, common::Rng& rng) const;
+
+  const EulerMaruyamaOptions& options() const { return options_; }
+
+ private:
+  explicit EulerMaruyama(const EulerMaruyamaOptions& options)
+      : options_(options) {}
+
+  double Reflect(double x) const;
+
+  EulerMaruyamaOptions options_;
+};
+
+}  // namespace mfg::sde
+
+#endif  // MFGCP_SDE_EULER_MARUYAMA_H_

@@ -1,0 +1,74 @@
+#include "sde/ornstein_uhlenbeck.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mfg::sde {
+
+common::StatusOr<OrnsteinUhlenbeck> OrnsteinUhlenbeck::Create(
+    const OuParams& params) {
+  if (params.varsigma <= 0.0) {
+    return common::Status::InvalidArgument(
+        "OU changing rate varsigma must be positive");
+  }
+  if (params.rho < 0.0) {
+    return common::Status::InvalidArgument(
+        "OU diffusion rho must be non-negative");
+  }
+  return OrnsteinUhlenbeck(params);
+}
+
+double OrnsteinUhlenbeck::Drift(double h) const {
+  return 0.5 * params_.varsigma * (params_.upsilon - h);
+}
+
+double OrnsteinUhlenbeck::ConditionalMean(double h, double dt) const {
+  const double decay = std::exp(-ReversionRate() * dt);
+  return params_.upsilon + (h - params_.upsilon) * decay;
+}
+
+double OrnsteinUhlenbeck::ConditionalVariance(double dt) const {
+  const double theta = ReversionRate();
+  // rho^2 / (2 theta) * (1 - e^{-2 theta dt}).
+  return params_.rho * params_.rho / (2.0 * theta) *
+         (1.0 - std::exp(-2.0 * theta * dt));
+}
+
+double OrnsteinUhlenbeck::StationaryVariance() const {
+  // theta = varsigma / 2  =>  rho^2 / (2 theta) = rho^2 / varsigma.
+  return params_.rho * params_.rho / params_.varsigma;
+}
+
+double OrnsteinUhlenbeck::StepExact(double h, double dt,
+                                    common::Rng& rng) const {
+  MFG_DCHECK_GT(dt, 0.0);
+  return rng.Gaussian(ConditionalMean(h, dt),
+                      std::sqrt(ConditionalVariance(dt)));
+}
+
+double OrnsteinUhlenbeck::StepEulerMaruyama(double h, double dt,
+                                            common::Rng& rng) const {
+  MFG_DCHECK_GT(dt, 0.0);
+  return h + Drift(h) * dt + params_.rho * rng.Gaussian(0.0, std::sqrt(dt));
+}
+
+common::StatusOr<std::vector<double>> OrnsteinUhlenbeck::SamplePath(
+    double h0, double dt, std::size_t steps, common::Rng& rng,
+    bool exact) const {
+  if (dt <= 0.0) {
+    return common::Status::InvalidArgument("OU path requires dt > 0");
+  }
+  if (steps == 0) {
+    return common::Status::InvalidArgument("OU path requires steps > 0");
+  }
+  std::vector<double> path(steps + 1);
+  path[0] = h0;
+  for (std::size_t i = 1; i <= steps; ++i) {
+    path[i] = exact ? StepExact(path[i - 1], dt, rng)
+                    : StepEulerMaruyama(path[i - 1], dt, rng);
+  }
+  return path;
+}
+
+}  // namespace mfg::sde

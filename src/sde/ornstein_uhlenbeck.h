@@ -1,0 +1,75 @@
+#ifndef MFGCP_SDE_ORNSTEIN_UHLENBECK_H_
+#define MFGCP_SDE_ORNSTEIN_UHLENBECK_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+// Mean-reverting Ornstein–Uhlenbeck process, the paper's channel-fading
+// model (Eq. 1):
+//
+//   dh(t) = (1/2) * varsigma * (upsilon - h(t)) dt + rho dW(t)
+//
+// `varsigma` (changing rate), `upsilon` (long-term mean) and `rho`
+// (diffusion) follow the paper's notation. Note the effective reversion
+// rate is theta = varsigma / 2 because of the paper's 1/2 factor.
+
+namespace mfg::sde {
+
+struct OuParams {
+  double varsigma = 1.0;  // Changing rate (paper's ς_h); must be > 0.
+  double upsilon = 1.0;   // Long-term mean (paper's υ_h).
+  double rho = 0.1;       // Diffusion std-dev (paper's ϱ_h); must be >= 0.
+};
+
+class OrnsteinUhlenbeck {
+ public:
+  // Validates parameters; fails on varsigma <= 0 or rho < 0.
+  static common::StatusOr<OrnsteinUhlenbeck> Create(const OuParams& params);
+
+  // Drift b(h) = (1/2) varsigma (upsilon - h).
+  double Drift(double h) const;
+
+  // Constant diffusion coefficient rho.
+  double Diffusion() const { return params_.rho; }
+
+  // Effective reversion rate theta = varsigma / 2.
+  double ReversionRate() const { return params_.varsigma / 2.0; }
+
+  // Conditional mean of h(t + dt) given h(t) = h (exact OU transition).
+  double ConditionalMean(double h, double dt) const;
+
+  // Conditional variance of h(t + dt) (exact OU transition).
+  double ConditionalVariance(double dt) const;
+
+  // Stationary moments: h(∞) ~ N(upsilon, rho^2 / varsigma).
+  double StationaryMean() const { return params_.upsilon; }
+  double StationaryVariance() const;
+
+  // One step of the *exact* transition law (unbiased for any dt > 0).
+  double StepExact(double h, double dt, common::Rng& rng) const;
+
+  // One explicit Euler–Maruyama step (what the paper's discrete simulation
+  // uses); biased O(dt) but matches the FD discretization of the solvers.
+  double StepEulerMaruyama(double h, double dt, common::Rng& rng) const;
+
+  // Samples a full path of `steps` increments from h0, using the exact
+  // transition when `exact` is true, Euler–Maruyama otherwise.
+  common::StatusOr<std::vector<double>> SamplePath(double h0, double dt,
+                                                   std::size_t steps,
+                                                   common::Rng& rng,
+                                                   bool exact = false) const;
+
+  const OuParams& params() const { return params_; }
+
+ private:
+  explicit OrnsteinUhlenbeck(const OuParams& params) : params_(params) {}
+
+  OuParams params_;
+};
+
+}  // namespace mfg::sde
+
+#endif  // MFGCP_SDE_ORNSTEIN_UHLENBECK_H_

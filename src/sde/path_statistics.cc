@@ -1,0 +1,94 @@
+#include "sde/path_statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace mfg::sde {
+
+common::StatusOr<PathSummary> Summarize(const std::vector<double>& path) {
+  if (path.size() < 2) {
+    return common::Status::InvalidArgument(
+        "path summary requires at least 2 samples");
+  }
+  PathSummary s;
+  s.mean = common::Mean(path);
+  s.variance = common::Variance(path);
+  auto [min_it, max_it] = std::minmax_element(path.begin(), path.end());
+  s.min = *min_it;
+  s.max = *max_it;
+  s.first = path.front();
+  s.last = path.back();
+  return s;
+}
+
+common::StatusOr<double> Autocorrelation(const std::vector<double>& path,
+                                         std::size_t lag) {
+  if (path.size() <= lag + 1) {
+    return common::Status::InvalidArgument(
+        "autocorrelation requires path.size() > lag + 1");
+  }
+  const double mean = common::Mean(path);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const double d = path[i] - mean;
+    den += d * d;
+    if (i + lag < path.size()) num += d * (path[i + lag] - mean);
+  }
+  if (den == 0.0) {
+    return common::Status::NumericalError("constant path has no correlation");
+  }
+  return num / den;
+}
+
+common::StatusOr<double> EstimateReversionRate(const std::vector<double>& path,
+                                               double dt, double mean_level) {
+  if (dt <= 0.0) {
+    return common::Status::InvalidArgument("dt must be positive");
+  }
+  if (path.size() < 3) {
+    return common::Status::InvalidArgument(
+        "reversion estimate requires >= 3 samples");
+  }
+  // Model: x_{i+1} - x_i = theta * (mean_level - x_i) * dt + noise.
+  // OLS slope through the origin: theta = sum(y*z) / sum(z*z) with
+  // y = dx and z = (mean_level - x) * dt.
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const double y = path[i + 1] - path[i];
+    const double z = (mean_level - path[i]) * dt;
+    num += y * z;
+    den += z * z;
+  }
+  if (den == 0.0) {
+    return common::Status::NumericalError(
+        "path never deviates from the mean level");
+  }
+  return num / den;
+}
+
+common::StatusOr<double> TailMeanAbsDeviation(const std::vector<double>& path,
+                                              double level,
+                                              double tail_fraction) {
+  if (path.empty()) {
+    return common::Status::InvalidArgument("empty path");
+  }
+  if (tail_fraction <= 0.0 || tail_fraction > 1.0) {
+    return common::Status::InvalidArgument(
+        "tail_fraction must be in (0, 1]");
+  }
+  const std::size_t start = static_cast<std::size_t>(
+      static_cast<double>(path.size()) * (1.0 - tail_fraction));
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = start; i < path.size(); ++i) {
+    acc += std::fabs(path[i] - level);
+    ++count;
+  }
+  return acc / static_cast<double>(count);
+}
+
+}  // namespace mfg::sde

@@ -1,0 +1,45 @@
+#ifndef MFGCP_SDE_PATH_STATISTICS_H_
+#define MFGCP_SDE_PATH_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+// Descriptive statistics of sampled SDE paths. Used by tests to validate
+// the OU implementation against its closed-form moments and by the Fig. 3
+// bench to report mean-reversion behaviour.
+
+namespace mfg::sde {
+
+struct PathSummary {
+  double mean = 0.0;
+  double variance = 0.0;   // Unbiased sample variance.
+  double min = 0.0;
+  double max = 0.0;
+  double first = 0.0;
+  double last = 0.0;
+};
+
+// Summary over the whole path. Fails on paths with < 2 samples.
+common::StatusOr<PathSummary> Summarize(const std::vector<double>& path);
+
+// Lag-k sample autocorrelation. Requires path.size() > lag + 1.
+common::StatusOr<double> Autocorrelation(const std::vector<double>& path,
+                                         std::size_t lag);
+
+// Least-squares estimate of the OU reversion rate theta from a uniformly
+// sampled path: regress x_{t+1} - x_t on (mean_level - x_t) * dt. Returns
+// theta_hat; requires dt > 0 and >= 3 samples.
+common::StatusOr<double> EstimateReversionRate(const std::vector<double>& path,
+                                               double dt, double mean_level);
+
+// Time-average of |path - level| over the tail fraction [start, 1] of the
+// path; measures how tightly the process hugs its long-term mean.
+common::StatusOr<double> TailMeanAbsDeviation(const std::vector<double>& path,
+                                              double level,
+                                              double tail_fraction = 0.5);
+
+}  // namespace mfg::sde
+
+#endif  // MFGCP_SDE_PATH_STATISTICS_H_

@@ -1,0 +1,56 @@
+#include "sim/edp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace mfg::sim {
+
+EdpAgent::EdpAgent(std::size_t id, std::vector<double> initial_remaining,
+                   std::vector<double> content_sizes)
+    : id_(id),
+      remaining_(std::move(initial_remaining)),
+      content_sizes_(std::move(content_sizes)) {
+  MFG_CHECK_EQ(remaining_.size(), content_sizes_.size());
+  for (std::size_t k = 0; k < remaining_.size(); ++k) {
+    remaining_[k] = common::Clamp(remaining_[k], 0.0, content_sizes_[k]);
+  }
+}
+
+double EdpAgent::remaining(std::size_t k) const {
+  MFG_CHECK_LT(k, remaining_.size());
+  return remaining_[k];
+}
+
+double EdpAgent::content_size(std::size_t k) const {
+  MFG_CHECK_LT(k, content_sizes_.size());
+  return content_sizes_[k];
+}
+
+bool EdpAgent::CachedEnough(std::size_t k, double alpha) const {
+  return remaining(k) <= alpha * content_size(k);
+}
+
+void EdpAgent::StepCache(std::size_t k, double caching_rate,
+                         double popularity, double timeliness_factor,
+                         const core::CacheDynamicsParams& dynamics, double dt,
+                         common::Rng& rng, double control_availability) {
+  MFG_CHECK_LT(k, remaining_.size());
+  const double q_k = content_sizes_[k];
+  const double drift =
+      q_k * (-dynamics.w1 * control_availability * caching_rate -
+             dynamics.w2 * popularity + dynamics.w3 * timeliness_factor);
+  const double noise = dynamics.rho_q * rng.Gaussian(0.0, std::sqrt(dt));
+  remaining_[k] =
+      common::Clamp(remaining_[k] + drift * dt + noise, 0.0, q_k);
+}
+
+double EdpAgent::MeanRemaining() const {
+  if (remaining_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double q : remaining_) sum += q;
+  return sum / static_cast<double>(remaining_.size());
+}
+
+}  // namespace mfg::sim

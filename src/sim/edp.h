@@ -1,0 +1,57 @@
+#ifndef MFGCP_SIM_EDP_H_
+#define MFGCP_SIM_EDP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/mfg_params.h"
+#include "sim/metrics.h"
+
+// One Edge Data Provider agent: per-content remaining cache space q_{i,k}
+// evolving by the stochastic dynamics (Eq. 4), plus its cumulative ledger.
+
+namespace mfg::sim {
+
+class EdpAgent {
+ public:
+  // `initial_remaining` has one q_{i,k}(0) per content.
+  EdpAgent(std::size_t id, std::vector<double> initial_remaining,
+           std::vector<double> content_sizes);
+
+  std::size_t id() const { return id_; }
+  std::size_t num_contents() const { return remaining_.size(); }
+
+  double remaining(std::size_t k) const;
+  double content_size(std::size_t k) const;
+
+  // Has this EDP cached enough of k to serve it (q ≤ α·Q_k)?
+  bool CachedEnough(std::size_t k, double alpha) const;
+
+  // Advances q_{i,k} one Euler–Maruyama step of Eq. 4 given the decided
+  // caching rate x, the content's popularity and timeliness drift factor
+  // ξ^L, reflecting into [0, Q_k]. `control_availability` scales the
+  // caching term (downloads can only fill the remaining space; see
+  // core::MfgParams::ControlAvailability).
+  void StepCache(std::size_t k, double caching_rate, double popularity,
+                 double timeliness_factor,
+                 const core::CacheDynamicsParams& dynamics, double dt,
+                 common::Rng& rng, double control_availability = 1.0);
+
+  EdpAccount& account() { return account_; }
+  const EdpAccount& account() const { return account_; }
+
+  // Mean remaining space across contents.
+  double MeanRemaining() const;
+
+ private:
+  std::size_t id_;
+  std::vector<double> remaining_;
+  std::vector<double> content_sizes_;
+  EdpAccount account_;
+};
+
+}  // namespace mfg::sim
+
+#endif  // MFGCP_SIM_EDP_H_

@@ -1,0 +1,163 @@
+#include "sim/epoch_runner.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "baselines/most_popular.h"
+#include "common/logging.h"
+#include "content/popularity.h"
+#include "content/timeliness.h"
+
+namespace mfg::sim {
+
+common::StatusOr<EpochRunner> EpochRunner::Create(
+    const EpochRunnerOptions& options) {
+  if (options.num_epochs == 0) {
+    return common::Status::InvalidArgument("need at least one epoch");
+  }
+  if (options.observed_requests <= 0.0) {
+    return common::Status::InvalidArgument(
+        "observed_requests must be positive");
+  }
+  if (options.initial_fill_frac <= 0.0 || options.initial_fill_frac > 1.0) {
+    return common::Status::InvalidArgument(
+        "initial_fill_frac must be in (0, 1]");
+  }
+  for (const auto& row : options.epoch_weights) {
+    if (row.size() != options.simulator.num_contents) {
+      return common::Status::InvalidArgument(
+          "epoch weight rows must have one entry per content");
+    }
+  }
+  MFG_ASSIGN_OR_RETURN(
+      content::Catalog catalog,
+      content::Catalog::CreateUniform(
+          options.simulator.num_contents,
+          options.simulator.base_params.content_size));
+  MFG_ASSIGN_OR_RETURN(content::PopularityModel popularity,
+                       content::PopularityModel::CreateZipf(
+                           options.simulator.num_contents,
+                           options.simulator.popularity_iota));
+  MFG_ASSIGN_OR_RETURN(
+      content::TimelinessModel timeliness,
+      content::TimelinessModel::Create(content::TimelinessParams()));
+  MFG_ASSIGN_OR_RETURN(core::MfgCpFramework framework,
+                       core::MfgCpFramework::Create(
+                           options.planner, catalog, popularity,
+                           timeliness));
+  return EpochRunner(options, std::move(framework));
+}
+
+common::StatusOr<std::vector<double>> EpochRunner::EpochWeights(
+    std::size_t epoch) const {
+  std::vector<double> weights;
+  if (options_.epoch_weights.empty()) {
+    MFG_ASSIGN_OR_RETURN(content::PopularityModel popularity,
+                         content::PopularityModel::CreateZipf(
+                             options_.simulator.num_contents,
+                             options_.simulator.popularity_iota));
+    weights = popularity.prior();
+  } else {
+    weights =
+        options_.epoch_weights[epoch % options_.epoch_weights.size()];
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) {
+    return common::Status::InvalidArgument("epoch weights sum to zero");
+  }
+  for (double& w : weights) w /= total;
+  return weights;
+}
+
+common::StatusOr<EpochOutcome> EpochRunner::RunEpoch(
+    std::size_t epoch, const SchemePolicies& scheme,
+    double mean_remaining_frac) {
+  SimulatorOptions sim_options = options_.simulator;
+  sim_options.seed = options_.simulator.seed + epoch;
+  sim_options.initial_fill_frac_mean = mean_remaining_frac;
+  MFG_ASSIGN_OR_RETURN(std::vector<double> weights, EpochWeights(epoch));
+  sim_options.trace_daily_weights = {weights};
+  MFG_ASSIGN_OR_RETURN(Simulator simulator,
+                       Simulator::Create(sim_options));
+  EpochOutcome outcome;
+  outcome.epoch = epoch;
+  MFG_ASSIGN_OR_RETURN(outcome.result, simulator.Run(scheme));
+  return outcome;
+}
+
+common::StatusOr<std::vector<EpochOutcome>> EpochRunner::Run() {
+  std::vector<EpochOutcome> outcomes;
+  outcomes.reserve(options_.num_epochs);
+  const std::size_t k_total = options_.simulator.num_contents;
+  double mean_remaining_frac = options_.initial_fill_frac;
+
+  // Inactive contents fall back to a zero-rate policy.
+  std::shared_ptr<core::CachingPolicy> idle =
+      baselines::MakeMostPopular(1e-12);
+
+  for (std::size_t epoch = 0; epoch < options_.num_epochs; ++epoch) {
+    MFG_ASSIGN_OR_RETURN(std::vector<double> weights, EpochWeights(epoch));
+
+    core::EpochObservation obs;
+    obs.request_counts.resize(k_total);
+    for (std::size_t k = 0; k < k_total; ++k) {
+      obs.request_counts[k] = static_cast<std::size_t>(
+          weights[k] * options_.observed_requests + 0.5);
+    }
+    obs.mean_timeliness.assign(k_total, 2.5);
+    obs.mean_remaining.assign(
+        k_total,
+        mean_remaining_frac * options_.simulator.base_params.content_size);
+
+    const auto plan_start = std::chrono::steady_clock::now();
+    MFG_ASSIGN_OR_RETURN(core::EpochPlan plan, framework_.PlanEpoch(obs));
+    const double plan_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      plan_start)
+            .count();
+
+    SchemePolicies scheme;
+    scheme.name = "MFG-CP";
+    scheme.per_content.resize(k_total);
+    std::size_t active = 0;
+    for (std::size_t k = 0; k < k_total; ++k) {
+      if (plan.policies[k] != nullptr) {
+        scheme.per_content[k] = plan.policies[k];
+        ++active;
+      } else {
+        scheme.per_content[k] = idle;
+      }
+    }
+
+    MFG_ASSIGN_OR_RETURN(EpochOutcome outcome,
+                         RunEpoch(epoch, scheme, mean_remaining_frac));
+    outcome.active_contents = active;
+    outcome.plan_seconds = plan_seconds;
+    mean_remaining_frac = std::clamp(
+        outcome.result.per_slot.back().mean_cache_remaining /
+            options_.simulator.base_params.content_size,
+        0.01, 1.0);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+common::StatusOr<std::vector<EpochOutcome>> EpochRunner::RunWithScheme(
+    const SchemePolicies& scheme) {
+  std::vector<EpochOutcome> outcomes;
+  outcomes.reserve(options_.num_epochs);
+  double mean_remaining_frac = options_.initial_fill_frac;
+  for (std::size_t epoch = 0; epoch < options_.num_epochs; ++epoch) {
+    MFG_ASSIGN_OR_RETURN(EpochOutcome outcome,
+                         RunEpoch(epoch, scheme, mean_remaining_frac));
+    mean_remaining_frac = std::clamp(
+        outcome.result.per_slot.back().mean_cache_remaining /
+            options_.simulator.base_params.content_size,
+        0.01, 1.0);
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+}  // namespace mfg::sim

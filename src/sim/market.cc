@@ -1,0 +1,87 @@
+#include "sim/market.h"
+
+#include <algorithm>
+
+namespace mfg::sim {
+
+common::StatusOr<Market> Market::Create(const MarketParams& params) {
+  if (params.alpha <= 0.0 || params.alpha >= 1.0) {
+    return common::Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  if (params.sharing_price < 0.0) {
+    return common::Status::InvalidArgument(
+        "sharing price must be non-negative");
+  }
+  if (params.cloud_rate <= 0.0) {
+    return common::Status::InvalidArgument("cloud rate must be positive");
+  }
+  MFG_ASSIGN_OR_RETURN(econ::PricingModel pricing,
+                       econ::PricingModel::Create(params.pricing));
+  return Market(params, pricing);
+}
+
+common::StatusOr<double> Market::QuotePrice(
+    const std::vector<double>& remaining_spaces, std::size_t self,
+    double content_size) const {
+  return pricing_.FiniteMarketPrice(remaining_spaces, self, content_size);
+}
+
+common::StatusOr<SettlementOutcome> Market::SettleRequest(
+    double own_remaining, double content_size, double price,
+    double downlink_rate, const std::vector<std::size_t>& adjacent,
+    const std::function<double(std::size_t)>& peer_remaining,
+    common::Rng& rng) const {
+  if (content_size <= 0.0) {
+    return common::Status::InvalidArgument("content size must be positive");
+  }
+  if (downlink_rate <= 0.0) {
+    return common::Status::InvalidArgument("downlink rate must be positive");
+  }
+  if (price < 0.0) {
+    return common::Status::InvalidArgument("price must be non-negative");
+  }
+
+  const double threshold = params_.alpha * content_size;
+  SettlementOutcome out;
+
+  if (own_remaining <= threshold) {
+    // Case 1: self-serve the cached portion.
+    out.service_case = 1;
+    const double served = std::max(content_size - own_remaining, 0.0);
+    out.income = price * served;
+    out.delay = served / downlink_rate;
+    return out;
+  }
+
+  // Look for a qualified sharing peer among adjacent EDPs.
+  if (params_.sharing_enabled && !adjacent.empty()) {
+    std::vector<std::size_t> qualified;
+    for (std::size_t peer : adjacent) {
+      if (peer_remaining(peer) <= threshold) qualified.push_back(peer);
+    }
+    if (!qualified.empty()) {
+      // Case 2: buy the missing part from a random qualified peer.
+      out.service_case = 2;
+      const std::size_t peer =
+          qualified[rng.UniformInt(qualified.size())];
+      const double peer_q = peer_remaining(peer);
+      const double served = std::max(content_size - peer_q, 0.0);
+      out.peer = peer;
+      out.income = price * served;
+      out.sharing_payment = params_.sharing_price *
+                            std::max(own_remaining - peer_q, 0.0);
+      // Edge-edge hop time is negligible vs. the downlink (paper §III-A).
+      out.delay = served / downlink_rate;
+      return out;
+    }
+  }
+
+  // Case 3: top up from the cloud, then deliver the whole content.
+  out.service_case = 3;
+  out.income = price * content_size;
+  out.delay = own_remaining / params_.cloud_rate +
+              content_size / downlink_rate;
+  return out;
+}
+
+}  // namespace mfg::sim

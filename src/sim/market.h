@@ -1,0 +1,74 @@
+#ifndef MFGCP_SIM_MARKET_H_
+#define MFGCP_SIM_MARKET_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "econ/pricing.h"
+
+// The trading / sharing market (Alg. 1 lines 11-14): resolves one request
+// into one of the three service cases and produces the money and delay
+// flows of that case — the *actual* counterparts of the probabilistic
+// P¹/P²/P³ terms the solvers use.
+
+namespace mfg::sim {
+
+struct MarketParams {
+  econ::PricingParams pricing;   // p̂, η₁ for Eq. 5.
+  double sharing_price = 1.0;    // p̄ per MB.
+  double alpha = 0.2;            // Sufficiency threshold α.
+  // On-demand cloud top-up rate used by case-3 settlement (see
+  // econ::StalenessCostParams::cloud_ondemand_rate).
+  double cloud_rate = 4.5;
+  bool sharing_enabled = true;   // Off for the "MFG" baseline.
+};
+
+struct SettlementOutcome {
+  int service_case = 0;          // 1, 2 or 3.
+  double income = 0.0;           // Paid by the requester to the EDP.
+  double delay = 0.0;            // Request service delay.
+  double sharing_payment = 0.0;  // Paid by the EDP to the peer (case 2).
+  std::optional<std::size_t> peer;  // The sharing peer, if any.
+};
+
+class Market {
+ public:
+  static common::StatusOr<Market> Create(const MarketParams& params);
+
+  // Eq. (5): the price EDP `self` quotes for content of size Q given all
+  // EDPs' remaining spaces for that content (competitor supply = cached
+  // stock Q − q, see econ/pricing.h).
+  common::StatusOr<double> QuotePrice(
+      const std::vector<double>& remaining_spaces, std::size_t self,
+      double content_size) const;
+
+  // Settles one request at the serving EDP.
+  //   own_remaining:   q of the serving EDP for this content.
+  //   adjacent:        candidate sharing peers (EDP ids).
+  //   peer_remaining:  callback returning a peer's q for this content.
+  //   downlink_rate:   H_{i,j} of this request's link, MB per unit time.
+  // The sharing peer is drawn uniformly among qualified adjacent EDPs
+  // (the paper: "the center will randomly assign a suitable EDP").
+  common::StatusOr<SettlementOutcome> SettleRequest(
+      double own_remaining, double content_size, double price,
+      double downlink_rate, const std::vector<std::size_t>& adjacent,
+      const std::function<double(std::size_t)>& peer_remaining,
+      common::Rng& rng) const;
+
+  const MarketParams& params() const { return params_; }
+
+ private:
+  Market(const MarketParams& params, const econ::PricingModel& pricing)
+      : params_(params), pricing_(pricing) {}
+
+  MarketParams params_;
+  econ::PricingModel pricing_;
+};
+
+}  // namespace mfg::sim
+
+#endif  // MFGCP_SIM_MARKET_H_

@@ -1,0 +1,120 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+
+#include "common/csv.h"
+
+namespace mfg::sim {
+
+void EdpAccount::Add(const EdpAccount& other) {
+  trading_income += other.trading_income;
+  sharing_benefit += other.sharing_benefit;
+  placement_cost += other.placement_cost;
+  staleness_cost += other.staleness_cost;
+  sharing_cost += other.sharing_cost;
+  requests_served += other.requests_served;
+  case1_count += other.case1_count;
+  case2_count += other.case2_count;
+  case3_count += other.case3_count;
+}
+
+double SimulationResult::MeanUtility() const {
+  if (per_edp.empty()) return 0.0;
+  return total.Utility() / static_cast<double>(per_edp.size());
+}
+
+double SimulationResult::MeanTradingIncome() const {
+  if (per_edp.empty()) return 0.0;
+  return total.trading_income / static_cast<double>(per_edp.size());
+}
+
+double SimulationResult::MeanStalenessCost() const {
+  if (per_edp.empty()) return 0.0;
+  return total.staleness_cost / static_cast<double>(per_edp.size());
+}
+
+double SimulationResult::MeanSharingBenefit() const {
+  if (per_edp.empty()) return 0.0;
+  return total.sharing_benefit / static_cast<double>(per_edp.size());
+}
+
+double SimulationResult::UtilityStdDev() const {
+  if (per_edp.size() < 2) return 0.0;
+  const double mean = MeanUtility();
+  double acc = 0.0;
+  for (const auto& account : per_edp) {
+    const double d = account.Utility() - mean;
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(per_edp.size() - 1));
+}
+
+double SimulationResult::MinUtility() const {
+  double min_utility = std::numeric_limits<double>::infinity();
+  for (const auto& account : per_edp) {
+    min_utility = std::min(min_utility, account.Utility());
+  }
+  return per_edp.empty() ? 0.0 : min_utility;
+}
+
+double SimulationResult::MaxUtility() const {
+  double max_utility = -std::numeric_limits<double>::infinity();
+  for (const auto& account : per_edp) {
+    max_utility = std::max(max_utility, account.Utility());
+  }
+  return per_edp.empty() ? 0.0 : max_utility;
+}
+
+double SimulationResult::JainFairnessIndex() const {
+  if (per_edp.empty()) return 0.0;
+  // Shift so the smallest utility maps to zero (Jain's index assumes
+  // non-negative allocations); a +1 offset avoids 0/0 when all equal.
+  const double shift = std::min(MinUtility(), 0.0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& account : per_edp) {
+    const double u = account.Utility() - shift + 1.0;
+    sum += u;
+    sum_sq += u * u;
+  }
+  return sum * sum / (static_cast<double>(per_edp.size()) * sum_sq);
+}
+
+std::string SimulationResult::PerSlotCsv() const {
+  common::CsvWriter writer(
+      {"time", "mean_utility", "mean_trading_income", "mean_staleness_cost",
+       "mean_sharing_benefit", "mean_cache_remaining", "mean_caching_rate",
+       "mean_price", "case1_requests", "case2_requests", "case3_requests",
+       "total_delay", "mean_downlink"});
+  for (const SlotMetrics& slot : per_slot) {
+    writer.AddRow(std::vector<double>{
+        slot.time, slot.mean_utility, slot.mean_trading_income,
+        slot.mean_staleness_cost, slot.mean_sharing_benefit,
+        slot.mean_cache_remaining, slot.mean_caching_rate, slot.mean_price,
+        static_cast<double>(slot.case1_requests),
+        static_cast<double>(slot.case2_requests),
+        static_cast<double>(slot.case3_requests), slot.total_delay,
+        slot.mean_downlink});
+  }
+  return writer.ToString();
+}
+
+common::Status SimulationResult::WritePerSlotCsv(
+    const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return common::Status::IoError("cannot open " + path);
+  out << PerSlotCsv();
+  if (!out) return common::Status::IoError("write failed for " + path);
+  return common::Status::Ok();
+}
+
+double SimulationResult::HitRatio() const {
+  if (total.requests_served == 0) return 0.0;
+  return static_cast<double>(total.case1_count) /
+         static_cast<double>(total.requests_served);
+}
+
+}  // namespace mfg::sim

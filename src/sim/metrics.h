@@ -1,0 +1,96 @@
+#ifndef MFGCP_SIM_METRICS_H_
+#define MFGCP_SIM_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Accounting for the agent-based simulation: every scheme (MFG-CP and the
+// baselines) is scored through the same ledger so comparisons (Figs. 12-14)
+// are apples-to-apples.
+
+namespace mfg::sim {
+
+// One EDP's cumulative ledger (Eq. 10's components, integrated over the
+// simulated horizon).
+struct EdpAccount {
+  double trading_income = 0.0;   // Φ¹.
+  double sharing_benefit = 0.0;  // Φ².
+  double placement_cost = 0.0;   // C¹.
+  double staleness_cost = 0.0;   // C².
+  double sharing_cost = 0.0;     // C³.
+  std::size_t requests_served = 0;
+  std::size_t case1_count = 0;
+  std::size_t case2_count = 0;
+  std::size_t case3_count = 0;
+
+  double Utility() const {
+    return trading_income + sharing_benefit - placement_cost -
+           staleness_cost - sharing_cost;
+  }
+
+  void Add(const EdpAccount& other);
+};
+
+// Population aggregates per time slot.
+struct SlotMetrics {
+  double time = 0.0;
+  double mean_utility = 0.0;        // Instantaneous, averaged over EDPs.
+  double mean_trading_income = 0.0;
+  double mean_staleness_cost = 0.0;
+  double mean_sharing_benefit = 0.0;
+  double mean_cache_remaining = 0.0;  // Mean q over EDPs and contents.
+  double mean_caching_rate = 0.0;     // Mean decided x.
+  double mean_price = 0.0;            // Mean quoted price.
+  std::size_t case1_requests = 0;     // Requests self-served this slot.
+  std::size_t case2_requests = 0;     // Requests peer-served this slot.
+  std::size_t case3_requests = 0;     // Requests cloud-served this slot.
+  double total_delay = 0.0;           // Summed service delay this slot.
+  double mean_downlink = 0.0;         // Mean downlink rate of served
+                                      // requests, MB per unit time.
+};
+
+struct SimulationResult {
+  std::string scheme;
+  std::vector<SlotMetrics> per_slot;
+  std::vector<EdpAccount> per_edp;   // Cumulative, one per EDP.
+  // Cumulative per content, summed over EDPs (per_content[k] aggregates
+  // every EDP's ledger for content k). Used by the Fig. 13 bench.
+  std::vector<EdpAccount> per_content;
+  EdpAccount total;                  // Sum over EDPs.
+  double decision_seconds = 0.0;     // Wall time of the decision phase
+                                     // (Table II's "computation time").
+  double plan_seconds = 0.0;         // One-off planning (MFG solve).
+
+  // Population averages of the cumulative ledger.
+  double MeanUtility() const;
+  double MeanTradingIncome() const;
+  double MeanStalenessCost() const;
+  double MeanSharingBenefit() const;
+
+  // Fraction of requests self-served (cache hit ratio).
+  double HitRatio() const;
+
+  // Dispersion of the cumulative utility across EDPs (how evenly the
+  // scheme's gains are distributed). Std-dev is 0 for < 2 EDPs.
+  double UtilityStdDev() const;
+  double MinUtility() const;
+  double MaxUtility() const;
+
+  // Jain's fairness index over the per-EDP utilities shifted to be
+  // non-negative: (Σu)² / (n Σu²) ∈ (0, 1], 1 = perfectly even.
+  double JainFairnessIndex() const;
+
+  // Serializes the per-slot time series as CSV (one row per slot, one
+  // column per SlotMetrics field) for external plotting.
+  std::string PerSlotCsv() const;
+
+  // Writes PerSlotCsv() to a file.
+  common::Status WritePerSlotCsv(const std::string& path) const;
+};
+
+}  // namespace mfg::sim
+
+#endif  // MFGCP_SIM_METRICS_H_

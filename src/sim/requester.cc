@@ -1,0 +1,79 @@
+#include "sim/requester.h"
+
+#include <cmath>
+
+namespace mfg::sim {
+
+common::StatusOr<RequesterAgent> RequesterAgent::Create(
+    std::size_t id, std::size_t serving_edp,
+    const net::ChannelParams& channel_params, double serving_distance,
+    std::vector<double> interference_distances, double tx_power,
+    const net::RateParams& rate_params, double initial_fading) {
+  if (tx_power <= 0.0) {
+    return common::Status::InvalidArgument("tx power must be positive");
+  }
+  MFG_ASSIGN_OR_RETURN(
+      net::FadingChannel channel,
+      net::FadingChannel::Create(channel_params, serving_distance,
+                                 initial_fading));
+  RequesterAgent agent(id, serving_edp, channel_params, channel, 0.0,
+                       tx_power, rate_params);
+  for (double d : interference_distances) {
+    if (d <= 0.0) {
+      return common::Status::InvalidArgument(
+          "interference distances must be positive");
+    }
+  }
+  agent.interference_power_ =
+      agent.InterferencePower(interference_distances);
+  return agent;
+}
+
+double RequesterAgent::InterferencePower(
+    const std::vector<double>& interference_distances) const {
+  // Interference evaluated with every cross-link at the OU long-term mean.
+  const double mean_h = channel_params_.fading.upsilon;
+  double interference = 0.0;
+  for (double d : interference_distances) {
+    interference += net::ChannelGain(mean_h, d,
+                                     channel_params_.path_loss_exponent) *
+                    tx_power_;
+  }
+  return interference * rate_params_.interferer_activity;
+}
+
+common::Status RequesterAgent::Rebind(
+    std::size_t serving_edp, double serving_distance,
+    const std::vector<double>& interference_distances) {
+  if (serving_distance <= 0.0) {
+    return common::Status::InvalidArgument(
+        "serving distance must be positive");
+  }
+  for (double d : interference_distances) {
+    if (d <= 0.0) {
+      return common::Status::InvalidArgument(
+          "interference distances must be positive");
+    }
+  }
+  const double h = channel_.fading();
+  MFG_ASSIGN_OR_RETURN(channel_,
+                       net::FadingChannel::Create(channel_params_,
+                                                  serving_distance, h));
+  serving_edp_ = serving_edp;
+  interference_power_ = InterferencePower(interference_distances);
+  return common::Status::Ok();
+}
+
+void RequesterAgent::StepChannel(double dt, common::Rng& rng) {
+  channel_.Step(dt, rng);
+}
+
+double RequesterAgent::DownlinkRateMb() const {
+  const double signal = channel_.Gain() * tx_power_;
+  const double sinr =
+      signal / (rate_params_.noise_power + interference_power_);
+  const double bits = net::ShannonRate(rate_params_.bandwidth_hz, sinr);
+  return net::BitsToMegabytes(bits);
+}
+
+}  // namespace mfg::sim

@@ -1,0 +1,76 @@
+#ifndef MFGCP_SIM_REQUESTER_H_
+#define MFGCP_SIM_REQUESTER_H_
+
+#include <cstddef>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "net/channel.h"
+#include "net/rate.h"
+
+// One content requester: its serving link's fading state (Eq. 1) and the
+// machinery to compute its achievable downlink rate (Eq. 2). Interference
+// from non-serving EDPs is evaluated at the fading process's long-term
+// mean (the cross-links' fluctuations average out across hundreds of
+// interferers) — the serving link keeps its full stochastic state.
+
+namespace mfg::sim {
+
+class RequesterAgent {
+ public:
+  // `serving_distance` is to the serving EDP; `interference_distances` are
+  // to every other EDP.
+  static common::StatusOr<RequesterAgent> Create(
+      std::size_t id, std::size_t serving_edp,
+      const net::ChannelParams& channel_params, double serving_distance,
+      std::vector<double> interference_distances, double tx_power,
+      const net::RateParams& rate_params, double initial_fading);
+
+  std::size_t id() const { return id_; }
+  std::size_t serving_edp() const { return serving_edp_; }
+
+  // Advances the serving link's fading.
+  void StepChannel(double dt, common::Rng& rng);
+
+  // Re-binds the agent to a (possibly new) serving EDP and link geometry
+  // after the requester moved. The fading state h carries over: the OU
+  // process models small-scale fading, which persists across small
+  // displacements while the path loss follows the new distances.
+  common::Status Rebind(std::size_t serving_edp, double serving_distance,
+                        const std::vector<double>& interference_distances);
+
+  // Current fading coefficient of the serving link.
+  double fading() const { return channel_.fading(); }
+
+  // Achievable rate from the serving EDP, in MB per unit time.
+  double DownlinkRateMb() const;
+
+ private:
+  RequesterAgent(std::size_t id, std::size_t serving_edp,
+                 const net::ChannelParams& channel_params,
+                 net::FadingChannel channel, double interference_power,
+                 double tx_power, const net::RateParams& rate_params)
+      : id_(id),
+        serving_edp_(serving_edp),
+        channel_params_(channel_params),
+        channel_(channel),
+        interference_power_(interference_power),
+        tx_power_(tx_power),
+        rate_params_(rate_params) {}
+
+  // Mean-fading interference power for a set of interferer distances.
+  double InterferencePower(
+      const std::vector<double>& interference_distances) const;
+
+  std::size_t id_;
+  std::size_t serving_edp_;
+  net::ChannelParams channel_params_;
+  net::FadingChannel channel_;
+  double interference_power_;  // Precomputed mean-fading interference.
+  double tx_power_;
+  net::RateParams rate_params_;
+};
+
+}  // namespace mfg::sim
+
+#endif  // MFGCP_SIM_REQUESTER_H_

@@ -1,0 +1,552 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace mfg::sim {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Ranks contents by popularity: rank_frac[k] ∈ [0, 1), 0 = most popular.
+std::vector<double> PopularityRankFractions(
+    const std::vector<double>& popularity) {
+  const std::size_t k_total = popularity.size();
+  std::vector<std::size_t> order(k_total);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return popularity[a] > popularity[b];
+  });
+  std::vector<double> rank(k_total, 0.0);
+  for (std::size_t pos = 0; pos < k_total; ++pos) {
+    rank[order[pos]] =
+        static_cast<double>(pos) / static_cast<double>(k_total);
+  }
+  return rank;
+}
+
+}  // namespace
+
+SchemePolicies UniformScheme(std::string name,
+                             std::shared_ptr<core::CachingPolicy> policy,
+                             std::size_t num_contents) {
+  SchemePolicies scheme;
+  scheme.name = std::move(name);
+  scheme.per_content.assign(num_contents, policy);
+  return scheme;
+}
+
+Simulator::Simulator(const SimulatorOptions& options, net::Topology topology,
+                     content::Catalog catalog,
+                     content::PopularityModel popularity,
+                     content::TimelinessModel timeliness, Market market)
+    : options_(options),
+      topology_(std::move(topology)),
+      catalog_(std::move(catalog)),
+      popularity_(std::move(popularity)),
+      timeliness_(std::move(timeliness)),
+      market_(std::move(market)) {}
+
+common::StatusOr<Simulator> Simulator::Create(
+    const SimulatorOptions& options) {
+  if (options.num_edps == 0 || options.num_requesters == 0 ||
+      options.num_contents == 0 || options.num_slots == 0) {
+    return common::Status::InvalidArgument(
+        "simulator needs positive M, J, K and slot count");
+  }
+  MFG_RETURN_IF_ERROR(options.base_params.Validate());
+  if (options.request_rate <= 0.0) {
+    return common::Status::InvalidArgument("request rate must be positive");
+  }
+  if (options.initial_fill_frac_std <= 0.0) {
+    return common::Status::InvalidArgument(
+        "initial fill std must be positive");
+  }
+  if (options.requester_speed < 0.0) {
+    return common::Status::InvalidArgument(
+        "requester speed must be non-negative");
+  }
+  if (options.storage_capacity_mb < 0.0) {
+    return common::Status::InvalidArgument(
+        "storage capacity must be non-negative");
+  }
+
+  common::Rng topo_rng(options.seed ^ 0x70B0C0DEULL);
+  net::TopologyOptions topo_options = options.topology;
+  topo_options.num_edps = options.num_edps;
+  topo_options.num_requesters = options.num_requesters;
+  MFG_ASSIGN_OR_RETURN(net::Topology topology,
+                       net::Topology::CreateRandom(topo_options, topo_rng));
+
+  content::Catalog catalog = content::Catalog::CreateUniform(1, 1.0).value();
+  if (options.content_sizes.empty()) {
+    MFG_ASSIGN_OR_RETURN(catalog, content::Catalog::CreateUniform(
+                                      options.num_contents,
+                                      options.base_params.content_size));
+  } else {
+    if (options.content_sizes.size() != options.num_contents) {
+      return common::Status::InvalidArgument(
+          "content_sizes must have one entry per content");
+    }
+    std::vector<content::ContentInfo> infos(options.num_contents);
+    for (std::size_t k = 0; k < options.num_contents; ++k) {
+      infos[k].size_mb = options.content_sizes[k];
+      infos[k].name = "content_" + std::to_string(k);
+    }
+    MFG_ASSIGN_OR_RETURN(catalog, content::Catalog::Create(infos));
+  }
+  MFG_ASSIGN_OR_RETURN(content::PopularityModel popularity,
+                       content::PopularityModel::CreateZipf(
+                           options.num_contents, options.popularity_iota));
+  content::TimelinessParams timeliness_params;
+  MFG_ASSIGN_OR_RETURN(content::TimelinessModel timeliness,
+                       content::TimelinessModel::Create(timeliness_params));
+
+  MarketParams market_params;
+  market_params.pricing = options.base_params.pricing;
+  market_params.sharing_price = options.base_params.utility.sharing_price;
+  market_params.alpha = options.base_params.case_alpha;
+  market_params.cloud_rate =
+      options.base_params.utility.staleness.cloud_ondemand_rate;
+  market_params.sharing_enabled = options.base_params.sharing_enabled;
+  MFG_ASSIGN_OR_RETURN(Market market, Market::Create(market_params));
+
+  return Simulator(options, std::move(topology), std::move(catalog),
+                   std::move(popularity), std::move(timeliness),
+                   std::move(market));
+}
+
+double Simulator::ImpliedRequestsPerEdpContent(
+    double content_popularity) const {
+  const double requesters_per_edp =
+      static_cast<double>(options_.num_requesters) /
+      static_cast<double>(options_.num_edps);
+  return requesters_per_edp * options_.request_rate * content_popularity;
+}
+
+common::Status Simulator::InitializeAgents(
+    common::Rng& rng, std::vector<EdpAgent>& edps,
+    std::vector<RequesterAgent>& requesters) {
+  const std::size_t m = options_.num_edps;
+  const std::size_t k_total = options_.num_contents;
+
+  edps.clear();
+  edps.reserve(m);
+  std::vector<double> sizes(k_total);
+  for (std::size_t k = 0; k < k_total; ++k) sizes[k] = catalog_.size_mb(k);
+  for (std::size_t i = 0; i < m; ++i) {
+    std::vector<double> initial(k_total);
+    for (std::size_t k = 0; k < k_total; ++k) {
+      initial[k] = rng.Gaussian(
+          options_.initial_fill_frac_mean * sizes[k],
+          options_.initial_fill_frac_std * sizes[k]);
+    }
+    edps.emplace_back(i, std::move(initial), sizes);
+  }
+
+  net::ChannelParams channel_params;
+  channel_params.fading = options_.base_params.channel;
+  requesters.clear();
+  requesters.reserve(options_.num_requesters);
+  for (std::size_t j = 0; j < options_.num_requesters; ++j) {
+    const std::size_t serving = topology_.ServingEdp(j);
+    std::vector<double> interference_distances;
+    interference_distances.reserve(m - 1);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == serving) continue;
+      interference_distances.push_back(
+          std::max(topology_.EdpRequesterDistance(i, j), 1.0));
+    }
+    const double serving_distance =
+        std::max(topology_.EdpRequesterDistance(serving, j), 1.0);
+    const double initial_fading =
+        rng.Gaussian(options_.base_params.channel.upsilon,
+                     options_.base_params.channel.rho);
+    MFG_ASSIGN_OR_RETURN(
+        RequesterAgent agent,
+        RequesterAgent::Create(j, serving, channel_params, serving_distance,
+                               std::move(interference_distances),
+                               options_.tx_power, options_.rate,
+                               initial_fading));
+    requesters.push_back(std::move(agent));
+  }
+  return common::Status::Ok();
+}
+
+common::StatusOr<SimulationResult> Simulator::Run(
+    const SchemePolicies& scheme) {
+  const std::size_t m = options_.num_edps;
+  const std::size_t k_total = options_.num_contents;
+  if (scheme.per_content.size() != k_total) {
+    return common::Status::InvalidArgument(
+        "scheme must provide one policy per content");
+  }
+  for (const auto& policy : scheme.per_content) {
+    if (policy == nullptr) {
+      return common::Status::InvalidArgument("scheme has a null policy");
+    }
+  }
+
+  common::Rng rng(options_.seed);
+  std::vector<EdpAgent> edps;
+  std::vector<RequesterAgent> requesters;
+  MFG_RETURN_IF_ERROR(InitializeAgents(rng, edps, requesters));
+
+  // Mobility state: positions and persistent headings per requester.
+  std::vector<net::Point> positions;
+  std::vector<double> headings;
+  std::vector<net::Point> edp_positions;
+  if (options_.requester_speed > 0.0) {
+    positions.reserve(options_.num_requesters);
+    headings.reserve(options_.num_requesters);
+    for (std::size_t j = 0; j < options_.num_requesters; ++j) {
+      positions.push_back(topology_.requester_position(j));
+      headings.push_back(rng.Uniform(0.0, 2.0 * 3.14159265358979));
+    }
+    edp_positions.reserve(m);
+    for (std::size_t i = 0; i < m; ++i) {
+      edp_positions.push_back(topology_.edp_position(i));
+    }
+  }
+
+  content::RequestGeneratorOptions req_options;
+  const double dt = options_.base_params.horizon /
+                    static_cast<double>(options_.num_slots);
+  req_options.request_rate = options_.request_rate * dt;  // Per slot.
+  MFG_ASSIGN_OR_RETURN(
+      content::RequestGenerator generator,
+      content::RequestGenerator::Create(req_options, popularity_,
+                                        timeliness_));
+
+  SimulationResult result;
+  result.scheme = scheme.name;
+  result.per_slot.reserve(options_.num_slots);
+  result.per_content.assign(k_total, EdpAccount());
+
+  std::vector<double> popularity = popularity_.prior();
+  std::vector<std::size_t> cumulative_counts(k_total, 0);
+  std::size_t cumulative_total = 0;
+
+  // Smoothed per-content timeliness estimate L_k. A slot with no requests
+  // for k carries the previous estimate forward — Def. 2's mean is only
+  // defined over *actual* requesters, and resetting to zero would flip
+  // the discard factor xi^L to its maximum and purge the cache.
+  std::vector<double> timeliness_estimate(k_total,
+                                          timeliness_.l_max() / 2.0);
+  const double timeliness_smoothing = 0.3;
+
+  // decisions[i][k]: this slot's caching rate.
+  std::vector<std::vector<double>> decisions(
+      m, std::vector<double>(k_total, 0.0));
+
+  double decision_seconds = 0.0;
+  const double alpha = options_.base_params.case_alpha;
+
+  for (std::size_t slot = 0; slot < options_.num_slots; ++slot) {
+    const double t = static_cast<double>(slot) * dt;
+
+    // --- 1. Requests of this slot -------------------------------------
+    std::vector<double> weights = popularity;
+    if (!options_.trace_daily_weights.empty()) {
+      const std::size_t day =
+          slot * options_.trace_daily_weights.size() / options_.num_slots;
+      weights = options_.trace_daily_weights[day];
+      if (weights.size() != k_total) {
+        return common::Status::InvalidArgument(
+            "trace weights arity mismatch");
+      }
+    }
+    content::RequestBatch batch = generator.GenerateWithWeights(
+        options_.num_requesters, weights, rng);
+    const std::vector<std::size_t> counts =
+        batch.CountsPerContent(k_total);
+    const std::vector<double> slot_timeliness =
+        batch.MeanTimelinessPerContent(k_total);
+    for (std::size_t k = 0; k < k_total; ++k) {
+      if (counts[k] > 0) {
+        timeliness_estimate[k] =
+            (1.0 - timeliness_smoothing) * timeliness_estimate[k] +
+            timeliness_smoothing * slot_timeliness[k];
+      }
+    }
+
+    // --- 2. Popularity update (Eq. 3, cumulative request history) ------
+    for (std::size_t k = 0; k < k_total; ++k) {
+      cumulative_counts[k] += counts[k];
+      cumulative_total += counts[k];
+    }
+    MFG_ASSIGN_OR_RETURN(popularity,
+                         popularity_.Update(cumulative_counts));
+    const std::vector<double> rank = PopularityRankFractions(popularity);
+
+    // Per-EDP request lists.
+    std::vector<std::vector<const content::Request*>> per_edp_requests(m);
+    for (const content::Request& req : batch.requests) {
+      per_edp_requests[requesters[req.requester].serving_edp()].push_back(
+          &req);
+    }
+
+    // Per-content overlap estimate for UDCS: fraction of EDPs that
+    // currently hold the content.
+    std::vector<double> holder_fraction(k_total, 0.0);
+    for (std::size_t k = 0; k < k_total; ++k) {
+      std::size_t holders = 0;
+      for (const EdpAgent& edp : edps) {
+        if (edp.CachedEnough(k, alpha)) ++holders;
+      }
+      holder_fraction[k] =
+          static_cast<double>(holders) / static_cast<double>(m);
+    }
+
+    // --- 3. Decision phase (timed; Table II) ---------------------------
+    const auto decide_start = Clock::now();
+    std::vector<std::size_t> per_edp_counts(k_total, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      per_edp_counts.assign(k_total, 0);
+      for (const content::Request* req : per_edp_requests[i]) {
+        ++per_edp_counts[req->content];
+      }
+      for (std::size_t k = 0; k < k_total; ++k) {
+        core::PolicyContext ctx;
+        ctx.time = t;
+        ctx.content = k;
+        ctx.remaining = edps[i].remaining(k);
+        ctx.content_size = catalog_.size_mb(k);
+        ctx.popularity = popularity[k];
+        ctx.popularity_rank = rank[k];
+        ctx.timeliness = timeliness_estimate[k];
+        ctx.num_requests = static_cast<double>(per_edp_counts[k]);
+        ctx.overlap_estimate = holder_fraction[k];
+        decisions[i][k] =
+            common::ClampUnit(scheme.per_content[k]->Rate(ctx, rng));
+      }
+    }
+    // Storage budget: scale this slot's intake into the remaining
+    // headroom (paper's Remark — the capacity-constrained placement).
+    if (options_.storage_capacity_mb > 0.0) {
+      for (std::size_t i = 0; i < m; ++i) {
+        double used = 0.0;
+        double intake = 0.0;
+        for (std::size_t k = 0; k < k_total; ++k) {
+          used += catalog_.size_mb(k) - edps[i].remaining(k);
+          const double fade = options_.base_params.boundary_smoothing *
+                              catalog_.size_mb(k);
+          const double avail =
+              fade <= 0.0
+                  ? (edps[i].remaining(k) > 0.0 ? 1.0 : 0.0)
+                  : common::Clamp(edps[i].remaining(k) / fade, 0.0, 1.0);
+          intake += catalog_.size_mb(k) *
+                    options_.base_params.dynamics.w1 * avail *
+                    decisions[i][k] * dt;
+        }
+        const double headroom =
+            std::max(options_.storage_capacity_mb - used, 0.0);
+        if (intake > headroom) {
+          const double scale = intake > 0.0 ? headroom / intake : 0.0;
+          for (std::size_t k = 0; k < k_total; ++k) {
+            decisions[i][k] *= scale;
+          }
+        }
+      }
+    }
+    decision_seconds += SecondsSince(decide_start);
+
+    // --- 4. Market settlement ------------------------------------------
+    // Prices per (EDP, content) from the population's cached stock.
+    std::vector<double> remaining_for_k(m);
+    std::vector<std::vector<double>> price(m,
+                                           std::vector<double>(k_total));
+    for (std::size_t k = 0; k < k_total; ++k) {
+      for (std::size_t i = 0; i < m; ++i) {
+        remaining_for_k[i] = edps[i].remaining(k);
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        MFG_ASSIGN_OR_RETURN(
+            price[i][k],
+            market_.QuotePrice(remaining_for_k, i, catalog_.size_mb(k)));
+      }
+    }
+
+    double slot_income = 0.0;
+    double slot_staleness = 0.0;
+    double slot_sharing_benefit = 0.0;
+    SlotMetrics metrics;
+    metrics.time = t;
+    for (const content::Request& req : batch.requests) {
+      const std::size_t i = requesters[req.requester].serving_edp();
+      const std::size_t k = req.content;
+      const double downlink =
+          std::max(requesters[req.requester].DownlinkRateMb(), 0.1);
+      MFG_ASSIGN_OR_RETURN(
+          SettlementOutcome outcome,
+          market_.SettleRequest(
+              edps[i].remaining(k), catalog_.size_mb(k), price[i][k],
+              downlink, topology_.AdjacentEdps(i),
+              [&](std::size_t peer) { return edps[peer].remaining(k); },
+              rng));
+      EdpAccount& account = edps[i].account();
+      EdpAccount& content_account = result.per_content[k];
+      account.trading_income += outcome.income;
+      const double staleness =
+          options_.base_params.utility.staleness.eta2 * outcome.delay;
+      account.staleness_cost += staleness;
+      account.sharing_cost += outcome.sharing_payment;
+      account.requests_served += 1;
+      content_account.trading_income += outcome.income;
+      content_account.staleness_cost += staleness;
+      content_account.sharing_cost += outcome.sharing_payment;
+      content_account.requests_served += 1;
+      switch (outcome.service_case) {
+        case 1:
+          account.case1_count += 1;
+          content_account.case1_count += 1;
+          metrics.case1_requests += 1;
+          break;
+        case 2:
+          account.case2_count += 1;
+          content_account.case2_count += 1;
+          metrics.case2_requests += 1;
+          break;
+        default:
+          account.case3_count += 1;
+          content_account.case3_count += 1;
+          metrics.case3_requests += 1;
+          break;
+      }
+      metrics.total_delay += outcome.delay;
+      metrics.mean_downlink += downlink;
+      if (outcome.peer.has_value()) {
+        edps[*outcome.peer].account().sharing_benefit +=
+            outcome.sharing_payment;
+        content_account.sharing_benefit += outcome.sharing_payment;
+        slot_sharing_benefit += outcome.sharing_payment;
+      }
+      slot_income += outcome.income;
+      slot_staleness += staleness;
+    }
+
+    // --- 5. Placement costs + cloud-download staleness + dynamics ------
+    double slot_placement = 0.0;
+    double slot_mean_rate = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t k = 0; k < k_total; ++k) {
+        const double x = decisions[i][k];
+        // Downloads can only fill the remaining space (same fade as the
+        // solvers, core::MfgParams::ControlAvailability).
+        const double fade = options_.base_params.boundary_smoothing *
+                            catalog_.size_mb(k);
+        const double availability =
+            fade <= 0.0 ? (edps[i].remaining(k) > 0.0 ? 1.0 : 0.0)
+                        : common::Clamp(edps[i].remaining(k) / fade, 0.0,
+                                        1.0);
+        const double placement =
+            econ::PlacementCost(options_.base_params.utility.placement, x) *
+            dt;
+        const double download_delay =
+            catalog_.size_mb(k) * x * availability /
+            options_.base_params.utility.staleness.cloud_rate * dt;
+        const double staleness =
+            options_.base_params.utility.staleness.eta2 * download_delay;
+        edps[i].account().placement_cost += placement;
+        edps[i].account().staleness_cost += staleness;
+        result.per_content[k].placement_cost += placement;
+        result.per_content[k].staleness_cost += staleness;
+        slot_placement += placement;
+        slot_staleness += staleness;
+        slot_mean_rate += x;
+
+        edps[i].StepCache(k, x, popularity[k],
+                          timeliness_.DriftFactor(timeliness_estimate[k]),
+                          options_.base_params.dynamics, dt, rng,
+                          availability);
+      }
+    }
+
+    // --- 6. Channel evolution and requester mobility --------------------
+    for (RequesterAgent& requester : requesters) {
+      requester.StepChannel(dt, rng);
+    }
+    if (options_.requester_speed > 0.0) {
+      const double step = options_.requester_speed * dt;
+      for (std::size_t j = 0; j < options_.num_requesters; ++j) {
+        // Persistent heading with occasional re-draws; reflect at the
+        // region borders.
+        if (rng.Uniform() < 0.05) {
+          headings[j] = rng.Uniform(0.0, 2.0 * 3.14159265358979);
+        }
+        net::Point& pos = positions[j];
+        pos.x += step * std::cos(headings[j]);
+        pos.y += step * std::sin(headings[j]);
+        const double w = options_.topology.region.width;
+        const double hgt = options_.topology.region.height;
+        if (pos.x < 0.0 || pos.x > w) {
+          headings[j] = 3.14159265358979 - headings[j];
+          pos.x = common::Clamp(pos.x, 0.0, w);
+        }
+        if (pos.y < 0.0 || pos.y > hgt) {
+          headings[j] = -headings[j];
+          pos.y = common::Clamp(pos.y, 0.0, hgt);
+        }
+        MFG_ASSIGN_OR_RETURN(std::size_t serving,
+                             net::NearestIndex(pos, edp_positions));
+        std::vector<double> interference_distances;
+        interference_distances.reserve(m - 1);
+        for (std::size_t i = 0; i < m; ++i) {
+          if (i == serving) continue;
+          interference_distances.push_back(
+              std::max(net::Distance(pos, edp_positions[i]), 1.0));
+        }
+        MFG_RETURN_IF_ERROR(requesters[j].Rebind(
+            serving,
+            std::max(net::Distance(pos, edp_positions[serving]), 1.0),
+            interference_distances));
+      }
+    }
+
+    // --- 7. Slot metrics -------------------------------------------------
+    const std::size_t slot_requests = metrics.case1_requests +
+                                      metrics.case2_requests +
+                                      metrics.case3_requests;
+    if (slot_requests > 0) {
+      metrics.mean_downlink /= static_cast<double>(slot_requests);
+    }
+    const double md = static_cast<double>(m);
+    metrics.mean_trading_income = slot_income / md;
+    metrics.mean_staleness_cost = slot_staleness / md;
+    metrics.mean_sharing_benefit = slot_sharing_benefit / md;
+    metrics.mean_utility =
+        (slot_income + slot_sharing_benefit - slot_placement -
+         slot_staleness) /
+        md;
+    double mean_remaining = 0.0;
+    for (const EdpAgent& edp : edps) mean_remaining += edp.MeanRemaining();
+    metrics.mean_cache_remaining = mean_remaining / md;
+    metrics.mean_caching_rate =
+        slot_mean_rate / (md * static_cast<double>(k_total));
+    double mean_price = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t k = 0; k < k_total; ++k) mean_price += price[i][k];
+    }
+    metrics.mean_price = mean_price / (md * static_cast<double>(k_total));
+    result.per_slot.push_back(metrics);
+  }
+
+  result.per_edp.reserve(m);
+  for (const EdpAgent& edp : edps) {
+    result.per_edp.push_back(edp.account());
+    result.total.Add(edp.account());
+  }
+  result.decision_seconds = decision_seconds;
+  return result;
+}
+
+}  // namespace mfg::sim

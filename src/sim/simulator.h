@@ -1,0 +1,126 @@
+#ifndef MFGCP_SIM_SIMULATOR_H_
+#define MFGCP_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "content/catalog.h"
+#include "content/popularity.h"
+#include "content/request.h"
+#include "content/timeliness.h"
+#include "core/mfg_params.h"
+#include "core/policy.h"
+#include "net/rate.h"
+#include "net/topology.h"
+#include "sim/edp.h"
+#include "sim/market.h"
+#include "sim/metrics.h"
+#include "sim/requester.h"
+
+// The explicit M-EDP / J-requester discrete-time simulator that scores
+// every caching scheme on identical ground: stochastic per-link channels
+// (Eq. 1-2), stochastic cache dynamics (Eq. 4), supply-dependent pricing
+// (Eq. 5), and full market settlement of every request (Alg. 1 lines
+// 11-14). MFG-CP's policy tables come from the offline mean-field solve;
+// the baselines decide online per EDP. Decision-phase wall time is
+// recorded per scheme, which reproduces Table II.
+
+namespace mfg::sim {
+
+// The per-content policies one scheme uses. Policies may be shared across
+// EDPs (they are stateless; randomness comes from the per-EDP rng).
+struct SchemePolicies {
+  std::string name;
+  std::vector<std::shared_ptr<core::CachingPolicy>> per_content;
+};
+
+// Builds a scheme where one policy instance serves every content (RR,
+// MPC, UDCS).
+SchemePolicies UniformScheme(std::string name,
+                             std::shared_ptr<core::CachingPolicy> policy,
+                             std::size_t num_contents);
+
+struct SimulatorOptions {
+  std::size_t num_edps = 300;        // M (paper: 300).
+  std::size_t num_requesters = 900;  // J.
+  std::size_t num_contents = 20;     // K (paper: 20).
+  std::size_t num_slots = 200;       // Time slots per run.
+  double request_rate = 10.0;        // Requests / requester / unit time.
+  std::uint64_t seed = 42;
+
+  // Model parameters shared with the mean-field solver (dynamics, econ,
+  // pricing, α, channel OU, horizon). content_size is taken from here for
+  // a homogeneous catalog.
+  core::MfgParams base_params;
+
+  net::TopologyOptions topology;
+  net::RateParams rate;
+  double tx_power = 1.0;             // G (paper: 1 W for all EDPs).
+  double popularity_iota = 0.8;      // Zipf steepness of the prior.
+
+  // Initial cache state q(0) ~ N(mean_frac·Q, (std_frac·Q)²), truncated.
+  double initial_fill_frac_mean = 0.7;
+  double initial_fill_frac_std = 0.1;
+
+  // Requester mobility: speed in meters per unit time (0 = static, the
+  // default). Moving requesters re-associate with the nearest EDP every
+  // slot and their links re-bind to the new geometry — the "random
+  // mobility of requesters" the paper cites as the source of channel
+  // randomness, made explicit.
+  double requester_speed = 0.0;
+
+  // Optional trace driving the request mix per day (slot -> day mapping
+  // is uniform); empty = use the Zipf prior.
+  std::vector<std::vector<double>> trace_daily_weights;
+
+  // Optional per-content sizes Q_k in MB (length num_contents); empty =
+  // a homogeneous catalog at base_params.content_size.
+  std::vector<double> content_sizes;
+
+  // Per-EDP total storage budget in MB across all contents (the paper's
+  // Remark: capacity below the sum of per-content plans). 0 = unlimited.
+  // When the budget binds, the slot's caching rates are scaled down
+  // proportionally so the expected intake fits the remaining headroom.
+  double storage_capacity_mb = 0.0;
+};
+
+class Simulator {
+ public:
+  static common::StatusOr<Simulator> Create(const SimulatorOptions& options);
+
+  // Runs the full horizon under one scheme. Each call re-seeds from
+  // options.seed so different schemes face identical randomness streams
+  // (common random numbers -> lower comparison variance).
+  common::StatusOr<SimulationResult> Run(const SchemePolicies& scheme);
+
+  const SimulatorOptions& options() const { return options_; }
+  const net::Topology& topology() const { return topology_; }
+  const content::Catalog& catalog() const { return catalog_; }
+
+  // The request rate per EDP per content implied by the options — use it
+  // to set MfgParams::num_requests consistently with the simulation.
+  double ImpliedRequestsPerEdpContent(double content_popularity) const;
+
+ private:
+  Simulator(const SimulatorOptions& options, net::Topology topology,
+            content::Catalog catalog, content::PopularityModel popularity,
+            content::TimelinessModel timeliness, Market market);
+
+  common::Status InitializeAgents(common::Rng& rng,
+                                  std::vector<EdpAgent>& edps,
+                                  std::vector<RequesterAgent>& requesters);
+
+  SimulatorOptions options_;
+  net::Topology topology_;
+  content::Catalog catalog_;
+  content::PopularityModel popularity_;
+  content::TimelinessModel timeliness_;
+  Market market_;
+};
+
+}  // namespace mfg::sim
+
+#endif  // MFGCP_SIM_SIMULATOR_H_

@@ -1,0 +1,131 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace mfg::common {
+namespace {
+
+TEST(SplitCsvLineTest, PlainFields) {
+  const auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvLineTest, EmptyFields) {
+  const auto fields = SplitCsvLine("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitCsvLineTest, QuotedFieldWithComma) {
+  const auto fields = SplitCsvLine("a,\"b,c\",d");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b,c");
+}
+
+TEST(SplitCsvLineTest, EscapedQuote) {
+  const auto fields = SplitCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(SplitCsvLineTest, StripsCarriageReturn) {
+  const auto fields = SplitCsvLine("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(EscapeCsvFieldTest, QuotesWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvTableTest, ParseBasic) {
+  auto table = CsvTable::Parse("x,y\n1,2\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->num_cols(), 2u);
+  EXPECT_EQ(table->header()[1], "y");
+  EXPECT_EQ(table->row(1)[0], "3");
+}
+
+TEST(CsvTableTest, ParseRejectsRaggedRows) {
+  auto table = CsvTable::Parse("x,y\n1\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTableTest, ParseRejectsEmpty) {
+  EXPECT_FALSE(CsvTable::Parse("").ok());
+}
+
+TEST(CsvTableTest, ColumnIndex) {
+  auto table = CsvTable::Parse("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ColumnIndex("b").value(), 1u);
+  EXPECT_FALSE(table->ColumnIndex("zz").ok());
+}
+
+TEST(CsvTableTest, TypedCellAccess) {
+  auto table = CsvTable::Parse("n,v\n7,2.5\n-3,1e3\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->CellAsInt(0, 0).value(), 7);
+  EXPECT_EQ(table->CellAsInt(1, 0).value(), -3);
+  EXPECT_DOUBLE_EQ(table->CellAsDouble(0, 1).value(), 2.5);
+  EXPECT_DOUBLE_EQ(table->CellAsDouble(1, 1).value(), 1000.0);
+}
+
+TEST(CsvTableTest, TypedCellAccessRejectsGarbage) {
+  auto table = CsvTable::Parse("n\nabc\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_FALSE(table->CellAsInt(0, 0).ok());
+  EXPECT_FALSE(table->CellAsDouble(0, 0).ok());
+}
+
+TEST(CsvTableTest, OutOfRangeCells) {
+  auto table = CsvTable::Parse("n\n1\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->Cell(5, 0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(table->Cell(0, 5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(CsvTableTest, LoadMissingFileFails) {
+  auto table = CsvTable::Load("/nonexistent/path/file.csv");
+  EXPECT_EQ(table.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvWriterTest, RoundTripThroughParse) {
+  CsvWriter writer({"id", "value"});
+  writer.AddRow(std::vector<std::string>{"1", "hello, world"});
+  writer.AddRow(std::vector<double>{2.0, 3.25});
+  auto table = CsvTable::Parse(writer.ToString());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->Cell(0, 1).value(), "hello, world");
+  EXPECT_DOUBLE_EQ(table->CellAsDouble(1, 1).value(), 3.25);
+}
+
+TEST(CsvWriterTest, WriteAndLoadFile) {
+  const std::string path = ::testing::TempDir() + "/mfgcp_csv_test.csv";
+  CsvWriter writer({"k", "v"});
+  writer.AddRow(std::vector<double>{1.0, 2.0});
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  auto table = CsvTable::Load(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterDeathTest, RowArityMismatchAborts) {
+  CsvWriter writer({"a", "b"});
+  EXPECT_DEATH(writer.AddRow(std::vector<std::string>{"only-one"}), "size");
+}
+
+}  // namespace
+}  // namespace mfg::common

@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace mfg::common {
+namespace {
+
+TEST(LoggingTest, ThresholdRoundTrips) {
+  const LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(original);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_EQ(LogLevelToString(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelToString(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(LogLevelToString(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(LogLevelToString(LogLevel::kError), "ERROR");
+  EXPECT_EQ(LogLevelToString(LogLevel::kFatal), "FATAL");
+}
+
+TEST(LoggingTest, LogStatementsDoNotCrash) {
+  MFG_LOG(DEBUG) << "debug " << 1;
+  MFG_LOG(INFO) << "info " << 2.5;
+  MFG_LOG(WARNING) << "warning";
+  MFG_LOG(ERROR) << "error";
+}
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  MFG_CHECK(true);
+  MFG_CHECK_EQ(1, 1);
+  MFG_CHECK_NE(1, 2);
+  MFG_CHECK_LT(1, 2);
+  MFG_CHECK_LE(2, 2);
+  MFG_CHECK_GT(3, 2);
+  MFG_CHECK_GE(3, 3);
+  MFG_CHECK_OK(Status::Ok());
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(MFG_CHECK(1 == 2) << "extra context", "1 == 2");
+}
+
+TEST(CheckDeathTest, FailingCheckEqAborts) {
+  const int a = 3;
+  const int b = 4;
+  EXPECT_DEATH(MFG_CHECK_EQ(a, b), "Check failed");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(MFG_CHECK_OK(Status::Internal("kaput")), "kaput");
+}
+
+TEST(CheckTest, StreamedContextIsLazy) {
+  // The streamed expression must not be evaluated when the check passes.
+  int calls = 0;
+  auto expensive = [&]() {
+    ++calls;
+    return "ctx";
+  };
+  MFG_CHECK(true) << expensive();
+  EXPECT_EQ(calls, 0);
+}
+
+}  // namespace
+}  // namespace mfg::common

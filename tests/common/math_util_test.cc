@@ -1,0 +1,89 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace mfg::common {
+namespace {
+
+TEST(ClampTest, Basic) {
+  EXPECT_DOUBLE_EQ(Clamp(5.0, 0.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(11.0, 0.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(Clamp(3.0, 3.0, 3.0), 3.0);
+}
+
+TEST(ClampUnitTest, MatchesPaperProjection) {
+  // The [x]^+ operator of Theorem 1.
+  EXPECT_DOUBLE_EQ(ClampUnit(1.5), 1.0);
+  EXPECT_DOUBLE_EQ(ClampUnit(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ClampUnit(0.25), 0.25);
+}
+
+TEST(AlmostEqualTest, AbsoluteAndRelative) {
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0));
+  EXPECT_TRUE(AlmostEqual(1.0, 1.0 + 1e-13));
+  EXPECT_FALSE(AlmostEqual(1.0, 1.1));
+  EXPECT_TRUE(AlmostEqual(1e12, 1e12 * (1 + 1e-10)));
+  EXPECT_FALSE(AlmostEqual(1e12, 1e12 * (1 + 1e-6)));
+}
+
+TEST(LerpTest, Endpoints) {
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 6.0, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 6.0, 1.0), 6.0);
+  EXPECT_DOUBLE_EQ(Lerp(2.0, 6.0, 0.5), 4.0);
+}
+
+TEST(LinspaceTest, EvenSpacing) {
+  const auto v = Linspace(0.0, 1.0, 5);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.25);
+  EXPECT_DOUBLE_EQ(v[4], 1.0);
+}
+
+TEST(LinspaceTest, ExactEndpoints) {
+  const auto v = Linspace(0.0, 0.3, 7);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 0.3);
+}
+
+TEST(LinspaceDeathTest, RejectsSinglePoint) {
+  EXPECT_DEATH(Linspace(0.0, 1.0, 1), "n");
+}
+
+TEST(MeanVarianceTest, KnownValues) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(Variance(v), 5.0 / 3.0, 1e-12);
+}
+
+TEST(MaxAbsDiffTest, Basic) {
+  EXPECT_DOUBLE_EQ(MaxAbsDiff({1.0, 2.0}, {1.5, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(MaxAbsDiff({}, {}), 0.0);
+}
+
+TEST(SumTest, KahanBeatsNaiveForSmallAddends) {
+  // 1 + 1e-16 * 10000: naive summation in double drops the small terms.
+  std::vector<double> v(10001, 1e-16);
+  v[0] = 1.0;
+  const double sum = Sum(v);
+  EXPECT_NEAR(sum - 1.0, 1e-12, 1e-15);
+}
+
+TEST(AllFiniteTest, DetectsNanAndInf) {
+  EXPECT_TRUE(AllFinite({1.0, -2.0, 0.0}));
+  EXPECT_FALSE(AllFinite({1.0, std::nan("")}));
+  EXPECT_FALSE(AllFinite({std::numeric_limits<double>::infinity()}));
+  EXPECT_TRUE(AllFinite({}));
+}
+
+TEST(SquareTest, Basic) {
+  EXPECT_DOUBLE_EQ(Square(3.0), 9.0);
+  EXPECT_DOUBLE_EQ(Square(-2.0), 4.0);
+}
+
+}  // namespace
+}  // namespace mfg::common

@@ -1,0 +1,161 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace mfg::common {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.Uniform();
+  EXPECT_NEAR(Mean(samples), 0.5, 0.01);
+  EXPECT_NEAR(Variance(samples), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, UniformIntInRangeAndRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> histogram(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++histogram[v];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, draws / 10, draws / 100);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  std::vector<double> samples(100000);
+  for (double& s : samples) s = rng.Gaussian();
+  EXPECT_NEAR(Mean(samples), 0.0, 0.02);
+  EXPECT_NEAR(Variance(samples), 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianShifted) {
+  Rng rng(19);
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.Gaussian(3.0, 2.0);
+  EXPECT_NEAR(Mean(samples), 3.0, 0.05);
+  EXPECT_NEAR(Variance(samples), 4.0, 0.15);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = rng.Exponential(2.0);
+  EXPECT_NEAR(Mean(samples), 0.5, 0.02);
+  for (double s : samples) EXPECT_GE(s, 0.0);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(29);
+  std::vector<double> samples(50000);
+  for (double& s : samples) s = static_cast<double>(rng.Poisson(3.0));
+  EXPECT_NEAR(Mean(samples), 3.0, 0.05);
+  EXPECT_NEAR(Variance(samples), 3.0, 0.15);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(31);
+  std::vector<double> samples(20000);
+  for (double& s : samples) s = static_cast<double>(rng.Poisson(200.0));
+  EXPECT_NEAR(Mean(samples), 200.0, 1.0);
+  EXPECT_NEAR(Variance(samples), 200.0, 12.0);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(37);
+  EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(41);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> histogram(3, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++histogram[rng.Categorical(weights)];
+  EXPECT_NEAR(histogram[0], 0.1 * draws, 0.01 * draws);
+  EXPECT_NEAR(histogram[1], 0.3 * draws, 0.01 * draws);
+  EXPECT_NEAR(histogram[2], 0.6 * draws, 0.01 * draws);
+}
+
+TEST(RngTest, CategoricalSkipsZeroWeights) {
+  Rng rng(43);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Categorical(weights), 1u);
+  }
+}
+
+TEST(RngDeathTest, CategoricalRequiresPositiveTotal) {
+  Rng rng(47);
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_DEATH(rng.Categorical(weights), "positive weight");
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(53);
+  Rng child = parent.Fork();
+  // The child stream should not replicate the parent's continuation.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  std::uint64_t state = 0;
+  const std::uint64_t first = SplitMix64(state);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(SplitMix64(state2), first);
+  EXPECT_NE(SplitMix64(state), first);  // State advanced.
+}
+
+}  // namespace
+}  // namespace mfg::common

@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::common {
+namespace {
+
+TEST(FormatDoubleTest, CompactForms) {
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(1234.5678, 6), "1234.57");
+  EXPECT_EQ(FormatDouble(1e-9, 3), "1e-09");
+}
+
+TEST(TextTableTest, RendersHeaderSeparatorAndRows) {
+  TextTable table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22.5"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-+-"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  // Header line, separator line, two data rows.
+  int newlines = 0;
+  for (char c : out) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 4);
+}
+
+TEST(TextTableTest, ColumnsAligned) {
+  TextTable table({"a", "b"});
+  table.AddRow({"longvalue", "1"});
+  table.AddRow({"x", "2"});
+  const std::string out = table.ToString();
+  // Every line must contain the separator at the same offset.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = out.find('\n', start);
+    if (end == std::string::npos) break;
+    lines.push_back(out.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  const std::size_t bar0 = lines[0].find('|');
+  EXPECT_NE(bar0, std::string::npos);
+  EXPECT_EQ(lines[2].find('|'), bar0);
+  EXPECT_EQ(lines[3].find('|'), bar0);
+}
+
+TEST(TextTableTest, NumericRows) {
+  TextTable table({"x", "y"});
+  table.AddNumericRow({1.0, 2.5});
+  table.AddNumericRow({0.333333333, 4.0}, 3);
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("0.333"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TextTableTest, ToCsvRoundTrips) {
+  TextTable table({"name", "value"});
+  table.AddRow({"with, comma", "1.5"});
+  table.AddRow({"plain", "2"});
+  const std::string csv = table.ToCsv();
+  EXPECT_NE(csv.find("\"with, comma\""), std::string::npos);
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("plain,2"), std::string::npos);
+}
+
+TEST(TextTableDeathTest, ArityMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only"}), "size");
+}
+
+}  // namespace
+}  // namespace mfg::common

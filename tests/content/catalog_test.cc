@@ -1,0 +1,51 @@
+#include "content/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::content {
+namespace {
+
+TEST(CatalogTest, UniformCatalog) {
+  auto catalog = Catalog::CreateUniform(20, 100.0);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->size(), 20u);
+  EXPECT_DOUBLE_EQ(catalog->size_mb(0), 100.0);
+  EXPECT_DOUBLE_EQ(catalog->size_mb(19), 100.0);
+  EXPECT_DOUBLE_EQ(catalog->TotalSizeMb(), 2000.0);
+  EXPECT_EQ(catalog->info(3).id, 3u);
+  EXPECT_EQ(catalog->info(3).name, "content_3");
+}
+
+TEST(CatalogTest, UniformValidation) {
+  EXPECT_FALSE(Catalog::CreateUniform(0, 100.0).ok());
+  EXPECT_FALSE(Catalog::CreateUniform(5, 0.0).ok());
+  EXPECT_FALSE(Catalog::CreateUniform(5, -1.0).ok());
+}
+
+TEST(CatalogTest, HeterogeneousCatalogReassignsIds) {
+  std::vector<ContentInfo> contents(3);
+  contents[0].size_mb = 50.0;
+  contents[0].id = 99;  // Will be overwritten.
+  contents[1].size_mb = 150.0;
+  contents[2].size_mb = 200.0;
+  auto catalog = Catalog::Create(contents);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->info(0).id, 0u);
+  EXPECT_EQ(catalog->info(2).id, 2u);
+  EXPECT_DOUBLE_EQ(catalog->TotalSizeMb(), 400.0);
+}
+
+TEST(CatalogTest, HeterogeneousValidation) {
+  EXPECT_FALSE(Catalog::Create({}).ok());
+  std::vector<ContentInfo> contents(2);
+  contents[1].size_mb = -5.0;
+  EXPECT_FALSE(Catalog::Create(contents).ok());
+}
+
+TEST(CatalogDeathTest, InfoOutOfRangeAborts) {
+  auto catalog = Catalog::CreateUniform(2, 10.0).value();
+  EXPECT_DEATH(catalog.info(2), "");
+}
+
+}  // namespace
+}  // namespace mfg::content

@@ -1,0 +1,102 @@
+#include "content/popularity.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace mfg::content {
+namespace {
+
+double SumOf(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(ZipfTest, NormalizedAndDecreasing) {
+  auto probs = ZipfDistribution(20, 0.8);
+  ASSERT_TRUE(probs.ok());
+  EXPECT_NEAR(SumOf(*probs), 1.0, 1e-12);
+  for (std::size_t i = 1; i < probs->size(); ++i) {
+    EXPECT_GT((*probs)[i - 1], (*probs)[i]);
+  }
+}
+
+TEST(ZipfTest, SteepnessControlsSkew) {
+  auto flat = ZipfDistribution(10, 0.2).value();
+  auto steep = ZipfDistribution(10, 2.0).value();
+  EXPECT_GT(steep[0], flat[0]);
+  EXPECT_LT(steep[9], flat[9]);
+}
+
+TEST(ZipfTest, ExactRatios) {
+  // P(k) ∝ 1/k^iota, so P(1)/P(2) = 2^iota.
+  auto probs = ZipfDistribution(5, 1.0).value();
+  EXPECT_NEAR(probs[0] / probs[1], 2.0, 1e-12);
+  EXPECT_NEAR(probs[0] / probs[4], 5.0, 1e-12);
+}
+
+TEST(ZipfTest, Validation) {
+  EXPECT_FALSE(ZipfDistribution(0, 1.0).ok());
+  EXPECT_FALSE(ZipfDistribution(5, 0.0).ok());
+  EXPECT_FALSE(ZipfDistribution(5, -1.0).ok());
+}
+
+TEST(PopularityModelTest, CreateNormalizesArbitraryPrior) {
+  auto model = PopularityModel::Create({2.0, 6.0, 2.0});
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->prior()[1], 0.6, 1e-12);
+  EXPECT_NEAR(SumOf(model->prior()), 1.0, 1e-12);
+}
+
+TEST(PopularityModelTest, CreateValidation) {
+  EXPECT_FALSE(PopularityModel::Create({}).ok());
+  EXPECT_FALSE(PopularityModel::Create({1.0, -1.0}).ok());
+  EXPECT_FALSE(PopularityModel::Create({0.0, 0.0}).ok());
+}
+
+TEST(PopularityModelTest, UpdateWithNoRequestsReturnsPrior) {
+  auto model = PopularityModel::CreateZipf(4, 1.0).value();
+  auto updated = model.Update({0, 0, 0, 0});
+  ASSERT_TRUE(updated.ok());
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_NEAR((*updated)[k], model.prior()[k], 1e-12);
+  }
+}
+
+TEST(PopularityModelTest, UpdateSumsToOne) {
+  // Eq. 3 preserves normalization: sum_k Pi_k = 1.
+  auto model = PopularityModel::CreateZipf(5, 0.8).value();
+  auto updated = model.Update({10, 0, 3, 7, 100});
+  ASSERT_TRUE(updated.ok());
+  EXPECT_NEAR(SumOf(*updated), 1.0, 1e-12);
+}
+
+TEST(PopularityModelTest, HeavyRequestsDominatePrior) {
+  auto model = PopularityModel::CreateZipf(3, 1.0).value();
+  // Content 2 (lowest prior) gets overwhelming requests.
+  auto updated = model.Update({0, 0, 1000}).value();
+  EXPECT_GT(updated[2], 0.9);
+  EXPECT_GT(updated[2], updated[0]);
+}
+
+TEST(PopularityModelTest, UpdateMatchesClosedForm) {
+  auto model = PopularityModel::Create({0.5, 0.5}).value();
+  // Eq. 3: (K*prior + count) / (K + total) with K=2, total=6.
+  auto updated = model.Update({2, 4}).value();
+  EXPECT_NEAR(updated[0], (2 * 0.5 + 2) / (2 + 6), 1e-12);
+  EXPECT_NEAR(updated[1], (2 * 0.5 + 4) / (2 + 6), 1e-12);
+}
+
+TEST(PopularityModelTest, UpdateValidatesArity) {
+  auto model = PopularityModel::CreateZipf(3, 1.0).value();
+  EXPECT_FALSE(model.Update({1, 2}).ok());
+}
+
+TEST(PopularityModelTest, UpdateOne) {
+  auto model = PopularityModel::Create({0.5, 0.5}).value();
+  EXPECT_NEAR(model.UpdateOne(0, 2, 6).value(), (2 * 0.5 + 2) / 8.0, 1e-12);
+  EXPECT_FALSE(model.UpdateOne(5, 0, 0).ok());
+  EXPECT_FALSE(model.UpdateOne(0, 7, 6).ok());
+}
+
+}  // namespace
+}  // namespace mfg::content

@@ -1,0 +1,93 @@
+#include "content/request.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::content {
+namespace {
+
+RequestGenerator MakeGenerator(double rate, std::size_t k) {
+  RequestGeneratorOptions options;
+  options.request_rate = rate;
+  auto popularity = PopularityModel::CreateZipf(k, 1.0).value();
+  TimelinessParams tparams;
+  auto timeliness = TimelinessModel::Create(tparams).value();
+  return RequestGenerator::Create(options, popularity, timeliness).value();
+}
+
+TEST(RequestGeneratorTest, CreateValidation) {
+  RequestGeneratorOptions options;
+  options.request_rate = 0.0;
+  auto popularity = PopularityModel::CreateZipf(3, 1.0).value();
+  auto timeliness = TimelinessModel::Create(TimelinessParams()).value();
+  EXPECT_FALSE(
+      RequestGenerator::Create(options, popularity, timeliness).ok());
+}
+
+TEST(RequestGeneratorTest, MeanRequestCountMatchesRate) {
+  auto generator = MakeGenerator(2.0, 5);
+  common::Rng rng(1);
+  std::size_t total = 0;
+  const int trials = 200;
+  const std::size_t requesters = 50;
+  for (int t = 0; t < trials; ++t) {
+    total += generator.Generate(requesters, rng).requests.size();
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(trials);
+  EXPECT_NEAR(mean, 2.0 * 50, 6.0);
+}
+
+TEST(RequestGeneratorTest, ContentMixFollowsPopularity) {
+  auto generator = MakeGenerator(5.0, 4);
+  common::Rng rng(2);
+  std::vector<std::size_t> counts(4, 0);
+  for (int t = 0; t < 200; ++t) {
+    auto batch = generator.Generate(100, rng);
+    auto c = batch.CountsPerContent(4);
+    for (std::size_t k = 0; k < 4; ++k) counts[k] += c[k];
+  }
+  // Zipf(iota=1): head about 4x the tail.
+  EXPECT_GT(counts[0], counts[3] * 3);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(RequestGeneratorTest, WeightsOverrideSteersContentChoice) {
+  auto generator = MakeGenerator(5.0, 3);
+  common::Rng rng(3);
+  auto batch =
+      generator.GenerateWithWeights(100, {0.0, 1.0, 0.0}, rng);
+  for (const auto& req : batch.requests) {
+    EXPECT_EQ(req.content, 1u);
+  }
+}
+
+TEST(RequestGeneratorTest, RequesterIndicesInRange) {
+  auto generator = MakeGenerator(1.0, 3);
+  common::Rng rng(4);
+  auto batch = generator.Generate(25, rng);
+  for (const auto& req : batch.requests) {
+    EXPECT_LT(req.requester, 25u);
+    EXPECT_GE(req.timeliness, 0.0);
+  }
+}
+
+TEST(RequestBatchTest, CountsPerContent) {
+  RequestBatch batch;
+  batch.requests = {{0, 1, 1.0}, {1, 1, 2.0}, {2, 0, 3.0}};
+  auto counts = batch.CountsPerContent(3);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 0u);
+}
+
+TEST(RequestBatchTest, MeanTimelinessPerContent) {
+  RequestBatch batch;
+  batch.requests = {{0, 1, 1.0}, {1, 1, 3.0}, {2, 0, 5.0}};
+  auto mean = batch.MeanTimelinessPerContent(3);
+  EXPECT_DOUBLE_EQ(mean[0], 5.0);
+  EXPECT_DOUBLE_EQ(mean[1], 2.0);
+  EXPECT_DOUBLE_EQ(mean[2], 0.0);  // No requests -> zero.
+}
+
+}  // namespace
+}  // namespace mfg::content

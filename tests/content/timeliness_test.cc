@@ -1,0 +1,71 @@
+#include "content/timeliness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mfg::content {
+namespace {
+
+TimelinessModel MakeModel(double l_max = 5.0, double xi = 0.1) {
+  TimelinessParams params;
+  params.l_max = l_max;
+  params.xi = xi;
+  return TimelinessModel::Create(params).value();
+}
+
+TEST(TimelinessTest, CreateValidation) {
+  TimelinessParams params;
+  params.l_max = 0.0;
+  EXPECT_FALSE(TimelinessModel::Create(params).ok());
+  params.l_max = 5.0;
+  params.xi = 0.0;
+  EXPECT_FALSE(TimelinessModel::Create(params).ok());
+  params.xi = 1.0;
+  EXPECT_FALSE(TimelinessModel::Create(params).ok());
+  params.xi = 0.5;
+  EXPECT_TRUE(TimelinessModel::Create(params).ok());
+}
+
+TEST(TimelinessTest, AggregateIsMean) {
+  auto model = MakeModel();
+  EXPECT_DOUBLE_EQ(model.Aggregate({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(model.Aggregate({}), 0.0);
+}
+
+TEST(TimelinessTest, AggregateClampsOutOfRangeRequirements) {
+  auto model = MakeModel(5.0);
+  EXPECT_DOUBLE_EQ(model.Aggregate({10.0, -2.0}), 2.5);  // (5 + 0) / 2.
+}
+
+TEST(TimelinessTest, DriftFactorIsXiToTheL) {
+  auto model = MakeModel(5.0, 0.1);
+  EXPECT_DOUBLE_EQ(model.DriftFactor(0.0), 1.0);
+  EXPECT_NEAR(model.DriftFactor(1.0), 0.1, 1e-12);
+  EXPECT_NEAR(model.DriftFactor(2.0), 0.01, 1e-12);
+}
+
+TEST(TimelinessTest, DriftFactorDecreasingInUrgency) {
+  // More urgent content is discarded more slowly (Eq. 4 commentary).
+  auto model = MakeModel();
+  EXPECT_GT(model.DriftFactor(1.0), model.DriftFactor(2.0));
+  EXPECT_GT(model.DriftFactor(2.0), model.DriftFactor(4.0));
+}
+
+TEST(TimelinessTest, DriftFactorClampsAtLMax) {
+  auto model = MakeModel(3.0, 0.5);
+  EXPECT_DOUBLE_EQ(model.DriftFactor(10.0), model.DriftFactor(3.0));
+}
+
+TEST(TimelinessTest, SampleWithinRange) {
+  auto model = MakeModel(4.0);
+  common::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double l = model.SampleRequirement(rng);
+    EXPECT_GE(l, 0.0);
+    EXPECT_LT(l, 4.0);
+  }
+}
+
+}  // namespace
+}  // namespace mfg::content

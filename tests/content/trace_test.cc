@@ -1,0 +1,214 @@
+#include "content/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+namespace mfg::content {
+namespace {
+
+SyntheticTraceOptions SmallOptions() {
+  SyntheticTraceOptions options;
+  options.num_categories = 10;
+  options.num_days = 20;
+  options.base_daily_requests = 1000.0;
+  return options;
+}
+
+TEST(SyntheticTraceTest, ShapeAndNonNegativity) {
+  common::Rng rng(1);
+  auto trace = GenerateSyntheticTrace(SmallOptions(), rng);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_categories, 10u);
+  EXPECT_EQ(trace->num_days(), 20u);
+  for (const auto& day : trace->daily_counts) {
+    ASSERT_EQ(day.size(), 10u);
+    for (double c : day) EXPECT_GE(c, 0.0);
+  }
+}
+
+TEST(SyntheticTraceTest, HeadCategoriesDominante) {
+  common::Rng rng(2);
+  auto trace = GenerateSyntheticTrace(SmallOptions(), rng).value();
+  auto weights = trace.AverageWeights().value();
+  // Zipf-skewed: category 0 clearly above category 9.
+  EXPECT_GT(weights[0], 2.0 * weights[9]);
+}
+
+TEST(SyntheticTraceTest, Validation) {
+  common::Rng rng(3);
+  SyntheticTraceOptions bad = SmallOptions();
+  bad.num_categories = 0;
+  EXPECT_FALSE(GenerateSyntheticTrace(bad, rng).ok());
+  bad = SmallOptions();
+  bad.num_days = 0;
+  EXPECT_FALSE(GenerateSyntheticTrace(bad, rng).ok());
+  bad = SmallOptions();
+  bad.base_daily_requests = 0.0;
+  EXPECT_FALSE(GenerateSyntheticTrace(bad, rng).ok());
+}
+
+TEST(SyntheticTraceTest, DeterministicUnderSeed) {
+  common::Rng rng_a(7);
+  common::Rng rng_b(7);
+  auto a = GenerateSyntheticTrace(SmallOptions(), rng_a).value();
+  auto b = GenerateSyntheticTrace(SmallOptions(), rng_b).value();
+  EXPECT_EQ(a.daily_counts, b.daily_counts);
+}
+
+TEST(TraceTest, DayWeightsNormalized) {
+  common::Rng rng(4);
+  auto trace = GenerateSyntheticTrace(SmallOptions(), rng).value();
+  auto weights = trace.DayWeights(3);
+  ASSERT_TRUE(weights.ok());
+  const double sum =
+      std::accumulate(weights->begin(), weights->end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(TraceTest, DayWeightsOutOfRange) {
+  common::Rng rng(5);
+  auto trace = GenerateSyntheticTrace(SmallOptions(), rng).value();
+  EXPECT_FALSE(trace.DayWeights(100).ok());
+}
+
+TEST(TraceTest, ZeroDayFailsWeights) {
+  Trace trace;
+  trace.num_categories = 2;
+  trace.daily_counts = {{0.0, 0.0}};
+  EXPECT_FALSE(trace.DayWeights(0).ok());
+  EXPECT_FALSE(trace.AverageWeights().ok());
+}
+
+TEST(TraceCsvTest, ParseBasic) {
+  const std::string csv =
+      "category_id,day,views\n"
+      "0,0,100\n"
+      "1,0,50\n"
+      "0,1,80\n"
+      "2,1,10\n";
+  auto trace = ParseTraceCsv(csv);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_categories, 3u);
+  EXPECT_EQ(trace->num_days(), 2u);
+  EXPECT_DOUBLE_EQ(trace->daily_counts[0][0], 100.0);
+  EXPECT_DOUBLE_EQ(trace->daily_counts[1][2], 10.0);
+  EXPECT_DOUBLE_EQ(trace->daily_counts[0][2], 0.0);  // Missing cell.
+}
+
+TEST(TraceCsvTest, DuplicateCellsAccumulate) {
+  const std::string csv =
+      "category_id,day,views\n"
+      "0,0,100\n"
+      "0,0,23\n";
+  auto trace = ParseTraceCsv(csv).value();
+  EXPECT_DOUBLE_EQ(trace.daily_counts[0][0], 123.0);
+}
+
+TEST(TraceCsvTest, RejectsBadRows) {
+  EXPECT_FALSE(ParseTraceCsv("category_id,day,views\n-1,0,5\n").ok());
+  EXPECT_FALSE(ParseTraceCsv("category_id,day,views\n0,0,-5\n").ok());
+  EXPECT_FALSE(ParseTraceCsv("category_id,day,views\n").ok());
+  EXPECT_FALSE(ParseTraceCsv("wrong,header,names\n1,2,3\n").ok());
+}
+
+TEST(TraceCsvTest, RoundTrip) {
+  common::Rng rng(6);
+  auto original = GenerateSyntheticTrace(SmallOptions(), rng).value();
+  auto parsed = ParseTraceCsv(TraceToCsv(original));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_categories, original.num_categories);
+  ASSERT_EQ(parsed->num_days(), original.num_days());
+  for (std::size_t d = 0; d < original.num_days(); ++d) {
+    for (std::size_t k = 0; k < original.num_categories; ++k) {
+      EXPECT_DOUBLE_EQ(parsed->daily_counts[d][k],
+                       original.daily_counts[d][k]);
+    }
+  }
+}
+
+TEST(TraceCsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/mfgcp_trace_test.csv";
+  common::Rng rng(8);
+  auto original = GenerateSyntheticTrace(SmallOptions(), rng).value();
+  {
+    std::ofstream out(path);
+    out << TraceToCsv(original);
+  }
+  auto loaded = LoadTraceCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_days(), original.num_days());
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsvTest, LoadMissingFile) {
+  EXPECT_FALSE(LoadTraceCsv("/no/such/file.csv").ok());
+}
+
+TEST(YoutubeTrendingCsvTest, ParsesKaggleSchema) {
+  // Columns and date format of the Kaggle dataset; extra columns present.
+  const std::string csv =
+      "video_id,trending_date,title,category_id,views\n"
+      "a1,17.14.11,foo,24,1000\n"
+      "a2,17.14.11,bar,10,500\n"
+      "a3,17.15.11,baz,24,2000\n"
+      "a4,17.16.11,qux,10,300\n";
+  auto trace = ParseYoutubeTrendingCsv(csv);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->num_categories, 2u);  // Ids {10, 24} densified.
+  EXPECT_EQ(trace->num_days(), 3u);      // Nov 14-16.
+  // Category 10 -> dense 0, 24 -> dense 1 (ascending).
+  EXPECT_DOUBLE_EQ(trace->daily_counts[0][1], 1000.0);
+  EXPECT_DOUBLE_EQ(trace->daily_counts[0][0], 500.0);
+  EXPECT_DOUBLE_EQ(trace->daily_counts[1][1], 2000.0);
+  EXPECT_DOUBLE_EQ(trace->daily_counts[2][0], 300.0);
+  EXPECT_DOUBLE_EQ(trace->daily_counts[2][1], 0.0);
+}
+
+TEST(YoutubeTrendingCsvTest, AccumulatesSameDayCategory) {
+  const std::string csv =
+      "trending_date,category_id,views\n"
+      "18.01.01,1,10\n"
+      "18.01.01,1,15\n";
+  auto trace = ParseYoutubeTrendingCsv(csv).value();
+  EXPECT_DOUBLE_EQ(trace.daily_counts[0][0], 25.0);
+}
+
+TEST(YoutubeTrendingCsvTest, YearBoundarySpansCorrectly) {
+  // Dec 31 2017 -> Jan 1 2018 is one day apart (YY.DD.MM format).
+  const std::string csv =
+      "trending_date,category_id,views\n"
+      "17.31.12,1,10\n"
+      "18.01.01,1,20\n";
+  auto trace = ParseYoutubeTrendingCsv(csv).value();
+  EXPECT_EQ(trace.num_days(), 2u);
+}
+
+TEST(YoutubeTrendingCsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseYoutubeTrendingCsv("").ok());
+  // Missing required columns.
+  EXPECT_FALSE(
+      ParseYoutubeTrendingCsv("category_id,views\n1,10\n").ok());
+  // Bad date.
+  EXPECT_FALSE(ParseYoutubeTrendingCsv(
+                   "trending_date,category_id,views\nnot-a-date,1,10\n")
+                   .ok());
+  EXPECT_FALSE(ParseYoutubeTrendingCsv(
+                   "trending_date,category_id,views\n17.40.13,1,10\n")
+                   .ok());
+  // Negative views.
+  EXPECT_FALSE(ParseYoutubeTrendingCsv(
+                   "trending_date,category_id,views\n17.14.11,1,-5\n")
+                   .ok());
+  // Implausible multi-decade span (malformed year field).
+  EXPECT_FALSE(ParseYoutubeTrendingCsv(
+                   "trending_date,category_id,views\n"
+                   "17.14.11,1,5\n99.14.11,1,5\n")
+                   .ok());
+  EXPECT_FALSE(LoadYoutubeTrendingCsv("/no/such/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace mfg::content

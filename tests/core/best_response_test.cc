@@ -1,0 +1,165 @@
+#include "core/best_response.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace mfg::core {
+namespace {
+
+MfgParams FastParams() {
+  MfgParams params;
+  params.grid.num_q_nodes = 61;
+  params.grid.num_time_steps = 80;
+  params.learning.max_iterations = 40;
+  params.learning.tolerance = 2e-3;
+  return params;
+}
+
+TEST(BestResponseTest, ConvergesOnDefaultProblem) {
+  auto learner = BestResponseLearner::Create(FastParams()).value();
+  auto eq = learner.Solve();
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq->converged);
+  EXPECT_GE(eq->iterations, 2u);
+  EXPECT_LT(eq->policy_change_history.back(),
+            FastParams().learning.tolerance);
+}
+
+TEST(BestResponseTest, EquilibriumObjectsAreConsistent) {
+  auto learner = BestResponseLearner::Create(FastParams()).value();
+  auto eq = learner.Solve().value();
+  const std::size_t nt = FastParams().grid.num_time_steps;
+  EXPECT_EQ(eq.hjb.policy.size(), nt + 1);
+  EXPECT_EQ(eq.fpk.densities.size(), nt + 1);
+  EXPECT_EQ(eq.mean_field.size(), nt + 1);
+  for (const auto& density : eq.fpk.densities) {
+    EXPECT_NEAR(density.Mass(), 1.0, 1e-9);
+  }
+  for (const auto& slice : eq.hjb.policy) {
+    for (double x : slice) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+  for (const auto& mf : eq.mean_field) {
+    EXPECT_GE(mf.price, 0.0);
+    EXPECT_LE(mf.price, FastParams().pricing.max_price + 1e-12);
+    EXPECT_GE(mf.mean_caching_rate, 0.0);
+    EXPECT_LE(mf.mean_caching_rate, 1.0);
+  }
+}
+
+TEST(BestResponseTest, UniqueFixedPointAcrossInitialPolicies) {
+  // Theorem 2: different starting guesses converge to the same pair.
+  MfgParams params = FastParams();
+  params.learning.max_iterations = 80;
+  params.learning.tolerance = 5e-4;
+  auto learner = BestResponseLearner::Create(params).value();
+  auto fpk = FpkSolver1D::Create(params).value();
+  auto initial = fpk.MakeInitialDensity().value();
+  auto eq_a = learner.SolveFrom(initial, 0.0).value();
+  auto eq_b = learner.SolveFrom(initial, 1.0).value();
+  ASSERT_TRUE(eq_a.converged);
+  ASSERT_TRUE(eq_b.converged);
+  double max_gap = 0.0;
+  for (std::size_t n = 0; n < eq_a.hjb.policy.size(); ++n) {
+    max_gap = std::max(max_gap, common::MaxAbsDiff(eq_a.hjb.policy[n],
+                                                   eq_b.hjb.policy[n]));
+  }
+  EXPECT_LT(max_gap, 0.02);
+}
+
+TEST(BestResponseTest, UniqueFixedPointAcrossInitialDensities) {
+  MfgParams params = FastParams();
+  params.learning.max_iterations = 80;
+  params.learning.tolerance = 5e-4;
+  auto learner = BestResponseLearner::Create(params).value();
+  auto grid = params.MakeQGrid().value();
+  auto low = numerics::Density1D::TruncatedGaussian(grid, 40.0, 8.0).value();
+  auto high =
+      numerics::Density1D::TruncatedGaussian(grid, 80.0, 8.0).value();
+  auto eq_low = learner.SolveFrom(low, 0.5).value();
+  auto eq_high = learner.SolveFrom(high, 0.5).value();
+  // The *policies* at the final time coincide less tightly than at t=0,
+  // but the density evolution should still contract toward low q in both.
+  EXPECT_LT(eq_low.fpk.densities.back().Mean(), low.Mean());
+  EXPECT_LT(eq_high.fpk.densities.back().Mean(), high.Mean());
+}
+
+TEST(BestResponseTest, EquilibriumDensityDriftsTowardCached) {
+  // Fig. 4: the population caches up over the horizon, so the mean
+  // remaining space decreases.
+  auto learner = BestResponseLearner::Create(FastParams()).value();
+  auto eq = learner.Solve().value();
+  const double mean0 = eq.fpk.densities.front().Mean();
+  const double mean_t = eq.fpk.densities.back().Mean();
+  EXPECT_LT(mean_t, mean0 - 10.0);
+}
+
+TEST(BestResponseTest, InvalidInitialRateRejected) {
+  auto learner = BestResponseLearner::Create(FastParams()).value();
+  auto fpk = FpkSolver1D::Create(FastParams()).value();
+  auto initial = fpk.MakeInitialDensity().value();
+  EXPECT_FALSE(learner.SolveFrom(initial, -0.1).ok());
+  EXPECT_FALSE(learner.SolveFrom(initial, 1.1).ok());
+}
+
+TEST(BestResponseTest, SharingRaisesEquilibriumUtility) {
+  // Fig. 12/14 headline: MFG-CP (sharing) beats MFG (no sharing) on the
+  // generic player's realized utility.
+  MfgParams with = FastParams();
+  MfgParams without = FastParams();
+  without.sharing_enabled = false;
+  auto eq_with =
+      BestResponseLearner::Create(with).value().Solve().value();
+  auto eq_without =
+      BestResponseLearner::Create(without).value().Solve().value();
+  auto roll_with = RolloutEquilibrium(with, eq_with, 70.0).value();
+  auto roll_without =
+      RolloutEquilibrium(without, eq_without, 70.0).value();
+  EXPECT_GT(roll_with.cumulative_utility.back(),
+            roll_without.cumulative_utility.back());
+}
+
+TEST(RolloutTest, ShapesAndCumulativeConsistency) {
+  MfgParams params = FastParams();
+  auto eq = BestResponseLearner::Create(params).value().Solve().value();
+  auto rollout = RolloutEquilibrium(params, eq, 70.0).value();
+  const std::size_t n = params.grid.num_time_steps + 1;
+  EXPECT_EQ(rollout.time.size(), n);
+  EXPECT_EQ(rollout.cache_state.size(), n);
+  EXPECT_EQ(rollout.utility.size(), n);
+  EXPECT_EQ(rollout.cumulative_utility.size(), n);
+  // Cumulative utility is the dt-weighted prefix sum of the instantaneous.
+  double acc = 0.0;
+  const double dt = params.TimeStep();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += rollout.utility[i] * dt;
+    EXPECT_NEAR(rollout.cumulative_utility[i], acc, 1e-9);
+  }
+  // Cache state stays within the physical domain.
+  for (double q : rollout.cache_state) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, params.content_size);
+  }
+}
+
+TEST(RolloutTest, CacheStateDecreasesFromHighStart) {
+  MfgParams params = FastParams();
+  auto eq = BestResponseLearner::Create(params).value().Solve().value();
+  auto rollout = RolloutEquilibrium(params, eq, 90.0).value();
+  EXPECT_LT(rollout.cache_state.back(), 90.0);
+}
+
+TEST(RolloutTest, RejectsOutOfRangeStart) {
+  MfgParams params = FastParams();
+  auto eq = BestResponseLearner::Create(params).value().Solve().value();
+  EXPECT_FALSE(RolloutEquilibrium(params, eq, -5.0).ok());
+  EXPECT_FALSE(RolloutEquilibrium(params, eq, 1e9).ok());
+}
+
+}  // namespace
+}  // namespace mfg::core

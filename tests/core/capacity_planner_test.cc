@@ -1,0 +1,102 @@
+#include "core/capacity_planner.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::core {
+namespace {
+
+struct PlannerFixture {
+  MfgCpFramework framework;
+  EpochPlan plan;
+  EpochObservation observation;
+};
+
+PlannerFixture MakeFixture() {
+  MfgCpOptions options;
+  options.base_params.grid.num_q_nodes = 31;
+  options.base_params.grid.num_time_steps = 40;
+  options.base_params.learning.max_iterations = 15;
+  const std::size_t k = 3;
+  auto catalog = content::Catalog::CreateUniform(k, 100.0).value();
+  auto popularity = content::PopularityModel::CreateZipf(k, 0.8).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  auto framework =
+      MfgCpFramework::Create(options, catalog, popularity, timeliness)
+          .value();
+  EpochObservation obs;
+  obs.request_counts = {30, 15, 5};
+  obs.mean_timeliness.assign(k, 2.5);
+  obs.mean_remaining.assign(k, 70.0);
+  auto plan = framework.PlanEpoch(obs).value();
+  return PlannerFixture{std::move(framework), std::move(plan),
+                        std::move(obs)};
+}
+
+TEST(CapacityPlannerTest, SummariesCoverActiveContents) {
+  auto fixture = MakeFixture();
+  auto summaries = SummarizeEpochPlan(fixture.framework, fixture.plan,
+                                      fixture.observation);
+  ASSERT_TRUE(summaries.ok());
+  ASSERT_EQ(summaries->size(), 3u);
+  for (const auto& summary : *summaries) {
+    EXPECT_GT(summary.planned_mb, 0.0);
+    EXPECT_LE(summary.planned_mb, 100.0 + 1e-9);
+    EXPECT_GE(summary.expected_utility, 0.0);
+  }
+  // The hottest content carries the largest expected utility.
+  EXPECT_GT((*summaries)[0].expected_utility,
+            (*summaries)[2].expected_utility);
+}
+
+TEST(CapacityPlannerTest, SummaryValidation) {
+  auto fixture = MakeFixture();
+  EXPECT_FALSE(SummarizeEpochPlan(fixture.framework, fixture.plan,
+                                  fixture.observation, 0.0)
+                   .ok());
+  EXPECT_FALSE(SummarizeEpochPlan(fixture.framework, fixture.plan,
+                                  fixture.observation, 1.5)
+                   .ok());
+}
+
+TEST(CapacityPlannerTest, AmpleCapacityAdmitsEverything) {
+  auto fixture = MakeFixture();
+  auto summaries = SummarizeEpochPlan(fixture.framework, fixture.plan,
+                                      fixture.observation)
+                       .value();
+  auto plan = PlanUnderCapacity(summaries, 1e6).value();
+  EXPECT_FALSE(plan.constrained);
+  for (double f : plan.fraction) EXPECT_DOUBLE_EQ(f, 1.0);
+  EXPECT_NEAR(plan.capacity_used_mb, plan.planned_total_mb, 1e-9);
+}
+
+TEST(CapacityPlannerTest, TightCapacityKeepsHighestValueDensity) {
+  auto fixture = MakeFixture();
+  auto summaries = SummarizeEpochPlan(fixture.framework, fixture.plan,
+                                      fixture.observation)
+                       .value();
+  // Admit roughly one content's worth.
+  auto plan = PlanUnderCapacity(summaries, 100.0).value();
+  EXPECT_TRUE(plan.constrained);
+  EXPECT_LE(plan.capacity_used_mb, 100.0 + 1e-9);
+  // At least one content is (partially) dropped.
+  double min_fraction = 1.0;
+  for (double f : plan.fraction) min_fraction = std::min(min_fraction, f);
+  EXPECT_LT(min_fraction, 1.0);
+  // The fractional and 0/1 variants order as LP >= ILP in value.
+  auto zero_one = PlanUnderCapacity(summaries, 100.0, false).value();
+  EXPECT_GE(plan.expected_value, zero_one.expected_value - 1e-9);
+}
+
+TEST(CapacityPlannerTest, ZeroCapacityDropsAll) {
+  auto fixture = MakeFixture();
+  auto summaries = SummarizeEpochPlan(fixture.framework, fixture.plan,
+                                      fixture.observation)
+                       .value();
+  auto plan = PlanUnderCapacity(summaries, 0.0).value();
+  EXPECT_NEAR(plan.capacity_used_mb, 0.0, 1e-9);
+  for (double f : plan.fraction) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+}  // namespace
+}  // namespace mfg::core

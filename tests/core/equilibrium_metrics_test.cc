@@ -1,0 +1,126 @@
+#include "core/equilibrium_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/best_response.h"
+
+namespace mfg::core {
+namespace {
+
+MfgParams FastParams() {
+  MfgParams params;
+  params.grid.num_q_nodes = 61;
+  params.grid.num_time_steps = 80;
+  params.learning.max_iterations = 60;
+  params.learning.tolerance = 5e-4;
+  return params;
+}
+
+Equilibrium SolveShared() {
+  static const Equilibrium* eq = [] {
+    auto learner = BestResponseLearner::Create(FastParams()).value();
+    return new Equilibrium(learner.Solve().value());
+  }();
+  return *eq;
+}
+
+TEST(PolicyValueTest, ZeroUtilityPolicyHasZeroValue) {
+  // With no requests, no sharing, and a zero policy, the running utility
+  // is exactly zero, so the policy value must be zero everywhere.
+  MfgParams params = FastParams();
+  params.num_requests = 0.0;
+  params.sharing_enabled = false;
+  const std::size_t nt = params.grid.num_time_steps;
+  const std::size_t nq = params.grid.num_q_nodes;
+  std::vector<MeanFieldQuantities> mf(nt + 1);
+  for (auto& q : mf) {
+    q.price = 5.0;
+    q.mean_peer_remaining = 50.0;
+  }
+  std::vector<std::vector<double>> policy(nt + 1,
+                                          std::vector<double>(nq, 0.0));
+  auto value = EvaluatePolicyValue(params, mf, policy);
+  ASSERT_TRUE(value.ok());
+  for (const auto& slice : *value) {
+    for (double v : slice) EXPECT_NEAR(v, 0.0, 1e-9);
+  }
+}
+
+TEST(PolicyValueTest, Validation) {
+  MfgParams params = FastParams();
+  std::vector<MeanFieldQuantities> mf(3);
+  EXPECT_FALSE(EvaluatePolicyValue(params, mf, {}).ok());
+}
+
+TEST(PolicyValueTest, BestResponsePolicyReproducesHjbValue) {
+  // Evaluating the HJB's own maximizing policy must reproduce the HJB
+  // value (up to discretization of the argmax).
+  MfgParams params = FastParams();
+  Equilibrium eq = SolveShared();
+  auto hjb = HjbSolver1D::Create(params).value();
+  auto best = hjb.Solve(eq.mean_field).value();
+  auto value = EvaluatePolicyValue(params, eq.mean_field, best.policy);
+  ASSERT_TRUE(value.ok());
+  // Compare at t=0 on interior nodes, relative to the value scale.
+  double max_rel = 0.0;
+  for (std::size_t i = 2; i + 2 < best.value[0].size(); ++i) {
+    const double scale = std::max(std::fabs(best.value[0][i]), 100.0);
+    max_rel = std::max(
+        max_rel, std::fabs(best.value[0][i] - (*value)[0][i]) / scale);
+  }
+  EXPECT_LT(max_rel, 0.05);
+}
+
+TEST(ExploitabilityTest, ConvergedEquilibriumHasSmallGap) {
+  MfgParams params = FastParams();
+  Equilibrium eq = SolveShared();
+  ASSERT_TRUE(eq.converged);
+  auto report = ComputeExploitability(params, eq);
+  ASSERT_TRUE(report.ok());
+  // The gap must be tiny relative to the value of playing.
+  EXPECT_LT(std::fabs(report->RelativeGap()), 0.02);
+  // And non-negative up to discretization noise (the best response cannot
+  // be worse than any policy).
+  EXPECT_GT(report->gap, -0.02 * std::fabs(report->best_response_value));
+}
+
+TEST(ExploitabilityTest, BadPoliciesHaveLargeGaps) {
+  MfgParams params = FastParams();
+  Equilibrium eq = SolveShared();
+  const std::size_t nt = params.grid.num_time_steps;
+  const std::size_t nq = params.grid.num_q_nodes;
+  // "Never cache" forfeits the whole caching premium.
+  std::vector<std::vector<double>> never(nt + 1,
+                                         std::vector<double>(nq, 0.0));
+  auto report_never =
+      ComputeExploitabilityOfPolicy(params, eq, never).value();
+  auto report_eq = ComputeExploitability(params, eq).value();
+  EXPECT_GT(report_never.gap, 10.0 * std::max(report_eq.gap, 1.0));
+  // "Always cache at full rate" overpays placement near the boundary.
+  std::vector<std::vector<double>> always(nt + 1,
+                                          std::vector<double>(nq, 1.0));
+  auto report_always =
+      ComputeExploitabilityOfPolicy(params, eq, always).value();
+  EXPECT_GT(report_always.gap, report_eq.gap);
+}
+
+TEST(ExploitabilityTest, GapShrinksWithTighterTolerance) {
+  MfgParams loose = FastParams();
+  loose.learning.tolerance = 5e-2;
+  MfgParams tight = FastParams();
+  tight.learning.tolerance = 2e-4;
+  auto eq_loose =
+      BestResponseLearner::Create(loose).value().Solve().value();
+  auto eq_tight =
+      BestResponseLearner::Create(tight).value().Solve().value();
+  const double gap_loose =
+      std::fabs(ComputeExploitability(loose, eq_loose)->gap);
+  const double gap_tight =
+      std::fabs(ComputeExploitability(tight, eq_tight)->gap);
+  EXPECT_LE(gap_tight, gap_loose + 1.0);
+}
+
+}  // namespace
+}  // namespace mfg::core

@@ -1,0 +1,122 @@
+#include "core/finite_game.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/best_response.h"
+
+namespace mfg::core {
+namespace {
+
+FiniteGameOptions FastOptions(std::size_t players) {
+  FiniteGameOptions options;
+  options.num_players = players;
+  options.params.grid.num_q_nodes = 41;
+  options.params.grid.num_time_steps = 50;
+  options.max_rounds = 25;
+  options.tolerance = 0.2;
+  return options;
+}
+
+TEST(FiniteGameTest, CreateValidation) {
+  EXPECT_FALSE(FiniteGameSolver::Create(FastOptions(0)).ok());
+  FiniteGameOptions bad = FastOptions(3);
+  bad.initial_remaining = {10.0, 20.0};  // Arity mismatch.
+  EXPECT_FALSE(FiniteGameSolver::Create(bad).ok());
+  bad = FastOptions(2);
+  bad.initial_remaining = {10.0, 150.0};  // Out of range.
+  EXPECT_FALSE(FiniteGameSolver::Create(bad).ok());
+  bad = FastOptions(2);
+  bad.relaxation = 0.0;
+  EXPECT_FALSE(FiniteGameSolver::Create(bad).ok());
+  EXPECT_TRUE(FiniteGameSolver::Create(FastOptions(2)).ok());
+}
+
+TEST(FiniteGameTest, ConvergesAndStateStaysPhysical) {
+  auto solver = FiniteGameSolver::Create(FastOptions(5)).value();
+  auto result = solver.Solve();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  ASSERT_EQ(result->trajectories.size(), 5u);
+  for (const auto& traj : result->trajectories) {
+    for (double q : traj) {
+      EXPECT_GE(q, 0.0);
+      EXPECT_LE(q, 100.0);
+    }
+  }
+  for (const auto& pol : result->policies) {
+    for (double x : pol) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(FiniteGameTest, PlayersCacheUp) {
+  auto solver = FiniteGameSolver::Create(FastOptions(5)).value();
+  auto result = solver.Solve().value();
+  const auto mean = result.MeanTrajectory();
+  EXPECT_LT(mean.back(), mean.front() - 20.0);
+}
+
+TEST(FiniteGameTest, MonopolyChargesMaxPrice) {
+  FiniteGameOptions options = FastOptions(1);
+  auto result = FiniteGameSolver::Create(options).value().Solve().value();
+  for (double p : result.price_of_player0) {
+    EXPECT_DOUBLE_EQ(p, options.params.pricing.max_price);
+  }
+}
+
+TEST(FiniteGameTest, PriceFallsAsOpponentsCacheUp) {
+  auto solver = FiniteGameSolver::Create(FastOptions(8)).value();
+  auto result = solver.Solve().value();
+  // Market saturation: the price near the end is below the start.
+  EXPECT_LT(result.price_of_player0.back(),
+            result.price_of_player0.front());
+}
+
+TEST(FiniteGameTest, SymmetricStartsGiveNearSymmetricOutcomes) {
+  // The sweep is Gauss–Seidel (player 0 responds first, against slightly
+  // staler opponents), so exact symmetry is broken by the update order;
+  // outcomes must still agree to a fraction of a percent.
+  FiniteGameOptions options = FastOptions(4);
+  options.initial_remaining = {70.0, 70.0, 70.0, 70.0};
+  auto result = FiniteGameSolver::Create(options).value().Solve().value();
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(result.utilities[i], result.utilities[0],
+                0.01 * std::fabs(result.utilities[0]));
+    EXPECT_NEAR(result.trajectories[i].back(),
+                result.trajectories[0].back(), 1.0);
+  }
+}
+
+TEST(FiniteGameTest, ConvergesToMeanFieldAsPlayersGrow) {
+  // The paper's central approximation claim: the finite game's average
+  // trajectory approaches the mean-field equilibrium's as M grows.
+  MfgParams params = FastOptions(2).params;
+  auto mf_eq = BestResponseLearner::Create(params).value().Solve().value();
+  std::vector<double> mf_mean(params.grid.num_time_steps + 1);
+  for (std::size_t n = 0; n < mf_mean.size(); ++n) {
+    mf_mean[n] = mf_eq.fpk.densities[n].Mean();
+  }
+  auto gap_for = [&](std::size_t players) {
+    auto result =
+        FiniteGameSolver::Create(FastOptions(players)).value().Solve()
+            .value();
+    const auto mean = result.MeanTrajectory();
+    double gap = 0.0;
+    for (std::size_t n = 0; n < mean.size(); ++n) {
+      gap = std::max(gap, std::fabs(mean[n] - mf_mean[n]));
+    }
+    return gap;
+  };
+  const double gap_small = gap_for(2);
+  const double gap_large = gap_for(24);
+  EXPECT_LT(gap_large, gap_small + 2.0);
+  // The large game tracks the mean field to a few MB.
+  EXPECT_LT(gap_large, 12.0);
+}
+
+}  // namespace
+}  // namespace mfg::core

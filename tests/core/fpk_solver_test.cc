@@ -1,0 +1,194 @@
+#include "core/fpk_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mfg::core {
+namespace {
+
+MfgParams FastParams() {
+  MfgParams params;
+  params.grid.num_q_nodes = 81;
+  params.grid.num_time_steps = 100;
+  return params;
+}
+
+// Params with zero deterministic drift at x = 0 (w2 = w3 = 0).
+MfgParams DriftFreeParams() {
+  MfgParams params = FastParams();
+  params.dynamics.w2 = 0.0;
+  params.dynamics.w3 = 0.0;
+  return params;
+}
+
+std::vector<std::vector<double>> ConstantPolicy(const MfgParams& params,
+                                                double rate) {
+  return std::vector<std::vector<double>>(
+      params.grid.num_time_steps + 1,
+      std::vector<double>(params.grid.num_q_nodes, rate));
+}
+
+TEST(FpkSolverTest, InitialDensityMatchesParams) {
+  MfgParams params = FastParams();
+  params.init_mean_frac = 0.6;
+  params.init_std_frac = 0.08;
+  auto solver = FpkSolver1D::Create(params).value();
+  auto density = solver.MakeInitialDensity();
+  ASSERT_TRUE(density.ok());
+  EXPECT_NEAR(density->Mean(), 60.0, 0.5);
+  EXPECT_NEAR(std::sqrt(density->Variance()), 8.0, 0.5);
+}
+
+TEST(FpkSolverTest, MassConservedAtEveryStep) {
+  MfgParams params = FastParams();
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  auto solution = solver.Solve(initial, ConstantPolicy(params, 0.5));
+  ASSERT_TRUE(solution.ok());
+  ASSERT_EQ(solution->densities.size(), 101u);
+  for (const auto& density : solution->densities) {
+    EXPECT_NEAR(density.Mass(), 1.0, 1e-9);
+    for (double v : density.values()) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(FpkSolverTest, PureDiffusionSpreadsVariance) {
+  MfgParams params = DriftFreeParams();
+  params.dynamics.rho_q = 5.0;
+  params.init_std_frac = 0.05;
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  auto solution =
+      solver.Solve(initial, ConstantPolicy(params, 0.0)).value();
+  const double var0 = solution.densities.front().Variance();
+  const double var_t = solution.densities.back().Variance();
+  EXPECT_GT(var_t, var0 * 1.5);
+  // For free diffusion, Var(T) = Var(0) + rho^2 T (boundaries far away).
+  EXPECT_NEAR(var_t - var0, 25.0, 4.0);
+}
+
+TEST(FpkSolverTest, ZeroDynamicsLeavesDensityUntouched) {
+  MfgParams params = DriftFreeParams();
+  params.dynamics.rho_q = 0.0;
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  auto solution =
+      solver.Solve(initial, ConstantPolicy(params, 0.0)).value();
+  EXPECT_NEAR(
+      solution.densities.back().L1Distance(initial).value(), 0.0, 1e-9);
+}
+
+TEST(FpkSolverTest, AdvectionMovesMeanAtDriftRate) {
+  MfgParams params = DriftFreeParams();
+  params.dynamics.rho_q = 0.5;  // Small smoothing to suppress dispersion.
+  params.init_mean_frac = 0.7;
+  params.init_std_frac = 0.05;
+  // Constant policy x = 0.2: drift = 100 * (-0.2) = -20 MB/unit time;
+  // horizon 0.3 keeps the pulse away from the boundary.
+  params.horizon = 0.3;
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  auto solution =
+      solver.Solve(initial, ConstantPolicy(params, 0.2)).value();
+  const double mean0 = solution.densities.front().Mean();
+  const double mean_t = solution.densities.back().Mean();
+  EXPECT_NEAR(mean_t - mean0, -20.0 * 0.3, 1.0);
+}
+
+TEST(FpkSolverTest, HigherCachingRateDrainsFaster) {
+  MfgParams params = FastParams();
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  auto slow = solver.Solve(initial, ConstantPolicy(params, 0.2)).value();
+  auto fast = solver.Solve(initial, ConstantPolicy(params, 0.9)).value();
+  EXPECT_LT(fast.densities.back().Mean(), slow.densities.back().Mean());
+}
+
+TEST(FpkSolverTest, MassPilesAtLowerBoundaryUnderStrongDrift) {
+  MfgParams params = FastParams();
+  params.dynamics.rho_q = 1.0;
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  auto solution =
+      solver.Solve(initial, ConstantPolicy(params, 1.0)).value();
+  // Full-rate caching for a full horizon: nearly all mass below 20 MB.
+  const auto& final_density = solution.densities.back();
+  EXPECT_GT(final_density.MassOnInterval(0.0, 20.0), 0.9);
+  EXPECT_NEAR(final_density.Mass(), 1.0, 1e-9);
+}
+
+TEST(FpkImplicitTest, MassConservedAndNonNegative) {
+  MfgParams params = FastParams();
+  params.grid.implicit_fpk = true;
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  auto solution = solver.Solve(initial, ConstantPolicy(params, 0.5));
+  ASSERT_TRUE(solution.ok());
+  for (const auto& density : solution->densities) {
+    EXPECT_NEAR(density.Mass(), 1.0, 1e-9);
+    for (double v : density.values()) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(FpkImplicitTest, AgreesWithExplicitScheme) {
+  MfgParams explicit_params = FastParams();
+  MfgParams implicit_params = FastParams();
+  implicit_params.grid.implicit_fpk = true;
+  auto explicit_solver = FpkSolver1D::Create(explicit_params).value();
+  auto implicit_solver = FpkSolver1D::Create(implicit_params).value();
+  auto initial = explicit_solver.MakeInitialDensity().value();
+  auto e = explicit_solver
+               .Solve(initial, ConstantPolicy(explicit_params, 0.4))
+               .value();
+  auto i = implicit_solver
+               .Solve(initial, ConstantPolicy(implicit_params, 0.4))
+               .value();
+  // First-order schemes from opposite sides; moments agree to O(dt).
+  EXPECT_NEAR(e.densities.back().Mean(), i.densities.back().Mean(), 2.0);
+  EXPECT_LT(e.densities.back().L1Distance(i.densities.back()).value(),
+            0.15);
+}
+
+TEST(FpkImplicitTest, StableOnCoarseGridWhereExplicitWouldSubstep) {
+  // The implicit path takes one solve per output step regardless of the
+  // CFL number; it must remain a sane density on a very coarse grid.
+  MfgParams params = FastParams();
+  params.grid.implicit_fpk = true;
+  params.grid.num_q_nodes = 11;   // dx = 10, CFL number >> 1 per step.
+  params.grid.num_time_steps = 10;
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  auto solution = solver.Solve(initial, ConstantPolicy(params, 1.0));
+  ASSERT_TRUE(solution.ok());
+  for (const auto& density : solution->densities) {
+    EXPECT_NEAR(density.Mass(), 1.0, 1e-9);
+  }
+  // Full-rate caching still drains the distribution.
+  EXPECT_LT(solution->densities.back().Mean(),
+            solution->densities.front().Mean());
+}
+
+TEST(FpkSolverTest, RejectsMismatchedInputs) {
+  MfgParams params = FastParams();
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  // Wrong number of slices.
+  std::vector<std::vector<double>> short_policy(
+      3, std::vector<double>(params.grid.num_q_nodes, 0.5));
+  EXPECT_FALSE(solver.Solve(initial, short_policy).ok());
+  // Wrong slice width.
+  std::vector<std::vector<double>> ragged(
+      params.grid.num_time_steps + 1, std::vector<double>(5, 0.5));
+  EXPECT_FALSE(solver.Solve(initial, ragged).ok());
+  // Wrong initial grid.
+  MfgParams other = FastParams();
+  other.grid.num_q_nodes = 31;
+  auto other_solver = FpkSolver1D::Create(other).value();
+  auto other_density = other_solver.MakeInitialDensity().value();
+  EXPECT_FALSE(
+      solver.Solve(other_density, ConstantPolicy(params, 0.5)).ok());
+}
+
+}  // namespace
+}  // namespace mfg::core

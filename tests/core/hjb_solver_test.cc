@@ -1,0 +1,160 @@
+#include "core/hjb_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace mfg::core {
+namespace {
+
+MfgParams FastParams() {
+  MfgParams params;
+  params.grid.num_q_nodes = 81;
+  params.grid.num_time_steps = 100;
+  return params;
+}
+
+std::vector<MeanFieldQuantities> ConstantMeanField(const MfgParams& params,
+                                                   double price,
+                                                   double peer_remaining) {
+  MeanFieldQuantities mf;
+  mf.price = price;
+  mf.mean_peer_remaining = peer_remaining;
+  mf.mean_caching_rate = 0.3;
+  mf.sharing_benefit = 0.0;
+  return std::vector<MeanFieldQuantities>(params.grid.num_time_steps + 1,
+                                          mf);
+}
+
+TEST(HjbSolverTest, RejectsWrongMeanFieldArity) {
+  MfgParams params = FastParams();
+  auto solver = HjbSolver1D::Create(params).value();
+  EXPECT_FALSE(solver.Solve({}).ok());
+  EXPECT_FALSE(
+      solver.Solve(std::vector<MeanFieldQuantities>(5)).ok());
+}
+
+TEST(HjbSolverTest, TerminalValueIsZero) {
+  MfgParams params = FastParams();
+  auto solver = HjbSolver1D::Create(params).value();
+  auto solution = solver.Solve(ConstantMeanField(params, 4.0, 50.0));
+  ASSERT_TRUE(solution.ok());
+  for (double v : solution->value.back()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(HjbSolverTest, PolicyWithinUnitInterval) {
+  MfgParams params = FastParams();
+  auto solver = HjbSolver1D::Create(params).value();
+  auto solution = solver.Solve(ConstantMeanField(params, 4.0, 50.0)).value();
+  for (const auto& slice : solution.policy) {
+    for (double x : slice) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(HjbSolverTest, ValueFiniteEverywhere) {
+  MfgParams params = FastParams();
+  auto solver = HjbSolver1D::Create(params).value();
+  auto solution = solver.Solve(ConstantMeanField(params, 4.0, 50.0)).value();
+  for (const auto& slice : solution.value) {
+    EXPECT_TRUE(common::AllFinite(slice));
+  }
+}
+
+TEST(HjbSolverTest, ValueGrowsBackwardWhenUtilityPositive) {
+  // With positive running utility, V(t) >= V(t') for t <= t'.
+  MfgParams params = FastParams();
+  auto solver = HjbSolver1D::Create(params).value();
+  auto solution = solver.Solve(ConstantMeanField(params, 4.0, 20.0)).value();
+  // Check the cached-up state q = 10 where utility is clearly positive.
+  const std::size_t i = 8;  // q = 10 on an 81-node [0, 100] grid.
+  const std::size_t nt = solution.value.size() - 1;
+  EXPECT_GT(solution.value[0][i], solution.value[nt / 2][i]);
+  EXPECT_GT(solution.value[nt / 2][i], 0.0);
+}
+
+TEST(HjbSolverTest, OptimalRateMatchesTheorem1ClosedForm) {
+  MfgParams params = FastParams();
+  auto solver = HjbSolver1D::Create(params).value();
+  const double w4 = params.utility.placement.w4;
+  const double w5 = params.utility.placement.w5;
+  const double eta2 = params.utility.staleness.eta2;
+  const double hc = params.utility.staleness.cloud_rate;
+  const double qk = params.content_size;
+  for (double dv : {-40.0, -10.0, -5.0, 0.0, 3.0}) {
+    const double expected = common::ClampUnit(
+        -(w4 + eta2 * qk / hc + qk * params.dynamics.w1 * dv) / (2.0 * w5));
+    EXPECT_DOUBLE_EQ(solver.OptimalRate(dv), expected);
+  }
+}
+
+TEST(HjbSolverTest, OptimalRateDecreasingInGradient) {
+  // Larger (less negative) value gradient -> less caching.
+  MfgParams params = FastParams();
+  auto solver = HjbSolver1D::Create(params).value();
+  EXPECT_GE(solver.OptimalRate(-50.0), solver.OptimalRate(-10.0));
+  EXPECT_GE(solver.OptimalRate(-10.0), solver.OptimalRate(0.0));
+}
+
+TEST(HjbSolverTest, Theorem1IsArgmaxOfDiscreteHamiltonian) {
+  // The closed-form x* must beat a dense scan of alternatives in the
+  // one-step Hamiltonian drift(x)*dV + U(x) (the x-dependent part).
+  MfgParams params = FastParams();
+  auto solver = HjbSolver1D::Create(params).value();
+  MeanFieldQuantities mf = ConstantMeanField(params, 4.0, 50.0)[0];
+  const double q = 40.0;
+  for (double dv : {-30.0, -8.0, -3.5, 0.0}) {
+    const double x_star = solver.OptimalRate(dv);
+    const double h_star = params.CacheDrift(x_star) * dv +
+                          solver.RunningUtility(x_star, q, mf).value();
+    for (double x = 0.0; x <= 1.0; x += 0.02) {
+      const double h = params.CacheDrift(x) * dv +
+                       solver.RunningUtility(x, q, mf).value();
+      EXPECT_LE(h, h_star + 1e-9)
+          << "x = " << x << " beats x* = " << x_star << " at dV = " << dv;
+    }
+  }
+}
+
+TEST(HjbSolverTest, HigherPriceHigherValue) {
+  MfgParams params = FastParams();
+  auto solver = HjbSolver1D::Create(params).value();
+  auto low = solver.Solve(ConstantMeanField(params, 2.0, 50.0)).value();
+  auto high = solver.Solve(ConstantMeanField(params, 5.0, 50.0)).value();
+  // At t = 0, the value under the higher price dominates pointwise.
+  for (std::size_t i = 0; i < low.value[0].size(); ++i) {
+    EXPECT_GE(high.value[0][i], low.value[0][i] - 1e-9);
+  }
+}
+
+TEST(HjbSolverTest, RunningUtilityMatchesEconEvaluator) {
+  MfgParams params = FastParams();
+  auto solver = HjbSolver1D::Create(params).value();
+  MeanFieldQuantities mf;
+  mf.price = 4.0;
+  mf.mean_peer_remaining = 35.0;
+  mf.sharing_benefit = 3.0;
+  auto case_model = params.MakeCaseModel().value();
+  econ::UtilityInputs in;
+  in.content_size = params.content_size;
+  in.caching_rate = 0.6;
+  in.own_remaining = 25.0;
+  in.peer_remaining = 35.0;
+  in.num_requests = params.num_requests;
+  in.price = 4.0;
+  in.edge_rate = params.edge_rate;
+  in.sharing_benefit = 3.0;
+  in.cases = case_model.Evaluate(25.0, 35.0, params.content_size);
+  in.sharing_enabled = params.sharing_enabled;
+  const double expected =
+      econ::EvaluateUtility(params.utility, in).value().total;
+  EXPECT_NEAR(solver.RunningUtility(0.6, 25.0, mf).value(), expected,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace mfg::core

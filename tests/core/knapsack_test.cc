@@ -1,0 +1,101 @@
+#include "core/knapsack.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::core {
+namespace {
+
+TEST(FractionalKnapsackTest, TakesEverythingWhenCapacityAmple) {
+  std::vector<KnapsackItem> items = {{10.0, 5.0}, {20.0, 8.0}};
+  auto sel = SolveFractionalKnapsack(items, 100.0).value();
+  EXPECT_DOUBLE_EQ(sel.fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(sel.fraction[1], 1.0);
+  EXPECT_DOUBLE_EQ(sel.total_value, 13.0);
+  EXPECT_DOUBLE_EQ(sel.total_weight, 30.0);
+}
+
+TEST(FractionalKnapsackTest, GreedyByDensityWithFractionalTail) {
+  // Densities: A = 1.0, B = 0.5. Capacity 15 -> all of A, half of B.
+  std::vector<KnapsackItem> items = {{10.0, 10.0}, {10.0, 5.0}};
+  auto sel = SolveFractionalKnapsack(items, 15.0).value();
+  EXPECT_DOUBLE_EQ(sel.fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(sel.fraction[1], 0.5);
+  EXPECT_DOUBLE_EQ(sel.total_value, 12.5);
+  EXPECT_DOUBLE_EQ(sel.total_weight, 15.0);
+}
+
+TEST(FractionalKnapsackTest, ZeroCapacityTakesOnlyFreeItems) {
+  std::vector<KnapsackItem> items = {{10.0, 5.0}, {0.0, 3.0}};
+  auto sel = SolveFractionalKnapsack(items, 0.0).value();
+  EXPECT_DOUBLE_EQ(sel.fraction[0], 0.0);
+  EXPECT_DOUBLE_EQ(sel.fraction[1], 1.0);
+  EXPECT_DOUBLE_EQ(sel.total_value, 3.0);
+}
+
+TEST(FractionalKnapsackTest, Validation) {
+  EXPECT_FALSE(SolveFractionalKnapsack({{1.0, 1.0}}, -1.0).ok());
+  EXPECT_FALSE(SolveFractionalKnapsack({{-1.0, 1.0}}, 10.0).ok());
+  EXPECT_FALSE(SolveFractionalKnapsack({{1.0, -1.0}}, 10.0).ok());
+}
+
+TEST(FractionalKnapsackTest, EmptyItemsOk) {
+  auto sel = SolveFractionalKnapsack({}, 10.0).value();
+  EXPECT_TRUE(sel.fraction.empty());
+  EXPECT_DOUBLE_EQ(sel.total_value, 0.0);
+}
+
+TEST(ZeroOneKnapsackTest, ClassicInstance) {
+  // Weights {10, 20, 30}, values {60, 100, 120}, capacity 50 ->
+  // take items 1 and 2 (value 220).
+  std::vector<KnapsackItem> items = {{10.0, 60.0}, {20.0, 100.0},
+                                     {30.0, 120.0}};
+  auto sel = SolveZeroOneKnapsack(items, 50.0, 1.0).value();
+  EXPECT_DOUBLE_EQ(sel.fraction[0], 0.0);
+  EXPECT_DOUBLE_EQ(sel.fraction[1], 1.0);
+  EXPECT_DOUBLE_EQ(sel.fraction[2], 1.0);
+  EXPECT_DOUBLE_EQ(sel.total_value, 220.0);
+  EXPECT_DOUBLE_EQ(sel.total_weight, 50.0);
+}
+
+TEST(ZeroOneKnapsackTest, NoFractionsEver) {
+  std::vector<KnapsackItem> items = {{10.0, 10.0}, {10.0, 5.0}};
+  auto sel = SolveZeroOneKnapsack(items, 15.0, 1.0).value();
+  for (double f : sel.fraction) {
+    EXPECT_TRUE(f == 0.0 || f == 1.0);
+  }
+  // Only one item fits.
+  EXPECT_DOUBLE_EQ(sel.total_value, 10.0);
+}
+
+TEST(ZeroOneKnapsackTest, FractionalUpperBounds01) {
+  // LP relaxation dominates the integral optimum.
+  std::vector<KnapsackItem> items = {{7.0, 9.0}, {5.0, 7.0}, {4.0, 5.0},
+                                     {3.0, 2.0}};
+  const double capacity = 10.0;
+  auto frac = SolveFractionalKnapsack(items, capacity).value();
+  auto zo = SolveZeroOneKnapsack(items, capacity, 1.0).value();
+  EXPECT_GE(frac.total_value, zo.total_value - 1e-9);
+  EXPECT_LE(zo.total_weight, capacity + 1e-9);
+}
+
+TEST(ZeroOneKnapsackTest, ItemLargerThanCapacitySkipped) {
+  std::vector<KnapsackItem> items = {{100.0, 1000.0}, {5.0, 1.0}};
+  auto sel = SolveZeroOneKnapsack(items, 10.0, 1.0).value();
+  EXPECT_DOUBLE_EQ(sel.fraction[0], 0.0);
+  EXPECT_DOUBLE_EQ(sel.fraction[1], 1.0);
+}
+
+TEST(ZeroOneKnapsackTest, ResolutionValidation) {
+  EXPECT_FALSE(SolveZeroOneKnapsack({{1.0, 1.0}}, 10.0, 0.0).ok());
+  EXPECT_FALSE(SolveZeroOneKnapsack({{1.0, 1.0}}, 10.0, -1.0).ok());
+}
+
+TEST(ZeroOneKnapsackTest, FinerResolutionNeverWorse) {
+  std::vector<KnapsackItem> items = {{7.5, 9.0}, {5.5, 7.0}, {4.5, 5.0}};
+  auto coarse = SolveZeroOneKnapsack(items, 12.0, 2.0).value();
+  auto fine = SolveZeroOneKnapsack(items, 12.0, 0.25).value();
+  EXPECT_GE(fine.total_value, coarse.total_value - 1e-9);
+}
+
+}  // namespace
+}  // namespace mfg::core

@@ -1,0 +1,131 @@
+#include "core/mean_field_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::core {
+namespace {
+
+MfgParams MakeParams() {
+  MfgParams params;
+  params.grid.num_q_nodes = 201;
+  return params;
+}
+
+numerics::Density1D MakeDensity(const MfgParams& params, double mean,
+                                double stddev) {
+  auto grid = params.MakeQGrid().value();
+  return numerics::Density1D::TruncatedGaussian(grid, mean, stddev).value();
+}
+
+TEST(MeanFieldEstimatorTest, CreateValidatesParams) {
+  MfgParams bad = MakeParams();
+  bad.horizon = -1.0;
+  EXPECT_FALSE(MeanFieldEstimator::Create(bad).ok());
+  EXPECT_TRUE(MeanFieldEstimator::Create(MakeParams()).ok());
+}
+
+TEST(MeanFieldEstimatorTest, RejectsPolicySizeMismatch) {
+  MfgParams params = MakeParams();
+  auto estimator = MeanFieldEstimator::Create(params).value();
+  auto density = MakeDensity(params, 50.0, 10.0);
+  EXPECT_FALSE(estimator.Estimate(density, {0.5, 0.5}).ok());
+}
+
+TEST(MeanFieldEstimatorTest, MeanCachingRateOfConstantPolicy) {
+  MfgParams params = MakeParams();
+  auto estimator = MeanFieldEstimator::Create(params).value();
+  auto density = MakeDensity(params, 50.0, 10.0);
+  std::vector<double> policy(params.grid.num_q_nodes, 0.4);
+  auto mf = estimator.Estimate(density, policy).value();
+  EXPECT_NEAR(mf.mean_caching_rate, 0.4, 1e-6);
+  // Eq. 17 with stock supply: p = p_hat - eta1 * (Q - q_bar).
+  MfgParams defaults;
+  EXPECT_NEAR(mf.price,
+              defaults.pricing.max_price -
+                  defaults.pricing.eta1 * (100.0 - density.Mean()),
+              1e-4);
+}
+
+TEST(MeanFieldEstimatorTest, MeanPeerRemainingIsDensityMean) {
+  MfgParams params = MakeParams();
+  auto estimator = MeanFieldEstimator::Create(params).value();
+  auto density = MakeDensity(params, 62.0, 8.0);
+  std::vector<double> policy(params.grid.num_q_nodes, 0.0);
+  auto mf = estimator.Estimate(density, policy).value();
+  EXPECT_NEAR(mf.mean_peer_remaining, density.Mean(), 1e-9);
+}
+
+TEST(MeanFieldEstimatorTest, SharerFractionMatchesThresholdMass) {
+  MfgParams params = MakeParams();
+  params.case_alpha = 0.2;  // Threshold at 20 MB.
+  auto estimator = MeanFieldEstimator::Create(params).value();
+  // Density centred at the threshold: about half the mass qualifies.
+  auto density = MakeDensity(params, 20.0, 5.0);
+  std::vector<double> policy(params.grid.num_q_nodes, 0.0);
+  auto mf = estimator.Estimate(density, policy).value();
+  EXPECT_NEAR(mf.sharer_fraction, 0.5, 0.05);
+  EXPECT_NEAR(mf.case3_fraction,
+              (1.0 - mf.sharer_fraction) * (1.0 - mf.sharer_fraction),
+              1e-9);
+}
+
+TEST(MeanFieldEstimatorTest, SharingBenefitCollapsesToPDeltaS) {
+  // With s = mass(q > alpha Q), the paper's ratio collapses to
+  // Phi = p_bar * delta_q * s (see header comment).
+  MfgParams params = MakeParams();
+  params.utility.sharing_price = 2.0;
+  auto estimator = MeanFieldEstimator::Create(params).value();
+  auto density = MakeDensity(params, 30.0, 10.0);
+  std::vector<double> policy(params.grid.num_q_nodes, 0.0);
+  auto mf = estimator.Estimate(density, policy).value();
+  const double s = 1.0 - mf.sharer_fraction;
+  EXPECT_NEAR(mf.sharing_benefit, 2.0 * mf.delta_q * s, 1e-9);
+}
+
+TEST(MeanFieldEstimatorTest, NoSharersNoBenefit) {
+  MfgParams params = MakeParams();
+  auto estimator = MeanFieldEstimator::Create(params).value();
+  // Everyone far above the threshold: nobody can share.
+  auto density = MakeDensity(params, 90.0, 3.0);
+  std::vector<double> policy(params.grid.num_q_nodes, 0.0);
+  auto mf = estimator.Estimate(density, policy).value();
+  EXPECT_LT(mf.sharer_fraction, 1e-6);
+  EXPECT_DOUBLE_EQ(mf.sharing_benefit, 0.0);
+}
+
+TEST(MeanFieldEstimatorTest, SharingDisabledZeroesBenefit) {
+  MfgParams params = MakeParams();
+  params.sharing_enabled = false;
+  auto estimator = MeanFieldEstimator::Create(params).value();
+  auto density = MakeDensity(params, 30.0, 10.0);
+  std::vector<double> policy(params.grid.num_q_nodes, 0.5);
+  auto mf = estimator.Estimate(density, policy).value();
+  EXPECT_DOUBLE_EQ(mf.sharing_benefit, 0.0);
+}
+
+TEST(MeanFieldEstimatorTest, DeltaQIsAbsoluteMomentGap) {
+  MfgParams params = MakeParams();
+  auto estimator = MeanFieldEstimator::Create(params).value();
+  auto density = MakeDensity(params, 40.0, 15.0);
+  std::vector<double> policy(params.grid.num_q_nodes, 0.0);
+  auto mf = estimator.Estimate(density, policy).value();
+  const double threshold = params.case_alpha * params.content_size;
+  const double below = density.MeanOnInterval(0.0, threshold);
+  const double above =
+      density.MeanOnInterval(threshold, params.content_size);
+  EXPECT_NEAR(mf.delta_q, std::abs(below - above), 1e-9);
+}
+
+TEST(MeanFieldEstimatorTest, MoreCachedStockLowerPrice) {
+  MfgParams params = MakeParams();
+  auto estimator = MeanFieldEstimator::Create(params).value();
+  std::vector<double> policy(params.grid.num_q_nodes, 0.5);
+  // A population that has cached more (lower q_bar) floods the market.
+  auto sparse = MakeDensity(params, 80.0, 8.0);   // Little cached.
+  auto saturated = MakeDensity(params, 20.0, 8.0);  // Mostly cached.
+  EXPECT_GT(estimator.Estimate(sparse, policy).value().price,
+            estimator.Estimate(saturated, policy).value().price);
+}
+
+}  // namespace
+}  // namespace mfg::core

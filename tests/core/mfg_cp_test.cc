@@ -1,0 +1,151 @@
+#include "core/mfg_cp.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::core {
+namespace {
+
+MfgCpOptions FastOptions() {
+  MfgCpOptions options;
+  options.base_params.grid.num_q_nodes = 41;
+  options.base_params.grid.num_time_steps = 50;
+  options.base_params.learning.max_iterations = 20;
+  return options;
+}
+
+MfgCpFramework MakeFramework(std::size_t k = 4) {
+  auto catalog = content::Catalog::CreateUniform(k, 100.0).value();
+  auto popularity = content::PopularityModel::CreateZipf(k, 0.8).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  return MfgCpFramework::Create(FastOptions(), catalog, popularity,
+                                timeliness)
+      .value();
+}
+
+EpochObservation MakeObservation(std::size_t k) {
+  EpochObservation obs;
+  obs.request_counts.assign(k, 10);
+  obs.mean_timeliness.assign(k, 2.5);
+  obs.mean_remaining.assign(k, 70.0);
+  return obs;
+}
+
+TEST(MfgCpFrameworkTest, CreateValidation) {
+  auto catalog = content::Catalog::CreateUniform(3, 100.0).value();
+  auto popularity = content::PopularityModel::CreateZipf(4, 0.8).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  // Popularity arity mismatch.
+  EXPECT_FALSE(MfgCpFramework::Create(FastOptions(), catalog, popularity,
+                                      timeliness)
+                   .ok());
+}
+
+TEST(MfgCpFrameworkTest, PlanEpochSolvesActiveContents) {
+  auto framework = MakeFramework(3);
+  auto plan = framework.PlanEpoch(MakeObservation(3));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->active.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_TRUE(plan->active[k]);
+    ASSERT_NE(plan->policies[k], nullptr);
+    EXPECT_EQ(plan->policies[k]->name(), "MFG-CP");
+  }
+  EXPECT_EQ(plan->equilibria.size(), 3u);
+  EXPECT_EQ(plan->equilibrium_content.size(), 3u);
+}
+
+TEST(MfgCpFrameworkTest, InactiveContentsSkipped) {
+  auto framework = MakeFramework(3);
+  EpochObservation obs = MakeObservation(3);
+  obs.request_counts[1] = 0;     // Not requested.
+  obs.mean_remaining[2] = 0.0;   // Fully cached already.
+  auto plan = framework.PlanEpoch(obs).value();
+  EXPECT_TRUE(plan.active[0]);
+  EXPECT_FALSE(plan.active[1]);
+  EXPECT_FALSE(plan.active[2]);
+  EXPECT_EQ(plan.policies[1], nullptr);
+  EXPECT_EQ(plan.policies[2], nullptr);
+  EXPECT_EQ(plan.equilibria.size(), 1u);
+}
+
+TEST(MfgCpFrameworkTest, PopularityUpdatedByEquation3) {
+  auto framework = MakeFramework(2);
+  EpochObservation obs = MakeObservation(2);
+  obs.request_counts = {0, 100};
+  auto plan = framework.PlanEpoch(obs).value();
+  EXPECT_GT(plan.popularity[1], plan.popularity[0]);
+  EXPECT_NEAR(plan.popularity[0] + plan.popularity[1], 1.0, 1e-12);
+}
+
+TEST(MfgCpFrameworkTest, PlanEpochValidatesArity) {
+  auto framework = MakeFramework(3);
+  EpochObservation obs = MakeObservation(2);
+  EXPECT_FALSE(framework.PlanEpoch(obs).ok());
+}
+
+TEST(MfgCpFrameworkTest, ContentParamsInjectsPerContentFields) {
+  auto framework = MakeFramework(3);
+  auto params = framework.ContentParams(1, 0.45, 3.0, 12.0);
+  ASSERT_TRUE(params.ok());
+  EXPECT_DOUBLE_EQ(params->popularity, 0.45);
+  EXPECT_DOUBLE_EQ(params->timeliness, 3.0);
+  EXPECT_DOUBLE_EQ(params->num_requests, 12.0);
+  EXPECT_DOUBLE_EQ(params->content_size, 100.0);
+  EXPECT_FALSE(framework.ContentParams(9, 0.5, 1.0, 1.0).ok());
+}
+
+TEST(MfgCpFrameworkTest, ParallelPlanningMatchesSerial) {
+  // Independent per-content solves must give identical plans regardless
+  // of the worker count (Alg. 1's "in parallel" is a pure speedup).
+  auto catalog = content::Catalog::CreateUniform(5, 100.0).value();
+  auto popularity = content::PopularityModel::CreateZipf(5, 0.8).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  MfgCpOptions serial_options = FastOptions();
+  MfgCpOptions parallel_options = FastOptions();
+  parallel_options.parallelism = 4;
+  auto serial = MfgCpFramework::Create(serial_options, catalog, popularity,
+                                       timeliness)
+                    .value();
+  auto parallel = MfgCpFramework::Create(parallel_options, catalog,
+                                         popularity, timeliness)
+                      .value();
+  auto obs = MakeObservation(5);
+  auto plan_serial = serial.PlanEpoch(obs).value();
+  auto plan_parallel = parallel.PlanEpoch(obs).value();
+  ASSERT_EQ(plan_serial.equilibria.size(), plan_parallel.equilibria.size());
+  EXPECT_EQ(plan_serial.equilibrium_content,
+            plan_parallel.equilibrium_content);
+  for (std::size_t k = 0; k < 5; ++k) {
+    ASSERT_NE(plan_serial.policies[k], nullptr);
+    ASSERT_NE(plan_parallel.policies[k], nullptr);
+    for (double q : {10.0, 50.0, 90.0}) {
+      EXPECT_DOUBLE_EQ(plan_serial.policies[k]->RateAt(0.2, q),
+                       plan_parallel.policies[k]->RateAt(0.2, q));
+    }
+  }
+}
+
+TEST(MfgCpFrameworkTest, MorePopularContentCachedMoreAggressively) {
+  // The design intent of the whole paper: a hot content induces a more
+  // aggressive equilibrium caching policy than a cold one.
+  auto framework = MakeFramework(2);
+  EpochObservation obs = MakeObservation(2);
+  obs.request_counts = {40, 2};
+  auto plan = framework.PlanEpoch(obs).value();
+  ASSERT_NE(plan.policies[0], nullptr);
+  ASSERT_NE(plan.policies[1], nullptr);
+  // Compare mean caching rate at t=0 across the q range.
+  double hot = 0.0;
+  double cold = 0.0;
+  for (double q = 30.0; q <= 90.0; q += 10.0) {
+    hot += plan.policies[0]->RateAt(0.0, q);
+    cold += plan.policies[1]->RateAt(0.0, q);
+  }
+  EXPECT_GT(hot, cold);
+}
+
+}  // namespace
+}  // namespace mfg::core

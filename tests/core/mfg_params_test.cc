@@ -1,0 +1,92 @@
+#include "core/mfg_params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mfg::core {
+namespace {
+
+TEST(MfgParamsTest, DefaultsAreValid) {
+  EXPECT_TRUE(MfgParams().Validate().ok());
+  EXPECT_TRUE(DefaultPaperParams().Validate().ok());
+}
+
+TEST(MfgParamsTest, ValidateCatchesBadFields) {
+  auto check_invalid = [](auto mutate) {
+    MfgParams params;
+    mutate(params);
+    EXPECT_FALSE(params.Validate().ok());
+  };
+  check_invalid([](MfgParams& p) { p.horizon = 0.0; });
+  check_invalid([](MfgParams& p) { p.content_size = -1.0; });
+  check_invalid([](MfgParams& p) { p.popularity = 1.5; });
+  check_invalid([](MfgParams& p) { p.popularity = -0.1; });
+  check_invalid([](MfgParams& p) { p.timeliness = -1.0; });
+  check_invalid([](MfgParams& p) { p.num_requests = -1.0; });
+  check_invalid([](MfgParams& p) { p.edge_rate = 0.0; });
+  check_invalid([](MfgParams& p) { p.dynamics.w1 = 0.0; });
+  check_invalid([](MfgParams& p) { p.dynamics.xi = 1.0; });
+  check_invalid([](MfgParams& p) { p.dynamics.rho_q = -1.0; });
+  check_invalid([](MfgParams& p) { p.utility.placement.w5 = 0.0; });
+  check_invalid([](MfgParams& p) { p.case_alpha = 0.0; });
+  check_invalid([](MfgParams& p) { p.case_sharpness = 0.0; });
+  check_invalid([](MfgParams& p) { p.init_std_frac = 0.0; });
+  check_invalid([](MfgParams& p) { p.grid.num_q_nodes = 2; });
+  check_invalid([](MfgParams& p) { p.grid.num_time_steps = 1; });
+  check_invalid([](MfgParams& p) { p.grid.cfl_safety = 0.0; });
+  check_invalid([](MfgParams& p) { p.grid.cfl_safety = 1.5; });
+  check_invalid([](MfgParams& p) { p.learning.max_iterations = 0; });
+  check_invalid([](MfgParams& p) { p.learning.tolerance = 0.0; });
+  check_invalid([](MfgParams& p) { p.learning.relaxation = 0.0; });
+  check_invalid([](MfgParams& p) { p.learning.relaxation = 1.1; });
+}
+
+TEST(MfgParamsTest, QGridSpansContentSize) {
+  MfgParams params;
+  params.content_size = 80.0;
+  params.grid.num_q_nodes = 41;
+  auto grid = params.MakeQGrid();
+  ASSERT_TRUE(grid.ok());
+  EXPECT_DOUBLE_EQ(grid->lo(), 0.0);
+  EXPECT_DOUBLE_EQ(grid->hi(), 80.0);
+  EXPECT_EQ(grid->size(), 41u);
+}
+
+TEST(MfgParamsTest, TimeStep) {
+  MfgParams params;
+  params.horizon = 2.0;
+  params.grid.num_time_steps = 100;
+  EXPECT_DOUBLE_EQ(params.TimeStep(), 0.02);
+}
+
+TEST(MfgParamsTest, CacheDriftMatchesEquation4) {
+  MfgParams params;
+  params.content_size = 100.0;
+  params.popularity = 0.4;
+  params.timeliness = 2.0;
+  params.dynamics.w1 = 1.0;
+  params.dynamics.w2 = 0.05;
+  params.dynamics.w3 = 10.0;
+  params.dynamics.xi = 0.1;
+  const double expected =
+      100.0 * (-1.0 * 0.5 - 0.05 * 0.4 + 10.0 * std::pow(0.1, 2.0));
+  EXPECT_NEAR(params.CacheDrift(0.5), expected, 1e-12);
+}
+
+TEST(MfgParamsTest, CacheDriftDecreasingInRate) {
+  MfgParams params;
+  EXPECT_GT(params.CacheDrift(0.0), params.CacheDrift(0.5));
+  EXPECT_GT(params.CacheDrift(0.5), params.CacheDrift(1.0));
+}
+
+TEST(MfgParamsTest, MakeCaseModelUsesAlphaAndSharpness) {
+  MfgParams params;
+  params.case_alpha = 0.3;
+  auto model = params.MakeCaseModel();
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->alpha(), 0.3);
+}
+
+}  // namespace
+}  // namespace mfg::core

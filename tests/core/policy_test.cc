@@ -1,0 +1,142 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::core {
+namespace {
+
+MfgParams FastParams() {
+  MfgParams params;
+  params.grid.num_q_nodes = 41;
+  params.grid.num_time_steps = 50;
+  params.learning.max_iterations = 25;
+  return params;
+}
+
+Equilibrium SolveFast() {
+  static const Equilibrium* eq = [] {
+    auto learner = BestResponseLearner::Create(FastParams()).value();
+    return new Equilibrium(learner.Solve().value());
+  }();
+  return *eq;
+}
+
+TEST(MfgPolicyTest, CreateValidation) {
+  Equilibrium eq = SolveFast();
+  auto policy = MfgPolicy::Create(FastParams(), eq);
+  EXPECT_TRUE(policy.ok());
+  Equilibrium empty = eq;
+  empty.hjb.policy.clear();
+  EXPECT_FALSE(MfgPolicy::Create(FastParams(), empty).ok());
+  Equilibrium ragged = eq;
+  ragged.hjb.policy[1].pop_back();
+  EXPECT_FALSE(MfgPolicy::Create(FastParams(), ragged).ok());
+  Equilibrium bad_dt = eq;
+  bad_dt.hjb.dt = 0.0;
+  EXPECT_FALSE(MfgPolicy::Create(FastParams(), bad_dt).ok());
+}
+
+TEST(MfgPolicyTest, RateAtMatchesTableOnNodes) {
+  Equilibrium eq = SolveFast();
+  auto policy = MfgPolicy::Create(FastParams(), eq).value();
+  const auto& grid = eq.hjb.q_grid;
+  for (std::size_t n : {std::size_t{0}, std::size_t{25}, std::size_t{50}}) {
+    for (std::size_t i : {std::size_t{0}, std::size_t{20}, std::size_t{40}}) {
+      const double t = static_cast<double>(n) * eq.hjb.dt;
+      EXPECT_NEAR(policy->RateAt(t, grid.x(i)), eq.hjb.policy[n][i], 1e-9);
+    }
+  }
+}
+
+TEST(MfgPolicyTest, RateClampedOutsideDomain) {
+  Equilibrium eq = SolveFast();
+  auto policy = MfgPolicy::Create(FastParams(), eq).value();
+  const double at_end = policy->RateAt(100.0, 50.0);
+  EXPECT_NEAR(at_end, policy->RateAt(1.0, 50.0), 1e-9);
+  const double below = policy->RateAt(0.5, -10.0);
+  EXPECT_NEAR(below, policy->RateAt(0.5, 0.0), 1e-9);
+  EXPECT_GE(policy->RateAt(-1.0, 50.0), 0.0);
+}
+
+TEST(MfgPolicyTest, RateUsesContextTimeAndRemaining) {
+  Equilibrium eq = SolveFast();
+  auto policy = MfgPolicy::Create(FastParams(), eq).value();
+  common::Rng rng(1);
+  PolicyContext ctx;
+  ctx.time = 0.3;
+  ctx.remaining = 42.0;
+  EXPECT_DOUBLE_EQ(policy->Rate(ctx, rng), policy->RateAt(0.3, 42.0));
+}
+
+TEST(MfgPolicyTest, InterpolatesBetweenTimeSlices) {
+  Equilibrium eq = SolveFast();
+  auto policy = MfgPolicy::Create(FastParams(), eq).value();
+  const double dt = eq.hjb.dt;
+  const double q = 55.0;
+  const double left = policy->RateAt(10.0 * dt, q);
+  const double right = policy->RateAt(11.0 * dt, q);
+  const double mid = policy->RateAt(10.5 * dt, q);
+  EXPECT_NEAR(mid, 0.5 * (left + right), 1e-9);
+}
+
+TEST(MfgPolicySerializationTest, CsvRoundTripPreservesRates) {
+  Equilibrium eq = SolveFast();
+  auto policy = MfgPolicy::Create(FastParams(), eq).value();
+  auto reloaded = MfgPolicy::FromCsv(policy->ToCsv(), "reloaded");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)->name(), "reloaded");
+  for (double t : {0.0, 0.21, 0.5, 0.93}) {
+    for (double q : {0.0, 13.0, 47.5, 88.0, 100.0}) {
+      EXPECT_NEAR((*reloaded)->RateAt(t, q), policy->RateAt(t, q), 1e-6)
+          << "t=" << t << " q=" << q;
+    }
+  }
+}
+
+TEST(MfgPolicySerializationTest, FileRoundTrip) {
+  Equilibrium eq = SolveFast();
+  auto policy = MfgPolicy::Create(FastParams(), eq).value();
+  const std::string path = ::testing::TempDir() + "/mfgcp_policy.csv";
+  ASSERT_TRUE(policy->SaveFile(path).ok());
+  auto reloaded = MfgPolicy::LoadFile(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_NEAR((*reloaded)->RateAt(0.3, 40.0), policy->RateAt(0.3, 40.0),
+              1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(MfgPolicySerializationTest, RejectsMalformedCsv) {
+  EXPECT_FALSE(MfgPolicy::FromCsv("").ok());
+  EXPECT_FALSE(MfgPolicy::FromCsv("t,q=0\n0,0.5\n1,0.5\n").ok());
+  // Bad header label.
+  EXPECT_FALSE(
+      MfgPolicy::FromCsv("t,a,b\n0,0.5,0.5\n0.1,0.5,0.5\n").ok());
+  // Non-uniform q grid.
+  EXPECT_FALSE(MfgPolicy::FromCsv(
+                   "t,q=0,q=1,q=5\n0,0.5,0.5,0.5\n0.1,0.5,0.5,0.5\n")
+                   .ok());
+  // Rate out of range.
+  EXPECT_FALSE(MfgPolicy::FromCsv(
+                   "t,q=0,q=1,q=2\n0,0.5,1.7,0.5\n0.1,0.5,0.5,0.5\n")
+                   .ok());
+  // Non-uniform time ramp.
+  EXPECT_FALSE(
+      MfgPolicy::FromCsv(
+          "t,q=0,q=1,q=2\n0,0.5,0.5,0.5\n0.1,0.5,0.5,0.5\n0.5,0.5,0.5,0.5\n")
+          .ok());
+  // A valid minimal table loads.
+  EXPECT_TRUE(MfgPolicy::FromCsv(
+                  "t,q=0,q=1,q=2\n0,0.1,0.2,0.3\n0.1,0.4,0.5,0.6\n")
+                  .ok());
+  EXPECT_FALSE(MfgPolicy::LoadFile("/no/such/file.csv").ok());
+}
+
+TEST(MfgPolicyTest, NameDefaultsAndOverrides) {
+  Equilibrium eq = SolveFast();
+  EXPECT_EQ(MfgPolicy::Create(FastParams(), eq).value()->name(), "MFG-CP");
+  EXPECT_EQ(MfgPolicy::Create(FastParams(), eq, "MFG").value()->name(),
+            "MFG");
+}
+
+}  // namespace
+}  // namespace mfg::core

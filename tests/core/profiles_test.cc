@@ -1,0 +1,108 @@
+// Tests of the time-varying workload profiles (the paper's Π_k(t), L_k(t)
+// and |I_k(t)| changing within the horizon).
+
+#include <gtest/gtest.h>
+
+#include "core/best_response.h"
+#include "core/mfg_params.h"
+
+namespace mfg::core {
+namespace {
+
+MfgParams FastParams() {
+  MfgParams params;
+  params.grid.num_q_nodes = 41;
+  params.grid.num_time_steps = 50;
+  params.learning.max_iterations = 25;
+  return params;
+}
+
+TEST(ProfilesTest, AccessorsFallBackToConstants) {
+  MfgParams params = FastParams();
+  EXPECT_DOUBLE_EQ(params.PopularityAt(0), params.popularity);
+  EXPECT_DOUBLE_EQ(params.TimelinessAt(17), params.timeliness);
+  EXPECT_DOUBLE_EQ(params.RequestsAt(50), params.num_requests);
+}
+
+TEST(ProfilesTest, AccessorsUseAndClampProfiles) {
+  MfgParams params = FastParams();
+  params.popularity_profile.assign(51, 0.1);
+  params.popularity_profile.back() = 0.9;
+  EXPECT_DOUBLE_EQ(params.PopularityAt(0), 0.1);
+  EXPECT_DOUBLE_EQ(params.PopularityAt(50), 0.9);
+  EXPECT_DOUBLE_EQ(params.PopularityAt(500), 0.9);  // Clamped.
+}
+
+TEST(ProfilesTest, ValidationCatchesBadProfiles) {
+  MfgParams params = FastParams();
+  params.popularity_profile.assign(10, 0.5);  // Wrong arity (needs 51).
+  EXPECT_FALSE(params.Validate().ok());
+  params = FastParams();
+  params.popularity_profile.assign(51, 1.5);  // Out of [0, 1].
+  EXPECT_FALSE(params.Validate().ok());
+  params = FastParams();
+  params.timeliness_profile.assign(51, -1.0);
+  EXPECT_FALSE(params.Validate().ok());
+  params = FastParams();
+  params.requests_profile.assign(51, -2.0);
+  EXPECT_FALSE(params.Validate().ok());
+  params = FastParams();
+  params.requests_profile.assign(51, 5.0);
+  EXPECT_TRUE(params.Validate().ok());
+}
+
+TEST(ProfilesTest, DriftAtNodeTracksProfile) {
+  MfgParams params = FastParams();
+  params.timeliness_profile.assign(51, 1.0);   // xi^1 = 0.1 discard.
+  params.timeliness_profile[50] = 4.0;         // xi^4 = 1e-4 discard.
+  // Low urgency (node 0) discards faster -> drift more positive.
+  EXPECT_GT(params.CacheDriftAtNode(0.0, 50.0, 0),
+            params.CacheDriftAtNode(0.0, 50.0, 50));
+}
+
+TEST(ProfilesTest, ConstantProfilesMatchConstantSolve) {
+  // Profiles set to the constant values must reproduce the constant-
+  // parameter equilibrium exactly.
+  MfgParams constant = FastParams();
+  MfgParams profiled = FastParams();
+  profiled.popularity_profile.assign(51, profiled.popularity);
+  profiled.timeliness_profile.assign(51, profiled.timeliness);
+  profiled.requests_profile.assign(51, profiled.num_requests);
+  auto eq_constant =
+      BestResponseLearner::Create(constant).value().Solve().value();
+  auto eq_profiled =
+      BestResponseLearner::Create(profiled).value().Solve().value();
+  for (std::size_t n = 0; n <= 50; n += 10) {
+    for (std::size_t i = 0; i < 41; ++i) {
+      EXPECT_NEAR(eq_profiled.hjb.policy[n][i],
+                  eq_constant.hjb.policy[n][i], 1e-12);
+    }
+  }
+}
+
+TEST(ProfilesTest, DemandSpikeRaisesCachingBeforeTheSpike) {
+  // Requests concentrated in the last third of the horizon: the forward-
+  // looking equilibrium caches ahead of the spike, beating the policy
+  // computed under the (equal-average) flat load *on the spiky workload*.
+  MfgParams spiky = FastParams();
+  spiky.requests_profile.assign(51, 2.0);
+  for (std::size_t n = 34; n <= 50; ++n) spiky.requests_profile[n] = 26.0;
+  // Average ~= 10 = the flat default.
+  auto eq_spiky = BestResponseLearner::Create(spiky).value().Solve().value();
+  auto rollout = RolloutEquilibrium(spiky, eq_spiky, 70.0).value();
+  // The cache is substantially filled by the time the spike starts.
+  const std::size_t spike_start = 34;
+  EXPECT_LT(rollout.cache_state[spike_start], 45.0);
+  // And the utility earned during the spike window is positive and large
+  // relative to the pre-spike window.
+  double pre = 0.0;
+  double during = 0.0;
+  for (std::size_t n = 0; n < spike_start; ++n) pre += rollout.utility[n];
+  for (std::size_t n = spike_start; n <= 50; ++n) {
+    during += rollout.utility[n];
+  }
+  EXPECT_GT(during, pre);
+}
+
+}  // namespace
+}  // namespace mfg::core

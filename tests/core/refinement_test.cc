@@ -1,0 +1,110 @@
+// Discretization-convergence tests of the HJB/FPK solvers: refining the
+// grid or the time step must drive the solutions toward a limit (the
+// numerical backbone of Lemmas 1-2's well-posedness claims).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/best_response.h"
+#include "core/fpk_solver.h"
+#include "core/hjb_solver.h"
+#include "numerics/interpolation.h"
+
+namespace mfg::core {
+namespace {
+
+MfgParams BaseParams(std::size_t q_nodes, std::size_t time_steps) {
+  MfgParams params;
+  params.grid.num_q_nodes = q_nodes;
+  params.grid.num_time_steps = time_steps;
+  params.learning.max_iterations = 30;
+  return params;
+}
+
+std::vector<MeanFieldQuantities> ConstantMf(std::size_t nt) {
+  MeanFieldQuantities mf;
+  mf.price = 5.0;
+  mf.mean_peer_remaining = 50.0;
+  return std::vector<MeanFieldQuantities>(nt + 1, mf);
+}
+
+// V(0, q=50) for a given resolution.
+double HjbValueAt50(std::size_t q_nodes, std::size_t time_steps) {
+  MfgParams params = BaseParams(q_nodes, time_steps);
+  auto solver = HjbSolver1D::Create(params).value();
+  auto solution = solver.Solve(ConstantMf(time_steps)).value();
+  auto grid = params.MakeQGrid().value();
+  return numerics::LinearInterpolate(grid, solution.value[0], 50.0)
+      .value();
+}
+
+TEST(RefinementTest, HjbValueConvergesUnderGridRefinement) {
+  const double coarse = HjbValueAt50(21, 100);
+  const double medium = HjbValueAt50(41, 100);
+  const double fine = HjbValueAt50(81, 100);
+  const double finest = HjbValueAt50(161, 100);
+  // Successive differences shrink.
+  const double d1 = std::fabs(medium - coarse);
+  const double d2 = std::fabs(fine - medium);
+  const double d3 = std::fabs(finest - fine);
+  EXPECT_LT(d3, d1 + 1e-9);
+  EXPECT_LT(d2 + d3, 2.0 * d1 + 20.0);
+  // The absolute scale is sane (value of play ~ hundreds here).
+  EXPECT_GT(finest, 0.0);
+}
+
+TEST(RefinementTest, HjbValueConvergesUnderTimeRefinement) {
+  const double coarse = HjbValueAt50(61, 25);
+  const double fine = HjbValueAt50(61, 100);
+  const double finest = HjbValueAt50(61, 400);
+  EXPECT_LT(std::fabs(finest - fine), std::fabs(fine - coarse) + 5.0);
+}
+
+// Final FPK mean for a given resolution under a fixed policy.
+double FpkFinalMean(std::size_t q_nodes, std::size_t time_steps) {
+  MfgParams params = BaseParams(q_nodes, time_steps);
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  std::vector<std::vector<double>> policy(
+      time_steps + 1, std::vector<double>(q_nodes, 0.5));
+  return solver.Solve(initial, policy).value().densities.back().Mean();
+}
+
+TEST(RefinementTest, FpkMeanConvergesUnderGridRefinement) {
+  const double coarse = FpkFinalMean(21, 100);
+  const double medium = FpkFinalMean(41, 100);
+  const double fine = FpkFinalMean(81, 100);
+  const double finest = FpkFinalMean(161, 100);
+  EXPECT_LT(std::fabs(finest - fine), std::fabs(medium - coarse) + 0.5);
+  // All resolutions agree on the physics to a few MB.
+  EXPECT_NEAR(coarse, finest, 6.0);
+}
+
+TEST(RefinementTest, EquilibriumPolicyStableAcrossResolutions) {
+  // The converged equilibrium's t = 0 policy, interpolated to common
+  // points, changes little between a medium and a fine grid.
+  MfgParams medium = BaseParams(41, 60);
+  MfgParams fine = BaseParams(81, 120);
+  auto eq_medium =
+      BestResponseLearner::Create(medium).value().Solve().value();
+  auto eq_fine = BestResponseLearner::Create(fine).value().Solve().value();
+  auto grid_medium = medium.MakeQGrid().value();
+  auto grid_fine = fine.MakeQGrid().value();
+  double total_gap = 0.0;
+  int count = 0;
+  for (double q = 5.0; q <= 95.0; q += 5.0) {
+    const double x_medium =
+        numerics::LinearInterpolate(grid_medium, eq_medium.hjb.policy[0], q)
+            .value();
+    const double x_fine =
+        numerics::LinearInterpolate(grid_fine, eq_fine.hjb.policy[0], q)
+            .value();
+    total_gap += std::fabs(x_medium - x_fine);
+    ++count;
+  }
+  EXPECT_LT(total_gap / count, 0.08);
+}
+
+}  // namespace
+}  // namespace mfg::core

@@ -1,0 +1,97 @@
+// Randomized robustness sweep: the best-response learner must either
+// converge or return a clean diagnostic on any parameter set drawn from
+// the valid ranges — never crash, never emit NaNs, never break the
+// solution invariants (mass, policy bounds, price bounds).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/best_response.h"
+
+namespace mfg::core {
+namespace {
+
+MfgParams RandomParams(common::Rng& rng) {
+  MfgParams params;
+  params.grid.num_q_nodes = 31 + 10 * rng.UniformInt(3);      // 31..51.
+  params.grid.num_time_steps = 40 + 20 * rng.UniformInt(3);   // 40..80.
+  params.learning.max_iterations = 25;
+  params.horizon = rng.Uniform(0.5, 2.0);
+  params.content_size = rng.Uniform(40.0, 200.0);
+  params.popularity = rng.Uniform(0.0, 1.0);
+  params.timeliness = rng.Uniform(0.0, 5.0);
+  params.num_requests = rng.Uniform(0.0, 30.0);
+  params.edge_rate = rng.Uniform(3.0, 30.0);
+  params.sharing_enabled = rng.Uniform() < 0.5;
+  params.dynamics.w1 = rng.Uniform(0.5, 2.0);
+  params.dynamics.w2 = rng.Uniform(0.0, 0.2);
+  params.dynamics.w3 = rng.Uniform(0.0, 15.0);
+  params.dynamics.xi = rng.Uniform(0.05, 0.9);
+  params.dynamics.rho_q = rng.Uniform(0.0, 5.0);
+  params.utility.placement.w4 = rng.Uniform(0.0, 400.0);
+  params.utility.placement.w5 = rng.Uniform(100.0, 1200.0);
+  params.utility.staleness.eta2 = rng.Uniform(5.0, 50.0);
+  params.utility.staleness.cloud_rate = rng.Uniform(5.0, 50.0);
+  params.utility.staleness.cloud_ondemand_rate = rng.Uniform(1.0, 20.0);
+  params.utility.sharing_price = rng.Uniform(0.0, 3.0);
+  params.pricing.max_price = rng.Uniform(2.0, 12.0);
+  params.pricing.eta1 = rng.Uniform(0.0, 0.05);
+  params.case_alpha = rng.Uniform(0.05, 0.6);
+  params.case_sharpness = rng.Uniform(0.02, 0.5);
+  params.init_mean_frac = rng.Uniform(0.2, 0.9);
+  params.init_std_frac = rng.Uniform(0.03, 0.2);
+  params.grid.implicit_fpk = rng.Uniform() < 0.3;
+  return params;
+}
+
+class RobustnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RobustnessSweep, SolverNeverProducesGarbage) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  MfgParams params = RandomParams(rng);
+  ASSERT_TRUE(params.Validate().ok());
+
+  auto learner = BestResponseLearner::Create(params);
+  ASSERT_TRUE(learner.ok()) << learner.status();
+  auto eq = learner->Solve();
+  if (!eq.ok()) {
+    // A clean numerical diagnostic is acceptable on extreme draws; a
+    // crash or a silent NaN is not.
+    EXPECT_EQ(eq.status().code(), common::StatusCode::kNumericalError)
+        << eq.status();
+    return;
+  }
+  // Invariants of any returned solution.
+  for (const auto& density : eq->fpk.densities) {
+    EXPECT_NEAR(density.Mass(), 1.0, 1e-6);
+    for (double v : density.values()) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+    }
+  }
+  for (const auto& slice : eq->hjb.policy) {
+    for (double x : slice) {
+      EXPECT_TRUE(std::isfinite(x));
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+  for (const auto& slice : eq->hjb.value) {
+    for (double v : slice) EXPECT_TRUE(std::isfinite(v));
+  }
+  for (const auto& mf : eq->mean_field) {
+    EXPECT_GE(mf.price, 0.0);
+    EXPECT_LE(mf.price, params.pricing.max_price + 1e-9);
+    EXPECT_GE(mf.sharer_fraction, -1e-12);
+    EXPECT_LE(mf.sharer_fraction, 1.0 + 1e-12);
+    EXPECT_TRUE(std::isfinite(mf.sharing_benefit));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDraws, RobustnessSweep,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace mfg::core

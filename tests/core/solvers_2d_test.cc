@@ -1,0 +1,237 @@
+// Tests of the full 2-D (h, q) HJB/FPK solvers and their best-response
+// learner, including the consistency property that justifies the 1-D
+// reduction used by the benches.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+#include "core/best_response.h"
+#include "core/best_response_2d.h"
+#include "core/fpk_solver_2d.h"
+#include "core/hjb_solver_2d.h"
+#include "numerics/field2d.h"
+
+namespace mfg::core {
+namespace {
+
+MfgParams FastParams() {
+  MfgParams params = DefaultPaperParams();
+  params.grid.num_q_nodes = 41;
+  params.grid.num_h_nodes = 15;
+  params.grid.num_time_steps = 60;
+  params.learning.max_iterations = 25;
+  return params;
+}
+
+std::vector<MeanFieldQuantities> ConstantMeanField(const MfgParams& params) {
+  MeanFieldQuantities mf;
+  mf.price = 5.0;
+  mf.mean_peer_remaining = 50.0;
+  return std::vector<MeanFieldQuantities>(params.grid.num_time_steps + 1,
+                                          mf);
+}
+
+TEST(MfgParamsHGridTest, CentredOnUpsilonAndPositive) {
+  MfgParams params = FastParams();
+  auto grid = params.MakeHGrid();
+  ASSERT_TRUE(grid.ok());
+  EXPECT_GT(grid->lo(), 0.0);
+  EXPECT_LT(grid->lo(), params.channel.upsilon);
+  EXPECT_GT(grid->hi(), params.channel.upsilon);
+}
+
+TEST(MfgParamsEdgeRateTest, MatchesOperatingPointAndMonotone) {
+  MfgParams params = FastParams();
+  EXPECT_NEAR(params.EdgeRateAt(params.channel.upsilon), params.edge_rate,
+              1e-12);
+  EXPECT_GT(params.EdgeRateAt(params.channel.upsilon + 1.0),
+            params.edge_rate);
+  EXPECT_LT(params.EdgeRateAt(params.channel.upsilon - 1.0),
+            params.edge_rate);
+  EXPECT_DOUBLE_EQ(params.EdgeRateAt(0.0), 0.0);
+}
+
+TEST(Fpk2DTest, InitialDensityIsNormalizedProduct) {
+  auto solver = FpkSolver2D::Create(FastParams()).value();
+  auto initial = solver.MakeInitialDensity();
+  ASSERT_TRUE(initial.ok());
+  auto grid = numerics::Grid2D::Create(solver.h_grid(), solver.q_grid())
+                  .value();
+  EXPECT_NEAR(numerics::Trapezoid2D(grid, *initial).value(), 1.0, 1e-9);
+  for (double v : *initial) EXPECT_GE(v, 0.0);
+}
+
+TEST(Fpk2DTest, MassConservedUnderEvolution) {
+  MfgParams params = FastParams();
+  auto solver = FpkSolver2D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  const std::size_t nodes =
+      solver.h_grid().size() * solver.q_grid().size();
+  std::vector<std::vector<double>> policy(
+      params.grid.num_time_steps + 1, std::vector<double>(nodes, 0.6));
+  auto solution = solver.Solve(initial, policy);
+  ASSERT_TRUE(solution.ok());
+  for (std::size_t n = 0; n < solution->num_time_nodes(); ++n) {
+    EXPECT_NEAR(solution->Mass(n), 1.0, 1e-9);
+  }
+}
+
+TEST(Fpk2DTest, HMarginalStaysNearStationaryLaw) {
+  // The h-dynamics are an autonomous OU process: its marginal should stay
+  // near the stationary N(upsilon, rho^2/varsigma) under evolution.
+  MfgParams params = FastParams();
+  auto solver = FpkSolver2D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  const std::size_t nodes =
+      solver.h_grid().size() * solver.q_grid().size();
+  std::vector<std::vector<double>> policy(
+      params.grid.num_time_steps + 1, std::vector<double>(nodes, 0.3));
+  auto solution = solver.Solve(initial, policy).value();
+  const auto marginal = solution.HMarginal(params.grid.num_time_steps);
+  // Mean of the marginal ≈ upsilon.
+  double mean = 0.0;
+  double mass = 0.0;
+  for (std::size_t i = 0; i < marginal.size(); ++i) {
+    const double w =
+        (i == 0 || i + 1 == marginal.size()) ? 0.5 : 1.0;
+    mean += w * solver.h_grid().x(i) * marginal[i];
+    mass += w * marginal[i];
+  }
+  mean *= solver.h_grid().dx();
+  mass *= solver.h_grid().dx();
+  EXPECT_NEAR(mass, 1.0, 1e-6);
+  EXPECT_NEAR(mean, params.channel.upsilon, 0.02);
+}
+
+TEST(Fpk2DTest, QMarginalDrainsUnderCaching) {
+  MfgParams params = FastParams();
+  auto solver = FpkSolver2D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  const std::size_t nodes =
+      solver.h_grid().size() * solver.q_grid().size();
+  std::vector<std::vector<double>> policy(
+      params.grid.num_time_steps + 1, std::vector<double>(nodes, 0.9));
+  auto solution = solver.Solve(initial, policy).value();
+  auto mean_q = [&](std::size_t n) {
+    const auto marginal = solution.QMarginal(n);
+    double mean = 0.0;
+    for (std::size_t j = 0; j < marginal.size(); ++j) {
+      const double w =
+          (j == 0 || j + 1 == marginal.size()) ? 0.5 : 1.0;
+      mean += w * solver.q_grid().x(j) * marginal[j];
+    }
+    return mean * solver.q_grid().dx();
+  };
+  EXPECT_LT(mean_q(params.grid.num_time_steps), mean_q(0) - 20.0);
+}
+
+TEST(Fpk2DTest, Validation) {
+  MfgParams params = FastParams();
+  auto solver = FpkSolver2D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  EXPECT_FALSE(solver.Solve({1.0, 2.0}, {}).ok());
+  std::vector<std::vector<double>> short_policy(
+      3, std::vector<double>(initial.size(), 0.5));
+  EXPECT_FALSE(solver.Solve(initial, short_policy).ok());
+}
+
+TEST(Hjb2DTest, TerminalZeroPolicyBoundedValueFinite) {
+  MfgParams params = FastParams();
+  auto solver = HjbSolver2D::Create(params).value();
+  auto solution = solver.Solve(ConstantMeanField(params));
+  ASSERT_TRUE(solution.ok());
+  for (double v : solution->value.back()) EXPECT_DOUBLE_EQ(v, 0.0);
+  for (const auto& slice : solution->policy) {
+    for (double x : slice) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+  for (const auto& slice : solution->value) {
+    EXPECT_TRUE(common::AllFinite(slice));
+  }
+}
+
+TEST(Hjb2DTest, BetterChannelHigherValue) {
+  // At t = 0 and mid q, the value should be (weakly) increasing in h:
+  // a better channel serves faster at every future instant.
+  MfgParams params = FastParams();
+  auto solver = HjbSolver2D::Create(params).value();
+  auto solution = solver.Solve(ConstantMeanField(params)).value();
+  const std::size_t nh = solver.h_grid().size();
+  const std::size_t iq = solver.q_grid().NearestIndex(50.0);
+  for (std::size_t ih = 1; ih < nh; ++ih) {
+    EXPECT_GE(solution.value[0][solution.Index(ih, iq)],
+              solution.value[0][solution.Index(ih - 1, iq)] - 1.0);
+  }
+  // Strict improvement across the whole h range.
+  EXPECT_GT(solution.value[0][solution.Index(nh - 1, iq)],
+            solution.value[0][solution.Index(0, iq)]);
+}
+
+TEST(Hjb2DTest, RunningUtilityMonotoneInChannel) {
+  MfgParams params = FastParams();
+  auto solver = HjbSolver2D::Create(params).value();
+  MeanFieldQuantities mf = ConstantMeanField(params)[0];
+  const double low =
+      solver.RunningUtility(0.5, params.channel.upsilon - 0.2, 60.0, mf)
+          .value();
+  const double high =
+      solver.RunningUtility(0.5, params.channel.upsilon + 0.2, 60.0, mf)
+          .value();
+  EXPECT_GT(high, low);
+}
+
+TEST(BestResponse2DTest, ConvergesAndIsConsistent) {
+  MfgParams params = FastParams();
+  auto learner = BestResponseLearner2D::Create(params).value();
+  auto eq = learner.Solve();
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(eq->converged);
+  for (std::size_t n = 0; n < eq->fpk.num_time_nodes(); ++n) {
+    EXPECT_NEAR(eq->fpk.Mass(n), 1.0, 1e-9);
+  }
+  for (const auto& mf : eq->mean_field) {
+    EXPECT_GE(mf.price, 0.0);
+    EXPECT_LE(mf.price, params.pricing.max_price + 1e-12);
+  }
+}
+
+TEST(BestResponse2DTest, MatchesReduced1DSolverAtMeanChannel) {
+  // The 1-D solver freezes h at upsilon; with the calibrated narrow
+  // stationary channel the 2-D policy at h = upsilon must agree closely.
+  MfgParams params = FastParams();
+  auto eq2d = BestResponseLearner2D::Create(params).value().Solve().value();
+  auto eq1d = BestResponseLearner::Create(params).value().Solve().value();
+  ASSERT_TRUE(eq2d.converged);
+  ASSERT_TRUE(eq1d.converged);
+
+  double total_gap = 0.0;
+  std::size_t count = 0;
+  const std::size_t nt = params.grid.num_time_steps;
+  for (std::size_t n = 0; n <= nt; n += nt / 6) {
+    const auto slice2d = eq2d.hjb.PolicyAtH(n, params.channel.upsilon);
+    for (std::size_t iq = 0; iq < slice2d.size(); ++iq) {
+      total_gap += std::fabs(slice2d[iq] - eq1d.hjb.policy[n][iq]);
+      ++count;
+    }
+  }
+  EXPECT_LT(total_gap / static_cast<double>(count), 0.05);
+
+  // The population trajectories agree too (mean remaining space).
+  const auto q_marginal_end = eq2d.fpk.QMarginal(nt);
+  double mean2d = 0.0;
+  auto q_grid = params.MakeQGrid().value();
+  for (std::size_t j = 0; j < q_marginal_end.size(); ++j) {
+    const double w =
+        (j == 0 || j + 1 == q_marginal_end.size()) ? 0.5 : 1.0;
+    mean2d += w * q_grid.x(j) * q_marginal_end[j];
+  }
+  mean2d *= q_grid.dx();
+  EXPECT_NEAR(mean2d, eq1d.fpk.densities.back().Mean(), 4.0);
+}
+
+}  // namespace
+}  // namespace mfg::core

@@ -1,0 +1,98 @@
+#include "econ/case_probabilities.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace mfg::econ {
+namespace {
+
+CaseModel MakeModel(double alpha = 0.2, double sharpness = 0.5) {
+  return CaseModel::Create(alpha, sharpness).value();
+}
+
+TEST(CaseModelTest, CreateValidation) {
+  EXPECT_TRUE(CaseModel::Create(0.2, 1.0).ok());
+  EXPECT_FALSE(CaseModel::Create(0.0, 1.0).ok());
+  EXPECT_FALSE(CaseModel::Create(1.0, 1.0).ok());
+  EXPECT_FALSE(CaseModel::Create(0.2, 0.0).ok());
+}
+
+TEST(CaseModelTest, SelfCachedDominatesCase1) {
+  auto model = MakeModel(0.2, 2.0);
+  // q = 0 (everything cached), threshold = 20: P1 ~ 1.
+  auto p = model.Evaluate(0.0, 50.0, 100.0);
+  EXPECT_GT(p.p1, 0.99);
+  EXPECT_LT(p.p2 + p.p3, 0.01);
+}
+
+TEST(CaseModelTest, PeerCachedDominatesCase2) {
+  auto model = MakeModel(0.2, 2.0);
+  // Own q = 80 (barely cached), peer q = 0 (fully cached).
+  auto p = model.Evaluate(80.0, 0.0, 100.0);
+  EXPECT_GT(p.p2, 0.99);
+  EXPECT_LT(p.p1, 0.01);
+  EXPECT_LT(p.p3, 0.01);
+}
+
+TEST(CaseModelTest, NobodyCachedDominatesCase3) {
+  auto model = MakeModel(0.2, 2.0);
+  auto p = model.Evaluate(90.0, 90.0, 100.0);
+  EXPECT_GT(p.p3, 0.99);
+}
+
+TEST(CaseModelTest, AtThresholdAllTransition) {
+  auto model = MakeModel(0.2, 0.5);
+  // Exactly at the threshold q = q_peer = 20: f(0) = 1/2 everywhere.
+  auto p = model.Evaluate(20.0, 20.0, 100.0);
+  EXPECT_NEAR(p.p1, 0.5, 1e-12);
+  EXPECT_NEAR(p.p2, 0.25, 1e-12);
+  EXPECT_NEAR(p.p3, 0.25, 1e-12);
+}
+
+// The exact identity P1 + P2 + P3 = 1 for any (q, q_peer, Q, alpha, l).
+class CaseSumTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(CaseSumTest, ProbabilitiesSumToOne) {
+  const auto [q, q_peer, alpha] = GetParam();
+  auto model = MakeModel(alpha, 0.31);
+  auto p = model.Evaluate(q, q_peer, 100.0);
+  EXPECT_NEAR(p.p1 + p.p2 + p.p3, 1.0, 1e-12);
+  EXPECT_GE(p.p1, 0.0);
+  EXPECT_GE(p.p2, 0.0);
+  EXPECT_GE(p.p3, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CaseSumTest,
+    ::testing::Combine(::testing::Values(0.0, 10.0, 20.0, 55.0, 100.0),
+                       ::testing::Values(0.0, 19.0, 21.0, 100.0),
+                       ::testing::Values(0.1, 0.2, 0.5)));
+
+TEST(CaseModelTest, DerivativeMatchesFiniteDifference) {
+  auto model = MakeModel(0.2, 0.4);
+  const double h = 1e-6;
+  for (double q : {5.0, 19.0, 20.0, 21.0, 60.0}) {
+    auto d = model.DerivativeQ(q, 30.0, 100.0);
+    auto up = model.Evaluate(q + h, 30.0, 100.0);
+    auto dn = model.Evaluate(q - h, 30.0, 100.0);
+    EXPECT_NEAR(d.p1, (up.p1 - dn.p1) / (2.0 * h), 1e-6);
+    EXPECT_NEAR(d.p2, (up.p2 - dn.p2) / (2.0 * h), 1e-6);
+    EXPECT_NEAR(d.p3, (up.p3 - dn.p3) / (2.0 * h), 1e-6);
+  }
+}
+
+TEST(CaseModelTest, P1DecreasesInOwnRemaining) {
+  // More remaining space = less cached = less able to self-serve.
+  auto model = MakeModel();
+  double prev = 2.0;
+  for (double q = 0.0; q <= 100.0; q += 10.0) {
+    const double p1 = model.Evaluate(q, 50.0, 100.0).p1;
+    EXPECT_LT(p1, prev);
+    prev = p1;
+  }
+}
+
+}  // namespace
+}  // namespace mfg::econ

@@ -1,0 +1,141 @@
+#include "econ/costs.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::econ {
+namespace {
+
+TEST(PlacementCostTest, QuadraticForm) {
+  PlacementCostParams params;
+  params.w4 = 2.0;
+  params.w5 = 3.0;
+  EXPECT_DOUBLE_EQ(PlacementCost(params, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(PlacementCost(params, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(PlacementCost(params, 0.5), 1.0 + 0.75);
+}
+
+TEST(PlacementCostTest, DerivativeMatches) {
+  PlacementCostParams params;
+  params.w4 = 2.0;
+  params.w5 = 3.0;
+  EXPECT_DOUBLE_EQ(PlacementCostDerivative(params, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(PlacementCostDerivative(params, 1.0), 8.0);
+  const double h = 1e-7;
+  const double fd =
+      (PlacementCost(params, 0.4 + h) - PlacementCost(params, 0.4 - h)) /
+      (2.0 * h);
+  EXPECT_NEAR(PlacementCostDerivative(params, 0.4), fd, 1e-6);
+}
+
+ServiceDelayInputs MakeInputs() {
+  ServiceDelayInputs in;
+  in.content_size = 100.0;
+  in.caching_rate = 0.5;
+  in.own_remaining = 30.0;
+  in.peer_remaining = 10.0;
+  in.num_requests = 4.0;
+  in.edge_rate = 10.0;
+  in.cases = {1.0, 0.0, 0.0};  // Pure case 1 for hand computation.
+  return in;
+}
+
+TEST(ServiceDelayTest, Case1HandComputed) {
+  StalenessCostParams params;
+  params.cloud_rate = 20.0;
+  auto delay = ServiceDelay(params, MakeInputs());
+  ASSERT_TRUE(delay.ok());
+  // Download term: 100*0.5/20 = 2.5; per request: (100-30)/10 = 7, x4 = 28.
+  EXPECT_NEAR(*delay, 2.5 + 28.0, 1e-12);
+}
+
+TEST(ServiceDelayTest, Case3IncludesCloudTopUp) {
+  StalenessCostParams params;
+  params.cloud_rate = 20.0;
+  params.cloud_ondemand_rate = 5.0;
+  ServiceDelayInputs in = MakeInputs();
+  in.caching_rate = 0.0;
+  in.cases = {0.0, 0.0, 1.0};
+  in.num_requests = 1.0;
+  auto delay = ServiceDelay(params, in);
+  ASSERT_TRUE(delay.ok());
+  // The on-demand top-up runs at the slower backhaul rate:
+  // q/Hc_ondemand + Q/H = 30/5 + 100/10 = 16.
+  EXPECT_NEAR(*delay, 16.0, 1e-12);
+}
+
+TEST(ServiceDelayTest, OnDemandSlowerThanBulkMakesCase3Expensive) {
+  // The design premise: for equal q, the case-3 route must cost more
+  // delay than the case-1 route saves.
+  StalenessCostParams params;
+  ServiceDelayInputs cached = MakeInputs();
+  cached.caching_rate = 0.0;
+  cached.num_requests = 1.0;
+  cached.own_remaining = 15.0;
+  cached.cases = {1.0, 0.0, 0.0};
+  ServiceDelayInputs uncached = cached;
+  uncached.own_remaining = 60.0;
+  uncached.cases = {0.0, 0.0, 1.0};
+  EXPECT_GT(ServiceDelay(params, uncached).value(),
+            ServiceDelay(params, cached).value());
+}
+
+TEST(ServiceDelayTest, Case2UsesPeerRemaining) {
+  StalenessCostParams params;
+  params.cloud_rate = 20.0;
+  ServiceDelayInputs in = MakeInputs();
+  in.caching_rate = 0.0;
+  in.cases = {0.0, 1.0, 0.0};
+  in.num_requests = 2.0;
+  auto delay = ServiceDelay(params, in);
+  ASSERT_TRUE(delay.ok());
+  // (100 - 10)/10 per request, x2.
+  EXPECT_NEAR(*delay, 18.0, 1e-12);
+}
+
+TEST(ServiceDelayTest, ClampsOverfullRemaining) {
+  StalenessCostParams params;
+  ServiceDelayInputs in = MakeInputs();
+  in.own_remaining = 150.0;  // Transient overshoot beyond Q.
+  in.caching_rate = 0.0;
+  in.num_requests = 1.0;
+  auto delay = ServiceDelay(params, in);
+  ASSERT_TRUE(delay.ok());
+  EXPECT_GE(*delay, 0.0);
+}
+
+TEST(ServiceDelayTest, Validation) {
+  StalenessCostParams params;
+  ServiceDelayInputs in = MakeInputs();
+  in.edge_rate = 0.0;
+  EXPECT_FALSE(ServiceDelay(params, in).ok());
+  in = MakeInputs();
+  in.content_size = 0.0;
+  EXPECT_FALSE(ServiceDelay(params, in).ok());
+  params.cloud_rate = 0.0;
+  EXPECT_FALSE(ServiceDelay(params, MakeInputs()).ok());
+}
+
+TEST(StalenessCostTest, ScalesDelayByEta2) {
+  StalenessCostParams params;
+  params.eta2 = 3.0;
+  params.cloud_rate = 20.0;
+  const double delay = ServiceDelay(params, MakeInputs()).value();
+  EXPECT_NEAR(StalenessCost(params, MakeInputs()).value(), 3.0 * delay,
+              1e-12);
+}
+
+TEST(StalenessCostTest, RejectsNegativeEta2) {
+  StalenessCostParams params;
+  params.eta2 = -1.0;
+  EXPECT_FALSE(StalenessCost(params, MakeInputs()).ok());
+}
+
+TEST(SharingCostTest, OnlyPositiveTransfers) {
+  // Pays for the data the peer tops up: (q_own - q_peer)+.
+  EXPECT_DOUBLE_EQ(SharingCost(2.0, 0.5, 30.0, 10.0), 2.0 * 0.5 * 20.0);
+  EXPECT_DOUBLE_EQ(SharingCost(2.0, 0.5, 10.0, 30.0), 0.0);
+  EXPECT_DOUBLE_EQ(SharingCost(2.0, 0.0, 30.0, 10.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mfg::econ

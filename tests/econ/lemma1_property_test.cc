@@ -1,0 +1,130 @@
+// Property tests tying the implementation to the paper's Lemma 1: the
+// utility function (Eq. 10) is bounded and Lipschitz-continuous in the
+// state, and the drift terms of the dynamics are bounded and Lipschitz —
+// the hypotheses under which the HJB value function exists and is unique.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/mfg_params.h"
+#include "econ/utility.h"
+
+namespace mfg::econ {
+namespace {
+
+core::MfgParams Params() { return core::MfgParams(); }
+
+// Evaluates the full utility at a state point under fixed market terms.
+double UtilityAt(const core::MfgParams& params, double x, double q,
+                 double q_peer, double price) {
+  auto case_model = params.MakeCaseModel().value();
+  UtilityInputs in;
+  in.content_size = params.content_size;
+  in.caching_rate = x;
+  in.own_remaining = q;
+  in.peer_remaining = q_peer;
+  in.num_requests = params.num_requests;
+  in.price = price;
+  in.edge_rate = params.edge_rate;
+  in.sharing_benefit = 5.0;
+  in.download_scale = params.ControlAvailability(q);
+  in.cases = case_model.Evaluate(q, q_peer, params.content_size);
+  return EvaluateUtility(params.utility, in).value().total;
+}
+
+class Lemma1Sweep
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(Lemma1Sweep, UtilityBoundedOnTheStateSpace) {
+  const auto [x, q_peer, price] = GetParam();
+  core::MfgParams params = Params();
+  // A crude a-priori bound: income <= n * p_max * Q; costs are bounded on
+  // the compact state space (q in [0, Q], x in [0, 1]).
+  const double income_bound = params.num_requests *
+                              params.pricing.max_price *
+                              params.content_size;
+  const double delay_bound =
+      params.utility.staleness.eta2 *
+      (params.content_size / params.utility.staleness.cloud_rate +
+       params.num_requests *
+           (params.content_size /
+                params.utility.staleness.cloud_ondemand_rate +
+            2.0 * params.content_size / params.edge_rate));
+  const double placement_bound =
+      params.utility.placement.w4 + params.utility.placement.w5;
+  const double sharing_bound =
+      params.utility.sharing_price * params.content_size + 5.0;
+  const double bound =
+      income_bound + delay_bound + placement_bound + sharing_bound + 1.0;
+  for (double q = 0.0; q <= params.content_size; q += 5.0) {
+    const double u = UtilityAt(params, x, q, q_peer, price);
+    EXPECT_TRUE(std::isfinite(u));
+    EXPECT_LT(std::fabs(u), bound) << "q = " << q;
+  }
+}
+
+TEST_P(Lemma1Sweep, UtilityLipschitzInOwnState) {
+  const auto [x, q_peer, price] = GetParam();
+  core::MfgParams params = Params();
+  // Empirical Lipschitz estimate at two scales; the ratio must not blow
+  // up as the increment shrinks (no kinks/steps in q).
+  const double coarse = 1.0;
+  const double fine = 0.01;
+  double lip_coarse = 0.0;
+  double lip_fine = 0.0;
+  for (double q = 1.0; q + coarse < params.content_size; q += 4.0) {
+    lip_coarse = std::max(
+        lip_coarse, std::fabs(UtilityAt(params, x, q + coarse, q_peer,
+                                        price) -
+                              UtilityAt(params, x, q, q_peer, price)) /
+                        coarse);
+    lip_fine = std::max(
+        lip_fine, std::fabs(UtilityAt(params, x, q + fine, q_peer, price) -
+                            UtilityAt(params, x, q, q_peer, price)) /
+                      fine);
+  }
+  EXPECT_LT(lip_fine, 4.0 * lip_coarse + 50.0);
+  EXPECT_LT(lip_fine, 5e3);  // Absolute sanity bound for these params.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StateSweep, Lemma1Sweep,
+    ::testing::Combine(::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(10.0, 50.0, 90.0),
+                       ::testing::Values(3.0, 5.0, 6.5)));
+
+TEST(Lemma1DriftTest, CacheDriftBoundedAndLipschitzInX) {
+  core::MfgParams params = Params();
+  const double bound =
+      params.content_size *
+      (params.dynamics.w1 + params.dynamics.w2 + params.dynamics.w3);
+  for (double x = 0.0; x <= 1.0; x += 0.1) {
+    EXPECT_LE(std::fabs(params.CacheDrift(x)), bound);
+  }
+  // Linear in x: the Lipschitz constant is exactly Q_k w1.
+  const double l = std::fabs(params.CacheDrift(0.7) -
+                             params.CacheDrift(0.2)) /
+                   0.5;
+  EXPECT_NEAR(l, params.content_size * params.dynamics.w1, 1e-9);
+}
+
+TEST(Lemma1DriftTest, AvailabilityFadeIsLipschitzInQ) {
+  core::MfgParams params = Params();
+  // a(q) is piecewise linear with slope 1/(fade); the drift with the fade
+  // is Lipschitz in q with constant Q_k w1 x / fade.
+  const double fade = params.boundary_smoothing * params.content_size;
+  double max_slope = 0.0;
+  for (double q = 0.0; q + 0.01 <= params.content_size; q += 0.01) {
+    max_slope = std::max(
+        max_slope, std::fabs(params.CacheDriftAt(1.0, q + 0.01) -
+                             params.CacheDriftAt(1.0, q)) /
+                       0.01);
+  }
+  EXPECT_LE(max_slope,
+            params.content_size * params.dynamics.w1 / fade + 1e-6);
+}
+
+}  // namespace
+}  // namespace mfg::econ

@@ -1,0 +1,113 @@
+#include "econ/pricing.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::econ {
+namespace {
+
+PricingModel MakeModel(double max_price = 5.0, double eta1 = 0.02) {
+  PricingParams params;
+  params.max_price = max_price;
+  params.eta1 = eta1;
+  return PricingModel::Create(params).value();
+}
+
+TEST(PricingTest, CreateValidation) {
+  PricingParams params;
+  params.max_price = 0.0;
+  EXPECT_FALSE(PricingModel::Create(params).ok());
+  params.max_price = 1.0;
+  params.eta1 = -0.1;
+  EXPECT_FALSE(PricingModel::Create(params).ok());
+}
+
+TEST(PricingTest, MonopolyChargesMaxPrice) {
+  auto model = MakeModel(5.0, 0.02);
+  // Eq. 5, M = 1 branch; remaining space irrelevant.
+  EXPECT_DOUBLE_EQ(model.FiniteMarketPrice({70.0}, 0, 100.0).value(), 5.0);
+}
+
+TEST(PricingTest, CachedStockLowersPrice) {
+  auto model = MakeModel(5.0, 0.02);
+  // Two EDPs; the other holds remaining 50 -> supply 50 MB.
+  EXPECT_NEAR(model.FiniteMarketPrice({30.0, 50.0}, 0, 100.0).value(),
+              5.0 - 0.02 * 50.0, 1e-12);
+  // Own stock does not affect own price.
+  EXPECT_NEAR(model.FiniteMarketPrice({90.0, 50.0}, 0, 100.0).value(),
+              5.0 - 0.02 * 50.0, 1e-12);
+}
+
+TEST(PricingTest, AveragesOverCompetitors) {
+  auto model = MakeModel(5.0, 0.02);
+  // Three EDPs; others have remaining {40, 80} -> supplies {60, 20},
+  // mean supply 40.
+  EXPECT_NEAR(model.FiniteMarketPrice({0.0, 40.0, 80.0}, 0, 100.0).value(),
+              5.0 - 0.02 * 40.0, 1e-12);
+}
+
+TEST(PricingTest, SupplyClampedToContentSize) {
+  auto model = MakeModel(5.0, 0.02);
+  // Negative remaining (transient overshoot) must not inflate supply
+  // beyond Q; remaining above Q must not produce negative supply.
+  EXPECT_NEAR(model.FiniteMarketPrice({0.0, -50.0}, 0, 100.0).value(),
+              5.0 - 0.02 * 100.0, 1e-12);
+  EXPECT_NEAR(model.FiniteMarketPrice({0.0, 150.0}, 0, 100.0).value(), 5.0,
+              1e-12);
+}
+
+TEST(PricingTest, FlooredAtZero) {
+  auto model = MakeModel(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(model.FiniteMarketPrice({0.0, 0.0}, 0, 100.0).value(),
+                   0.0);
+  EXPECT_DOUBLE_EQ(model.MeanFieldPrice(0.0, 100.0), 0.0);
+}
+
+TEST(PricingTest, FiniteMarketValidation) {
+  auto model = MakeModel();
+  EXPECT_FALSE(model.FiniteMarketPrice({}, 0, 100.0).ok());
+  EXPECT_FALSE(model.FiniteMarketPrice({50.0}, 1, 100.0).ok());
+  EXPECT_FALSE(model.FiniteMarketPrice({50.0}, 0, 0.0).ok());
+}
+
+TEST(PricingTest, MeanFieldPriceFormula) {
+  auto model = MakeModel(5.0, 0.02);
+  // Eq. 17 with stock supply: p = p_hat - eta1 * (Q - q_bar).
+  EXPECT_NEAR(model.MeanFieldPrice(60.0, 100.0), 5.0 - 0.02 * 40.0, 1e-12);
+  EXPECT_DOUBLE_EQ(model.MeanFieldPrice(100.0, 100.0), 5.0);
+}
+
+TEST(PricingTest, FiniteMarketConvergesToMeanField) {
+  // As M grows with everyone at the mean state, Eq. 5 -> Eq. 17.
+  auto model = MakeModel(5.0, 0.02);
+  const double mean_remaining = 37.0;
+  const double mf = model.MeanFieldPrice(mean_remaining, 100.0);
+  for (std::size_t m : {2u, 10u, 100u, 1000u}) {
+    std::vector<double> remainings(m, mean_remaining);
+    const double finite =
+        model.FiniteMarketPrice(remainings, 0, 100.0).value();
+    EXPECT_NEAR(finite, mf, 1e-9) << "M = " << m;
+  }
+}
+
+TEST(PricingTest, HigherEta1LowerPrice) {
+  // The Fig. 11/12 mechanism.
+  auto low = MakeModel(5.0, 0.01);
+  auto high = MakeModel(5.0, 0.04);
+  EXPECT_GT(low.MeanFieldPrice(50.0, 100.0),
+            high.MeanFieldPrice(50.0, 100.0));
+}
+
+TEST(PricingTest, MarketSaturationLowersPriceOverTime) {
+  // As the population caches up (q_bar falls), the price falls — the
+  // paper's market-saturation story.
+  auto model = MakeModel(6.5, 0.02);
+  double prev = 7.0;
+  for (double q_bar : {90.0, 70.0, 50.0, 30.0, 10.0}) {
+    const double p = model.MeanFieldPrice(q_bar, 100.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+}  // namespace
+}  // namespace mfg::econ

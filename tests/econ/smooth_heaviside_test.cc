@@ -1,0 +1,79 @@
+#include "econ/smooth_heaviside.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mfg::econ {
+namespace {
+
+TEST(SmoothHeavisideTest, CreateValidation) {
+  EXPECT_TRUE(SmoothHeaviside::Create(1.0).ok());
+  EXPECT_FALSE(SmoothHeaviside::Create(0.0).ok());
+  EXPECT_FALSE(SmoothHeaviside::Create(-1.0).ok());
+}
+
+TEST(SmoothHeavisideTest, MidpointIsHalf) {
+  auto f = SmoothHeaviside::Create(2.0).value();
+  EXPECT_DOUBLE_EQ(f(0.0), 0.5);
+}
+
+TEST(SmoothHeavisideTest, ComplementIdentity) {
+  // f(x) + f(-x) = 1 — the identity that makes P1+P2+P3 = 1.
+  auto f = SmoothHeaviside::Create(0.7).value();
+  for (double x : {-10.0, -1.0, -0.1, 0.0, 0.3, 2.0, 50.0}) {
+    EXPECT_NEAR(f(x) + f(-x), 1.0, 1e-15);
+  }
+}
+
+TEST(SmoothHeavisideTest, MonotoneIncreasing) {
+  auto f = SmoothHeaviside::Create(1.5).value();
+  double prev = -1.0;
+  for (double x = -5.0; x <= 5.0; x += 0.25) {
+    const double fx = f(x);
+    EXPECT_GT(fx, prev);
+    prev = fx;
+  }
+}
+
+TEST(SmoothHeavisideTest, ApproachesStepForLargeSharpness) {
+  auto f = SmoothHeaviside::Create(100.0).value();
+  EXPECT_NEAR(f(0.1), 1.0, 1e-8);
+  EXPECT_NEAR(f(-0.1), 0.0, 1e-8);
+}
+
+TEST(SmoothHeavisideTest, MatchesPaperFormula) {
+  // f(x) = 1/(1 + e^{-2lx}).
+  auto f = SmoothHeaviside::Create(0.5).value();
+  for (double x : {-2.0, -0.3, 0.7, 1.9}) {
+    EXPECT_NEAR(f(x), 1.0 / (1.0 + std::exp(-2.0 * 0.5 * x)), 1e-14);
+  }
+}
+
+TEST(SmoothHeavisideTest, NoOverflowAtExtremes) {
+  auto f = SmoothHeaviside::Create(10.0).value();
+  EXPECT_DOUBLE_EQ(f(1e6), 1.0);
+  EXPECT_DOUBLE_EQ(f(-1e6), 0.0);
+  EXPECT_TRUE(std::isfinite(f.Derivative(1e6)));
+  EXPECT_TRUE(std::isfinite(f.Derivative(-1e6)));
+}
+
+TEST(SmoothHeavisideTest, DerivativeMatchesFiniteDifference) {
+  auto f = SmoothHeaviside::Create(0.8).value();
+  const double h = 1e-6;
+  for (double x : {-1.5, -0.2, 0.0, 0.4, 2.2}) {
+    const double fd = (f(x + h) - f(x - h)) / (2.0 * h);
+    EXPECT_NEAR(f.Derivative(x), fd, 1e-7);
+  }
+}
+
+TEST(SmoothHeavisideTest, DerivativePeaksAtZero) {
+  auto f = SmoothHeaviside::Create(1.0).value();
+  EXPECT_GT(f.Derivative(0.0), f.Derivative(0.5));
+  EXPECT_GT(f.Derivative(0.0), f.Derivative(-0.5));
+  // Max derivative = l/2 at x = 0 (2l * 1/2 * 1/2).
+  EXPECT_NEAR(f.Derivative(0.0), 0.5, 1e-14);
+}
+
+}  // namespace
+}  // namespace mfg::econ

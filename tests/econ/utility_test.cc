@@ -1,0 +1,136 @@
+#include "econ/utility.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::econ {
+namespace {
+
+UtilityParams MakeParams() {
+  UtilityParams params;
+  params.placement.w4 = 10.0;
+  params.placement.w5 = 20.0;
+  params.staleness.eta2 = 1.0;
+  params.staleness.cloud_rate = 20.0;
+  params.sharing_price = 1.0;
+  return params;
+}
+
+UtilityInputs MakeInputs() {
+  UtilityInputs in;
+  in.content_size = 100.0;
+  in.caching_rate = 0.5;
+  in.own_remaining = 30.0;
+  in.peer_remaining = 50.0;
+  in.num_requests = 5.0;
+  in.price = 4.0;
+  in.edge_rate = 10.0;
+  in.sharing_benefit = 7.0;
+  in.cases = {0.6, 0.3, 0.1};
+  in.sharing_enabled = true;
+  return in;
+}
+
+TEST(TradingIncomeTest, WeightsCasesByDataServed) {
+  CaseProbabilities cases{1.0, 0.0, 0.0};
+  // Case 1 only: income = n * p * (Q - q).
+  EXPECT_DOUBLE_EQ(TradingIncome(5.0, 4.0, cases, 100.0, 30.0, 50.0),
+                   5.0 * 4.0 * 70.0);
+  cases = {0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(TradingIncome(5.0, 4.0, cases, 100.0, 30.0, 50.0),
+                   5.0 * 4.0 * 50.0);
+  cases = {0.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(TradingIncome(5.0, 4.0, cases, 100.0, 30.0, 50.0),
+                   5.0 * 4.0 * 100.0);
+}
+
+TEST(TradingIncomeTest, ZeroRequestsZeroIncome) {
+  CaseProbabilities cases{0.5, 0.3, 0.2};
+  EXPECT_DOUBLE_EQ(TradingIncome(0.0, 4.0, cases, 100.0, 30.0, 50.0), 0.0);
+}
+
+TEST(TradingIncomeTest, ClampsOvershootRemaining) {
+  CaseProbabilities cases{1.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(TradingIncome(1.0, 4.0, cases, 100.0, 150.0, 50.0), 0.0);
+}
+
+TEST(SharingBenefitTest, SumsPositiveGaps) {
+  // Eq. 7: peers with more remaining space (less cached) pay this EDP.
+  EXPECT_DOUBLE_EQ(SharingBenefit(2.0, 20.0, {50.0, 10.0, 40.0}),
+                   2.0 * (30.0 + 0.0 + 20.0));
+  EXPECT_DOUBLE_EQ(SharingBenefit(2.0, 20.0, {}), 0.0);
+}
+
+TEST(EvaluateUtilityTest, TotalIsEquation10) {
+  auto result = EvaluateUtility(MakeParams(), MakeInputs());
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total,
+              result->trading_income + result->sharing_benefit -
+                  result->placement_cost - result->staleness_cost -
+                  result->sharing_cost,
+              1e-12);
+  EXPECT_GT(result->trading_income, 0.0);
+  EXPECT_DOUBLE_EQ(result->sharing_benefit, 7.0);
+  EXPECT_DOUBLE_EQ(result->placement_cost, 10.0 * 0.5 + 20.0 * 0.25);
+}
+
+TEST(EvaluateUtilityTest, SharingDisabledFoldsCase2IntoCase3) {
+  UtilityParams params = MakeParams();
+  UtilityInputs in = MakeInputs();
+  in.sharing_enabled = false;
+  auto result = EvaluateUtility(params, in).value();
+  EXPECT_DOUBLE_EQ(result.sharing_benefit, 0.0);
+  EXPECT_DOUBLE_EQ(result.sharing_cost, 0.0);
+  // Trading income now prices P2-mass requests at the full content size.
+  UtilityInputs manual = in;
+  manual.cases = {0.6, 0.0, 0.4};
+  manual.sharing_enabled = true;
+  manual.sharing_benefit = 0.0;
+  auto expected = EvaluateUtility(params, manual).value();
+  EXPECT_NEAR(result.trading_income, expected.trading_income, 1e-12);
+}
+
+TEST(EvaluateUtilityTest, NoSharingRaisesIncomeAndStaleness) {
+  // The Fig. 12/14 mechanism: without sharing, EDPs sell whole contents
+  // (higher income) but pay more delay (higher staleness).
+  UtilityParams params = MakeParams();
+  UtilityInputs with = MakeInputs();
+  with.sharing_benefit = 0.0;  // Isolate the case-routing effect.
+  UtilityInputs without = with;
+  without.sharing_enabled = false;
+  auto r_with = EvaluateUtility(params, with).value();
+  auto r_without = EvaluateUtility(params, without).value();
+  EXPECT_GT(r_without.trading_income, r_with.trading_income);
+  EXPECT_GT(r_without.staleness_cost, r_with.staleness_cost);
+}
+
+TEST(EvaluateUtilityTest, SharingCostOnlyWhenOwnLacksMore) {
+  UtilityParams params = MakeParams();
+  UtilityInputs in = MakeInputs();
+  in.own_remaining = 60.0;
+  in.peer_remaining = 20.0;
+  auto result = EvaluateUtility(params, in).value();
+  EXPECT_DOUBLE_EQ(result.sharing_cost, 0.3 * 1.0 * 40.0);
+  in.own_remaining = 10.0;
+  result = EvaluateUtility(params, in).value();
+  EXPECT_DOUBLE_EQ(result.sharing_cost, 0.0);
+}
+
+TEST(EvaluateUtilityTest, PropagatesDelayValidationErrors) {
+  UtilityInputs in = MakeInputs();
+  in.edge_rate = 0.0;
+  EXPECT_FALSE(EvaluateUtility(MakeParams(), in).ok());
+}
+
+TEST(EvaluateUtilityTest, MorePopularContentHigherUtility) {
+  // Fig. 13's mechanism: popularity enters via the request count.
+  UtilityParams params = MakeParams();
+  UtilityInputs low = MakeInputs();
+  low.num_requests = 2.0;
+  UtilityInputs high = MakeInputs();
+  high.num_requests = 10.0;
+  EXPECT_GT(EvaluateUtility(params, high).value().total,
+            EvaluateUtility(params, low).value().total);
+}
+
+}  // namespace
+}  // namespace mfg::econ

@@ -1,0 +1,166 @@
+// End-to-end integration: solve the mean-field equilibrium, deploy the
+// tabulated policy into the explicit M-EDP simulator alongside the
+// baselines, and check the paper's headline orderings plus the mean-field
+// consistency property (the agent population's empirical cache-state
+// density tracks the FPK-predicted density).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/mfg_no_sharing.h"
+#include "baselines/most_popular.h"
+#include "baselines/random_replacement.h"
+#include "baselines/udcs.h"
+#include "core/best_response.h"
+#include "core/policy.h"
+#include "numerics/density.h"
+#include "sim/simulator.h"
+
+namespace mfg {
+namespace {
+
+sim::SimulatorOptions BaseOptions() {
+  sim::SimulatorOptions options;
+  options.num_edps = 60;
+  options.num_requesters = 180;
+  options.num_contents = 6;
+  options.num_slots = 100;
+  options.request_rate = 20.0;
+  options.seed = 7;
+  options.topology.adjacency_radius = 500.0;
+  options.base_params.grid.num_q_nodes = 61;
+  options.base_params.grid.num_time_steps = 100;
+  options.base_params.learning.max_iterations = 30;
+  return options;
+}
+
+// Solves one equilibrium with per-content request load taken from the
+// simulator's implied rates, and clones the policy across contents (the
+// catalog is homogeneous in these tests).
+sim::SchemePolicies MfgCpScheme(const sim::Simulator& simulator,
+                                bool sharing) {
+  core::MfgParams params = simulator.options().base_params;
+  params.sharing_enabled = sharing;
+  params.num_requests =
+      simulator.ImpliedRequestsPerEdpContent(1.0 / 6.0);
+  auto learner = core::BestResponseLearner::Create(params).value();
+  auto equilibrium = learner.Solve().value();
+  auto policy = core::MfgPolicy::Create(params, equilibrium,
+                                        sharing ? "MFG-CP" : "MFG")
+                    .value();
+  std::shared_ptr<core::CachingPolicy> shared(std::move(policy));
+  return sim::UniformScheme(sharing ? "MFG-CP" : "MFG", shared, 6);
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    options_ = new sim::SimulatorOptions(BaseOptions());
+    simulator_ = new sim::Simulator(
+        sim::Simulator::Create(*options_).value());
+    results_ = new std::map<std::string, sim::SimulationResult>();
+    auto run = [&](const sim::SchemePolicies& scheme) {
+      (*results_)[scheme.name] = simulator_->Run(scheme).value();
+    };
+    run(MfgCpScheme(*simulator_, /*sharing=*/true));
+    {
+      // The "MFG" baseline also runs in a no-sharing *market*.
+      sim::SimulatorOptions no_share = *options_;
+      no_share.base_params.sharing_enabled = false;
+      auto sim2 = sim::Simulator::Create(no_share).value();
+      (*results_)["MFG"] =
+          sim2.Run(MfgCpScheme(sim2, /*sharing=*/false)).value();
+    }
+    run(sim::UniformScheme("RR", baselines::MakeRandomReplacement(), 6));
+    run(sim::UniformScheme("MPC", baselines::MakeMostPopular(0.3), 6));
+    run(sim::UniformScheme("UDCS", baselines::MakeUdcs(), 6));
+  }
+
+  static void TearDownTestSuite() {
+    delete results_;
+    delete simulator_;
+    delete options_;
+    results_ = nullptr;
+    simulator_ = nullptr;
+    options_ = nullptr;
+  }
+
+  static sim::SimulatorOptions* options_;
+  static sim::Simulator* simulator_;
+  static std::map<std::string, sim::SimulationResult>* results_;
+};
+
+sim::SimulatorOptions* IntegrationTest::options_ = nullptr;
+sim::Simulator* IntegrationTest::simulator_ = nullptr;
+std::map<std::string, sim::SimulationResult>* IntegrationTest::results_ =
+    nullptr;
+
+TEST_F(IntegrationTest, AllSchemesServeAllRequests) {
+  for (const auto& [name, result] : *results_) {
+    EXPECT_GT(result.total.requests_served, 0u) << name;
+    EXPECT_EQ(result.total.requests_served,
+              result.total.case1_count + result.total.case2_count +
+                  result.total.case3_count)
+        << name;
+  }
+}
+
+TEST_F(IntegrationTest, MfgCpBeatsRandomAndMostPopular) {
+  // Fig. 14: MFG-CP's mean utility dominates RR and MPC clearly.
+  const double mfgcp = results_->at("MFG-CP").MeanUtility();
+  EXPECT_GT(mfgcp, results_->at("RR").MeanUtility());
+  EXPECT_GT(mfgcp, results_->at("MPC").MeanUtility());
+}
+
+TEST_F(IntegrationTest, MfgCpBeatsNoSharingVariant) {
+  // Fig. 12/14: sharing raises utility...
+  EXPECT_GT(results_->at("MFG-CP").MeanUtility(),
+            results_->at("MFG").MeanUtility());
+}
+
+TEST_F(IntegrationTest, NoSharingHasHigherIncomeButHigherStaleness) {
+  // ...while the no-sharing variant sells more whole contents (higher
+  // trading income) at a larger delay cost.
+  const auto& mfgcp = results_->at("MFG-CP");
+  const auto& mfg = results_->at("MFG");
+  EXPECT_GT(mfg.MeanTradingIncome(), mfgcp.MeanTradingIncome() * 0.95);
+  EXPECT_GT(mfg.MeanStalenessCost(), mfgcp.MeanStalenessCost());
+}
+
+TEST_F(IntegrationTest, MeanFieldDensityTracksAgentPopulation) {
+  // Re-solve the equilibrium and compare its FPK density at mid-horizon
+  // with the empirical cache-state histogram of the simulated EDPs.
+  core::MfgParams params = options_->base_params;
+  params.num_requests = simulator_->ImpliedRequestsPerEdpContent(1.0 / 6.0);
+  auto learner = core::BestResponseLearner::Create(params).value();
+  auto eq = learner.Solve().value();
+
+  // The FPK's mean trajectory and the simulator's slot means must agree
+  // in direction and rough magnitude.
+  const auto& result = results_->at("MFG-CP");
+  const double sim_start = result.per_slot.front().mean_cache_remaining;
+  const double sim_end = result.per_slot.back().mean_cache_remaining;
+  const double fpk_start = eq.fpk.densities.front().Mean();
+  const double fpk_end = eq.fpk.densities.back().Mean();
+  EXPECT_LT(sim_end, sim_start);  // Population caches up.
+  EXPECT_LT(fpk_end, fpk_start);
+  EXPECT_NEAR(sim_start, fpk_start, 10.0);
+  EXPECT_NEAR(sim_end, fpk_end, 25.0);
+}
+
+TEST_F(IntegrationTest, UtilityAccountingIdentityHolds) {
+  for (const auto& [name, result] : *results_) {
+    EXPECT_NEAR(result.total.Utility(),
+                result.total.trading_income + result.total.sharing_benefit -
+                    result.total.placement_cost -
+                    result.total.staleness_cost - result.total.sharing_cost,
+                1e-9)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace mfg

@@ -1,0 +1,69 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace mfg::net {
+namespace {
+
+ChannelParams MakeParams() {
+  ChannelParams params;
+  params.fading.varsigma = 4.0;
+  params.fading.upsilon = 6.0;
+  params.fading.rho = 0.1;
+  params.path_loss_exponent = 3.0;
+  return params;
+}
+
+TEST(ChannelGainTest, PathLossFormula) {
+  // |g|^2 = h^2 d^{-tau}.
+  EXPECT_DOUBLE_EQ(ChannelGain(2.0, 10.0, 3.0), 4.0 * 1e-3);
+  EXPECT_DOUBLE_EQ(ChannelGain(1.0, 1.0, 3.0), 1.0);
+}
+
+TEST(ChannelGainTest, MonotoneInDistanceAndFading) {
+  EXPECT_GT(ChannelGain(2.0, 10.0, 3.0), ChannelGain(2.0, 20.0, 3.0));
+  EXPECT_GT(ChannelGain(3.0, 10.0, 3.0), ChannelGain(2.0, 10.0, 3.0));
+}
+
+TEST(FadingChannelTest, CreateValidates) {
+  EXPECT_TRUE(FadingChannel::Create(MakeParams(), 100.0, 6.0).ok());
+  EXPECT_FALSE(FadingChannel::Create(MakeParams(), 0.0, 6.0).ok());
+  EXPECT_FALSE(FadingChannel::Create(MakeParams(), -1.0, 6.0).ok());
+  ChannelParams bad = MakeParams();
+  bad.fading.varsigma = 0.0;
+  EXPECT_FALSE(FadingChannel::Create(bad, 100.0, 6.0).ok());
+}
+
+TEST(FadingChannelTest, MeanReversionOverManySteps) {
+  auto channel = FadingChannel::Create(MakeParams(), 100.0, 1.0).value();
+  common::Rng rng(7);
+  std::vector<double> tail;
+  for (int i = 0; i < 5000; ++i) {
+    channel.Step(0.01, rng);
+    if (i > 2500) tail.push_back(channel.fading());
+  }
+  EXPECT_NEAR(common::Mean(tail), 6.0, 0.3);
+}
+
+TEST(FadingChannelTest, GainUsesCurrentFading) {
+  auto channel = FadingChannel::Create(MakeParams(), 10.0, 2.0).value();
+  EXPECT_DOUBLE_EQ(channel.Gain(), ChannelGain(2.0, 10.0, 3.0));
+  channel.Reset(4.0);
+  EXPECT_DOUBLE_EQ(channel.Gain(), ChannelGain(4.0, 10.0, 3.0));
+}
+
+TEST(FadingChannelTest, ZeroDiffusionConvergesDeterministically) {
+  ChannelParams params = MakeParams();
+  params.fading.rho = 0.0;
+  auto channel = FadingChannel::Create(params, 10.0, 1.0).value();
+  common::Rng rng(11);
+  for (int i = 0; i < 10000; ++i) channel.Step(0.01, rng);
+  EXPECT_NEAR(channel.fading(), 6.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mfg::net

@@ -1,0 +1,64 @@
+#include "net/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::net {
+namespace {
+
+TEST(DistanceTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Distance({-1.0, 0.0}, {1.0, 0.0}), 2.0);
+}
+
+TEST(UniformDeploymentTest, PointsInsideRegion) {
+  common::Rng rng(1);
+  Region region{200.0, 100.0};
+  auto points = UniformDeployment(region, 500, rng);
+  ASSERT_TRUE(points.ok());
+  ASSERT_EQ(points->size(), 500u);
+  for (const auto& p : *points) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 200.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 100.0);
+  }
+}
+
+TEST(UniformDeploymentTest, CoversTheRegion) {
+  common::Rng rng(2);
+  Region region{100.0, 100.0};
+  auto points = UniformDeployment(region, 2000, rng).value();
+  // All four quadrants should be populated.
+  int q[4] = {0, 0, 0, 0};
+  for (const auto& p : points) {
+    q[(p.x > 50.0 ? 1 : 0) + (p.y > 50.0 ? 2 : 0)]++;
+  }
+  for (int count : q) EXPECT_GT(count, 300);
+}
+
+TEST(UniformDeploymentTest, Validation) {
+  common::Rng rng(3);
+  EXPECT_FALSE(UniformDeployment({0.0, 100.0}, 10, rng).ok());
+  EXPECT_FALSE(UniformDeployment({100.0, -1.0}, 10, rng).ok());
+  EXPECT_FALSE(UniformDeployment({100.0, 100.0}, 0, rng).ok());
+}
+
+TEST(NearestIndexTest, FindsNearest) {
+  std::vector<Point> candidates = {{0.0, 0.0}, {10.0, 0.0}, {5.0, 5.0}};
+  EXPECT_EQ(NearestIndex({1.0, 0.0}, candidates).value(), 0u);
+  EXPECT_EQ(NearestIndex({9.0, 1.0}, candidates).value(), 1u);
+  EXPECT_EQ(NearestIndex({5.0, 4.0}, candidates).value(), 2u);
+}
+
+TEST(NearestIndexTest, TieGoesToLowestIndex) {
+  std::vector<Point> candidates = {{0.0, 0.0}, {2.0, 0.0}};
+  EXPECT_EQ(NearestIndex({1.0, 0.0}, candidates).value(), 0u);
+}
+
+TEST(NearestIndexTest, EmptyFails) {
+  EXPECT_FALSE(NearestIndex({0.0, 0.0}, {}).ok());
+}
+
+}  // namespace
+}  // namespace mfg::net

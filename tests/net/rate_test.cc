@@ -1,0 +1,65 @@
+#include "net/rate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mfg::net {
+namespace {
+
+TEST(SinrTest, NoInterference) {
+  EXPECT_DOUBLE_EQ(Sinr(1e-6, {}, 1e-7), 10.0);
+}
+
+TEST(SinrTest, InterferenceAddsToDenominator) {
+  EXPECT_DOUBLE_EQ(Sinr(1e-6, {1e-7, 2e-7}, 1e-7), 1e-6 / 4e-7);
+}
+
+TEST(ShannonRateTest, KnownPoints) {
+  EXPECT_DOUBLE_EQ(ShannonRate(1.0, 1.0), 1.0);    // log2(2) = 1.
+  EXPECT_DOUBLE_EQ(ShannonRate(10.0, 3.0), 20.0);  // log2(4) = 2.
+  EXPECT_DOUBLE_EQ(ShannonRate(5.0, 0.0), 0.0);
+}
+
+TEST(ShannonRateTest, MonotoneInSinr) {
+  EXPECT_GT(ShannonRate(1.0, 10.0), ShannonRate(1.0, 5.0));
+}
+
+TEST(TransmissionRateTest, MatchesManualComputation) {
+  RateParams params;
+  params.bandwidth_hz = 10e6;
+  params.noise_power = 1e-9;
+  // Serving: gain 1e-6, power 1 W. One interferer: gain 1e-7, power 1 W.
+  auto rate = TransmissionRate(params, 1e-6, 1.0, {1e-7}, {1.0});
+  ASSERT_TRUE(rate.ok());
+  const double sinr = 1e-6 / (1e-9 + 1e-7);
+  EXPECT_DOUBLE_EQ(*rate, 10e6 * std::log2(1.0 + sinr));
+}
+
+TEST(TransmissionRateTest, Validation) {
+  RateParams params;
+  params.bandwidth_hz = 0.0;
+  EXPECT_FALSE(TransmissionRate(params, 1.0, 1.0, {}, {}).ok());
+  params.bandwidth_hz = 1e6;
+  params.noise_power = 0.0;
+  EXPECT_FALSE(TransmissionRate(params, 1.0, 1.0, {}, {}).ok());
+  params.noise_power = 1e-9;
+  EXPECT_FALSE(TransmissionRate(params, 1.0, 1.0, {1.0}, {}).ok());
+}
+
+TEST(TransmissionRateTest, MoreInterferenceLowerRate) {
+  RateParams params;
+  const double lone =
+      TransmissionRate(params, 1e-6, 1.0, {}, {}).value();
+  const double crowded =
+      TransmissionRate(params, 1e-6, 1.0, {1e-6, 1e-6}, {1.0, 1.0}).value();
+  EXPECT_GT(lone, crowded);
+}
+
+TEST(BitsToMegabytesTest, Conversion) {
+  EXPECT_DOUBLE_EQ(BitsToMegabytes(8e6), 1.0);
+  EXPECT_DOUBLE_EQ(BitsToMegabytes(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace mfg::net

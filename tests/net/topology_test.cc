@@ -1,0 +1,106 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mfg::net {
+namespace {
+
+Topology MakeLineTopology() {
+  // Three EDPs on a line; four requesters near specific EDPs.
+  TopologyOptions options;
+  options.adjacency_radius = 12.0;
+  std::vector<Point> edps = {{0.0, 0.0}, {10.0, 0.0}, {30.0, 0.0}};
+  std::vector<Point> requesters = {
+      {1.0, 0.0},   // -> EDP 0
+      {9.0, 0.0},   // -> EDP 1
+      {29.0, 1.0},  // -> EDP 2
+      {11.0, 0.0},  // -> EDP 1
+  };
+  return Topology::Create(options, edps, requesters).value();
+}
+
+TEST(TopologyTest, ServingAssociationsAreNearest) {
+  auto topo = MakeLineTopology();
+  EXPECT_EQ(topo.ServingEdp(0), 0u);
+  EXPECT_EQ(topo.ServingEdp(1), 1u);
+  EXPECT_EQ(topo.ServingEdp(2), 2u);
+  EXPECT_EQ(topo.ServingEdp(3), 1u);
+}
+
+TEST(TopologyTest, ServedRequestersInverseOfServing) {
+  auto topo = MakeLineTopology();
+  EXPECT_EQ(topo.ServedRequesters(0).size(), 1u);
+  EXPECT_EQ(topo.ServedRequesters(1).size(), 2u);
+  EXPECT_EQ(topo.ServedRequesters(2).size(), 1u);
+  const auto& served1 = topo.ServedRequesters(1);
+  EXPECT_NE(std::find(served1.begin(), served1.end(), 1u), served1.end());
+  EXPECT_NE(std::find(served1.begin(), served1.end(), 3u), served1.end());
+}
+
+TEST(TopologyTest, AdjacencyIsSymmetricAndRadiusBound) {
+  auto topo = MakeLineTopology();
+  // EDP 0 and 1 are 10 apart (< 12): adjacent. EDP 2 is 20 from EDP 1.
+  ASSERT_EQ(topo.AdjacentEdps(0).size(), 1u);
+  EXPECT_EQ(topo.AdjacentEdps(0)[0], 1u);
+  ASSERT_EQ(topo.AdjacentEdps(1).size(), 1u);
+  EXPECT_EQ(topo.AdjacentEdps(1)[0], 0u);
+  EXPECT_TRUE(topo.AdjacentEdps(2).empty());
+}
+
+TEST(TopologyTest, DistancesMatchGeometry) {
+  auto topo = MakeLineTopology();
+  EXPECT_DOUBLE_EQ(topo.EdpRequesterDistance(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(topo.EdpRequesterDistance(1, 3), 1.0);
+}
+
+TEST(TopologyTest, CreateRandomProducesValidAssociations) {
+  TopologyOptions options;
+  options.region = {500.0, 500.0};
+  options.num_edps = 40;
+  options.num_requesters = 120;
+  options.adjacency_radius = 150.0;
+  common::Rng rng(5);
+  auto topo = Topology::CreateRandom(options, rng);
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo->num_edps(), 40u);
+  EXPECT_EQ(topo->num_requesters(), 120u);
+  // Every requester is assigned; the sum of served sets equals J.
+  std::size_t total_served = 0;
+  for (std::size_t i = 0; i < topo->num_edps(); ++i) {
+    total_served += topo->ServedRequesters(i).size();
+  }
+  EXPECT_EQ(total_served, 120u);
+  // Serving EDP really is the nearest one.
+  for (std::size_t j = 0; j < topo->num_requesters(); ++j) {
+    const std::size_t s = topo->ServingEdp(j);
+    for (std::size_t i = 0; i < topo->num_edps(); ++i) {
+      EXPECT_LE(topo->EdpRequesterDistance(s, j),
+                topo->EdpRequesterDistance(i, j) + 1e-12);
+    }
+  }
+}
+
+TEST(TopologyTest, CreateRejectsNoEdps) {
+  TopologyOptions options;
+  EXPECT_FALSE(Topology::Create(options, {}, {{0.0, 0.0}}).ok());
+}
+
+TEST(TopologyTest, NegativeAdjacencyRadiusRejected) {
+  TopologyOptions options;
+  options.adjacency_radius = -1.0;
+  EXPECT_FALSE(Topology::Create(options, {{0.0, 0.0}}, {}).ok());
+}
+
+TEST(TopologyTest, ZeroRadiusMeansNoAdjacency) {
+  TopologyOptions options;
+  options.adjacency_radius = 0.0;
+  auto topo =
+      Topology::Create(options, {{0.0, 0.0}, {1.0, 0.0}}, {}).value();
+  EXPECT_TRUE(topo.AdjacentEdps(0).empty());
+  EXPECT_TRUE(topo.AdjacentEdps(1).empty());
+}
+
+}  // namespace
+}  // namespace mfg::net

@@ -1,0 +1,102 @@
+#include "numerics/interpolation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mfg::numerics {
+namespace {
+
+Grid1D MakeGrid(double lo, double hi, std::size_t n) {
+  return Grid1D::Create(lo, hi, n).value();
+}
+
+TEST(LinearInterpolateTest, ExactAtNodes) {
+  auto grid = MakeGrid(0.0, 4.0, 5);
+  const std::vector<double> f = {1.0, 3.0, 2.0, 5.0, 4.0};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(LinearInterpolate(grid, f, grid.x(i)).value(), f[i]);
+  }
+}
+
+TEST(LinearInterpolateTest, MidpointIsAverage) {
+  auto grid = MakeGrid(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(LinearInterpolate(grid, {2.0, 6.0}, 0.5).value(), 4.0);
+}
+
+TEST(LinearInterpolateTest, ClampsOutside) {
+  auto grid = MakeGrid(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(LinearInterpolate(grid, {2.0, 6.0}, -3.0).value(), 2.0);
+  EXPECT_DOUBLE_EQ(LinearInterpolate(grid, {2.0, 6.0}, 9.0).value(), 6.0);
+}
+
+TEST(LinearInterpolateTest, LinearFieldIsReproducedExactly) {
+  auto grid = MakeGrid(-2.0, 2.0, 17);
+  std::vector<double> f(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) f[i] = 3.0 * grid.x(i) - 1.0;
+  for (double x : {-1.7, -0.3, 0.0, 0.9, 1.99}) {
+    EXPECT_NEAR(LinearInterpolate(grid, f, x).value(), 3.0 * x - 1.0, 1e-12);
+  }
+}
+
+TEST(LinearInterpolateTest, RejectsSizeMismatch) {
+  auto grid = MakeGrid(0.0, 1.0, 3);
+  EXPECT_FALSE(LinearInterpolate(grid, {1.0}, 0.5).ok());
+}
+
+TEST(BilinearInterpolateTest, ExactOnBilinearField) {
+  auto g0 = MakeGrid(0.0, 1.0, 5);
+  auto g1 = MakeGrid(0.0, 2.0, 9);
+  std::vector<double> f(g0.size() * g1.size());
+  auto fn = [](double a, double b) { return 2.0 * a + 3.0 * b + a * b; };
+  for (std::size_t i = 0; i < g0.size(); ++i) {
+    for (std::size_t j = 0; j < g1.size(); ++j) {
+      f[i * g1.size() + j] = fn(g0.x(i), g1.x(j));
+    }
+  }
+  for (double a : {0.13, 0.5, 0.99}) {
+    for (double b : {0.2, 1.1, 1.93}) {
+      EXPECT_NEAR(BilinearInterpolate(g0, g1, f, a, b).value(), fn(a, b),
+                  1e-12);
+    }
+  }
+}
+
+TEST(BilinearInterpolateTest, ClampsOutside) {
+  auto g = MakeGrid(0.0, 1.0, 2);
+  const std::vector<double> f = {0.0, 1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(BilinearInterpolate(g, g, f, -1.0, -1.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(BilinearInterpolate(g, g, f, 2.0, 2.0).value(), 3.0);
+}
+
+TEST(BilinearInterpolateTest, RejectsSizeMismatch) {
+  auto g = MakeGrid(0.0, 1.0, 2);
+  EXPECT_FALSE(BilinearInterpolate(g, g, {1.0, 2.0}, 0.5, 0.5).ok());
+}
+
+TEST(ResampleTest, RoundTripOnLinearField) {
+  auto from = MakeGrid(0.0, 1.0, 11);
+  auto to = MakeGrid(0.0, 1.0, 37);
+  std::vector<double> f(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i) f[i] = 5.0 * from.x(i);
+  auto resampled = Resample(from, f, to);
+  ASSERT_TRUE(resampled.ok());
+  for (std::size_t i = 0; i < to.size(); ++i) {
+    EXPECT_NEAR((*resampled)[i], 5.0 * to.x(i), 1e-12);
+  }
+}
+
+TEST(ResampleTest, CoarserGridKeepsEndpoints) {
+  auto from = MakeGrid(0.0, 1.0, 101);
+  auto to = MakeGrid(0.0, 1.0, 3);
+  std::vector<double> f(from.size());
+  for (std::size_t i = 0; i < from.size(); ++i) {
+    f[i] = std::cos(from.x(i));
+  }
+  auto resampled = Resample(from, f, to).value();
+  EXPECT_NEAR(resampled.front(), 1.0, 1e-12);
+  EXPECT_NEAR(resampled.back(), std::cos(1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace mfg::numerics

@@ -1,0 +1,106 @@
+#include "numerics/tridiagonal.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace mfg::numerics {
+namespace {
+
+TEST(TridiagonalTest, IdentitySolve) {
+  TridiagonalSystem sys;
+  sys.lower = {0.0, 0.0, 0.0};
+  sys.diag = {1.0, 1.0, 1.0};
+  sys.upper = {0.0, 0.0, 0.0};
+  sys.rhs = {3.0, -1.0, 2.0};
+  auto x = SolveTridiagonal(sys);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 3.0);
+  EXPECT_DOUBLE_EQ((*x)[1], -1.0);
+  EXPECT_DOUBLE_EQ((*x)[2], 2.0);
+}
+
+TEST(TridiagonalTest, KnownSystem) {
+  // [2 1 0; 1 2 1; 0 1 2] x = [4; 8; 8] -> x = [1; 2; 3].
+  TridiagonalSystem sys;
+  sys.lower = {0.0, 1.0, 1.0};
+  sys.diag = {2.0, 2.0, 2.0};
+  sys.upper = {1.0, 1.0, 0.0};
+  sys.rhs = {4.0, 8.0, 8.0};
+  auto x = SolveTridiagonal(sys);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[2], 3.0, 1e-12);
+}
+
+TEST(TridiagonalTest, SingleElement) {
+  TridiagonalSystem sys;
+  sys.lower = {0.0};
+  sys.diag = {4.0};
+  sys.upper = {0.0};
+  sys.rhs = {8.0};
+  auto x = SolveTridiagonal(sys);
+  ASSERT_TRUE(x.ok());
+  EXPECT_DOUBLE_EQ((*x)[0], 2.0);
+}
+
+TEST(TridiagonalTest, ResidualOfRandomDiagonallyDominantSystem) {
+  common::Rng rng(3);
+  const std::size_t n = 200;
+  TridiagonalSystem sys;
+  sys.lower.resize(n);
+  sys.diag.resize(n);
+  sys.upper.resize(n);
+  sys.rhs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sys.lower[i] = rng.Uniform(-1.0, 1.0);
+    sys.upper[i] = rng.Uniform(-1.0, 1.0);
+    sys.diag[i] = 4.0 + rng.Uniform();  // Dominant.
+    sys.rhs[i] = rng.Uniform(-10.0, 10.0);
+  }
+  auto x = SolveTridiagonal(sys);
+  ASSERT_TRUE(x.ok());
+  auto residual = TridiagonalApply(sys, *x);
+  ASSERT_TRUE(residual.ok());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR((*residual)[i], sys.rhs[i], 1e-9);
+  }
+}
+
+TEST(TridiagonalTest, RejectsShapeMismatch) {
+  TridiagonalSystem sys;
+  sys.lower = {0.0};
+  sys.diag = {1.0, 1.0};
+  sys.upper = {0.0, 0.0};
+  sys.rhs = {1.0, 1.0};
+  EXPECT_FALSE(SolveTridiagonal(sys).ok());
+}
+
+TEST(TridiagonalTest, RejectsEmpty) {
+  TridiagonalSystem sys;
+  EXPECT_FALSE(SolveTridiagonal(sys).ok());
+}
+
+TEST(TridiagonalTest, DetectsSingularPivot) {
+  TridiagonalSystem sys;
+  sys.lower = {0.0, 0.0};
+  sys.diag = {0.0, 1.0};
+  sys.upper = {0.0, 0.0};
+  sys.rhs = {1.0, 1.0};
+  auto x = SolveTridiagonal(sys);
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), common::StatusCode::kNumericalError);
+}
+
+TEST(TridiagonalApplyTest, RejectsWrongVectorLength) {
+  TridiagonalSystem sys;
+  sys.lower = {0.0};
+  sys.diag = {1.0};
+  sys.upper = {0.0};
+  sys.rhs = {1.0};
+  EXPECT_FALSE(TridiagonalApply(sys, {1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace mfg::numerics

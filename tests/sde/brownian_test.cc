@@ -1,0 +1,86 @@
+#include "sde/brownian.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace mfg::sde {
+namespace {
+
+TEST(BrownianTest, PathStartsAtZeroAndHasRightLength) {
+  common::Rng rng(1);
+  BrownianMotion bm;
+  auto path = bm.SamplePath(0.01, 100, rng);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->values.size(), 101u);
+  EXPECT_DOUBLE_EQ(path->values[0], 0.0);
+  EXPECT_DOUBLE_EQ(path->dt, 0.01);
+}
+
+TEST(BrownianTest, RejectsBadInputs) {
+  common::Rng rng(1);
+  BrownianMotion bm;
+  EXPECT_FALSE(bm.SamplePath(0.0, 10, rng).ok());
+  EXPECT_FALSE(bm.SamplePath(-1.0, 10, rng).ok());
+  EXPECT_FALSE(bm.SamplePath(0.1, 0, rng).ok());
+}
+
+TEST(BrownianTest, IncrementVarianceScalesWithDt) {
+  common::Rng rng(2);
+  BrownianMotion bm;
+  std::vector<double> increments(40000);
+  for (double& dw : increments) dw = bm.SampleIncrement(0.25, rng);
+  EXPECT_NEAR(common::Mean(increments), 0.0, 0.01);
+  EXPECT_NEAR(common::Variance(increments), 0.25, 0.01);
+}
+
+TEST(BrownianTest, ScaleMultipliesStdDev) {
+  common::Rng rng(3);
+  BrownianMotion bm(3.0);
+  std::vector<double> increments(40000);
+  for (double& dw : increments) dw = bm.SampleIncrement(1.0, rng);
+  EXPECT_NEAR(common::Variance(increments), 9.0, 0.3);
+}
+
+TEST(BrownianTest, TerminalVarianceMatchesTime) {
+  // Var[W(T)] = T for the standard process.
+  common::Rng rng(4);
+  BrownianMotion bm;
+  std::vector<double> terminal(4000);
+  for (double& w : terminal) {
+    auto path = bm.SamplePath(0.01, 100, rng);
+    ASSERT_TRUE(path.ok());
+    w = path->values.back();
+  }
+  EXPECT_NEAR(common::Mean(terminal), 0.0, 0.05);
+  EXPECT_NEAR(common::Variance(terminal), 1.0, 0.08);
+}
+
+TEST(BrownianTest, IndependentIncrements) {
+  // Correlation of consecutive increments should be ~0.
+  common::Rng rng(5);
+  BrownianMotion bm;
+  auto path = bm.SamplePath(0.01, 50000, rng);
+  ASSERT_TRUE(path.ok());
+  std::vector<double> d1, d2;
+  for (std::size_t i = 2; i < path->values.size(); ++i) {
+    d1.push_back(path->values[i - 1] - path->values[i - 2]);
+    d2.push_back(path->values[i] - path->values[i - 1]);
+  }
+  const double m1 = common::Mean(d1);
+  const double m2 = common::Mean(d2);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    cov += (d1[i] - m1) * (d2[i] - m2);
+  }
+  cov /= static_cast<double>(d1.size());
+  const double corr =
+      cov / std::sqrt(common::Variance(d1) * common::Variance(d2));
+  EXPECT_NEAR(corr, 0.0, 0.02);
+}
+
+}  // namespace
+}  // namespace mfg::sde

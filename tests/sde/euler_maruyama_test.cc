@@ -1,0 +1,119 @@
+#include "sde/euler_maruyama.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace mfg::sde {
+namespace {
+
+EulerMaruyamaOptions MakeOptions(double dt, std::size_t steps) {
+  EulerMaruyamaOptions options;
+  options.dt = dt;
+  options.steps = steps;
+  return options;
+}
+
+TEST(EulerMaruyamaTest, CreateValidates) {
+  EXPECT_TRUE(EulerMaruyama::Create(MakeOptions(0.01, 10)).ok());
+  EXPECT_FALSE(EulerMaruyama::Create(MakeOptions(0.0, 10)).ok());
+  EXPECT_FALSE(EulerMaruyama::Create(MakeOptions(0.01, 0)).ok());
+  EulerMaruyamaOptions bad = MakeOptions(0.01, 10);
+  bad.reflect = true;
+  bad.lo = 1.0;
+  bad.hi = 1.0;
+  EXPECT_FALSE(EulerMaruyama::Create(bad).ok());
+}
+
+TEST(EulerMaruyamaTest, DeterministicLinearDrift) {
+  // dX = 2 dt with zero diffusion: X(T) = X(0) + 2T.
+  auto em = EulerMaruyama::Create(MakeOptions(0.01, 100)).value();
+  common::Rng rng(1);
+  auto path = em.Integrate(
+      1.0, [](double, double) { return 2.0; },
+      [](double, double) { return 0.0; }, rng);
+  ASSERT_EQ(path.size(), 101u);
+  EXPECT_NEAR(path.back(), 3.0, 1e-9);
+}
+
+TEST(EulerMaruyamaTest, TimeDependentDrift) {
+  // dX = t dt: X(1) = X(0) + 1/2 (left Riemann sum converges from below).
+  auto em = EulerMaruyama::Create(MakeOptions(0.001, 1000)).value();
+  common::Rng rng(2);
+  auto path = em.Integrate(
+      0.0, [](double t, double) { return t; },
+      [](double, double) { return 0.0; }, rng);
+  EXPECT_NEAR(path.back(), 0.5, 1e-3);
+}
+
+TEST(EulerMaruyamaTest, PureDiffusionVariance) {
+  // dX = sigma dW: Var[X(T)] = sigma^2 T.
+  auto em = EulerMaruyama::Create(MakeOptions(0.01, 100)).value();
+  common::Rng rng(3);
+  std::vector<double> terminal(20000);
+  for (double& x : terminal) {
+    auto path = em.Integrate(
+        0.0, [](double, double) { return 0.0; },
+        [](double, double) { return 0.5; }, rng);
+    x = path.back();
+  }
+  EXPECT_NEAR(common::Mean(terminal), 0.0, 0.01);
+  EXPECT_NEAR(common::Variance(terminal), 0.25, 0.01);
+}
+
+TEST(EulerMaruyamaTest, ReflectionKeepsPathInBounds) {
+  EulerMaruyamaOptions options = MakeOptions(0.01, 2000);
+  options.reflect = true;
+  options.lo = 0.0;
+  options.hi = 1.0;
+  auto em = EulerMaruyama::Create(options).value();
+  common::Rng rng(4);
+  auto path = em.Integrate(
+      0.5, [](double, double) { return 0.0; },
+      [](double, double) { return 2.0; }, rng);
+  for (double x : path) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(EulerMaruyamaTest, ReflectionPreservesInteriorDynamics) {
+  // With tiny diffusion and an interior start, reflection must not alter
+  // the deterministic solution.
+  EulerMaruyamaOptions options = MakeOptions(0.01, 100);
+  options.reflect = true;
+  options.lo = -10.0;
+  options.hi = 10.0;
+  auto em = EulerMaruyama::Create(options).value();
+  common::Rng rng(5);
+  auto path = em.Integrate(
+      0.0, [](double, double) { return 1.0; },
+      [](double, double) { return 0.0; }, rng);
+  EXPECT_NEAR(path.back(), 1.0, 1e-9);
+}
+
+TEST(EulerMaruyamaTest, MeanPathAveragesNoise) {
+  auto em = EulerMaruyama::Create(MakeOptions(0.01, 100)).value();
+  common::Rng rng(6);
+  auto mean = em.MeanPath(
+      0.0, [](double, double) { return 1.0; },
+      [](double, double) { return 1.0; }, 2000, rng);
+  ASSERT_EQ(mean.size(), 101u);
+  EXPECT_NEAR(mean.back(), 1.0, 0.05);
+  EXPECT_NEAR(mean[50], 0.5, 0.05);
+}
+
+TEST(EulerMaruyamaTest, StateDependentDriftLogisticSaturation) {
+  // dX = X(1 - X) dt from 0.1 approaches 1.
+  auto em = EulerMaruyama::Create(MakeOptions(0.01, 2000)).value();
+  common::Rng rng(7);
+  auto path = em.Integrate(
+      0.1, [](double, double x) { return x * (1.0 - x); },
+      [](double, double) { return 0.0; }, rng);
+  EXPECT_NEAR(path.back(), 1.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace mfg::sde

@@ -1,0 +1,143 @@
+#include "sde/ornstein_uhlenbeck.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace mfg::sde {
+namespace {
+
+OuParams MakeParams(double varsigma, double upsilon, double rho) {
+  OuParams p;
+  p.varsigma = varsigma;
+  p.upsilon = upsilon;
+  p.rho = rho;
+  return p;
+}
+
+TEST(OuTest, CreateValidatesParameters) {
+  EXPECT_TRUE(OrnsteinUhlenbeck::Create(MakeParams(1.0, 0.0, 0.1)).ok());
+  EXPECT_FALSE(OrnsteinUhlenbeck::Create(MakeParams(0.0, 0.0, 0.1)).ok());
+  EXPECT_FALSE(OrnsteinUhlenbeck::Create(MakeParams(-1.0, 0.0, 0.1)).ok());
+  EXPECT_FALSE(OrnsteinUhlenbeck::Create(MakeParams(1.0, 0.0, -0.1)).ok());
+}
+
+TEST(OuTest, DriftPullsTowardMean) {
+  auto ou = OrnsteinUhlenbeck::Create(MakeParams(2.0, 5.0, 0.1)).value();
+  EXPECT_GT(ou.Drift(4.0), 0.0);   // Below the mean: push up.
+  EXPECT_LT(ou.Drift(6.0), 0.0);   // Above the mean: pull down.
+  EXPECT_DOUBLE_EQ(ou.Drift(5.0), 0.0);
+  // Paper's 1/2 factor: drift = varsigma/2 * (upsilon - h).
+  EXPECT_DOUBLE_EQ(ou.Drift(4.0), 1.0);
+}
+
+TEST(OuTest, ReversionRateIsHalfVarsigma) {
+  auto ou = OrnsteinUhlenbeck::Create(MakeParams(3.0, 0.0, 0.1)).value();
+  EXPECT_DOUBLE_EQ(ou.ReversionRate(), 1.5);
+}
+
+TEST(OuTest, ConditionalMomentsLimits) {
+  auto ou = OrnsteinUhlenbeck::Create(MakeParams(2.0, 5.0, 0.4)).value();
+  // Short horizon: barely moves.
+  EXPECT_NEAR(ou.ConditionalMean(1.0, 1e-9), 1.0, 1e-6);
+  EXPECT_NEAR(ou.ConditionalVariance(1e-9), 0.0, 1e-9);
+  // Long horizon: converges to the stationary law.
+  EXPECT_NEAR(ou.ConditionalMean(1.0, 100.0), 5.0, 1e-9);
+  EXPECT_NEAR(ou.ConditionalVariance(100.0), ou.StationaryVariance(), 1e-9);
+}
+
+TEST(OuTest, StationaryVarianceFormula) {
+  // Var = rho^2 / varsigma (with theta = varsigma/2).
+  auto ou = OrnsteinUhlenbeck::Create(MakeParams(4.0, 0.0, 0.2)).value();
+  EXPECT_DOUBLE_EQ(ou.StationaryVariance(), 0.04 / 4.0);
+}
+
+TEST(OuTest, ExactStepMatchesStationaryDistribution) {
+  auto ou = OrnsteinUhlenbeck::Create(MakeParams(2.0, 3.0, 0.5)).value();
+  common::Rng rng(11);
+  double h = 3.0;
+  std::vector<double> samples;
+  // Burn-in then sample sparsely for near-independence.
+  for (int i = 0; i < 200; ++i) h = ou.StepExact(h, 0.1, rng);
+  for (int i = 0; i < 20000; ++i) {
+    for (int j = 0; j < 5; ++j) h = ou.StepExact(h, 0.5, rng);
+    samples.push_back(h);
+  }
+  EXPECT_NEAR(common::Mean(samples), 3.0, 0.01);
+  EXPECT_NEAR(common::Variance(samples), ou.StationaryVariance(), 0.005);
+}
+
+TEST(OuTest, EulerStepConvergesToExactMoments) {
+  auto ou = OrnsteinUhlenbeck::Create(MakeParams(2.0, 1.0, 0.3)).value();
+  common::Rng rng(13);
+  // Mean of many Euler paths at T=1 vs. the exact conditional mean.
+  const double h0 = 4.0;
+  const int paths = 20000;
+  const int steps = 100;
+  const double dt = 0.01;
+  double sum = 0.0;
+  for (int p = 0; p < paths; ++p) {
+    double h = h0;
+    for (int s = 0; s < steps; ++s) h = ou.StepEulerMaruyama(h, dt, rng);
+    sum += h;
+  }
+  EXPECT_NEAR(sum / paths, ou.ConditionalMean(h0, 1.0), 0.02);
+}
+
+TEST(OuTest, SamplePathValidation) {
+  auto ou = OrnsteinUhlenbeck::Create(MakeParams(1.0, 0.0, 0.1)).value();
+  common::Rng rng(17);
+  EXPECT_FALSE(ou.SamplePath(0.0, 0.0, 10, rng).ok());
+  EXPECT_FALSE(ou.SamplePath(0.0, 0.1, 0, rng).ok());
+  auto path = ou.SamplePath(2.0, 0.1, 50, rng);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->size(), 51u);
+  EXPECT_DOUBLE_EQ(path->front(), 2.0);
+}
+
+TEST(OuTest, ZeroDiffusionIsDeterministicDecay) {
+  auto ou = OrnsteinUhlenbeck::Create(MakeParams(2.0, 5.0, 0.0)).value();
+  common::Rng rng(19);
+  auto path = ou.SamplePath(1.0, 0.01, 1000, rng, /*exact=*/true);
+  ASSERT_TRUE(path.ok());
+  // Deterministic exponential approach to the mean.
+  EXPECT_NEAR(path->back(), 5.0 + (1.0 - 5.0) * std::exp(-1.0 * 10.0), 1e-9);
+}
+
+// Mean-reversion property across parameterizations (Fig. 3's claim): the
+// tail of the path hugs upsilon regardless of the starting point.
+class OuMeanReversionTest
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(OuMeanReversionTest, TailConcentratesAroundLongTermMean) {
+  const auto [upsilon, rho, h0] = GetParam();
+  auto ou = OrnsteinUhlenbeck::Create(MakeParams(8.0, upsilon, rho)).value();
+  common::Rng rng(23);
+  auto path = ou.SamplePath(h0, 0.01, 2000, rng);
+  ASSERT_TRUE(path.ok());
+  // Average the last half of the path.
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t i = path->size() / 2; i < path->size(); ++i) {
+    sum += (*path)[i];
+    ++count;
+  }
+  const double stationary_std = std::sqrt(rho * rho / 8.0);
+  EXPECT_NEAR(sum / count, upsilon, 5.0 * stationary_std / std::sqrt(12.0) +
+                                        0.05 * std::fabs(upsilon) + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OuMeanReversionTest,
+    ::testing::Values(std::make_tuple(4.0, 0.1, 1.0),
+                      std::make_tuple(6.0, 0.1, 1.0),
+                      std::make_tuple(8.0, 0.1, 1.0),
+                      std::make_tuple(6.0, 0.2, 10.0),
+                      std::make_tuple(6.0, 0.3, 10.0)));
+
+}  // namespace
+}  // namespace mfg::sde

@@ -1,0 +1,111 @@
+#include "sde/path_statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sde/ornstein_uhlenbeck.h"
+
+namespace mfg::sde {
+namespace {
+
+TEST(SummarizeTest, KnownValues) {
+  auto s = Summarize({1.0, 3.0, 2.0, 4.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->mean, 2.5);
+  EXPECT_DOUBLE_EQ(s->min, 1.0);
+  EXPECT_DOUBLE_EQ(s->max, 4.0);
+  EXPECT_DOUBLE_EQ(s->first, 1.0);
+  EXPECT_DOUBLE_EQ(s->last, 4.0);
+  EXPECT_NEAR(s->variance, 5.0 / 3.0, 1e-12);
+}
+
+TEST(SummarizeTest, RejectsTinyPaths) {
+  EXPECT_FALSE(Summarize({}).ok());
+  EXPECT_FALSE(Summarize({1.0}).ok());
+}
+
+TEST(AutocorrelationTest, LagZeroIsOne) {
+  auto r = Autocorrelation({1.0, 2.0, 3.0, 2.0, 1.0}, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(*r, 1.0);
+}
+
+TEST(AutocorrelationTest, AlternatingSeriesIsAnticorrelated) {
+  std::vector<double> path;
+  for (int i = 0; i < 100; ++i) path.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  auto r = Autocorrelation(path, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(*r, -0.9);
+}
+
+TEST(AutocorrelationTest, ConstantPathFails) {
+  EXPECT_FALSE(Autocorrelation(std::vector<double>(10, 2.0), 1).ok());
+}
+
+TEST(AutocorrelationTest, LagTooLargeFails) {
+  EXPECT_FALSE(Autocorrelation({1.0, 2.0, 3.0}, 5).ok());
+}
+
+TEST(EstimateReversionRateTest, RecoversOuTheta) {
+  OuParams params;
+  params.varsigma = 4.0;  // theta = 2.
+  params.upsilon = 1.0;
+  params.rho = 0.05;
+  auto ou = OrnsteinUhlenbeck::Create(params).value();
+  common::Rng rng(31);
+  auto path = ou.SamplePath(3.0, 0.001, 200000, rng);
+  ASSERT_TRUE(path.ok());
+  auto theta = EstimateReversionRate(*path, 0.001, 1.0);
+  ASSERT_TRUE(theta.ok());
+  EXPECT_NEAR(*theta, 2.0, 0.25);
+}
+
+TEST(EstimateReversionRateTest, Validation) {
+  EXPECT_FALSE(EstimateReversionRate({1.0, 2.0, 3.0}, 0.0, 0.0).ok());
+  EXPECT_FALSE(EstimateReversionRate({1.0, 2.0}, 0.1, 0.0).ok());
+  // Path pinned at the mean level: no signal.
+  EXPECT_FALSE(
+      EstimateReversionRate(std::vector<double>(10, 5.0), 0.1, 5.0).ok());
+}
+
+TEST(TailMeanAbsDeviationTest, MeasuresTailOnly) {
+  // First half far from level, second half exactly at it.
+  std::vector<double> path(100, 10.0);
+  for (int i = 50; i < 100; ++i) path[i] = 2.0;
+  auto dev = TailMeanAbsDeviation(path, 2.0, 0.5);
+  ASSERT_TRUE(dev.ok());
+  EXPECT_DOUBLE_EQ(*dev, 0.0);
+  auto dev_full = TailMeanAbsDeviation(path, 2.0, 1.0);
+  ASSERT_TRUE(dev_full.ok());
+  EXPECT_DOUBLE_EQ(*dev_full, 4.0);
+}
+
+TEST(TailMeanAbsDeviationTest, Validation) {
+  EXPECT_FALSE(TailMeanAbsDeviation({}, 0.0).ok());
+  EXPECT_FALSE(TailMeanAbsDeviation({1.0}, 0.0, 0.0).ok());
+  EXPECT_FALSE(TailMeanAbsDeviation({1.0}, 0.0, 1.5).ok());
+}
+
+TEST(TailMeanAbsDeviationTest, LargerDiffusionLargerDeviation) {
+  // Fig. 3's second claim: bigger rho -> wider excursions around upsilon.
+  OuParams low;
+  low.varsigma = 4.0;
+  low.upsilon = 5.0;
+  low.rho = 0.1;
+  OuParams high = low;
+  high.rho = 0.3;
+  common::Rng rng(37);
+  auto ou_low = OrnsteinUhlenbeck::Create(low).value();
+  auto ou_high = OrnsteinUhlenbeck::Create(high).value();
+  auto path_low = ou_low.SamplePath(5.0, 0.01, 20000, rng);
+  auto path_high = ou_high.SamplePath(5.0, 0.01, 20000, rng);
+  ASSERT_TRUE(path_low.ok());
+  ASSERT_TRUE(path_high.ok());
+  const double dev_low = TailMeanAbsDeviation(*path_low, 5.0).value();
+  const double dev_high = TailMeanAbsDeviation(*path_high, 5.0).value();
+  EXPECT_GT(dev_high, 2.0 * dev_low);
+}
+
+}  // namespace
+}  // namespace mfg::sde

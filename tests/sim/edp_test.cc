@@ -1,0 +1,99 @@
+#include "sim/edp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mfg::sim {
+namespace {
+
+EdpAgent MakeAgent() {
+  return EdpAgent(3, {70.0, 30.0}, {100.0, 100.0});
+}
+
+TEST(EdpAgentTest, ConstructionClampsInitialState) {
+  EdpAgent agent(0, {-5.0, 150.0}, {100.0, 100.0});
+  EXPECT_DOUBLE_EQ(agent.remaining(0), 0.0);
+  EXPECT_DOUBLE_EQ(agent.remaining(1), 100.0);
+}
+
+TEST(EdpAgentTest, Accessors) {
+  EdpAgent agent = MakeAgent();
+  EXPECT_EQ(agent.id(), 3u);
+  EXPECT_EQ(agent.num_contents(), 2u);
+  EXPECT_DOUBLE_EQ(agent.remaining(0), 70.0);
+  EXPECT_DOUBLE_EQ(agent.content_size(1), 100.0);
+  EXPECT_DOUBLE_EQ(agent.MeanRemaining(), 50.0);
+}
+
+TEST(EdpAgentTest, CachedEnoughUsesAlphaThreshold) {
+  EdpAgent agent = MakeAgent();
+  EXPECT_FALSE(agent.CachedEnough(0, 0.2));  // 70 > 20.
+  EXPECT_FALSE(agent.CachedEnough(1, 0.2));  // 30 > 20.
+  EXPECT_TRUE(agent.CachedEnough(1, 0.4));   // 30 <= 40.
+}
+
+TEST(EdpAgentTest, StepCacheFollowsDriftSign) {
+  core::CacheDynamicsParams dynamics;
+  dynamics.rho_q = 0.0;  // Deterministic.
+  common::Rng rng(1);
+  EdpAgent agent = MakeAgent();
+  // High caching rate: remaining space must fall.
+  const double before = agent.remaining(0);
+  agent.StepCache(0, 1.0, 0.3, 0.01, dynamics, 0.05, rng);
+  EXPECT_LT(agent.remaining(0), before);
+  // Zero rate with strong discard factor: remaining space rises.
+  EdpAgent idle = MakeAgent();
+  idle.StepCache(0, 0.0, 0.0, 1.0, dynamics, 0.05, rng);
+  EXPECT_GT(idle.remaining(0), before);
+}
+
+TEST(EdpAgentTest, StepCacheMatchesEquation4Deterministically) {
+  core::CacheDynamicsParams dynamics;
+  dynamics.w1 = 1.0;
+  dynamics.w2 = 0.05;
+  dynamics.w3 = 10.0;
+  dynamics.rho_q = 0.0;
+  common::Rng rng(1);
+  EdpAgent agent = MakeAgent();
+  const double timeliness_factor = 0.01;  // xi^L.
+  agent.StepCache(0, 0.5, 0.4, timeliness_factor, dynamics, 0.1, rng);
+  const double drift =
+      100.0 * (-1.0 * 0.5 - 0.05 * 0.4 + 10.0 * timeliness_factor);
+  EXPECT_NEAR(agent.remaining(0), 70.0 + drift * 0.1, 1e-12);
+}
+
+TEST(EdpAgentTest, StepCacheStaysInBounds) {
+  core::CacheDynamicsParams dynamics;
+  dynamics.rho_q = 50.0;  // Violent noise.
+  common::Rng rng(7);
+  EdpAgent agent = MakeAgent();
+  for (int i = 0; i < 1000; ++i) {
+    agent.StepCache(0, 1.0, 0.5, 0.05, dynamics, 0.01, rng);
+    EXPECT_GE(agent.remaining(0), 0.0);
+    EXPECT_LE(agent.remaining(0), 100.0);
+  }
+}
+
+TEST(EdpAccountTest, AddAccumulates) {
+  EdpAccount a;
+  a.trading_income = 10.0;
+  a.case1_count = 2;
+  EdpAccount b;
+  b.trading_income = 5.0;
+  b.staleness_cost = 3.0;
+  b.case1_count = 1;
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a.trading_income, 15.0);
+  EXPECT_DOUBLE_EQ(a.staleness_cost, 3.0);
+  EXPECT_EQ(a.case1_count, 3u);
+  EXPECT_DOUBLE_EQ(a.Utility(), 15.0 - 3.0);
+}
+
+TEST(EdpAgentDeathTest, OutOfRangeContent) {
+  EdpAgent agent = MakeAgent();
+  EXPECT_DEATH(agent.remaining(5), "");
+}
+
+}  // namespace
+}  // namespace mfg::sim

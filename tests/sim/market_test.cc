@@ -1,0 +1,154 @@
+#include "sim/market.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mfg::sim {
+namespace {
+
+MarketParams MakeParams() {
+  MarketParams params;
+  params.pricing.max_price = 5.0;
+  params.pricing.eta1 = 0.02;
+  params.sharing_price = 1.0;
+  params.alpha = 0.2;
+  params.cloud_rate = 20.0;
+  params.sharing_enabled = true;
+  return params;
+}
+
+double PeerRemaining(std::size_t peer) {
+  // Peers 0/1 hold the content (q <= 20), peer 2 does not.
+  static const std::map<std::size_t, double> kPeers = {
+      {0, 10.0}, {1, 15.0}, {2, 80.0}};
+  return kPeers.at(peer);
+}
+
+TEST(MarketTest, CreateValidation) {
+  EXPECT_TRUE(Market::Create(MakeParams()).ok());
+  MarketParams bad = MakeParams();
+  bad.alpha = 0.0;
+  EXPECT_FALSE(Market::Create(bad).ok());
+  bad = MakeParams();
+  bad.sharing_price = -1.0;
+  EXPECT_FALSE(Market::Create(bad).ok());
+  bad = MakeParams();
+  bad.cloud_rate = 0.0;
+  EXPECT_FALSE(Market::Create(bad).ok());
+}
+
+TEST(MarketTest, QuotePriceMatchesEquation5) {
+  auto market = Market::Create(MakeParams()).value();
+  // Competitors' remaining spaces {50, 30} -> supplies {50, 70}, mean 60.
+  auto price = market.QuotePrice({70.0, 50.0, 30.0}, 0, 100.0);
+  ASSERT_TRUE(price.ok());
+  EXPECT_NEAR(*price, 5.0 - 0.02 * 60.0, 1e-12);
+}
+
+TEST(MarketTest, Case1WhenCachedEnough) {
+  auto market = Market::Create(MakeParams()).value();
+  common::Rng rng(1);
+  auto outcome = market.SettleRequest(
+      15.0, 100.0, 4.0, 10.0, {0, 1, 2}, PeerRemaining, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->service_case, 1);
+  EXPECT_DOUBLE_EQ(outcome->income, 4.0 * 85.0);
+  EXPECT_DOUBLE_EQ(outcome->delay, 8.5);
+  EXPECT_DOUBLE_EQ(outcome->sharing_payment, 0.0);
+  EXPECT_FALSE(outcome->peer.has_value());
+}
+
+TEST(MarketTest, Case2BuysFromQualifiedPeer) {
+  auto market = Market::Create(MakeParams()).value();
+  common::Rng rng(1);
+  auto outcome = market.SettleRequest(
+      60.0, 100.0, 4.0, 10.0, {0, 1, 2}, PeerRemaining, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->service_case, 2);
+  ASSERT_TRUE(outcome->peer.has_value());
+  EXPECT_TRUE(*outcome->peer == 0 || *outcome->peer == 1);
+  const double peer_q = PeerRemaining(*outcome->peer);
+  EXPECT_DOUBLE_EQ(outcome->income, 4.0 * (100.0 - peer_q));
+  EXPECT_DOUBLE_EQ(outcome->sharing_payment, 1.0 * (60.0 - peer_q));
+  EXPECT_DOUBLE_EQ(outcome->delay, (100.0 - peer_q) / 10.0);
+}
+
+TEST(MarketTest, Case2PeerChoiceIsRandomAmongQualified) {
+  auto market = Market::Create(MakeParams()).value();
+  common::Rng rng(3);
+  int chose0 = 0;
+  int chose1 = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto outcome = market
+                       .SettleRequest(60.0, 100.0, 4.0, 10.0, {0, 1, 2},
+                                      PeerRemaining, rng)
+                       .value();
+    if (outcome.peer == std::optional<std::size_t>(0)) ++chose0;
+    if (outcome.peer == std::optional<std::size_t>(1)) ++chose1;
+  }
+  EXPECT_GT(chose0, 50);
+  EXPECT_GT(chose1, 50);
+}
+
+TEST(MarketTest, Case3WhenNoQualifiedPeer) {
+  auto market = Market::Create(MakeParams()).value();
+  common::Rng rng(1);
+  auto outcome = market.SettleRequest(
+      60.0, 100.0, 4.0, 10.0, {2}, PeerRemaining, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->service_case, 3);
+  EXPECT_DOUBLE_EQ(outcome->income, 4.0 * 100.0);
+  // q/Hc + Q/H = 60/20 + 100/10 = 13.
+  EXPECT_DOUBLE_EQ(outcome->delay, 13.0);
+  EXPECT_FALSE(outcome->peer.has_value());
+}
+
+TEST(MarketTest, Case3WhenNoAdjacentAtAll) {
+  auto market = Market::Create(MakeParams()).value();
+  common::Rng rng(1);
+  auto outcome =
+      market.SettleRequest(60.0, 100.0, 4.0, 10.0, {}, PeerRemaining, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->service_case, 3);
+}
+
+TEST(MarketTest, SharingDisabledSkipsCase2) {
+  MarketParams params = MakeParams();
+  params.sharing_enabled = false;
+  auto market = Market::Create(params).value();
+  common::Rng rng(1);
+  auto outcome = market.SettleRequest(
+      60.0, 100.0, 4.0, 10.0, {0, 1, 2}, PeerRemaining, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->service_case, 3);
+}
+
+TEST(MarketTest, SettleValidation) {
+  auto market = Market::Create(MakeParams()).value();
+  common::Rng rng(1);
+  EXPECT_FALSE(
+      market.SettleRequest(10.0, 0.0, 4.0, 10.0, {}, PeerRemaining, rng)
+          .ok());
+  EXPECT_FALSE(
+      market.SettleRequest(10.0, 100.0, 4.0, 0.0, {}, PeerRemaining, rng)
+          .ok());
+  EXPECT_FALSE(
+      market.SettleRequest(10.0, 100.0, -1.0, 10.0, {}, PeerRemaining, rng)
+          .ok());
+}
+
+TEST(MarketTest, SharingPaymentNeverNegative) {
+  auto market = Market::Create(MakeParams()).value();
+  common::Rng rng(1);
+  // Own remaining (25) barely above threshold, peer (15) holds more --
+  // transfer = 25 - 15 = 10; never negative even if peer had more space.
+  auto outcome = market
+                     .SettleRequest(25.0, 100.0, 4.0, 10.0, {1},
+                                    PeerRemaining, rng)
+                     .value();
+  EXPECT_GE(outcome.sharing_payment, 0.0);
+}
+
+}  // namespace
+}  // namespace mfg::sim

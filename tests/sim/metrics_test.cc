@@ -1,0 +1,97 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+namespace mfg::sim {
+namespace {
+
+SimulationResult MakeResult(const std::vector<double>& utilities) {
+  SimulationResult result;
+  for (double u : utilities) {
+    EdpAccount account;
+    account.trading_income = u;  // Utility == trading_income here.
+    result.per_edp.push_back(account);
+    result.total.Add(account);
+  }
+  return result;
+}
+
+TEST(MetricsTest, MeansOverEdps) {
+  auto result = MakeResult({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(result.MeanUtility(), 20.0);
+  EXPECT_DOUBLE_EQ(result.MeanTradingIncome(), 20.0);
+}
+
+TEST(MetricsTest, EmptyResultIsZero) {
+  SimulationResult result;
+  EXPECT_DOUBLE_EQ(result.MeanUtility(), 0.0);
+  EXPECT_DOUBLE_EQ(result.HitRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(result.UtilityStdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(result.JainFairnessIndex(), 0.0);
+}
+
+TEST(MetricsTest, UtilityDispersion) {
+  auto result = MakeResult({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(result.MinUtility(), 10.0);
+  EXPECT_DOUBLE_EQ(result.MaxUtility(), 30.0);
+  EXPECT_NEAR(result.UtilityStdDev(), 10.0, 1e-12);
+  auto uniform = MakeResult({15.0, 15.0, 15.0});
+  EXPECT_DOUBLE_EQ(uniform.UtilityStdDev(), 0.0);
+}
+
+TEST(MetricsTest, JainFairnessIndexProperties) {
+  // Perfectly even allocation: index = 1.
+  auto even = MakeResult({40.0, 40.0, 40.0, 40.0});
+  EXPECT_NEAR(even.JainFairnessIndex(), 1.0, 1e-12);
+  // One EDP grabs everything: index approaches 1/n.
+  auto skewed = MakeResult({1000.0, 0.0, 0.0, 0.0});
+  EXPECT_LT(skewed.JainFairnessIndex(), 0.3);
+  EXPECT_GT(skewed.JainFairnessIndex(), 0.25 - 1e-3);
+  // Ordering: the even result is fairer than the skewed one.
+  EXPECT_GT(even.JainFairnessIndex(), skewed.JainFairnessIndex());
+  // Negative utilities are handled via shifting.
+  auto negative = MakeResult({-50.0, 50.0});
+  EXPECT_GT(negative.JainFairnessIndex(), 0.0);
+  EXPECT_LE(negative.JainFairnessIndex(), 1.0);
+}
+
+TEST(MetricsTest, HitRatioFromCaseCounts) {
+  SimulationResult result;
+  result.total.requests_served = 10;
+  result.total.case1_count = 4;
+  result.total.case2_count = 3;
+  result.total.case3_count = 3;
+  result.per_edp.resize(1);
+  EXPECT_DOUBLE_EQ(result.HitRatio(), 0.4);
+}
+
+TEST(MetricsTest, PerSlotCsvRoundTrips) {
+  SimulationResult result;
+  SlotMetrics slot;
+  slot.time = 0.25;
+  slot.mean_utility = 12.5;
+  slot.case1_requests = 3;
+  slot.mean_downlink = 9.75;
+  result.per_slot.push_back(slot);
+  const std::string csv = result.PerSlotCsv();
+  EXPECT_NE(csv.find("mean_utility"), std::string::npos);
+  EXPECT_NE(csv.find("0.25,12.5"), std::string::npos);
+  EXPECT_NE(csv.find("9.75"), std::string::npos);
+  const std::string path = ::testing::TempDir() + "/mfgcp_slots.csv";
+  ASSERT_TRUE(result.WritePerSlotCsv(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(result.WritePerSlotCsv("/no/such/dir/x.csv").ok());
+}
+
+TEST(MetricsTest, SlotMetricsDefaultsAreZero) {
+  SlotMetrics slot;
+  EXPECT_EQ(slot.case1_requests, 0u);
+  EXPECT_DOUBLE_EQ(slot.total_delay, 0.0);
+  EXPECT_DOUBLE_EQ(slot.mean_downlink, 0.0);
+}
+
+}  // namespace
+}  // namespace mfg::sim

@@ -1,0 +1,81 @@
+#include "sim/requester.h"
+
+#include <gtest/gtest.h>
+
+namespace mfg::sim {
+namespace {
+
+net::ChannelParams MakeChannel() {
+  net::ChannelParams params;
+  params.fading.varsigma = 4.0;
+  params.fading.upsilon = 6.0;
+  params.fading.rho = 0.1;
+  params.path_loss_exponent = 3.0;
+  return params;
+}
+
+RequesterAgent MakeAgent(double serving_distance = 100.0,
+                         std::vector<double> interferers = {300.0, 500.0}) {
+  net::RateParams rate;
+  return RequesterAgent::Create(0, 2, MakeChannel(), serving_distance,
+                                std::move(interferers), 1.0, rate, 6.0)
+      .value();
+}
+
+TEST(RequesterAgentTest, CreateValidation) {
+  net::RateParams rate;
+  EXPECT_FALSE(RequesterAgent::Create(0, 0, MakeChannel(), 100.0, {200.0},
+                                      0.0, rate, 6.0)
+                   .ok());  // Zero power.
+  EXPECT_FALSE(RequesterAgent::Create(0, 0, MakeChannel(), 0.0, {200.0},
+                                      1.0, rate, 6.0)
+                   .ok());  // Zero serving distance.
+  EXPECT_FALSE(RequesterAgent::Create(0, 0, MakeChannel(), 100.0, {-1.0},
+                                      1.0, rate, 6.0)
+                   .ok());  // Negative interferer distance.
+}
+
+TEST(RequesterAgentTest, CloserServingEdpFasterDownlink) {
+  auto near = MakeAgent(50.0);
+  auto far = MakeAgent(400.0);
+  EXPECT_GT(near.DownlinkRateMb(), far.DownlinkRateMb());
+}
+
+TEST(RequesterAgentTest, MoreInterferenceSlowerDownlink) {
+  auto quiet = MakeAgent(100.0, {900.0});
+  auto crowded = MakeAgent(100.0, {110.0, 120.0, 130.0});
+  EXPECT_GT(quiet.DownlinkRateMb(), crowded.DownlinkRateMb());
+}
+
+TEST(RequesterAgentTest, RebindUpdatesGeometryKeepsFading) {
+  auto agent = MakeAgent(100.0);
+  common::Rng rng(3);
+  for (int i = 0; i < 10; ++i) agent.StepChannel(0.01, rng);
+  const double h_before = agent.fading();
+  const double rate_before = agent.DownlinkRateMb();
+  ASSERT_TRUE(agent.Rebind(5, 60.0, {300.0, 500.0}).ok());
+  EXPECT_EQ(agent.serving_edp(), 5u);
+  EXPECT_DOUBLE_EQ(agent.fading(), h_before);  // Small-scale state kept.
+  EXPECT_GT(agent.DownlinkRateMb(), rate_before);  // Closer EDP now.
+}
+
+TEST(RequesterAgentTest, RebindValidation) {
+  auto agent = MakeAgent();
+  EXPECT_FALSE(agent.Rebind(1, 0.0, {200.0}).ok());
+  EXPECT_FALSE(agent.Rebind(1, 100.0, {0.0}).ok());
+  // Agent state unchanged after failed rebinds.
+  EXPECT_EQ(agent.serving_edp(), 2u);
+}
+
+TEST(RequesterAgentTest, ChannelEvolvesTowardMean) {
+  net::RateParams rate;
+  auto agent = RequesterAgent::Create(0, 0, MakeChannel(), 100.0, {300.0},
+                                      1.0, rate, /*initial_fading=*/1.0)
+                   .value();
+  common::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) agent.StepChannel(0.01, rng);
+  EXPECT_NEAR(agent.fading(), 6.0, 0.5);
+}
+
+}  // namespace
+}  // namespace mfg::sim

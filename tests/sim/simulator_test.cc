@@ -1,0 +1,289 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/most_popular.h"
+#include "baselines/random_replacement.h"
+#include "baselines/udcs.h"
+
+namespace mfg::sim {
+namespace {
+
+SimulatorOptions SmallOptions() {
+  SimulatorOptions options;
+  options.num_edps = 20;
+  options.num_requesters = 60;
+  options.num_contents = 5;
+  options.num_slots = 40;
+  options.request_rate = 6.0;
+  options.seed = 11;
+  options.topology.adjacency_radius = 400.0;
+  return options;
+}
+
+SchemePolicies RrScheme(std::size_t k) {
+  return UniformScheme("RR", baselines::MakeRandomReplacement(), k);
+}
+
+TEST(SimulatorTest, CreateValidation) {
+  SimulatorOptions bad = SmallOptions();
+  bad.num_edps = 0;
+  EXPECT_FALSE(Simulator::Create(bad).ok());
+  bad = SmallOptions();
+  bad.request_rate = 0.0;
+  EXPECT_FALSE(Simulator::Create(bad).ok());
+  bad = SmallOptions();
+  bad.base_params.horizon = -1.0;
+  EXPECT_FALSE(Simulator::Create(bad).ok());
+  EXPECT_TRUE(Simulator::Create(SmallOptions()).ok());
+}
+
+TEST(SimulatorTest, RunProducesConsistentShapes) {
+  auto simulator = Simulator::Create(SmallOptions()).value();
+  auto result = simulator.Run(RrScheme(5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scheme, "RR");
+  EXPECT_EQ(result->per_slot.size(), 40u);
+  EXPECT_EQ(result->per_edp.size(), 20u);
+  EXPECT_GT(result->total.requests_served, 0u);
+  EXPECT_EQ(result->total.requests_served,
+            result->total.case1_count + result->total.case2_count +
+                result->total.case3_count);
+}
+
+TEST(SimulatorTest, TotalsEqualSumOfPerEdp) {
+  auto simulator = Simulator::Create(SmallOptions()).value();
+  auto result = simulator.Run(RrScheme(5)).value();
+  EdpAccount sum;
+  for (const auto& account : result.per_edp) sum.Add(account);
+  EXPECT_DOUBLE_EQ(sum.trading_income, result.total.trading_income);
+  EXPECT_DOUBLE_EQ(sum.staleness_cost, result.total.staleness_cost);
+  EXPECT_EQ(sum.requests_served, result.total.requests_served);
+}
+
+TEST(SimulatorTest, DeterministicUnderSameSeed) {
+  auto sim_a = Simulator::Create(SmallOptions()).value();
+  auto sim_b = Simulator::Create(SmallOptions()).value();
+  auto result_a = sim_a.Run(RrScheme(5)).value();
+  auto result_b = sim_b.Run(RrScheme(5)).value();
+  EXPECT_DOUBLE_EQ(result_a.total.trading_income,
+                   result_b.total.trading_income);
+  EXPECT_DOUBLE_EQ(result_a.total.staleness_cost,
+                   result_b.total.staleness_cost);
+  EXPECT_EQ(result_a.total.requests_served, result_b.total.requests_served);
+}
+
+TEST(SimulatorTest, DifferentSeedsDiffer) {
+  auto sim_a = Simulator::Create(SmallOptions()).value();
+  SimulatorOptions other = SmallOptions();
+  other.seed = 999;
+  auto sim_b = Simulator::Create(other).value();
+  auto result_a = sim_a.Run(RrScheme(5)).value();
+  auto result_b = sim_b.Run(RrScheme(5)).value();
+  EXPECT_NE(result_a.total.trading_income, result_b.total.trading_income);
+}
+
+TEST(SimulatorTest, SchemeArityValidated) {
+  auto simulator = Simulator::Create(SmallOptions()).value();
+  EXPECT_FALSE(simulator.Run(RrScheme(3)).ok());
+  SchemePolicies with_null = RrScheme(5);
+  with_null.per_content[2] = nullptr;
+  EXPECT_FALSE(simulator.Run(with_null).ok());
+}
+
+TEST(SimulatorTest, SharingDisabledProducesNoCase2) {
+  SimulatorOptions options = SmallOptions();
+  options.base_params.sharing_enabled = false;
+  auto simulator = Simulator::Create(options).value();
+  auto result = simulator.Run(RrScheme(5)).value();
+  EXPECT_EQ(result.total.case2_count, 0u);
+  EXPECT_DOUBLE_EQ(result.total.sharing_benefit, 0.0);
+  EXPECT_DOUBLE_EQ(result.total.sharing_cost, 0.0);
+}
+
+TEST(SimulatorTest, SharingMoneyConserved) {
+  // Every sharing payment booked as a cost by a buyer appears as a
+  // benefit at some peer: population sums must match.
+  auto simulator = Simulator::Create(SmallOptions()).value();
+  auto result = simulator.Run(RrScheme(5)).value();
+  EXPECT_NEAR(result.total.sharing_cost, result.total.sharing_benefit,
+              1e-9);
+}
+
+TEST(SimulatorTest, MpcOutperformsNothingButCachesHead) {
+  // MPC at full rate drains remaining space of the head contents only.
+  SimulatorOptions options = SmallOptions();
+  options.num_slots = 80;
+  auto simulator = Simulator::Create(options).value();
+  auto scheme =
+      UniformScheme("MPC", baselines::MakeMostPopular(0.4), 5);
+  auto result = simulator.Run(scheme).value();
+  // The decided mean caching rate should be about the head fraction
+  // (2 of 5 contents at rate 1).
+  double mean_rate = 0.0;
+  for (const auto& slot : result.per_slot) {
+    mean_rate += slot.mean_caching_rate;
+  }
+  mean_rate /= static_cast<double>(result.per_slot.size());
+  EXPECT_NEAR(mean_rate, 0.4, 0.1);
+}
+
+TEST(SimulatorTest, HitRatioImprovesWithAggressiveCaching) {
+  SimulatorOptions options = SmallOptions();
+  options.num_slots = 60;
+  options.initial_fill_frac_mean = 0.9;  // Start nearly empty.
+  auto simulator = Simulator::Create(options).value();
+  // "Cache everything" vs "cache nothing" via MPC top fractions.
+  auto eager = UniformScheme("eager", baselines::MakeMostPopular(1.0), 5);
+  auto lazy = UniformScheme("lazy",
+                            baselines::MakeMostPopular(1e-9), 5);
+  auto eager_result = simulator.Run(eager).value();
+  auto lazy_result = simulator.Run(lazy).value();
+  EXPECT_GT(eager_result.HitRatio(), lazy_result.HitRatio());
+}
+
+TEST(SimulatorTest, PricesRespondToSupply) {
+  SimulatorOptions options = SmallOptions();
+  auto simulator = Simulator::Create(options).value();
+  auto eager = UniformScheme("eager", baselines::MakeMostPopular(1.0), 5);
+  auto lazy = UniformScheme("lazy", baselines::MakeMostPopular(1e-9), 5);
+  auto eager_result = simulator.Run(eager).value();
+  auto lazy_result = simulator.Run(lazy).value();
+  // Everyone caching at full rate floods the market: mean price lower.
+  EXPECT_LT(eager_result.per_slot.back().mean_price,
+            lazy_result.per_slot.back().mean_price);
+}
+
+TEST(SimulatorTest, ImpliedRequestRateScalesWithPopularity) {
+  auto simulator = Simulator::Create(SmallOptions()).value();
+  EXPECT_DOUBLE_EQ(simulator.ImpliedRequestsPerEdpContent(0.5),
+                   3.0 * 6.0 * 0.5);
+  EXPECT_GT(simulator.ImpliedRequestsPerEdpContent(0.4),
+            simulator.ImpliedRequestsPerEdpContent(0.1));
+}
+
+TEST(SimulatorTest, TraceWeightsDriveRequestMix) {
+  SimulatorOptions options = SmallOptions();
+  // All demand on content 3.
+  options.trace_daily_weights = {{0.0, 0.0, 0.0, 1.0, 0.0}};
+  auto simulator = Simulator::Create(options).value();
+  auto result = simulator.Run(RrScheme(5)).value();
+  EXPECT_GT(result.total.requests_served, 0u);
+  // With all requests on one content, decision metrics still finite.
+  EXPECT_TRUE(std::isfinite(result.total.trading_income));
+}
+
+TEST(SimulatorTest, MobilityRebindsServingEdps) {
+  // With fast-moving requesters the run must stay healthy and the
+  // outcome must differ from the static deployment (links change).
+  SimulatorOptions moving = SmallOptions();
+  moving.requester_speed = 2000.0;  // Meters per unit time: crosses cells.
+  SimulatorOptions still = SmallOptions();
+  auto sim_moving = Simulator::Create(moving).value();
+  auto sim_still = Simulator::Create(still).value();
+  auto r_moving = sim_moving.Run(RrScheme(5)).value();
+  auto r_still = sim_still.Run(RrScheme(5)).value();
+  EXPECT_GT(r_moving.total.requests_served, 0u);
+  EXPECT_NE(r_moving.total.staleness_cost, r_still.total.staleness_cost);
+  // The accounting identity holds under mobility too.
+  EXPECT_NEAR(r_moving.total.sharing_cost, r_moving.total.sharing_benefit,
+              1e-9);
+}
+
+TEST(SimulatorTest, ZeroSpeedMatchesStaticPath) {
+  // requester_speed = 0 must take the static code path bit-for-bit.
+  SimulatorOptions a = SmallOptions();
+  SimulatorOptions b = SmallOptions();
+  b.requester_speed = 0.0;
+  auto r_a = Simulator::Create(a).value().Run(RrScheme(5)).value();
+  auto r_b = Simulator::Create(b).value().Run(RrScheme(5)).value();
+  EXPECT_DOUBLE_EQ(r_a.total.trading_income, r_b.total.trading_income);
+}
+
+TEST(SimulatorTest, NegativeSpeedRejected) {
+  SimulatorOptions bad = SmallOptions();
+  bad.requester_speed = -1.0;
+  EXPECT_FALSE(Simulator::Create(bad).ok());
+}
+
+TEST(SimulatorTest, PerContentAccountsSumToTotals) {
+  auto simulator = Simulator::Create(SmallOptions()).value();
+  auto result = simulator.Run(RrScheme(5)).value();
+  ASSERT_EQ(result.per_content.size(), 5u);
+  EdpAccount sum;
+  for (const auto& account : result.per_content) sum.Add(account);
+  EXPECT_NEAR(sum.trading_income, result.total.trading_income, 1e-9);
+  EXPECT_NEAR(sum.staleness_cost, result.total.staleness_cost, 1e-9);
+  EXPECT_NEAR(sum.placement_cost, result.total.placement_cost, 1e-9);
+  EXPECT_EQ(sum.requests_served, result.total.requests_served);
+  EXPECT_EQ(sum.case1_count, result.total.case1_count);
+}
+
+TEST(SimulatorTest, HeterogeneousCatalogSizes) {
+  SimulatorOptions options = SmallOptions();
+  options.content_sizes = {40.0, 60.0, 100.0, 150.0, 250.0};
+  auto simulator = Simulator::Create(options);
+  ASSERT_TRUE(simulator.ok());
+  EXPECT_DOUBLE_EQ(simulator->catalog().size_mb(0), 40.0);
+  EXPECT_DOUBLE_EQ(simulator->catalog().size_mb(4), 250.0);
+  auto result = simulator->Run(RrScheme(5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->total.requests_served, 0u);
+  // Bigger contents sell for more data: per-request income for content 4
+  // exceeds content 0's on average (same price scale, larger Q).
+  const auto& small = result->per_content[0];
+  const auto& large = result->per_content[4];
+  if (small.requests_served > 10 && large.requests_served > 10) {
+    EXPECT_GT(large.trading_income /
+                  static_cast<double>(large.requests_served),
+              small.trading_income /
+                  static_cast<double>(small.requests_served));
+  }
+}
+
+TEST(SimulatorTest, HeterogeneousCatalogArityChecked) {
+  SimulatorOptions options = SmallOptions();
+  options.content_sizes = {40.0, 60.0};  // 5 contents expected.
+  EXPECT_FALSE(Simulator::Create(options).ok());
+}
+
+TEST(SimulatorTest, StorageBudgetRespected) {
+  // Capacity of 150 MB across 5x100 MB contents: the mean cached stock
+  // must stay near the budget (the initial fill of 0.7 already uses
+  // 5 x 30 = 150 MB), while the unconstrained run blows past it.
+  SimulatorOptions capped = SmallOptions();
+  capped.storage_capacity_mb = 150.0;
+  capped.num_slots = 80;
+  SimulatorOptions unlimited = capped;
+  unlimited.storage_capacity_mb = 0.0;
+  auto scheme = UniformScheme("MPC", baselines::MakeMostPopular(1.0), 5);
+  auto capped_result =
+      Simulator::Create(capped).value().Run(scheme).value();
+  auto unlimited_result =
+      Simulator::Create(unlimited).value().Run(scheme).value();
+  auto used = [](const SlotMetrics& slot) {
+    return 5.0 * (100.0 - slot.mean_cache_remaining);
+  };
+  for (const auto& slot : capped_result.per_slot) {
+    EXPECT_LE(used(slot), 150.0 + 20.0);  // Budget + SDE noise slack.
+  }
+  EXPECT_GT(used(unlimited_result.per_slot.back()), 200.0);
+}
+
+TEST(SimulatorTest, NegativeStorageBudgetRejected) {
+  SimulatorOptions bad = SmallOptions();
+  bad.storage_capacity_mb = -1.0;
+  EXPECT_FALSE(Simulator::Create(bad).ok());
+}
+
+TEST(SimulatorTest, DecisionTimeRecorded) {
+  auto simulator = Simulator::Create(SmallOptions()).value();
+  auto result = simulator.Run(RrScheme(5)).value();
+  EXPECT_GT(result.decision_seconds, 0.0);
+  EXPECT_LT(result.decision_seconds, 60.0);
+}
+
+}  // namespace
+}  // namespace mfg::sim
