@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_profiles.dir/bench_ablation_profiles.cc.o"
+  "CMakeFiles/bench_ablation_profiles.dir/bench_ablation_profiles.cc.o.d"
+  "bench_ablation_profiles"
+  "bench_ablation_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_channel.dir/bench_fig03_channel.cc.o"
+  "CMakeFiles/bench_fig03_channel.dir/bench_fig03_channel.cc.o.d"
+  "bench_fig03_channel"
+  "bench_fig03_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig04_meanfield.cc" "bench/CMakeFiles/bench_fig04_meanfield.dir/bench_fig04_meanfield.cc.o" "gcc" "bench/CMakeFiles/bench_fig04_meanfield.dir/bench_fig04_meanfield.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfgcp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_sde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_meanfield.dir/bench_fig04_meanfield.cc.o"
+  "CMakeFiles/bench_fig04_meanfield.dir/bench_fig04_meanfield.cc.o.d"
+  "bench_fig04_meanfield"
+  "bench_fig04_meanfield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_meanfield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_heatmap_qk.dir/bench_fig06_heatmap_qk.cc.o"
+  "CMakeFiles/bench_fig06_heatmap_qk.dir/bench_fig06_heatmap_qk.cc.o.d"
+  "bench_fig06_heatmap_qk"
+  "bench_fig06_heatmap_qk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_heatmap_qk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

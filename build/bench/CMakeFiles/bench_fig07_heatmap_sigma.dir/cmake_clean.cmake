@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_heatmap_sigma.dir/bench_fig07_heatmap_sigma.cc.o"
+  "CMakeFiles/bench_fig07_heatmap_sigma.dir/bench_fig07_heatmap_sigma.cc.o.d"
+  "bench_fig07_heatmap_sigma"
+  "bench_fig07_heatmap_sigma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_heatmap_sigma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

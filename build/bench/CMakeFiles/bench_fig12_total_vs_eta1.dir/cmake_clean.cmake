@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_total_vs_eta1.dir/bench_fig12_total_vs_eta1.cc.o"
+  "CMakeFiles/bench_fig12_total_vs_eta1.dir/bench_fig12_total_vs_eta1.cc.o.d"
+  "bench_fig12_total_vs_eta1"
+  "bench_fig12_total_vs_eta1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_total_vs_eta1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_constrained.dir/capacity_constrained.cpp.o"
+  "CMakeFiles/capacity_constrained.dir/capacity_constrained.cpp.o.d"
+  "capacity_constrained"
+  "capacity_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_aware_caching.dir/channel_aware_caching.cpp.o"
+  "CMakeFiles/channel_aware_caching.dir/channel_aware_caching.cpp.o.d"
+  "channel_aware_caching"
+  "channel_aware_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_aware_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

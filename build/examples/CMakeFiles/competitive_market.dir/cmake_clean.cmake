@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/competitive_market.dir/competitive_market.cpp.o"
+  "CMakeFiles/competitive_market.dir/competitive_market.cpp.o.d"
+  "competitive_market"
+  "competitive_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/competitive_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

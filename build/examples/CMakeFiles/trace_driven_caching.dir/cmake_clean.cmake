@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_driven_caching.dir/trace_driven_caching.cpp.o"
+  "CMakeFiles/trace_driven_caching.dir/trace_driven_caching.cpp.o.d"
+  "trace_driven_caching"
+  "trace_driven_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_driven_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

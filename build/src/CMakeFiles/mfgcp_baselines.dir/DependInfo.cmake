@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/mfg_no_sharing.cc" "src/CMakeFiles/mfgcp_baselines.dir/baselines/mfg_no_sharing.cc.o" "gcc" "src/CMakeFiles/mfgcp_baselines.dir/baselines/mfg_no_sharing.cc.o.d"
+  "/root/repo/src/baselines/most_popular.cc" "src/CMakeFiles/mfgcp_baselines.dir/baselines/most_popular.cc.o" "gcc" "src/CMakeFiles/mfgcp_baselines.dir/baselines/most_popular.cc.o.d"
+  "/root/repo/src/baselines/myopic.cc" "src/CMakeFiles/mfgcp_baselines.dir/baselines/myopic.cc.o" "gcc" "src/CMakeFiles/mfgcp_baselines.dir/baselines/myopic.cc.o.d"
+  "/root/repo/src/baselines/random_replacement.cc" "src/CMakeFiles/mfgcp_baselines.dir/baselines/random_replacement.cc.o" "gcc" "src/CMakeFiles/mfgcp_baselines.dir/baselines/random_replacement.cc.o.d"
+  "/root/repo/src/baselines/udcs.cc" "src/CMakeFiles/mfgcp_baselines.dir/baselines/udcs.cc.o" "gcc" "src/CMakeFiles/mfgcp_baselines.dir/baselines/udcs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfgcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_sde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgcp_baselines.dir/baselines/mfg_no_sharing.cc.o"
+  "CMakeFiles/mfgcp_baselines.dir/baselines/mfg_no_sharing.cc.o.d"
+  "CMakeFiles/mfgcp_baselines.dir/baselines/most_popular.cc.o"
+  "CMakeFiles/mfgcp_baselines.dir/baselines/most_popular.cc.o.d"
+  "CMakeFiles/mfgcp_baselines.dir/baselines/myopic.cc.o"
+  "CMakeFiles/mfgcp_baselines.dir/baselines/myopic.cc.o.d"
+  "CMakeFiles/mfgcp_baselines.dir/baselines/random_replacement.cc.o"
+  "CMakeFiles/mfgcp_baselines.dir/baselines/random_replacement.cc.o.d"
+  "CMakeFiles/mfgcp_baselines.dir/baselines/udcs.cc.o"
+  "CMakeFiles/mfgcp_baselines.dir/baselines/udcs.cc.o.d"
+  "libmfgcp_baselines.a"
+  "libmfgcp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgcp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgcp_common.dir/common/config.cc.o"
+  "CMakeFiles/mfgcp_common.dir/common/config.cc.o.d"
+  "CMakeFiles/mfgcp_common.dir/common/csv.cc.o"
+  "CMakeFiles/mfgcp_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/mfgcp_common.dir/common/logging.cc.o"
+  "CMakeFiles/mfgcp_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/mfgcp_common.dir/common/math_util.cc.o"
+  "CMakeFiles/mfgcp_common.dir/common/math_util.cc.o.d"
+  "CMakeFiles/mfgcp_common.dir/common/random.cc.o"
+  "CMakeFiles/mfgcp_common.dir/common/random.cc.o.d"
+  "CMakeFiles/mfgcp_common.dir/common/status.cc.o"
+  "CMakeFiles/mfgcp_common.dir/common/status.cc.o.d"
+  "CMakeFiles/mfgcp_common.dir/common/table.cc.o"
+  "CMakeFiles/mfgcp_common.dir/common/table.cc.o.d"
+  "libmfgcp_common.a"
+  "libmfgcp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgcp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/content/catalog.cc" "src/CMakeFiles/mfgcp_content.dir/content/catalog.cc.o" "gcc" "src/CMakeFiles/mfgcp_content.dir/content/catalog.cc.o.d"
+  "/root/repo/src/content/popularity.cc" "src/CMakeFiles/mfgcp_content.dir/content/popularity.cc.o" "gcc" "src/CMakeFiles/mfgcp_content.dir/content/popularity.cc.o.d"
+  "/root/repo/src/content/request.cc" "src/CMakeFiles/mfgcp_content.dir/content/request.cc.o" "gcc" "src/CMakeFiles/mfgcp_content.dir/content/request.cc.o.d"
+  "/root/repo/src/content/timeliness.cc" "src/CMakeFiles/mfgcp_content.dir/content/timeliness.cc.o" "gcc" "src/CMakeFiles/mfgcp_content.dir/content/timeliness.cc.o.d"
+  "/root/repo/src/content/trace.cc" "src/CMakeFiles/mfgcp_content.dir/content/trace.cc.o" "gcc" "src/CMakeFiles/mfgcp_content.dir/content/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfgcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgcp_content.dir/content/catalog.cc.o"
+  "CMakeFiles/mfgcp_content.dir/content/catalog.cc.o.d"
+  "CMakeFiles/mfgcp_content.dir/content/popularity.cc.o"
+  "CMakeFiles/mfgcp_content.dir/content/popularity.cc.o.d"
+  "CMakeFiles/mfgcp_content.dir/content/request.cc.o"
+  "CMakeFiles/mfgcp_content.dir/content/request.cc.o.d"
+  "CMakeFiles/mfgcp_content.dir/content/timeliness.cc.o"
+  "CMakeFiles/mfgcp_content.dir/content/timeliness.cc.o.d"
+  "CMakeFiles/mfgcp_content.dir/content/trace.cc.o"
+  "CMakeFiles/mfgcp_content.dir/content/trace.cc.o.d"
+  "libmfgcp_content.a"
+  "libmfgcp_content.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgcp_content.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

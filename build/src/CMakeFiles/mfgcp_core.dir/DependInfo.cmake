@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/best_response.cc" "src/CMakeFiles/mfgcp_core.dir/core/best_response.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/best_response.cc.o.d"
+  "/root/repo/src/core/best_response_2d.cc" "src/CMakeFiles/mfgcp_core.dir/core/best_response_2d.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/best_response_2d.cc.o.d"
+  "/root/repo/src/core/capacity_planner.cc" "src/CMakeFiles/mfgcp_core.dir/core/capacity_planner.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/capacity_planner.cc.o.d"
+  "/root/repo/src/core/equilibrium_metrics.cc" "src/CMakeFiles/mfgcp_core.dir/core/equilibrium_metrics.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/equilibrium_metrics.cc.o.d"
+  "/root/repo/src/core/finite_game.cc" "src/CMakeFiles/mfgcp_core.dir/core/finite_game.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/finite_game.cc.o.d"
+  "/root/repo/src/core/fpk_solver.cc" "src/CMakeFiles/mfgcp_core.dir/core/fpk_solver.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/fpk_solver.cc.o.d"
+  "/root/repo/src/core/fpk_solver_2d.cc" "src/CMakeFiles/mfgcp_core.dir/core/fpk_solver_2d.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/fpk_solver_2d.cc.o.d"
+  "/root/repo/src/core/hjb_solver.cc" "src/CMakeFiles/mfgcp_core.dir/core/hjb_solver.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/hjb_solver.cc.o.d"
+  "/root/repo/src/core/hjb_solver_2d.cc" "src/CMakeFiles/mfgcp_core.dir/core/hjb_solver_2d.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/hjb_solver_2d.cc.o.d"
+  "/root/repo/src/core/knapsack.cc" "src/CMakeFiles/mfgcp_core.dir/core/knapsack.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/knapsack.cc.o.d"
+  "/root/repo/src/core/mean_field_estimator.cc" "src/CMakeFiles/mfgcp_core.dir/core/mean_field_estimator.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/mean_field_estimator.cc.o.d"
+  "/root/repo/src/core/mfg_cp.cc" "src/CMakeFiles/mfgcp_core.dir/core/mfg_cp.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/mfg_cp.cc.o.d"
+  "/root/repo/src/core/mfg_params.cc" "src/CMakeFiles/mfgcp_core.dir/core/mfg_params.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/mfg_params.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/CMakeFiles/mfgcp_core.dir/core/policy.cc.o" "gcc" "src/CMakeFiles/mfgcp_core.dir/core/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfgcp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_sde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_econ.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

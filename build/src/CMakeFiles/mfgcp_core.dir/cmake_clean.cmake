@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgcp_core.dir/core/best_response.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/best_response.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/best_response_2d.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/best_response_2d.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/capacity_planner.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/capacity_planner.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/equilibrium_metrics.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/equilibrium_metrics.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/finite_game.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/finite_game.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/fpk_solver.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/fpk_solver.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/fpk_solver_2d.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/fpk_solver_2d.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/hjb_solver.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/hjb_solver.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/hjb_solver_2d.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/hjb_solver_2d.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/knapsack.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/knapsack.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/mean_field_estimator.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/mean_field_estimator.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/mfg_cp.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/mfg_cp.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/mfg_params.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/mfg_params.cc.o.d"
+  "CMakeFiles/mfgcp_core.dir/core/policy.cc.o"
+  "CMakeFiles/mfgcp_core.dir/core/policy.cc.o.d"
+  "libmfgcp_core.a"
+  "libmfgcp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgcp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

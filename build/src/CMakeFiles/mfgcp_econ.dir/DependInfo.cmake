@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/econ/case_probabilities.cc" "src/CMakeFiles/mfgcp_econ.dir/econ/case_probabilities.cc.o" "gcc" "src/CMakeFiles/mfgcp_econ.dir/econ/case_probabilities.cc.o.d"
+  "/root/repo/src/econ/costs.cc" "src/CMakeFiles/mfgcp_econ.dir/econ/costs.cc.o" "gcc" "src/CMakeFiles/mfgcp_econ.dir/econ/costs.cc.o.d"
+  "/root/repo/src/econ/pricing.cc" "src/CMakeFiles/mfgcp_econ.dir/econ/pricing.cc.o" "gcc" "src/CMakeFiles/mfgcp_econ.dir/econ/pricing.cc.o.d"
+  "/root/repo/src/econ/smooth_heaviside.cc" "src/CMakeFiles/mfgcp_econ.dir/econ/smooth_heaviside.cc.o" "gcc" "src/CMakeFiles/mfgcp_econ.dir/econ/smooth_heaviside.cc.o.d"
+  "/root/repo/src/econ/utility.cc" "src/CMakeFiles/mfgcp_econ.dir/econ/utility.cc.o" "gcc" "src/CMakeFiles/mfgcp_econ.dir/econ/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfgcp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_sde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgcp_econ.dir/econ/case_probabilities.cc.o"
+  "CMakeFiles/mfgcp_econ.dir/econ/case_probabilities.cc.o.d"
+  "CMakeFiles/mfgcp_econ.dir/econ/costs.cc.o"
+  "CMakeFiles/mfgcp_econ.dir/econ/costs.cc.o.d"
+  "CMakeFiles/mfgcp_econ.dir/econ/pricing.cc.o"
+  "CMakeFiles/mfgcp_econ.dir/econ/pricing.cc.o.d"
+  "CMakeFiles/mfgcp_econ.dir/econ/smooth_heaviside.cc.o"
+  "CMakeFiles/mfgcp_econ.dir/econ/smooth_heaviside.cc.o.d"
+  "CMakeFiles/mfgcp_econ.dir/econ/utility.cc.o"
+  "CMakeFiles/mfgcp_econ.dir/econ/utility.cc.o.d"
+  "libmfgcp_econ.a"
+  "libmfgcp_econ.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgcp_econ.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

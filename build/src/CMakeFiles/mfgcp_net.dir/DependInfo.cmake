@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/mfgcp_net.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/mfgcp_net.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/geometry.cc" "src/CMakeFiles/mfgcp_net.dir/net/geometry.cc.o" "gcc" "src/CMakeFiles/mfgcp_net.dir/net/geometry.cc.o.d"
+  "/root/repo/src/net/rate.cc" "src/CMakeFiles/mfgcp_net.dir/net/rate.cc.o" "gcc" "src/CMakeFiles/mfgcp_net.dir/net/rate.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/mfgcp_net.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/mfgcp_net.dir/net/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfgcp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_sde.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

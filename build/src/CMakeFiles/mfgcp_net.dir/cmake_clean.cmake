@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgcp_net.dir/net/channel.cc.o"
+  "CMakeFiles/mfgcp_net.dir/net/channel.cc.o.d"
+  "CMakeFiles/mfgcp_net.dir/net/geometry.cc.o"
+  "CMakeFiles/mfgcp_net.dir/net/geometry.cc.o.d"
+  "CMakeFiles/mfgcp_net.dir/net/rate.cc.o"
+  "CMakeFiles/mfgcp_net.dir/net/rate.cc.o.d"
+  "CMakeFiles/mfgcp_net.dir/net/topology.cc.o"
+  "CMakeFiles/mfgcp_net.dir/net/topology.cc.o.d"
+  "libmfgcp_net.a"
+  "libmfgcp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgcp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/density.cc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/density.cc.o" "gcc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/density.cc.o.d"
+  "/root/repo/src/numerics/field2d.cc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/field2d.cc.o" "gcc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/field2d.cc.o.d"
+  "/root/repo/src/numerics/finite_difference.cc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/finite_difference.cc.o" "gcc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/finite_difference.cc.o.d"
+  "/root/repo/src/numerics/grid.cc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/grid.cc.o" "gcc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/grid.cc.o.d"
+  "/root/repo/src/numerics/interpolation.cc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/interpolation.cc.o" "gcc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/interpolation.cc.o.d"
+  "/root/repo/src/numerics/quadrature.cc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/quadrature.cc.o" "gcc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/quadrature.cc.o.d"
+  "/root/repo/src/numerics/tridiagonal.cc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/tridiagonal.cc.o" "gcc" "src/CMakeFiles/mfgcp_numerics.dir/numerics/tridiagonal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfgcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

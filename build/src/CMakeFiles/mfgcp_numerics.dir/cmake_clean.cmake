@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgcp_numerics.dir/numerics/density.cc.o"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/density.cc.o.d"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/field2d.cc.o"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/field2d.cc.o.d"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/finite_difference.cc.o"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/finite_difference.cc.o.d"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/grid.cc.o"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/grid.cc.o.d"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/interpolation.cc.o"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/interpolation.cc.o.d"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/quadrature.cc.o"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/quadrature.cc.o.d"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/tridiagonal.cc.o"
+  "CMakeFiles/mfgcp_numerics.dir/numerics/tridiagonal.cc.o.d"
+  "libmfgcp_numerics.a"
+  "libmfgcp_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgcp_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sde/brownian.cc" "src/CMakeFiles/mfgcp_sde.dir/sde/brownian.cc.o" "gcc" "src/CMakeFiles/mfgcp_sde.dir/sde/brownian.cc.o.d"
+  "/root/repo/src/sde/euler_maruyama.cc" "src/CMakeFiles/mfgcp_sde.dir/sde/euler_maruyama.cc.o" "gcc" "src/CMakeFiles/mfgcp_sde.dir/sde/euler_maruyama.cc.o.d"
+  "/root/repo/src/sde/ornstein_uhlenbeck.cc" "src/CMakeFiles/mfgcp_sde.dir/sde/ornstein_uhlenbeck.cc.o" "gcc" "src/CMakeFiles/mfgcp_sde.dir/sde/ornstein_uhlenbeck.cc.o.d"
+  "/root/repo/src/sde/path_statistics.cc" "src/CMakeFiles/mfgcp_sde.dir/sde/path_statistics.cc.o" "gcc" "src/CMakeFiles/mfgcp_sde.dir/sde/path_statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfgcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgcp_sde.dir/sde/brownian.cc.o"
+  "CMakeFiles/mfgcp_sde.dir/sde/brownian.cc.o.d"
+  "CMakeFiles/mfgcp_sde.dir/sde/euler_maruyama.cc.o"
+  "CMakeFiles/mfgcp_sde.dir/sde/euler_maruyama.cc.o.d"
+  "CMakeFiles/mfgcp_sde.dir/sde/ornstein_uhlenbeck.cc.o"
+  "CMakeFiles/mfgcp_sde.dir/sde/ornstein_uhlenbeck.cc.o.d"
+  "CMakeFiles/mfgcp_sde.dir/sde/path_statistics.cc.o"
+  "CMakeFiles/mfgcp_sde.dir/sde/path_statistics.cc.o.d"
+  "libmfgcp_sde.a"
+  "libmfgcp_sde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgcp_sde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

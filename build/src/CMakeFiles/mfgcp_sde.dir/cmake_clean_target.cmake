@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmfgcp_sde.a"
+)

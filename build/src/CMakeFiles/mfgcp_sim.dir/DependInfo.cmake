@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/edp.cc" "src/CMakeFiles/mfgcp_sim.dir/sim/edp.cc.o" "gcc" "src/CMakeFiles/mfgcp_sim.dir/sim/edp.cc.o.d"
+  "/root/repo/src/sim/epoch_runner.cc" "src/CMakeFiles/mfgcp_sim.dir/sim/epoch_runner.cc.o" "gcc" "src/CMakeFiles/mfgcp_sim.dir/sim/epoch_runner.cc.o.d"
+  "/root/repo/src/sim/market.cc" "src/CMakeFiles/mfgcp_sim.dir/sim/market.cc.o" "gcc" "src/CMakeFiles/mfgcp_sim.dir/sim/market.cc.o.d"
+  "/root/repo/src/sim/metrics.cc" "src/CMakeFiles/mfgcp_sim.dir/sim/metrics.cc.o" "gcc" "src/CMakeFiles/mfgcp_sim.dir/sim/metrics.cc.o.d"
+  "/root/repo/src/sim/requester.cc" "src/CMakeFiles/mfgcp_sim.dir/sim/requester.cc.o" "gcc" "src/CMakeFiles/mfgcp_sim.dir/sim/requester.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/mfgcp_sim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/mfgcp_sim.dir/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mfgcp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_numerics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_econ.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_sde.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_content.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mfgcp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfgcp_sim.dir/sim/edp.cc.o"
+  "CMakeFiles/mfgcp_sim.dir/sim/edp.cc.o.d"
+  "CMakeFiles/mfgcp_sim.dir/sim/epoch_runner.cc.o"
+  "CMakeFiles/mfgcp_sim.dir/sim/epoch_runner.cc.o.d"
+  "CMakeFiles/mfgcp_sim.dir/sim/market.cc.o"
+  "CMakeFiles/mfgcp_sim.dir/sim/market.cc.o.d"
+  "CMakeFiles/mfgcp_sim.dir/sim/metrics.cc.o"
+  "CMakeFiles/mfgcp_sim.dir/sim/metrics.cc.o.d"
+  "CMakeFiles/mfgcp_sim.dir/sim/requester.cc.o"
+  "CMakeFiles/mfgcp_sim.dir/sim/requester.cc.o.d"
+  "CMakeFiles/mfgcp_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/mfgcp_sim.dir/sim/simulator.cc.o.d"
+  "libmfgcp_sim.a"
+  "libmfgcp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfgcp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_response_test.dir/core/best_response_test.cc.o"
+  "CMakeFiles/best_response_test.dir/core/best_response_test.cc.o.d"
+  "best_response_test"
+  "best_response_test.pdb"
+  "best_response_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_response_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_planner_test.dir/core/capacity_planner_test.cc.o"
+  "CMakeFiles/capacity_planner_test.dir/core/capacity_planner_test.cc.o.d"
+  "capacity_planner_test"
+  "capacity_planner_test.pdb"
+  "capacity_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_probabilities_test.dir/econ/case_probabilities_test.cc.o"
+  "CMakeFiles/case_probabilities_test.dir/econ/case_probabilities_test.cc.o.d"
+  "case_probabilities_test"
+  "case_probabilities_test.pdb"
+  "case_probabilities_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_probabilities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costs_test.dir/econ/costs_test.cc.o"
+  "CMakeFiles/costs_test.dir/econ/costs_test.cc.o.d"
+  "costs_test"
+  "costs_test.pdb"
+  "costs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

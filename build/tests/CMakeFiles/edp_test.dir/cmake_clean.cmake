@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edp_test.dir/sim/edp_test.cc.o"
+  "CMakeFiles/edp_test.dir/sim/edp_test.cc.o.d"
+  "edp_test"
+  "edp_test.pdb"
+  "edp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

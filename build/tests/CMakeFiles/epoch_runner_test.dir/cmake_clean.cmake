@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_runner_test.dir/sim/epoch_runner_test.cc.o"
+  "CMakeFiles/epoch_runner_test.dir/sim/epoch_runner_test.cc.o.d"
+  "epoch_runner_test"
+  "epoch_runner_test.pdb"
+  "epoch_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

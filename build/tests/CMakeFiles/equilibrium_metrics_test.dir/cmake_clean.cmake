@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equilibrium_metrics_test.dir/core/equilibrium_metrics_test.cc.o"
+  "CMakeFiles/equilibrium_metrics_test.dir/core/equilibrium_metrics_test.cc.o.d"
+  "equilibrium_metrics_test"
+  "equilibrium_metrics_test.pdb"
+  "equilibrium_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equilibrium_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

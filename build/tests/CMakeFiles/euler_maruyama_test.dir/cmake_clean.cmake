@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/euler_maruyama_test.dir/sde/euler_maruyama_test.cc.o"
+  "CMakeFiles/euler_maruyama_test.dir/sde/euler_maruyama_test.cc.o.d"
+  "euler_maruyama_test"
+  "euler_maruyama_test.pdb"
+  "euler_maruyama_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/euler_maruyama_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field2d_test.dir/numerics/field2d_test.cc.o"
+  "CMakeFiles/field2d_test.dir/numerics/field2d_test.cc.o.d"
+  "field2d_test"
+  "field2d_test.pdb"
+  "field2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_difference_test.dir/numerics/finite_difference_test.cc.o"
+  "CMakeFiles/finite_difference_test.dir/numerics/finite_difference_test.cc.o.d"
+  "finite_difference_test"
+  "finite_difference_test.pdb"
+  "finite_difference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_difference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finite_game_test.dir/core/finite_game_test.cc.o"
+  "CMakeFiles/finite_game_test.dir/core/finite_game_test.cc.o.d"
+  "finite_game_test"
+  "finite_game_test.pdb"
+  "finite_game_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finite_game_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpk_solver_test.dir/core/fpk_solver_test.cc.o"
+  "CMakeFiles/fpk_solver_test.dir/core/fpk_solver_test.cc.o.d"
+  "fpk_solver_test"
+  "fpk_solver_test.pdb"
+  "fpk_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpk_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hjb_solver_test.dir/core/hjb_solver_test.cc.o"
+  "CMakeFiles/hjb_solver_test.dir/core/hjb_solver_test.cc.o.d"
+  "hjb_solver_test"
+  "hjb_solver_test.pdb"
+  "hjb_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hjb_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

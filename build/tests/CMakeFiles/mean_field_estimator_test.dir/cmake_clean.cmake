@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mean_field_estimator_test.dir/core/mean_field_estimator_test.cc.o"
+  "CMakeFiles/mean_field_estimator_test.dir/core/mean_field_estimator_test.cc.o.d"
+  "mean_field_estimator_test"
+  "mean_field_estimator_test.pdb"
+  "mean_field_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mean_field_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfg_cp_test.dir/core/mfg_cp_test.cc.o"
+  "CMakeFiles/mfg_cp_test.dir/core/mfg_cp_test.cc.o.d"
+  "mfg_cp_test"
+  "mfg_cp_test.pdb"
+  "mfg_cp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfg_cp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

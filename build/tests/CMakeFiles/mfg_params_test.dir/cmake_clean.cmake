@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfg_params_test.dir/core/mfg_params_test.cc.o"
+  "CMakeFiles/mfg_params_test.dir/core/mfg_params_test.cc.o.d"
+  "mfg_params_test"
+  "mfg_params_test.pdb"
+  "mfg_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfg_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

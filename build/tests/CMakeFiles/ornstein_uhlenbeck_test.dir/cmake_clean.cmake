@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ornstein_uhlenbeck_test.dir/sde/ornstein_uhlenbeck_test.cc.o"
+  "CMakeFiles/ornstein_uhlenbeck_test.dir/sde/ornstein_uhlenbeck_test.cc.o.d"
+  "ornstein_uhlenbeck_test"
+  "ornstein_uhlenbeck_test.pdb"
+  "ornstein_uhlenbeck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ornstein_uhlenbeck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

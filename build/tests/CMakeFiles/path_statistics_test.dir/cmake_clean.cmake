@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_statistics_test.dir/sde/path_statistics_test.cc.o"
+  "CMakeFiles/path_statistics_test.dir/sde/path_statistics_test.cc.o.d"
+  "path_statistics_test"
+  "path_statistics_test.pdb"
+  "path_statistics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_statistics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_test.dir/net/rate_test.cc.o"
+  "CMakeFiles/rate_test.dir/net/rate_test.cc.o.d"
+  "rate_test"
+  "rate_test.pdb"
+  "rate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

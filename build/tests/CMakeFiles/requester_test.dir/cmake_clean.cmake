@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/requester_test.dir/sim/requester_test.cc.o"
+  "CMakeFiles/requester_test.dir/sim/requester_test.cc.o.d"
+  "requester_test"
+  "requester_test.pdb"
+  "requester_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/requester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smooth_heaviside_test.dir/econ/smooth_heaviside_test.cc.o"
+  "CMakeFiles/smooth_heaviside_test.dir/econ/smooth_heaviside_test.cc.o.d"
+  "smooth_heaviside_test"
+  "smooth_heaviside_test.pdb"
+  "smooth_heaviside_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smooth_heaviside_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_2d_test.dir/core/solvers_2d_test.cc.o"
+  "CMakeFiles/solvers_2d_test.dir/core/solvers_2d_test.cc.o.d"
+  "solvers_2d_test"
+  "solvers_2d_test.pdb"
+  "solvers_2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeliness_test.dir/content/timeliness_test.cc.o"
+  "CMakeFiles/timeliness_test.dir/content/timeliness_test.cc.o.d"
+  "timeliness_test"
+  "timeliness_test.pdb"
+  "timeliness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeliness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tridiagonal_test.dir/numerics/tridiagonal_test.cc.o"
+  "CMakeFiles/tridiagonal_test.dir/numerics/tridiagonal_test.cc.o.d"
+  "tridiagonal_test"
+  "tridiagonal_test.pdb"
+  "tridiagonal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tridiagonal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
