@@ -50,8 +50,8 @@ void Run(const common::Config& config) {
     MFG_CHECK(report.ok()) << report.status();
     return report->policy_value;
   };
-  const double aware_value = value_of(eq_spiky.hjb.policy);
-  const double flat_value = value_of(eq_flat.hjb.policy);
+  const double aware_value = value_of(eq_spiky.hjb.policy.ToNested());
+  const double flat_value = value_of(eq_flat.hjb.policy.ToNested());
   common::TextTable values({"policy", "value on spiky workload"});
   values.AddRow({"spike-aware equilibrium",
                  common::FormatDouble(aware_value, 6)});

@@ -1,19 +1,69 @@
 // Google-benchmark microbenchmarks of the numerical kernels: one backward
 // HJB sweep, one forward FPK sweep, the mean-field estimator, a full
-// best-response solve, and one simulator slot. These are the budgets
-// behind Table II's "MFG-CP computation time does not increase with M".
+// best-response solve, an end-to-end 64-content PlanEpoch, and one
+// simulator slot. These are the budgets behind Table II's "MFG-CP
+// computation time does not increase with M".
+//
+// Each kernel benchmark reports an `allocs_per_iter` counter backed by the
+// overridden global operator new below. The *Into variants reuse a
+// Workspace plus the previous output's storage and must report 0 after
+// their warm-up call — that is the zero-allocation contract of the flat
+// solver kernels. Export machine-readable results with
+//   bench_micro_solvers --benchmark_out=BENCH_solvers.json \
+//                       --benchmark_out_format=json
+// (see EXPERIMENTS.md).
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "baselines/random_replacement.h"
+#include "common/logging.h"
 #include "core/best_response.h"
 #include "core/fpk_solver.h"
 #include "core/hjb_solver.h"
 #include "core/mean_field_estimator.h"
+#include "core/mfg_cp.h"
 #include "sim/simulator.h"
+
+// Heap-allocation counter: every path into the global allocator bumps
+// g_alloc_count, so a steady-state kernel that reports 0 provably never
+// touches the heap.
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace mfg {
 namespace {
+
+// Runs the benchmark loop while counting heap allocations and attaches
+// the per-iteration average as a counter. `body` is invoked once per
+// iteration after an untimed warm-up call has sized all buffers.
+template <typename Body>
+void LoopCountingAllocs(benchmark::State& state, Body&& body) {
+  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    body();
+  }
+  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(after - before), benchmark::Counter::kAvgIterations);
+}
 
 core::MfgParams Params(std::size_t q_nodes, std::size_t time_steps) {
   core::MfgParams params = core::DefaultPaperParams();
@@ -22,20 +72,42 @@ core::MfgParams Params(std::size_t q_nodes, std::size_t time_steps) {
   return params;
 }
 
-void BM_HjbSolve(benchmark::State& state) {
-  core::MfgParams params =
-      Params(static_cast<std::size_t>(state.range(0)), 100);
-  auto solver = core::HjbSolver1D::Create(params).value();
-  std::vector<core::MeanFieldQuantities> mf(101);
+std::vector<core::MeanFieldQuantities> ConstantMeanField(std::size_t nt) {
+  std::vector<core::MeanFieldQuantities> mf(nt + 1);
   for (auto& q : mf) {
     q.price = 5.0;
     q.mean_peer_remaining = 50.0;
   }
-  for (auto _ : state) {
+  return mf;
+}
+
+void BM_HjbSolve(benchmark::State& state) {
+  core::MfgParams params =
+      Params(static_cast<std::size_t>(state.range(0)), 100);
+  auto solver = core::HjbSolver1D::Create(params).value();
+  auto mf = ConstantMeanField(100);
+  LoopCountingAllocs(state, [&] {
     benchmark::DoNotOptimize(solver.Solve(mf).value());
-  }
+  });
 }
 BENCHMARK(BM_HjbSolve)->Arg(41)->Arg(81)->Arg(161);
+
+// Steady-state variant: workspace and solution storage persist across
+// iterations, so after the untimed warm-up call every sweep runs with
+// allocs_per_iter == 0.
+void BM_HjbSolveInto(benchmark::State& state) {
+  core::MfgParams params =
+      Params(static_cast<std::size_t>(state.range(0)), 100);
+  auto solver = core::HjbSolver1D::Create(params).value();
+  auto mf = ConstantMeanField(100);
+  core::HjbSolver1D::Workspace workspace;
+  core::HjbSolution solution;
+  MFG_CHECK(solver.SolveInto(mf, workspace, solution).ok());  // Warm-up.
+  LoopCountingAllocs(state, [&] {
+    benchmark::DoNotOptimize(solver.SolveInto(mf, workspace, solution));
+  });
+}
+BENCHMARK(BM_HjbSolveInto)->Arg(41)->Arg(81)->Arg(161);
 
 void BM_FpkSolve(benchmark::State& state) {
   core::MfgParams params =
@@ -44,11 +116,28 @@ void BM_FpkSolve(benchmark::State& state) {
   auto initial = solver.MakeInitialDensity().value();
   std::vector<std::vector<double>> policy(
       101, std::vector<double>(params.grid.num_q_nodes, 0.5));
-  for (auto _ : state) {
+  LoopCountingAllocs(state, [&] {
     benchmark::DoNotOptimize(solver.Solve(initial, policy).value());
-  }
+  });
 }
 BENCHMARK(BM_FpkSolve)->Arg(41)->Arg(81)->Arg(161);
+
+void BM_FpkSolveInto(benchmark::State& state) {
+  core::MfgParams params =
+      Params(static_cast<std::size_t>(state.range(0)), 100);
+  auto solver = core::FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  numerics::TimeField2D policy(101, params.grid.num_q_nodes, 0.5);
+  core::FpkSolver1D::Workspace workspace;
+  core::FpkSolution solution;
+  MFG_CHECK(
+      solver.SolveInto(initial, policy, workspace, solution).ok());
+  LoopCountingAllocs(state, [&] {
+    benchmark::DoNotOptimize(
+        solver.SolveInto(initial, policy, workspace, solution));
+  });
+}
+BENCHMARK(BM_FpkSolveInto)->Arg(41)->Arg(81)->Arg(161);
 
 void BM_MeanFieldEstimate(benchmark::State& state) {
   core::MfgParams params =
@@ -57,9 +146,13 @@ void BM_MeanFieldEstimate(benchmark::State& state) {
   auto fpk = core::FpkSolver1D::Create(params).value();
   auto density = fpk.MakeInitialDensity().value();
   std::vector<double> policy(params.grid.num_q_nodes, 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(estimator.Estimate(density, policy).value());
-  }
+  core::MeanFieldEstimator::Workspace workspace;
+  core::MeanFieldQuantities out;
+  MFG_CHECK(estimator.EstimateInto(density, policy, workspace, out).ok());
+  LoopCountingAllocs(state, [&] {
+    benchmark::DoNotOptimize(
+        estimator.EstimateInto(density, policy, workspace, out));
+  });
 }
 BENCHMARK(BM_MeanFieldEstimate)->Arg(101)->Arg(401);
 
@@ -68,11 +161,38 @@ void BM_BestResponseSolve(benchmark::State& state) {
       Params(static_cast<std::size_t>(state.range(0)), 100);
   params.learning.max_iterations = 40;
   auto learner = core::BestResponseLearner::Create(params).value();
-  for (auto _ : state) {
+  LoopCountingAllocs(state, [&] {
     benchmark::DoNotOptimize(learner.Solve().value());
-  }
+  });
 }
 BENCHMARK(BM_BestResponseSolve)->Arg(41)->Arg(81)->Unit(benchmark::kMillisecond);
+
+// End-to-end Alg. 1 epoch over a 64-content Zipf catalog: the per-epoch
+// planning cost an operator actually pays. Runs serial so the time is one
+// core's worth of the K' equilibrium solves.
+void BM_PlanEpoch64(benchmark::State& state) {
+  constexpr std::size_t kContents = 64;
+  core::MfgCpOptions options;
+  options.base_params.grid.num_q_nodes = 41;
+  options.base_params.grid.num_time_steps = 50;
+  options.base_params.learning.max_iterations = 25;
+  auto catalog = content::Catalog::CreateUniform(kContents, 100.0).value();
+  auto popularity =
+      content::PopularityModel::CreateZipf(kContents, 0.8).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  auto framework =
+      core::MfgCpFramework::Create(options, catalog, popularity, timeliness)
+          .value();
+  core::EpochObservation obs;
+  obs.request_counts.assign(kContents, 10);
+  obs.mean_timeliness.assign(kContents, 2.5);
+  obs.mean_remaining.assign(kContents, 70.0);
+  LoopCountingAllocs(state, [&] {
+    benchmark::DoNotOptimize(framework.PlanEpoch(obs).value());
+  });
+}
+BENCHMARK(BM_PlanEpoch64)->Unit(benchmark::kMillisecond);
 
 // One full simulated slot's cost per EDP count: the per-epoch work that
 // grows with M for decision-per-EDP schemes.

@@ -46,7 +46,7 @@ double Variance(const std::vector<double>& v) {
   return acc / static_cast<double>(v.size() - 1);
 }
 
-double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+double MaxAbsDiff(std::span<const double> a, std::span<const double> b) {
   MFG_CHECK_EQ(a.size(), b.size());
   double max_diff = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -69,7 +69,7 @@ double Sum(const std::vector<double>& v) {
   return sum;
 }
 
-bool AllFinite(const std::vector<double>& v) {
+bool AllFinite(std::span<const double> v) {
   return std::all_of(v.begin(), v.end(),
                      [](double x) { return std::isfinite(x); });
 }

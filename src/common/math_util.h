@@ -2,6 +2,7 @@
 #define MFGCP_COMMON_MATH_UTIL_H_
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 // Small numeric helpers shared across the library.
@@ -29,14 +30,24 @@ double Mean(const std::vector<double>& v);
 // Unbiased sample variance (n-1 denominator). Requires size >= 2.
 double Variance(const std::vector<double>& v);
 
-// Max absolute difference between two equal-length vectors.
-double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b);
+// Max absolute difference between two equal-length sequences. The span
+// overload covers vectors and TimeField2D rows alike; the initializer_list
+// one keeps brace-initialized call sites compiling.
+double MaxAbsDiff(std::span<const double> a, std::span<const double> b);
+inline double MaxAbsDiff(std::initializer_list<double> a,
+                         std::initializer_list<double> b) {
+  return MaxAbsDiff(std::span<const double>(a.begin(), a.size()),
+                    std::span<const double>(b.begin(), b.size()));
+}
 
 // Sum of elements (Kahan-compensated; densities need the extra digits).
 double Sum(const std::vector<double>& v);
 
 // True if every element is finite (no NaN/Inf).
-bool AllFinite(const std::vector<double>& v);
+bool AllFinite(std::span<const double> v);
+inline bool AllFinite(std::initializer_list<double> v) {
+  return AllFinite(std::span<const double>(v.begin(), v.size()));
+}
 
 // x^2; spelled out for readability in cost formulas.
 inline double Square(double x) { return x * x; }

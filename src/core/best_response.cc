@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/math_util.h"
@@ -36,46 +37,55 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nq = params_.grid.num_q_nodes;
 
-  std::vector<std::vector<double>> policy(
-      nt + 1, std::vector<double>(nq, initial_rate));
+  numerics::TimeField2D policy(nt + 1, nq, initial_rate);
+
+  Equilibrium eq;
+  FpkSolver1D::Workspace fpk_ws;
+  HjbSolver1D::Workspace hjb_ws;
+  MeanFieldEstimator::Workspace mf_ws;
 
   // λ trajectory under the initial guess.
-  MFG_ASSIGN_OR_RETURN(FpkSolution fpk, fpk_.Solve(initial, policy));
+  MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, fpk_ws, eq.fpk));
+  eq.hjb.q_grid = eq.fpk.q_grid;
+  eq.hjb.dt = eq.fpk.dt;
+  eq.policy_change_history.reserve(params_.learning.max_iterations);
 
-  Equilibrium eq{HjbSolution{fpk.q_grid, fpk.dt, {}, {}}, std::move(fpk),
-                 {}, 0, false, {}};
+  // Double-buffered per-iteration products: swapped with the copies held in
+  // `eq`, so iteration ψ+1 writes into iteration ψ−1's storage and the loop
+  // is allocation-free once both buffers have warmed up.
+  HjbSolution hjb_buf;
+  std::vector<MeanFieldQuantities> mean_field;
 
   for (std::size_t iter = 1; iter <= params_.learning.max_iterations;
        ++iter) {
     eq.iterations = iter;
 
     // (1) Mean-field quantities per time node from (λ, x).
-    std::vector<MeanFieldQuantities> mean_field(nt + 1);
+    mean_field.resize(nt + 1);
     for (std::size_t n = 0; n <= nt; ++n) {
-      MFG_ASSIGN_OR_RETURN(
-          mean_field[n],
-          estimator_.Estimate(eq.fpk.densities[n], policy[n]));
+      MFG_RETURN_IF_ERROR(estimator_.EstimateInto(
+          eq.fpk.densities[n], policy[n], mf_ws, mean_field[n]));
     }
 
     // (2) Backward HJB -> candidate best response.
-    MFG_ASSIGN_OR_RETURN(HjbSolution hjb, hjb_.Solve(mean_field));
+    MFG_RETURN_IF_ERROR(hjb_.SolveInto(mean_field, hjb_ws, hjb_buf));
 
     // (3) Relaxed policy update + convergence test (Alg. 2, line 6).
     double max_change = 0.0;
     const double gamma = params_.learning.relaxation;
-    for (std::size_t n = 0; n <= nt; ++n) {
-      for (std::size_t i = 0; i < nq; ++i) {
-        const double updated =
-            (1.0 - gamma) * policy[n][i] + gamma * hjb.policy[n][i];
-        max_change = std::max(max_change, std::fabs(updated - policy[n][i]));
-        policy[n][i] = updated;
-      }
+    double* p = policy.data();
+    const double* h = hjb_buf.policy.data();
+    const std::size_t total = (nt + 1) * nq;
+    for (std::size_t k = 0; k < total; ++k) {
+      const double updated = (1.0 - gamma) * p[k] + gamma * h[k];
+      max_change = std::max(max_change, std::fabs(updated - p[k]));
+      p[k] = updated;
     }
     eq.policy_change_history.push_back(max_change);
-    eq.hjb = std::move(hjb);
+    std::swap(eq.hjb, hjb_buf);
     // Expose the *relaxed* policy (the population's actual play).
     eq.hjb.policy = policy;
-    eq.mean_field = std::move(mean_field);
+    std::swap(eq.mean_field, mean_field);
 
     if (max_change < params_.learning.tolerance) {
       eq.converged = true;
@@ -83,7 +93,7 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
     }
 
     // (4) Forward FPK under the relaxed policy.
-    MFG_ASSIGN_OR_RETURN(eq.fpk, fpk_.Solve(initial, policy));
+    MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, fpk_ws, eq.fpk));
   }
 
   if (!eq.converged) {
@@ -95,9 +105,8 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
   // Refresh the mean-field quantities for the final policy/density pair so
   // callers see a consistent triple (x, λ, mf).
   for (std::size_t n = 0; n <= nt; ++n) {
-    MFG_ASSIGN_OR_RETURN(
-        eq.mean_field[n],
-        estimator_.Estimate(eq.fpk.densities[n], eq.hjb.policy[n]));
+    MFG_RETURN_IF_ERROR(estimator_.EstimateInto(
+        eq.fpk.densities[n], eq.hjb.policy[n], mf_ws, eq.mean_field[n]));
   }
   return eq;
 }

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 #include "numerics/density.h"
+#include "numerics/field2d.h"
 
 namespace mfg::core {
 
@@ -30,79 +32,91 @@ common::StatusOr<Equilibrium2D> BestResponseLearner2D::Solve(
   const std::size_t nq = fpk_.q_grid().size();
   const std::size_t nodes = nh * nq;
   MFG_ASSIGN_OR_RETURN(numerics::Grid1D q_grid, params_.MakeQGrid());
+  MFG_ASSIGN_OR_RETURN(
+      numerics::Grid2D grid2d,
+      numerics::Grid2D::Create(fpk_.h_grid(), fpk_.q_grid()));
 
-  std::vector<std::vector<double>> policy(
-      nt + 1, std::vector<double>(nodes, initial_rate));
+  numerics::TimeField2D policy(nt + 1, nodes, initial_rate);
   MFG_ASSIGN_OR_RETURN(std::vector<double> initial,
                        fpk_.MakeInitialDensity());
-  MFG_ASSIGN_OR_RETURN(Fpk2DSolution fpk, fpk_.Solve(initial, policy));
 
-  Equilibrium2D eq{Hjb2DSolution{fpk.h_grid, fpk.q_grid, fpk.dt, {}, {}},
-                   std::move(fpk),
-                   {},
-                   0,
-                   false,
-                   {}};
+  Equilibrium2D eq;
+  FpkSolver2D::Workspace fpk_ws;
+  HjbSolver2D::Workspace hjb_ws;
+  MeanFieldEstimator::Workspace mf_ws;
+  MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, fpk_ws, eq.fpk));
+  eq.hjb.h_grid = eq.fpk.h_grid;
+  eq.hjb.q_grid = eq.fpk.q_grid;
+  eq.hjb.dt = eq.fpk.dt;
+  eq.policy_change_history.reserve(params_.learning.max_iterations);
+
+  // Reusable estimation buffers: the q-marginal is written straight into
+  // the density's storage, and the per-q policy average into one slice.
+  MFG_ASSIGN_OR_RETURN(numerics::Density1D density,
+                       numerics::Density1D::FromSamplesUnchecked(
+                           q_grid, std::vector<double>(nq, 1.0)));
+  std::vector<double> policy_slice(nq, 0.0);
 
   // Estimates the mean-field quantities from the q-marginal of the joint
   // density and the population-mean policy per q node (the estimator's
   // ⟨x⟩ integral needs x(q); we use the density-weighted h-average).
   auto estimate = [&](const Fpk2DSolution& solution,
-                      const std::vector<std::vector<double>>& pol)
-      -> common::StatusOr<std::vector<MeanFieldQuantities>> {
-    std::vector<MeanFieldQuantities> mean_field(nt + 1);
+                      const numerics::TimeField2D& pol,
+                      std::vector<MeanFieldQuantities>& mean_field)
+      -> common::Status {
+    mean_field.resize(nt + 1);
     for (std::size_t n = 0; n <= nt; ++n) {
-      const std::vector<double> marginal = solution.QMarginal(n);
-      MFG_ASSIGN_OR_RETURN(
-          numerics::Density1D density,
-          numerics::Density1D::FromSamplesUnchecked(q_grid, marginal));
+      MFG_RETURN_IF_ERROR(numerics::MarginalizeAxis0Into(
+          grid2d, solution.densities[n], density.mutable_values()));
       MFG_RETURN_IF_ERROR(density.ClipAndNormalize());
       // Density-weighted h-average of the policy per q node.
-      std::vector<double> policy_slice(nq, 0.0);
+      const auto density_row = solution.densities[n];
+      const auto policy_row = pol[n];
       for (std::size_t iq = 0; iq < nq; ++iq) {
         double weighted = 0.0;
         double weight = 0.0;
         for (std::size_t ih = 0; ih < nh; ++ih) {
-          const double w = solution.densities[n][ih * nq + iq];
-          weighted += w * pol[n][ih * nq + iq];
+          const double w = density_row[ih * nq + iq];
+          weighted += w * policy_row[ih * nq + iq];
           weight += w;
         }
         policy_slice[iq] = weight > 1e-300 ? weighted / weight : 0.0;
       }
-      MFG_ASSIGN_OR_RETURN(mean_field[n],
-                           estimator_.Estimate(density, policy_slice));
+      MFG_RETURN_IF_ERROR(estimator_.EstimateInto(
+          density, policy_slice, mf_ws, mean_field[n]));
     }
-    return mean_field;
+    return common::Status::Ok();
   };
+
+  Hjb2DSolution hjb_buf;
+  std::vector<MeanFieldQuantities> mean_field;
 
   for (std::size_t iter = 1; iter <= params_.learning.max_iterations;
        ++iter) {
     eq.iterations = iter;
-    MFG_ASSIGN_OR_RETURN(std::vector<MeanFieldQuantities> mean_field,
-                         estimate(eq.fpk, policy));
-    MFG_ASSIGN_OR_RETURN(Hjb2DSolution hjb, hjb_.Solve(mean_field));
+    MFG_RETURN_IF_ERROR(estimate(eq.fpk, policy, mean_field));
+    MFG_RETURN_IF_ERROR(hjb_.SolveInto(mean_field, hjb_ws, hjb_buf));
 
     double max_change = 0.0;
     const double gamma = params_.learning.relaxation;
-    for (std::size_t n = 0; n <= nt; ++n) {
-      for (std::size_t node = 0; node < nodes; ++node) {
-        const double updated =
-            (1.0 - gamma) * policy[n][node] + gamma * hjb.policy[n][node];
-        max_change =
-            std::max(max_change, std::fabs(updated - policy[n][node]));
-        policy[n][node] = updated;
-      }
+    double* p = policy.data();
+    const double* h = hjb_buf.policy.data();
+    const std::size_t total = (nt + 1) * nodes;
+    for (std::size_t k = 0; k < total; ++k) {
+      const double updated = (1.0 - gamma) * p[k] + gamma * h[k];
+      max_change = std::max(max_change, std::fabs(updated - p[k]));
+      p[k] = updated;
     }
     eq.policy_change_history.push_back(max_change);
-    eq.hjb = std::move(hjb);
+    std::swap(eq.hjb, hjb_buf);
     eq.hjb.policy = policy;
-    eq.mean_field = std::move(mean_field);
+    std::swap(eq.mean_field, mean_field);
 
     if (max_change < params_.learning.tolerance) {
       eq.converged = true;
       break;
     }
-    MFG_ASSIGN_OR_RETURN(eq.fpk, fpk_.Solve(initial, policy));
+    MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, fpk_ws, eq.fpk));
   }
 
   if (!eq.converged) {
@@ -110,7 +124,7 @@ common::StatusOr<Equilibrium2D> BestResponseLearner2D::Solve(
                      << eq.iterations << " iterations (last change "
                      << eq.policy_change_history.back() << ")";
   }
-  MFG_ASSIGN_OR_RETURN(eq.mean_field, estimate(eq.fpk, eq.hjb.policy));
+  MFG_RETURN_IF_ERROR(estimate(eq.fpk, eq.hjb.policy, eq.mean_field));
   return eq;
 }
 

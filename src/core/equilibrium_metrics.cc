@@ -118,7 +118,7 @@ common::StatusOr<ExploitabilityReport> ComputeExploitabilityOfPolicy(
 common::StatusOr<ExploitabilityReport> ComputeExploitability(
     const MfgParams& params, const Equilibrium& equilibrium) {
   return ComputeExploitabilityOfPolicy(params, equilibrium,
-                                       equilibrium.hjb.policy);
+                                       equilibrium.hjb.policy.ToNested());
 }
 
 }  // namespace mfg::core

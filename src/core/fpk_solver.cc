@@ -2,12 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/math_util.h"
 #include "numerics/finite_difference.h"
-#include "numerics/tridiagonal.h"
 
 namespace mfg::core {
+
+FpkSolver1D::FpkSolver1D(const MfgParams& params,
+                         const numerics::Grid1D& q_grid)
+    : params_(params), q_grid_(q_grid) {
+  const std::size_t nq = q_grid_.size();
+  q_coords_.resize(nq);
+  neg_w1_avail_.resize(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    q_coords_[i] = q_grid_.x(i);
+    neg_w1_avail_[i] =
+        -params_.dynamics.w1 * params_.ControlAvailability(q_coords_[i]);
+  }
+}
 
 common::StatusOr<FpkSolver1D> FpkSolver1D::Create(const MfgParams& params) {
   MFG_RETURN_IF_ERROR(params.Validate());
@@ -20,6 +33,15 @@ common::StatusOr<numerics::Density1D> FpkSolver1D::MakeInitialDensity()
   return numerics::Density1D::TruncatedGaussian(
       q_grid_, params_.init_mean_frac * params_.content_size,
       params_.init_std_frac * params_.content_size);
+}
+
+common::StatusOr<FpkSolution> FpkSolver1D::Solve(
+    const numerics::Density1D& initial,
+    const numerics::TimeField2D& policy) const {
+  Workspace workspace;
+  FpkSolution solution;
+  MFG_RETURN_IF_ERROR(SolveInto(initial, policy, workspace, solution));
+  return solution;
 }
 
 common::StatusOr<FpkSolution> FpkSolver1D::Solve(
@@ -40,6 +62,30 @@ common::StatusOr<FpkSolution> FpkSolver1D::Solve(
       return common::Status::InvalidArgument("policy slice size mismatch");
     }
   }
+  numerics::TimeField2D flat(nt + 1, nq);
+  for (std::size_t n = 0; n <= nt; ++n) {
+    std::copy(policy[n].begin(), policy[n].end(), flat[n].begin());
+  }
+  return Solve(initial, flat);
+}
+
+common::Status FpkSolver1D::SolveInto(const numerics::Density1D& initial,
+                                      const numerics::TimeField2D& policy,
+                                      Workspace& ws,
+                                      FpkSolution& solution) const {
+  const std::size_t nt = params_.grid.num_time_steps;
+  const std::size_t nq = q_grid_.size();
+  if (!(initial.grid() == q_grid_)) {
+    return common::Status::InvalidArgument(
+        "initial density grid does not match the solver grid");
+  }
+  if (policy.size() != nt + 1) {
+    return common::Status::InvalidArgument(
+        "policy must have num_time_steps + 1 slices");
+  }
+  if (policy.cols() != nq) {
+    return common::Status::InvalidArgument("policy slice size mismatch");
+  }
 
   const double dt_out = params_.TimeStep();
   const double diffusion =
@@ -51,14 +97,28 @@ common::StatusOr<FpkSolution> FpkSolver1D::Solve(
       1, static_cast<std::size_t>(std::ceil(dt_out / stable_dt)));
   const double dt_sub = dt_out / static_cast<double>(substeps);
 
-  FpkSolution solution{q_grid_, dt_out, {}};
-  solution.densities.reserve(nt + 1);
-  solution.densities.push_back(initial);
+  solution.q_grid = q_grid_;
+  solution.dt = dt_out;
+  // Reuse the previous trajectory's density storage when the shape still
+  // matches (the steady state of the best-response loop); rebuild it via
+  // push_back otherwise.
+  const bool reuse = solution.densities.size() == nt + 1 &&
+                     solution.densities.front().grid() == q_grid_;
+  if (!reuse) {
+    solution.densities.clear();
+    solution.densities.reserve(nt + 1);
+    for (std::size_t n = 0; n <= nt; ++n) {
+      solution.densities.push_back(initial);
+    }
+  } else {
+    solution.densities.front().mutable_values() = initial.values();
+  }
 
   const double dx = q_grid_.dx();
-  std::vector<double> lambda = initial.values();
-  std::vector<double> velocity(nq);
-  std::vector<double> face_flux(nq + 1);
+  const double content_size = params_.content_size;
+  ws.lambda = initial.values();
+  ws.velocity.assign(nq, 0.0);
+  ws.face_flux.assign(nq + 1, 0.0);
 
   // Implicit (backward Euler) assembly: λ^{n+1} satisfies
   //   (I − dt L) λ^{n+1} = λ^n
@@ -70,13 +130,13 @@ common::StatusOr<FpkSolution> FpkSolver1D::Solve(
   // conserved by construction. Boundary faces are absent (reflecting).
   auto implicit_step = [&](std::vector<double>& state, double dt_step)
       -> common::Status {
-    numerics::TridiagonalSystem system;
+    numerics::TridiagonalSystem& system = ws.system;
     system.lower.assign(nq, 0.0);
     system.diag.assign(nq, 1.0);
     system.upper.assign(nq, 0.0);
     system.rhs = state;
     for (std::size_t face = 1; face < nq; ++face) {
-      const double v_face = 0.5 * (velocity[face - 1] + velocity[face]);
+      const double v_face = 0.5 * (ws.velocity[face - 1] + ws.velocity[face]);
       const double v_plus = std::max(v_face, 0.0);
       const double v_minus = std::min(v_face, 0.0);
       const double d_over_dx = diffusion / dx;
@@ -89,22 +149,30 @@ common::StatusOr<FpkSolution> FpkSolver1D::Solve(
       system.diag[face] += -c * (v_minus - d_over_dx);
       system.lower[face] += -c * (v_plus + d_over_dx);
     }
-    MFG_ASSIGN_OR_RETURN(state, numerics::SolveTridiagonal(system));
-    return common::Status::Ok();
+    return numerics::SolveTridiagonalInto(system, ws.tridiagonal, state);
   };
 
   for (std::size_t n = 0; n < nt; ++n) {
+    // Drift b(t_n, q_i) under the node-n policy slice; same expression as
+    // MfgParams::CacheDriftAtNode with the node constants hoisted.
+    const double retention = params_.dynamics.w2 * params_.PopularityAt(n);
+    const double discard =
+        params_.dynamics.w3 *
+        std::pow(params_.dynamics.xi, params_.TimelinessAt(n));
+    const auto policy_row = policy[n];
     for (std::size_t i = 0; i < nq; ++i) {
-      velocity[i] =
-          params_.CacheDriftAtNode(policy[n][i], q_grid_.x(i), n);
+      ws.velocity[i] = content_size * (neg_w1_avail_[i] * policy_row[i] -
+                                       retention + discard);
     }
     if (params_.grid.implicit_fpk) {
-      MFG_RETURN_IF_ERROR(implicit_step(lambda, dt_out));
-      if (!common::AllFinite(lambda)) {
+      MFG_RETURN_IF_ERROR(implicit_step(ws.lambda, dt_out));
+      if (!common::AllFinite(std::span<const double>(ws.lambda))) {
         return common::Status::NumericalError(
             "implicit FPK diverged at time node " + std::to_string(n));
       }
     } else {
+      std::vector<double>& lambda = ws.lambda;
+      std::vector<double>& face_flux = ws.face_flux;
       for (std::size_t sub = 0; sub < substeps; ++sub) {
         // Finite-volume face fluxes: advective donor-cell + central
         // diffusive. Boundary faces (0 and nq) stay zero -> reflecting.
@@ -112,7 +180,7 @@ common::StatusOr<FpkSolution> FpkSolver1D::Solve(
         face_flux[nq] = 0.0;
         for (std::size_t face = 1; face < nq; ++face) {
           const double v_face =
-              0.5 * (velocity[face - 1] + velocity[face]);
+              0.5 * (ws.velocity[face - 1] + ws.velocity[face]);
           const double donor =
               v_face > 0.0 ? lambda[face - 1] : lambda[face];
           const double advective = v_face * donor;
@@ -123,20 +191,18 @@ common::StatusOr<FpkSolution> FpkSolver1D::Solve(
         for (std::size_t i = 0; i < nq; ++i) {
           lambda[i] -= dt_sub * (face_flux[i + 1] - face_flux[i]) / dx;
         }
-        if (!common::AllFinite(lambda)) {
+        if (!common::AllFinite(std::span<const double>(lambda))) {
           return common::Status::NumericalError(
               "FPK density diverged at time node " + std::to_string(n));
         }
       }
     }
-    MFG_ASSIGN_OR_RETURN(numerics::Density1D density,
-                         numerics::Density1D::FromSamplesUnchecked(
-                             q_grid_, lambda));
-    MFG_RETURN_IF_ERROR(density.ClipAndNormalize());
-    lambda = density.values();
-    solution.densities.push_back(std::move(density));
+    numerics::Density1D& out = solution.densities[n + 1];
+    out.mutable_values() = ws.lambda;
+    MFG_RETURN_IF_ERROR(out.ClipAndNormalize());
+    ws.lambda = out.values();
   }
-  return solution;
+  return common::Status::Ok();
 }
 
 }  // namespace mfg::core

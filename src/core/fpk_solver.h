@@ -7,6 +7,8 @@
 #include "core/mfg_params.h"
 #include "numerics/density.h"
 #include "numerics/grid.h"
+#include "numerics/time_field.h"
+#include "numerics/tridiagonal.h"
 
 // Forward Fokker–Planck–Kolmogorov solver (Eq. 15): evolves the mean-field
 // density of the cache state under the population's caching policy,
@@ -20,6 +22,12 @@
 // are central, and boundary faces carry zero flux, so the discrete total
 // mass is conserved to rounding. A guard clips negative undershoot and
 // renormalizes (drift at most O(1e-12) per step in practice; tested).
+//
+// Shapes are validated once per Solve(); the stepping itself runs raw-double
+// kernels with the per-node control availability tabulated at construction.
+// SolveInto reuses a caller Workspace and the previous solution's density
+// storage, so the steady state of the best-response iteration performs no
+// heap allocation.
 
 namespace mfg::core {
 
@@ -33,25 +41,49 @@ struct FpkSolution {
 
 class FpkSolver1D {
  public:
+  // Scratch buffers reused across Solve calls (sized on first use).
+  struct Workspace {
+    std::vector<double> lambda;
+    std::vector<double> velocity;
+    std::vector<double> face_flux;
+    numerics::TridiagonalSystem system;        // Implicit stepping only.
+    numerics::TridiagonalWorkspace tridiagonal;
+  };
+
   static common::StatusOr<FpkSolver1D> Create(const MfgParams& params);
 
   // Evolves `initial` forward under `policy` (policy[n][i] = x at time
   // node n, q node i; needs num_time_steps + 1 slices — the slice at node
   // n drives the interval [t_n, t_{n+1})).
+  common::StatusOr<FpkSolution> Solve(const numerics::Density1D& initial,
+                                      const numerics::TimeField2D& policy)
+      const;
+
+  // Nested-vector convenience overload (tests, benches); rejects ragged
+  // tables, then delegates to the flat-field path.
   common::StatusOr<FpkSolution> Solve(
       const numerics::Density1D& initial,
       const std::vector<std::vector<double>>& policy) const;
+
+  // In-place variant writing into `solution`; when `solution` already holds
+  // a trajectory of matching shape its density storage is reused row by
+  // row, making repeated calls allocation-free.
+  common::Status SolveInto(const numerics::Density1D& initial,
+                           const numerics::TimeField2D& policy,
+                           Workspace& workspace, FpkSolution& solution) const;
 
   // The initial density prescribed by the params (truncated Gaussian with
   // mean init_mean_frac·Q_k and std init_std_frac·Q_k).
   common::StatusOr<numerics::Density1D> MakeInitialDensity() const;
 
  private:
-  FpkSolver1D(const MfgParams& params, const numerics::Grid1D& q_grid)
-      : params_(params), q_grid_(q_grid) {}
+  FpkSolver1D(const MfgParams& params, const numerics::Grid1D& q_grid);
 
   MfgParams params_;
   numerics::Grid1D q_grid_;
+  // Hot-loop invariants: q_i and (−w1)·a(q_i), the drift's control gain.
+  std::vector<double> q_coords_;
+  std::vector<double> neg_w1_avail_;
 };
 
 }  // namespace mfg::core

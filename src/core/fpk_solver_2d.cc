@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/math_util.h"
 #include "numerics/density.h"
@@ -32,6 +33,25 @@ std::vector<double> Fpk2DSolution::HMarginal(std::size_t n) const {
   return numerics::MarginalizeAxis1(MakeGrid2D(h_grid, q_grid),
                                     densities[n])
       .value();
+}
+
+FpkSolver2D::FpkSolver2D(const MfgParams& params,
+                         const numerics::Grid1D& h_grid,
+                         const numerics::Grid1D& q_grid)
+    : params_(params), h_grid_(h_grid), q_grid_(q_grid) {
+  const std::size_t nh = h_grid_.size();
+  const std::size_t nq = q_grid_.size();
+  drift_h_.resize(nh);
+  for (std::size_t ih = 0; ih < nh; ++ih) {
+    drift_h_[ih] = 0.5 * params_.channel.varsigma *
+                   (params_.channel.upsilon - h_grid_.x(ih));
+  }
+  q_coords_.resize(nq);
+  avail_q_.resize(nq);
+  for (std::size_t iq = 0; iq < nq; ++iq) {
+    q_coords_[iq] = q_grid_.x(iq);
+    avail_q_[iq] = params_.ControlAvailability(q_coords_[iq]);
+  }
 }
 
 common::StatusOr<FpkSolver2D> FpkSolver2D::Create(const MfgParams& params) {
@@ -69,7 +89,38 @@ common::StatusOr<std::vector<double>> FpkSolver2D::MakeInitialDensity()
 
 common::StatusOr<Fpk2DSolution> FpkSolver2D::Solve(
     const std::vector<double>& initial,
+    const numerics::TimeField2D& policy) const {
+  Workspace workspace;
+  Fpk2DSolution solution;
+  MFG_RETURN_IF_ERROR(SolveInto(initial, policy, workspace, solution));
+  return solution;
+}
+
+common::StatusOr<Fpk2DSolution> FpkSolver2D::Solve(
+    const std::vector<double>& initial,
     const std::vector<std::vector<double>>& policy) const {
+  const std::size_t nt = params_.grid.num_time_steps;
+  const std::size_t nodes = h_grid_.size() * q_grid_.size();
+  if (policy.size() != nt + 1) {
+    return common::Status::InvalidArgument(
+        "policy must have num_time_steps + 1 slices");
+  }
+  for (const auto& slice : policy) {
+    if (slice.size() != nodes) {
+      return common::Status::InvalidArgument("policy slice size mismatch");
+    }
+  }
+  numerics::TimeField2D flat(nt + 1, nodes);
+  for (std::size_t n = 0; n <= nt; ++n) {
+    std::copy(policy[n].begin(), policy[n].end(), flat[n].begin());
+  }
+  return Solve(initial, flat);
+}
+
+common::Status FpkSolver2D::SolveInto(const std::vector<double>& initial,
+                                      const numerics::TimeField2D& policy,
+                                      Workspace& ws,
+                                      Fpk2DSolution& solution) const {
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nh = h_grid_.size();
   const std::size_t nq = q_grid_.size();
@@ -81,10 +132,8 @@ common::StatusOr<Fpk2DSolution> FpkSolver2D::Solve(
     return common::Status::InvalidArgument(
         "policy must have num_time_steps + 1 slices");
   }
-  for (const auto& slice : policy) {
-    if (slice.size() != nodes) {
-      return common::Status::InvalidArgument("policy slice size mismatch");
-    }
+  if (policy.cols() != nodes) {
+    return common::Status::InvalidArgument("policy slice size mismatch");
   }
 
   const double dt_out = params_.TimeStep();
@@ -110,28 +159,35 @@ common::StatusOr<Fpk2DSolution> FpkSolver2D::Solve(
 
   numerics::Grid2D grid = MakeGrid2D(h_grid_, q_grid_);
 
-  // Per-node drifts (h-drift is time-invariant; q-drift depends on x).
-  std::vector<double> drift_h(nodes);
-  for (std::size_t ih = 0; ih < nh; ++ih) {
-    const double vh = 0.5 * params_.channel.varsigma *
-                      (params_.channel.upsilon - h_grid_.x(ih));
-    for (std::size_t iq = 0; iq < nq; ++iq) drift_h[ih * nq + iq] = vh;
-  }
+  solution.h_grid = h_grid_;
+  solution.q_grid = q_grid_;
+  solution.dt = dt_out;
+  solution.densities.Assign(nt + 1, nodes, 0.0);
+  std::copy(initial.begin(), initial.end(), solution.densities[0].begin());
 
-  Fpk2DSolution solution{h_grid_, q_grid_, dt_out, {}};
-  solution.densities.reserve(nt + 1);
-  solution.densities.push_back(initial);
+  ws.lambda = initial;
+  ws.drift_q.assign(nodes, 0.0);
+  ws.update.assign(nodes, 0.0);
+  std::vector<double>& lambda = ws.lambda;
+  std::vector<double>& drift_q = ws.drift_q;
+  std::vector<double>& update = ws.update;
 
-  std::vector<double> lambda = initial;
-  std::vector<double> drift_q(nodes);
-  std::vector<double> update(nodes);
+  // The q-drift b(t, q) = CacheDriftAt(x, q); its retention and discard
+  // terms use the params' scalar popularity/timeliness, so only the
+  // control part varies with the policy.
+  const double content_size = params_.content_size;
+  const double neg_w1 = -params_.dynamics.w1;
+  const double retention = params_.dynamics.w2 * params_.popularity;
+  const double discard = params_.dynamics.w3 *
+                         std::pow(params_.dynamics.xi, params_.timeliness);
 
   for (std::size_t n = 0; n < nt; ++n) {
+    const auto policy_row = policy[n];
     for (std::size_t ih = 0; ih < nh; ++ih) {
       for (std::size_t iq = 0; iq < nq; ++iq) {
         const std::size_t node = ih * nq + iq;
-        drift_q[node] =
-            params_.CacheDriftAt(policy[n][node], q_grid_.x(iq));
+        const double x_eff = avail_q_[iq] * policy_row[node];
+        drift_q[node] = content_size * (neg_w1 * x_eff - retention + discard);
       }
     }
     for (std::size_t sub = 0; sub < substeps; ++sub) {
@@ -156,7 +212,7 @@ common::StatusOr<Fpk2DSolution> FpkSolver2D::Solve(
         for (std::size_t face = 1; face < nh; ++face) {
           const std::size_t lower = (face - 1) * nq + iq;
           const std::size_t upper = face * nq + iq;
-          const double v_face = 0.5 * (drift_h[lower] + drift_h[upper]);
+          const double v_face = 0.5 * (drift_h_[face - 1] + drift_h_[face]);
           const double donor = v_face > 0.0 ? lambda[lower] : lambda[upper];
           const double flux =
               v_face * donor -
@@ -168,15 +224,16 @@ common::StatusOr<Fpk2DSolution> FpkSolver2D::Solve(
       for (std::size_t node = 0; node < nodes; ++node) {
         lambda[node] += dt_sub * update[node];
       }
-      if (!common::AllFinite(lambda)) {
+      if (!common::AllFinite(std::span<const double>(lambda))) {
         return common::Status::NumericalError(
             "2-D FPK density diverged at time node " + std::to_string(n));
       }
     }
     MFG_RETURN_IF_ERROR(numerics::ClipAndNormalize2D(grid, lambda));
-    solution.densities.push_back(lambda);
+    std::copy(lambda.begin(), lambda.end(),
+              solution.densities[n + 1].begin());
   }
-  return solution;
+  return common::Status::Ok();
 }
 
 }  // namespace mfg::core

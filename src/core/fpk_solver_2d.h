@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "core/mfg_params.h"
 #include "numerics/grid.h"
+#include "numerics/time_field.h"
 
 // Full 2-D Fokker–Planck–Kolmogorov solver over (h, q) — the paper's
 // Eq. (15) with both state coordinates:
@@ -17,6 +18,10 @@
 // diffusive fluxes in each dimension, zero-flux (reflecting) boundaries on
 // all four sides — total probability mass is conserved to rounding
 // (tested).
+//
+// Fields are flat row-major (index = ih * nq + iq); the trajectory is one
+// TimeField2D, and SolveInto reuses a caller Workspace so repeated solves
+// in the 2-D best-response loop do not allocate.
 
 namespace mfg::core {
 
@@ -25,7 +30,7 @@ struct Fpk2DSolution {
   numerics::Grid1D q_grid;
   double dt = 0.0;
   // densities[n] is the row-major (h, q) field at time node n.
-  std::vector<std::vector<double>> densities;
+  numerics::TimeField2D densities;
 
   std::size_t num_time_nodes() const { return densities.size(); }
 
@@ -41,6 +46,13 @@ struct Fpk2DSolution {
 
 class FpkSolver2D {
  public:
+  // Scratch buffers reused across Solve calls (sized on first use).
+  struct Workspace {
+    std::vector<double> lambda;
+    std::vector<double> drift_q;
+    std::vector<double> update;
+  };
+
   static common::StatusOr<FpkSolver2D> Create(const MfgParams& params);
 
   // Initial density: (OU stationary Gaussian in h) × (truncated Gaussian
@@ -51,19 +63,34 @@ class FpkSolver2D {
   // (h, q) field; num_time_steps + 1 slices).
   common::StatusOr<Fpk2DSolution> Solve(
       const std::vector<double>& initial,
+      const numerics::TimeField2D& policy) const;
+
+  // Nested-vector convenience overload (tests, benches); rejects ragged
+  // tables, then delegates to the flat-field path.
+  common::StatusOr<Fpk2DSolution> Solve(
+      const std::vector<double>& initial,
       const std::vector<std::vector<double>>& policy) const;
+
+  // In-place variant writing into `solution`, reusing its trajectory
+  // storage and the caller's workspace.
+  common::Status SolveInto(const std::vector<double>& initial,
+                           const numerics::TimeField2D& policy,
+                           Workspace& workspace, Fpk2DSolution& solution) const;
 
   const numerics::Grid1D& h_grid() const { return h_grid_; }
   const numerics::Grid1D& q_grid() const { return q_grid_; }
 
  private:
   FpkSolver2D(const MfgParams& params, const numerics::Grid1D& h_grid,
-              const numerics::Grid1D& q_grid)
-      : params_(params), h_grid_(h_grid), q_grid_(q_grid) {}
+              const numerics::Grid1D& q_grid);
 
   MfgParams params_;
   numerics::Grid1D h_grid_;
   numerics::Grid1D q_grid_;
+  // Hot-loop invariants per axis: ½ ς_h (υ_h − h_i), q_j, and a(q_j).
+  std::vector<double> drift_h_;
+  std::vector<double> q_coords_;
+  std::vector<double> avail_q_;
 };
 
 }  // namespace mfg::core

@@ -2,11 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/math_util.h"
+#include "econ/costs.h"
+#include "econ/utility.h"
 #include "numerics/finite_difference.h"
 
 namespace mfg::core {
+
+HjbSolver1D::HjbSolver1D(const MfgParams& params,
+                         const numerics::Grid1D& q_grid,
+                         const econ::CaseModel& case_model)
+    : params_(params), q_grid_(q_grid), case_model_(case_model) {
+  const std::size_t nq = q_grid_.size();
+  q_coords_.resize(nq);
+  avail_.resize(nq);
+  neg_w1_avail_.resize(nq);
+  for (std::size_t i = 0; i < nq; ++i) {
+    q_coords_[i] = q_grid_.x(i);
+    avail_[i] = params_.ControlAvailability(q_coords_[i]);
+    neg_w1_avail_[i] = -params_.dynamics.w1 * avail_[i];
+  }
+  opt_k1_ = params_.utility.staleness.eta2 * params_.content_size /
+            params_.utility.staleness.cloud_rate;
+  opt_k2_ = params_.content_size * params_.dynamics.w1;
+}
 
 common::StatusOr<HjbSolver1D> HjbSolver1D::Create(const MfgParams& params) {
   MFG_RETURN_IF_ERROR(params.Validate());
@@ -18,11 +39,7 @@ common::StatusOr<HjbSolver1D> HjbSolver1D::Create(const MfgParams& params) {
 double HjbSolver1D::OptimalRate(double dq_value, double availability) const {
   const auto& placement = params_.utility.placement;
   const double numerator =
-      placement.w4 +
-      availability * (params_.utility.staleness.eta2 *
-                          params_.content_size /
-                          params_.utility.staleness.cloud_rate +
-                      params_.content_size * params_.dynamics.w1 * dq_value);
+      placement.w4 + availability * (opt_k1_ + opt_k2_ * dq_value);
   return common::ClampUnit(-numerator / (2.0 * placement.w5));
 }
 
@@ -54,6 +71,15 @@ common::StatusOr<double> HjbSolver1D::RunningUtilityAtNode(
 
 common::StatusOr<HjbSolution> HjbSolver1D::Solve(
     const std::vector<MeanFieldQuantities>& mean_field) const {
+  Workspace workspace;
+  HjbSolution solution;
+  MFG_RETURN_IF_ERROR(SolveInto(mean_field, workspace, solution));
+  return solution;
+}
+
+common::Status HjbSolver1D::SolveInto(
+    const std::vector<MeanFieldQuantities>& mean_field, Workspace& ws,
+    HjbSolution& solution) const {
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nq = q_grid_.size();
   if (mean_field.size() != nt + 1) {
@@ -61,10 +87,27 @@ common::StatusOr<HjbSolution> HjbSolver1D::Solve(
         "mean_field must have num_time_steps + 1 entries, got " +
         std::to_string(mean_field.size()));
   }
+  // Preconditions of the econ kernels (ServiceDelay / StalenessCost),
+  // validated once here so the per-node loop can run without StatusOr.
+  const auto& staleness_params = params_.utility.staleness;
+  if (staleness_params.cloud_rate <= 0.0 ||
+      staleness_params.cloud_ondemand_rate <= 0.0) {
+    return common::Status::InvalidArgument("cloud rates must be positive");
+  }
+  if (params_.edge_rate <= 0.0) {
+    return common::Status::InvalidArgument("edge rate must be positive");
+  }
+  if (params_.content_size <= 0.0) {
+    return common::Status::InvalidArgument("content size must be positive");
+  }
+  if (staleness_params.eta2 < 0.0) {
+    return common::Status::InvalidArgument("eta2 must be non-negative");
+  }
 
-  HjbSolution solution{q_grid_, params_.TimeStep(), {}, {}};
-  solution.value.assign(nt + 1, std::vector<double>(nq, 0.0));
-  solution.policy.assign(nt + 1, std::vector<double>(nq, 0.0));
+  solution.q_grid = q_grid_;
+  solution.dt = params_.TimeStep();
+  solution.value.Assign(nt + 1, nq, 0.0);
+  solution.policy.Assign(nt + 1, nq, 0.0);
 
   // Sub-stepping: conservative drift bound over the horizon (profiles
   // included); the diffusion coefficient is ½ ϱ_q².
@@ -76,66 +119,117 @@ common::StatusOr<HjbSolution> HjbSolver1D::Solve(
   const std::size_t substeps = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::ceil(solution.dt / stable_dt)));
   const double dt_sub = solution.dt / static_cast<double>(substeps);
+  const double dx = q_grid_.dx();
+
+  ws.v.assign(nq, 0.0);
+  ws.dv.assign(nq, 0.0);
+  ws.dv_upwind.assign(nq, 0.0);
+  ws.d2v.assign(nq, 0.0);
+  ws.x_star.assign(nq, 0.0);
+  ws.drift.assign(nq, 0.0);
+  ws.upwind_velocity.assign(nq, 0.0);
+  ws.trading.assign(nq, 0.0);
+  ws.rest_delay.assign(nq, 0.0);
+  ws.sharing_cost.assign(nq, 0.0);
+
+  const double content_size = params_.content_size;
+  const double edge_rate = params_.edge_rate;
+  const double cloud_rate = staleness_params.cloud_rate;
+  const double ondemand_rate = staleness_params.cloud_ondemand_rate;
+  const double eta2 = staleness_params.eta2;
+  const double w4 = params_.utility.placement.w4;
+  const double w5 = params_.utility.placement.w5;
+  const double sharing_price = params_.utility.sharing_price;
+  const bool sharing = params_.sharing_enabled;
 
   // Terminal condition V(T, ·) = 0 and the corresponding terminal policy.
-  std::vector<double> v = solution.value[nt];
   {
-    MFG_ASSIGN_OR_RETURN(std::vector<double> dv,
-                         numerics::Gradient(q_grid_, v));
+    numerics::GradientInto(dx, ws.v, ws.dv);
+    const auto policy_row = solution.policy[nt];
     for (std::size_t i = 0; i < nq; ++i) {
-      solution.policy[nt][i] =
-          OptimalRate(dv[i], params_.ControlAvailability(q_grid_.x(i)));
+      policy_row[i] = OptimalRate(ws.dv[i], avail_[i]);
     }
   }
 
-  std::vector<double> drift(nq);
-  std::vector<double> upwind_velocity(nq);
   for (std::size_t n = nt; n-- > 0;) {
     // Mean-field quantities are held at the *start-of-interval* node n
     // (consistent with the FPK forward pass using the policy at node n).
     const MeanFieldQuantities& mf = mean_field[n];
+    const double peer = mf.mean_peer_remaining;
+    const double num_requests = params_.RequestsAt(n);
+    const double retention = params_.dynamics.w2 * params_.PopularityAt(n);
+    const double discard =
+        params_.dynamics.w3 *
+        std::pow(params_.dynamics.xi, params_.TimelinessAt(n));
+    const double share_n = sharing ? mf.sharing_benefit : 0.0;
+    const double served_peer = std::max(content_size - peer, 0.0);
+
+    // Fold everything that is independent of the control x: case
+    // probabilities, trading income, the request-service part of the
+    // delay, and the sharing cost are fixed within the output interval.
+    for (std::size_t i = 0; i < nq; ++i) {
+      const double q = q_coords_[i];
+      econ::CaseProbabilities cases =
+          case_model_.Evaluate(q, peer, content_size);
+      if (!sharing) {
+        cases.p3 += cases.p2;
+        cases.p2 = 0.0;
+      }
+      ws.trading[i] = econ::TradingIncome(num_requests, mf.price, cases,
+                                          content_size, q, peer);
+      const double served_own = std::max(content_size - q, 0.0);
+      const double per_request =
+          cases.p1 * served_own / edge_rate +
+          cases.p2 * served_peer / edge_rate +
+          cases.p3 * (std::max(q, 0.0) / ondemand_rate +
+                      content_size / edge_rate);
+      ws.rest_delay[i] = num_requests * per_request;
+      ws.sharing_cost[i] =
+          sharing ? econ::SharingCost(sharing_price, cases.p2, q, peer) : 0.0;
+    }
+
     for (std::size_t sub = 0; sub < substeps; ++sub) {
-      MFG_ASSIGN_OR_RETURN(std::vector<double> dv_central,
-                           numerics::Gradient(q_grid_, v));
+      numerics::GradientInto(dx, ws.v, ws.dv);
       // Optimal control from the current gradient (Theorem 1).
-      std::vector<double> x_star(nq);
       for (std::size_t i = 0; i < nq; ++i) {
-        const double availability =
-            params_.ControlAvailability(q_grid_.x(i));
-        x_star[i] = OptimalRate(dv_central[i], availability);
-        drift[i] = params_.CacheDriftAtNode(x_star[i], q_grid_.x(i), n);
+        const double x = OptimalRate(ws.dv[i], avail_[i]);
+        ws.x_star[i] = x;
+        const double drift =
+            content_size * (neg_w1_avail_[i] * x - retention + discard);
+        ws.drift[i] = drift;
         // Backward time: in the tau = T - t variable the equation reads
         // dV/dtau + (-drift) dV/dq = ..., so the transport velocity that
         // decides the upwind side is the *negated* drift.
-        upwind_velocity[i] = -drift[i];
+        ws.upwind_velocity[i] = -drift;
       }
-      MFG_ASSIGN_OR_RETURN(
-          std::vector<double> dv_upwind,
-          numerics::UpwindGradient(q_grid_, v, upwind_velocity));
-      MFG_ASSIGN_OR_RETURN(std::vector<double> d2v,
-                           numerics::SecondDerivative(q_grid_, v));
+      numerics::UpwindGradientInto(dx, ws.v, ws.upwind_velocity,
+                                   ws.dv_upwind);
+      numerics::SecondDerivativeInto(dx, ws.v, ws.d2v);
       for (std::size_t i = 0; i < nq; ++i) {
-        MFG_ASSIGN_OR_RETURN(
-            double utility,
-            RunningUtilityAtNode(x_star[i], q_grid_.x(i), mf, n));
+        const double x = ws.x_star[i];
+        double delay = content_size * x * avail_[i] / cloud_rate;
+        delay += ws.rest_delay[i];
+        const double staleness = eta2 * delay;
+        const double placement = w4 * x + w5 * x * x;
+        const double utility = ws.trading[i] + share_n - placement -
+                               staleness - ws.sharing_cost[i];
         const double hamiltonian =
-            drift[i] * dv_upwind[i] + diffusion * d2v[i] + utility;
-        v[i] += dt_sub * hamiltonian;  // Backward: V(t) = V(t+dt) + dt·H.
+            ws.drift[i] * ws.dv_upwind[i] + diffusion * ws.d2v[i] + utility;
+        ws.v[i] += dt_sub * hamiltonian;  // Backward: V(t) = V(t+dt) + dt·H.
       }
-      if (!common::AllFinite(v)) {
+      if (!common::AllFinite(std::span<const double>(ws.v))) {
         return common::Status::NumericalError(
             "HJB value diverged at time node " + std::to_string(n));
       }
     }
-    solution.value[n] = v;
-    MFG_ASSIGN_OR_RETURN(std::vector<double> dv,
-                         numerics::Gradient(q_grid_, v));
+    std::copy(ws.v.begin(), ws.v.end(), solution.value[n].begin());
+    numerics::GradientInto(dx, ws.v, ws.dv);
+    const auto policy_row = solution.policy[n];
     for (std::size_t i = 0; i < nq; ++i) {
-      solution.policy[n][i] =
-          OptimalRate(dv[i], params_.ControlAvailability(q_grid_.x(i)));
+      policy_row[i] = OptimalRate(ws.dv[i], avail_[i]);
     }
   }
-  return solution;
+  return common::Status::Ok();
 }
 
 }  // namespace mfg::core

@@ -7,6 +7,7 @@
 #include "core/mean_field_estimator.h"
 #include "core/mfg_params.h"
 #include "numerics/grid.h"
+#include "numerics/time_field.h"
 
 // Backward Hamilton–Jacobi–Bellman solver for the generic player (Eq. 20):
 //
@@ -23,28 +24,61 @@
 // Discretization: explicit backward Euler with automatic sub-stepping to
 // satisfy the advection/diffusion CFL bound, upwind first derivatives
 // (biased by the drift sign) and central second derivatives.
+//
+// The solver validates inputs once per Solve() and then runs raw-double
+// kernels on flat storage: per-node control availability and the Theorem-1
+// constants are tabulated at construction, the mean-field-dependent utility
+// terms (case probabilities, trading income, request-service delay, sharing
+// cost) are folded per output time node — they do not change across CFL
+// substeps — and only the x-dependent placement and proactive-download
+// terms are evaluated inside the substep loop. SolveInto reuses a caller
+// Workspace so the steady state of the best-response iteration performs no
+// heap allocation.
 
 namespace mfg::core {
 
 // V and x* tabulated on the (time, q) product grid. Index [n][i] is time
-// node t_n = n·dt (n = 0..num_time_steps) and q node i.
+// node t_n = n·dt (n = 0..num_time_steps) and q node i; rows are spans
+// over flat row-major storage.
 struct HjbSolution {
   numerics::Grid1D q_grid;
   double dt = 0.0;
-  std::vector<std::vector<double>> value;   // V(t_n, q_i).
-  std::vector<std::vector<double>> policy;  // x*(t_n, q_i).
+  numerics::TimeField2D value;   // V(t_n, q_i).
+  numerics::TimeField2D policy;  // x*(t_n, q_i).
 
   std::size_t num_time_nodes() const { return value.size(); }
 };
 
 class HjbSolver1D {
  public:
+  // Scratch buffers sized on first use (all length nq); reuse across
+  // Solve calls keeps the backward sweep allocation-free.
+  struct Workspace {
+    std::vector<double> v;
+    std::vector<double> dv;
+    std::vector<double> dv_upwind;
+    std::vector<double> d2v;
+    std::vector<double> x_star;
+    std::vector<double> drift;
+    std::vector<double> upwind_velocity;
+    // Per-time-node mean-field folds (constant across CFL substeps).
+    std::vector<double> trading;
+    std::vector<double> rest_delay;
+    std::vector<double> sharing_cost;
+  };
+
   static common::StatusOr<HjbSolver1D> Create(const MfgParams& params);
 
   // Solves backward from V(T) = 0 given the mean-field quantities at each
   // output time node (`mean_field.size()` must be num_time_steps + 1).
   common::StatusOr<HjbSolution> Solve(
       const std::vector<MeanFieldQuantities>& mean_field) const;
+
+  // In-place variant writing into `solution` (resized/refilled; capacity is
+  // reused at steady state) using `workspace` scratch. Zero allocations
+  // once both have warmed up.
+  common::Status SolveInto(const std::vector<MeanFieldQuantities>& mean_field,
+                           Workspace& workspace, HjbSolution& solution) const;
 
   // Theorem 1's closed-form optimizer given the local value gradient and
   // the control availability a(q) (1 away from the full-cache boundary):
@@ -62,12 +96,18 @@ class HjbSolver1D {
 
  private:
   HjbSolver1D(const MfgParams& params, const numerics::Grid1D& q_grid,
-              const econ::CaseModel& case_model)
-      : params_(params), q_grid_(q_grid), case_model_(case_model) {}
+              const econ::CaseModel& case_model);
 
   MfgParams params_;
   numerics::Grid1D q_grid_;
   econ::CaseModel case_model_;
+
+  // Node tables precomputed at construction (hot-loop invariants).
+  std::vector<double> q_coords_;       // q_i.
+  std::vector<double> avail_;          // a(q_i).
+  std::vector<double> neg_w1_avail_;   // (−w1)·a(q_i), the drift control gain.
+  double opt_k1_ = 0.0;                // (η₂ Q_k) / H_c.
+  double opt_k2_ = 0.0;                // Q_k w1.
 };
 
 }  // namespace mfg::core

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
 
 #include "common/math_util.h"
-#include "core/hjb_solver.h"
-#include "numerics/finite_difference.h"
+#include "econ/costs.h"
+#include "econ/utility.h"
 
 namespace mfg::core {
 
@@ -14,10 +15,41 @@ std::vector<double> Hjb2DSolution::PolicyAtH(std::size_t n,
   const std::size_t ih = h_grid.NearestIndex(h_fix);
   const std::size_t nq = q_grid.size();
   std::vector<double> slice(nq);
+  const auto row = policy[n];
   for (std::size_t iq = 0; iq < nq; ++iq) {
-    slice[iq] = policy[n][Index(ih, iq)];
+    slice[iq] = row[Index(ih, iq)];
   }
   return slice;
+}
+
+HjbSolver2D::HjbSolver2D(const MfgParams& params,
+                         const numerics::Grid1D& h_grid,
+                         const numerics::Grid1D& q_grid,
+                         const econ::CaseModel& case_model)
+    : params_(params),
+      h_grid_(h_grid),
+      q_grid_(q_grid),
+      case_model_(case_model) {
+  const std::size_t nh = h_grid_.size();
+  const std::size_t nq = q_grid_.size();
+  h_coords_.resize(nh);
+  drift_h_.resize(nh);
+  edge_rate_of_.resize(nh);
+  for (std::size_t ih = 0; ih < nh; ++ih) {
+    h_coords_[ih] = h_grid_.x(ih);
+    drift_h_[ih] = 0.5 * params_.channel.varsigma *
+                   (params_.channel.upsilon - h_coords_[ih]);
+    edge_rate_of_[ih] = std::max(params_.EdgeRateAt(h_coords_[ih]), 1e-3);
+  }
+  q_coords_.resize(nq);
+  avail_q_.resize(nq);
+  for (std::size_t iq = 0; iq < nq; ++iq) {
+    q_coords_[iq] = q_grid_.x(iq);
+    avail_q_[iq] = params_.ControlAvailability(q_coords_[iq]);
+  }
+  opt_k1_ = params_.utility.staleness.eta2 * params_.content_size /
+            params_.utility.staleness.cloud_rate;
+  opt_k2_ = params_.content_size * params_.dynamics.w1;
 }
 
 common::StatusOr<HjbSolver2D> HjbSolver2D::Create(const MfgParams& params) {
@@ -26,6 +58,13 @@ common::StatusOr<HjbSolver2D> HjbSolver2D::Create(const MfgParams& params) {
   MFG_ASSIGN_OR_RETURN(numerics::Grid1D q_grid, params.MakeQGrid());
   MFG_ASSIGN_OR_RETURN(econ::CaseModel case_model, params.MakeCaseModel());
   return HjbSolver2D(params, h_grid, q_grid, case_model);
+}
+
+double HjbSolver2D::OptimalRate(double dq_value, double availability) const {
+  const auto& placement = params_.utility.placement;
+  const double numerator =
+      placement.w4 + availability * (opt_k1_ + opt_k2_ * dq_value);
+  return common::ClampUnit(-numerator / (2.0 * placement.w5));
 }
 
 common::StatusOr<double> HjbSolver2D::RunningUtility(
@@ -50,6 +89,15 @@ common::StatusOr<double> HjbSolver2D::RunningUtility(
 
 common::StatusOr<Hjb2DSolution> HjbSolver2D::Solve(
     const std::vector<MeanFieldQuantities>& mean_field) const {
+  Workspace workspace;
+  Hjb2DSolution solution;
+  MFG_RETURN_IF_ERROR(SolveInto(mean_field, workspace, solution));
+  return solution;
+}
+
+common::Status HjbSolver2D::SolveInto(
+    const std::vector<MeanFieldQuantities>& mean_field, Workspace& ws,
+    Hjb2DSolution& solution) const {
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nh = h_grid_.size();
   const std::size_t nq = q_grid_.size();
@@ -58,12 +106,25 @@ common::StatusOr<Hjb2DSolution> HjbSolver2D::Solve(
     return common::Status::InvalidArgument(
         "mean_field must have num_time_steps + 1 entries");
   }
-  // Reuse the 1-D solver's closed-form optimizer (Theorem 1).
-  MFG_ASSIGN_OR_RETURN(HjbSolver1D theorem1, HjbSolver1D::Create(params_));
+  // Preconditions of the econ kernels (ServiceDelay / StalenessCost),
+  // validated once here so the per-node loop can run without StatusOr.
+  const auto& staleness_params = params_.utility.staleness;
+  if (staleness_params.cloud_rate <= 0.0 ||
+      staleness_params.cloud_ondemand_rate <= 0.0) {
+    return common::Status::InvalidArgument("cloud rates must be positive");
+  }
+  if (params_.content_size <= 0.0) {
+    return common::Status::InvalidArgument("content size must be positive");
+  }
+  if (staleness_params.eta2 < 0.0) {
+    return common::Status::InvalidArgument("eta2 must be non-negative");
+  }
 
-  Hjb2DSolution solution{h_grid_, q_grid_, params_.TimeStep(), {}, {}};
-  solution.value.assign(nt + 1, std::vector<double>(nodes, 0.0));
-  solution.policy.assign(nt + 1, std::vector<double>(nodes, 0.0));
+  solution.h_grid = h_grid_;
+  solution.q_grid = q_grid_;
+  solution.dt = params_.TimeStep();
+  solution.value.Assign(nt + 1, nodes, 0.0);
+  solution.policy.Assign(nt + 1, nodes, 0.0);
 
   const double dxq = q_grid_.dx();
   const double dxh = h_grid_.dx();
@@ -86,27 +147,37 @@ common::StatusOr<Hjb2DSolution> HjbSolver2D::Solve(
       1, static_cast<std::size_t>(std::ceil(solution.dt / stable_dt)));
   const double dt_sub = solution.dt / static_cast<double>(substeps);
 
-  // Per-node constants.
-  std::vector<double> h_of(nodes), q_of(nodes), availability(nodes),
-      drift_h(nodes);
-  for (std::size_t ih = 0; ih < nh; ++ih) {
-    for (std::size_t iq = 0; iq < nq; ++iq) {
-      const std::size_t node = ih * nq + iq;
-      h_of[node] = h_grid_.x(ih);
-      q_of[node] = q_grid_.x(iq);
-      availability[node] = params_.ControlAvailability(q_of[node]);
-      drift_h[node] =
-          0.5 * params_.channel.varsigma *
-          (params_.channel.upsilon - h_of[node]);
-    }
-  }
+  ws.v.assign(nodes, 0.0);
+  ws.v_new.assign(nodes, 0.0);
+  ws.x_star.assign(nodes, 0.0);
+  ws.drift_q.assign(nodes, 0.0);
+  ws.rest_delay.assign(nodes, 0.0);
+  ws.p1.assign(nq, 0.0);
+  ws.p2.assign(nq, 0.0);
+  ws.p3.assign(nq, 0.0);
+  ws.trading.assign(nq, 0.0);
+  ws.sharing_cost.assign(nq, 0.0);
 
-  std::vector<double> v(nodes, 0.0);
-  std::vector<double> dvq(nodes), x_star(nodes), drift_q(nodes);
+  const double content_size = params_.content_size;
+  const double cloud_rate = staleness_params.cloud_rate;
+  const double ondemand_rate = staleness_params.cloud_ondemand_rate;
+  const double eta2 = staleness_params.eta2;
+  const double w4 = params_.utility.placement.w4;
+  const double w5 = params_.utility.placement.w5;
+  const double sharing_price = params_.utility.sharing_price;
+  const bool sharing = params_.sharing_enabled;
+  const double num_requests = params_.num_requests;
+  // The q-drift constants: unlike the 1-D solver the 2-D utility uses the
+  // params' scalar popularity/timeliness (no profiles), so the retention
+  // and discard terms of CacheDriftAt are time-invariant.
+  const double neg_w1 = -params_.dynamics.w1;
+  const double retention = params_.dynamics.w2 * params_.popularity;
+  const double discard = params_.dynamics.w3 *
+                         std::pow(params_.dynamics.xi, params_.timeliness);
 
   // Fill policy for a value field (terminal and per-step output).
-  auto fill_policy = [&](const std::vector<double>& value_field,
-                         std::vector<double>& policy_field) {
+  auto fill_policy = [&](std::span<const double> value_field,
+                         std::span<double> policy_field) {
     for (std::size_t ih = 0; ih < nh; ++ih) {
       for (std::size_t iq = 0; iq < nq; ++iq) {
         const std::size_t node = ih * nq + iq;
@@ -119,15 +190,55 @@ common::StatusOr<Hjb2DSolution> HjbSolver2D::Solve(
           dq = (value_field[node + 1] - value_field[node - 1]) /
                (2.0 * dxq);
         }
-        policy_field[node] = theorem1.OptimalRate(dq, availability[node]);
+        policy_field[node] = OptimalRate(dq, avail_q_[iq]);
       }
     }
   };
-  fill_policy(v, solution.policy[nt]);
+  fill_policy(ws.v, solution.policy[nt]);
 
   for (std::size_t n = nt; n-- > 0;) {
     const MeanFieldQuantities& mf = mean_field[n];
+    const double peer = mf.mean_peer_remaining;
+    const double share_n = sharing ? mf.sharing_benefit : 0.0;
+    const double served_peer = std::max(content_size - peer, 0.0);
+
+    // Fold the control-independent utility pieces. The case probabilities,
+    // trading income, and sharing cost depend only on (q, λ); the
+    // request-service delay additionally depends on the h-indexed downlink
+    // rate, so it is tabulated per (h, q) node.
+    for (std::size_t iq = 0; iq < nq; ++iq) {
+      const double q = q_coords_[iq];
+      econ::CaseProbabilities cases =
+          case_model_.Evaluate(q, peer, content_size);
+      if (!sharing) {
+        cases.p3 += cases.p2;
+        cases.p2 = 0.0;
+      }
+      ws.p1[iq] = cases.p1;
+      ws.p2[iq] = cases.p2;
+      ws.p3[iq] = cases.p3;
+      ws.trading[iq] = econ::TradingIncome(num_requests, mf.price, cases,
+                                           content_size, q, peer);
+      ws.sharing_cost[iq] =
+          sharing ? econ::SharingCost(sharing_price, cases.p2, q, peer) : 0.0;
+    }
+    for (std::size_t ih = 0; ih < nh; ++ih) {
+      const double edge_rate = edge_rate_of_[ih];
+      for (std::size_t iq = 0; iq < nq; ++iq) {
+        const std::size_t node = ih * nq + iq;
+        const double q = q_coords_[iq];
+        const double served_own = std::max(content_size - q, 0.0);
+        const double per_request =
+            ws.p1[iq] * served_own / edge_rate +
+            ws.p2[iq] * served_peer / edge_rate +
+            ws.p3[iq] * (std::max(q, 0.0) / ondemand_rate +
+                         content_size / edge_rate);
+        ws.rest_delay[node] = num_requests * per_request;
+      }
+    }
+
     for (std::size_t sub = 0; sub < substeps; ++sub) {
+      std::vector<double>& v = ws.v;
       // Central q-gradient -> optimal control -> q-drift.
       for (std::size_t ih = 0; ih < nh; ++ih) {
         for (std::size_t iq = 0; iq < nq; ++iq) {
@@ -140,21 +251,24 @@ common::StatusOr<Hjb2DSolution> HjbSolver2D::Solve(
           } else {
             dq = (v[node + 1] - v[node - 1]) / (2.0 * dxq);
           }
-          dvq[node] = dq;
-          x_star[node] = theorem1.OptimalRate(dq, availability[node]);
-          drift_q[node] =
-              params_.CacheDriftAt(x_star[node], q_of[node]);
+          const double x = OptimalRate(dq, avail_q_[iq]);
+          ws.x_star[node] = x;
+          // Same expression as MfgParams::CacheDriftAt with the scalar
+          // retention/discard terms hoisted.
+          const double x_eff = avail_q_[iq] * x;
+          ws.drift_q[node] =
+              content_size * (neg_w1 * x_eff - retention + discard);
         }
       }
 
-      std::vector<double> v_new = v;
+      std::copy(ws.v.begin(), ws.v.end(), ws.v_new.begin());
       for (std::size_t ih = 0; ih < nh; ++ih) {
         for (std::size_t iq = 0; iq < nq; ++iq) {
           const std::size_t node = ih * nq + iq;
           // Upwind q-derivative: backward-time transport velocity is
           // -drift, so difference on the side the velocity points from.
           double dvq_up;
-          if (-drift_q[node] > 0.0) {
+          if (-ws.drift_q[node] > 0.0) {
             dvq_up = (iq == 0) ? (v[node + 1] - v[node]) / dxq
                                : (v[node] - v[node - 1]) / dxq;
           } else {
@@ -163,7 +277,7 @@ common::StatusOr<Hjb2DSolution> HjbSolver2D::Solve(
           }
           // Upwind h-derivative, same convention.
           double dvh_up;
-          if (-drift_h[node] > 0.0) {
+          if (-drift_h_[ih] > 0.0) {
             dvh_up = (ih == 0) ? (v[node + nq] - v[node]) / dxh
                                : (v[node] - v[node - nq]) / dxh;
           } else {
@@ -191,25 +305,31 @@ common::StatusOr<Hjb2DSolution> HjbSolver2D::Solve(
                   (dxh * dxh);
           }
 
-          MFG_ASSIGN_OR_RETURN(
-              double utility,
-              RunningUtility(x_star[node], h_of[node], q_of[node], mf));
+          // U(t, x*, h, q, λ) assembled from the folded tables; identical
+          // arithmetic to econ::EvaluateUtility.
+          const double x = ws.x_star[node];
+          double delay = content_size * x * avail_q_[iq] / cloud_rate;
+          delay += ws.rest_delay[node];
+          const double staleness = eta2 * delay;
+          const double placement = w4 * x + w5 * x * x;
+          const double utility = ws.trading[iq] + share_n - placement -
+                                 staleness - ws.sharing_cost[iq];
           const double hamiltonian =
-              drift_q[node] * dvq_up + diffusion_q * d2q +
-              drift_h[node] * dvh_up + diffusion_h * d2h + utility;
-          v_new[node] += dt_sub * hamiltonian;
+              ws.drift_q[node] * dvq_up + diffusion_q * d2q +
+              drift_h_[ih] * dvh_up + diffusion_h * d2h + utility;
+          ws.v_new[node] += dt_sub * hamiltonian;
         }
       }
-      v.swap(v_new);
-      if (!common::AllFinite(v)) {
+      ws.v.swap(ws.v_new);
+      if (!common::AllFinite(std::span<const double>(ws.v))) {
         return common::Status::NumericalError(
             "2-D HJB value diverged at time node " + std::to_string(n));
       }
     }
-    solution.value[n] = v;
-    fill_policy(v, solution.policy[n]);
+    std::copy(ws.v.begin(), ws.v.end(), solution.value[n].begin());
+    fill_policy(ws.v, solution.policy[n]);
   }
-  return solution;
+  return common::Status::Ok();
 }
 
 }  // namespace mfg::core

@@ -7,6 +7,7 @@
 #include "core/mean_field_estimator.h"
 #include "core/mfg_params.h"
 #include "numerics/grid.h"
+#include "numerics/time_field.h"
 
 // Full 2-D Hamilton–Jacobi–Bellman solver over the paper's complete state
 // S = (h, q) — channel fading and remaining cache space (Eq. 20 with both
@@ -23,6 +24,12 @@
 //
 // The 1-D solver (hjb_solver.h) is this equation with h frozen at υ_h;
 // the 2-D/1-D consistency is covered by tests and the ablation bench.
+//
+// Like the 1-D solver, the time stepping runs raw-double kernels on flat
+// row-major fields: everything the control does not touch (case
+// probabilities, trading income, the request-service delay, the sharing
+// cost) is folded per output time node, and SolveInto reuses a caller
+// Workspace so the steady state allocates nothing.
 
 namespace mfg::core {
 
@@ -31,8 +38,8 @@ struct Hjb2DSolution {
   numerics::Grid1D h_grid;
   numerics::Grid1D q_grid;
   double dt = 0.0;
-  std::vector<std::vector<double>> value;   // [time][h*q].
-  std::vector<std::vector<double>> policy;  // [time][h*q].
+  numerics::TimeField2D value;   // [time][h*q].
+  numerics::TimeField2D policy;  // [time][h*q].
 
   std::size_t num_time_nodes() const { return value.size(); }
   std::size_t Index(std::size_t ih, std::size_t iq) const {
@@ -45,12 +52,27 @@ struct Hjb2DSolution {
 
 class HjbSolver2D {
  public:
+  // Scratch buffers reused across Solve calls (sized on first use).
+  struct Workspace {
+    std::vector<double> v, v_new;                 // nh*nq value buffers.
+    std::vector<double> x_star, drift_q;          // nh*nq per-substep.
+    std::vector<double> rest_delay;               // nh*nq per-time-node.
+    std::vector<double> p1, p2, p3;               // nq folded cases.
+    std::vector<double> trading, sharing_cost;    // nq per-time-node.
+  };
+
   static common::StatusOr<HjbSolver2D> Create(const MfgParams& params);
 
   // Solves backward from V(T) = 0 under the per-time mean-field
   // quantities (num_time_steps + 1 entries).
   common::StatusOr<Hjb2DSolution> Solve(
       const std::vector<MeanFieldQuantities>& mean_field) const;
+
+  // In-place variant writing into `solution`, reusing its field storage and
+  // the caller's workspace.
+  common::Status SolveInto(const std::vector<MeanFieldQuantities>& mean_field,
+                           Workspace& workspace,
+                           Hjb2DSolution& solution) const;
 
   // Running utility at state (h, q) with control x: the 1-D utility with
   // the h-dependent downlink rate.
@@ -63,16 +85,23 @@ class HjbSolver2D {
  private:
   HjbSolver2D(const MfgParams& params, const numerics::Grid1D& h_grid,
               const numerics::Grid1D& q_grid,
-              const econ::CaseModel& case_model)
-      : params_(params),
-        h_grid_(h_grid),
-        q_grid_(q_grid),
-        case_model_(case_model) {}
+              const econ::CaseModel& case_model);
+
+  // Theorem 1 maximizer from ∂_q V (same closed form as HjbSolver1D).
+  double OptimalRate(double dq_value, double availability) const;
 
   MfgParams params_;
   numerics::Grid1D h_grid_;
   numerics::Grid1D q_grid_;
   econ::CaseModel case_model_;
+  // Hot-loop invariants tabulated per axis at construction.
+  std::vector<double> h_coords_;      // nh.
+  std::vector<double> q_coords_;      // nq.
+  std::vector<double> avail_q_;       // nq: a(q_i).
+  std::vector<double> drift_h_;       // nh: ½ ς_h (υ_h − h).
+  std::vector<double> edge_rate_of_;  // nh: max(EdgeRateAt(h), 1e-3).
+  double opt_k1_ = 0.0;               // (η₂ Q) / H_c.
+  double opt_k2_ = 0.0;               // Q w1.
 };
 
 }  // namespace mfg::core

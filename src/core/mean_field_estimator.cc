@@ -18,30 +18,59 @@ common::StatusOr<MeanFieldEstimator> MeanFieldEstimator::Create(
 common::StatusOr<MeanFieldQuantities> MeanFieldEstimator::Estimate(
     const numerics::Density1D& density,
     const std::vector<double>& policy_slice) const {
+  Workspace workspace;
+  MeanFieldQuantities out;
+  MFG_RETURN_IF_ERROR(EstimateInto(
+      density, std::span<const double>(policy_slice), workspace, out));
+  return out;
+}
+
+common::Status MeanFieldEstimator::EstimateInto(
+    const numerics::Density1D& density, std::span<const double> policy_slice,
+    Workspace& workspace, MeanFieldQuantities& out) const {
   const numerics::Grid1D& grid = density.grid();
   if (policy_slice.size() != grid.size()) {
     return common::Status::InvalidArgument(
         "policy slice size does not match the density grid");
   }
+  const std::vector<double>& values = density.values();
 
-  MeanFieldQuantities out;
   MFG_ASSIGN_OR_RETURN(
       out.mean_caching_rate,
-      numerics::TrapezoidProduct(grid, density.values(), policy_slice));
+      numerics::TrapezoidProduct(grid, std::span<const double>(values),
+                                 policy_slice));
   // Numerical quadrature can produce tiny negatives near empty regions.
   out.mean_caching_rate = std::clamp(out.mean_caching_rate, 0.0, 1.0);
 
-  out.mean_peer_remaining = density.Mean();
+  // q-weighted samples back both the full first moment (q̄₋) and the two
+  // partial moments of the Δq̄ split — computed once per slice.
+  std::vector<double>& weighted = workspace.weighted;
+  weighted.resize(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    weighted[i] = grid.x(i) * values[i];
+  }
+  MFG_ASSIGN_OR_RETURN(
+      out.mean_peer_remaining,
+      numerics::Trapezoid(grid, std::span<const double>(weighted)));
   out.price = pricing_.MeanFieldPrice(out.mean_peer_remaining,
                                       params_.content_size);
 
   const double threshold = params_.case_alpha * params_.content_size;
-  const double sharer_moment = density.MeanOnInterval(grid.lo(), threshold);
-  const double needer_moment = density.MeanOnInterval(threshold, grid.hi());
+  MFG_ASSIGN_OR_RETURN(
+      const double sharer_moment,
+      numerics::TrapezoidOnInterval(grid, std::span<const double>(weighted),
+                                    grid.lo(), threshold));
+  MFG_ASSIGN_OR_RETURN(
+      const double needer_moment,
+      numerics::TrapezoidOnInterval(grid, std::span<const double>(weighted),
+                                    threshold, grid.hi()));
   out.delta_q = std::fabs(sharer_moment - needer_moment);
 
-  out.sharer_fraction =
-      std::clamp(density.MassOnInterval(grid.lo(), threshold), 0.0, 1.0);
+  MFG_ASSIGN_OR_RETURN(
+      const double sharer_mass,
+      numerics::TrapezoidOnInterval(grid, std::span<const double>(values),
+                                    grid.lo(), threshold));
+  out.sharer_fraction = std::clamp(sharer_mass, 0.0, 1.0);
   const double lacking = 1.0 - out.sharer_fraction;
   out.case3_fraction = lacking * lacking;
 
@@ -55,7 +84,7 @@ common::StatusOr<MeanFieldQuantities> MeanFieldEstimator::Estimate(
     out.sharing_benefit = 0.0;
   }
   if (!params_.sharing_enabled) out.sharing_benefit = 0.0;
-  return out;
+  return common::Status::Ok();
 }
 
 }  // namespace mfg::core

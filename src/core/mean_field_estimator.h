@@ -1,6 +1,7 @@
 #ifndef MFGCP_CORE_MEAN_FIELD_ESTIMATOR_H_
 #define MFGCP_CORE_MEAN_FIELD_ESTIMATOR_H_
 
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -38,6 +39,13 @@ struct MeanFieldQuantities {
 
 class MeanFieldEstimator {
  public:
+  // Scratch buffer for the q-weighted density samples (shared by the mean
+  // and the two partial moments); reuse across Estimate calls keeps the
+  // per-time-node estimation allocation-free.
+  struct Workspace {
+    std::vector<double> weighted;
+  };
+
   // Fails on invalid params (delegates to MfgParams::Validate()).
   static common::StatusOr<MeanFieldEstimator> Create(const MfgParams& params);
 
@@ -46,6 +54,13 @@ class MeanFieldEstimator {
   common::StatusOr<MeanFieldQuantities> Estimate(
       const numerics::Density1D& density,
       const std::vector<double>& policy_slice) const;
+
+  // In-place variant used by the best-response hot loop; accepts flat
+  // policy rows and performs no allocation once `workspace` has warmed up.
+  common::Status EstimateInto(const numerics::Density1D& density,
+                              std::span<const double> policy_slice,
+                              Workspace& workspace,
+                              MeanFieldQuantities& out) const;
 
   const MfgParams& params() const { return params_; }
 

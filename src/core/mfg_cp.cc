@@ -70,6 +70,7 @@ common::StatusOr<EpochPlan> MfgCpFramework::PlanEpoch(
   // (Alg. 1 line 2). Each worker writes only its own slot.
   struct Solved {
     common::Status status;
+    std::optional<MfgParams> params;  // Kept for the collection pass below.
     std::optional<Equilibrium> equilibrium;
   };
   std::vector<Solved> solved(active_ids.size());
@@ -92,6 +93,7 @@ common::StatusOr<EpochPlan> MfgCpFramework::PlanEpoch(
       solved[slot].status = equilibrium.status();
       return;
     }
+    solved[slot].params = std::move(params).value();
     solved[slot].equilibrium = std::move(equilibrium).value();
   };
   const std::size_t workers =
@@ -119,13 +121,11 @@ common::StatusOr<EpochPlan> MfgCpFramework::PlanEpoch(
   for (std::size_t slot = 0; slot < active_ids.size(); ++slot) {
     MFG_RETURN_IF_ERROR(solved[slot].status);
     const content::ContentId k = active_ids[slot];
-    MFG_ASSIGN_OR_RETURN(
-        MfgParams params,
-        ContentParams(k, plan.popularity[k], obs.mean_timeliness[k],
-                      static_cast<double>(obs.request_counts[k])));
+    // The params were already built (and validated) by the worker; reuse
+    // them instead of reconstructing per content.
     MFG_ASSIGN_OR_RETURN(
         std::unique_ptr<MfgPolicy> policy,
-        MfgPolicy::Create(params, *solved[slot].equilibrium));
+        MfgPolicy::Create(*solved[slot].params, *solved[slot].equilibrium));
     plan.policies[k] = std::shared_ptr<MfgPolicy>(std::move(policy));
     plan.equilibria.push_back(std::move(*solved[slot].equilibrium));
     plan.equilibrium_content.push_back(k);

@@ -18,10 +18,8 @@ common::StatusOr<std::unique_ptr<MfgPolicy>> MfgPolicy::Create(
   if (equilibrium.hjb.policy.empty()) {
     return common::Status::InvalidArgument("equilibrium has no policy table");
   }
-  for (const auto& slice : equilibrium.hjb.policy) {
-    if (slice.size() != equilibrium.hjb.q_grid.size()) {
-      return common::Status::InvalidArgument("ragged policy table");
-    }
+  if (equilibrium.hjb.policy.cols() != equilibrium.hjb.q_grid.size()) {
+    return common::Status::InvalidArgument("ragged policy table");
   }
   if (equilibrium.hjb.dt <= 0.0) {
     return common::Status::InvalidArgument("equilibrium has dt <= 0");
@@ -114,8 +112,7 @@ common::StatusOr<std::unique_ptr<MfgPolicy>> MfgPolicy::FromCsv(
       numerics::Grid1D::Create(q_coords.front(), q_coords.back(), nq));
 
   // Rows: t must be a uniform ramp from 0; rates must be in [0, 1].
-  std::vector<std::vector<double>> table(csv.num_rows(),
-                                         std::vector<double>(nq));
+  numerics::TimeField2D table(csv.num_rows(), nq);
   MFG_ASSIGN_OR_RETURN(double t1, csv.CellAsDouble(1, 0));
   MFG_ASSIGN_OR_RETURN(double t0, csv.CellAsDouble(0, 0));
   const double dt = t1 - t0;

@@ -8,6 +8,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "core/best_response.h"
+#include "numerics/time_field.h"
 
 // The caching-policy abstraction shared by MFG-CP and every baseline: a
 // policy maps an EDP's local observation to a caching rate x ∈ [0, 1] for
@@ -81,7 +82,7 @@ class MfgPolicy final : public CachingPolicy {
 
  private:
   MfgPolicy(std::string name, numerics::Grid1D q_grid, double dt,
-            std::vector<std::vector<double>> table)
+            numerics::TimeField2D table)
       : name_(std::move(name)),
         q_grid_(q_grid),
         dt_(dt),
@@ -90,7 +91,7 @@ class MfgPolicy final : public CachingPolicy {
   std::string name_;
   numerics::Grid1D q_grid_;
   double dt_;
-  std::vector<std::vector<double>> table_;  // [time node][q node].
+  numerics::TimeField2D table_;  // [time node][q node].
 };
 
 }  // namespace mfg::core

@@ -7,7 +7,7 @@ namespace mfg::numerics {
 namespace {
 
 common::Status ValidateField(const Grid2D& grid,
-                             const std::vector<double>& field) {
+                             std::span<const double> field) {
   if (field.size() != grid.size()) {
     return common::Status::InvalidArgument(
         "field size " + std::to_string(field.size()) + " != grid size " +
@@ -24,7 +24,7 @@ inline double AxisWeight(std::size_t i, std::size_t n) {
 }  // namespace
 
 common::StatusOr<double> Trapezoid2D(const Grid2D& grid,
-                                     const std::vector<double>& field) {
+                                     std::span<const double> field) {
   MFG_RETURN_IF_ERROR(ValidateField(grid, field));
   const std::size_t n0 = grid.axis0().size();
   const std::size_t n1 = grid.axis1().size();
@@ -38,12 +38,18 @@ common::StatusOr<double> Trapezoid2D(const Grid2D& grid,
   return acc * grid.axis0().dx() * grid.axis1().dx();
 }
 
-common::StatusOr<std::vector<double>> MarginalizeAxis0(
-    const Grid2D& grid, const std::vector<double>& field) {
+common::StatusOr<double> Trapezoid2D(const Grid2D& grid,
+                                     const std::vector<double>& field) {
+  return Trapezoid2D(grid, std::span<const double>(field));
+}
+
+common::Status MarginalizeAxis0Into(const Grid2D& grid,
+                                    std::span<const double> field,
+                                    std::vector<double>& out) {
   MFG_RETURN_IF_ERROR(ValidateField(grid, field));
   const std::size_t n0 = grid.axis0().size();
   const std::size_t n1 = grid.axis1().size();
-  std::vector<double> out(n1, 0.0);
+  out.assign(n1, 0.0);
   for (std::size_t j = 0; j < n1; ++j) {
     double acc = 0.0;
     for (std::size_t i = 0; i < n0; ++i) {
@@ -51,11 +57,23 @@ common::StatusOr<std::vector<double>> MarginalizeAxis0(
     }
     out[j] = acc * grid.axis0().dx();
   }
+  return common::Status::Ok();
+}
+
+common::StatusOr<std::vector<double>> MarginalizeAxis0(
+    const Grid2D& grid, std::span<const double> field) {
+  std::vector<double> out;
+  MFG_RETURN_IF_ERROR(MarginalizeAxis0Into(grid, field, out));
   return out;
 }
 
-common::StatusOr<std::vector<double>> MarginalizeAxis1(
+common::StatusOr<std::vector<double>> MarginalizeAxis0(
     const Grid2D& grid, const std::vector<double>& field) {
+  return MarginalizeAxis0(grid, std::span<const double>(field));
+}
+
+common::StatusOr<std::vector<double>> MarginalizeAxis1(
+    const Grid2D& grid, std::span<const double> field) {
   MFG_RETURN_IF_ERROR(ValidateField(grid, field));
   const std::size_t n0 = grid.axis0().size();
   const std::size_t n1 = grid.axis1().size();
@@ -70,18 +88,29 @@ common::StatusOr<std::vector<double>> MarginalizeAxis1(
   return out;
 }
 
+common::StatusOr<std::vector<double>> MarginalizeAxis1(
+    const Grid2D& grid, const std::vector<double>& field) {
+  return MarginalizeAxis1(grid, std::span<const double>(field));
+}
+
 common::Status ClipAndNormalize2D(const Grid2D& grid,
-                                  std::vector<double>& field) {
+                                  std::span<double> field) {
   MFG_RETURN_IF_ERROR(ValidateField(grid, field));
   for (double& v : field) {
     if (!(v > 0.0)) v = 0.0;  // Also clears NaN.
   }
-  MFG_ASSIGN_OR_RETURN(double mass, Trapezoid2D(grid, field));
+  MFG_ASSIGN_OR_RETURN(double mass,
+                       Trapezoid2D(grid, std::span<const double>(field)));
   if (!(mass > 1e-300)) {
     return common::Status::NumericalError("2-D density mass is ~0");
   }
   for (double& v : field) v /= mass;
   return common::Status::Ok();
+}
+
+common::Status ClipAndNormalize2D(const Grid2D& grid,
+                                  std::vector<double>& field) {
+  return ClipAndNormalize2D(grid, std::span<double>(field));
 }
 
 common::StatusOr<std::vector<double>> OuterProduct(
@@ -100,8 +129,8 @@ common::StatusOr<std::vector<double>> OuterProduct(
   return out;
 }
 
-common::StatusOr<double> MaxAbsDiff2D(const std::vector<double>& a,
-                                      const std::vector<double>& b) {
+common::StatusOr<double> MaxAbsDiff2D(std::span<const double> a,
+                                      std::span<const double> b) {
   if (a.size() != b.size()) {
     return common::Status::InvalidArgument("field size mismatch");
   }
@@ -110,6 +139,11 @@ common::StatusOr<double> MaxAbsDiff2D(const std::vector<double>& a,
     max_diff = std::max(max_diff, std::fabs(a[i] - b[i]));
   }
   return max_diff;
+}
+
+common::StatusOr<double> MaxAbsDiff2D(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  return MaxAbsDiff2D(std::span<const double>(a), std::span<const double>(b));
 }
 
 }  // namespace mfg::numerics

@@ -1,6 +1,7 @@
 #ifndef MFGCP_NUMERICS_FIELD2D_H_
 #define MFGCP_NUMERICS_FIELD2D_H_
 
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -10,23 +11,38 @@
 // representation used by the full 2-D (h, q) HJB/FPK solvers. Axis 0 is
 // the channel coordinate h, axis 1 the cache coordinate q, matching
 // core/hjb_solver_2d.h.
+//
+// Span overloads accept rows of flat TimeField2D trajectories without
+// copying; the vector overloads remain for brace-initialized call sites.
 
 namespace mfg::numerics {
 
 // 2-D trapezoid integral ∫∫ f dx0 dx1 over the grid span.
 common::StatusOr<double> Trapezoid2D(const Grid2D& grid,
+                                     std::span<const double> field);
+common::StatusOr<double> Trapezoid2D(const Grid2D& grid,
                                      const std::vector<double>& field);
 
-// Marginalizes axis 0 away: out[j] = ∫ f(x0, x1_j) dx0 (trapezoid).
+// Marginalizes axis 0 away: out[j] = ∫ f(x0, x1_j) dx0 (trapezoid). The
+// Into variant writes into a caller-provided buffer (resized to axis1) so
+// steady-state callers do not allocate.
+common::Status MarginalizeAxis0Into(const Grid2D& grid,
+                                    std::span<const double> field,
+                                    std::vector<double>& out);
+common::StatusOr<std::vector<double>> MarginalizeAxis0(
+    const Grid2D& grid, std::span<const double> field);
 common::StatusOr<std::vector<double>> MarginalizeAxis0(
     const Grid2D& grid, const std::vector<double>& field);
 
 // Marginalizes axis 1 away: out[i] = ∫ f(x0_i, x1) dx1 (trapezoid).
 common::StatusOr<std::vector<double>> MarginalizeAxis1(
+    const Grid2D& grid, std::span<const double> field);
+common::StatusOr<std::vector<double>> MarginalizeAxis1(
     const Grid2D& grid, const std::vector<double>& field);
 
 // Clips negatives to zero and rescales so Trapezoid2D == 1. Fails when
 // the total mass is ~0.
+common::Status ClipAndNormalize2D(const Grid2D& grid, std::span<double> field);
 common::Status ClipAndNormalize2D(const Grid2D& grid,
                                   std::vector<double>& field);
 
@@ -36,6 +52,8 @@ common::StatusOr<std::vector<double>> OuterProduct(
     const std::vector<double>& axis1_values);
 
 // Max |a - b| over two equal-size fields.
+common::StatusOr<double> MaxAbsDiff2D(std::span<const double> a,
+                                      std::span<const double> b);
 common::StatusOr<double> MaxAbsDiff2D(const std::vector<double>& a,
                                       const std::vector<double>& b);
 

@@ -19,17 +19,54 @@ common::Status ValidateField(const Grid1D& grid,
 
 }  // namespace
 
+void GradientInto(double dx, std::span<const double> f,
+                  std::span<double> out) {
+  const std::size_t n = f.size();
+  out[0] = (f[1] - f[0]) / dx;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    out[i] = (f[i + 1] - f[i - 1]) / (2.0 * dx);
+  }
+  out[n - 1] = (f[n - 1] - f[n - 2]) / dx;
+}
+
+void UpwindGradientInto(double dx, std::span<const double> f,
+                        std::span<const double> velocity,
+                        std::span<double> out) {
+  const std::size_t n = f.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (velocity[i] > 0.0) {
+      // Information comes from the left; backward difference.
+      out[i] = (i == 0) ? (f[1] - f[0]) / dx : (f[i] - f[i - 1]) / dx;
+    } else {
+      // Forward difference.
+      out[i] = (i + 1 == n) ? (f[n - 1] - f[n - 2]) / dx
+                            : (f[i + 1] - f[i]) / dx;
+    }
+  }
+}
+
+void SecondDerivativeInto(double dx, std::span<const double> f,
+                          std::span<double> out) {
+  const std::size_t n = f.size();
+  const double dx2 = dx * dx;
+  out[0] = 0.0;
+  out[n - 1] = 0.0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    out[i] = (f[i + 1] - 2.0 * f[i] + f[i - 1]) / dx2;
+  }
+  // Zero-curvature boundary: copy the adjacent interior value, which is the
+  // second-order one-sided estimate under linear extrapolation.
+  if (n >= 3) {
+    out[0] = out[1];
+    out[n - 1] = out[n - 2];
+  }
+}
+
 common::StatusOr<std::vector<double>> Gradient(const Grid1D& grid,
                                                const std::vector<double>& f) {
   MFG_RETURN_IF_ERROR(ValidateField(grid, f));
-  const std::size_t n = grid.size();
-  const double dx = grid.dx();
-  std::vector<double> g(n);
-  g[0] = (f[1] - f[0]) / dx;
-  for (std::size_t i = 1; i + 1 < n; ++i) {
-    g[i] = (f[i + 1] - f[i - 1]) / (2.0 * dx);
-  }
-  g[n - 1] = (f[n - 1] - f[n - 2]) / dx;
+  std::vector<double> g(grid.size());
+  GradientInto(grid.dx(), f, g);
   return g;
 }
 
@@ -38,37 +75,16 @@ common::StatusOr<std::vector<double>> UpwindGradient(
     const std::vector<double>& velocity) {
   MFG_RETURN_IF_ERROR(ValidateField(grid, f));
   MFG_RETURN_IF_ERROR(ValidateField(grid, velocity));
-  const std::size_t n = grid.size();
-  const double dx = grid.dx();
-  std::vector<double> g(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    if (velocity[i] > 0.0) {
-      // Information comes from the left; backward difference.
-      g[i] = (i == 0) ? (f[1] - f[0]) / dx : (f[i] - f[i - 1]) / dx;
-    } else {
-      // Forward difference.
-      g[i] = (i + 1 == n) ? (f[n - 1] - f[n - 2]) / dx
-                          : (f[i + 1] - f[i]) / dx;
-    }
-  }
+  std::vector<double> g(grid.size());
+  UpwindGradientInto(grid.dx(), f, velocity, g);
   return g;
 }
 
 common::StatusOr<std::vector<double>> SecondDerivative(
     const Grid1D& grid, const std::vector<double>& f) {
   MFG_RETURN_IF_ERROR(ValidateField(grid, f));
-  const std::size_t n = grid.size();
-  const double dx2 = grid.dx() * grid.dx();
-  std::vector<double> g(n, 0.0);
-  for (std::size_t i = 1; i + 1 < n; ++i) {
-    g[i] = (f[i + 1] - 2.0 * f[i] + f[i - 1]) / dx2;
-  }
-  // Zero-curvature boundary: copy the adjacent interior value, which is the
-  // second-order one-sided estimate under linear extrapolation.
-  if (n >= 3) {
-    g[0] = g[1];
-    g[n - 1] = g[n - 2];
-  }
+  std::vector<double> g(grid.size(), 0.0);
+  SecondDerivativeInto(grid.dx(), f, g);
   return g;
 }
 

@@ -17,6 +17,11 @@ class Grid1D {
   // Fails unless n >= 2 and lo < hi.
   static common::StatusOr<Grid1D> Create(double lo, double hi, std::size_t n);
 
+  // Degenerate two-node unit grid. Exists so that solution structs holding a
+  // Grid1D can be default-constructed as out-parameters for the in-place
+  // Solve variants; every real grid still goes through Create().
+  Grid1D() : Grid1D(0.0, 1.0, 2) {}
+
   std::size_t size() const { return n_; }
   double lo() const { return lo_; }
   double hi() const { return hi_; }

@@ -7,6 +7,12 @@ namespace mfg::numerics {
 common::StatusOr<double> LinearInterpolate(const Grid1D& grid,
                                            const std::vector<double>& f,
                                            double x) {
+  return LinearInterpolate(grid, std::span<const double>(f), x);
+}
+
+common::StatusOr<double> LinearInterpolate(const Grid1D& grid,
+                                           std::span<const double> f,
+                                           double x) {
   if (f.size() != grid.size()) {
     return common::Status::InvalidArgument("field/grid size mismatch");
   }

@@ -8,8 +8,7 @@
 namespace mfg::numerics {
 namespace {
 
-common::Status ValidateField(const Grid1D& grid,
-                             const std::vector<double>& f) {
+common::Status ValidateField(const Grid1D& grid, std::span<const double> f) {
   if (f.size() != grid.size()) {
     return common::Status::InvalidArgument("field/grid size mismatch");
   }
@@ -19,7 +18,7 @@ common::Status ValidateField(const Grid1D& grid,
 }  // namespace
 
 common::StatusOr<double> Trapezoid(const Grid1D& grid,
-                                   const std::vector<double>& f) {
+                                   std::span<const double> f) {
   MFG_RETURN_IF_ERROR(ValidateField(grid, f));
   const std::size_t n = grid.size();
   double acc = 0.5 * (f[0] + f[n - 1]);
@@ -27,18 +26,39 @@ common::StatusOr<double> Trapezoid(const Grid1D& grid,
   return acc * grid.dx();
 }
 
+common::StatusOr<double> Trapezoid(const Grid1D& grid,
+                                   const std::vector<double>& f) {
+  return Trapezoid(grid, std::span<const double>(f));
+}
+
+common::StatusOr<double> TrapezoidProduct(const Grid1D& grid,
+                                          std::span<const double> f,
+                                          std::span<const double> g) {
+  MFG_RETURN_IF_ERROR(ValidateField(grid, f));
+  MFG_RETURN_IF_ERROR(ValidateField(grid, g));
+  // Fused pointwise product: every f[i]*g[i] is rounded to a double before
+  // entering the trapezoid sum, exactly as the materialized product vector
+  // was — bit-identical without the temporary.
+  const std::size_t n = grid.size();
+  const double p0 = f[0] * g[0];
+  const double pn = f[n - 1] * g[n - 1];
+  double acc = 0.5 * (p0 + pn);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const double prod = f[i] * g[i];
+    acc += prod;
+  }
+  return acc * grid.dx();
+}
+
 common::StatusOr<double> TrapezoidProduct(const Grid1D& grid,
                                           const std::vector<double>& f,
                                           const std::vector<double>& g) {
-  MFG_RETURN_IF_ERROR(ValidateField(grid, f));
-  MFG_RETURN_IF_ERROR(ValidateField(grid, g));
-  std::vector<double> prod(f.size());
-  for (std::size_t i = 0; i < f.size(); ++i) prod[i] = f[i] * g[i];
-  return Trapezoid(grid, prod);
+  return TrapezoidProduct(grid, std::span<const double>(f),
+                          std::span<const double>(g));
 }
 
 common::StatusOr<double> TrapezoidOnInterval(const Grid1D& grid,
-                                             const std::vector<double>& f,
+                                             std::span<const double> f,
                                              double a, double b) {
   MFG_RETURN_IF_ERROR(ValidateField(grid, f));
   a = std::max(a, grid.lo());
@@ -66,6 +86,12 @@ common::StatusOr<double> TrapezoidOnInterval(const Grid1D& grid,
   }
   acc += 0.5 * (f[last] + fb) * (b - grid.x(last));
   return acc;
+}
+
+common::StatusOr<double> TrapezoidOnInterval(const Grid1D& grid,
+                                             const std::vector<double>& f,
+                                             double a, double b) {
+  return TrapezoidOnInterval(grid, std::span<const double>(f), a, b);
 }
 
 common::StatusOr<double> TrapezoidFunction(

@@ -19,13 +19,16 @@ common::Status ValidateShape(const TridiagonalSystem& s) {
 
 }  // namespace
 
-common::StatusOr<std::vector<double>> SolveTridiagonal(
-    const TridiagonalSystem& system) {
+common::Status SolveTridiagonalInto(const TridiagonalSystem& system,
+                                    TridiagonalWorkspace& workspace,
+                                    std::vector<double>& x) {
   MFG_RETURN_IF_ERROR(ValidateShape(system));
   const std::size_t n = system.diag.size();
 
-  std::vector<double> c_prime(n, 0.0);
-  std::vector<double> d_prime(n, 0.0);
+  std::vector<double>& c_prime = workspace.c_prime;
+  std::vector<double>& d_prime = workspace.d_prime;
+  c_prime.assign(n, 0.0);
+  d_prime.assign(n, 0.0);
 
   double pivot = system.diag[0];
   if (std::fabs(pivot) < 1e-300) {
@@ -44,11 +47,19 @@ common::StatusOr<std::vector<double>> SolveTridiagonal(
     d_prime[i] = (system.rhs[i] - system.lower[i] * d_prime[i - 1]) / pivot;
   }
 
-  std::vector<double> x(n);
+  x.resize(n);
   x[n - 1] = d_prime[n - 1];
   for (std::size_t i = n - 1; i-- > 0;) {
     x[i] = d_prime[i] - c_prime[i] * x[i + 1];
   }
+  return common::Status::Ok();
+}
+
+common::StatusOr<std::vector<double>> SolveTridiagonal(
+    const TridiagonalSystem& system) {
+  TridiagonalWorkspace workspace;
+  std::vector<double> x;
+  MFG_RETURN_IF_ERROR(SolveTridiagonalInto(system, workspace, x));
   return x;
 }
 

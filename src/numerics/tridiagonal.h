@@ -20,9 +20,23 @@ struct TridiagonalSystem {
   std::vector<double> rhs;
 };
 
-// Solves the system with the Thomas algorithm (O(n)). Fails on inconsistent
-// sizes or an (effectively) singular pivot. Stable for the diagonally
-// dominant matrices produced by implicit FD schemes.
+// Scratch buffers for the forward-elimination pass. Reusing one workspace
+// across solves keeps the implicit FPK stepping allocation-free after the
+// first call.
+struct TridiagonalWorkspace {
+  std::vector<double> c_prime;
+  std::vector<double> d_prime;
+};
+
+// Solves the system in O(n), writing the solution into `x` (resized to n;
+// steady-state callers keep `x` at capacity so no allocation happens).
+// Fails on inconsistent sizes or an (effectively) singular pivot. Stable for
+// the diagonally dominant matrices produced by implicit FD schemes.
+common::Status SolveTridiagonalInto(const TridiagonalSystem& system,
+                                    TridiagonalWorkspace& workspace,
+                                    std::vector<double>& x);
+
+// Allocating convenience wrapper around SolveTridiagonalInto.
 common::StatusOr<std::vector<double>> SolveTridiagonal(
     const TridiagonalSystem& system);
 

@@ -61,7 +61,8 @@ TEST(PolicyValueTest, BestResponsePolicyReproducesHjbValue) {
   Equilibrium eq = SolveShared();
   auto hjb = HjbSolver1D::Create(params).value();
   auto best = hjb.Solve(eq.mean_field).value();
-  auto value = EvaluatePolicyValue(params, eq.mean_field, best.policy);
+  auto value =
+      EvaluatePolicyValue(params, eq.mean_field, best.policy.ToNested());
   ASSERT_TRUE(value.ok());
   // Compare at t=0 on interior nodes, relative to the value scale.
   double max_rel = 0.0;

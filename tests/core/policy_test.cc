@@ -29,7 +29,9 @@ TEST(MfgPolicyTest, CreateValidation) {
   empty.hjb.policy.clear();
   EXPECT_FALSE(MfgPolicy::Create(FastParams(), empty).ok());
   Equilibrium ragged = eq;
-  ragged.hjb.policy[1].pop_back();
+  // Slice width no longer matches the q grid -> rejected.
+  ragged.hjb.policy.Assign(eq.hjb.policy.size(),
+                           eq.hjb.q_grid.size() - 1, 0.5);
   EXPECT_FALSE(MfgPolicy::Create(FastParams(), ragged).ok());
   Equilibrium bad_dt = eq;
   bad_dt.hjb.dt = 0.0;

@@ -1,0 +1,297 @@
+// Golden regression tests for the flat-field solver kernels.
+//
+// The constants below were dumped (at %.17g, i.e. full double precision)
+// from the original nested-vector reference implementation, immediately
+// before the solvers were rewritten on flat row-major storage with
+// preallocated workspaces. The rewrite is required to be arithmetically
+// identical — every expression keeps its original parse tree — so these
+// tests pin value, policy, density, and mean-field trajectories to the
+// reference within 1e-12 relative error (in practice: bit-identical).
+//
+// Scenarios:
+//   A  full equilibrium, DefaultPaperParams, explicit FPK
+//   B  full equilibrium, 81 q-nodes, 120 steps, implicit FPK
+//   C  full equilibrium with time-varying workload profiles
+//   D  full equilibrium with sharing disabled
+//   E  standalone HJB solve against a synthetic mean field
+//   F  standalone explicit FPK under a synthetic ramp policy
+//   G  standalone implicit FPK under the same policy
+//   H  mean-field estimator on a synthetic density/policy pair
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/best_response.h"
+#include "core/fpk_solver.h"
+#include "core/hjb_solver.h"
+#include "core/mean_field_estimator.h"
+
+namespace mfg::core {
+namespace {
+
+// scenario A
+constexpr std::size_t kProbe101[9] = {0, 13, 25, 38, 50, 63, 75, 88, 100};
+constexpr double kAPolicyT0[] = {6.103515625e-05, 0.99993896484375, 0.99993896484375, 0.99993896484375, 0.99993896484375, 0.99993896484375, 0.99993896484375, 0.99993896484375, 0.99993896484375};
+constexpr double kAValueT0[] = {2585.2792776739516, 2455.9616107652573, 2280.6821263794359, 1986.724238096328, 1625.3423939719426, 1157.5609153462026, 694.90049855346444, 231.30112300076451, -163.63746244820155};
+constexpr double kAValueMid[] = {1116.2757997017534, 1013.038947747412, 882.31587862406445, 760.04658511463265, 678.97854343883637, 588.89729525500161, 504.58936702283654, 412.95244228032203, 328.3090726117145};
+constexpr double kADensityFinal[] = {0.018695420464036074, 0.0079409842555423407, 0.0051189665714654721, 0.008606313784367655, 0.00077647923105186986, 6.9430379001708416e-06, 4.1863136800604425e-09, 1.2262416787068333e-14, 4.463096402274313e-22};
+constexpr double kAFinalMean = 10.090299690850767;
+constexpr double kAPriceT0 = 5.8991065088727517;
+constexpr double kAPriceTN = 4.7018059938170156;
+constexpr double kARateT0 = 0.9999389647061212;
+constexpr double kARateTN = 6.1035156249999993e-05;
+constexpr double kASharingTN = 0.49348806846187143;
+constexpr std::size_t kAIterations = 13;
+constexpr double kALastChange = 0.00079969654518008415;
+// scenario B
+constexpr std::size_t kProbe81[9] = {0, 10, 20, 30, 40, 50, 60, 70, 80};
+constexpr double kBPolicyT0[] = {6.103515625e-05, 0.99993896484375, 0.99993896484375, 0.99993896484375, 0.99993896484375, 0.99993896484375, 0.99993896484375, 0.99993896484375, 0.99993896484375};
+constexpr double kBValueT0[] = {2593.7443263564046, 2470.8267182527798, 2288.5463658752501, 2006.4122138411888, 1630.5399023988502, 1180.3940560768006, 694.60274113420314, 234.68091003767128, -187.47704180584154};
+constexpr double kBValueMid[] = {1122.9274100010794, 1023.4500623131477, 885.76511021096087, 752.71649885262048, 660.39796601813964, 567.51526314496709, 473.54679515499129, 379.27959150840252, 284.95216329081512};
+constexpr double kBDensityFinal[] = {0.026616646935681415, 0.010420120194934077, 0.0061071302463901484, 0.0089893451075388139, 0.0014756718038336719, 7.1581502854682472e-05, 6.8879002985044852e-07, 3.5050025361186895e-10, 1.0247663291728815e-15};
+constexpr double kBFinalMean = 10.783938058909978;
+constexpr double kBPriceT0 = 5.8991031802126788;
+constexpr double kBPriceTN = 4.7156787611782001;
+constexpr double kBRateT0 = 0.99993896472069999;
+constexpr double kBRateTN = 6.1035156249999993e-05;
+constexpr double kBSharingTN = 0.6604655077816286;
+constexpr std::size_t kBIterations = 13;
+constexpr double kBLastChange = 0.00072022984335806672;
+// scenario C
+constexpr double kCPolicyT0[] = {3.0517578125e-05, 0.999969482421875, 0.999969482421875, 0.999969482421875, 0.999969482421875, 0.999969482421875, 0.999969482421875, 0.999969482421875, 0.999969482421875};
+constexpr double kCValueT0[] = {2766.9278625706388, 2649.7950510900555, 2484.2694314368305, 2205.5738638007238, 1857.9552335794381, 1399.7648485552409, 938.3315437832689, 477.31013006716495, 94.435101545951326};
+constexpr double kCValueMid[] = {1389.3870573736192, 1275.3262173346939, 1132.8915581631688, 986.79074753234966, 904.190009773974, 808.69834469650425, 718.00159619537533, 619.06902822720372, 527.62332550159317};
+constexpr double kCDensityFinal[] = {0.2035362905664882, 0.0020357325347304328, 0.0029357025199050358, 0.0090753661109060635, 0.00050530048220287971, 2.4471494505888906e-06, 7.7104006333882357e-10, 9.780131805350464e-16, 1.0714566053018401e-23};
+constexpr double kCFinalMean = 8.0025369029796067;
+constexpr double kCPriceT0 = 5.8991065088727517;
+constexpr double kCPriceTN = 4.6600507380595921;
+constexpr double kCRateT0 = 0.99996948212818881;
+constexpr double kCRateTN = 3.0517578125000007e-05;
+constexpr double kCSharingTN = 0.64545284246187695;
+constexpr std::size_t kCIterations = 14;
+constexpr double kCLastChange = 0.00056501677656928262;
+// scenario D
+constexpr double kDPolicyT0[] = {0.00048828125, 0.99951171875, 0.99951171875, 0.99951171875, 0.99951171875, 0.99951171875, 0.99951171875, 0.99951171875, 0.99951171875};
+constexpr double kDValueT0[] = {2530.9602967508795, 2401.7289118586659, 2226.5859995640121, 1932.8090680944576, 1569.4720252131685, 1082.968798262182, 551.21145875007119, -107.01005978467124, -776.55828569830874};
+constexpr double kDValueMid[] = {1081.6470556177685, 975.7085128472952, 815.83879080721306, 538.85353170871758, 206.72378429098424, -199.57609632907148, -571.61637838586535, -947.62997902534391, -1283.6529853045188};
+constexpr double kDDensityFinal[] = {0.022552649011452642, 0.0067623629368722344, 6.3022243736897684e-05, 5.0262045204424247e-07, 1.1736918034904293e-09, 6.3899252763713452e-14, 2.3796815531813697e-19, 4.066854686754632e-27, 1.5368871274527662e-36};
+constexpr double kDFinalMean = 4.277260821890315;
+constexpr double kDPriceT0 = 5.8991065088727517;
+constexpr double kDPriceTN = 4.5855452164378061;
+constexpr double kDRateT0 = 0.99951171861182175;
+constexpr double kDRateTN = 0.00048828124999999984;
+constexpr double kDSharingTN = 0;
+constexpr std::size_t kDIterations = 10;
+constexpr double kDLastChange = 0.00057376850452273143;
+// scenario E
+constexpr std::size_t kProbe161[9] = {0, 20, 40, 60, 80, 100, 120, 140, 160};
+constexpr double kEPolicyT0[] = {0, 0.96452733846215333, 1, 1, 1, 1, 1, 1, 1};
+constexpr double kEValueT0[] = {1501.1955028476145, 1393.2046829768069, 1226.1555730765413, 953.6857038500649, 581.64513404709589, 120.68825226832205, -423.78292068816097, -1046.0902365849738, -1736.0291402592361};
+constexpr double kEPolicyMid[] = {0, 0.77739032817087828, 1, 1, 1, 1, 1, 1, 1};
+constexpr double kEValueMid[] = {502.82150805070194, 423.72227746788997, 275.79954156498349, 24.629877718074248, -313.03393176169385, -699.46786928485619, -1076.2848720901084, -1416.3245009290208, -1743.2814921495417};
+// scenario F
+constexpr double kFDensityFinal[] = {6.3476992977527555e-05, 0.029181497989916989, 0.047133680337665788, 0.0028106792631610589, 2.7424835505885488e-06, 4.0773690243729029e-12, 3.1957716703049119e-21, 1.1662976853199205e-33, 1.1229206188439762e-49};
+constexpr double kFFinalMean = 20.629655369670221;
+constexpr double kFMidMean = 42.857355701007492;
+// scenario G
+constexpr double kGDensityFinal[] = {0.00026030406474134569, 0.03041632875379072, 0.042446878748802264, 0.0057055053027903714, 8.5603824199592649e-05, 7.770334606765394e-08, 9.957407232351649e-13, 1.6370648847195134e-20, 1.2359903466446775e-33};
+constexpr double kGFinalMean = 20.778715047278027;
+constexpr double kGMidMean = 42.94441984052439;
+// scenario H
+constexpr double kHRate = 0.65964260354910065;
+constexpr double kHPrice = 5.8991065088727517;
+constexpr double kHPeer = 69.955325443637577;
+constexpr double kHDeltaQ = 69.95531476090008;
+constexpr double kHSharerFrac = 2.9322135007859164e-07;
+constexpr double kHSharing = 69.955294265029551;
+
+// Relative 1e-12 comparison: densities reach ~1e-49 in the tails and
+// values reach ~2.5e3, so a fixed absolute tolerance fits neither end.
+void ExpectGolden(double actual, double expected, const char* what,
+                  std::size_t j) {
+  const double tol = 1e-12 * std::max(1.0, std::fabs(expected));
+  EXPECT_NEAR(actual, expected, tol) << what << " probe " << j;
+}
+
+void ExpectRow(std::span<const double> row, const double (&expected)[9],
+               const std::size_t (&probe)[9], const char* what) {
+  for (std::size_t j = 0; j < 9; ++j) {
+    ExpectGolden(row[probe[j]], expected[j], what, j);
+  }
+}
+
+struct EquilibriumGolden {
+  const double (&policy_t0)[9];
+  const double (&value_t0)[9];
+  const double (&value_mid)[9];
+  const double (&density_final)[9];
+  double final_mean;
+  double price_t0;
+  double price_tn;
+  double rate_t0;
+  double rate_tn;
+  double sharing_tn;
+  std::size_t iterations;
+  double last_change;
+};
+
+void CheckEquilibrium(const MfgParams& params,
+                      const std::size_t (&probe)[9],
+                      const EquilibriumGolden& golden) {
+  auto learner = BestResponseLearner::Create(params).value();
+  Equilibrium eq = learner.Solve().value();
+  const std::size_t nt = params.grid.num_time_steps;
+  ExpectRow(eq.hjb.policy[0], golden.policy_t0, probe, "policy t0");
+  ExpectRow(eq.hjb.value[0], golden.value_t0, probe, "value t0");
+  ExpectRow(eq.hjb.value[nt / 2], golden.value_mid, probe, "value mid");
+  ExpectRow(eq.fpk.densities[nt].values(), golden.density_final, probe,
+            "density final");
+  ExpectGolden(eq.fpk.densities[nt].Mean(), golden.final_mean,
+               "final mean", 0);
+  ExpectGolden(eq.mean_field[0].price, golden.price_t0, "price t0", 0);
+  ExpectGolden(eq.mean_field[nt].price, golden.price_tn, "price tN", 0);
+  ExpectGolden(eq.mean_field[0].mean_caching_rate, golden.rate_t0,
+               "rate t0", 0);
+  ExpectGolden(eq.mean_field[nt].mean_caching_rate, golden.rate_tn,
+               "rate tN", 0);
+  ExpectGolden(eq.mean_field[nt].sharing_benefit, golden.sharing_tn,
+               "sharing tN", 0);
+  EXPECT_EQ(eq.iterations, golden.iterations);
+  ASSERT_FALSE(eq.policy_change_history.empty());
+  ExpectGolden(eq.policy_change_history.back(), golden.last_change,
+               "last change", 0);
+}
+
+TEST(SolverEquivalenceTest, PaperDefaultsEquilibrium) {
+  CheckEquilibrium(DefaultPaperParams(), kProbe101,
+                   {kAPolicyT0, kAValueT0, kAValueMid, kADensityFinal,
+                    kAFinalMean, kAPriceT0, kAPriceTN, kARateT0, kARateTN,
+                    kASharingTN, kAIterations, kALastChange});
+}
+
+TEST(SolverEquivalenceTest, ImplicitFpkCoarseGridEquilibrium) {
+  MfgParams params = DefaultPaperParams();
+  params.grid.num_q_nodes = 81;
+  params.grid.num_time_steps = 120;
+  params.grid.implicit_fpk = true;
+  CheckEquilibrium(params, kProbe81,
+                   {kBPolicyT0, kBValueT0, kBValueMid, kBDensityFinal,
+                    kBFinalMean, kBPriceT0, kBPriceTN, kBRateT0, kBRateTN,
+                    kBSharingTN, kBIterations, kBLastChange});
+}
+
+TEST(SolverEquivalenceTest, WorkloadProfilesEquilibrium) {
+  MfgParams params = DefaultPaperParams();
+  const std::size_t nt = params.grid.num_time_steps;
+  params.popularity_profile.resize(nt + 1);
+  params.timeliness_profile.resize(nt + 1);
+  params.requests_profile.resize(nt + 1);
+  for (std::size_t n = 0; n <= nt; ++n) {
+    const double s = static_cast<double>(n) / static_cast<double>(nt);
+    params.popularity_profile[n] = 0.2 + 0.6 * s;
+    params.timeliness_profile[n] = 2.0 + 1.5 * s;
+    params.requests_profile[n] = 8.0 + 6.0 * s;
+  }
+  CheckEquilibrium(params, kProbe101,
+                   {kCPolicyT0, kCValueT0, kCValueMid, kCDensityFinal,
+                    kCFinalMean, kCPriceT0, kCPriceTN, kCRateT0, kCRateTN,
+                    kCSharingTN, kCIterations, kCLastChange});
+}
+
+TEST(SolverEquivalenceTest, SharingDisabledEquilibrium) {
+  MfgParams params = DefaultPaperParams();
+  params.sharing_enabled = false;
+  CheckEquilibrium(params, kProbe101,
+                   {kDPolicyT0, kDValueT0, kDValueMid, kDDensityFinal,
+                    kDFinalMean, kDPriceT0, kDPriceTN, kDRateT0, kDRateTN,
+                    kDSharingTN, kDIterations, kDLastChange});
+}
+
+std::vector<MeanFieldQuantities> SyntheticMeanField(std::size_t nt) {
+  std::vector<MeanFieldQuantities> mf(nt + 1);
+  for (std::size_t n = 0; n <= nt; ++n) {
+    const double s = static_cast<double>(n) / static_cast<double>(nt);
+    mf[n].price = 5.0 - 2.0 * s;
+    mf[n].mean_peer_remaining = 60.0 - 30.0 * s;
+    mf[n].sharing_benefit = 1.5 * s;
+    mf[n].mean_caching_rate = 0.4 + 0.2 * s;
+    mf[n].sharer_fraction = 0.3 + 0.4 * s;
+    mf[n].case3_fraction = (1.0 - mf[n].sharer_fraction) *
+                           (1.0 - mf[n].sharer_fraction);
+    mf[n].delta_q = 10.0 * (1.0 - s);
+  }
+  return mf;
+}
+
+TEST(SolverEquivalenceTest, StandaloneHjbSyntheticMeanField) {
+  MfgParams params = DefaultPaperParams();
+  params.grid.num_q_nodes = 161;
+  params.grid.num_time_steps = 100;
+  auto solver = HjbSolver1D::Create(params).value();
+  auto solution =
+      solver.Solve(SyntheticMeanField(params.grid.num_time_steps)).value();
+  ExpectRow(solution.policy[0], kEPolicyT0, kProbe161, "E policy t0");
+  ExpectRow(solution.value[0], kEValueT0, kProbe161, "E value t0");
+  ExpectRow(solution.policy[50], kEPolicyMid, kProbe161, "E policy mid");
+  ExpectRow(solution.value[50], kEValueMid, kProbe161, "E value mid");
+}
+
+void CheckStandaloneFpk(bool implicit, const double (&density_final)[9],
+                        double final_mean, double mid_mean) {
+  MfgParams params = DefaultPaperParams();
+  params.grid.num_q_nodes = 161;
+  params.grid.num_time_steps = 100;
+  params.grid.implicit_fpk = implicit;
+  auto solver = FpkSolver1D::Create(params).value();
+  auto initial = solver.MakeInitialDensity().value();
+  const std::size_t nt = params.grid.num_time_steps;
+  const std::size_t nq = params.grid.num_q_nodes;
+  std::vector<std::vector<double>> policy(nt + 1, std::vector<double>(nq));
+  for (std::size_t n = 0; n <= nt; ++n) {
+    for (std::size_t i = 0; i < nq; ++i) {
+      policy[n][i] =
+          0.2 +
+          0.6 * static_cast<double>(i) / static_cast<double>(nq - 1) +
+          0.1 * static_cast<double>(n) / static_cast<double>(nt);
+    }
+  }
+  auto solution = solver.Solve(initial, policy).value();
+  ExpectRow(solution.densities[nt].values(), density_final, kProbe161,
+            "density final");
+  ExpectGolden(solution.densities[nt].Mean(), final_mean, "final mean", 0);
+  ExpectGolden(solution.densities[nt / 2].Mean(), mid_mean, "mid mean", 0);
+}
+
+TEST(SolverEquivalenceTest, StandaloneFpkExplicitRampPolicy) {
+  CheckStandaloneFpk(false, kFDensityFinal, kFFinalMean, kFMidMean);
+}
+
+TEST(SolverEquivalenceTest, StandaloneFpkImplicitRampPolicy) {
+  CheckStandaloneFpk(true, kGDensityFinal, kGFinalMean, kGMidMean);
+}
+
+TEST(SolverEquivalenceTest, MeanFieldEstimatorSyntheticDensity) {
+  MfgParams params = DefaultPaperParams();
+  auto estimator = MeanFieldEstimator::Create(params).value();
+  auto fpk = FpkSolver1D::Create(params).value();
+  auto density = fpk.MakeInitialDensity().value();
+  std::vector<double> policy(params.grid.num_q_nodes);
+  for (std::size_t i = 0; i < policy.size(); ++i) {
+    policy[i] = 0.1 + 0.8 * static_cast<double>(i) /
+                          static_cast<double>(policy.size() - 1);
+  }
+  auto mf = estimator.Estimate(density, policy).value();
+  ExpectGolden(mf.mean_caching_rate, kHRate, "H rate", 0);
+  ExpectGolden(mf.price, kHPrice, "H price", 0);
+  ExpectGolden(mf.mean_peer_remaining, kHPeer, "H peer", 0);
+  ExpectGolden(mf.delta_q, kHDeltaQ, "H delta_q", 0);
+  ExpectGolden(mf.sharer_fraction, kHSharerFrac, "H sharer fraction", 0);
+  ExpectGolden(mf.sharing_benefit, kHSharing, "H sharing", 0);
+}
+
+}  // namespace
+}  // namespace mfg::core

@@ -131,7 +131,7 @@ TEST(Fpk2DTest, Validation) {
   MfgParams params = FastParams();
   auto solver = FpkSolver2D::Create(params).value();
   auto initial = solver.MakeInitialDensity().value();
-  EXPECT_FALSE(solver.Solve({1.0, 2.0}, {}).ok());
+  EXPECT_FALSE(solver.Solve({1.0, 2.0}, numerics::TimeField2D()).ok());
   std::vector<std::vector<double>> short_policy(
       3, std::vector<double>(initial.size(), 0.5));
   EXPECT_FALSE(solver.Solve(initial, short_policy).ok());
