@@ -2,6 +2,7 @@
 #define MFGCP_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -15,12 +16,22 @@
 #include "common/table.h"
 #include "core/best_response.h"
 #include "core/policy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 // Shared plumbing for the figure/table reproduction binaries. Every bench
 // accepts `key=value` command-line overrides (seed=, num_edps=, slots=,
 // grid=, iters=) and prints aligned text tables with the same series the
 // paper plots. See EXPERIMENTS.md for the experiment index.
+//
+// Observability keys (see OBSERVABILITY.md), honored by every bench via
+// ParseArgs:
+//   log=debug|info|warning|error   log threshold (default: info)
+//   trace_out=<path>       record a Chrome trace of the run; written at exit
+//   trace_capacity=<n>     span ring capacity in events (default: 65536)
+//   metrics_out=<path>     write the metrics registry as JSON at exit
+//   metrics_csv=<path>     write the metrics registry as CSV at exit
 
 namespace mfg::bench {
 
@@ -107,11 +118,75 @@ inline void Emit(const common::Config& config, const std::string& name,
   out << table.ToCsv();
 }
 
-// Parses CLI config or dies with usage.
+// Applies the shared observability keys (see the header comment). Output
+// paths live in function-local statics because the writers run from
+// std::atexit, after main's locals are gone.
+inline void InitObservability(const common::Config& config) {
+  const std::string log = config.GetString("log", "");
+  if (!log.empty()) {
+    common::LogLevel level = common::LogLevel::kInfo;
+    if (common::ParseLogLevel(log, level)) {
+      common::SetLogThreshold(level);
+    } else {
+      MFG_LOG(WARNING) << "unknown log level '" << log
+                       << "' (want debug|info|warning|error)";
+    }
+  }
+
+  static std::string trace_path;
+  trace_path = config.GetString("trace_out", "");
+  if (!trace_path.empty()) {
+    obs::TraceSession::Global().Start(static_cast<std::size_t>(
+        config.GetInt("trace_capacity",
+                      static_cast<int>(obs::TraceSession::kDefaultCapacity))));
+    std::atexit([] {
+      obs::TraceSession& session = obs::TraceSession::Global();
+      session.Stop();
+      const auto status = session.WriteChromeTrace(trace_path);
+      if (status.ok()) {
+        std::printf("trace: %zu spans -> %s\n", session.size(),
+                    trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "trace: %s\n", status.ToString().c_str());
+      }
+    });
+  }
+
+  static std::string metrics_json_path;
+  metrics_json_path = config.GetString("metrics_out", "");
+  if (!metrics_json_path.empty()) {
+    std::atexit([] {
+      const auto status =
+          obs::Registry::Global().WriteJson(metrics_json_path);
+      if (status.ok()) {
+        std::printf("metrics: %s\n", metrics_json_path.c_str());
+      } else {
+        std::fprintf(stderr, "metrics: %s\n", status.ToString().c_str());
+      }
+    });
+  }
+
+  static std::string metrics_csv_path;
+  metrics_csv_path = config.GetString("metrics_csv", "");
+  if (!metrics_csv_path.empty()) {
+    std::atexit([] {
+      const auto status = obs::Registry::Global().WriteCsv(metrics_csv_path);
+      if (status.ok()) {
+        std::printf("metrics: %s\n", metrics_csv_path.c_str());
+      } else {
+        std::fprintf(stderr, "metrics: %s\n", status.ToString().c_str());
+      }
+    });
+  }
+}
+
+// Parses CLI config or dies with usage; applies the observability keys so
+// every bench supports them without per-binary plumbing.
 inline common::Config ParseArgs(int argc, const char* const* argv) {
   auto config = common::Config::FromArgs(argc, argv);
   MFG_CHECK(config.ok()) << config.status()
                          << " (usage: key=value, e.g. seed=7 num_edps=300)";
+  InitObservability(*config);
   return std::move(config).value();
 }
 

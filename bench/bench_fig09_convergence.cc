@@ -15,11 +15,13 @@ void Run(const common::Config& config) {
   core::MfgParams params = bench::SolverParams(config);
   core::Equilibrium eq = bench::Solve(params);
 
-  bench::Section("Alg. 2 iteration trace (max policy change per sweep)");
-  common::TextTable trace({"iteration", "max |x_psi - x_psi-1|"});
+  bench::Section("Alg. 2 iteration trace (max policy/value change per sweep)");
+  common::TextTable trace(
+      {"iteration", "max |x_psi - x_psi-1|", "max |V_psi - V_psi-1|"});
   for (std::size_t i = 0; i < eq.policy_change_history.size(); ++i) {
-    trace.AddNumericRow(
-        {static_cast<double>(i + 1), eq.policy_change_history[i]});
+    trace.AddNumericRow({static_cast<double>(i + 1),
+                         eq.policy_change_history[i],
+                         eq.value_change_history[i]});
   }
   bench::Emit(config, "fig09_convergence_trace", trace);
   std::printf("converged: %s\n", eq.converged ? "yes" : "no");

@@ -5,19 +5,19 @@
 // computation time does not increase with M".
 //
 // Each kernel benchmark reports an `allocs_per_iter` counter backed by the
-// overridden global operator new below. The *Into variants reuse a
-// Workspace plus the previous output's storage and must report 0 after
-// their warm-up call — that is the zero-allocation contract of the flat
-// solver kernels. Export machine-readable results with
+// obs allocation probe (obs/alloc_probe.h); this binary links the
+// mfgcp_obs_alloc_hooks operator-new overrides that feed it. The *Into
+// variants reuse a Workspace plus the previous output's storage and must
+// report 0 after their warm-up call — that is the zero-allocation contract
+// of the flat solver kernels, and it holds with observability compiled in
+// (the MFG_OBS_* record paths never allocate once their function-local
+// registry handles exist, which the warm-up call guarantees). Export
+// machine-readable results with
 //   bench_micro_solvers --benchmark_out=BENCH_solvers.json \
 //                       --benchmark_out_format=json
 // (see EXPERIMENTS.md).
 
 #include <benchmark/benchmark.h>
-
-#include <atomic>
-#include <cstdlib>
-#include <new>
 
 #include "baselines/random_replacement.h"
 #include "common/logging.h"
@@ -26,27 +26,8 @@
 #include "core/hjb_solver.h"
 #include "core/mean_field_estimator.h"
 #include "core/mfg_cp.h"
+#include "obs/alloc_probe.h"
 #include "sim/simulator.h"
-
-// Heap-allocation counter: every path into the global allocator bumps
-// g_alloc_count, so a steady-state kernel that reports 0 provably never
-// touches the heap.
-namespace {
-std::atomic<std::size_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size ? size : 1)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new[](std::size_t size) { return ::operator new(size); }
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace mfg {
 namespace {
@@ -56,11 +37,11 @@ namespace {
 // iteration after an untimed warm-up call has sized all buffers.
 template <typename Body>
 void LoopCountingAllocs(benchmark::State& state, Body&& body) {
-  const std::size_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const std::size_t before = obs::AllocationCount();
   for (auto _ : state) {
     body();
   }
-  const std::size_t after = g_alloc_count.load(std::memory_order_relaxed);
+  const std::size_t after = obs::AllocationCount();
   state.counters["allocs_per_iter"] = benchmark::Counter(
       static_cast<double>(after - before), benchmark::Counter::kAvgIterations);
 }

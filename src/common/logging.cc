@@ -1,8 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace mfg::common {
 namespace {
@@ -34,6 +36,28 @@ std::string_view LogLevelToString(LogLevel level) {
       return "FATAL";
   }
   return "?";
+}
+
+bool ParseLogLevel(std::string_view text, LogLevel& out) {
+  std::string lower(text.size(), '\0');
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    lower[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[i])));
+  }
+  if (lower == "debug") {
+    out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    out = LogLevel::kError;
+  } else if (lower == "fatal") {
+    out = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 void SetLogThreshold(LogLevel level) { g_threshold.store(level); }

@@ -28,6 +28,11 @@ enum class LogLevel : std::uint8_t {
 
 std::string_view LogLevelToString(LogLevel level);
 
+// Parses "debug" / "info" / "warning" (or "warn") / "error" / "fatal"
+// (case-insensitive) into `out`. Returns false on any other input and
+// leaves `out` untouched.
+bool ParseLogLevel(std::string_view text, LogLevel& out);
+
 // Global log threshold; messages below it are discarded. Default: kInfo.
 void SetLogThreshold(LogLevel level);
 LogLevel GetLogThreshold();

@@ -8,8 +8,34 @@
 #include "common/math_util.h"
 #include "econ/utility.h"
 #include "numerics/interpolation.h"
+#include "obs/obs.h"
 
 namespace mfg::core {
+namespace {
+
+// max_k |a[k] − b[k]| over two equally-sized flat fields; when `b` has a
+// different size (iteration 1: the previous value surface is empty) the
+// residual is taken against zero. Read-only telemetry — never feeds back
+// into the iteration.
+double MaxAbsDifference(const numerics::TimeField2D& a,
+                        const numerics::TimeField2D& b) {
+  const double* pa = a.data();
+  const std::size_t total = a.size() * a.cols();
+  double max_diff = 0.0;
+  if (b.size() * b.cols() == total) {
+    const double* pb = b.data();
+    for (std::size_t k = 0; k < total; ++k) {
+      max_diff = std::max(max_diff, std::fabs(pa[k] - pb[k]));
+    }
+  } else {
+    for (std::size_t k = 0; k < total; ++k) {
+      max_diff = std::max(max_diff, std::fabs(pa[k]));
+    }
+  }
+  return max_diff;
+}
+
+}  // namespace
 
 common::StatusOr<BestResponseLearner> BestResponseLearner::Create(
     const MfgParams& params) {
@@ -34,6 +60,9 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
     return common::Status::InvalidArgument(
         "initial policy rate must be in [0, 1]");
   }
+  MFG_OBS_SPAN("BestResponse.Solve");
+  MFG_OBS_SCOPED_TIMER("core.best_response.seconds");
+  MFG_OBS_COUNT("core.best_response.solves", 1);
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nq = params_.grid.num_q_nodes;
 
@@ -49,6 +78,7 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
   eq.hjb.q_grid = eq.fpk.q_grid;
   eq.hjb.dt = eq.fpk.dt;
   eq.policy_change_history.reserve(params_.learning.max_iterations);
+  eq.value_change_history.reserve(params_.learning.max_iterations);
 
   // Double-buffered per-iteration products: swapped with the copies held in
   // `eq`, so iteration ψ+1 writes into iteration ψ−1's storage and the loop
@@ -82,6 +112,10 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
       p[k] = updated;
     }
     eq.policy_change_history.push_back(max_change);
+    // Value residual vs the previous iteration's surface (still held in
+    // eq.hjb until the swap below).
+    eq.value_change_history.push_back(
+        MaxAbsDifference(hjb_buf.value, eq.hjb.value));
     std::swap(eq.hjb, hjb_buf);
     // Expose the *relaxed* policy (the population's actual play).
     eq.hjb.policy = policy;
@@ -96,11 +130,17 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
     MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, fpk_ws, eq.fpk));
   }
 
+  MFG_OBS_OBSERVE_COUNTS("core.best_response.iterations",
+                         static_cast<double>(eq.iterations));
   if (!eq.converged) {
-    MFG_LOG(WARNING) << "best response did not reach tolerance "
+    MFG_OBS_COUNT("core.best_response.nonconverged", 1);
+    MFG_LOG(WARNING) << "best response did not converge for content "
+                     << params_.content_id << ": residual "
+                     << eq.policy_change_history.back() << " > tolerance "
                      << params_.learning.tolerance << " after "
-                     << eq.iterations << " iterations (last change "
-                     << eq.policy_change_history.back() << ")";
+                     << eq.iterations << " iterations";
+  } else {
+    MFG_OBS_COUNT("core.best_response.converged", 1);
   }
   // Refresh the mean-field quantities for the final policy/density pair so
   // callers see a consistent triple (x, λ, mf).

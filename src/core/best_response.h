@@ -31,8 +31,16 @@ struct Equilibrium {
   std::vector<MeanFieldQuantities> mean_field;  // Per time node.
   std::size_t iterations = 0;
   bool converged = false;
-  // max_{t,q} |x^ψ − x^{ψ−1}| after each iteration (convergence trace).
+  // Convergence trace, one entry per fixed-point iteration. Both vectors
+  // are reserved to max_iterations up front, so the trace records without
+  // reallocating inside the solve loop (and benches can reproduce Fig. 9
+  // style residual plots from the result alone).
+  //   policy_change_history[ψ−1] = max_{t,q} |x^ψ − x^{ψ−1}|
+  //   value_change_history[ψ−1]  = max_{t,q} |V^ψ − V^{ψ−1}|
+  //     (iteration 1 has no predecessor value surface; its entry is
+  //      max |V^1|, the change from the zero initialization).
   std::vector<double> policy_change_history;
+  std::vector<double> value_change_history;
 };
 
 class BestResponseLearner {

@@ -7,8 +7,31 @@
 #include "common/logging.h"
 #include "numerics/density.h"
 #include "numerics/field2d.h"
+#include "obs/obs.h"
 
 namespace mfg::core {
+namespace {
+
+// Telemetry-only value residual; see the 1-D learner's MaxAbsDifference.
+double MaxAbsDifference(const numerics::TimeField2D& a,
+                        const numerics::TimeField2D& b) {
+  const double* pa = a.data();
+  const std::size_t total = a.size() * a.cols();
+  double max_diff = 0.0;
+  if (b.size() * b.cols() == total) {
+    const double* pb = b.data();
+    for (std::size_t k = 0; k < total; ++k) {
+      max_diff = std::max(max_diff, std::fabs(pa[k] - pb[k]));
+    }
+  } else {
+    for (std::size_t k = 0; k < total; ++k) {
+      max_diff = std::max(max_diff, std::fabs(pa[k]));
+    }
+  }
+  return max_diff;
+}
+
+}  // namespace
 
 common::StatusOr<BestResponseLearner2D> BestResponseLearner2D::Create(
     const MfgParams& params) {
@@ -27,6 +50,9 @@ common::StatusOr<Equilibrium2D> BestResponseLearner2D::Solve(
     return common::Status::InvalidArgument(
         "initial policy rate must be in [0, 1]");
   }
+  MFG_OBS_SPAN("BestResponse2D.Solve");
+  MFG_OBS_SCOPED_TIMER("core.best_response_2d.seconds");
+  MFG_OBS_COUNT("core.best_response_2d.solves", 1);
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nh = fpk_.h_grid().size();
   const std::size_t nq = fpk_.q_grid().size();
@@ -49,6 +75,7 @@ common::StatusOr<Equilibrium2D> BestResponseLearner2D::Solve(
   eq.hjb.q_grid = eq.fpk.q_grid;
   eq.hjb.dt = eq.fpk.dt;
   eq.policy_change_history.reserve(params_.learning.max_iterations);
+  eq.value_change_history.reserve(params_.learning.max_iterations);
 
   // Reusable estimation buffers: the q-marginal is written straight into
   // the density's storage, and the per-q policy average into one slice.
@@ -108,6 +135,8 @@ common::StatusOr<Equilibrium2D> BestResponseLearner2D::Solve(
       p[k] = updated;
     }
     eq.policy_change_history.push_back(max_change);
+    eq.value_change_history.push_back(
+        MaxAbsDifference(hjb_buf.value, eq.hjb.value));
     std::swap(eq.hjb, hjb_buf);
     eq.hjb.policy = policy;
     std::swap(eq.mean_field, mean_field);
@@ -119,10 +148,17 @@ common::StatusOr<Equilibrium2D> BestResponseLearner2D::Solve(
     MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, fpk_ws, eq.fpk));
   }
 
+  MFG_OBS_OBSERVE_COUNTS("core.best_response_2d.iterations",
+                         static_cast<double>(eq.iterations));
   if (!eq.converged) {
-    MFG_LOG(WARNING) << "2-D best response did not converge after "
-                     << eq.iterations << " iterations (last change "
-                     << eq.policy_change_history.back() << ")";
+    MFG_OBS_COUNT("core.best_response.nonconverged", 1);
+    MFG_LOG(WARNING) << "2-D best response did not converge for content "
+                     << params_.content_id << ": residual "
+                     << eq.policy_change_history.back() << " > tolerance "
+                     << params_.learning.tolerance << " after "
+                     << eq.iterations << " iterations";
+  } else {
+    MFG_OBS_COUNT("core.best_response.converged", 1);
   }
   MFG_RETURN_IF_ERROR(estimate(eq.fpk, eq.hjb.policy, eq.mean_field));
   return eq;

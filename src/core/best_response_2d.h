@@ -29,7 +29,9 @@ struct Equilibrium2D {
   std::vector<MeanFieldQuantities> mean_field;  // Per time node.
   std::size_t iterations = 0;
   bool converged = false;
+  // Preallocated convergence trace; same semantics as Equilibrium's.
   std::vector<double> policy_change_history;
+  std::vector<double> value_change_history;
 };
 
 class BestResponseLearner2D {

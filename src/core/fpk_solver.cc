@@ -6,6 +6,7 @@
 
 #include "common/math_util.h"
 #include "numerics/finite_difference.h"
+#include "obs/obs.h"
 
 namespace mfg::core {
 
@@ -73,6 +74,9 @@ common::Status FpkSolver1D::SolveInto(const numerics::Density1D& initial,
                                       const numerics::TimeField2D& policy,
                                       Workspace& ws,
                                       FpkSolution& solution) const {
+  MFG_OBS_SPAN("Fpk.SolveInto");
+  MFG_OBS_SCOPED_TIMER("core.fpk.sweep_seconds");
+  MFG_OBS_COUNT("core.fpk.sweeps", 1);
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nq = q_grid_.size();
   if (!(initial.grid() == q_grid_)) {

@@ -7,6 +7,7 @@
 #include "common/math_util.h"
 #include "numerics/density.h"
 #include "numerics/field2d.h"
+#include "obs/obs.h"
 
 namespace mfg::core {
 namespace {
@@ -121,6 +122,9 @@ common::Status FpkSolver2D::SolveInto(const std::vector<double>& initial,
                                       const numerics::TimeField2D& policy,
                                       Workspace& ws,
                                       Fpk2DSolution& solution) const {
+  MFG_OBS_SPAN("Fpk2D.SolveInto");
+  MFG_OBS_SCOPED_TIMER("core.fpk_2d.sweep_seconds");
+  MFG_OBS_COUNT("core.fpk_2d.sweeps", 1);
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nh = h_grid_.size();
   const std::size_t nq = q_grid_.size();

@@ -8,6 +8,7 @@
 #include "econ/costs.h"
 #include "econ/utility.h"
 #include "numerics/finite_difference.h"
+#include "obs/obs.h"
 
 namespace mfg::core {
 
@@ -80,6 +81,9 @@ common::StatusOr<HjbSolution> HjbSolver1D::Solve(
 common::Status HjbSolver1D::SolveInto(
     const std::vector<MeanFieldQuantities>& mean_field, Workspace& ws,
     HjbSolution& solution) const {
+  MFG_OBS_SPAN("Hjb.SolveInto");
+  MFG_OBS_SCOPED_TIMER("core.hjb.sweep_seconds");
+  MFG_OBS_COUNT("core.hjb.sweeps", 1);
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nq = q_grid_.size();
   if (mean_field.size() != nt + 1) {

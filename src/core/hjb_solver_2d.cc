@@ -7,6 +7,7 @@
 #include "common/math_util.h"
 #include "econ/costs.h"
 #include "econ/utility.h"
+#include "obs/obs.h"
 
 namespace mfg::core {
 
@@ -98,6 +99,9 @@ common::StatusOr<Hjb2DSolution> HjbSolver2D::Solve(
 common::Status HjbSolver2D::SolveInto(
     const std::vector<MeanFieldQuantities>& mean_field, Workspace& ws,
     Hjb2DSolution& solution) const {
+  MFG_OBS_SPAN("Hjb2D.SolveInto");
+  MFG_OBS_SCOPED_TIMER("core.hjb_2d.sweep_seconds");
+  MFG_OBS_COUNT("core.hjb_2d.sweeps", 1);
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nh = h_grid_.size();
   const std::size_t nq = q_grid_.size();

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "numerics/quadrature.h"
+#include "obs/obs.h"
 
 namespace mfg::core {
 
@@ -28,6 +29,9 @@ common::StatusOr<MeanFieldQuantities> MeanFieldEstimator::Estimate(
 common::Status MeanFieldEstimator::EstimateInto(
     const numerics::Density1D& density, std::span<const double> policy_slice,
     Workspace& workspace, MeanFieldQuantities& out) const {
+  // Counter only: this runs once per time node inside the best-response
+  // loop, too hot for a trace span per call.
+  MFG_OBS_COUNT("core.mean_field.estimates", 1);
   const numerics::Grid1D& grid = density.grid();
   if (policy_slice.size() != grid.size()) {
     return common::Status::InvalidArgument(

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace mfg::core {
 
@@ -28,6 +29,7 @@ common::StatusOr<MfgParams> MfgCpFramework::ContentParams(
     return common::Status::OutOfRange("content id out of range");
   }
   MfgParams params = options_.base_params;
+  params.content_id = k;
   params.content_size = catalog_.size_mb(k);
   params.popularity = std::clamp(popularity, 0.0, 1.0);
   params.timeliness = timeliness;
@@ -38,6 +40,9 @@ common::StatusOr<MfgParams> MfgCpFramework::ContentParams(
 
 common::StatusOr<EpochPlan> MfgCpFramework::PlanEpoch(
     const EpochObservation& obs) const {
+  MFG_OBS_SPAN("PlanEpoch");
+  MFG_OBS_SCOPED_TIMER("core.plan_epoch.seconds");
+  MFG_OBS_COUNT("core.plan_epoch.epochs", 1);
   const std::size_t k_total = catalog_.size();
   if (obs.request_counts.size() != k_total ||
       obs.mean_timeliness.size() != k_total ||
@@ -73,9 +78,13 @@ common::StatusOr<EpochPlan> MfgCpFramework::PlanEpoch(
     std::optional<MfgParams> params;  // Kept for the collection pass below.
     std::optional<Equilibrium> equilibrium;
   };
+  MFG_OBS_OBSERVE_COUNTS("core.plan_epoch.active_contents",
+                         static_cast<double>(active_ids.size()));
   std::vector<Solved> solved(active_ids.size());
   auto solve_one = [&](std::size_t slot) {
     const content::ContentId k = active_ids[slot];
+    MFG_OBS_SPAN_ID("PlanEpoch.SolveContent",
+                    static_cast<std::int64_t>(k));
     auto params = ContentParams(k, plan.popularity[k],
                                 obs.mean_timeliness[k],
                                 static_cast<double>(obs.request_counts[k]));

@@ -58,6 +58,10 @@ struct MfgParams {
   double popularity = 0.3;       // Π_k during the epoch (Def. 1).
   double timeliness = 2.5;       // L_k during the epoch (Def. 2).
   double num_requests = 10.0;    // |I_k|: request rate for this content.
+  // Catalog id of the content this parameter set describes. Telemetry /
+  // log labels only (MfgCpFramework::ContentParams sets it); never enters
+  // the numerics.
+  std::size_t content_id = 0;
   double edge_rate = 10.0;       // Representative H_{i,j}, MB / unit time.
   bool sharing_enabled = true;   // false = the "MFG" baseline.
 

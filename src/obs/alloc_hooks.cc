@@ -1,0 +1,24 @@
+// Global operator new/new[] overrides that feed the obs allocation probe.
+// Deliberately NOT part of mfgcp_obs: only binaries that want allocation
+// counting (bench_micro_solvers) link the `mfgcp_obs_alloc_hooks` target,
+// so ordinary binaries keep the stock allocator. Every path into the
+// global allocator bumps the counter, so a steady-state kernel whose
+// delta is 0 provably never touches the heap.
+
+#include <cstdlib>
+#include <new>
+
+#include "obs/alloc_probe.h"
+
+void* operator new(std::size_t size) {
+  ::mfg::obs::AllocationCounter().fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }

@@ -1,0 +1,16 @@
+#include "obs/alloc_probe.h"
+
+namespace mfg::obs {
+namespace {
+
+std::atomic<std::size_t> g_alloc_count{0};
+
+}  // namespace
+
+std::size_t AllocationCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+std::atomic<std::size_t>& AllocationCounter() { return g_alloc_count; }
+
+}  // namespace mfg::obs

@@ -1,0 +1,36 @@
+#ifndef MFGCP_OBS_ALLOC_PROBE_H_
+#define MFGCP_OBS_ALLOC_PROBE_H_
+
+#include <atomic>
+#include <cstddef>
+
+// Reusable heap-allocation probe backing the `allocs_per_iter=0` contract
+// checks (bench_micro_solvers, and any future zero-allocation test).
+//
+// Split in two pieces so linking mfgcp never changes allocator behavior:
+//
+//   - alloc_probe.cc (part of mfgcp_obs) defines the counter and the
+//     accessors below. Always linked; AllocationCount() simply stays 0
+//     unless something feeds the counter.
+//   - alloc_hooks.cc (the separate `mfgcp_obs_alloc_hooks` target)
+//     overrides global operator new/new[] to bump the counter. Only
+//     binaries that opt into allocation counting link it.
+//
+// Usage in a probe binary:
+//   const std::size_t before = obs::AllocationCount();
+//   hot_path();
+//   const std::size_t allocs = obs::AllocationCount() - before;
+
+namespace mfg::obs {
+
+// Total global operator new/new[] calls observed by the hooks (0 when the
+// hooks target is not linked).
+std::size_t AllocationCount();
+
+// The counter the hooks bump; exposed so alloc_hooks.cc (and tests) can
+// reach it without another allocation-free indirection layer.
+std::atomic<std::size_t>& AllocationCounter();
+
+}  // namespace mfg::obs
+
+#endif  // MFGCP_OBS_ALLOC_PROBE_H_

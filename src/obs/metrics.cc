@@ -1,0 +1,179 @@
+#include "obs/metrics.h"
+
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace mfg::obs {
+namespace {
+
+// %.17g round-trips doubles exactly; ostringstream default precision does
+// not, and telemetry dumps feed convergence-trace comparisons.
+void AppendDouble(std::ostream& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << buf;
+}
+
+}  // namespace
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // node-based maps: references handed out stay stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::Global() {
+  // Leaked intentionally: instrumented code may record during static
+  // destruction (atexit dumps), so the registry must outlive everything.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name), std::unique_ptr<Counter>(new Counter))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::initializer_list<double> bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::ToJson() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : impl_->counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << counter->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : impl_->gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":";
+    AppendDouble(out, gauge->Value());
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : impl_->histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << histogram->Count()
+        << ",\"sum\":";
+    AppendDouble(out, histogram->Sum());
+    out << ",\"buckets\":[";
+    for (std::size_t b = 0; b <= histogram->num_bounds(); ++b) {
+      if (b > 0) out << ",";
+      out << "{\"le\":";
+      if (b < histogram->num_bounds()) {
+        AppendDouble(out, histogram->bound(b));
+      } else {
+        out << "\"inf\"";
+      }
+      out << ",\"count\":" << histogram->bucket_count(b) << "}";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string Registry::ToCsv() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::ostringstream out;
+  out << "kind,name,field,value\n";
+  for (const auto& [name, counter] : impl_->counters) {
+    out << "counter," << name << ",value," << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : impl_->gauges) {
+    out << "gauge," << name << ",value,";
+    AppendDouble(out, gauge->Value());
+    out << "\n";
+  }
+  for (const auto& [name, histogram] : impl_->histograms) {
+    out << "histogram," << name << ",count," << histogram->Count() << "\n";
+    out << "histogram," << name << ",sum,";
+    AppendDouble(out, histogram->Sum());
+    out << "\n";
+    for (std::size_t b = 0; b <= histogram->num_bounds(); ++b) {
+      out << "histogram," << name << ",le_";
+      if (b < histogram->num_bounds()) {
+        AppendDouble(out, histogram->bound(b));
+      } else {
+        out << "inf";
+      }
+      out << "," << histogram->bucket_count(b) << "\n";
+    }
+  }
+  return out.str();
+}
+
+namespace {
+
+common::Status WriteFile(const std::string& path, const std::string& body) {
+  std::ofstream out(path);
+  if (!out) {
+    return common::Status::IoError("cannot open " + path + " for writing");
+  }
+  out << body;
+  if (!out.good()) {
+    return common::Status::IoError("short write to " + path);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+common::Status Registry::WriteJson(const std::string& path) const {
+  return WriteFile(path, ToJson());
+}
+
+common::Status Registry::WriteCsv(const std::string& path) const {
+  return WriteFile(path, ToCsv());
+}
+
+void Registry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, counter] : impl_->counters) counter->Reset();
+  for (auto& [name, gauge] : impl_->gauges) gauge->Reset();
+  for (auto& [name, histogram] : impl_->histograms) histogram->Reset();
+}
+
+}  // namespace mfg::obs

@@ -1,0 +1,39 @@
+#ifndef MFGCP_OBS_TIMER_H_
+#define MFGCP_OBS_TIMER_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+// RAII scoped timer: records the scope's wall time (seconds, steady
+// clock) into a Histogram on destruction. The record path inherits the
+// histogram's wait-free / allocation-free contract; obtain the histogram
+// handle once (see MFG_OBS_SCOPED_TIMER in obs.h) so the hot path never
+// touches the registry.
+
+namespace mfg::obs {
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedTimer() { histogram_.Observe(ElapsedSeconds()); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace mfg::obs
+
+#endif  // MFGCP_OBS_TIMER_H_

@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace mfg::obs {
+namespace {
+
+// Small dense thread ids (1, 2, ...) in first-record order: nicer lanes in
+// the viewer than hashed std::thread::id values.
+std::uint32_t ThisThreadId() {
+  static std::atomic<std::uint32_t> next_tid{0};
+  thread_local std::uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed) + 1;
+  return tid;
+}
+
+void AppendMicros(std::ostream& out, std::uint64_t ns) {
+  // Microseconds with ns resolution kept as a decimal fraction.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out << buf;
+}
+
+}  // namespace
+
+TraceSession& TraceSession::Global() {
+  // Leaked for the same reason as the metrics registry: spans may fire
+  // during static destruction.
+  static TraceSession* session = new TraceSession();
+  return *session;
+}
+
+void TraceSession::Start(std::size_t capacity) {
+  active_.store(false, std::memory_order_relaxed);
+  ring_.assign(std::max<std::size_t>(capacity, 1), TraceEvent{});
+  next_.store(0, std::memory_order_relaxed);
+  session_start_ns_ = NowNs();
+  active_.store(true, std::memory_order_release);
+}
+
+void TraceSession::Stop() { active_.store(false, std::memory_order_relaxed); }
+
+void TraceSession::Record(const char* name, std::int64_t id,
+                          std::uint64_t start_ns, std::uint64_t dur_ns) {
+  if (!active()) return;
+  const std::size_t slot =
+      next_.fetch_add(1, std::memory_order_relaxed) % ring_.size();
+  TraceEvent& event = ring_[slot];
+  event.name = name;
+  event.id = id;
+  event.start_ns = start_ns;
+  event.dur_ns = dur_ns;
+  event.tid = ThisThreadId();
+}
+
+std::size_t TraceSession::size() const {
+  return std::min(next_.load(std::memory_order_relaxed), ring_.size());
+}
+
+std::size_t TraceSession::dropped() const {
+  const std::size_t total = next_.load(std::memory_order_relaxed);
+  return total > ring_.size() ? total - ring_.size() : 0;
+}
+
+std::string TraceSession::ToChromeTraceJson() const {
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"mfgcp\","
+      << "\"dropped_events\":" << dropped() << "},\"traceEvents\":[";
+  bool first = true;
+  const std::size_t held = size();
+  for (std::size_t i = 0; i < held; ++i) {
+    const TraceEvent& event = ring_[i];
+    if (event.name == nullptr) continue;  // Claimed but torn slot.
+    if (!first) out << ",";
+    first = false;
+    // ts is relative to session start (clamped for spans that opened
+    // before Start()).
+    const std::uint64_t ts_ns = event.start_ns > session_start_ns_
+                                    ? event.start_ns - session_start_ns_
+                                    : 0;
+    out << "{\"name\":\"" << event.name << "\",\"cat\":\"mfgcp\","
+        << "\"ph\":\"X\",\"pid\":1,\"tid\":" << event.tid << ",\"ts\":";
+    AppendMicros(out, ts_ns);
+    out << ",\"dur\":";
+    AppendMicros(out, event.dur_ns);
+    if (event.id >= 0) {
+      out << ",\"args\":{\"id\":" << event.id << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+common::Status TraceSession::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return common::Status::IoError("cannot open " + path + " for writing");
+  }
+  out << ToChromeTraceJson();
+  if (!out.good()) {
+    return common::Status::IoError("short write to " + path);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace mfg::obs

@@ -1,0 +1,113 @@
+#ifndef MFGCP_OBS_TRACE_H_
+#define MFGCP_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// Span-based epoch profiler exporting Chrome trace-event JSON.
+//
+// A TraceSpan brackets a scope (PlanEpoch, one per-content solve, one
+// HJB/FPK sweep, one simulator slot, ...). When the process-wide
+// TraceSession is active, the span's destructor records one complete
+// ("ph":"X") event into a ring buffer preallocated at Start() — a single
+// fetch_add slot claim plus plain stores, so recording is wait-free and
+// allocation-free no matter how many solver threads emit spans. When the
+// session is inactive (the default) a span costs one relaxed atomic load.
+//
+// WriteChromeTrace() dumps the buffer as a JSON object loadable by
+// chrome://tracing or https://ui.perfetto.dev. Nesting is reconstructed
+// by the viewer from timestamp containment per thread; spans only need
+// accurate (ts, dur) pairs, not explicit parent links. If more events are
+// recorded than the ring holds, the oldest per slot are overwritten and
+// the export notes the dropped count in its metadata.
+//
+// Span names must be string literals (or otherwise outlive the session):
+// the ring stores the pointer, never a copy.
+
+namespace mfg::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  std::int64_t id = -1;      // >= 0 is emitted as args.id (content id, slot).
+  std::uint64_t start_ns = 0;  // steady-clock ns (absolute).
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;
+};
+
+class TraceSession {
+ public:
+  static TraceSession& Global();
+
+  // Enables recording into a fresh ring of `capacity` events (allocates
+  // once, here). Restarting an active session discards prior events.
+  void Start(std::size_t capacity = kDefaultCapacity);
+  // Disables recording; the buffer is kept for WriteChromeTrace.
+  void Stop();
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  // Wait-free, allocation-free. No-op when inactive.
+  void Record(const char* name, std::int64_t id, std::uint64_t start_ns,
+              std::uint64_t dur_ns);
+
+  // Number of events currently held (<= capacity).
+  std::size_t size() const;
+  // Events recorded in excess of capacity (overwritten, oldest first).
+  std::size_t dropped() const;
+
+  // Serializes the held events as Chrome trace-event JSON. Call after
+  // Stop() (or at exit); racing recorders may tear in-flight events.
+  std::string ToChromeTraceJson() const;
+  common::Status WriteChromeTrace(const std::string& path) const;
+
+  // Steady-clock ns used for TraceEvent timestamps.
+  static std::uint64_t NowNs() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+ private:
+  TraceSession() = default;
+
+  std::vector<TraceEvent> ring_;
+  std::atomic<std::size_t> next_{0};  // Total events claimed since Start.
+  std::atomic<bool> active_{false};
+  std::uint64_t session_start_ns_ = 0;
+};
+
+// RAII scope marker. Captures the start time only if the session is
+// active at construction; records on destruction if it still is.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, std::int64_t id = -1)
+      : name_(name),
+        id_(id),
+        start_ns_(TraceSession::Global().active() ? TraceSession::NowNs()
+                                                  : 0) {}
+  ~TraceSpan() {
+    if (start_ns_ == 0) return;
+    TraceSession::Global().Record(name_, id_, start_ns_,
+                                  TraceSession::NowNs() - start_ns_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t id_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace mfg::obs
+
+#endif  // MFGCP_OBS_TRACE_H_

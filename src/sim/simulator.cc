@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "obs/obs.h"
 
 namespace mfg::sim {
 namespace {
@@ -196,6 +197,9 @@ common::StatusOr<SimulationResult> Simulator::Run(
     }
   }
 
+  MFG_OBS_SPAN("Simulator.Run");
+  MFG_OBS_SCOPED_TIMER("sim.run_seconds");
+  MFG_OBS_COUNT("sim.runs", 1);
   common::Rng rng(options_.seed);
   std::vector<EdpAgent> edps;
   std::vector<RequesterAgent> requesters;
@@ -252,6 +256,8 @@ common::StatusOr<SimulationResult> Simulator::Run(
   const double alpha = options_.base_params.case_alpha;
 
   for (std::size_t slot = 0; slot < options_.num_slots; ++slot) {
+    MFG_OBS_SPAN_ID("Simulator.Slot", static_cast<std::int64_t>(slot));
+    MFG_OBS_COUNT("sim.slots", 1);
     const double t = static_cast<double>(slot) * dt;
 
     // --- 1. Requests of this slot -------------------------------------
@@ -309,56 +315,61 @@ common::StatusOr<SimulationResult> Simulator::Run(
 
     // --- 3. Decision phase (timed; Table II) ---------------------------
     const auto decide_start = Clock::now();
-    std::vector<std::size_t> per_edp_counts(k_total, 0);
-    for (std::size_t i = 0; i < m; ++i) {
-      per_edp_counts.assign(k_total, 0);
-      for (const content::Request* req : per_edp_requests[i]) {
-        ++per_edp_counts[req->content];
-      }
-      for (std::size_t k = 0; k < k_total; ++k) {
-        core::PolicyContext ctx;
-        ctx.time = t;
-        ctx.content = k;
-        ctx.remaining = edps[i].remaining(k);
-        ctx.content_size = catalog_.size_mb(k);
-        ctx.popularity = popularity[k];
-        ctx.popularity_rank = rank[k];
-        ctx.timeliness = timeliness_estimate[k];
-        ctx.num_requests = static_cast<double>(per_edp_counts[k]);
-        ctx.overlap_estimate = holder_fraction[k];
-        decisions[i][k] =
-            common::ClampUnit(scheme.per_content[k]->Rate(ctx, rng));
-      }
-    }
-    // Storage budget: scale this slot's intake into the remaining
-    // headroom (paper's Remark — the capacity-constrained placement).
-    if (options_.storage_capacity_mb > 0.0) {
+    {
+      MFG_OBS_SPAN("Simulator.Decide");
+      std::vector<std::size_t> per_edp_counts(k_total, 0);
       for (std::size_t i = 0; i < m; ++i) {
-        double used = 0.0;
-        double intake = 0.0;
-        for (std::size_t k = 0; k < k_total; ++k) {
-          used += catalog_.size_mb(k) - edps[i].remaining(k);
-          const double fade = options_.base_params.boundary_smoothing *
-                              catalog_.size_mb(k);
-          const double avail =
-              fade <= 0.0
-                  ? (edps[i].remaining(k) > 0.0 ? 1.0 : 0.0)
-                  : common::Clamp(edps[i].remaining(k) / fade, 0.0, 1.0);
-          intake += catalog_.size_mb(k) *
-                    options_.base_params.dynamics.w1 * avail *
-                    decisions[i][k] * dt;
+        per_edp_counts.assign(k_total, 0);
+        for (const content::Request* req : per_edp_requests[i]) {
+          ++per_edp_counts[req->content];
         }
-        const double headroom =
-            std::max(options_.storage_capacity_mb - used, 0.0);
-        if (intake > headroom) {
-          const double scale = intake > 0.0 ? headroom / intake : 0.0;
+        for (std::size_t k = 0; k < k_total; ++k) {
+          core::PolicyContext ctx;
+          ctx.time = t;
+          ctx.content = k;
+          ctx.remaining = edps[i].remaining(k);
+          ctx.content_size = catalog_.size_mb(k);
+          ctx.popularity = popularity[k];
+          ctx.popularity_rank = rank[k];
+          ctx.timeliness = timeliness_estimate[k];
+          ctx.num_requests = static_cast<double>(per_edp_counts[k]);
+          ctx.overlap_estimate = holder_fraction[k];
+          decisions[i][k] =
+              common::ClampUnit(scheme.per_content[k]->Rate(ctx, rng));
+        }
+      }
+      // Storage budget: scale this slot's intake into the remaining
+      // headroom (paper's Remark — the capacity-constrained placement).
+      if (options_.storage_capacity_mb > 0.0) {
+        for (std::size_t i = 0; i < m; ++i) {
+          double used = 0.0;
+          double intake = 0.0;
           for (std::size_t k = 0; k < k_total; ++k) {
-            decisions[i][k] *= scale;
+            used += catalog_.size_mb(k) - edps[i].remaining(k);
+            const double fade = options_.base_params.boundary_smoothing *
+                                catalog_.size_mb(k);
+            const double avail =
+                fade <= 0.0
+                    ? (edps[i].remaining(k) > 0.0 ? 1.0 : 0.0)
+                    : common::Clamp(edps[i].remaining(k) / fade, 0.0, 1.0);
+            intake += catalog_.size_mb(k) *
+                      options_.base_params.dynamics.w1 * avail *
+                      decisions[i][k] * dt;
+          }
+          const double headroom =
+              std::max(options_.storage_capacity_mb - used, 0.0);
+          if (intake > headroom) {
+            const double scale = intake > 0.0 ? headroom / intake : 0.0;
+            for (std::size_t k = 0; k < k_total; ++k) {
+              decisions[i][k] *= scale;
+            }
           }
         }
       }
     }
-    decision_seconds += SecondsSince(decide_start);
+    const double decide_elapsed = SecondsSince(decide_start);
+    decision_seconds += decide_elapsed;
+    MFG_OBS_OBSERVE("sim.decide_seconds", decide_elapsed);
 
     // --- 4. Market settlement ------------------------------------------
     // Prices per (EDP, content) from the population's cached stock.
@@ -433,6 +444,7 @@ common::StatusOr<SimulationResult> Simulator::Run(
       slot_income += outcome.income;
       slot_staleness += staleness;
     }
+    MFG_OBS_COUNT("sim.requests_settled", batch.requests.size());
 
     // --- 5. Placement costs + cloud-download staleness + dynamics ------
     double slot_placement = 0.0;

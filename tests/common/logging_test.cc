@@ -22,6 +22,40 @@ TEST(LoggingTest, LevelNames) {
   EXPECT_EQ(LogLevelToString(LogLevel::kFatal), "FATAL");
 }
 
+TEST(LoggingTest, ParseLogLevelAcceptsKnownNames) {
+  LogLevel level = LogLevel::kFatal;
+  EXPECT_TRUE(ParseLogLevel("debug", level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warning", level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("fatal", level));
+  EXPECT_EQ(level, LogLevel::kFatal);
+}
+
+TEST(LoggingTest, ParseLogLevelIsCaseInsensitive) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("DEBUG", level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("Warning", level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsUnknownInput) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("", level));
+  EXPECT_FALSE(ParseLogLevel("verbose", level));
+  EXPECT_FALSE(ParseLogLevel("debu", level));
+  EXPECT_FALSE(ParseLogLevel("debugg", level));
+  // Failed parses leave the output untouched.
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
 TEST(LoggingTest, LogStatementsDoNotCrash) {
   MFG_LOG(DEBUG) << "debug " << 1;
   MFG_LOG(INFO) << "info " << 2.5;

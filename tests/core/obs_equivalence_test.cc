@@ -1,0 +1,113 @@
+// Observability must be read-only: recording metrics and trace spans
+// cannot perturb solver arithmetic. The compile-time half of that guard is
+// the MFGCP_OBS=OFF CI job, which rebuilds with every MFG_OBS_* macro
+// expanded to (void)0 and reruns the golden tests
+// (solver_equivalence_test). This file covers the runtime half: the same
+// binary must produce bit-identical equilibria with the trace session
+// active and inactive, and the exported convergence trace must be
+// reproducible run to run.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "core/best_response.h"
+#include "obs/obs.h"
+
+namespace mfg::core {
+namespace {
+
+MfgParams SmallParams() {
+  MfgParams params = DefaultPaperParams();
+  params.grid.num_q_nodes = 41;
+  params.grid.num_time_steps = 50;
+  params.learning.max_iterations = 15;
+  return params;
+}
+
+Equilibrium SolveOnce(const MfgParams& params) {
+  auto learner = BestResponseLearner::Create(params);
+  EXPECT_TRUE(learner.ok()) << learner.status();
+  auto eq = learner->Solve();
+  EXPECT_TRUE(eq.ok()) << eq.status();
+  return std::move(eq).value();
+}
+
+void ExpectBitIdentical(const Equilibrium& a, const Equilibrium& b) {
+  ASSERT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.policy_change_history, b.policy_change_history);
+  ASSERT_EQ(a.value_change_history, b.value_change_history);
+  ASSERT_EQ(a.hjb.value.size(), b.hjb.value.size());
+  ASSERT_EQ(a.hjb.value.cols(), b.hjb.value.cols());
+  const std::size_t total = a.hjb.value.size() * a.hjb.value.cols();
+  for (std::size_t k = 0; k < total; ++k) {
+    ASSERT_EQ(a.hjb.value.data()[k], b.hjb.value.data()[k]) << "k=" << k;
+    ASSERT_EQ(a.hjb.policy.data()[k], b.hjb.policy.data()[k]) << "k=" << k;
+  }
+  ASSERT_EQ(a.fpk.densities.size(), b.fpk.densities.size());
+  for (std::size_t n = 0; n < a.fpk.densities.size(); ++n) {
+    ASSERT_EQ(a.fpk.densities[n].values(), b.fpk.densities[n].values())
+        << "n=" << n;
+  }
+}
+
+TEST(ObsEquivalenceTest, TracingDoesNotPerturbTheEquilibrium) {
+  const MfgParams params = SmallParams();
+
+  obs::TraceSession::Global().Stop();
+  const Equilibrium quiet = SolveOnce(params);
+
+  obs::TraceSession::Global().Start(1 << 12);
+  const Equilibrium traced = SolveOnce(params);
+  obs::TraceSession::Global().Stop();
+
+#if MFGCP_OBS_ENABLED
+  // The traced run actually recorded spans (BestResponse.Solve plus the
+  // per-iteration HJB/FPK sweeps)...
+  EXPECT_GT(obs::TraceSession::Global().size(), 2u);
+#endif
+  // ...and still produced the identical equilibrium.
+  ExpectBitIdentical(quiet, traced);
+}
+
+TEST(ObsEquivalenceTest, ConvergenceTraceIsReproducible) {
+  const MfgParams params = SmallParams();
+  const Equilibrium first = SolveOnce(params);
+  const Equilibrium second = SolveOnce(params);
+  ExpectBitIdentical(first, second);
+
+  // The exported per-iteration residual trace covers every sweep, and the
+  // policy residuals end under the tolerance iff the solve converged.
+  ASSERT_EQ(first.policy_change_history.size(), first.iterations);
+  ASSERT_EQ(first.value_change_history.size(), first.iterations);
+  ASSERT_TRUE(first.converged);
+  EXPECT_LT(first.policy_change_history.back(),
+            params.learning.tolerance);
+  // Iteration 1 measures against the zero initialization, so both
+  // residual series start strictly positive.
+  EXPECT_GT(first.policy_change_history.front(), 0.0);
+  EXPECT_GT(first.value_change_history.front(), 0.0);
+}
+
+TEST(ObsEquivalenceTest, SolveCountersAdvance) {
+#if !MFGCP_OBS_ENABLED
+  GTEST_SKIP() << "instrumentation compiled out (MFGCP_OBS=OFF)";
+#else
+  const MfgParams params = SmallParams();
+  obs::Registry& registry = obs::Registry::Global();
+  const auto solves_before =
+      registry.GetCounter("core.best_response.solves").Value();
+  const auto sweeps_before = registry.GetCounter("core.hjb.sweeps").Value();
+  const Equilibrium eq = SolveOnce(params);
+  EXPECT_EQ(registry.GetCounter("core.best_response.solves").Value(),
+            solves_before + 1);
+  // One HJB sweep per best-response iteration.
+  EXPECT_EQ(registry.GetCounter("core.hjb.sweeps").Value(),
+            sweeps_before + eq.iterations);
+#endif
+}
+
+}  // namespace
+}  // namespace mfg::core

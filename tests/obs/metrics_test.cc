@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mfg::obs {
+namespace {
+
+// All tests share the process-global registry (its constructor is
+// private), so every metric name here carries a "test." prefix unique to
+// its test case.
+
+TEST(CounterTest, AddAccumulates) {
+  Counter& counter = Registry::Global().GetCounter("test.counter.add");
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  Counter& counter = Registry::Global().GetCounter("test.counter.mt");
+  counter.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kAddsPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(),
+            static_cast<std::uint64_t>(kThreads) * kAddsPerThread);
+}
+
+TEST(GaugeTest, SetOverwrites) {
+  Gauge& gauge = Registry::Global().GetGauge("test.gauge.set");
+  gauge.Set(1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.5);
+  gauge.Set(-2.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -2.25);
+}
+
+TEST(HistogramTest, ObservationsLandInBuckets) {
+  Histogram& histogram =
+      Registry::Global().GetHistogram("test.hist.buckets", {1.0, 2.0, 4.0});
+  histogram.Reset();
+  histogram.Observe(0.5);   // <= 1.0 -> bucket 0.
+  histogram.Observe(1.0);   // <= 1.0 -> bucket 0 (inclusive upper bound).
+  histogram.Observe(3.0);   // <= 4.0 -> bucket 2.
+  histogram.Observe(100.0);  // overflow bucket.
+  ASSERT_EQ(histogram.num_bounds(), 3u);
+  EXPECT_EQ(histogram.bucket_count(0), 2u);
+  EXPECT_EQ(histogram.bucket_count(1), 0u);
+  EXPECT_EQ(histogram.bucket_count(2), 1u);
+  EXPECT_EQ(histogram.bucket_count(3), 1u);
+  EXPECT_EQ(histogram.Count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 104.5);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 104.5 / 4.0);
+}
+
+TEST(HistogramTest, EmptyHistogramHasZeroMean) {
+  Histogram& histogram =
+      Registry::Global().GetHistogram("test.hist.empty", {1.0});
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 0.0);
+}
+
+TEST(HistogramTest, ExcessBoundsAreTruncated) {
+  std::initializer_list<double> too_many = {
+      1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11, 12, 13, 14, 15,
+      16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30};
+  Histogram& histogram =
+      Registry::Global().GetHistogram("test.hist.truncated", too_many);
+  EXPECT_EQ(histogram.num_bounds(), Histogram::kMaxBuckets);
+}
+
+TEST(RegistryTest, SameNameReturnsSameInstrument) {
+  Counter& a = Registry::Global().GetCounter("test.registry.same");
+  Counter& b = Registry::Global().GetCounter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  // Histogram bounds are fixed by the first registration.
+  Histogram& h1 =
+      Registry::Global().GetHistogram("test.registry.hist", {1.0, 2.0});
+  Histogram& h2 =
+      Registry::Global().GetHistogram("test.registry.hist", {5.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.num_bounds(), 2u);
+}
+
+TEST(RegistryTest, ReferencesStayStableAcrossRegistrations) {
+  Counter& pinned = Registry::Global().GetCounter("test.registry.pinned");
+  pinned.Reset();
+  pinned.Add(7);
+  for (int i = 0; i < 100; ++i) {
+    Registry::Global().GetCounter("test.registry.filler." +
+                                  std::to_string(i));
+  }
+  EXPECT_EQ(pinned.Value(), 7u);
+  EXPECT_EQ(&pinned, &Registry::Global().GetCounter("test.registry.pinned"));
+}
+
+TEST(RegistryTest, JsonSnapshotContainsEveryKind) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("test.json.counter").Reset();
+  registry.GetCounter("test.json.counter").Add(3);
+  registry.GetGauge("test.json.gauge").Set(2.5);
+  Histogram& histogram = registry.GetHistogram("test.json.hist", {1.0});
+  histogram.Reset();
+  histogram.Observe(0.5);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"test.json.counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\":{\"count\":1,\"sum\":0.5"),
+            std::string::npos);
+  EXPECT_NE(json.find("{\"le\":1,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":\"inf\",\"count\":0}"), std::string::npos);
+  // Structurally a single JSON object: balanced braces, ends where it
+  // should.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(RegistryTest, CsvSnapshotHasHeaderAndRows) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("test.csv.counter").Reset();
+  registry.GetCounter("test.csv.counter").Add(9);
+  const std::string csv = registry.ToCsv();
+  EXPECT_EQ(csv.rfind("kind,name,field,value\n", 0), 0u);
+  EXPECT_NE(csv.find("counter,test.csv.counter,value,9"), std::string::npos);
+}
+
+TEST(RegistryTest, WriteJsonRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/mfgcp_metrics.json";
+  Registry& registry = Registry::Global();
+  registry.GetCounter("test.write.counter").Add(1);
+  ASSERT_TRUE(registry.WriteJson(path).ok());
+  std::ifstream in(path);
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_EQ(body.str(), registry.ToJson());
+  std::remove(path.c_str());
+  EXPECT_FALSE(registry.WriteJson("/no/such/dir/metrics.json").ok());
+  EXPECT_FALSE(registry.WriteCsv("/no/such/dir/metrics.csv").ok());
+}
+
+TEST(RegistryTest, ResetForTestingZeroesInstruments) {
+  Registry& registry = Registry::Global();
+  Counter& counter = registry.GetCounter("test.reset.counter");
+  Gauge& gauge = registry.GetGauge("test.reset.gauge");
+  Histogram& histogram = registry.GetHistogram("test.reset.hist", {1.0});
+  counter.Add(5);
+  gauge.Set(5.0);
+  histogram.Observe(0.5);
+  registry.ResetForTesting();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_EQ(histogram.bucket_count(0), 0u);
+}
+
+}  // namespace
+}  // namespace mfg::obs

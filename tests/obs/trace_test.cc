@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace mfg::obs {
+namespace {
+
+// The trace session is process-global; every test fully owns it by
+// calling Start() (which discards prior events) and Stop().
+
+TEST(TraceSessionTest, InactiveSessionRecordsNothing) {
+  TraceSession& session = TraceSession::Global();
+  session.Start(8);
+  session.Stop();
+  session.Record("ignored", -1, 1, 1);
+  { TraceSpan span("also_ignored"); }
+  EXPECT_EQ(session.size(), 0u);
+  EXPECT_EQ(session.dropped(), 0u);
+}
+
+TEST(TraceSessionTest, SpansRecordWhileActive) {
+  TraceSession& session = TraceSession::Global();
+  session.Start(8);
+  {
+    TraceSpan outer("outer");
+    TraceSpan inner("inner", 3);
+  }
+  session.Stop();
+  // Inner closes first, so it occupies the first slot.
+  EXPECT_EQ(session.size(), 2u);
+  const std::string json = session.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"id\":3}"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+}
+
+TEST(TraceSessionTest, SpanOpenAcrossStopIsDiscarded) {
+  TraceSession& session = TraceSession::Global();
+  session.Start(8);
+  {
+    TraceSpan span("late");
+    session.Stop();
+  }  // Destructor runs with the session inactive.
+  EXPECT_EQ(session.size(), 0u);
+}
+
+TEST(TraceSessionTest, RingWrapKeepsCapacityAndCountsDropped) {
+  TraceSession& session = TraceSession::Global();
+  session.Start(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("wrapped", i);
+  }
+  session.Stop();
+  EXPECT_EQ(session.size(), 4u);
+  EXPECT_EQ(session.dropped(), 6u);
+  const std::string json = session.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"dropped_events\":6"), std::string::npos);
+}
+
+TEST(TraceSessionTest, RestartDiscardsPriorEvents) {
+  TraceSession& session = TraceSession::Global();
+  session.Start(8);
+  { TraceSpan span("first_session"); }
+  session.Start(8);
+  { TraceSpan span("second_session"); }
+  session.Stop();
+  EXPECT_EQ(session.size(), 1u);
+  const std::string json = session.ToChromeTraceJson();
+  EXPECT_EQ(json.find("first_session"), std::string::npos);
+  EXPECT_NE(json.find("second_session"), std::string::npos);
+}
+
+TEST(TraceSessionTest, JsonIsStructurallyBalanced) {
+  TraceSession& session = TraceSession::Global();
+  session.Start(8);
+  { TraceSpan span("balanced", 1); }
+  session.Stop();
+  const std::string json = session.ToChromeTraceJson();
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceSessionTest, WriteChromeTraceRoundTrips) {
+  TraceSession& session = TraceSession::Global();
+  session.Start(8);
+  { TraceSpan span("to_disk"); }
+  session.Stop();
+  const std::string path = ::testing::TempDir() + "/mfgcp_trace.json";
+  ASSERT_TRUE(session.WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_EQ(body.str(), session.ToChromeTraceJson());
+  std::remove(path.c_str());
+  EXPECT_FALSE(session.WriteChromeTrace("/no/such/dir/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace mfg::obs

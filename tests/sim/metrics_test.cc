@@ -19,6 +19,70 @@ SimulationResult MakeResult(const std::vector<double>& utilities) {
   return result;
 }
 
+TEST(MetricsTest, EdpAccountAddAccumulatesEveryField) {
+  EdpAccount a;
+  a.trading_income = 1.0;
+  a.sharing_benefit = 2.0;
+  a.placement_cost = 3.0;
+  a.staleness_cost = 4.0;
+  a.sharing_cost = 5.0;
+  a.requests_served = 6;
+  a.case1_count = 7;
+  a.case2_count = 8;
+  a.case3_count = 9;
+  EdpAccount b;
+  b.trading_income = 10.0;
+  b.sharing_benefit = 20.0;
+  b.placement_cost = 30.0;
+  b.staleness_cost = 40.0;
+  b.sharing_cost = 50.0;
+  b.requests_served = 60;
+  b.case1_count = 70;
+  b.case2_count = 80;
+  b.case3_count = 90;
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a.trading_income, 11.0);
+  EXPECT_DOUBLE_EQ(a.sharing_benefit, 22.0);
+  EXPECT_DOUBLE_EQ(a.placement_cost, 33.0);
+  EXPECT_DOUBLE_EQ(a.staleness_cost, 44.0);
+  EXPECT_DOUBLE_EQ(a.sharing_cost, 55.0);
+  EXPECT_EQ(a.requests_served, 66u);
+  EXPECT_EQ(a.case1_count, 77u);
+  EXPECT_EQ(a.case2_count, 88u);
+  EXPECT_EQ(a.case3_count, 99u);
+  // b is untouched.
+  EXPECT_DOUBLE_EQ(b.trading_income, 10.0);
+  EXPECT_EQ(b.requests_served, 60u);
+}
+
+TEST(MetricsTest, UtilitySignConvention) {
+  // Eq. 10: U = Φ¹ + Φ² − C¹ − C² − C³ — income counts positive, every
+  // cost negative.
+  EdpAccount account;
+  account.trading_income = 100.0;
+  account.sharing_benefit = 10.0;
+  account.placement_cost = 20.0;
+  account.staleness_cost = 30.0;
+  account.sharing_cost = 40.0;
+  EXPECT_DOUBLE_EQ(account.Utility(), 100.0 + 10.0 - 20.0 - 30.0 - 40.0);
+  EXPECT_DOUBLE_EQ(EdpAccount().Utility(), 0.0);
+  EdpAccount costs_only;
+  costs_only.placement_cost = 5.0;
+  EXPECT_DOUBLE_EQ(costs_only.Utility(), -5.0);
+}
+
+TEST(MetricsTest, AddMatchesSummedUtilities) {
+  EdpAccount a;
+  a.trading_income = 4.0;
+  a.staleness_cost = 1.0;
+  EdpAccount b;
+  b.sharing_benefit = 2.5;
+  b.sharing_cost = 0.5;
+  const double separate = a.Utility() + b.Utility();
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a.Utility(), separate);
+}
+
 TEST(MetricsTest, MeansOverEdps) {
   auto result = MakeResult({10.0, 20.0, 30.0});
   EXPECT_DOUBLE_EQ(result.MeanUtility(), 20.0);
