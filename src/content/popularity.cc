@@ -50,6 +50,14 @@ common::StatusOr<PopularityModel> PopularityModel::Create(
 
 common::StatusOr<std::vector<double>> PopularityModel::Update(
     const std::vector<std::size_t>& request_counts) const {
+  std::vector<double> updated;
+  MFG_RETURN_IF_ERROR(UpdateInto(request_counts, updated));
+  return updated;
+}
+
+common::Status PopularityModel::UpdateInto(
+    const std::vector<std::size_t>& request_counts,
+    std::vector<double>& out) const {
   const std::size_t k = prior_.size();
   if (request_counts.size() != k) {
     return common::Status::InvalidArgument(
@@ -57,14 +65,14 @@ common::StatusOr<std::vector<double>> PopularityModel::Update(
   }
   std::size_t total = 0;
   for (std::size_t c : request_counts) total += c;
-  std::vector<double> updated(k);
+  out.resize(k);
   const double denom = static_cast<double>(k) + static_cast<double>(total);
   for (std::size_t i = 0; i < k; ++i) {
-    updated[i] = (static_cast<double>(k) * prior_[i] +
-                  static_cast<double>(request_counts[i])) /
-                 denom;
+    out[i] = (static_cast<double>(k) * prior_[i] +
+              static_cast<double>(request_counts[i])) /
+             denom;
   }
-  return updated;
+  return common::Status::Ok();
 }
 
 common::StatusOr<double> PopularityModel::UpdateOne(

@@ -38,6 +38,12 @@ class PopularityModel {
   common::StatusOr<std::vector<double>> Update(
       const std::vector<std::size_t>& request_counts) const;
 
+  // In-place variant for the epoch hot path: writes the K updated
+  // popularities into `out`, reusing its storage (zero allocations once
+  // `out` has warmed up to K entries).
+  common::Status UpdateInto(const std::vector<std::size_t>& request_counts,
+                            std::vector<double>& out) const;
+
   // Single-content version of Eq. 3.
   common::StatusOr<double> UpdateOne(std::size_t k, std::size_t requests_k,
                                      std::size_t total_requests) const;

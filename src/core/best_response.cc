@@ -48,6 +48,15 @@ common::StatusOr<BestResponseLearner> BestResponseLearner::Create(
                              std::move(estimator));
 }
 
+common::Status BestResponseLearner::Rebind(const MfgParams& params) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_RETURN_IF_ERROR(hjb_.Rebind(params));
+  MFG_RETURN_IF_ERROR(fpk_.Rebind(params));
+  MFG_RETURN_IF_ERROR(estimator_.Rebind(params));
+  params_ = params;
+  return common::Status::Ok();
+}
+
 common::StatusOr<Equilibrium> BestResponseLearner::Solve() const {
   MFG_ASSIGN_OR_RETURN(numerics::Density1D initial,
                        fpk_.MakeInitialDensity());
@@ -56,6 +65,21 @@ common::StatusOr<Equilibrium> BestResponseLearner::Solve() const {
 
 common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
     const numerics::Density1D& initial, double initial_rate) const {
+  Workspace workspace;
+  Equilibrium eq;
+  MFG_RETURN_IF_ERROR(SolveFromInto(initial, initial_rate, workspace, eq));
+  return eq;
+}
+
+common::Status BestResponseLearner::SolveInto(Workspace& workspace,
+                                              Equilibrium& out) const {
+  MFG_RETURN_IF_ERROR(fpk_.MakeInitialDensityInto(workspace.initial));
+  return SolveFromInto(workspace.initial, 0.5, workspace, out);
+}
+
+common::Status BestResponseLearner::SolveFromInto(
+    const numerics::Density1D& initial, double initial_rate, Workspace& ws,
+    Equilibrium& out) const {
   if (initial_rate < 0.0 || initial_rate > 1.0) {
     return common::Status::InvalidArgument(
         "initial policy rate must be in [0, 1]");
@@ -66,15 +90,24 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
   const std::size_t nt = params_.grid.num_time_steps;
   const std::size_t nq = params_.grid.num_q_nodes;
 
-  numerics::TimeField2D policy(nt + 1, nq, initial_rate);
+  // Reset a (possibly reused) output to the fresh-Equilibrium state while
+  // keeping every buffer's capacity. Clearing the value surface matters
+  // for bit-identity: iteration 1's value residual must measure against
+  // the zero initialization, not a previous solve's surface.
+  Equilibrium& eq = out;
+  eq.iterations = 0;
+  eq.converged = false;
+  eq.policy_change_history.clear();
+  eq.value_change_history.clear();
+  eq.hjb.value.clear();
+  eq.hjb.policy.clear();
 
-  Equilibrium eq;
-  FpkSolver1D::Workspace fpk_ws;
-  HjbSolver1D::Workspace hjb_ws;
-  MeanFieldEstimator::Workspace mf_ws;
+  ws.policy.Assign(nt + 1, nq, initial_rate);
+  numerics::TimeField2D& policy = ws.policy;
 
-  // λ trajectory under the initial guess.
-  MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, fpk_ws, eq.fpk));
+  // λ trajectory under the initial guess (reuses eq.fpk's density storage
+  // when the shape still matches).
+  MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, ws.fpk, eq.fpk));
   eq.hjb.q_grid = eq.fpk.q_grid;
   eq.hjb.dt = eq.fpk.dt;
   eq.policy_change_history.reserve(params_.learning.max_iterations);
@@ -83,8 +116,8 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
   // Double-buffered per-iteration products: swapped with the copies held in
   // `eq`, so iteration ψ+1 writes into iteration ψ−1's storage and the loop
   // is allocation-free once both buffers have warmed up.
-  HjbSolution hjb_buf;
-  std::vector<MeanFieldQuantities> mean_field;
+  HjbSolution& hjb_buf = ws.hjb_buffer;
+  std::vector<MeanFieldQuantities>& mean_field = ws.mean_field;
 
   for (std::size_t iter = 1; iter <= params_.learning.max_iterations;
        ++iter) {
@@ -94,11 +127,11 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
     mean_field.resize(nt + 1);
     for (std::size_t n = 0; n <= nt; ++n) {
       MFG_RETURN_IF_ERROR(estimator_.EstimateInto(
-          eq.fpk.densities[n], policy[n], mf_ws, mean_field[n]));
+          eq.fpk.densities[n], policy[n], ws.estimator, mean_field[n]));
     }
 
     // (2) Backward HJB -> candidate best response.
-    MFG_RETURN_IF_ERROR(hjb_.SolveInto(mean_field, hjb_ws, hjb_buf));
+    MFG_RETURN_IF_ERROR(hjb_.SolveInto(mean_field, ws.hjb, hjb_buf));
 
     // (3) Relaxed policy update + convergence test (Alg. 2, line 6).
     double max_change = 0.0;
@@ -127,7 +160,7 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
     }
 
     // (4) Forward FPK under the relaxed policy.
-    MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, fpk_ws, eq.fpk));
+    MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, ws.fpk, eq.fpk));
   }
 
   MFG_OBS_OBSERVE_COUNTS("core.best_response.iterations",
@@ -146,9 +179,10 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
   // callers see a consistent triple (x, λ, mf).
   for (std::size_t n = 0; n <= nt; ++n) {
     MFG_RETURN_IF_ERROR(estimator_.EstimateInto(
-        eq.fpk.densities[n], eq.hjb.policy[n], mf_ws, eq.mean_field[n]));
+        eq.fpk.densities[n], eq.hjb.policy[n], ws.estimator,
+        eq.mean_field[n]));
   }
-  return eq;
+  return common::Status::Ok();
 }
 
 common::StatusOr<EquilibriumRollout> RolloutEquilibrium(

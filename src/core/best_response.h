@@ -45,7 +45,30 @@ struct Equilibrium {
 
 class BestResponseLearner {
  public:
+  // Long-lived scratch for SolveInto: the initial density, the relaxed
+  // policy iterate, the sub-solver workspaces, and the double buffers the
+  // fixed-point loop swaps with the Equilibrium. An epoch worker owns one
+  // Workspace for its whole lifetime; every buffer is re-shaped in place,
+  // so repeated solves on the same grid shape never touch the heap.
+  struct Workspace {
+    numerics::Density1D initial;
+    numerics::TimeField2D policy;
+    HjbSolver1D::Workspace hjb;
+    FpkSolver1D::Workspace fpk;
+    MeanFieldEstimator::Workspace estimator;
+    HjbSolution hjb_buffer;
+    std::vector<MeanFieldQuantities> mean_field;
+  };
+
   static common::StatusOr<BestResponseLearner> Create(const MfgParams& params);
+
+  // Re-parameterizes the learner and its sub-solvers in place — the pooled
+  // epoch workers rebind one long-lived learner per content instead of
+  // constructing fresh ones. Allocation-free when the grid shape is
+  // unchanged. On failure the learner must be rebound again before use
+  // (in practice all failure modes are caught by params.Validate() before
+  // any member is touched).
+  common::Status Rebind(const MfgParams& params);
 
   // Runs Alg. 2 from the params' initial density and a flat initial
   // policy guess.
@@ -56,6 +79,18 @@ class BestResponseLearner {
   // uniqueness property tests (different starts -> same fixed point).
   common::StatusOr<Equilibrium> SolveFrom(const numerics::Density1D& initial,
                                           double initial_rate) const;
+
+  // Hot-path counterpart of Solve(): writes the equilibrium into `out`,
+  // reusing its storage and `workspace` scratch. Bit-identical to Solve()
+  // (guarded by solver_equivalence_test) and zero heap allocations once
+  // both have warmed up on the current grid shape.
+  common::Status SolveInto(Workspace& workspace, Equilibrium& out) const;
+
+  // SolveFrom's in-place counterpart; Solve/SolveFrom delegate here with
+  // fresh storage.
+  common::Status SolveFromInto(const numerics::Density1D& initial,
+                               double initial_rate, Workspace& workspace,
+                               Equilibrium& out) const;
 
   const MfgParams& params() const { return params_; }
 

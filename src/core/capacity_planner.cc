@@ -3,12 +3,16 @@
 #include <algorithm>
 
 #include "core/best_response.h"
+#include "obs/obs.h"
 
 namespace mfg::core {
 
 common::StatusOr<std::vector<ContentPlanSummary>> SummarizeEpochPlan(
     const MfgCpFramework& framework, const EpochPlan& plan,
     const EpochObservation& observation, double q0_frac) {
+  MFG_OBS_SPAN("CapacityPlanner.Summarize");
+  MFG_OBS_SCOPED_TIMER("core.capacity.summarize_seconds");
+  MFG_OBS_COUNT("core.capacity.summaries", 1);
   if (q0_frac <= 0.0 || q0_frac > 1.0) {
     return common::Status::InvalidArgument("q0_frac must be in (0, 1]");
   }
@@ -48,6 +52,11 @@ common::StatusOr<std::vector<ContentPlanSummary>> SummarizeEpochPlan(
 common::StatusOr<CapacityPlan> PlanUnderCapacity(
     const std::vector<ContentPlanSummary>& summaries, double capacity_mb,
     bool divisible) {
+  MFG_OBS_SPAN("CapacityPlanner.Plan");
+  MFG_OBS_SCOPED_TIMER("core.capacity.plan_seconds");
+  MFG_OBS_COUNT("core.capacity.plans", 1);
+  MFG_OBS_OBSERVE_COUNTS("core.capacity.planned_contents",
+                         static_cast<double>(summaries.size()));
   if (capacity_mb < 0.0) {
     return common::Status::InvalidArgument("capacity must be >= 0");
   }
@@ -70,6 +79,7 @@ common::StatusOr<CapacityPlan> PlanUnderCapacity(
   plan.capacity_used_mb = selection.total_weight;
   plan.expected_value = selection.total_value;
   plan.constrained = plan.planned_total_mb > capacity_mb + 1e-9;
+  if (plan.constrained) MFG_OBS_COUNT("core.capacity.constrained_plans", 1);
   return plan;
 }
 

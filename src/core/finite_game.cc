@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.h"
 #include "common/math_util.h"
@@ -9,6 +10,7 @@
 #include "econ/pricing.h"
 #include "econ/utility.h"
 #include "numerics/interpolation.h"
+#include "obs/obs.h"
 
 namespace mfg::core {
 namespace {
@@ -114,6 +116,10 @@ common::StatusOr<FiniteGameSolver> FiniteGameSolver::Create(
 }
 
 common::StatusOr<FiniteGameResult> FiniteGameSolver::Solve() const {
+  MFG_OBS_SPAN_ID("FiniteGame.Solve",
+                  static_cast<std::int64_t>(options_.num_players));
+  MFG_OBS_SCOPED_TIMER("core.finite_game.seconds");
+  MFG_OBS_COUNT("core.finite_game.solves", 1);
   const MfgParams& params = options_.params;
   const std::size_t m = options_.num_players;
   const std::size_t nt = params.grid.num_time_steps;
@@ -197,6 +203,8 @@ common::StatusOr<FiniteGameResult> FiniteGameSolver::Solve() const {
       break;
     }
   }
+  MFG_OBS_OBSERVE_COUNTS("core.finite_game.rounds",
+                         static_cast<double>(result.rounds));
 
   // Final accounting along the converged trajectories.
   result.utilities.assign(m, 0.0);

@@ -13,6 +13,10 @@ namespace mfg::core {
 FpkSolver1D::FpkSolver1D(const MfgParams& params,
                          const numerics::Grid1D& q_grid)
     : params_(params), q_grid_(q_grid) {
+  InitTables();
+}
+
+void FpkSolver1D::InitTables() {
   const std::size_t nq = q_grid_.size();
   q_coords_.resize(nq);
   neg_w1_avail_.resize(nq);
@@ -29,11 +33,27 @@ common::StatusOr<FpkSolver1D> FpkSolver1D::Create(const MfgParams& params) {
   return FpkSolver1D(params, q_grid);
 }
 
+common::Status FpkSolver1D::Rebind(const MfgParams& params) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_ASSIGN_OR_RETURN(numerics::Grid1D q_grid, params.MakeQGrid());
+  params_ = params;
+  q_grid_ = q_grid;
+  InitTables();
+  return common::Status::Ok();
+}
+
 common::StatusOr<numerics::Density1D> FpkSolver1D::MakeInitialDensity()
     const {
   return numerics::Density1D::TruncatedGaussian(
       q_grid_, params_.init_mean_frac * params_.content_size,
       params_.init_std_frac * params_.content_size);
+}
+
+common::Status FpkSolver1D::MakeInitialDensityInto(
+    numerics::Density1D& out) const {
+  return numerics::Density1D::TruncatedGaussianInto(
+      q_grid_, params_.init_mean_frac * params_.content_size,
+      params_.init_std_frac * params_.content_size, out);
 }
 
 common::StatusOr<FpkSolution> FpkSolver1D::Solve(

@@ -52,6 +52,11 @@ class FpkSolver1D {
 
   static common::StatusOr<FpkSolver1D> Create(const MfgParams& params);
 
+  // Re-parameterizes the solver in place (see HjbSolver1D::Rebind):
+  // revalidates `params` and recomputes the per-node tables reusing their
+  // storage; allocation-free when the q-grid size is unchanged.
+  common::Status Rebind(const MfgParams& params);
+
   // Evolves `initial` forward under `policy` (policy[n][i] = x at time
   // node n, q node i; needs num_time_steps + 1 slices — the slice at node
   // n drives the interval [t_n, t_{n+1})).
@@ -76,8 +81,16 @@ class FpkSolver1D {
   // mean init_mean_frac·Q_k and std init_std_frac·Q_k).
   common::StatusOr<numerics::Density1D> MakeInitialDensity() const;
 
+  // In-place variant reusing `out`'s sample storage; allocation-free once
+  // `out` has held a density of the solver's grid size.
+  common::Status MakeInitialDensityInto(numerics::Density1D& out) const;
+
  private:
   FpkSolver1D(const MfgParams& params, const numerics::Grid1D& q_grid);
+
+  // (Re)computes the per-node tables from params_/q_grid_; shared by the
+  // constructor and Rebind.
+  void InitTables();
 
   MfgParams params_;
   numerics::Grid1D q_grid_;

@@ -16,6 +16,10 @@ HjbSolver1D::HjbSolver1D(const MfgParams& params,
                          const numerics::Grid1D& q_grid,
                          const econ::CaseModel& case_model)
     : params_(params), q_grid_(q_grid), case_model_(case_model) {
+  InitTables();
+}
+
+void HjbSolver1D::InitTables() {
   const std::size_t nq = q_grid_.size();
   q_coords_.resize(nq);
   avail_.resize(nq);
@@ -35,6 +39,17 @@ common::StatusOr<HjbSolver1D> HjbSolver1D::Create(const MfgParams& params) {
   MFG_ASSIGN_OR_RETURN(numerics::Grid1D q_grid, params.MakeQGrid());
   MFG_ASSIGN_OR_RETURN(econ::CaseModel case_model, params.MakeCaseModel());
   return HjbSolver1D(params, q_grid, case_model);
+}
+
+common::Status HjbSolver1D::Rebind(const MfgParams& params) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_ASSIGN_OR_RETURN(numerics::Grid1D q_grid, params.MakeQGrid());
+  MFG_ASSIGN_OR_RETURN(econ::CaseModel case_model, params.MakeCaseModel());
+  params_ = params;
+  q_grid_ = q_grid;
+  case_model_ = case_model;
+  InitTables();
+  return common::Status::Ok();
 }
 
 double HjbSolver1D::OptimalRate(double dq_value, double availability) const {

@@ -69,6 +69,13 @@ class HjbSolver1D {
 
   static common::StatusOr<HjbSolver1D> Create(const MfgParams& params);
 
+  // Re-parameterizes the solver in place: revalidates `params` and
+  // recomputes every construction-time table, reusing their storage.
+  // Equivalent to replacing *this with *Create(params) but allocation-free
+  // when the q-grid size is unchanged — the epoch worker pool rebinds one
+  // long-lived solver per content instead of constructing fresh ones.
+  common::Status Rebind(const MfgParams& params);
+
   // Solves backward from V(T) = 0 given the mean-field quantities at each
   // output time node (`mean_field.size()` must be num_time_steps + 1).
   common::StatusOr<HjbSolution> Solve(
@@ -97,6 +104,10 @@ class HjbSolver1D {
  private:
   HjbSolver1D(const MfgParams& params, const numerics::Grid1D& q_grid,
               const econ::CaseModel& case_model);
+
+  // (Re)computes the per-node tables and Theorem-1 constants from the
+  // current params_/q_grid_; shared by the constructor and Rebind.
+  void InitTables();
 
   MfgParams params_;
   numerics::Grid1D q_grid_;

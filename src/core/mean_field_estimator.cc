@@ -16,6 +16,15 @@ common::StatusOr<MeanFieldEstimator> MeanFieldEstimator::Create(
   return MeanFieldEstimator(params, pricing);
 }
 
+common::Status MeanFieldEstimator::Rebind(const MfgParams& params) {
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_ASSIGN_OR_RETURN(econ::PricingModel pricing,
+                       econ::PricingModel::Create(params.pricing));
+  params_ = params;
+  pricing_ = pricing;
+  return common::Status::Ok();
+}
+
 common::StatusOr<MeanFieldQuantities> MeanFieldEstimator::Estimate(
     const numerics::Density1D& density,
     const std::vector<double>& policy_slice) const {

@@ -49,6 +49,10 @@ class MeanFieldEstimator {
   // Fails on invalid params (delegates to MfgParams::Validate()).
   static common::StatusOr<MeanFieldEstimator> Create(const MfgParams& params);
 
+  // Re-parameterizes the estimator in place (see HjbSolver1D::Rebind);
+  // allocation-free for the profile-less params the epoch loop builds.
+  common::Status Rebind(const MfgParams& params);
+
   // Computes all quantities for one time slice. `policy_slice` is x(t, ·)
   // sampled on the density's grid.
   common::StatusOr<MeanFieldQuantities> Estimate(

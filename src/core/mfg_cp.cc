@@ -1,14 +1,58 @@
 #include "core/mfg_cp.h"
 
 #include <algorithm>
-#include <atomic>
-#include <future>
-#include <optional>
+#include <string>
+#include <utility>
 
 #include "common/logging.h"
 #include "obs/obs.h"
 
 namespace mfg::core {
+namespace {
+
+// Context handed to the worker pool for one epoch; slots index
+// buffer->results / buffer->statuses, whose `content` fields the planning
+// pass filled before RunEpoch.
+struct EpochSolveJob {
+  const MfgCpFramework* framework;
+  const EpochObservation* obs;
+  EpochPlanBuffer* buffer;
+  EpochRuntime* runtime;
+};
+
+// Solves one content slot on worker `worker`'s long-lived learner and
+// workspace. Writes only this slot's result/status, so any slot→worker
+// schedule yields bit-identical results.
+void SolveEpochSlot(void* ctx, std::size_t worker, std::size_t slot) {
+  EpochSolveJob& job = *static_cast<EpochSolveJob*>(ctx);
+  EpochContentResult& result = job.buffer->results[slot];
+  common::Status& status = job.buffer->statuses[slot];
+  EpochRuntime::WorkerContext& wc = job.runtime->worker(worker);
+  const content::ContentId k = result.content;
+  MFG_OBS_SPAN_ID("PlanEpoch.SolveContent", static_cast<std::int64_t>(k));
+  auto params = job.framework->ContentParams(
+      k, job.buffer->popularity[k], job.obs->mean_timeliness[k],
+      static_cast<double>(job.obs->request_counts[k]));
+  if (!params.ok()) {
+    status = params.status();
+    return;
+  }
+  result.params = std::move(*params);
+  if (!wc.learner.has_value()) {
+    auto learner = BestResponseLearner::Create(result.params);
+    if (!learner.ok()) {
+      status = learner.status();
+      return;
+    }
+    wc.learner.emplace(std::move(*learner));
+  } else {
+    status = wc.learner->Rebind(result.params);
+    if (!status.ok()) return;
+  }
+  status = wc.learner->SolveInto(wc.workspace, result.equilibrium);
+}
+
+}  // namespace
 
 common::StatusOr<MfgCpFramework> MfgCpFramework::Create(
     const MfgCpOptions& options, const content::Catalog& catalog,
@@ -19,7 +63,9 @@ common::StatusOr<MfgCpFramework> MfgCpFramework::Create(
     return common::Status::InvalidArgument(
         "popularity model does not cover the catalog");
   }
-  return MfgCpFramework(options, catalog, popularity, timeliness);
+  auto state = std::make_unique<PlanState>(options.parallelism);
+  return MfgCpFramework(options, catalog, popularity, timeliness,
+                        std::move(state));
 }
 
 common::StatusOr<MfgParams> MfgCpFramework::ContentParams(
@@ -38,8 +84,8 @@ common::StatusOr<MfgParams> MfgCpFramework::ContentParams(
   return params;
 }
 
-common::StatusOr<EpochPlan> MfgCpFramework::PlanEpoch(
-    const EpochObservation& obs) const {
+common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
+                                             EpochPlanBuffer& buffer) const {
   MFG_OBS_SPAN("PlanEpoch");
   MFG_OBS_SCOPED_TIMER("core.plan_epoch.seconds");
   MFG_OBS_COUNT("core.plan_epoch.epochs", 1);
@@ -51,93 +97,77 @@ common::StatusOr<EpochPlan> MfgCpFramework::PlanEpoch(
         "epoch observation arity does not match the catalog");
   }
 
-  EpochPlan plan;
-  plan.active.assign(k_total, false);
-  plan.policies.assign(k_total, nullptr);
+  // One epoch at a time on the shared pool (PlanEpoch is const but the
+  // worker contexts are mutable state).
+  std::lock_guard<std::mutex> lock(state_->mutex);
+
+  buffer.active.assign(k_total, false);
 
   // Popularity update (Eq. 3) from the epoch's request counts.
-  MFG_ASSIGN_OR_RETURN(plan.popularity,
-                       popularity_.Update(obs.request_counts));
+  MFG_RETURN_IF_ERROR(
+      popularity_.UpdateInto(obs.request_counts, buffer.popularity));
 
   // K' (Alg. 1 line 5): contents that still have uncached data and were
-  // actually requested this epoch.
-  std::vector<content::ContentId> active_ids;
+  // actually requested this epoch. Slots keep ascending content order, so
+  // downstream consumers see the same ordering as the serial loop.
+  buffer.num_active = 0;
   for (content::ContentId k = 0; k < k_total; ++k) {
     const bool needs_cache = obs.mean_remaining[k] > 0.0;
     const bool requested =
         static_cast<double>(obs.request_counts[k]) >= options_.min_requests;
     if (!needs_cache || !requested) continue;
-    plan.active[k] = true;
-    active_ids.push_back(k);
+    buffer.active[k] = true;
+    const std::size_t slot = buffer.num_active++;
+    if (buffer.results.size() <= slot) {
+      buffer.results.emplace_back();
+      buffer.statuses.emplace_back();
+    }
+    buffer.results[slot].content = k;
+    buffer.statuses[slot] = common::Status::Ok();
   }
-
-  // Solve the independent per-content equilibria, optionally in parallel
-  // (Alg. 1 line 2). Each worker writes only its own slot.
-  struct Solved {
-    common::Status status;
-    std::optional<MfgParams> params;  // Kept for the collection pass below.
-    std::optional<Equilibrium> equilibrium;
-  };
   MFG_OBS_OBSERVE_COUNTS("core.plan_epoch.active_contents",
-                         static_cast<double>(active_ids.size()));
-  std::vector<Solved> solved(active_ids.size());
-  auto solve_one = [&](std::size_t slot) {
-    const content::ContentId k = active_ids[slot];
-    MFG_OBS_SPAN_ID("PlanEpoch.SolveContent",
-                    static_cast<std::int64_t>(k));
-    auto params = ContentParams(k, plan.popularity[k],
-                                obs.mean_timeliness[k],
-                                static_cast<double>(obs.request_counts[k]));
-    if (!params.ok()) {
-      solved[slot].status = params.status();
-      return;
-    }
-    auto learner = BestResponseLearner::Create(*params);
-    if (!learner.ok()) {
-      solved[slot].status = learner.status();
-      return;
-    }
-    auto equilibrium = learner->Solve();
-    if (!equilibrium.ok()) {
-      solved[slot].status = equilibrium.status();
-      return;
-    }
-    solved[slot].params = std::move(params).value();
-    solved[slot].equilibrium = std::move(equilibrium).value();
-  };
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::min(options_.parallelism,
-                                        active_ids.size()));
-  if (workers <= 1) {
-    for (std::size_t slot = 0; slot < active_ids.size(); ++slot) {
-      solve_one(slot);
-    }
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::future<void>> futures;
-    futures.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      futures.push_back(std::async(std::launch::async, [&] {
-        for (std::size_t slot = next.fetch_add(1);
-             slot < active_ids.size(); slot = next.fetch_add(1)) {
-          solve_one(slot);
-        }
-      }));
-    }
-    for (auto& future : futures) future.get();
-  }
+                         static_cast<double>(buffer.num_active));
 
-  for (std::size_t slot = 0; slot < active_ids.size(); ++slot) {
-    MFG_RETURN_IF_ERROR(solved[slot].status);
-    const content::ContentId k = active_ids[slot];
+  // Solve the independent per-content equilibria on the persistent pool
+  // (Alg. 1 line 2). Each worker writes only its own slots.
+  EpochSolveJob job{this, &obs, &buffer, &state_->runtime};
+  state_->runtime.RunEpoch(buffer.num_active, &SolveEpochSlot, &job);
+
+  for (std::size_t slot = 0; slot < buffer.num_active; ++slot) {
+    const common::Status& status = buffer.statuses[slot];
+    if (!status.ok()) {
+      // Error path (may allocate): name the content so a failing epoch
+      // tells the operator *which* solve died, not just why.
+      return common::Status(
+          status.code(),
+          "content " + std::to_string(buffer.results[slot].content) + ": " +
+              status.message());
+    }
+  }
+  return common::Status::Ok();
+}
+
+common::StatusOr<EpochPlan> MfgCpFramework::PlanEpoch(
+    const EpochObservation& obs) const {
+  EpochPlanBuffer buffer;
+  MFG_RETURN_IF_ERROR(PlanEpochInto(obs, buffer));
+
+  EpochPlan plan;
+  plan.active = std::move(buffer.active);
+  plan.popularity = std::move(buffer.popularity);
+  plan.policies.assign(catalog_.size(), nullptr);
+  plan.equilibria.reserve(buffer.num_active);
+  plan.equilibrium_content.reserve(buffer.num_active);
+  for (std::size_t slot = 0; slot < buffer.num_active; ++slot) {
+    EpochContentResult& result = buffer.results[slot];
     // The params were already built (and validated) by the worker; reuse
     // them instead of reconstructing per content.
     MFG_ASSIGN_OR_RETURN(
         std::unique_ptr<MfgPolicy> policy,
-        MfgPolicy::Create(*solved[slot].params, *solved[slot].equilibrium));
-    plan.policies[k] = std::shared_ptr<MfgPolicy>(std::move(policy));
-    plan.equilibria.push_back(std::move(*solved[slot].equilibrium));
-    plan.equilibrium_content.push_back(k);
+        MfgPolicy::Create(result.params, result.equilibrium));
+    plan.policies[result.content] = std::shared_ptr<MfgPolicy>(std::move(policy));
+    plan.equilibria.push_back(std::move(result.equilibrium));
+    plan.equilibrium_content.push_back(result.content);
   }
   return plan;
 }

@@ -2,6 +2,7 @@
 #define MFGCP_CORE_MFG_CP_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -9,6 +10,7 @@
 #include "content/popularity.h"
 #include "content/timeliness.h"
 #include "core/best_response.h"
+#include "core/epoch_runtime.h"
 #include "core/policy.h"
 
 // The MFG-CP framework (Algorithm 1): per optimization epoch, from the
@@ -21,6 +23,11 @@
 // Because the equilibrium is a property of the *population* (mean field),
 // one plan serves every EDP — this is exactly why the per-epoch cost is
 // O(K ψ_th), independent of M (paper's Remark; reproduced by Table II).
+//
+// The per-content solves run on a persistent EpochRuntime worker pool
+// owned by the framework (created at Create, joined at destruction); see
+// epoch_runtime.h for the threading and determinism contract, and
+// ARCHITECTURE.md for the epoch data flow.
 
 namespace mfg::core {
 
@@ -33,7 +40,8 @@ struct MfgCpOptions {
   double min_requests = 0.5;
   // Worker threads for the per-content equilibrium solves (Alg. 1 line 2:
   // EDPs plan "in parallel"; the per-content problems are independent).
-  // 1 = serial.
+  // 1 = serial (no threads are spawned). Results are bit-identical for
+  // every value.
   std::size_t parallelism = 1;
 };
 
@@ -54,6 +62,28 @@ struct EpochPlan {
   std::vector<std::size_t> equilibrium_content;  // parallel content ids.
 };
 
+// One solved content from PlanEpochInto. The params/equilibrium storage
+// is reused across epochs; `content` says which catalog entry this slot
+// solved in the current epoch.
+struct EpochContentResult {
+  content::ContentId content = 0;
+  MfgParams params;
+  Equilibrium equilibrium;
+};
+
+// Caller-owned, reusable output of PlanEpochInto — the allocation-free
+// counterpart of EpochPlan (no policy objects, no shared_ptrs). `results`
+// and `statuses` are grown to the high-water count of active contents and
+// never shrunk (shrinking would free warmed Equilibrium buffers); only
+// the first `num_active` entries describe the current epoch.
+struct EpochPlanBuffer {
+  std::vector<bool> active;        // active[k]: k ∈ K'.
+  std::vector<double> popularity;  // Updated Π_k (Eq. 3).
+  std::vector<EpochContentResult> results;
+  std::vector<common::Status> statuses;  // Per-slot solve status.
+  std::size_t num_active = 0;
+};
+
 class MfgCpFramework {
  public:
   static common::StatusOr<MfgCpFramework> Create(
@@ -62,8 +92,17 @@ class MfgCpFramework {
       const content::TimelinessModel& timeliness);
 
   // Runs one epoch of Alg. 1 (lines 4–10). Fails if the observation's
-  // arity does not match the catalog.
+  // arity does not match the catalog. Convenience wrapper over
+  // PlanEpochInto that also builds the MfgPolicy objects.
   common::StatusOr<EpochPlan> PlanEpoch(const EpochObservation& obs) const;
+
+  // Hot path of Alg. 1: like PlanEpoch, but writes into a caller-owned
+  // buffer and skips the (allocating) MfgPolicy convenience layer. Zero
+  // steady-state heap allocations once the worker pool and `buffer` have
+  // warmed up, for a catalog whose contents share one grid shape (a
+  // content-size change re-warms that worker's buffers once).
+  common::Status PlanEpochInto(const EpochObservation& obs,
+                               EpochPlanBuffer& buffer) const;
 
   // Builds the per-content MfgParams PlanEpoch would use; exposed so
   // benches can solve single contents directly.
@@ -75,19 +114,35 @@ class MfgCpFramework {
   const MfgCpOptions& options() const { return options_; }
   const content::Catalog& catalog() const { return catalog_; }
 
+  // Telemetry view of the persistent worker pool (per-worker solve counts
+  // and allocation deltas of the last epoch).
+  const EpochRuntime& epoch_runtime() const { return state_->runtime; }
+
  private:
+  // Pool + the mutex serializing epochs on it. Heap-allocated so the
+  // framework stays movable (StatusOr requires it) while the worker
+  // threads keep a stable address to synchronize against.
+  struct PlanState {
+    explicit PlanState(std::size_t parallelism) : runtime(parallelism) {}
+    std::mutex mutex;
+    EpochRuntime runtime;
+  };
+
   MfgCpFramework(const MfgCpOptions& options, content::Catalog catalog,
                  content::PopularityModel popularity,
-                 content::TimelinessModel timeliness)
+                 content::TimelinessModel timeliness,
+                 std::unique_ptr<PlanState> state)
       : options_(options),
         catalog_(std::move(catalog)),
         popularity_(std::move(popularity)),
-        timeliness_(std::move(timeliness)) {}
+        timeliness_(std::move(timeliness)),
+        state_(std::move(state)) {}
 
   MfgCpOptions options_;
   content::Catalog catalog_;
   content::PopularityModel popularity_;
   content::TimelinessModel timeliness_;
+  std::unique_ptr<PlanState> state_;
 };
 
 }  // namespace mfg::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace mfg::econ {
 
 common::StatusOr<PricingModel> PricingModel::Create(
@@ -28,6 +30,9 @@ common::StatusOr<double> PricingModel::FiniteMarketPrice(
   if (content_size <= 0.0) {
     return common::Status::InvalidArgument("content size must be positive");
   }
+  // Counter only: this runs per player per time node inside the finite-M
+  // best-response rounds, too hot for a span per call.
+  MFG_OBS_COUNT("econ.pricing.finite_market_evals", 1);
   if (m == 1) return params_.max_price;
 
   double supply = 0.0;

@@ -22,20 +22,28 @@ common::StatusOr<Density1D> Density1D::Uniform(const Grid1D& grid) {
 common::StatusOr<Density1D> Density1D::TruncatedGaussian(const Grid1D& grid,
                                                          double mean,
                                                          double stddev) {
+  Density1D density;
+  MFG_RETURN_IF_ERROR(TruncatedGaussianInto(grid, mean, stddev, density));
+  return density;
+}
+
+common::Status Density1D::TruncatedGaussianInto(const Grid1D& grid,
+                                                double mean, double stddev,
+                                                Density1D& out) {
   if (stddev <= 0.0) {
     return common::Status::InvalidArgument("stddev must be positive");
   }
-  std::vector<double> values(grid.size());
+  out.grid_ = grid;
+  out.values_.resize(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    values[i] = GaussianPdf(grid.x(i), mean, stddev);
+    out.values_[i] = GaussianPdf(grid.x(i), mean, stddev);
   }
-  Density1D density(grid, std::move(values));
-  common::Status normalized = density.Normalize();
+  common::Status normalized = out.Normalize();
   if (!normalized.ok()) {
     return common::Status::InvalidArgument(
         "Gaussian mass underflows on the grid span (mean too far outside)");
   }
-  return density;
+  return common::Status::Ok();
 }
 
 common::StatusOr<Density1D> Density1D::FromSamples(

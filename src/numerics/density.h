@@ -15,6 +15,11 @@ namespace mfg::numerics {
 
 class Density1D {
  public:
+  // An empty density (degenerate grid, no samples). Exists so long-lived
+  // workspaces can hold a Density1D slot and fill it in place with the
+  // *Into factories below; most callers want the named factories instead.
+  Density1D() = default;
+
   // A uniform density over the grid span.
   static common::StatusOr<Density1D> Uniform(const Grid1D& grid);
 
@@ -24,6 +29,12 @@ class Density1D {
   static common::StatusOr<Density1D> TruncatedGaussian(const Grid1D& grid,
                                                        double mean,
                                                        double stddev);
+
+  // In-place variant: writes the same truncated Gaussian into `out`,
+  // reusing its sample storage. Zero allocations once `out` has held a
+  // density of the same grid size. On failure `out` is left unspecified.
+  static common::Status TruncatedGaussianInto(const Grid1D& grid, double mean,
+                                              double stddev, Density1D& out);
 
   // Wraps raw non-negative samples, renormalizing to unit mass. Fails on
   // negative entries or zero total mass.

@@ -12,6 +12,7 @@
 
 void* operator new(std::size_t size) {
   ::mfg::obs::AllocationCounter().fetch_add(1, std::memory_order_relaxed);
+  ++::mfg::obs::ThreadAllocationCounter();
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }

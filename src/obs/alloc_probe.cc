@@ -4,6 +4,9 @@ namespace mfg::obs {
 namespace {
 
 std::atomic<std::size_t> g_alloc_count{0};
+// Trivially-constructible on purpose: operator new can run before any
+// thread_local with a dynamic initializer is ready.
+thread_local std::size_t t_alloc_count = 0;
 
 }  // namespace
 
@@ -11,6 +14,10 @@ std::size_t AllocationCount() {
   return g_alloc_count.load(std::memory_order_relaxed);
 }
 
+std::size_t ThreadAllocationCount() { return t_alloc_count; }
+
 std::atomic<std::size_t>& AllocationCounter() { return g_alloc_count; }
+
+std::size_t& ThreadAllocationCounter() { return t_alloc_count; }
 
 }  // namespace mfg::obs

@@ -27,9 +27,17 @@ namespace mfg::obs {
 // hooks target is not linked).
 std::size_t AllocationCount();
 
-// The counter the hooks bump; exposed so alloc_hooks.cc (and tests) can
-// reach it without another allocation-free indirection layer.
+// Operator new/new[] calls made by the *calling thread* (0 when the hooks
+// target is not linked). Backs the per-worker assertions of the epoch
+// runtime: each pool worker snapshots this around its slot batch, so a
+// zero delta proves that worker's solves never touched the heap —
+// independent of what other threads allocate concurrently.
+std::size_t ThreadAllocationCount();
+
+// The counters the hooks bump; exposed so alloc_hooks.cc (and tests) can
+// reach them without another allocation-free indirection layer.
 std::atomic<std::size_t>& AllocationCounter();
+std::size_t& ThreadAllocationCounter();
 
 }  // namespace mfg::obs
 
