@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/math_util.h"
+#include "core/fault_injection.h"
 #include "econ/utility.h"
 #include "numerics/interpolation.h"
 #include "obs/obs.h"
@@ -40,6 +41,7 @@ double MaxAbsDifference(const numerics::TimeField2D& a,
 common::StatusOr<BestResponseLearner> BestResponseLearner::Create(
     const MfgParams& params) {
   MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_FAULT_POINT(kRebind);
   MFG_ASSIGN_OR_RETURN(HjbSolver1D hjb, HjbSolver1D::Create(params));
   MFG_ASSIGN_OR_RETURN(FpkSolver1D fpk, FpkSolver1D::Create(params));
   MFG_ASSIGN_OR_RETURN(MeanFieldEstimator estimator,
@@ -50,6 +52,7 @@ common::StatusOr<BestResponseLearner> BestResponseLearner::Create(
 
 common::Status BestResponseLearner::Rebind(const MfgParams& params) {
   MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_FAULT_POINT(kRebind);
   MFG_RETURN_IF_ERROR(hjb_.Rebind(params));
   MFG_RETURN_IF_ERROR(fpk_.Rebind(params));
   MFG_RETURN_IF_ERROR(estimator_.Rebind(params));
@@ -73,6 +76,7 @@ common::StatusOr<Equilibrium> BestResponseLearner::SolveFrom(
 
 common::Status BestResponseLearner::SolveInto(Workspace& workspace,
                                               Equilibrium& out) const {
+  MFG_FAULT_POINT(kSolve);
   MFG_RETURN_IF_ERROR(fpk_.MakeInitialDensityInto(workspace.initial));
   return SolveFromInto(workspace.initial, 0.5, workspace, out);
 }
@@ -107,6 +111,7 @@ common::Status BestResponseLearner::SolveFromInto(
 
   // λ trajectory under the initial guess (reuses eq.fpk's density storage
   // when the shape still matches).
+  MFG_FAULT_POINT(kFpkStep);
   MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, ws.fpk, eq.fpk));
   eq.hjb.q_grid = eq.fpk.q_grid;
   eq.hjb.dt = eq.fpk.dt;
@@ -131,6 +136,7 @@ common::Status BestResponseLearner::SolveFromInto(
     }
 
     // (2) Backward HJB -> candidate best response.
+    MFG_FAULT_POINT(kHjbStep);
     MFG_RETURN_IF_ERROR(hjb_.SolveInto(mean_field, ws.hjb, hjb_buf));
 
     // (3) Relaxed policy update + convergence test (Alg. 2, line 6).
@@ -163,6 +169,7 @@ common::Status BestResponseLearner::SolveFromInto(
     MFG_RETURN_IF_ERROR(fpk_.SolveInto(initial, policy, ws.fpk, eq.fpk));
   }
 
+  if (MFG_FAULT_FORCED(kNonConvergence)) eq.converged = false;
   MFG_OBS_OBSERVE_COUNTS("core.best_response.iterations",
                          static_cast<double>(eq.iterations));
   if (!eq.converged) {

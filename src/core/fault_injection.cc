@@ -1,0 +1,161 @@
+#include "core/fault_injection.h"
+
+#include <atomic>
+#include <string>
+
+#include "common/random.h"
+
+namespace mfg::core::faults {
+namespace {
+
+// The armed plan (null = disarmed) and the injected-failure tally. Plans
+// are immutable while armed, so workers only ever read through the
+// pointer; the relaxed loads keep the unarmed hot path to one atomic op.
+std::atomic<const FaultPlan*> g_plan{nullptr};
+std::atomic<std::size_t> g_injected{0};
+
+// Thread-local coordinates of the solve attempt currently running on this
+// thread. `active` gates hooks reached outside any MFG_FAULT_SCOPE.
+struct ThreadCoordinates {
+  bool active = false;
+  std::size_t epoch = 0;
+  std::size_t content = 0;
+  std::size_t attempt = 0;
+};
+thread_local ThreadCoordinates t_coords;
+
+constexpr std::string_view kSiteNames[kNumFaultSites] = {
+    "params_build", "rebind",   "solve",
+    "hjb_step",     "fpk_step", "non_convergence",
+};
+
+// The spec matching this thread's coordinates, or nullptr. Also reports
+// the coordinates so callers can format a message without re-reading the
+// thread local.
+const FaultSpec* Match(FaultSite site, ThreadCoordinates& coords) {
+  const FaultPlan* plan = g_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) return nullptr;
+  coords = t_coords;
+  if (!coords.active) return nullptr;
+  const FaultSpec* spec = plan->Find(site, coords.epoch, coords.content);
+  if (spec == nullptr || coords.attempt >= spec->fail_attempts) {
+    return nullptr;
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::string_view FaultSiteName(FaultSite site) {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+bool ParseFaultSite(std::string_view text, FaultSite& out) {
+  for (std::size_t i = 0; i < kNumFaultSites; ++i) {
+    if (text == kSiteNames[i]) {
+      out = static_cast<FaultSite>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultPlan FaultPlan::FromSeed(const SeedOptions& options) {
+  FaultPlan plan;
+  common::Rng rng(options.seed);
+  const std::vector<FaultSite> all_sites = {
+      FaultSite::kParamsBuild, FaultSite::kRebind,
+      FaultSite::kSolve,       FaultSite::kHjbStep,
+      FaultSite::kFpkStep,     FaultSite::kNonConvergence,
+  };
+  const std::vector<FaultSite>& sites =
+      options.sites.empty() ? all_sites : options.sites;
+  for (std::size_t epoch = 0; epoch < options.num_epochs; ++epoch) {
+    for (std::size_t content = 0; content < options.num_contents;
+         ++content) {
+      // Draw the per-pair randomness unconditionally so a spec's shape
+      // does not depend on which other pairs were selected.
+      const double select = rng.Uniform();
+      const std::size_t site_index = rng.UniformInt(sites.size());
+      const double permanence = rng.Uniform();
+      const std::size_t attempts = 1 + rng.UniformInt(3);
+      if (select >= options.fault_rate) continue;
+      FaultSpec spec;
+      spec.site = sites[site_index];
+      spec.epoch = epoch;
+      spec.content = content;
+      spec.fail_attempts = permanence < options.permanent_fraction
+                               ? FaultSpec::kAlways
+                               : attempts;
+      plan.Add(spec);
+    }
+  }
+  return plan;
+}
+
+const FaultSpec* FaultPlan::Find(FaultSite site, std::size_t epoch,
+                                 std::size_t content) const {
+  for (const FaultSpec& spec : specs_) {
+    if (spec.site == site && spec.epoch == epoch &&
+        spec.content == content) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultPlan& plan)
+    : previous_(g_plan.exchange(&plan, std::memory_order_release)) {}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  g_plan.store(previous_, std::memory_order_release);
+}
+
+ScopedFaultScope::ScopedFaultScope(std::size_t epoch, std::size_t content,
+                                   std::size_t attempt)
+    : saved_active_(t_coords.active),
+      saved_epoch_(t_coords.epoch),
+      saved_content_(t_coords.content),
+      saved_attempt_(t_coords.attempt) {
+  t_coords.active = true;
+  t_coords.epoch = epoch;
+  t_coords.content = content;
+  t_coords.attempt = attempt;
+}
+
+ScopedFaultScope::~ScopedFaultScope() {
+  t_coords.active = saved_active_;
+  t_coords.epoch = saved_epoch_;
+  t_coords.content = saved_content_;
+  t_coords.attempt = saved_attempt_;
+}
+
+common::Status Check(FaultSite site) {
+  ThreadCoordinates coords;
+  const FaultSpec* spec = Match(site, coords);
+  if (spec == nullptr) return common::Status::Ok();
+  g_injected.fetch_add(1, std::memory_order_relaxed);
+  return common::Status(
+      spec->code,
+      "injected fault at " + std::string(FaultSiteName(site)) + " (epoch " +
+          std::to_string(coords.epoch) + ", content " +
+          std::to_string(coords.content) + ", attempt " +
+          std::to_string(coords.attempt) + ")");
+}
+
+bool Fires(FaultSite site) {
+  ThreadCoordinates coords;
+  if (Match(site, coords) == nullptr) return false;
+  g_injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t InjectedFaultCount() {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+void ResetInjectedFaultCount() {
+  g_injected.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mfg::core::faults

@@ -5,9 +5,28 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/fault_injection.h"
+#include "numerics/density.h"
 #include "obs/obs.h"
 
 namespace mfg::core {
+
+std::string_view SlotOutcomeName(SlotOutcome outcome) {
+  switch (outcome) {
+    case SlotOutcome::kSolved:
+      return "solved";
+    case SlotOutcome::kRetried:
+      return "retried";
+    case SlotOutcome::kCarriedForward:
+      return "carried_forward";
+    case SlotOutcome::kFallback:
+      return "fallback";
+    case SlotOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
 namespace {
 
 // Context handed to the worker pool for one epoch; slots index
@@ -20,36 +39,222 @@ struct EpochSolveJob {
   EpochRuntime* runtime;
 };
 
-// Solves one content slot on worker `worker`'s long-lived learner and
-// workspace. Writes only this slot's result/status, so any slot→worker
-// schedule yields bit-identical results.
-void SolveEpochSlot(void* ctx, std::size_t worker, std::size_t slot) {
-  EpochSolveJob& job = *static_cast<EpochSolveJob*>(ctx);
-  EpochContentResult& result = job.buffer->results[slot];
-  common::Status& status = job.buffer->statuses[slot];
-  EpochRuntime::WorkerContext& wc = job.runtime->worker(worker);
+// Codes the ladder may recover from. Configuration errors propagate:
+// retrying an invalid input reproduces the same failure, and masking it
+// with a fallback would hide a caller bug.
+bool IsRecoverable(common::StatusCode code) {
+  return code == common::StatusCode::kNumericalError ||
+         code == common::StatusCode::kInternal;
+}
+
+// The deterministic relaxation schedule of retry `attempt` (attempt >= 1):
+// damp the best-response update, widen the acceptance tolerance, and grant
+// extra fixed-point iterations — all geometric/linear in the attempt index
+// so the schedule is reproducible from the options alone.
+void RelaxLearning(const EpochRecoveryOptions& recovery, std::size_t attempt,
+                   LearningParams& learning) {
+  for (std::size_t a = 0; a < attempt; ++a) {
+    learning.relaxation *= recovery.relaxation_decay;
+    learning.tolerance *= recovery.tolerance_growth;
+  }
+  learning.max_iterations += recovery.extra_iterations * attempt;
+}
+
+// One solve attempt for `result`'s content on worker state `wc`.
+// Attempt 0 is the nominal solve; attempts >= 1 apply the relaxation
+// schedule. The fault scope makes the attempt addressable by an armed
+// fault plan.
+common::Status AttemptSlotSolve(const EpochSolveJob& job,
+                                EpochRuntime::WorkerContext& wc,
+                                EpochContentResult& result,
+                                std::size_t attempt) {
   const content::ContentId k = result.content;
-  MFG_OBS_SPAN_ID("PlanEpoch.SolveContent", static_cast<std::int64_t>(k));
+  MFG_FAULT_SCOPE(job.buffer->epoch_index, k, attempt);
   auto params = job.framework->ContentParams(
       k, job.buffer->popularity[k], job.obs->mean_timeliness[k],
       static_cast<double>(job.obs->request_counts[k]));
-  if (!params.ok()) {
-    status = params.status();
-    return;
+  if (!params.ok()) return params.status();
+  if (attempt > 0) {
+    RelaxLearning(job.framework->options().recovery, attempt,
+                  params->learning);
   }
   result.params = std::move(*params);
   if (!wc.learner.has_value()) {
     auto learner = BestResponseLearner::Create(result.params);
-    if (!learner.ok()) {
-      status = learner.status();
-      return;
-    }
+    if (!learner.ok()) return learner.status();
     wc.learner.emplace(std::move(*learner));
   } else {
-    status = wc.learner->Rebind(result.params);
-    if (!status.ok()) return;
+    MFG_RETURN_IF_ERROR(wc.learner->Rebind(result.params));
   }
-  status = wc.learner->SolveInto(wc.workspace, result.equilibrium);
+  return wc.learner->SolveInto(wc.workspace, result.equilibrium);
+}
+
+// Refreshes the carry-forward slot for content `k`. Called only for
+// converged solves; allocation-free once the slot has held an equilibrium
+// of the same shape.
+void SaveLastGood(const EpochSolveJob& job, content::ContentId k,
+                  const EpochContentResult& result) {
+  EpochPlanBuffer::LastGood& carry = job.buffer->last_good[k];
+  carry.params = result.params;
+  carry.equilibrium = result.equilibrium;
+  carry.valid = true;
+}
+
+// Final ladder rung: a static most-popular-style plan built without the
+// solver — contents in the top fallback_top_fraction of the epoch's
+// popularity ranking cache at rate 1, the rest at rate 0, and the mean
+// field is frozen at the initial density (no market information survives
+// a solve that never ran). Built outside any fault scope: the fallback
+// must not be killable by the same injected fault that triggered it.
+common::Status BuildFallbackResult(const EpochSolveJob& job,
+                                   EpochContentResult& result) {
+  const MfgCpFramework& framework = *job.framework;
+  const EpochRecoveryOptions& recovery = framework.options().recovery;
+  const content::ContentId k = result.content;
+
+  // The per-content params may be what failed (bad observation), so build
+  // from the template params and the catalog only.
+  MfgParams params = framework.options().base_params;
+  params.content_id = k;
+  params.content_size = framework.catalog().size_mb(k);
+  params.popularity = std::clamp(job.buffer->popularity[k], 0.0, 1.0);
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_ASSIGN_OR_RETURN(numerics::Grid1D grid, params.MakeQGrid());
+
+  // Popularity rank of k in [0, 1): the fraction of catalog contents
+  // strictly ahead of it (ties broken by id, like the simulator's rank).
+  const std::vector<double>& popularity = job.buffer->popularity;
+  std::size_t ahead = 0;
+  for (std::size_t j = 0; j < popularity.size(); ++j) {
+    if (popularity[j] > popularity[k] ||
+        (popularity[j] == popularity[k] && j < k)) {
+      ++ahead;
+    }
+  }
+  const double rank = popularity.empty()
+                          ? 0.0
+                          : static_cast<double>(ahead) /
+                                static_cast<double>(popularity.size());
+  const double rate = rank < recovery.fallback_top_fraction ? 1.0 : 0.0;
+
+  const std::size_t nt = params.grid.num_time_steps;
+  const std::size_t nq = params.grid.num_q_nodes;
+  Equilibrium& eq = result.equilibrium;
+  eq.iterations = 0;
+  eq.converged = false;
+  eq.policy_change_history.clear();
+  eq.value_change_history.clear();
+  eq.hjb.q_grid = grid;
+  eq.hjb.dt = params.TimeStep();
+  eq.hjb.value.Assign(nt + 1, nq, 0.0);
+  eq.hjb.policy.Assign(nt + 1, nq, rate);
+  eq.fpk.q_grid = grid;
+  eq.fpk.dt = params.TimeStep();
+  eq.fpk.densities.resize(nt + 1);
+  for (numerics::Density1D& density : eq.fpk.densities) {
+    MFG_RETURN_IF_ERROR(numerics::Density1D::TruncatedGaussianInto(
+        grid, params.init_mean_frac * params.content_size,
+        params.init_std_frac * params.content_size, density));
+  }
+  eq.mean_field.assign(nt + 1, MeanFieldQuantities{});
+  result.params = std::move(params);
+  return common::Status::Ok();
+}
+
+// Solves one content slot on worker `worker`'s long-lived learner and
+// workspace, running the recovery ladder on failure. Writes only this
+// slot's result/status/outcome (plus the slot content's own carry entry,
+// which no other slot touches this epoch), so any slot→worker schedule
+// yields bit-identical results.
+void SolveEpochSlot(void* ctx, std::size_t worker, std::size_t slot) {
+  const EpochSolveJob& job = *static_cast<EpochSolveJob*>(ctx);
+  EpochContentResult& result = job.buffer->results[slot];
+  common::Status& status = job.buffer->statuses[slot];
+  SlotOutcome& outcome = job.buffer->outcomes[slot];
+  EpochRuntime::WorkerContext& wc = job.runtime->worker(worker);
+  const content::ContentId k = result.content;
+  const EpochRecoveryOptions& recovery = job.framework->options().recovery;
+  MFG_OBS_SPAN_ID("PlanEpoch.SolveContent", static_cast<std::int64_t>(k));
+
+  result.attempts = 1;
+  status = AttemptSlotSolve(job, wc, result, 0);
+  if (status.ok() &&
+      (result.equilibrium.converged || !recovery.enabled ||
+       !recovery.retry_on_nonconvergence)) {
+    outcome = SlotOutcome::kSolved;
+    if (recovery.enabled && result.equilibrium.converged) {
+      SaveLastGood(job, k, result);
+    }
+    return;
+  }
+  if (!recovery.enabled ||
+      (!status.ok() && !IsRecoverable(status.code()))) {
+    outcome = SlotOutcome::kFailed;
+    return;
+  }
+
+  // Rung 1: relaxed retries.
+  for (std::size_t attempt = 1; attempt <= recovery.max_retries; ++attempt) {
+    ++result.attempts;
+    status = AttemptSlotSolve(job, wc, result, attempt);
+    if (status.ok() && result.equilibrium.converged) {
+      outcome = SlotOutcome::kRetried;
+      SaveLastGood(job, k, result);
+      MFG_OBS_COUNT("core.epoch.retries", 1);
+      MFG_LOG(WARNING) << "content " << k << ": recovered on relaxed retry "
+                       << attempt << " (epoch "
+                       << job.buffer->epoch_index << ")";
+      return;
+    }
+    if (!status.ok() && !IsRecoverable(status.code())) {
+      outcome = SlotOutcome::kFailed;
+      return;
+    }
+  }
+  if (status.ok()) {
+    // Every retry stayed clean but unconverged: ship the last attempt's
+    // equilibrium rather than discard a usable (if slow) fixed point —
+    // the pre-ladder contract never dropped a clean solve either.
+    outcome = SlotOutcome::kRetried;
+    MFG_OBS_COUNT("core.epoch.retries", 1);
+    MFG_LOG(WARNING) << "content " << k
+                     << ": still unconverged after relaxed retries; using "
+                        "the last iterate (epoch "
+                     << job.buffer->epoch_index << ")";
+    return;
+  }
+
+  // Rung 2: carry the content's last-good equilibrium forward.
+  const EpochPlanBuffer::LastGood& carry = job.buffer->last_good[k];
+  if (carry.valid) {
+    result.params = carry.params;
+    result.equilibrium = carry.equilibrium;
+    MFG_LOG(WARNING) << "content " << k << ": solve failed ("
+                     << status.ToString()
+                     << "); carrying forward last-good equilibrium (epoch "
+                     << job.buffer->epoch_index << ")";
+    status = common::Status::Ok();
+    outcome = SlotOutcome::kCarriedForward;
+    MFG_OBS_COUNT("core.epoch.carry_forwards", 1);
+    return;
+  }
+
+  // Rung 3: static fallback.
+  const common::Status fallback = BuildFallbackResult(job, result);
+  if (fallback.ok()) {
+    MFG_LOG(WARNING) << "content " << k << ": solve failed ("
+                     << status.ToString()
+                     << ") with no usable history; installing static "
+                        "fallback policy (epoch "
+                     << job.buffer->epoch_index << ")";
+    status = common::Status::Ok();
+    outcome = SlotOutcome::kFallback;
+    MFG_OBS_COUNT("core.epoch.fallbacks", 1);
+    return;
+  }
+  // status keeps the original solve error; the fallback failure is the
+  // less actionable of the two.
+  outcome = SlotOutcome::kFailed;
 }
 
 }  // namespace
@@ -63,6 +268,20 @@ common::StatusOr<MfgCpFramework> MfgCpFramework::Create(
     return common::Status::InvalidArgument(
         "popularity model does not cover the catalog");
   }
+  const EpochRecoveryOptions& recovery = options.recovery;
+  if (recovery.relaxation_decay <= 0.0 || recovery.relaxation_decay > 1.0) {
+    return common::Status::InvalidArgument(
+        "recovery.relaxation_decay must be in (0, 1]");
+  }
+  if (recovery.tolerance_growth < 1.0) {
+    return common::Status::InvalidArgument(
+        "recovery.tolerance_growth must be >= 1");
+  }
+  if (recovery.fallback_top_fraction < 0.0 ||
+      recovery.fallback_top_fraction > 1.0) {
+    return common::Status::InvalidArgument(
+        "recovery.fallback_top_fraction must be in [0, 1]");
+  }
   auto state = std::make_unique<PlanState>(options.parallelism);
   return MfgCpFramework(options, catalog, popularity, timeliness,
                         std::move(state));
@@ -74,6 +293,7 @@ common::StatusOr<MfgParams> MfgCpFramework::ContentParams(
   if (k >= catalog_.size()) {
     return common::Status::OutOfRange("content id out of range");
   }
+  MFG_FAULT_POINT(kParamsBuild);
   MfgParams params = options_.base_params;
   params.content_id = k;
   params.content_size = catalog_.size_mb(k);
@@ -102,6 +322,7 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
   std::lock_guard<std::mutex> lock(state_->mutex);
 
   buffer.active.assign(k_total, false);
+  if (buffer.last_good.size() < k_total) buffer.last_good.resize(k_total);
 
   // Popularity update (Eq. 3) from the epoch's request counts.
   MFG_RETURN_IF_ERROR(
@@ -122,8 +343,10 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
       buffer.results.emplace_back();
       buffer.statuses.emplace_back();
     }
+    if (buffer.outcomes.size() <= slot) buffer.outcomes.emplace_back();
     buffer.results[slot].content = k;
     buffer.statuses[slot] = common::Status::Ok();
+    buffer.outcomes[slot] = SlotOutcome::kSolved;
   }
   MFG_OBS_OBSERVE_COUNTS("core.plan_epoch.active_contents",
                          static_cast<double>(buffer.num_active));
@@ -132,17 +355,42 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
   // (Alg. 1 line 2). Each worker writes only its own slots.
   EpochSolveJob job{this, &obs, &buffer, &state_->runtime};
   state_->runtime.RunEpoch(buffer.num_active, &SolveEpochSlot, &job);
+  ++buffer.epoch_index;
 
+  // Degradation tally + aggregated failure report. The per-slot statuses
+  // stay intact either way; only the epoch-level summary is built here.
+  std::size_t degraded = 0;
+  std::size_t num_failed = 0;
+  common::StatusCode first_code = common::StatusCode::kOk;
+  std::string failure_detail;
   for (std::size_t slot = 0; slot < buffer.num_active; ++slot) {
-    const common::Status& status = buffer.statuses[slot];
-    if (!status.ok()) {
-      // Error path (may allocate): name the content so a failing epoch
-      // tells the operator *which* solve died, not just why.
-      return common::Status(
-          status.code(),
-          "content " + std::to_string(buffer.results[slot].content) + ": " +
-              status.message());
+    const SlotOutcome outcome = buffer.outcomes[slot];
+    if (outcome == SlotOutcome::kCarriedForward ||
+        outcome == SlotOutcome::kFallback ||
+        outcome == SlotOutcome::kFailed) {
+      ++degraded;
     }
+    const common::Status& status = buffer.statuses[slot];
+    if (status.ok()) continue;
+    // Error path (may allocate): name every failed content so an epoch
+    // over hundreds of contents tells the operator *which* solves died,
+    // not just the first.
+    if (num_failed > 0) failure_detail += "; ";
+    failure_detail += "content " +
+                      std::to_string(buffer.results[slot].content) + ": " +
+                      status.message();
+    if (num_failed == 0) first_code = status.code();
+    ++num_failed;
+  }
+  MFG_OBS_GAUGE_SET("core.epoch.degraded_contents",
+                    static_cast<double>(degraded));
+  if (num_failed > 0) {
+    MFG_OBS_COUNT("core.epoch.failures", num_failed);
+    if (num_failed > 1) {
+      failure_detail = std::to_string(num_failed) +
+                       " contents failed: " + failure_detail;
+    }
+    return common::Status(first_code, std::move(failure_detail));
   }
   return common::Status::Ok();
 }

@@ -1,8 +1,10 @@
 #ifndef MFGCP_CORE_MFG_CP_H_
 #define MFGCP_CORE_MFG_CP_H_
 
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -31,6 +33,39 @@
 
 namespace mfg::core {
 
+// Knobs of the per-content recovery ladder PlanEpochInto runs when a
+// solve fails or does not converge (ARCHITECTURE.md §5 "Epoch failure
+// handling"). The ladder degrades per content instead of failing per
+// epoch: retry with relaxed learning controls, then reuse the content's
+// last-good equilibrium, then a static most-popular-style policy. Only
+// numerical failures (kNumericalError / kInternal) are recovered;
+// configuration errors (kInvalidArgument, ...) still fail the slot — and
+// the epoch — because retrying cannot fix a bad input.
+struct EpochRecoveryOptions {
+  // false restores the pre-ladder behavior: first failure wins, no
+  // retries, no carry-forward, no last-good bookkeeping.
+  bool enabled = true;
+  // Relaxed retries before falling back (attempt a ∈ [1, max_retries]).
+  std::size_t max_retries = 2;
+  // Per retry, learning.relaxation (γ) is scaled by relaxation_decay^a —
+  // heavier damping walks the fixed point more cautiously.
+  double relaxation_decay = 0.5;
+  // Per retry, learning.tolerance is scaled by tolerance_growth^a — an
+  // equilibrium that narrowly misses the strict tolerance still ships.
+  double tolerance_growth = 10.0;
+  // Per retry, learning.max_iterations grows by extra_iterations · a.
+  std::size_t extra_iterations = 40;
+  // Treat a clean but non-converged solve as a ladder trigger. The final
+  // retry's equilibrium ships even if still unconverged (matching the
+  // pre-ladder contract of never discarding a clean solve).
+  bool retry_on_nonconvergence = true;
+  // Static fallback (no usable history): contents in the top
+  // `fallback_top_fraction` of the epoch's popularity ranking cache at
+  // rate 1, the rest at rate 0 — the baselines::most_popular decision
+  // rule, tabulated as a constant policy surface.
+  double fallback_top_fraction = 0.3;
+};
+
 struct MfgCpOptions {
   // Template parameters; PlanEpoch overwrites the per-content fields
   // (popularity, timeliness, num_requests, content_size).
@@ -43,6 +78,8 @@ struct MfgCpOptions {
   // 1 = serial (no threads are spawned). Results are bit-identical for
   // every value.
   std::size_t parallelism = 1;
+  // Per-content failure handling (see EpochRecoveryOptions above).
+  EpochRecoveryOptions recovery;
 };
 
 // What the framework observes about one epoch (aggregated per content).
@@ -62,6 +99,18 @@ struct EpochPlan {
   std::vector<std::size_t> equilibrium_content;  // parallel content ids.
 };
 
+// How one content slot got its equilibrium this epoch.
+enum class SlotOutcome : std::uint8_t {
+  kSolved = 0,        // Clean solve on the first attempt.
+  kRetried,           // Needed at least one relaxed retry.
+  kCarriedForward,    // Reused the content's last-good equilibrium.
+  kFallback,          // Static most-popular-style policy.
+  kFailed,            // Nothing worked; the slot status holds the error.
+};
+
+// "solved", "retried", "carried_forward", "fallback", "failed".
+std::string_view SlotOutcomeName(SlotOutcome outcome);
+
 // One solved content from PlanEpochInto. The params/equilibrium storage
 // is reused across epochs; `content` says which catalog entry this slot
 // solved in the current epoch.
@@ -69,6 +118,10 @@ struct EpochContentResult {
   content::ContentId content = 0;
   MfgParams params;
   Equilibrium equilibrium;
+  // Solve attempts this epoch (1 = clean first solve; carried-forward and
+  // fallback slots report how many attempts failed before the ladder gave
+  // up on solving).
+  std::size_t attempts = 0;
 };
 
 // Caller-owned, reusable output of PlanEpochInto — the allocation-free
@@ -81,7 +134,23 @@ struct EpochPlanBuffer {
   std::vector<double> popularity;  // Updated Π_k (Eq. 3).
   std::vector<EpochContentResult> results;
   std::vector<common::Status> statuses;  // Per-slot solve status.
+  std::vector<SlotOutcome> outcomes;     // Per-slot ladder outcome.
   std::size_t num_active = 0;
+
+  // Carry-forward source: the last converged equilibrium per catalog
+  // content, refreshed on every clean solve and read when that content's
+  // solve fails in a later epoch. Indexed by content id (grown to the
+  // catalog size on first plan, never shrunk).
+  struct LastGood {
+    bool valid = false;
+    MfgParams params;
+    Equilibrium equilibrium;
+  };
+  std::vector<LastGood> last_good;
+
+  // Epochs planned into this buffer so far. Keys the fault-injection
+  // plan (faults::FaultSpec::epoch) and the degradation WARN logs.
+  std::size_t epoch_index = 0;
 };
 
 class MfgCpFramework {
@@ -101,6 +170,15 @@ class MfgCpFramework {
   // steady-state heap allocations once the worker pool and `buffer` have
   // warmed up, for a catalog whose contents share one grid shape (a
   // content-size change re-warms that worker's buffers once).
+  //
+  // Failure handling: a per-content numerical failure runs the recovery
+  // ladder (options().recovery) instead of failing the epoch — the slot is
+  // retried with relaxed learning controls, then filled from the content's
+  // last-good equilibrium or a static fallback, and `buffer.outcomes`
+  // records which rung served it. The call only returns an error when a
+  // slot exhausts the ladder (or hits a non-recoverable configuration
+  // error); the message then aggregates *every* failed content, and the
+  // per-slot `statuses` stay intact for finer-grained recovery.
   common::Status PlanEpochInto(const EpochObservation& obs,
                                EpochPlanBuffer& buffer) const;
 

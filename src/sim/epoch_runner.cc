@@ -111,28 +111,48 @@ common::StatusOr<std::vector<EpochOutcome>> EpochRunner::Run() {
         mean_remaining_frac * options_.simulator.base_params.content_size);
 
     const auto plan_start = std::chrono::steady_clock::now();
-    MFG_ASSIGN_OR_RETURN(core::EpochPlan plan, framework_.PlanEpoch(obs));
+    MFG_RETURN_IF_ERROR(framework_.PlanEpochInto(obs, plan_buffer_));
     const double plan_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       plan_start)
             .count();
 
+    // Deploy the plan — including degraded slots: a carried-forward or
+    // fallback equilibrium still yields a usable policy surface, so the
+    // market trades on it like any other (ARCHITECTURE.md §5).
     SchemePolicies scheme;
     scheme.name = "MFG-CP";
-    scheme.per_content.resize(k_total);
-    std::size_t active = 0;
-    for (std::size_t k = 0; k < k_total; ++k) {
-      if (plan.policies[k] != nullptr) {
-        scheme.per_content[k] = plan.policies[k];
-        ++active;
-      } else {
-        scheme.per_content[k] = idle;
+    scheme.per_content.assign(k_total, idle);
+    std::size_t retried = 0;
+    std::size_t carried = 0;
+    std::size_t fallback = 0;
+    for (std::size_t slot = 0; slot < plan_buffer_.num_active; ++slot) {
+      const core::EpochContentResult& result = plan_buffer_.results[slot];
+      MFG_ASSIGN_OR_RETURN(
+          std::unique_ptr<core::MfgPolicy> policy,
+          core::MfgPolicy::Create(result.params, result.equilibrium));
+      scheme.per_content[result.content] = std::move(policy);
+      switch (plan_buffer_.outcomes[slot]) {
+        case core::SlotOutcome::kRetried:
+          ++retried;
+          break;
+        case core::SlotOutcome::kCarriedForward:
+          ++carried;
+          break;
+        case core::SlotOutcome::kFallback:
+          ++fallback;
+          break;
+        default:
+          break;
       }
     }
 
     MFG_ASSIGN_OR_RETURN(EpochOutcome outcome,
                          RunEpoch(epoch, scheme, mean_remaining_frac));
-    outcome.active_contents = active;
+    outcome.active_contents = plan_buffer_.num_active;
+    outcome.retried_contents = retried;
+    outcome.carried_contents = carried;
+    outcome.fallback_contents = fallback;
     outcome.plan_seconds = plan_seconds;
     mean_remaining_frac = std::clamp(
         outcome.result.per_slot.back().mean_cache_remaining /

@@ -38,6 +38,13 @@ struct EpochOutcome {
   std::size_t epoch = 0;
   std::size_t active_contents = 0;   // |K'| the planner solved.
   double plan_seconds = 0.0;         // Wall time of PlanEpoch.
+  // Degraded slots this epoch (see core::SlotOutcome): contents served by
+  // a relaxed retry, a carried-forward equilibrium, or the static
+  // fallback policy rather than a clean first-attempt solve. All zero on
+  // a healthy epoch.
+  std::size_t retried_contents = 0;
+  std::size_t carried_contents = 0;
+  std::size_t fallback_contents = 0;
   SimulationResult result;           // The epoch's market outcome.
 };
 
@@ -48,7 +55,10 @@ class EpochRunner {
   static common::StatusOr<EpochRunner> Create(
       const EpochRunnerOptions& options);
 
-  // Runs all epochs under the MFG-CP planner.
+  // Runs all epochs under the MFG-CP planner. A per-content solve failure
+  // does not abort the run: the planner's recovery ladder degrades that
+  // content (retry / carry-forward / fallback) and the outcome's
+  // degradation counters say how many contents each epoch served that way.
   common::StatusOr<std::vector<EpochOutcome>> Run();
 
   // Runs all epochs with a fixed scheme instead of the planner (baseline
@@ -73,6 +83,10 @@ class EpochRunner {
 
   EpochRunnerOptions options_;
   core::MfgCpFramework framework_;
+  // Reused across epochs: keeps the planner on its allocation-free path
+  // and carries the per-content last-good equilibria the recovery ladder
+  // reads after a failure.
+  core::EpochPlanBuffer plan_buffer_;
 };
 
 }  // namespace mfg::sim

@@ -8,34 +8,20 @@
 
 #include <cstddef>
 
+#include "core/fault_injection.h"
 #include "core/mfg_cp.h"
+#include "epoch_test_util.h"
 #include "obs/alloc_probe.h"
 
 namespace mfg::core {
 namespace {
 
-MfgCpFramework MakeFramework(std::size_t k, std::size_t parallelism) {
-  MfgCpOptions options;
-  options.base_params.grid.num_q_nodes = 41;
-  options.base_params.grid.num_time_steps = 50;
-  options.base_params.learning.max_iterations = 20;
-  options.parallelism = parallelism;
-  auto catalog = content::Catalog::CreateUniform(k, 100.0).value();
-  auto popularity = content::PopularityModel::CreateZipf(k, 0.8).value();
-  auto timeliness =
-      content::TimelinessModel::Create(content::TimelinessParams()).value();
-  return MfgCpFramework::Create(options, catalog, popularity, timeliness)
-      .value();
-}
+using ::mfg::core::testing::MakeFramework;
+using ::mfg::core::testing::MakeObservation;
 
-EpochObservation MakeObservation(std::size_t k) {
-  EpochObservation obs;
-  obs.request_counts.assign(k, 10);
-  obs.mean_timeliness.assign(k, 2.5);
-  obs.mean_remaining.assign(k, 70.0);
-  return obs;
-}
-
+// Note the recovery ladder is enabled by default: these tests also pin
+// down that its bookkeeping (outcomes, last-good copies) stays off the
+// heap on the no-fault path.
 void ExpectWarmedEpochAllocationFree(std::size_t parallelism) {
   constexpr std::size_t kContents = 8;
   auto framework = MakeFramework(kContents, parallelism);
@@ -65,6 +51,40 @@ TEST(EpochAllocTest, WarmedSerialEpochIsAllocationFree) {
 TEST(EpochAllocTest, WarmedParallelEpochIsAllocationFree) {
   ExpectWarmedEpochAllocationFree(4);
 }
+
+#if MFGCP_FAULTS_ENABLED
+TEST(EpochAllocTest, CleanEpochAfterAFaultEpochIsAllocationFree) {
+  // A faulted epoch may allocate (error strings, relaxed-retry resizing,
+  // WARN logs) — that's the error path. The contract is that the *next*
+  // clean epoch is back to zero.
+  constexpr std::size_t kContents = 8;
+  auto framework = MakeFramework(kContents, 4);
+  const EpochObservation obs = MakeObservation(kContents);
+  EpochPlanBuffer buffer;
+  ASSERT_TRUE(framework.PlanEpochInto(obs, buffer).ok());
+  ASSERT_TRUE(framework.PlanEpochInto(obs, buffer).ok());
+
+  {
+    faults::FaultPlan plan;
+    faults::FaultSpec spec;
+    spec.site = faults::FaultSite::kSolve;
+    spec.epoch = buffer.epoch_index;  // The epoch about to run.
+    spec.content = 2;
+    spec.fail_attempts = 1;  // Transient: recovered by the first retry.
+    plan.Add(spec);
+    faults::ScopedFaultInjection arm(plan);
+    ASSERT_TRUE(framework.PlanEpochInto(obs, buffer).ok());
+  }
+
+  // One more clean epoch re-warms the high-water marks the fault epoch
+  // may have moved (longer retry histories), then measure.
+  ASSERT_TRUE(framework.PlanEpochInto(obs, buffer).ok());
+  const std::size_t before = obs::AllocationCount();
+  ASSERT_TRUE(framework.PlanEpochInto(obs, buffer).ok());
+  EXPECT_EQ(obs::AllocationCount() - before, 0u)
+      << "clean epoch after a fault epoch allocated";
+}
+#endif  // MFGCP_FAULTS_ENABLED
 
 TEST(EpochAllocTest, ProbeCountsThisThread) {
   const std::size_t global_before = obs::AllocationCount();

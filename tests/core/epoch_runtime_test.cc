@@ -8,10 +8,14 @@
 #include <vector>
 
 #include "core/mfg_cp.h"
+#include "epoch_test_util.h"
 
 namespace mfg::core {
 namespace {
 
+using ::mfg::core::testing::ExpectEquilibriumIdentical;
+using ::mfg::core::testing::MakeFramework;
+using ::mfg::core::testing::MakeObservation;
 using ::testing::HasSubstr;
 
 // ---------------------------------------------------------------------------
@@ -106,53 +110,8 @@ TEST(EpochRuntimeTest, SerialRuntimeRunsInlineOnWorkerZero) {
 
 // ---------------------------------------------------------------------------
 // PlanEpochInto against the persistent pool: bit-identity and error paths.
-
-MfgCpOptions FastOptions(std::size_t parallelism = 1) {
-  MfgCpOptions options;
-  options.base_params.grid.num_q_nodes = 41;
-  options.base_params.grid.num_time_steps = 50;
-  options.base_params.learning.max_iterations = 20;
-  options.parallelism = parallelism;
-  return options;
-}
-
-MfgCpFramework MakeFramework(std::size_t k, std::size_t parallelism) {
-  auto catalog = content::Catalog::CreateUniform(k, 100.0).value();
-  auto popularity = content::PopularityModel::CreateZipf(k, 0.8).value();
-  auto timeliness =
-      content::TimelinessModel::Create(content::TimelinessParams()).value();
-  return MfgCpFramework::Create(FastOptions(parallelism), catalog, popularity,
-                                timeliness)
-      .value();
-}
-
-EpochObservation MakeObservation(std::size_t k) {
-  EpochObservation obs;
-  obs.request_counts.assign(k, 10);
-  obs.mean_timeliness.assign(k, 2.5);
-  obs.mean_remaining.assign(k, 70.0);
-  return obs;
-}
-
-void ExpectEquilibriumIdentical(const Equilibrium& a, const Equilibrium& b) {
-  EXPECT_EQ(a.iterations, b.iterations);
-  EXPECT_EQ(a.converged, b.converged);
-  EXPECT_TRUE(a.hjb.value == b.hjb.value);
-  EXPECT_TRUE(a.hjb.policy == b.hjb.policy);
-  ASSERT_EQ(a.fpk.densities.size(), b.fpk.densities.size());
-  for (std::size_t n = 0; n < a.fpk.densities.size(); ++n) {
-    EXPECT_EQ(a.fpk.densities[n].values(), b.fpk.densities[n].values());
-  }
-  EXPECT_EQ(a.policy_change_history, b.policy_change_history);
-  EXPECT_EQ(a.value_change_history, b.value_change_history);
-  ASSERT_EQ(a.mean_field.size(), b.mean_field.size());
-  for (std::size_t n = 0; n < a.mean_field.size(); ++n) {
-    EXPECT_EQ(a.mean_field[n].price, b.mean_field[n].price);
-    EXPECT_EQ(a.mean_field[n].mean_peer_remaining,
-              b.mean_field[n].mean_peer_remaining);
-    EXPECT_EQ(a.mean_field[n].sharing_benefit, b.mean_field[n].sharing_benefit);
-  }
-}
+// The framework/observation fixtures live in epoch_test_util.h, shared
+// with the degradation and allocation suites.
 
 TEST(PlanEpochIntoTest, MatchesPlanEpochBitIdentically) {
   auto framework = MakeFramework(4, 1);
@@ -241,6 +200,33 @@ TEST(PlanEpochIntoTest, FailedSolveNamesTheContent) {
   const auto plan = framework.PlanEpoch(obs);
   ASSERT_FALSE(plan.ok());
   EXPECT_THAT(plan.status().message(), HasSubstr("content 2"));
+}
+
+TEST(PlanEpochIntoTest, AggregatesEveryFailedContentIntoOneStatus) {
+  // With several bad slots the epoch status must name all of them, not
+  // just the first — and the per-slot statuses must stay intact.
+  auto framework = MakeFramework(5, 1);
+  EpochObservation obs = MakeObservation(5);
+  obs.mean_timeliness[1] = -1.0;
+  obs.mean_timeliness[3] = -2.0;
+  EpochPlanBuffer buffer;
+  const common::Status status = framework.PlanEpochInto(obs, buffer);
+  ASSERT_FALSE(status.ok());
+  EXPECT_THAT(status.message(), HasSubstr("2 contents failed"));
+  EXPECT_THAT(status.message(), HasSubstr("content 1"));
+  EXPECT_THAT(status.message(), HasSubstr("content 3"));
+  ASSERT_EQ(buffer.num_active, 5u);
+  std::size_t failed_slots = 0;
+  for (std::size_t slot = 0; slot < buffer.num_active; ++slot) {
+    if (buffer.outcomes[slot] == SlotOutcome::kFailed) {
+      EXPECT_FALSE(buffer.statuses[slot].ok());
+      ++failed_slots;
+    } else {
+      EXPECT_EQ(buffer.outcomes[slot], SlotOutcome::kSolved);
+      EXPECT_TRUE(buffer.statuses[slot].ok());
+    }
+  }
+  EXPECT_EQ(failed_slots, 2u);
 }
 
 TEST(PlanEpochIntoTest, FrameworkReportsPoolTelemetry) {

@@ -1,0 +1,91 @@
+#ifndef MFGCP_TESTS_CORE_EPOCH_TEST_UTIL_H_
+#define MFGCP_TESTS_CORE_EPOCH_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "core/mfg_cp.h"
+
+// Shared harness for the epoch-planning tests (epoch_runtime_test,
+// epoch_degradation_test, epoch_alloc_test): one small, fast framework
+// configuration plus bit-identity matchers for equilibria and whole plan
+// buffers. Keeping these in one place makes "the degraded epoch must be
+// bit-identical to the healthy one outside the faulted slot" the same
+// assertion everywhere.
+
+namespace mfg::core::testing {
+
+inline MfgCpOptions FastOptions(std::size_t parallelism = 1) {
+  MfgCpOptions options;
+  options.base_params.grid.num_q_nodes = 41;
+  options.base_params.grid.num_time_steps = 50;
+  options.base_params.learning.max_iterations = 20;
+  options.parallelism = parallelism;
+  return options;
+}
+
+inline MfgCpFramework MakeFramework(std::size_t k, std::size_t parallelism,
+                                    const MfgCpOptions* options = nullptr) {
+  auto catalog = content::Catalog::CreateUniform(k, 100.0).value();
+  auto popularity = content::PopularityModel::CreateZipf(k, 0.8).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  return MfgCpFramework::Create(
+             options != nullptr ? *options : FastOptions(parallelism),
+             catalog, popularity, timeliness)
+      .value();
+}
+
+inline EpochObservation MakeObservation(std::size_t k) {
+  EpochObservation obs;
+  obs.request_counts.assign(k, 10);
+  obs.mean_timeliness.assign(k, 2.5);
+  obs.mean_remaining.assign(k, 70.0);
+  return obs;
+}
+
+inline void ExpectEquilibriumIdentical(const Equilibrium& a,
+                                       const Equilibrium& b) {
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+  EXPECT_TRUE(a.hjb.value == b.hjb.value);
+  EXPECT_TRUE(a.hjb.policy == b.hjb.policy);
+  ASSERT_EQ(a.fpk.densities.size(), b.fpk.densities.size());
+  for (std::size_t n = 0; n < a.fpk.densities.size(); ++n) {
+    EXPECT_EQ(a.fpk.densities[n].values(), b.fpk.densities[n].values());
+  }
+  EXPECT_EQ(a.policy_change_history, b.policy_change_history);
+  EXPECT_EQ(a.value_change_history, b.value_change_history);
+  ASSERT_EQ(a.mean_field.size(), b.mean_field.size());
+  for (std::size_t n = 0; n < a.mean_field.size(); ++n) {
+    EXPECT_EQ(a.mean_field[n].price, b.mean_field[n].price);
+    EXPECT_EQ(a.mean_field[n].mean_peer_remaining,
+              b.mean_field[n].mean_peer_remaining);
+    EXPECT_EQ(a.mean_field[n].sharing_benefit,
+              b.mean_field[n].sharing_benefit);
+  }
+}
+
+// Full-buffer bit-identity: slot layout, per-slot outcomes/statuses, and
+// every equilibrium. The golden determinism tests compare whole buffers
+// produced at different parallelism levels through this.
+inline void ExpectPlanBuffersIdentical(const EpochPlanBuffer& a,
+                                       const EpochPlanBuffer& b) {
+  EXPECT_EQ(a.active, b.active);
+  EXPECT_EQ(a.popularity, b.popularity);
+  ASSERT_EQ(a.num_active, b.num_active);
+  for (std::size_t slot = 0; slot < a.num_active; ++slot) {
+    SCOPED_TRACE(::testing::Message() << "slot " << slot);
+    EXPECT_EQ(a.results[slot].content, b.results[slot].content);
+    EXPECT_EQ(a.results[slot].attempts, b.results[slot].attempts);
+    EXPECT_EQ(a.outcomes[slot], b.outcomes[slot]);
+    EXPECT_EQ(a.statuses[slot].code(), b.statuses[slot].code());
+    ExpectEquilibriumIdentical(a.results[slot].equilibrium,
+                               b.results[slot].equilibrium);
+  }
+}
+
+}  // namespace mfg::core::testing
+
+#endif  // MFGCP_TESTS_CORE_EPOCH_TEST_UTIL_H_

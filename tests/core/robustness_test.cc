@@ -1,14 +1,18 @@
-// Randomized robustness sweep: the best-response learner must either
-// converge or return a clean diagnostic on any parameter set drawn from
-// the valid ranges — never crash, never emit NaNs, never break the
-// solution invariants (mass, policy bounds, price bounds).
+// Randomized robustness sweep: the solvers must either converge or return
+// a clean diagnostic on any parameter set drawn from the valid ranges —
+// never crash, never emit NaNs, never break the solution invariants
+// (mass, policy bounds, price bounds). Covers the 1-D learner, the full
+// 2-D (h, q) learner, and the whole PlanEpochInto epoch path.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
 
 #include "common/random.h"
 #include "core/best_response.h"
+#include "core/best_response_2d.h"
+#include "core/mfg_cp.h"
 
 namespace mfg::core {
 namespace {
@@ -92,6 +96,122 @@ TEST_P(RobustnessSweep, SolverNeverProducesGarbage) {
 
 INSTANTIATE_TEST_SUITE_P(RandomDraws, RobustnessSweep,
                          ::testing::Range(0, 24));
+
+class Robustness2DSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Robustness2DSweep, Solver2DNeverProducesGarbage) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 5);
+  MfgParams params = RandomParams(rng);
+  // The 2-D state space multiplies the cost by num_h_nodes: shrink every
+  // axis so the sweep stays in the unit-test budget.
+  params.grid.num_q_nodes = 21;
+  params.grid.num_h_nodes = 11;
+  params.grid.num_time_steps = 30;
+  params.learning.max_iterations = 12;
+  ASSERT_TRUE(params.Validate().ok());
+
+  auto learner = BestResponseLearner2D::Create(params);
+  ASSERT_TRUE(learner.ok()) << learner.status();
+  auto eq = learner->Solve();
+  if (!eq.ok()) {
+    EXPECT_EQ(eq.status().code(), common::StatusCode::kNumericalError)
+        << eq.status();
+    return;
+  }
+  for (std::size_t n = 0; n < eq->fpk.num_time_nodes(); ++n) {
+    EXPECT_NEAR(eq->fpk.Mass(n), 1.0, 1e-6) << "time node " << n;
+    for (double v : eq->fpk.densities[n]) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, 0.0);
+    }
+  }
+  for (const auto& slice : eq->hjb.policy) {
+    for (double x : slice) {
+      EXPECT_TRUE(std::isfinite(x));
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+  for (const auto& slice : eq->hjb.value) {
+    for (double v : slice) EXPECT_TRUE(std::isfinite(v));
+  }
+  for (const auto& mf : eq->mean_field) {
+    EXPECT_GE(mf.price, 0.0);
+    EXPECT_LE(mf.price, params.pricing.max_price + 1e-9);
+    EXPECT_TRUE(std::isfinite(mf.sharing_benefit));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDraws, Robustness2DSweep,
+                         ::testing::Range(0, 8));
+
+class PlanEpochSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlanEpochSweep, EpochPlanningNeverProducesGarbage) {
+  common::Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 3);
+  MfgCpOptions options;
+  options.base_params = RandomParams(rng);
+  options.base_params.grid.num_q_nodes = 31;
+  options.base_params.grid.num_time_steps = 40;
+  options.base_params.learning.max_iterations = 15;
+  options.parallelism = 1 + rng.UniformInt(3);
+  const std::size_t k = 2 + rng.UniformInt(4);
+
+  auto catalog =
+      content::Catalog::CreateUniform(k, options.base_params.content_size)
+          .value();
+  auto popularity =
+      content::PopularityModel::CreateZipf(k, rng.Uniform(0.4, 1.2)).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  auto framework =
+      MfgCpFramework::Create(options, catalog, popularity, timeliness);
+  ASSERT_TRUE(framework.ok()) << framework.status();
+
+  EpochObservation obs;
+  obs.request_counts.resize(k);
+  obs.mean_timeliness.resize(k);
+  obs.mean_remaining.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    obs.request_counts[i] = 1 + rng.UniformInt(40);
+    obs.mean_timeliness[i] = rng.Uniform(0.0, 5.0);
+    obs.mean_remaining[i] =
+        rng.Uniform(0.05, 1.0) * options.base_params.content_size;
+  }
+
+  EpochPlanBuffer buffer;
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    const common::Status status = framework->PlanEpochInto(obs, buffer);
+    if (!status.ok()) {
+      // With the ladder in front, only a slot that exhausted every rung
+      // (or an invalid draw) may surface — and always as a clean code.
+      EXPECT_TRUE(status.code() == common::StatusCode::kNumericalError ||
+                  status.code() == common::StatusCode::kInvalidArgument)
+          << status.ToString();
+      return;
+    }
+    for (std::size_t slot = 0; slot < buffer.num_active; ++slot) {
+      const EpochContentResult& result = buffer.results[slot];
+      EXPECT_NE(buffer.outcomes[slot], SlotOutcome::kFailed);
+      for (const auto& density : result.equilibrium.fpk.densities) {
+        for (double v : density.values()) {
+          EXPECT_TRUE(std::isfinite(v));
+          EXPECT_GE(v, 0.0);
+        }
+      }
+      for (const auto& slice : result.equilibrium.hjb.policy) {
+        for (double x : slice) {
+          EXPECT_TRUE(std::isfinite(x));
+          EXPECT_GE(x, -1e-12);
+          EXPECT_LE(x, 1.0 + 1e-12);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDraws, PlanEpochSweep,
+                         ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace mfg::core

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/random_replacement.h"
+#include "core/fault_injection.h"
 
 namespace mfg::sim {
 namespace {
@@ -92,6 +93,43 @@ TEST(EpochRunnerTest, EpochWeightsCycleThroughTrace) {
     EXPECT_LE(outcome.active_contents, 2u);
   }
 }
+
+TEST(EpochRunnerTest, HealthyRunReportsNoDegradation) {
+  auto runner = EpochRunner::Create(SmallOptions()).value();
+  auto outcomes = runner.Run().value();
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.retried_contents, 0u);
+    EXPECT_EQ(outcome.carried_contents, 0u);
+    EXPECT_EQ(outcome.fallback_contents, 0u);
+  }
+}
+
+#if MFGCP_FAULTS_ENABLED
+TEST(EpochRunnerTest, DegradedPlansStillTradeInTheMarket) {
+  // A permanent solve fault on content 1 in epoch 1: the run must finish
+  // all epochs, report the degradation, and the degraded epoch's market
+  // still serves requests off the carried-forward policy.
+  auto runner = EpochRunner::Create(SmallOptions()).value();
+  core::faults::FaultPlan plan;
+  core::faults::FaultSpec spec;
+  spec.site = core::faults::FaultSite::kSolve;
+  spec.epoch = 1;
+  spec.content = 1;
+  spec.fail_attempts = core::faults::FaultSpec::kAlways;
+  plan.Add(spec);
+  core::faults::ScopedFaultInjection arm(plan);
+
+  auto outcomes = runner.Run();
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+  ASSERT_EQ(outcomes->size(), 3u);
+  // Epoch 0 was healthy and seeded the carry-forward history.
+  EXPECT_EQ((*outcomes)[0].carried_contents, 0u);
+  EXPECT_EQ((*outcomes)[1].carried_contents, 1u);
+  for (const auto& outcome : *outcomes) {
+    EXPECT_GT(outcome.result.total.requests_served, 0u);
+  }
+}
+#endif  // MFGCP_FAULTS_ENABLED
 
 TEST(EpochRunnerTest, DeterministicAcrossRuns) {
   auto runner_a = EpochRunner::Create(SmallOptions()).value();
