@@ -15,8 +15,10 @@
 #include "common/logging.h"
 #include "common/table.h"
 #include "core/best_response.h"
+#include "core/epoch_health.h"
 #include "core/policy.h"
 #include "obs/metrics.h"
+#include "obs/stream.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
@@ -32,6 +34,13 @@
 //   trace_capacity=<n>     span ring capacity in events (default: 65536)
 //   metrics_out=<path>     write the metrics registry as JSON at exit
 //   metrics_csv=<path>     write the metrics registry as CSV at exit
+//   metrics_stream=<path>  stream one JSONL row per sampling window while
+//                          the bench runs (obs/stream.h)
+//   metrics_stream_csv=<path>  companion wide-format CSV of the stream
+//   stream_period_ms=<n>   sampling window, default 1000
+//   health_log=on          log one health line per planner epoch
+// The streaming keys are ignored (with no output file) when the binary is
+// built with -DMFGCP_OBS=OFF; health_log works either way.
 
 namespace mfg::bench {
 
@@ -178,6 +187,38 @@ inline void InitObservability(const common::Config& config) {
       }
     });
   }
+
+  if (config.GetString("health_log", "") == "on") {
+    core::SetEpochHealthLogging(true);
+  }
+
+#if MFGCP_OBS_ENABLED
+  // Streaming export: sample the registry on a background thread for the
+  // whole bench run; the final window is flushed by the atexit Stop. With
+  // observability compiled out there is nothing to sample, so the keys
+  // are silently ignored (no file is created).
+  const std::string stream_path = config.GetString("metrics_stream", "");
+  if (!stream_path.empty()) {
+    obs::StreamOptions stream_options;
+    stream_options.jsonl_path = stream_path;
+    stream_options.csv_path = config.GetString("metrics_stream_csv", "");
+    stream_options.period = std::chrono::milliseconds(
+        config.GetInt("stream_period_ms", 1000));
+    const auto status = obs::MetricsStreamer::Global().Start(stream_options);
+    if (status.ok()) {
+      std::atexit([] {
+        obs::MetricsStreamer& streamer = obs::MetricsStreamer::Global();
+        streamer.Stop();
+        std::printf("metrics stream: %llu windows\n",
+                    static_cast<unsigned long long>(
+                        streamer.windows_written()));
+      });
+    } else {
+      std::fprintf(stderr, "metrics stream: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+#endif  // MFGCP_OBS_ENABLED
 }
 
 // Parses CLI config or dies with usage; applies the observability keys so

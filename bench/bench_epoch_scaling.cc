@@ -24,9 +24,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+
 #include "common/logging.h"
 #include "core/mfg_cp.h"
 #include "obs/alloc_probe.h"
+#include "obs/stream.h"
 
 namespace mfg {
 namespace {
@@ -93,6 +97,74 @@ BENCHMARK(BM_PlanEpochInto64)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The warmed epoch loop with the MetricsStreamer sampling the registry at
+// 50 ms in the background — the acceptance check that streaming never
+// perturbs the solver path. Allocations are counted with the thread-local
+// probe (calling thread + per-worker deltas), so the sampler thread's own
+// row-building allocations are attributed to the sampler, not the
+// workers: solver_allocs_per_epoch must stay 0 while the stream runs.
+void BM_PlanEpochInto64Streaming(benchmark::State& state) {
+#if !MFGCP_OBS_ENABLED
+  state.SkipWithError("built with -DMFGCP_OBS=OFF");
+  return;
+#else
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  auto catalog = content::Catalog::CreateUniform(kContents, 100.0).value();
+  auto popularity =
+      content::PopularityModel::CreateZipf(kContents, 0.8).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  auto framework = core::MfgCpFramework::Create(ScalingOptions(workers),
+                                                catalog, popularity,
+                                                timeliness)
+                       .value();
+  const core::EpochObservation obs = ScalingObservation();
+  core::EpochPlanBuffer buffer;
+  MFG_CHECK(framework.PlanEpochInto(obs, buffer).ok());
+  MFG_CHECK(framework.PlanEpochInto(obs, buffer).ok());
+
+  char stream_path[256];
+  std::snprintf(stream_path, sizeof(stream_path),
+                "bench_epoch_scaling_stream_%zu.jsonl", workers);
+  obs::StreamOptions stream_options;
+  stream_options.jsonl_path = stream_path;
+  stream_options.period = std::chrono::milliseconds(50);
+  MFG_CHECK(obs::MetricsStreamer::Global().Start(stream_options).ok());
+
+  const std::size_t thread_allocs_before = obs::ThreadAllocationCount();
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(framework.PlanEpochInto(obs, buffer));
+    ++iterations;
+  }
+  const std::size_t thread_allocs =
+      obs::ThreadAllocationCount() - thread_allocs_before;
+
+  // Per-worker deltas of the last epoch (thread-local, so unpolluted by
+  // the sampler); the calling thread's delta covers the whole timed loop.
+  std::size_t worker_allocs = 0;
+  const core::EpochRuntime& runtime = framework.epoch_runtime();
+  for (std::size_t w = 0; w < runtime.num_workers(); ++w) {
+    worker_allocs += runtime.worker(w).allocations;
+  }
+  obs::MetricsStreamer& streamer = obs::MetricsStreamer::Global();
+  const std::uint64_t windows = streamer.windows_written();
+  streamer.Stop();
+  std::remove(stream_path);
+
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["solver_allocs_per_epoch"] = benchmark::Counter(
+      static_cast<double>(thread_allocs + worker_allocs * iterations),
+      benchmark::Counter::kAvgIterations);
+  state.counters["stream_windows"] = static_cast<double>(windows);
+#endif
+}
+BENCHMARK(BM_PlanEpochInto64Streaming)
+    ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

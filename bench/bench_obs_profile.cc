@@ -12,6 +12,10 @@
 //       full registry dump
 //   bench_obs_profile parallelism=4            per-content solves fan out
 //       over worker threads; the trace shows one lane per thread
+//   bench_obs_profile epochs=50 metrics_stream=stream.jsonl
+//       stream_period_ms=50 health_log=on     long-running loop with the
+//       registry streamed as a JSONL time series and one health line per
+//       epoch (the CI streaming soak runs exactly this)
 
 #include "bench_common.h"
 #include "core/mfg_cp.h"
@@ -46,13 +50,20 @@ void Run(const common::Config& config) {
   epoch_obs.mean_timeliness.assign(contents, 2.5);
   epoch_obs.mean_remaining.assign(contents, 70.0);
 
-  bench::Section("Alg. 1 planning epoch");
-  auto plan = framework->PlanEpoch(epoch_obs);
-  MFG_CHECK(plan.ok()) << plan.status();
-  std::size_t active = 0;
-  for (bool a : plan->active) active += a ? 1 : 0;
-  std::printf("planned %zu/%zu contents (parallelism=%zu)\n", active,
-              contents, options.parallelism);
+  bench::Section("Alg. 1 planning epochs");
+  const std::size_t epochs =
+      static_cast<std::size_t>(config.GetInt("epochs", 1));
+  core::EpochPlanBuffer buffer;
+  core::EpochHealthReport health;
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) {
+    const auto status =
+        framework->PlanEpochInto(epoch_obs, buffer, &health);
+    MFG_CHECK(status.ok()) << status;
+  }
+  std::printf("planned %zu/%zu contents x %zu epochs (parallelism=%zu)\n",
+              buffer.num_active, contents, epochs, options.parallelism);
+  std::printf("last epoch: %s\n",
+              core::FormatHealthLine(health).c_str());
 
   bench::Section("short simulator run");
   sim::SimulatorOptions sim_options =

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Validates a MetricsStreamer JSONL stream (obs/stream.h).
+
+Usage: check_stream.py <stream.jsonl>
+
+Asserts what the streamer promises (OBSERVABILITY.md "Streaming export"):
+every line parses as a JSON object with the row schema, `seq` increments
+from 0 with no gaps, `unix_ms` is non-decreasing, windows after the
+baseline have positive width, and cumulative counter values never
+decrease across rows. Exit code 0 = stream is well-formed.
+"""
+
+import json
+import sys
+
+
+REQUIRED_KEYS = ("seq", "unix_ms", "window_s", "counters", "gauges",
+                 "histograms")
+
+
+def fail(line_no, message):
+    print(f"check_stream: line {line_no}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+
+    rows = 0
+    last_unix_ms = None
+    last_counter_values = {}
+    with open(path, "r", encoding="utf-8") as stream:
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(line_no, f"not valid JSON: {error}")
+            for key in REQUIRED_KEYS:
+                if key not in row:
+                    fail(line_no, f"missing key {key!r}")
+            if row["seq"] != rows:
+                fail(line_no, f"seq {row['seq']} != expected {rows}")
+            if last_unix_ms is not None and row["unix_ms"] < last_unix_ms:
+                fail(line_no,
+                     f"unix_ms went backwards: {row['unix_ms']} < "
+                     f"{last_unix_ms}")
+            last_unix_ms = row["unix_ms"]
+            if rows == 0:
+                if row["window_s"] != 0:
+                    fail(line_no, "baseline row must have window_s == 0")
+            elif row["window_s"] <= 0:
+                fail(line_no, f"window_s {row['window_s']} not positive")
+            for name, counter in row["counters"].items():
+                for field in ("value", "delta", "rate"):
+                    if field not in counter:
+                        fail(line_no, f"counter {name!r} missing {field!r}")
+                previous = last_counter_values.get(name, 0)
+                if counter["value"] < previous:
+                    fail(line_no,
+                         f"counter {name!r} decreased: {counter['value']} < "
+                         f"{previous}")
+                last_counter_values[name] = counter["value"]
+            for name, gauge in row["gauges"].items():
+                for field in ("value", "delta"):
+                    if field not in gauge:
+                        fail(line_no, f"gauge {name!r} missing {field!r}")
+            for name, hist in row["histograms"].items():
+                for field in ("count", "sum", "delta_count", "delta_sum",
+                              "le", "delta_buckets"):
+                    if field not in hist:
+                        fail(line_no, f"histogram {name!r} missing {field!r}")
+                if len(hist["le"]) != len(hist["delta_buckets"]):
+                    fail(line_no,
+                         f"histogram {name!r}: {len(hist['le'])} bounds vs "
+                         f"{len(hist['delta_buckets'])} delta buckets")
+                if hist["le"] and hist["le"][-1] != "inf":
+                    fail(line_no,
+                         f"histogram {name!r}: last bound must be \"inf\"")
+            rows += 1
+
+    if rows < 2:
+        print(f"check_stream: only {rows} row(s); expected at least the "
+              "baseline and the final flush", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_stream: OK ({rows} rows, {len(last_counter_values)} "
+          "counters)")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "core/fault_injection.h"
+#include "core/nonconvergence_log.h"
 #include "econ/utility.h"
 #include "numerics/interpolation.h"
 #include "obs/obs.h"
@@ -174,11 +175,19 @@ common::Status BestResponseLearner::SolveFromInto(
                          static_cast<double>(eq.iterations));
   if (!eq.converged) {
     MFG_OBS_COUNT("core.best_response.nonconverged", 1);
-    MFG_LOG(WARNING) << "best response did not converge for content "
-                     << params_.content_id << ": residual "
-                     << eq.policy_change_history.back() << " > tolerance "
-                     << params_.learning.tolerance << " after "
-                     << eq.iterations << " iterations";
+    // At most one line per epoch per content; repeats only bump the
+    // counter above and the suppressed tally.
+    std::uint64_t suppressed = 0;
+    if (ShouldLogNonConvergence(params_.content_id, suppressed)) {
+      MFG_LOG(WARNING) << "best response did not converge for content "
+                       << params_.content_id << ": residual "
+                       << eq.policy_change_history.back() << " > tolerance "
+                       << params_.learning.tolerance << " after "
+                       << eq.iterations << " iterations"
+                       << SuppressedSuffix(suppressed);
+    } else {
+      MFG_OBS_COUNT("core.best_response.nonconvergence_suppressed", 1);
+    }
   } else {
     MFG_OBS_COUNT("core.best_response.converged", 1);
   }

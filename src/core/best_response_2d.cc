@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/nonconvergence_log.h"
 #include "numerics/density.h"
 #include "numerics/field2d.h"
 #include "obs/obs.h"
@@ -152,11 +153,18 @@ common::StatusOr<Equilibrium2D> BestResponseLearner2D::Solve(
                          static_cast<double>(eq.iterations));
   if (!eq.converged) {
     MFG_OBS_COUNT("core.best_response.nonconverged", 1);
-    MFG_LOG(WARNING) << "2-D best response did not converge for content "
-                     << params_.content_id << ": residual "
-                     << eq.policy_change_history.back() << " > tolerance "
-                     << params_.learning.tolerance << " after "
-                     << eq.iterations << " iterations";
+    // Same per-(epoch, content) rate limit as the 1-D learner.
+    std::uint64_t suppressed = 0;
+    if (ShouldLogNonConvergence(params_.content_id, suppressed)) {
+      MFG_LOG(WARNING) << "2-D best response did not converge for content "
+                       << params_.content_id << ": residual "
+                       << eq.policy_change_history.back() << " > tolerance "
+                       << params_.learning.tolerance << " after "
+                       << eq.iterations << " iterations"
+                       << SuppressedSuffix(suppressed);
+    } else {
+      MFG_OBS_COUNT("core.best_response.nonconvergence_suppressed", 1);
+    }
   } else {
     MFG_OBS_COUNT("core.best_response.converged", 1);
   }

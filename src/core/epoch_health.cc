@@ -1,0 +1,46 @@
+#include "core/epoch_health.h"
+
+#include <atomic>
+#include <cstdio>
+#include <sstream>
+
+namespace mfg::core {
+namespace {
+
+std::atomic<bool> g_health_logging{false};
+
+}  // namespace
+
+std::string FormatHealthLine(const EpochHealthReport& report) {
+  std::ostringstream out;
+  char wall[32];
+  std::snprintf(wall, sizeof(wall), "%.3f", report.plan_seconds);
+  out << "epoch " << report.epoch << ": active=" << report.active_contents
+      << " wall=" << wall << "s outcomes solved=" << report.solved
+      << " retried=" << report.retried
+      << " carried_forward=" << report.carried_forward
+      << " fallback=" << report.fallback << " failed=" << report.failed
+      << " br solves=" << report.best_response_solves
+      << " converged=" << report.best_response_converged
+      << " nonconverged=" << report.best_response_nonconverged
+      << " allocs=" << report.epoch_allocations;
+  if (!report.degraded_contents.empty()) {
+    out << " degraded=[";
+    for (std::size_t i = 0; i < report.degraded_contents.size(); ++i) {
+      if (i > 0) out << ",";
+      out << report.degraded_contents[i];
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+void SetEpochHealthLogging(bool enabled) {
+  g_health_logging.store(enabled, std::memory_order_relaxed);
+}
+
+bool EpochHealthLoggingEnabled() {
+  return g_health_logging.load(std::memory_order_relaxed);
+}
+
+}  // namespace mfg::core

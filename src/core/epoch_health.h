@@ -1,0 +1,83 @@
+#ifndef MFGCP_CORE_EPOCH_HEALTH_H_
+#define MFGCP_CORE_EPOCH_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "content/catalog.h"
+
+// Per-epoch health summary assembled by MfgCpFramework::PlanEpochInto:
+// the recovery-ladder outcome tallies of the epoch's plan buffer plus the
+// core.best_response.* counter deltas spanning exactly that epoch. One
+// report answers the operator question "did this epoch degrade?" without
+// diffing registry dumps by hand; FormatHealthLine renders it as a single
+// log line and the MetricsStreamer's windows carry the same counters as a
+// time series.
+//
+// Tallies are sourced from EpochPlanBuffer::outcomes, so they match the
+// core.epoch.* counters the ladder bumps exactly (guarded by
+// epoch_health_test under a seeded fault plan at parallelism 1/2/8). The
+// counter-delta fields read 0 when built with -DMFGCP_OBS=OFF; the
+// outcome tallies do not depend on the telemetry layer.
+
+namespace mfg::core {
+
+struct EpochHealthReport {
+  // Epoch index of the plan buffer this report describes (the same index
+  // the fault-injection plan keys on).
+  std::size_t epoch = 0;
+  std::size_t active_contents = 0;  // |K'| planned this epoch.
+  double plan_seconds = 0.0;        // Wall time of PlanEpochInto.
+
+  // Recovery-ladder outcome tallies; solved + retried + carried_forward +
+  // fallback + failed == active_contents.
+  std::size_t solved = 0;
+  std::size_t retried = 0;
+  std::size_t carried_forward = 0;
+  std::size_t fallback = 0;
+  std::size_t failed = 0;
+
+  // core.best_response.* counter deltas spanning this epoch (0 when the
+  // telemetry layer is compiled out).
+  std::uint64_t best_response_solves = 0;
+  std::uint64_t best_response_converged = 0;
+  std::uint64_t best_response_nonconverged = 0;
+
+  // Pool-worker heap allocations this epoch (0 at steady state, and 0
+  // unless the binary links mfgcp_obs_alloc_hooks).
+  std::size_t epoch_allocations = 0;
+
+  // Contents not served by a solve this epoch (carried forward, fallback,
+  // or failed), ascending. Retried contents recovered by solving, so they
+  // are tallied above but not listed here — matching the
+  // core.epoch.degraded_contents gauge.
+  std::vector<content::ContentId> degraded_contents;
+
+  // The core.epoch.degraded_contents gauge value for this epoch.
+  std::size_t DegradedCount() const {
+    return carried_forward + fallback + failed;
+  }
+  bool Healthy() const {
+    return retried == 0 && DegradedCount() == 0 &&
+           best_response_nonconverged == 0;
+  }
+};
+
+// One-line rendering for logs, e.g.
+//   epoch 7: active=16 wall=0.245s outcomes solved=14 retried=1
+//   carried_forward=1 fallback=0 failed=0 br solves=19 converged=18
+//   nonconverged=1 allocs=0 degraded=[3]
+// (single line; "degraded=[]" is omitted when empty).
+std::string FormatHealthLine(const EpochHealthReport& report);
+
+// Process-wide toggle: when enabled, PlanEpochInto logs
+// FormatHealthLine(report) at INFO after every epoch. Wired to the shared
+// bench key `health_log=on` (bench_common.h).
+void SetEpochHealthLogging(bool enabled);
+bool EpochHealthLoggingEnabled();
+
+}  // namespace mfg::core
+
+#endif  // MFGCP_CORE_EPOCH_HEALTH_H_

@@ -1,11 +1,13 @@
 #include "core/mfg_cp.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <utility>
 
 #include "common/logging.h"
 #include "core/fault_injection.h"
+#include "core/nonconvergence_log.h"
 #include "numerics/density.h"
 #include "obs/obs.h"
 
@@ -168,6 +170,10 @@ common::Status BuildFallbackResult(const EpochSolveJob& job,
 // yields bit-identical results.
 void SolveEpochSlot(void* ctx, std::size_t worker, std::size_t slot) {
   const EpochSolveJob& job = *static_cast<EpochSolveJob*>(ctx);
+  // Rate-limit the learners' non-convergence WARNINGs to one line per
+  // (epoch, content) — a ladder of relaxed retries would otherwise emit
+  // near-identical lines for every attempt.
+  NonConvergenceEpochScope nonconvergence_scope(job.buffer->epoch_index);
   EpochContentResult& result = job.buffer->results[slot];
   common::Status& status = job.buffer->statuses[slot];
   SlotOutcome& outcome = job.buffer->outcomes[slot];
@@ -257,6 +263,27 @@ void SolveEpochSlot(void* ctx, std::size_t worker, std::size_t slot) {
   outcome = SlotOutcome::kFailed;
 }
 
+#if MFGCP_OBS_ENABLED
+// Handles to the learner counters whose per-epoch deltas feed the health
+// report, cached once like the MFG_OBS_* macro sites. Reading Value() is
+// a relaxed load — the recorders stay wait-free while an epoch brackets
+// them.
+struct BestResponseCounters {
+  obs::Counter& solves;
+  obs::Counter& converged;
+  obs::Counter& nonconverged;
+
+  static const BestResponseCounters& Get() {
+    static const BestResponseCounters handles{
+        obs::Registry::Global().GetCounter("core.best_response.solves"),
+        obs::Registry::Global().GetCounter("core.best_response.converged"),
+        obs::Registry::Global().GetCounter(
+            "core.best_response.nonconverged")};
+    return handles;
+  }
+};
+#endif  // MFGCP_OBS_ENABLED
+
 }  // namespace
 
 common::StatusOr<MfgCpFramework> MfgCpFramework::Create(
@@ -305,10 +332,13 @@ common::StatusOr<MfgParams> MfgCpFramework::ContentParams(
 }
 
 common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
-                                             EpochPlanBuffer& buffer) const {
+                                             EpochPlanBuffer& buffer,
+                                             EpochHealthReport* health) const {
   MFG_OBS_SPAN("PlanEpoch");
   MFG_OBS_SCOPED_TIMER("core.plan_epoch.seconds");
   MFG_OBS_COUNT("core.plan_epoch.epochs", 1);
+  const std::chrono::steady_clock::time_point plan_start =
+      std::chrono::steady_clock::now();
   const std::size_t k_total = catalog_.size();
   if (obs.request_counts.size() != k_total ||
       obs.mean_timeliness.size() != k_total ||
@@ -351,6 +381,28 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
   MFG_OBS_OBSERVE_COUNTS("core.plan_epoch.active_contents",
                          static_cast<double>(buffer.num_active));
 
+  // Health assembly is opt-in: a caller-passed report, or a local one
+  // when only the health log line is wanted. `report == nullptr` skips
+  // every assembly step, preserving the zero-allocation epoch path for
+  // callers that did not ask for a report.
+  EpochHealthReport local_report;
+  EpochHealthReport* report = health;
+  if (report == nullptr && EpochHealthLoggingEnabled()) {
+    report = &local_report;
+  }
+#if MFGCP_OBS_ENABLED
+  std::uint64_t br_solves_before = 0;
+  std::uint64_t br_converged_before = 0;
+  std::uint64_t br_nonconverged_before = 0;
+  if (report != nullptr) {
+    const BestResponseCounters& br = BestResponseCounters::Get();
+    br_solves_before = br.solves.Value();
+    br_converged_before = br.converged.Value();
+    br_nonconverged_before = br.nonconverged.Value();
+  }
+#endif
+  const std::size_t epoch = buffer.epoch_index;
+
   // Solve the independent per-content equilibria on the persistent pool
   // (Alg. 1 line 2). Each worker writes only its own slots.
   EpochSolveJob job{this, &obs, &buffer, &state_->runtime};
@@ -359,16 +411,31 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
 
   // Degradation tally + aggregated failure report. The per-slot statuses
   // stay intact either way; only the epoch-level summary is built here.
-  std::size_t degraded = 0;
+  std::size_t solved = 0;
+  std::size_t retried = 0;
+  std::size_t carried_forward = 0;
+  std::size_t fallback = 0;
+  std::size_t failed = 0;
   std::size_t num_failed = 0;
   common::StatusCode first_code = common::StatusCode::kOk;
   std::string failure_detail;
   for (std::size_t slot = 0; slot < buffer.num_active; ++slot) {
-    const SlotOutcome outcome = buffer.outcomes[slot];
-    if (outcome == SlotOutcome::kCarriedForward ||
-        outcome == SlotOutcome::kFallback ||
-        outcome == SlotOutcome::kFailed) {
-      ++degraded;
+    switch (buffer.outcomes[slot]) {
+      case SlotOutcome::kSolved:
+        ++solved;
+        break;
+      case SlotOutcome::kRetried:
+        ++retried;
+        break;
+      case SlotOutcome::kCarriedForward:
+        ++carried_forward;
+        break;
+      case SlotOutcome::kFallback:
+        ++fallback;
+        break;
+      case SlotOutcome::kFailed:
+        ++failed;
+        break;
     }
     const common::Status& status = buffer.statuses[slot];
     if (status.ok()) continue;
@@ -382,8 +449,51 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
     if (num_failed == 0) first_code = status.code();
     ++num_failed;
   }
-  MFG_OBS_GAUGE_SET("core.epoch.degraded_contents",
-                    static_cast<double>(degraded));
+  MFG_OBS_GAUGE_SET(
+      "core.epoch.degraded_contents",
+      static_cast<double>(carried_forward + fallback + failed));
+
+  if (report != nullptr) {
+    report->epoch = epoch;
+    report->active_contents = buffer.num_active;
+    report->plan_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      plan_start)
+            .count();
+    report->solved = solved;
+    report->retried = retried;
+    report->carried_forward = carried_forward;
+    report->fallback = fallback;
+    report->failed = failed;
+    report->epoch_allocations = state_->runtime.last_epoch_allocations();
+    // Slots keep ascending content order, so this listing is ascending
+    // too. Reuses the report's vector capacity across epochs.
+    report->degraded_contents.clear();
+    for (std::size_t slot = 0; slot < buffer.num_active; ++slot) {
+      const SlotOutcome outcome = buffer.outcomes[slot];
+      if (outcome == SlotOutcome::kCarriedForward ||
+          outcome == SlotOutcome::kFallback ||
+          outcome == SlotOutcome::kFailed) {
+        report->degraded_contents.push_back(buffer.results[slot].content);
+      }
+    }
+#if MFGCP_OBS_ENABLED
+    const BestResponseCounters& br = BestResponseCounters::Get();
+    report->best_response_solves = br.solves.Value() - br_solves_before;
+    report->best_response_converged =
+        br.converged.Value() - br_converged_before;
+    report->best_response_nonconverged =
+        br.nonconverged.Value() - br_nonconverged_before;
+#else
+    report->best_response_solves = 0;
+    report->best_response_converged = 0;
+    report->best_response_nonconverged = 0;
+#endif
+    if (EpochHealthLoggingEnabled()) {
+      MFG_LOG(INFO) << FormatHealthLine(*report);
+    }
+  }
+
   if (num_failed > 0) {
     MFG_OBS_COUNT("core.epoch.failures", num_failed);
     if (num_failed > 1) {

@@ -12,6 +12,7 @@
 #include "content/popularity.h"
 #include "content/timeliness.h"
 #include "core/best_response.h"
+#include "core/epoch_health.h"
 #include "core/epoch_runtime.h"
 #include "core/policy.h"
 
@@ -179,8 +180,16 @@ class MfgCpFramework {
   // slot exhausts the ladder (or hits a non-recoverable configuration
   // error); the message then aggregates *every* failed content, and the
   // per-slot `statuses` stay intact for finer-grained recovery.
+  //
+  // When `health` is non-null it is filled with this epoch's
+  // EpochHealthReport (ladder tallies, best-response counter deltas, wall
+  // time, degraded content ids) — including on error return, so callers
+  // can log what degraded. Passing null skips the assembly entirely; the
+  // report itself reuses the caller's vector capacity, keeping the
+  // steady-state zero-allocation contract either way.
   common::Status PlanEpochInto(const EpochObservation& obs,
-                               EpochPlanBuffer& buffer) const;
+                               EpochPlanBuffer& buffer,
+                               EpochHealthReport* health = nullptr) const;
 
   // Builds the per-content MfgParams PlanEpoch would use; exposed so
   // benches can solve single contents directly.

@@ -1,0 +1,66 @@
+#include "core/nonconvergence_log.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace mfg::core {
+namespace {
+
+thread_local bool t_epoch_active = false;
+thread_local std::size_t t_epoch = 0;
+
+struct ContentLogState {
+  std::size_t last_logged_epoch = 0;
+  bool ever_logged = false;
+  std::uint64_t suppressed = 0;
+};
+
+std::mutex g_mutex;
+std::unordered_map<content::ContentId, ContentLogState>& States() {
+  static auto* states =
+      new std::unordered_map<content::ContentId, ContentLogState>();
+  return *states;
+}
+
+}  // namespace
+
+NonConvergenceEpochScope::NonConvergenceEpochScope(std::size_t epoch)
+    : prev_active_(t_epoch_active), prev_epoch_(t_epoch) {
+  t_epoch_active = true;
+  t_epoch = epoch;
+}
+
+NonConvergenceEpochScope::~NonConvergenceEpochScope() {
+  t_epoch_active = prev_active_;
+  t_epoch = prev_epoch_;
+}
+
+bool ShouldLogNonConvergence(content::ContentId content,
+                             std::uint64_t& suppressed) {
+  suppressed = 0;
+  if (!t_epoch_active) return true;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  ContentLogState& state = States()[content];
+  if (state.ever_logged && state.last_logged_epoch == t_epoch) {
+    ++state.suppressed;
+    return false;
+  }
+  suppressed = state.suppressed;
+  state.suppressed = 0;
+  state.last_logged_epoch = t_epoch;
+  state.ever_logged = true;
+  return true;
+}
+
+std::string SuppressedSuffix(std::uint64_t suppressed) {
+  if (suppressed == 0) return std::string();
+  return "; " + std::to_string(suppressed) +
+         " similar warning(s) suppressed since this content's last report";
+}
+
+void ResetNonConvergenceLogForTesting() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  States().clear();
+}
+
+}  // namespace mfg::core

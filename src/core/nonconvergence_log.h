@@ -1,0 +1,61 @@
+#ifndef MFGCP_CORE_NONCONVERGENCE_LOG_H_
+#define MFGCP_CORE_NONCONVERGENCE_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "content/catalog.h"
+
+// Rate limiter for the best-response non-convergence WARNINGs (1-D and
+// 2-D). Inside an epoch, a content that keeps missing its tolerance can
+// warn once per ladder attempt — three relaxed retries over hundreds of
+// epochs under a bad profile floods the log with identical lines. The
+// limiter allows at most one line per (epoch, content); suppressed
+// repeats are counted and surfaced on the content's next emitted line
+// ("; N similar warnings suppressed"). Counters
+// (core.best_response.nonconverged) still bump on every event — only the
+// log line is limited.
+//
+// The epoch scope is a thread-local the epoch solve path enters per slot
+// (mfg_cp.cc); solves running outside any scope — direct
+// BestResponseLearner::Solve calls from benches and tests — are never
+// rate-limited, so one-shot workflows keep the full diagnostics.
+
+namespace mfg::core {
+
+// RAII thread-local epoch scope. Nesting keeps the innermost scope.
+class NonConvergenceEpochScope {
+ public:
+  explicit NonConvergenceEpochScope(std::size_t epoch);
+  ~NonConvergenceEpochScope();
+
+  NonConvergenceEpochScope(const NonConvergenceEpochScope&) = delete;
+  NonConvergenceEpochScope& operator=(const NonConvergenceEpochScope&) =
+      delete;
+
+ private:
+  bool prev_active_;
+  std::size_t prev_epoch_;
+};
+
+// Records one non-convergence event for `content` and decides whether the
+// caller should emit the WARNING line. On true, `suppressed` holds the
+// number of lines withheld for this content since its last emitted line
+// (0 when nothing was suppressed). Thread-safe; allocation only on a
+// content's first event ever (the tracking slot), never on the healthy
+// solve path.
+bool ShouldLogNonConvergence(content::ContentId content,
+                             std::uint64_t& suppressed);
+
+// "" when nothing was suppressed, otherwise "; N similar warning(s)
+// suppressed since this content's last report" — appended to the one
+// emitted line so the flood stays countable.
+std::string SuppressedSuffix(std::uint64_t suppressed);
+
+// Drops all per-content tracking state (tests only).
+void ResetNonConvergenceLogForTesting();
+
+}  // namespace mfg::core
+
+#endif  // MFGCP_CORE_NONCONVERGENCE_LOG_H_

@@ -1,10 +1,13 @@
 #include "obs/metrics.h"
 
+#include <chrono>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
+
+#include "obs/snapshot.h"
 
 namespace mfg::obs {
 namespace {
@@ -70,6 +73,48 @@ Histogram& Registry::GetHistogram(std::string_view name,
              .first;
   }
   return *it->second;
+}
+
+void Registry::SnapshotInto(MetricsSnapshot& out) const {
+  out.Clear();
+  out.steady_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  out.unix_ms = static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  out.counters.reserve(impl_->counters.size());
+  for (const auto& [name, counter] : impl_->counters) {
+    CounterSample& sample = out.counters.emplace_back();
+    sample.name = name;
+    sample.value = counter->Value();
+  }
+  out.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, gauge] : impl_->gauges) {
+    GaugeSample& sample = out.gauges.emplace_back();
+    sample.name = name;
+    sample.value = gauge->Value();
+  }
+  out.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, histogram] : impl_->histograms) {
+    HistogramSample& sample = out.histograms.emplace_back();
+    sample.name = name;
+    // Read the total count first: concurrent recorders bump the bucket
+    // before the total, so this order can undercount but never reports a
+    // bucket sum ahead of `count` by more than the in-flight observations.
+    sample.count = histogram->Count();
+    sample.sum = histogram->Sum();
+    sample.num_bounds = histogram->num_bounds();
+    for (std::size_t b = 0; b < sample.num_bounds; ++b) {
+      sample.bounds[b] = histogram->bound(b);
+    }
+    for (std::size_t b = 0; b <= sample.num_bounds; ++b) {
+      sample.buckets[b] = histogram->bucket_count(b);
+    }
+  }
 }
 
 std::string Registry::ToJson() const {

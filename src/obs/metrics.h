@@ -122,6 +122,8 @@ inline constexpr std::initializer_list<double> kDefaultSecondsBounds = {
 inline constexpr std::initializer_list<double> kDefaultCountBounds = {
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0};
 
+struct MetricsSnapshot;  // snapshot.h
+
 class Registry {
  public:
   // The process-wide registry every instrumented subsystem shares.
@@ -136,6 +138,12 @@ class Registry {
   Histogram& GetHistogram(
       std::string_view name,
       std::initializer_list<double> bounds = kDefaultSecondsBounds);
+
+  // Captures every instrument into `out` (sorted by name), reusing its
+  // storage. Takes the registration mutex only — recorders stay wait-free
+  // while a snapshot is in flight. See snapshot.h for the types and the
+  // delta arithmetic built on top.
+  void SnapshotInto(MetricsSnapshot& out) const;
 
   // Flat JSON object: {"counters":{..},"gauges":{..},"histograms":{..}}.
   std::string ToJson() const;

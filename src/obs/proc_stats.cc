@@ -1,0 +1,62 @@
+#include "obs/proc_stats.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace mfg::obs {
+
+std::size_t ResidentBytes() {
+#if defined(__linux__)
+  // statm: size resident shared text lib data dt (pages).
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long size_pages = 0;
+  unsigned long resident_pages = 0;
+  const int matched = std::fscanf(f, "%lu %lu", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::size_t>(resident_pages) *
+         static_cast<std::size_t>(page);
+#else
+  return 0;
+#endif
+}
+
+std::size_t PeakResidentBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t peak = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    unsigned long kb = 0;
+    if (std::sscanf(line, "VmHWM: %lu kB", &kb) == 1) {
+      peak = static_cast<std::size_t>(kb) * 1024;
+      break;
+    }
+  }
+  std::fclose(f);
+  return peak;
+#else
+  return 0;
+#endif
+}
+
+void SampleProcessGauges() {
+  static Gauge& resident =
+      Registry::Global().GetGauge("proc.resident_bytes");
+  static Gauge& peak =
+      Registry::Global().GetGauge("proc.peak_resident_bytes");
+  resident.Set(static_cast<double>(ResidentBytes()));
+  peak.Set(static_cast<double>(PeakResidentBytes()));
+}
+
+}  // namespace mfg::obs

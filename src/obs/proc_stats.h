@@ -1,0 +1,30 @@
+#ifndef MFGCP_OBS_PROC_STATS_H_
+#define MFGCP_OBS_PROC_STATS_H_
+
+#include <cstddef>
+
+// Gauge-based process memory probe. Linux-only by implementation
+// (/proc/self/statm, /proc/self/status); every accessor degrades to 0 on
+// platforms without procfs instead of failing, so callers can sample
+// unconditionally.
+
+namespace mfg::obs {
+
+// Resident set size in bytes (statm field 2 × page size), or 0 when the
+// platform does not expose it.
+std::size_t ResidentBytes();
+
+// Peak resident set size in bytes (VmHWM from /proc/self/status), or 0
+// when the platform does not expose it.
+std::size_t PeakResidentBytes();
+
+// Reads both probes and publishes them as the `proc.resident_bytes` /
+// `proc.peak_resident_bytes` gauges. Called by the MetricsStreamer once
+// per sampling window (the probe reads procfs, so it belongs on the
+// sampler thread, never in solver code); safe to call directly for a
+// one-off reading before a registry export.
+void SampleProcessGauges();
+
+}  // namespace mfg::obs
+
+#endif  // MFGCP_OBS_PROC_STATS_H_

@@ -1,0 +1,108 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace mfg::obs {
+
+void MetricsSnapshot::Clear() {
+  steady_ns = 0;
+  unix_ms = 0;
+  counters.clear();
+  gauges.clear();
+  histograms.clear();
+}
+
+void MetricsDelta::Clear() {
+  window_seconds = 0.0;
+  unix_ms = 0;
+  counters.clear();
+  gauges.clear();
+  histograms.clear();
+}
+
+void CaptureSnapshot(MetricsSnapshot& out) {
+  Registry::Global().SnapshotInto(out);
+}
+
+namespace {
+
+// delta = later - earlier, clamped to later when the cumulative value
+// moved backwards (a reset raced the window) so unsigned subtraction
+// never wraps.
+std::uint64_t MonotonicDelta(std::uint64_t later, std::uint64_t earlier) {
+  return later >= earlier ? later - earlier : later;
+}
+
+}  // namespace
+
+void Diff(const MetricsSnapshot& later, const MetricsSnapshot& earlier,
+          MetricsDelta& out) {
+  out.Clear();
+  out.unix_ms = later.unix_ms;
+  if (later.steady_ns > earlier.steady_ns) {
+    out.window_seconds =
+        static_cast<double>(later.steady_ns - earlier.steady_ns) * 1e-9;
+  }
+  const double window = out.window_seconds;
+
+  // Both sides are sorted by name; one merge pass matches them up.
+  std::size_t e = 0;
+  for (const CounterSample& sample : later.counters) {
+    while (e < earlier.counters.size() &&
+           earlier.counters[e].name < sample.name) {
+      ++e;
+    }
+    const std::uint64_t base =
+        (e < earlier.counters.size() && earlier.counters[e].name == sample.name)
+            ? earlier.counters[e].value
+            : 0;
+    CounterDelta& delta = out.counters.emplace_back();
+    delta.name = sample.name;
+    delta.value = sample.value;
+    delta.delta = MonotonicDelta(sample.value, base);
+    delta.rate = window > 0.0 ? static_cast<double>(delta.delta) / window : 0.0;
+  }
+
+  e = 0;
+  for (const GaugeSample& sample : later.gauges) {
+    while (e < earlier.gauges.size() && earlier.gauges[e].name < sample.name) {
+      ++e;
+    }
+    GaugeDelta& delta = out.gauges.emplace_back();
+    delta.name = sample.name;
+    delta.value = sample.value;
+    if (e < earlier.gauges.size() && earlier.gauges[e].name == sample.name) {
+      delta.delta = sample.value - earlier.gauges[e].value;
+    }
+  }
+
+  e = 0;
+  for (const HistogramSample& sample : later.histograms) {
+    while (e < earlier.histograms.size() &&
+           earlier.histograms[e].name < sample.name) {
+      ++e;
+    }
+    const HistogramSample* base =
+        (e < earlier.histograms.size() &&
+         earlier.histograms[e].name == sample.name)
+            ? &earlier.histograms[e]
+            : nullptr;
+    HistogramDelta& delta = out.histograms.emplace_back();
+    delta.name = sample.name;
+    delta.count = sample.count;
+    delta.sum = sample.sum;
+    delta.num_bounds = sample.num_bounds;
+    delta.bounds = sample.bounds;
+    delta.delta_count = MonotonicDelta(sample.count, base ? base->count : 0);
+    delta.delta_sum = base && sample.count >= base->count
+                          ? sample.sum - base->sum
+                          : sample.sum;
+    for (std::size_t b = 0; b <= sample.num_bounds; ++b) {
+      delta.delta_buckets[b] =
+          MonotonicDelta(sample.buckets[b], base ? base->buckets[b] : 0);
+    }
+  }
+}
+
+}  // namespace mfg::obs

@@ -1,0 +1,112 @@
+#ifndef MFGCP_OBS_SNAPSHOT_H_
+#define MFGCP_OBS_SNAPSHOT_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+// Point-in-time captures of the metrics registry plus delta arithmetic
+// between two captures — the building blocks of streaming export
+// (stream.h) and the per-epoch health reports (core/epoch_health.h).
+//
+// Capture walks the registry under its registration mutex, which the
+// wait-free record path (Counter::Add, Gauge::Set, Histogram::Observe)
+// never takes — so capturing a snapshot never pauses an instrumented
+// solver thread. The capture itself may allocate (string names, vector
+// growth); by contract those allocations belong to the *sampling* thread
+// (the MetricsStreamer's own thread, or a test), never a pool worker.
+//
+// Instruments are emitted sorted by name (the registry's map order), so
+// Diff can walk two snapshots with a single merge pass.
+
+namespace mfg::obs {
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  std::size_t num_bounds = 0;
+  std::array<double, Histogram::kMaxBuckets> bounds{};
+  // buckets[b] counts observations <= bounds[b]; buckets[num_bounds] is
+  // the +inf overflow bucket.
+  std::array<std::uint64_t, Histogram::kMaxBuckets + 1> buckets{};
+};
+
+struct MetricsSnapshot {
+  std::uint64_t steady_ns = 0;  // Capture instant, steady clock.
+  std::int64_t unix_ms = 0;     // Capture instant, wall clock.
+  std::vector<CounterSample> counters;      // Sorted by name.
+  std::vector<GaugeSample> gauges;          // Sorted by name.
+  std::vector<HistogramSample> histograms;  // Sorted by name.
+
+  void Clear();
+};
+
+// Captures the process-wide registry into `out`, reusing its storage.
+void CaptureSnapshot(MetricsSnapshot& out);
+
+struct CounterDelta {
+  std::string name;
+  std::uint64_t value = 0;  // Cumulative at the later snapshot.
+  std::uint64_t delta = 0;  // Increment over the window.
+  double rate = 0.0;        // delta / window seconds (0 for an empty window).
+};
+
+struct GaugeDelta {
+  std::string name;
+  double value = 0.0;  // At the later snapshot.
+  double delta = 0.0;  // value - earlier value (0 for a new gauge).
+};
+
+struct HistogramDelta {
+  std::string name;
+  std::uint64_t count = 0;  // Cumulative at the later snapshot.
+  double sum = 0.0;
+  std::uint64_t delta_count = 0;  // Observations within the window.
+  double delta_sum = 0.0;
+  std::size_t num_bounds = 0;
+  std::array<double, Histogram::kMaxBuckets> bounds{};
+  // Per-bucket increments over the window (same layout as
+  // HistogramSample::buckets).
+  std::array<std::uint64_t, Histogram::kMaxBuckets + 1> delta_buckets{};
+};
+
+struct MetricsDelta {
+  double window_seconds = 0.0;  // later.steady_ns - earlier.steady_ns.
+  std::int64_t unix_ms = 0;     // The later snapshot's wall clock.
+  std::vector<CounterDelta> counters;
+  std::vector<GaugeDelta> gauges;
+  std::vector<HistogramDelta> histograms;
+
+  void Clear();
+};
+
+// Increments from `earlier` to `later`, reusing `out`'s storage.
+//
+// Deltas are rollover-free by construction: an instrument present only in
+// `later` (registered mid-window) diffs against zero, and a cumulative
+// value *below* the earlier snapshot's (a ResetForTesting raced the
+// window) clamps the delta to the later value instead of wrapping the
+// unsigned subtraction. Instruments present only in `earlier` are
+// dropped — the registry never deletes instruments, so that only happens
+// when diffing snapshots of unrelated registries.
+void Diff(const MetricsSnapshot& later, const MetricsSnapshot& earlier,
+          MetricsDelta& out);
+
+}  // namespace mfg::obs
+
+#endif  // MFGCP_OBS_SNAPSHOT_H_

@@ -1,14 +1,57 @@
 #include "sim/epoch_runner.h"
 
 #include <algorithm>
-#include <chrono>
+#include <string>
 
 #include "baselines/most_popular.h"
+#include "common/csv.h"
 #include "common/logging.h"
 #include "content/popularity.h"
 #include "content/timeliness.h"
 
 namespace mfg::sim {
+namespace {
+
+common::CsvWriter BuildEpochOutcomesCsv(
+    const std::vector<EpochOutcome>& outcomes) {
+  common::CsvWriter writer({"epoch", "active_contents", "plan_seconds",
+                            "retries", "carry_forwards", "fallbacks",
+                            "failures", "degraded_contents", "mean_utility",
+                            "hit_ratio"});
+  for (const EpochOutcome& outcome : outcomes) {
+    // Ids joined with ';' so the list stays one CSV field.
+    std::string degraded_ids;
+    for (std::size_t i = 0; i < outcome.health.degraded_contents.size();
+         ++i) {
+      if (i > 0) degraded_ids += ';';
+      degraded_ids += std::to_string(outcome.health.degraded_contents[i]);
+    }
+    writer.AddRow(std::vector<std::string>{
+        std::to_string(outcome.epoch),
+        std::to_string(outcome.active_contents),
+        std::to_string(outcome.plan_seconds),
+        std::to_string(outcome.health.retried),
+        std::to_string(outcome.health.carried_forward),
+        std::to_string(outcome.health.fallback),
+        std::to_string(outcome.health.failed),
+        degraded_ids,
+        std::to_string(outcome.result.MeanUtility()),
+        std::to_string(outcome.result.HitRatio()),
+    });
+  }
+  return writer;
+}
+
+}  // namespace
+
+std::string EpochOutcomesCsv(const std::vector<EpochOutcome>& outcomes) {
+  return BuildEpochOutcomesCsv(outcomes).ToString();
+}
+
+common::Status WriteEpochOutcomesCsv(
+    const std::string& path, const std::vector<EpochOutcome>& outcomes) {
+  return BuildEpochOutcomesCsv(outcomes).WriteFile(path);
+}
 
 common::StatusOr<EpochRunner> EpochRunner::Create(
     const EpochRunnerOptions& options) {
@@ -110,12 +153,8 @@ common::StatusOr<std::vector<EpochOutcome>> EpochRunner::Run() {
         k_total,
         mean_remaining_frac * options_.simulator.base_params.content_size);
 
-    const auto plan_start = std::chrono::steady_clock::now();
-    MFG_RETURN_IF_ERROR(framework_.PlanEpochInto(obs, plan_buffer_));
-    const double plan_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      plan_start)
-            .count();
+    core::EpochHealthReport health;
+    MFG_RETURN_IF_ERROR(framework_.PlanEpochInto(obs, plan_buffer_, &health));
 
     // Deploy the plan — including degraded slots: a carried-forward or
     // fallback equilibrium still yields a usable policy surface, so the
@@ -123,37 +162,22 @@ common::StatusOr<std::vector<EpochOutcome>> EpochRunner::Run() {
     SchemePolicies scheme;
     scheme.name = "MFG-CP";
     scheme.per_content.assign(k_total, idle);
-    std::size_t retried = 0;
-    std::size_t carried = 0;
-    std::size_t fallback = 0;
     for (std::size_t slot = 0; slot < plan_buffer_.num_active; ++slot) {
       const core::EpochContentResult& result = plan_buffer_.results[slot];
       MFG_ASSIGN_OR_RETURN(
           std::unique_ptr<core::MfgPolicy> policy,
           core::MfgPolicy::Create(result.params, result.equilibrium));
       scheme.per_content[result.content] = std::move(policy);
-      switch (plan_buffer_.outcomes[slot]) {
-        case core::SlotOutcome::kRetried:
-          ++retried;
-          break;
-        case core::SlotOutcome::kCarriedForward:
-          ++carried;
-          break;
-        case core::SlotOutcome::kFallback:
-          ++fallback;
-          break;
-        default:
-          break;
-      }
     }
 
     MFG_ASSIGN_OR_RETURN(EpochOutcome outcome,
                          RunEpoch(epoch, scheme, mean_remaining_frac));
-    outcome.active_contents = plan_buffer_.num_active;
-    outcome.retried_contents = retried;
-    outcome.carried_contents = carried;
-    outcome.fallback_contents = fallback;
-    outcome.plan_seconds = plan_seconds;
+    outcome.active_contents = health.active_contents;
+    outcome.retried_contents = health.retried;
+    outcome.carried_contents = health.carried_forward;
+    outcome.fallback_contents = health.fallback;
+    outcome.plan_seconds = health.plan_seconds;
+    outcome.health = std::move(health);
     mean_remaining_frac = std::clamp(
         outcome.result.per_slot.back().mean_cache_remaining /
             options_.simulator.base_params.content_size,

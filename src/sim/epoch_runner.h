@@ -1,9 +1,11 @@
 #ifndef MFGCP_SIM_EPOCH_RUNNER_H_
 #define MFGCP_SIM_EPOCH_RUNNER_H_
 
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/epoch_health.h"
 #include "core/mfg_cp.h"
 #include "sim/simulator.h"
 
@@ -41,12 +43,29 @@ struct EpochOutcome {
   // Degraded slots this epoch (see core::SlotOutcome): contents served by
   // a relaxed retry, a carried-forward equilibrium, or the static
   // fallback policy rather than a clean first-attempt solve. All zero on
-  // a healthy epoch.
+  // a healthy epoch. Sourced from `health` (which PlanEpochInto fills
+  // from the plan buffer's per-slot outcomes).
   std::size_t retried_contents = 0;
   std::size_t carried_contents = 0;
   std::size_t fallback_contents = 0;
+  // Full per-epoch planner health report (ladder tallies, best-response
+  // counter deltas, degraded content ids). Zero-valued for scheme runs,
+  // which never invoke the planner.
+  core::EpochHealthReport health;
   SimulationResult result;           // The epoch's market outcome.
 };
+
+// Plot-ready CSV of a multi-epoch run, one row per epoch:
+//   epoch,active_contents,plan_seconds,retries,carry_forwards,fallbacks,
+//   failures,degraded_contents,mean_utility,hit_ratio
+// The degradation columns come from EpochOutcome::health (all zero for
+// scheme runs); degraded_contents is the ids joined with ';' ("" when the
+// epoch was healthy) so the row stays one field.
+std::string EpochOutcomesCsv(const std::vector<EpochOutcome>& outcomes);
+
+// Writes EpochOutcomesCsv(outcomes) to `path`.
+common::Status WriteEpochOutcomesCsv(const std::string& path,
+                                     const std::vector<EpochOutcome>& outcomes);
 
 class EpochRunner {
  public:

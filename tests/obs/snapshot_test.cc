@@ -1,0 +1,228 @@
+#include "obs/snapshot.h"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+// Snapshot capture and delta arithmetic (obs/snapshot.h). The registry is
+// process-global and shared with every other test in this binary, so each
+// test uses its own "test.snapshot.*" instruments and asserts on those
+// only; the synthetic-snapshot tests bypass the registry entirely for
+// deterministic windows and rates.
+
+namespace mfg::obs {
+namespace {
+
+MetricsSnapshot Synthetic(std::uint64_t steady_ns, std::int64_t unix_ms) {
+  MetricsSnapshot snap;
+  snap.steady_ns = steady_ns;
+  snap.unix_ms = unix_ms;
+  return snap;
+}
+
+// Instruments must be appended in name-sorted order (Diff merge-walks).
+void AddCounter(MetricsSnapshot& snap, const std::string& name,
+                std::uint64_t value) {
+  CounterSample& sample = snap.counters.emplace_back();
+  sample.name = name;
+  sample.value = value;
+}
+
+void AddGauge(MetricsSnapshot& snap, const std::string& name, double value) {
+  GaugeSample& sample = snap.gauges.emplace_back();
+  sample.name = name;
+  sample.value = value;
+}
+
+const CounterDelta* FindCounter(const MetricsDelta& delta,
+                                const std::string& name) {
+  for (const CounterDelta& c : delta.counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(MetricsSnapshotTest, CaptureSeesRegisteredInstrumentsSorted) {
+  Registry& registry = Registry::Global();
+  registry.GetCounter("test.snapshot.capture_b").Add(3);
+  registry.GetCounter("test.snapshot.capture_a").Add(7);
+  registry.GetGauge("test.snapshot.capture_gauge").Set(2.5);
+  registry.GetHistogram("test.snapshot.capture_hist").Observe(0.5);
+
+  MetricsSnapshot snap;
+  CaptureSnapshot(snap);
+  EXPECT_GT(snap.steady_ns, 0u);
+  EXPECT_GT(snap.unix_ms, 0);
+
+  const CounterSample* a = nullptr;
+  const CounterSample* b = nullptr;
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+    }
+    if (snap.counters[i].name == "test.snapshot.capture_a") {
+      a = &snap.counters[i];
+    }
+    if (snap.counters[i].name == "test.snapshot.capture_b") {
+      b = &snap.counters[i];
+    }
+  }
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->value, 7u);
+  EXPECT_EQ(b->value, 3u);
+
+  bool found_gauge = false;
+  for (const GaugeSample& g : snap.gauges) {
+    if (g.name != "test.snapshot.capture_gauge") continue;
+    EXPECT_DOUBLE_EQ(g.value, 2.5);
+    found_gauge = true;
+  }
+  EXPECT_TRUE(found_gauge);
+
+  bool found_hist = false;
+  for (const HistogramSample& h : snap.histograms) {
+    if (h.name != "test.snapshot.capture_hist") continue;
+    EXPECT_EQ(h.count, 1u);
+    EXPECT_DOUBLE_EQ(h.sum, 0.5);
+    found_hist = true;
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST(MetricsSnapshotTest, CounterDeltaAndRate) {
+  MetricsSnapshot earlier = Synthetic(1'000'000'000, 1000);
+  AddCounter(earlier, "events", 10);
+  MetricsSnapshot later = Synthetic(3'000'000'000, 3000);  // 2 s window.
+  AddCounter(later, "events", 30);
+
+  MetricsDelta delta;
+  Diff(later, earlier, delta);
+  EXPECT_DOUBLE_EQ(delta.window_seconds, 2.0);
+  EXPECT_EQ(delta.unix_ms, 3000);
+  const CounterDelta* events = FindCounter(delta, "events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->value, 30u);
+  EXPECT_EQ(events->delta, 20u);
+  EXPECT_DOUBLE_EQ(events->rate, 10.0);
+}
+
+TEST(MetricsSnapshotTest, CounterBelowEarlierClampsInsteadOfWrapping) {
+  MetricsSnapshot earlier = Synthetic(0, 0);
+  AddCounter(earlier, "events", 100);
+  MetricsSnapshot later = Synthetic(1'000'000'000, 1000);
+  AddCounter(later, "events", 4);  // A reset raced the window.
+
+  MetricsDelta delta;
+  Diff(later, earlier, delta);
+  const CounterDelta* events = FindCounter(delta, "events");
+  ASSERT_NE(events, nullptr);
+  // Not the wrapped 2^64 - 96: the delta clamps to the later value.
+  EXPECT_EQ(events->delta, 4u);
+}
+
+TEST(MetricsSnapshotTest, InstrumentMissingInEarlierDiffsAgainstZero) {
+  MetricsSnapshot earlier = Synthetic(0, 0);
+  AddCounter(earlier, "aaa", 5);
+  AddCounter(earlier, "zzz", 9);
+  MetricsSnapshot later = Synthetic(1'000'000'000, 1000);
+  AddCounter(later, "aaa", 6);
+  AddCounter(later, "mmm", 40);  // Registered mid-window.
+  AddCounter(later, "zzz", 9);
+
+  MetricsDelta delta;
+  Diff(later, earlier, delta);
+  ASSERT_EQ(delta.counters.size(), 3u);
+  EXPECT_EQ(FindCounter(delta, "aaa")->delta, 1u);
+  EXPECT_EQ(FindCounter(delta, "mmm")->delta, 40u);
+  EXPECT_EQ(FindCounter(delta, "zzz")->delta, 0u);
+}
+
+TEST(MetricsSnapshotTest, GaugeDeltaIsSignedAndZeroForNewGauges) {
+  MetricsSnapshot earlier = Synthetic(0, 0);
+  AddGauge(earlier, "level", 5.0);
+  MetricsSnapshot later = Synthetic(1'000'000'000, 1000);
+  AddGauge(later, "fresh", 7.5);
+  AddGauge(later, "level", 3.0);
+
+  MetricsDelta delta;
+  Diff(later, earlier, delta);
+  ASSERT_EQ(delta.gauges.size(), 2u);
+  EXPECT_EQ(delta.gauges[0].name, "fresh");
+  EXPECT_DOUBLE_EQ(delta.gauges[0].value, 7.5);
+  EXPECT_DOUBLE_EQ(delta.gauges[0].delta, 0.0);
+  EXPECT_EQ(delta.gauges[1].name, "level");
+  EXPECT_DOUBLE_EQ(delta.gauges[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(delta.gauges[1].delta, -2.0);
+}
+
+TEST(MetricsSnapshotTest, HistogramBucketDeltas) {
+  // Real registry instruments so the bucket layout comes from the
+  // production Observe path.
+  Registry& registry = Registry::Global();
+  Histogram& hist = registry.GetHistogram("test.snapshot.hist_delta",
+                                          {1.0, 10.0});
+  hist.Observe(0.5);   // Bucket 0.
+  hist.Observe(5.0);   // Bucket 1.
+  MetricsSnapshot earlier;
+  CaptureSnapshot(earlier);
+
+  hist.Observe(0.25);   // Bucket 0.
+  hist.Observe(100.0);  // Overflow bucket.
+  MetricsSnapshot later;
+  CaptureSnapshot(later);
+
+  MetricsDelta delta;
+  Diff(later, earlier, delta);
+  const HistogramDelta* h = nullptr;
+  for (const HistogramDelta& candidate : delta.histograms) {
+    if (candidate.name == "test.snapshot.hist_delta") h = &candidate;
+  }
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->num_bounds, 2u);
+  EXPECT_DOUBLE_EQ(h->bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(h->bounds[1], 10.0);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_EQ(h->delta_count, 2u);
+  EXPECT_DOUBLE_EQ(h->delta_sum, 100.25);
+  EXPECT_EQ(h->delta_buckets[0], 1u);  // The 0.25 observation.
+  EXPECT_EQ(h->delta_buckets[1], 0u);
+  EXPECT_EQ(h->delta_buckets[2], 1u);  // The 100.0 overflow.
+}
+
+TEST(MetricsSnapshotTest, EmptyWindowHasZeroRate) {
+  MetricsSnapshot earlier = Synthetic(5'000'000'000, 5000);
+  AddCounter(earlier, "events", 1);
+  MetricsSnapshot later = Synthetic(5'000'000'000, 5000);  // Same instant.
+  AddCounter(later, "events", 3);
+
+  MetricsDelta delta;
+  Diff(later, earlier, delta);
+  EXPECT_DOUBLE_EQ(delta.window_seconds, 0.0);
+  const CounterDelta* events = FindCounter(delta, "events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->delta, 2u);
+  EXPECT_DOUBLE_EQ(events->rate, 0.0);
+}
+
+TEST(MetricsSnapshotTest, DiffReusesOutputStorage) {
+  MetricsSnapshot earlier = Synthetic(0, 0);
+  AddCounter(earlier, "events", 1);
+  MetricsSnapshot later = Synthetic(1'000'000'000, 1000);
+  AddCounter(later, "events", 2);
+
+  MetricsDelta delta;
+  Diff(later, earlier, delta);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  // A second Diff into the same object must not accumulate rows.
+  Diff(later, earlier, delta);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].delta, 1u);
+}
+
+}  // namespace
+}  // namespace mfg::obs

@@ -1,0 +1,240 @@
+#include "obs/stream.h"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/proc_stats.h"
+
+// MetricsStreamer lifecycle and stream-content guarantees (obs/stream.h):
+// baseline + final rows, strictly increasing seq, non-decreasing unix_ms,
+// no lost samples under concurrent recorders, idempotent Stop, restart,
+// and the wide-format CSV companion. Each test runs its own streamer
+// instance against its own temp files; the registry is shared, so
+// per-test "test.stream.*" instrument names keep assertions isolated.
+
+namespace mfg::obs {
+namespace {
+
+using ::testing::HasSubstr;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+// Extracts the integer immediately following `key` (e.g. "\"seq\":") in a
+// serialized row; -1 when the key is absent.
+std::int64_t IntAfter(const std::string& row, const std::string& key) {
+  const std::size_t pos = row.find(key);
+  if (pos == std::string::npos) return -1;
+  return std::strtoll(row.c_str() + pos + key.size(), nullptr, 10);
+}
+
+TEST(MetricsStreamTest, WritesBaselineAndFinalRows) {
+  Registry::Global().GetCounter("test.stream.basic").Add(5);
+  const std::string path = TempPath("stream_basic.jsonl");
+  MetricsStreamer streamer;
+  StreamOptions options;
+  options.jsonl_path = path;
+  options.period = std::chrono::milliseconds(5);
+  ASSERT_TRUE(streamer.Start(options).ok());
+  EXPECT_TRUE(streamer.active());
+
+  Registry::Global().GetCounter("test.stream.basic").Add(7);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  streamer.Stop();
+  EXPECT_FALSE(streamer.active());
+
+  const std::vector<std::string> lines = ReadLines(path);
+  // Baseline row + at least the final flush.
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_EQ(streamer.windows_written(), lines.size());
+
+  // seq strictly increasing from 0; unix_ms non-decreasing.
+  std::int64_t last_unix_ms = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "row " << i);
+    EXPECT_EQ(IntAfter(lines[i], "\"seq\":"),
+              static_cast<std::int64_t>(i));
+    const std::int64_t unix_ms = IntAfter(lines[i], "\"unix_ms\":");
+    EXPECT_GE(unix_ms, last_unix_ms);
+    last_unix_ms = unix_ms;
+    EXPECT_THAT(lines[i], HasSubstr("\"window_s\":"));
+    EXPECT_THAT(lines[i], HasSubstr("\"counters\":{"));
+    EXPECT_THAT(lines[i], HasSubstr("\"gauges\":{"));
+    EXPECT_THAT(lines[i], HasSubstr("\"histograms\":{"));
+  }
+
+  // The baseline row carries the pre-Start cumulative value as a window-0
+  // delta, and the final row's cumulative value matches the registry at
+  // Stop — no recorded sample is lost.
+  EXPECT_THAT(lines.front(),
+              HasSubstr("\"test.stream.basic\":{\"value\":5,\"delta\":5"));
+  const std::uint64_t final_value =
+      Registry::Global().GetCounter("test.stream.basic").Value();
+  EXPECT_EQ(static_cast<std::uint64_t>(IntAfter(
+                lines.back(),
+                "\"test.stream.basic\":{\"value\":")),
+            final_value);
+}
+
+TEST(MetricsStreamTest, StartValidatesOptions) {
+  MetricsStreamer streamer;
+  StreamOptions no_path;
+  EXPECT_EQ(streamer.Start(no_path).code(),
+            common::StatusCode::kInvalidArgument);
+
+  StreamOptions bad_period;
+  bad_period.jsonl_path = TempPath("stream_bad_period.jsonl");
+  bad_period.period = std::chrono::milliseconds(0);
+  EXPECT_EQ(streamer.Start(bad_period).code(),
+            common::StatusCode::kInvalidArgument);
+
+  StreamOptions bad_dir;
+  bad_dir.jsonl_path = TempPath("no_such_dir/stream.jsonl");
+  EXPECT_EQ(streamer.Start(bad_dir).code(), common::StatusCode::kIoError);
+  EXPECT_FALSE(streamer.active());
+}
+
+TEST(MetricsStreamTest, StartWhileActiveFailsAndStopIsIdempotent) {
+  MetricsStreamer streamer;
+  StreamOptions options;
+  options.jsonl_path = TempPath("stream_lifecycle.jsonl");
+  options.period = std::chrono::milliseconds(5);
+  ASSERT_TRUE(streamer.Start(options).ok());
+  EXPECT_EQ(streamer.Start(options).code(),
+            common::StatusCode::kFailedPrecondition);
+
+  streamer.Stop();
+  const std::uint64_t windows = streamer.windows_written();
+  streamer.Stop();  // No-op: no extra rows, no crash.
+  EXPECT_EQ(streamer.windows_written(), windows);
+  EXPECT_EQ(ReadLines(options.jsonl_path).size(), windows);
+}
+
+TEST(MetricsStreamTest, RestartStreamsToANewFile) {
+  MetricsStreamer streamer;
+  StreamOptions options;
+  options.jsonl_path = TempPath("stream_restart_1.jsonl");
+  options.period = std::chrono::milliseconds(5);
+  ASSERT_TRUE(streamer.Start(options).ok());
+  streamer.Stop();
+
+  options.jsonl_path = TempPath("stream_restart_2.jsonl");
+  ASSERT_TRUE(streamer.Start(options).ok());
+  streamer.Stop();
+  const std::vector<std::string> lines = ReadLines(options.jsonl_path);
+  ASSERT_GE(lines.size(), 2u);
+  // seq restarts from 0 per stream.
+  EXPECT_EQ(IntAfter(lines.front(), "\"seq\":"), 0);
+  EXPECT_EQ(streamer.windows_written(), lines.size());
+}
+
+TEST(MetricsStreamTest, NoLostSamplesUnderConcurrentLoad) {
+  Counter& counter =
+      Registry::Global().GetCounter("test.stream.concurrent");
+  MetricsStreamer streamer;
+  StreamOptions options;
+  options.jsonl_path = TempPath("stream_concurrent.jsonl");
+  options.period = std::chrono::milliseconds(2);
+  ASSERT_TRUE(streamer.Start(options).ok());
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint64_t kPerThread = 20'000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  streamer.Stop();
+
+  const std::vector<std::string> lines = ReadLines(options.jsonl_path);
+  ASSERT_GE(lines.size(), 2u);
+  // The final row's cumulative value covers every recorded increment, and
+  // the per-window deltas sum to it exactly.
+  const std::uint64_t expected = counter.Value();
+  EXPECT_GE(expected, kThreads * kPerThread);
+  EXPECT_EQ(static_cast<std::uint64_t>(IntAfter(
+                lines.back(), "\"test.stream.concurrent\":{\"value\":")),
+            expected);
+  std::uint64_t delta_total = 0;
+  for (const std::string& line : lines) {
+    const std::size_t pos = line.find("\"test.stream.concurrent\":{");
+    ASSERT_NE(pos, std::string::npos);
+    delta_total += static_cast<std::uint64_t>(
+        IntAfter(line.substr(pos), "\"delta\":"));
+  }
+  EXPECT_EQ(delta_total, expected);
+}
+
+TEST(MetricsStreamTest, CsvCompanionHasFixedColumns) {
+  Registry::Global().GetCounter("test.stream.csv").Add(2);
+  MetricsStreamer streamer;
+  StreamOptions options;
+  options.jsonl_path = TempPath("stream_csv.jsonl");
+  options.csv_path = TempPath("stream_csv.csv");
+  options.period = std::chrono::milliseconds(5);
+  ASSERT_TRUE(streamer.Start(options).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  streamer.Stop();
+
+  const std::vector<std::string> lines = ReadLines(options.csv_path);
+  ASSERT_GE(lines.size(), 2u);  // Header + baseline (+ windows).
+  EXPECT_THAT(lines.front(), HasSubstr("seq,unix_ms,window_s"));
+  EXPECT_THAT(lines.front(), HasSubstr("test.stream.csv.delta"));
+  // One data row per JSONL window, same arity as the header.
+  EXPECT_EQ(lines.size() - 1, streamer.windows_written());
+  const std::size_t header_fields =
+      static_cast<std::size_t>(
+          std::count(lines.front().begin(), lines.front().end(), ',')) + 1;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "row " << i);
+    EXPECT_EQ(static_cast<std::size_t>(std::count(lines[i].begin(),
+                                                  lines[i].end(), ',')) + 1,
+              header_fields);
+  }
+}
+
+TEST(MetricsStreamTest, SamplesProcessGaugesEachWindow) {
+  MetricsStreamer streamer;
+  StreamOptions options;
+  options.jsonl_path = TempPath("stream_proc.jsonl");
+  options.period = std::chrono::milliseconds(5);
+  ASSERT_TRUE(streamer.Start(options).ok());
+  streamer.Stop();
+
+  const std::vector<std::string> lines = ReadLines(options.jsonl_path);
+  ASSERT_FALSE(lines.empty());
+  // The gauges are registered either way; on Linux they carry a positive
+  // resident size, elsewhere ResidentBytes() reports 0.
+  EXPECT_THAT(lines.front(), HasSubstr("\"proc.resident_bytes\""));
+  EXPECT_THAT(lines.front(), HasSubstr("\"proc.peak_resident_bytes\""));
+#if defined(__linux__)
+  EXPECT_GT(ResidentBytes(), 0u);
+  EXPECT_GT(PeakResidentBytes(), 0u);
+#endif
+}
+
+}  // namespace
+}  // namespace mfg::obs

@@ -1,8 +1,14 @@
 #include "sim/epoch_runner.h"
 
+#include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "baselines/random_replacement.h"
+#include "common/csv.h"
 #include "core/fault_injection.h"
 
 namespace mfg::sim {
@@ -101,8 +107,58 @@ TEST(EpochRunnerTest, HealthyRunReportsNoDegradation) {
     EXPECT_EQ(outcome.retried_contents, 0u);
     EXPECT_EQ(outcome.carried_contents, 0u);
     EXPECT_EQ(outcome.fallback_contents, 0u);
+    // The full health report rides along and agrees with the summary
+    // counters.
+    EXPECT_EQ(outcome.health.epoch, outcome.epoch);
+    EXPECT_EQ(outcome.health.active_contents, outcome.active_contents);
+    EXPECT_EQ(outcome.health.DegradedCount(), 0u);
+    EXPECT_TRUE(outcome.health.degraded_contents.empty());
   }
 }
+
+TEST(EpochRunnerTest, EpochOutcomesCsvHasOneRowPerEpoch) {
+  auto runner = EpochRunner::Create(SmallOptions()).value();
+  auto outcomes = runner.Run().value();
+  const std::string csv = EpochOutcomesCsv(outcomes);
+  auto table = common::CsvTable::Parse(csv);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), outcomes.size());
+  EXPECT_EQ(table->header(),
+            (std::vector<std::string>{
+                "epoch", "active_contents", "plan_seconds", "retries",
+                "carry_forwards", "fallbacks", "failures",
+                "degraded_contents", "mean_utility", "hit_ratio"}));
+  for (std::size_t e = 0; e < outcomes.size(); ++e) {
+    EXPECT_EQ(table->CellAsInt(e, 0).value(),
+              static_cast<std::int64_t>(e));
+    EXPECT_EQ(table->CellAsInt(e, 3).value(), 0);  // retries
+    EXPECT_EQ(table->CellAsInt(e, 4).value(), 0);  // carry_forwards
+    EXPECT_EQ(table->CellAsInt(e, 5).value(), 0);  // fallbacks
+    EXPECT_EQ(table->CellAsInt(e, 6).value(), 0);  // failures
+    EXPECT_EQ(table->Cell(e, 7).value(), "");      // degraded ids
+    EXPECT_GT(table->CellAsDouble(e, 2).value(), 0.0);
+  }
+}
+
+#if MFGCP_FAULTS_ENABLED
+TEST(EpochRunnerTest, EpochOutcomesCsvReportsDegradedContents) {
+  auto runner = EpochRunner::Create(SmallOptions()).value();
+  core::faults::FaultPlan plan;
+  core::faults::FaultSpec spec;
+  spec.site = core::faults::FaultSite::kSolve;
+  spec.epoch = 1;
+  spec.content = 1;
+  spec.fail_attempts = core::faults::FaultSpec::kAlways;
+  plan.Add(spec);
+  core::faults::ScopedFaultInjection arm(plan);
+
+  auto outcomes = runner.Run().value();
+  auto table = common::CsvTable::Parse(EpochOutcomesCsv(outcomes)).value();
+  EXPECT_EQ(table.CellAsInt(1, 4).value(), 1);  // One carry-forward.
+  EXPECT_EQ(table.Cell(1, 7).value(), "1");     // ...for content 1.
+  EXPECT_EQ(table.CellAsInt(0, 4).value(), 0);
+}
+#endif  // MFGCP_FAULTS_ENABLED
 
 #if MFGCP_FAULTS_ENABLED
 TEST(EpochRunnerTest, DegradedPlansStillTradeInTheMarket) {
