@@ -43,6 +43,9 @@ core::MfgCpOptions ScalingOptions(std::size_t workers) {
   options.base_params.grid.num_time_steps = 50;
   options.base_params.learning.max_iterations = 25;
   options.parallelism = workers;
+  // Workers claim SoA blocks of this many contents (the default width of
+  // the batched solver layer); BM_PlanEpochInto64BatchWidth sweeps it.
+  options.batch_width = 8;
   return options;
 }
 
@@ -87,6 +90,8 @@ void BM_PlanEpochInto64(benchmark::State& state) {
         std::max(max_worker_allocs, runtime.worker(w).allocations);
   }
   state.counters["workers"] = static_cast<double>(workers);
+  state.counters["batch_width"] =
+      static_cast<double>(framework.options().batch_width);
   state.counters["allocs_per_epoch"] = benchmark::Counter(
       static_cast<double>(allocs_after - allocs_before),
       benchmark::Counter::kAvgIterations);
@@ -98,6 +103,44 @@ BENCHMARK(BM_PlanEpochInto64)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Batch-width sweep at workers=1: how much of the epoch cost the SoA
+// batch path recovers on one core. Width 1 is the scalar per-slot path.
+void BM_PlanEpochInto64BatchWidth(benchmark::State& state) {
+  core::MfgCpOptions options = ScalingOptions(1);
+  options.batch_width = static_cast<std::size_t>(state.range(0));
+  auto catalog = content::Catalog::CreateUniform(kContents, 100.0).value();
+  auto popularity =
+      content::PopularityModel::CreateZipf(kContents, 0.8).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  auto framework = core::MfgCpFramework::Create(options, catalog,
+                                                popularity, timeliness)
+                       .value();
+  const core::EpochObservation obs = ScalingObservation();
+  core::EpochPlanBuffer buffer;
+  MFG_CHECK(framework.PlanEpochInto(obs, buffer).ok());
+  MFG_CHECK(framework.PlanEpochInto(obs, buffer).ok());
+
+  const std::size_t allocs_before = obs::AllocationCount();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(framework.PlanEpochInto(obs, buffer));
+  }
+  const std::size_t allocs_after = obs::AllocationCount();
+  state.counters["batch_width"] =
+      static_cast<double>(options.batch_width);
+  state.counters["allocs_per_epoch"] = benchmark::Counter(
+      static_cast<double>(allocs_after - allocs_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PlanEpochInto64BatchWidth)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

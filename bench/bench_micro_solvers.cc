@@ -22,7 +22,10 @@
 #include "baselines/random_replacement.h"
 #include "common/logging.h"
 #include "core/best_response.h"
+#include "core/best_response_batch.h"
+#include "core/fpk_batch.h"
 #include "core/fpk_solver.h"
+#include "core/hjb_batch.h"
 #include "core/hjb_solver.h"
 #include "core/mean_field_estimator.h"
 #include "core/mfg_cp.h"
@@ -90,6 +93,38 @@ void BM_HjbSolveInto(benchmark::State& state) {
 }
 BENCHMARK(BM_HjbSolveInto)->Arg(41)->Arg(81)->Arg(161);
 
+// Content-batched HJB sweep: K lanes of the BM_HjbSolveInto/161 problem
+// solved as one SoA batch. items_per_second counts *contents*, so the
+// per-content speedup over the scalar sweep is
+//   items_per_second(BM_HjbBatchSolveInto/K) * time(BM_HjbSolveInto/161).
+// The `batch_width` counter keys the series in compare_bench.py.
+void BM_HjbBatchSolveInto(benchmark::State& state) {
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  core::MfgParams params = Params(161, 100);
+  core::HjbBatchSolver solver;
+  solver.Reset(lanes);
+  auto mf = ConstantMeanField(100);
+  std::vector<core::HjbSolution> solutions(lanes);
+  std::vector<core::HjbBatchSolver::LaneIo> io(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    MFG_CHECK(solver.BindLane(l, params).ok());
+    io[l].mean_field = &mf;
+    io[l].solution = &solutions[l];
+    io[l].active = true;
+  }
+  core::HjbBatchSolver::Workspace workspace;
+  solver.SolveInto(io, workspace);  // Warm-up.
+  MFG_CHECK(io[0].status.ok());
+  LoopCountingAllocs(state, [&] {
+    solver.SolveInto(io, workspace);
+    benchmark::DoNotOptimize(solutions.data());
+  });
+  state.counters["batch_width"] = static_cast<double>(lanes);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(lanes));
+}
+BENCHMARK(BM_HjbBatchSolveInto)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_FpkSolve(benchmark::State& state) {
   core::MfgParams params =
       Params(static_cast<std::size_t>(state.range(0)), 100);
@@ -119,6 +154,38 @@ void BM_FpkSolveInto(benchmark::State& state) {
   });
 }
 BENCHMARK(BM_FpkSolveInto)->Arg(41)->Arg(81)->Arg(161);
+
+// Content-batched forward sweep, mirroring BM_HjbBatchSolveInto (see the
+// per-content speedup formula there).
+void BM_FpkBatchSolveInto(benchmark::State& state) {
+  const std::size_t lanes = static_cast<std::size_t>(state.range(0));
+  core::MfgParams params = Params(161, 100);
+  core::FpkBatchSolver solver;
+  solver.Reset(lanes);
+  auto scalar = core::FpkSolver1D::Create(params).value();
+  auto initial = scalar.MakeInitialDensity().value();
+  numerics::TimeField2D policy(101, params.grid.num_q_nodes, 0.5);
+  std::vector<core::FpkSolution> solutions(lanes);
+  std::vector<core::FpkBatchSolver::LaneIo> io(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    MFG_CHECK(solver.BindLane(l, params).ok());
+    io[l].initial = &initial;
+    io[l].policy = &policy;
+    io[l].solution = &solutions[l];
+    io[l].active = true;
+  }
+  core::FpkBatchSolver::Workspace workspace;
+  solver.SolveInto(io, workspace);  // Warm-up.
+  MFG_CHECK(io[0].status.ok());
+  LoopCountingAllocs(state, [&] {
+    solver.SolveInto(io, workspace);
+    benchmark::DoNotOptimize(solutions.data());
+  });
+  state.counters["batch_width"] = static_cast<double>(lanes);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(lanes));
+}
+BENCHMARK(BM_FpkBatchSolveInto)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_MeanFieldEstimate(benchmark::State& state) {
   core::MfgParams params =
@@ -150,13 +217,15 @@ BENCHMARK(BM_BestResponseSolve)->Arg(41)->Arg(81)->Unit(benchmark::kMillisecond)
 
 // End-to-end Alg. 1 epoch over a 64-content Zipf catalog: the per-epoch
 // planning cost an operator actually pays. Runs serial so the time is one
-// core's worth of the K' equilibrium solves.
+// core's worth of the K' equilibrium solves. The argument is the SoA
+// batch width (1 = the scalar per-slot path).
 void BM_PlanEpoch64(benchmark::State& state) {
   constexpr std::size_t kContents = 64;
   core::MfgCpOptions options;
   options.base_params.grid.num_q_nodes = 41;
   options.base_params.grid.num_time_steps = 50;
   options.base_params.learning.max_iterations = 25;
+  options.batch_width = static_cast<std::size_t>(state.range(0));
   auto catalog = content::Catalog::CreateUniform(kContents, 100.0).value();
   auto popularity =
       content::PopularityModel::CreateZipf(kContents, 0.8).value();
@@ -172,8 +241,10 @@ void BM_PlanEpoch64(benchmark::State& state) {
   LoopCountingAllocs(state, [&] {
     benchmark::DoNotOptimize(framework.PlanEpoch(obs).value());
   });
+  state.counters["batch_width"] =
+      static_cast<double>(options.batch_width);
 }
-BENCHMARK(BM_PlanEpoch64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PlanEpoch64)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 // One full simulated slot's cost per EDP count: the per-epoch work that
 // grows with M for decision-per-EDP schemes.

@@ -1,0 +1,313 @@
+#include "core/best_response_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/fault_injection.h"
+#include "core/nonconvergence_log.h"
+#include "obs/obs.h"
+
+namespace mfg::core {
+namespace {
+
+// Copy of the scalar learner's residual helper (best_response.cc): max_k
+// |a[k] − b[k]|, against zero when `b` has a different size (iteration 1).
+double MaxAbsDifference(const numerics::TimeField2D& a,
+                        const numerics::TimeField2D& b) {
+  const double* pa = a.data();
+  const std::size_t total = a.size() * a.cols();
+  double max_diff = 0.0;
+  if (b.size() * b.cols() == total) {
+    const double* pb = b.data();
+    for (std::size_t k = 0; k < total; ++k) {
+      max_diff = std::max(max_diff, std::fabs(pa[k] - pb[k]));
+    }
+  } else {
+    for (std::size_t k = 0; k < total; ++k) {
+      max_diff = std::max(max_diff, std::fabs(pa[k]));
+    }
+  }
+  return max_diff;
+}
+
+// Per-lane fault polls. The scalar solve relies on the worker's ambient
+// (epoch, content, attempt) scope; the batch solve opens a lane-local
+// scope per poll instead (attempt 0 — ladder retries run scalar). Firing
+// is purely functional in the coordinates, so this preserves the
+// determinism contract at any parallelism / batch width.
+common::Status LaneFaultCheck(const BatchBestResponseLearner::LaneJob& job,
+                              faults::FaultSite site) {
+#if MFGCP_FAULTS_ENABLED
+  faults::ScopedFaultScope scope(job.epoch, job.content, 0);
+  return faults::Check(site);
+#else
+  (void)job;
+  (void)site;
+  return common::Status::Ok();
+#endif
+}
+
+bool LaneFaultFires(const BatchBestResponseLearner::LaneJob& job,
+                    faults::FaultSite site) {
+#if MFGCP_FAULTS_ENABLED
+  faults::ScopedFaultScope scope(job.epoch, job.content, 0);
+  return faults::Fires(site);
+#else
+  (void)job;
+  (void)site;
+  return false;
+#endif
+}
+
+}  // namespace
+
+void BatchBestResponseLearner::Reset(std::size_t num_lanes) {
+  num_lanes_ = num_lanes;
+  bound_lanes_ = 0;
+  hjb_.Reset(num_lanes);
+  fpk_.Reset(num_lanes);
+  estimators_.resize(num_lanes);
+  gamma_.resize(num_lanes);
+  tolerance_.resize(num_lanes);
+  max_iterations_.resize(num_lanes);
+  content_id_.resize(num_lanes);
+}
+
+common::Status BatchBestResponseLearner::BindLane(std::size_t lane,
+                                                  const MfgParams& params) {
+  if (lane >= num_lanes_) {
+    return common::Status::InvalidArgument("lane out of range");
+  }
+  MFG_RETURN_IF_ERROR(params.Validate());
+  MFG_FAULT_POINT(kRebind);
+  MFG_RETURN_IF_ERROR(hjb_.BindLane(lane, params));
+  MFG_RETURN_IF_ERROR(fpk_.BindLane(lane, params));
+  if (estimators_[lane].has_value()) {
+    MFG_RETURN_IF_ERROR(estimators_[lane]->Rebind(params));
+  } else {
+    MFG_ASSIGN_OR_RETURN(MeanFieldEstimator estimator,
+                         MeanFieldEstimator::Create(params));
+    estimators_[lane].emplace(std::move(estimator));
+  }
+  if (bound_lanes_ == 0) {
+    nq_ = params.grid.num_q_nodes;
+    nt_ = params.grid.num_time_steps;
+  }
+  ++bound_lanes_;
+  gamma_[lane] = params.learning.relaxation;
+  tolerance_[lane] = params.learning.tolerance;
+  max_iterations_[lane] = params.learning.max_iterations;
+  content_id_[lane] = params.content_id;
+  return common::Status::Ok();
+}
+
+void BatchBestResponseLearner::SolveInto(std::span<LaneJob> lanes,
+                                         Workspace& ws) const {
+  MFG_OBS_SPAN("BestResponseBatch.Solve");
+  MFG_OBS_SCOPED_TIMER("core.best_response.seconds");
+  const std::size_t m = num_lanes_;
+  const std::size_t nt = nt_;
+  const std::size_t nq = nq_;
+
+  ws.lanes.resize(m);
+  ws.hjb_io.resize(m);
+  ws.fpk_io.resize(m);
+  ws.running.assign(m, 0);
+
+  // Per-lane setup: fault poll, initial density, equilibrium reset, flat
+  // initial policy — the scalar SolveInto preamble, lane by lane.
+  for (std::size_t l = 0; l < m; ++l) {
+    LaneJob& job = lanes[l];
+    ws.hjb_io[l].active = false;
+    ws.fpk_io[l].active = false;
+    if (!job.active) continue;
+    job.status = LaneFaultCheck(job, faults::FaultSite::kSolve);
+    if (!job.status.ok()) continue;
+    LaneScratch& lane = ws.lanes[l];
+    job.status = fpk_.MakeInitialDensityInto(l, lane.initial);
+    if (!job.status.ok()) continue;
+    MFG_OBS_COUNT("core.best_response.solves", 1);
+
+    // Reset a (possibly reused) output to the fresh-Equilibrium state
+    // while keeping every buffer's capacity; clearing the value surface
+    // matters for bit-identity (iteration 1's value residual measures
+    // against the zero initialization).
+    Equilibrium& eq = *job.out;
+    eq.iterations = 0;
+    eq.converged = false;
+    eq.policy_change_history.clear();
+    eq.value_change_history.clear();
+    eq.hjb.value.clear();
+    eq.hjb.policy.clear();
+    lane.policy.Assign(nt + 1, nq, 0.5);
+
+    // λ trajectory under the initial guess; the scalar path polls
+    // kFpkStep once, right before this first FPK sweep.
+    job.status = LaneFaultCheck(job, faults::FaultSite::kFpkStep);
+    if (!job.status.ok()) continue;
+    ws.fpk_io[l].initial = &lane.initial;
+    ws.fpk_io[l].policy = &lane.policy;
+    ws.fpk_io[l].solution = &eq.fpk;
+    ws.fpk_io[l].active = true;
+    ws.hjb_io[l].mean_field = &lane.mean_field;
+    ws.hjb_io[l].solution = &lane.hjb_buffer;
+    ws.running[l] = 1;
+  }
+
+  fpk_.SolveInto(ws.fpk_io, ws.fpk);
+  for (std::size_t l = 0; l < m; ++l) {
+    if (!ws.running[l]) continue;
+    if (!ws.fpk_io[l].status.ok()) {
+      lanes[l].status = ws.fpk_io[l].status;
+      ws.running[l] = 0;
+      continue;
+    }
+    Equilibrium& eq = *lanes[l].out;
+    eq.hjb.q_grid = eq.fpk.q_grid;
+    eq.hjb.dt = eq.fpk.dt;
+    eq.policy_change_history.reserve(max_iterations_[l]);
+    eq.value_change_history.reserve(max_iterations_[l]);
+  }
+
+  // Lockstep fixed-point loop. Each round runs one scalar iteration for
+  // every lane still in flight; lanes leave the loop exactly where the
+  // scalar control flow would (converged -> before FPK; exhausted ->
+  // after the trailing FPK of iteration max_iterations).
+  for (std::size_t iter = 1;; ++iter) {
+    bool any = false;
+    for (std::size_t l = 0; l < m; ++l) {
+      ws.hjb_io[l].active = false;
+      ws.fpk_io[l].active = false;
+      if (!ws.running[l]) continue;
+      if (iter > max_iterations_[l]) {
+        ws.running[l] = 0;
+        continue;
+      }
+      LaneJob& job = lanes[l];
+      LaneScratch& lane = ws.lanes[l];
+      Equilibrium& eq = *job.out;
+      eq.iterations = iter;
+
+      // (1) Mean-field quantities per time node from (λ, x).
+      lane.mean_field.resize(nt + 1);
+      bool failed = false;
+      for (std::size_t n = 0; n <= nt; ++n) {
+        const common::Status estimate = estimators_[l]->EstimateInto(
+            eq.fpk.densities[n], lane.policy[n], lane.estimator,
+            lane.mean_field[n]);
+        if (!estimate.ok()) {
+          job.status = estimate;
+          ws.running[l] = 0;
+          failed = true;
+          break;
+        }
+      }
+      if (failed) continue;
+
+      // (2) Backward HJB -> candidate best response.
+      job.status = LaneFaultCheck(job, faults::FaultSite::kHjbStep);
+      if (!job.status.ok()) {
+        ws.running[l] = 0;
+        continue;
+      }
+      ws.hjb_io[l].active = true;
+      any = true;
+    }
+    if (!any) break;
+
+    hjb_.SolveInto(ws.hjb_io, ws.hjb);
+
+    for (std::size_t l = 0; l < m; ++l) {
+      if (!ws.hjb_io[l].active) continue;
+      LaneJob& job = lanes[l];
+      if (!ws.hjb_io[l].status.ok()) {
+        job.status = ws.hjb_io[l].status;
+        ws.running[l] = 0;
+        continue;
+      }
+      LaneScratch& lane = ws.lanes[l];
+      Equilibrium& eq = *job.out;
+
+      // (3) Relaxed policy update + convergence test (Alg. 2, line 6).
+      double max_change = 0.0;
+      const double gamma = gamma_[l];
+      double* p = lane.policy.data();
+      const double* h = lane.hjb_buffer.policy.data();
+      const std::size_t total = (nt + 1) * nq;
+      for (std::size_t k = 0; k < total; ++k) {
+        const double updated = (1.0 - gamma) * p[k] + gamma * h[k];
+        max_change = std::max(max_change, std::fabs(updated - p[k]));
+        p[k] = updated;
+      }
+      eq.policy_change_history.push_back(max_change);
+      eq.value_change_history.push_back(
+          MaxAbsDifference(lane.hjb_buffer.value, eq.hjb.value));
+      std::swap(eq.hjb, lane.hjb_buffer);
+      eq.hjb.policy = lane.policy;
+      std::swap(eq.mean_field, lane.mean_field);
+
+      if (max_change < tolerance_[l]) {
+        eq.converged = true;
+        ws.running[l] = 0;  // Scalar `break`: skips the FPK sweep.
+        continue;
+      }
+
+      // (4) Forward FPK under the relaxed policy.
+      ws.fpk_io[l].active = true;
+    }
+
+    fpk_.SolveInto(ws.fpk_io, ws.fpk);
+    for (std::size_t l = 0; l < m; ++l) {
+      if (!ws.fpk_io[l].active) continue;
+      if (!ws.fpk_io[l].status.ok()) {
+        lanes[l].status = ws.fpk_io[l].status;
+        ws.running[l] = 0;
+      }
+    }
+  }
+
+  // Post-loop bookkeeping per surviving lane, verbatim from the scalar
+  // SolveFromInto epilogue.
+  for (std::size_t l = 0; l < m; ++l) {
+    LaneJob& job = lanes[l];
+    if (!job.active || !job.status.ok()) continue;
+    LaneScratch& lane = ws.lanes[l];
+    Equilibrium& eq = *job.out;
+    if (LaneFaultFires(job, faults::FaultSite::kNonConvergence)) {
+      eq.converged = false;
+    }
+    MFG_OBS_OBSERVE_COUNTS("core.best_response.iterations",
+                           static_cast<double>(eq.iterations));
+    if (!eq.converged) {
+      MFG_OBS_COUNT("core.best_response.nonconverged", 1);
+      std::uint64_t suppressed = 0;
+      if (ShouldLogNonConvergence(content_id_[l], suppressed)) {
+        MFG_LOG(WARNING) << "best response did not converge for content "
+                         << content_id_[l] << ": residual "
+                         << eq.policy_change_history.back()
+                         << " > tolerance " << tolerance_[l] << " after "
+                         << eq.iterations << " iterations"
+                         << SuppressedSuffix(suppressed);
+      } else {
+        MFG_OBS_COUNT("core.best_response.nonconvergence_suppressed", 1);
+      }
+    } else {
+      MFG_OBS_COUNT("core.best_response.converged", 1);
+    }
+    // Refresh the mean-field quantities for the final policy/density pair
+    // so callers see a consistent triple (x, λ, mf).
+    for (std::size_t n = 0; n <= nt; ++n) {
+      const common::Status refresh = estimators_[l]->EstimateInto(
+          eq.fpk.densities[n], eq.hjb.policy[n], lane.estimator,
+          eq.mean_field[n]);
+      if (!refresh.ok()) {
+        job.status = refresh;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace mfg::core

@@ -1,5 +1,7 @@
 #include "core/epoch_runtime.h"
 
+#include <algorithm>
+
 #include "obs/alloc_probe.h"
 #include "obs/obs.h"
 
@@ -31,7 +33,30 @@ void EpochRuntime::WorkerEpoch(std::size_t w) {
   const std::size_t allocs_before = obs::ThreadAllocationCount();
   {
     MFG_OBS_SPAN_ID("EpochRuntime.Worker", static_cast<std::int64_t>(w));
-    if (job_round_robin_) {
+    if (job_block_fn_ != nullptr) {
+      // Block mode: claim whole blocks; composition depends only on
+      // (count, block_size), never on the claiming order.
+      const std::size_t block = job_block_size_;
+      const std::size_t num_blocks =
+          job_count_ == 0 ? 0 : (job_count_ + block - 1) / block;
+      if (job_round_robin_) {
+        for (std::size_t b = w; b < num_blocks; b += contexts_.size()) {
+          const std::size_t begin = b * block;
+          const std::size_t end = std::min(job_count_, begin + block);
+          job_block_fn_(job_ctx_, w, begin, end);
+          ctx.contents_solved += end - begin;
+        }
+      } else {
+        for (std::size_t b = next_.fetch_add(1, std::memory_order_relaxed);
+             b < num_blocks;
+             b = next_.fetch_add(1, std::memory_order_relaxed)) {
+          const std::size_t begin = b * block;
+          const std::size_t end = std::min(job_count_, begin + block);
+          job_block_fn_(job_ctx_, w, begin, end);
+          ctx.contents_solved += end - begin;
+        }
+      }
+    } else if (job_round_robin_) {
       for (std::size_t slot = w; slot < job_count_;
            slot += contexts_.size()) {
         job_fn_(job_ctx_, w, slot);
@@ -69,6 +94,16 @@ void EpochRuntime::WorkerLoop(std::size_t w) {
 }
 
 void EpochRuntime::RunEpoch(std::size_t count, SolveFn fn, void* ctx) {
+  Launch(count, fn, nullptr, 0, ctx);
+}
+
+void EpochRuntime::RunEpochBlocks(std::size_t count, std::size_t block_size,
+                                  BlockFn fn, void* ctx) {
+  Launch(count, nullptr, fn, block_size > 0 ? block_size : 1, ctx);
+}
+
+void EpochRuntime::Launch(std::size_t count, SolveFn fn, BlockFn block_fn,
+                          std::size_t block_size, void* ctx) {
   bool round_robin = false;
   for (const WorkerContext& worker : contexts_) {
     if (!worker.warmed) round_robin = true;
@@ -77,6 +112,8 @@ void EpochRuntime::RunEpoch(std::size_t count, SolveFn fn, void* ctx) {
   if (threads_.empty()) {
     job_count_ = count;
     job_fn_ = fn;
+    job_block_fn_ = block_fn;
+    job_block_size_ = block_size;
     job_ctx_ = ctx;
     // One worker: the round-robin partition *is* the serial order; skip
     // the stealing atomics entirely.
@@ -86,6 +123,8 @@ void EpochRuntime::RunEpoch(std::size_t count, SolveFn fn, void* ctx) {
     std::unique_lock<std::mutex> lock(mutex_);
     job_count_ = count;
     job_fn_ = fn;
+    job_block_fn_ = block_fn;
+    job_block_size_ = block_size;
     job_ctx_ = ctx;
     job_round_robin_ = round_robin;
     next_.store(0, std::memory_order_relaxed);

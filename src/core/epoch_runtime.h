@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/best_response.h"
+#include "core/best_response_batch.h"
 
 // Persistent worker pool for the per-content equilibrium solves of Alg. 1
 // line 2. The per-content HJB/FPK fixed points are independent, so the
@@ -35,6 +36,15 @@
 // every worker warms its workspaces in the first epoch instead of
 // whenever stealing happens to feed it — after that, `allocs == 0` holds
 // per worker no matter which worker steals which slot.
+//
+// Block mode (RunEpochBlocks): slots are grouped into fixed contiguous
+// blocks of `block_size` (block b covers [b·B, min(count, (b+1)·B)));
+// workers claim whole blocks through the same stealing/round-robin
+// machinery. The block composition depends only on (count, block_size) —
+// never on the claiming order — and a block writes only its own slots,
+// so the determinism contract above extends verbatim to the batched
+// epoch path (guarded by epoch_degradation_test at several
+// parallelism × batch_width combinations).
 
 namespace mfg::core {
 
@@ -45,12 +55,23 @@ class EpochRuntime {
   // job never allocates.
   using SolveFn = void (*)(void* ctx, std::size_t worker, std::size_t slot);
 
+  // Per-block job body: solve slots [begin, end) as one batch on worker
+  // `worker`'s state (RunEpochBlocks).
+  using BlockFn = void (*)(void* ctx, std::size_t worker, std::size_t begin,
+                           std::size_t end);
+
   // Long-lived solver state owned by one worker. `learner` is created on
   // the worker's first slot and re-parameterized with Rebind() afterwards;
   // the telemetry fields are rewritten every epoch.
   struct WorkerContext {
     std::optional<BestResponseLearner> learner;
     BestResponseLearner::Workspace workspace;
+    // Batched counterparts used by the block-claiming epoch path
+    // (batch_width > 1); re-bound per block, buffers reused across
+    // epochs like the scalar pair above.
+    BatchBestResponseLearner batch_learner;
+    BatchBestResponseLearner::Workspace batch_workspace;
+    std::vector<BatchBestResponseLearner::LaneJob> batch_jobs;
     // Slots this worker solved in the last epoch.
     std::size_t contents_solved = 0;
     // Global operator new calls this worker made in the last epoch (0
@@ -75,6 +96,13 @@ class EpochRuntime {
   // serializes epochs on this runtime.
   void RunEpoch(std::size_t count, SolveFn fn, void* ctx);
 
+  // Block-claiming variant: runs fn(ctx, worker, b·B, min(count, (b+1)·B))
+  // for every block b of `block_size = B` slots. A worker's
+  // contents_solved counts slots (not blocks), so pool telemetry stays
+  // comparable across modes. block_size == 0 is treated as 1.
+  void RunEpochBlocks(std::size_t count, std::size_t block_size, BlockFn fn,
+                      void* ctx);
+
   std::size_t num_workers() const { return contexts_.size(); }
   WorkerContext& worker(std::size_t w) { return contexts_[w]; }
   const WorkerContext& worker(std::size_t w) const { return contexts_[w]; }
@@ -90,6 +118,9 @@ class EpochRuntime {
   void WorkerLoop(std::size_t w);
   // Runs worker w's share of the current job and records its telemetry.
   void WorkerEpoch(std::size_t w);
+  // Publishes the staged job (slot or block mode) and blocks until done.
+  void Launch(std::size_t count, SolveFn fn, BlockFn block_fn,
+              std::size_t block_size, void* ctx);
 
   std::vector<WorkerContext> contexts_;
   std::vector<std::thread> threads_;
@@ -105,6 +136,8 @@ class EpochRuntime {
   bool shutdown_ = false;
   std::size_t job_count_ = 0;
   SolveFn job_fn_ = nullptr;
+  BlockFn job_block_fn_ = nullptr;
+  std::size_t job_block_size_ = 0;
   void* job_ctx_ = nullptr;
   bool job_round_robin_ = false;
   std::atomic<std::size_t> next_{0};

@@ -24,14 +24,22 @@ void HjbSolver1D::InitTables() {
   q_coords_.resize(nq);
   avail_.resize(nq);
   neg_w1_avail_.resize(nq);
+  cs_nw_.resize(nq);
   for (std::size_t i = 0; i < nq; ++i) {
     q_coords_[i] = q_grid_.x(i);
     avail_[i] = params_.ControlAvailability(q_coords_[i]);
     neg_w1_avail_[i] = -params_.dynamics.w1 * avail_[i];
+    cs_nw_[i] = params_.content_size * neg_w1_avail_[i];
   }
   opt_k1_ = params_.utility.staleness.eta2 * params_.content_size /
             params_.utility.staleness.cloud_rate;
   opt_k2_ = params_.content_size * params_.dynamics.w1;
+  inv_2w5_ = 1.0 / (2.0 * params_.utility.placement.w5);
+  cs_over_cloud_ =
+      params_.content_size / params_.utility.staleness.cloud_rate;
+  k_delay_ = params_.utility.staleness.eta2 * cs_over_cloud_;
+  inv_edge_ = 1.0 / params_.edge_rate;
+  inv_ond_ = 1.0 / params_.utility.staleness.cloud_ondemand_rate;
 }
 
 common::StatusOr<HjbSolver1D> HjbSolver1D::Create(const MfgParams& params) {
@@ -56,7 +64,7 @@ double HjbSolver1D::OptimalRate(double dq_value, double availability) const {
   const auto& placement = params_.utility.placement;
   const double numerator =
       placement.w4 + availability * (opt_k1_ + opt_k2_ * dq_value);
-  return common::ClampUnit(-numerator / (2.0 * placement.w5));
+  return common::ClampUnit(-numerator * inv_2w5_);
 }
 
 common::StatusOr<double> HjbSolver1D::RunningUtility(
@@ -147,14 +155,9 @@ common::Status HjbSolver1D::SolveInto(
   ws.x_star.assign(nq, 0.0);
   ws.drift.assign(nq, 0.0);
   ws.upwind_velocity.assign(nq, 0.0);
-  ws.trading.assign(nq, 0.0);
-  ws.rest_delay.assign(nq, 0.0);
-  ws.sharing_cost.assign(nq, 0.0);
+  ws.base.assign(nq, 0.0);
 
   const double content_size = params_.content_size;
-  const double edge_rate = params_.edge_rate;
-  const double cloud_rate = staleness_params.cloud_rate;
-  const double ondemand_rate = staleness_params.cloud_ondemand_rate;
   const double eta2 = staleness_params.eta2;
   const double w4 = params_.utility.placement.w4;
   const double w5 = params_.utility.placement.w5;
@@ -182,10 +185,17 @@ common::Status HjbSolver1D::SolveInto(
         std::pow(params_.dynamics.xi, params_.TimelinessAt(n));
     const double share_n = sharing ? mf.sharing_benefit : 0.0;
     const double served_peer = std::max(content_size - peer, 0.0);
+    // Drift = cs_nw_[i]·x − cs_rd with the node constants pre-multiplied
+    // by the content size (one table read + one constant instead of
+    // three). The batched solver folds the identical expressions.
+    const double cs_rd = content_size * (retention - discard);
 
     // Fold everything that is independent of the control x: case
     // probabilities, trading income, the request-service part of the
-    // delay, and the sharing cost are fixed within the output interval.
+    // staleness, and the sharing cost are fixed within the output
+    // interval, so they collapse into the single per-node constant
+    // ws.base[i]; only the x-dependent placement and proactive-download
+    // terms stay in the substep loop.
     for (std::size_t i = 0; i < nq; ++i) {
       const double q = q_coords_[i];
       econ::CaseProbabilities cases =
@@ -194,17 +204,18 @@ common::Status HjbSolver1D::SolveInto(
         cases.p3 += cases.p2;
         cases.p2 = 0.0;
       }
-      ws.trading[i] = econ::TradingIncome(num_requests, mf.price, cases,
-                                          content_size, q, peer);
+      const double trading = econ::TradingIncome(num_requests, mf.price, cases,
+                                                 content_size, q, peer);
       const double served_own = std::max(content_size - q, 0.0);
       const double per_request =
-          cases.p1 * served_own / edge_rate +
-          cases.p2 * served_peer / edge_rate +
-          cases.p3 * (std::max(q, 0.0) / ondemand_rate +
-                      content_size / edge_rate);
-      ws.rest_delay[i] = num_requests * per_request;
-      ws.sharing_cost[i] =
+          cases.p1 * served_own * inv_edge_ +
+          cases.p2 * served_peer * inv_edge_ +
+          cases.p3 * (std::max(q, 0.0) * inv_ond_ +
+                      content_size * inv_edge_);
+      const double rest_delay = num_requests * per_request;
+      const double sharing_cost =
           sharing ? econ::SharingCost(sharing_price, cases.p2, q, peer) : 0.0;
+      ws.base[i] = trading + share_n - eta2 * rest_delay - sharing_cost;
     }
 
     for (std::size_t sub = 0; sub < substeps; ++sub) {
@@ -213,8 +224,7 @@ common::Status HjbSolver1D::SolveInto(
       for (std::size_t i = 0; i < nq; ++i) {
         const double x = OptimalRate(ws.dv[i], avail_[i]);
         ws.x_star[i] = x;
-        const double drift =
-            content_size * (neg_w1_avail_[i] * x - retention + discard);
+        const double drift = cs_nw_[i] * x - cs_rd;
         ws.drift[i] = drift;
         // Backward time: in the tau = T - t variable the equation reads
         // dV/dtau + (-drift) dV/dq = ..., so the transport velocity that
@@ -226,12 +236,9 @@ common::Status HjbSolver1D::SolveInto(
       numerics::SecondDerivativeInto(dx, ws.v, ws.d2v);
       for (std::size_t i = 0; i < nq; ++i) {
         const double x = ws.x_star[i];
-        double delay = content_size * x * avail_[i] / cloud_rate;
-        delay += ws.rest_delay[i];
-        const double staleness = eta2 * delay;
         const double placement = w4 * x + w5 * x * x;
-        const double utility = ws.trading[i] + share_n - placement -
-                               staleness - ws.sharing_cost[i];
+        const double utility =
+            ws.base[i] - placement - k_delay_ * x * avail_[i];
         const double hamiltonian =
             ws.drift[i] * ws.dv_upwind[i] + diffusion * ws.d2v[i] + utility;
         ws.v[i] += dt_sub * hamiltonian;  // Backward: V(t) = V(t+dt) + dt·H.

@@ -61,10 +61,12 @@ class HjbSolver1D {
     std::vector<double> x_star;
     std::vector<double> drift;
     std::vector<double> upwind_velocity;
-    // Per-time-node mean-field folds (constant across CFL substeps).
-    std::vector<double> trading;
-    std::vector<double> rest_delay;
-    std::vector<double> sharing_cost;
+    // Per-time-node mean-field fold (constant across CFL substeps): every
+    // control-independent utility term — trading income, sharing benefit,
+    // the request-service part of the staleness cost, sharing cost —
+    // collapsed into one per-node constant, so the substep loop streams a
+    // single table instead of three plus lane constants.
+    std::vector<double> base;
   };
 
   static common::StatusOr<HjbSolver1D> Create(const MfgParams& params);
@@ -117,8 +119,18 @@ class HjbSolver1D {
   std::vector<double> q_coords_;       // q_i.
   std::vector<double> avail_;          // a(q_i).
   std::vector<double> neg_w1_avail_;   // (−w1)·a(q_i), the drift control gain.
+  std::vector<double> cs_nw_;          // Q_k·(−w1)·a(q_i): drift x-gain.
   double opt_k1_ = 0.0;                // (η₂ Q_k) / H_c.
   double opt_k2_ = 0.0;                // Q_k w1.
+  // Reciprocals and products of the per-element constants, hoisted to bind
+  // time: the substep loops are division-throughput- and load-bound
+  // otherwise. The batched solver computes the same expressions per lane,
+  // keeping bit-identity.
+  double inv_2w5_ = 0.0;               // 1 / (2 w5).
+  double cs_over_cloud_ = 0.0;         // Q_k / H_c.
+  double k_delay_ = 0.0;               // η₂ Q_k / H_c (staleness x-gain).
+  double inv_edge_ = 0.0;              // 1 / r_edge.
+  double inv_ond_ = 0.0;               // 1 / H_od.
 };
 
 }  // namespace mfg::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <span>
 #include <string>
 #include <utility>
 
@@ -163,27 +164,24 @@ common::Status BuildFallbackResult(const EpochSolveJob& job,
   return common::Status::Ok();
 }
 
-// Solves one content slot on worker `worker`'s long-lived learner and
-// workspace, running the recovery ladder on failure. Writes only this
-// slot's result/status/outcome (plus the slot content's own carry entry,
-// which no other slot touches this epoch), so any slot→worker schedule
-// yields bit-identical results.
-void SolveEpochSlot(void* ctx, std::size_t worker, std::size_t slot) {
-  const EpochSolveJob& job = *static_cast<EpochSolveJob*>(ctx);
-  // Rate-limit the learners' non-convergence WARNINGs to one line per
-  // (epoch, content) — a ladder of relaxed retries would otherwise emit
-  // near-identical lines for every attempt.
-  NonConvergenceEpochScope nonconvergence_scope(job.buffer->epoch_index);
+// Runs the recovery ladder for slot `slot` given the outcome of its
+// first (attempt-0) solve. Shared by the scalar per-slot path (which
+// produced `first_status` via AttemptSlotSolve) and the batched block
+// path (via BatchBestResponseLearner lane statuses): a degraded lane
+// falls onto the identical scalar ladder — relaxed retries on `wc`'s
+// scalar learner, carry-forward, static fallback — so recovery behavior
+// is byte-for-byte the same at every batch width.
+void FinishSlotAfterFirstAttempt(const EpochSolveJob& job,
+                                 EpochRuntime::WorkerContext& wc,
+                                 std::size_t slot,
+                                 common::Status first_status) {
   EpochContentResult& result = job.buffer->results[slot];
   common::Status& status = job.buffer->statuses[slot];
   SlotOutcome& outcome = job.buffer->outcomes[slot];
-  EpochRuntime::WorkerContext& wc = job.runtime->worker(worker);
   const content::ContentId k = result.content;
   const EpochRecoveryOptions& recovery = job.framework->options().recovery;
-  MFG_OBS_SPAN_ID("PlanEpoch.SolveContent", static_cast<std::int64_t>(k));
 
-  result.attempts = 1;
-  status = AttemptSlotSolve(job, wc, result, 0);
+  status = std::move(first_status);
   if (status.ok() &&
       (result.equilibrium.converged || !recovery.enabled ||
        !recovery.retry_on_nonconvergence)) {
@@ -263,6 +261,88 @@ void SolveEpochSlot(void* ctx, std::size_t worker, std::size_t slot) {
   outcome = SlotOutcome::kFailed;
 }
 
+// Solves one content slot on worker `worker`'s long-lived learner and
+// workspace, running the recovery ladder on failure. Writes only this
+// slot's result/status/outcome (plus the slot content's own carry entry,
+// which no other slot touches this epoch), so any slot→worker schedule
+// yields bit-identical results.
+void SolveEpochSlot(void* ctx, std::size_t worker, std::size_t slot) {
+  const EpochSolveJob& job = *static_cast<EpochSolveJob*>(ctx);
+  // Rate-limit the learners' non-convergence WARNINGs to one line per
+  // (epoch, content) — a ladder of relaxed retries would otherwise emit
+  // near-identical lines for every attempt.
+  NonConvergenceEpochScope nonconvergence_scope(job.buffer->epoch_index);
+  EpochContentResult& result = job.buffer->results[slot];
+  EpochRuntime::WorkerContext& wc = job.runtime->worker(worker);
+  MFG_OBS_SPAN_ID("PlanEpoch.SolveContent",
+                  static_cast<std::int64_t>(result.content));
+
+  result.attempts = 1;
+  FinishSlotAfterFirstAttempt(job, wc, slot,
+                              AttemptSlotSolve(job, wc, result, 0));
+}
+
+// Solves slots [begin, end) as one SoA batch on worker `worker`'s
+// long-lived batch learner (batch_width > 1). Attempt 0 of every slot in
+// the block runs in lockstep through BatchBestResponseLearner — each lane
+// executes the exact scalar expression tree, so a clean first attempt is
+// bitwise equal to SolveEpochSlot's. Lanes whose params build, bind, or
+// solve failed (or came back unconverged) then run the unchanged scalar
+// recovery ladder per slot.
+void SolveEpochBlock(void* ctx, std::size_t worker, std::size_t begin,
+                     std::size_t end) {
+  const EpochSolveJob& job = *static_cast<EpochSolveJob*>(ctx);
+  NonConvergenceEpochScope nonconvergence_scope(job.buffer->epoch_index);
+  EpochRuntime::WorkerContext& wc = job.runtime->worker(worker);
+  const std::size_t width = end - begin;
+  BatchBestResponseLearner& learner = wc.batch_learner;
+  learner.Reset(width);
+  wc.batch_jobs.resize(width);
+
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t slot = begin + i;
+    EpochContentResult& result = job.buffer->results[slot];
+    const content::ContentId k = result.content;
+    BatchBestResponseLearner::LaneJob& lane = wc.batch_jobs[i];
+    lane.epoch = job.buffer->epoch_index;
+    lane.content = k;
+    lane.out = &result.equilibrium;
+    lane.active = false;
+    lane.status = common::Status::Ok();
+    result.attempts = 1;
+    // Attempt-0 params build + bind under this lane's fault coordinates
+    // (the scalar AttemptSlotSolve preamble).
+    MFG_FAULT_SCOPE(job.buffer->epoch_index, k, 0);
+    auto params = job.framework->ContentParams(
+        k, job.buffer->popularity[k], job.obs->mean_timeliness[k],
+        static_cast<double>(job.obs->request_counts[k]));
+    if (!params.ok()) {
+      lane.status = params.status();
+      continue;
+    }
+    result.params = std::move(*params);
+    const common::Status bind = learner.BindLane(i, result.params);
+    if (!bind.ok()) {
+      lane.status = bind;
+      continue;
+    }
+    lane.active = true;
+  }
+
+  learner.SolveInto(
+      std::span<BatchBestResponseLearner::LaneJob>(wc.batch_jobs),
+      wc.batch_workspace);
+
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t slot = begin + i;
+    MFG_OBS_SPAN_ID(
+        "PlanEpoch.SolveContent",
+        static_cast<std::int64_t>(job.buffer->results[slot].content));
+    FinishSlotAfterFirstAttempt(job, wc, slot,
+                                std::move(wc.batch_jobs[i].status));
+  }
+}
+
 #if MFGCP_OBS_ENABLED
 // Handles to the learner counters whose per-epoch deltas feed the health
 // report, cached once like the MFG_OBS_* macro sites. Reading Value() is
@@ -308,6 +388,9 @@ common::StatusOr<MfgCpFramework> MfgCpFramework::Create(
       recovery.fallback_top_fraction > 1.0) {
     return common::Status::InvalidArgument(
         "recovery.fallback_top_fraction must be in [0, 1]");
+  }
+  if (options.batch_width == 0) {
+    return common::Status::InvalidArgument("batch_width must be >= 1");
   }
   auto state = std::make_unique<PlanState>(options.parallelism);
   return MfgCpFramework(options, catalog, popularity, timeliness,
@@ -404,9 +487,26 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
   const std::size_t epoch = buffer.epoch_index;
 
   // Solve the independent per-content equilibria on the persistent pool
-  // (Alg. 1 line 2). Each worker writes only its own slots.
+  // (Alg. 1 line 2). Each worker writes only its own slots. batch_width
+  // > 1 routes through the SoA block path (bit-identical; see
+  // SolveEpochBlock above), batch_width == 1 keeps the scalar per-slot
+  // path.
   EpochSolveJob job{this, &obs, &buffer, &state_->runtime};
-  state_->runtime.RunEpoch(buffer.num_active, &SolveEpochSlot, &job);
+  if (options_.batch_width > 1) {
+    // Shrink blocks on small epochs so there are at least as many blocks
+    // as workers whenever num_active >= workers — the whole pool warms and
+    // shares the work, as the scalar round-robin path always did. Results
+    // are unaffected: every lane is bit-identical to the scalar solve at
+    // any block width.
+    const std::size_t workers = state_->runtime.num_workers();
+    const std::size_t per_worker =
+        std::max<std::size_t>(1, buffer.num_active / workers);
+    state_->runtime.RunEpochBlocks(
+        buffer.num_active, std::min(options_.batch_width, per_worker),
+        &SolveEpochBlock, &job);
+  } else {
+    state_->runtime.RunEpoch(buffer.num_active, &SolveEpochSlot, &job);
+  }
   ++buffer.epoch_index;
 
   // Degradation tally + aggregated failure report. The per-slot statuses

@@ -79,6 +79,12 @@ struct MfgCpOptions {
   // 1 = serial (no threads are spawned). Results are bit-identical for
   // every value.
   std::size_t parallelism = 1;
+  // Contents solved together as one SoA batch (the lanes of the batched
+  // HJB/FPK/best-response solvers; see ARCHITECTURE.md "Batched solver
+  // layer"). Workers claim contiguous blocks of this many contents; each
+  // lane runs the exact scalar expression tree, so results stay
+  // bit-identical for every value. 1 = the scalar per-slot path.
+  std::size_t batch_width = 8;
   // Per-content failure handling (see EpochRecoveryOptions above).
   EpochRecoveryOptions recovery;
 };

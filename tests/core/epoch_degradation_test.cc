@@ -328,6 +328,68 @@ TEST(EpochDegradationTest, GoldenDeterminismAcrossParallelism) {
   }
 }
 
+TEST(EpochDegradationTest, GoldenDeterminismAcrossBatchWidths) {
+  // Same seeded fault scenario through the block-claiming batch scheduler:
+  // the plan buffers must be bit-identical whether contents are solved one
+  // per slot (batch_width 1), in remainder-producing blocks of 3, or in
+  // the default blocks of 8 — and, for each width, at parallelism 1/2/8.
+  // Degraded lanes fall out of the batch onto the scalar recovery ladder,
+  // so this also pins the batch -> ladder handoff.
+  faults::FaultPlan::SeedOptions seed;
+  seed.seed = 11;
+  seed.num_epochs = 2;
+  seed.num_contents = 7;
+  seed.fault_rate = 0.35;
+  seed.sites = {faults::FaultSite::kSolve, faults::FaultSite::kHjbStep,
+                faults::FaultSite::kFpkStep,
+                faults::FaultSite::kNonConvergence};
+  const faults::FaultPlan plan = faults::FaultPlan::FromSeed(seed);
+  ASSERT_FALSE(plan.empty());
+
+  auto run = [&](std::size_t parallelism, std::size_t batch_width,
+                 std::vector<EpochPlanBuffer>& out) {
+    MfgCpOptions options = testing::FastOptions(parallelism);
+    options.batch_width = batch_width;
+    auto framework = MakeFramework(7, parallelism, &options);
+    EpochPlanBuffer buffer;
+    faults::ScopedFaultInjection arm(plan);
+    for (std::size_t epoch = 0; epoch < seed.num_epochs; ++epoch) {
+      EpochObservation obs = MakeObservation(7);
+      obs.request_counts.assign(7, 10 + 5 * epoch);
+      ASSERT_TRUE(framework.PlanEpochInto(obs, buffer).ok());
+      out.push_back(buffer);
+    }
+  };
+
+  std::vector<EpochPlanBuffer> reference;
+  run(1, 1, reference);
+  ASSERT_EQ(reference.size(), seed.num_epochs);
+  bool any_degraded = false;
+  for (const EpochPlanBuffer& buffer : reference) {
+    for (std::size_t slot = 0; slot < buffer.num_active; ++slot) {
+      if (buffer.outcomes[slot] != SlotOutcome::kSolved) any_degraded = true;
+    }
+  }
+  EXPECT_TRUE(any_degraded);
+
+  for (std::size_t batch_width : {std::size_t{1}, std::size_t{3},
+                                  std::size_t{8}}) {
+    for (std::size_t parallelism : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+      if (batch_width == 1 && parallelism == 1) continue;  // The reference.
+      SCOPED_TRACE(::testing::Message() << "batch_width " << batch_width
+                                        << " parallelism " << parallelism);
+      std::vector<EpochPlanBuffer> buffers;
+      run(parallelism, batch_width, buffers);
+      ASSERT_EQ(buffers.size(), reference.size());
+      for (std::size_t epoch = 0; epoch < reference.size(); ++epoch) {
+        SCOPED_TRACE(::testing::Message() << "epoch " << epoch);
+        ExpectPlanBuffersIdentical(buffers[epoch], reference[epoch]);
+      }
+    }
+  }
+}
+
 TEST(EpochDegradationTest, InjectedFaultCounterSeesTheScenario) {
   auto framework = MakeFramework(3, 1);
   const EpochObservation obs = MakeObservation(3);
