@@ -17,6 +17,8 @@
 #include "core/best_response.h"
 #include "core/epoch_health.h"
 #include "core/policy.h"
+#include "obs/flight_dump.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/stream.h"
 #include "obs/trace.h"
@@ -39,8 +41,14 @@
 //   metrics_stream_csv=<path>  companion wide-format CSV of the stream
 //   stream_period_ms=<n>   sampling window, default 1000
 //   health_log=on          log one health line per planner epoch
-// The streaming keys are ignored (with no output file) when the binary is
-// built with -DMFGCP_OBS=OFF; health_log works either way.
+//   flight_dump=<dir>      write flight-recorder JSONL post-mortems for
+//                          degraded epochs into <dir> (obs/flight_dump.h)
+//   flight_dump_max=<n>    cap on dump files per process (default 16)
+//   flight_dump_events=<n> last-N events kept per content in a dump (64)
+//   flight_dump_all=on     also dump healthy epochs (every active content)
+//   flight_record=off      disable the flight-recorder journal entirely
+// The streaming and flight keys are ignored (with no output file) when the
+// binary is built with -DMFGCP_OBS=OFF; health_log works either way.
 
 namespace mfg::bench {
 
@@ -217,6 +225,25 @@ inline void InitObservability(const common::Config& config) {
       std::fprintf(stderr, "metrics stream: %s\n",
                    status.ToString().c_str());
     }
+  }
+
+  // Flight-recorder keys (OBSERVABILITY.md "Flight recorder"). With
+  // observability compiled out the macros are no-ops and no dump directory
+  // is ever created, so the keys are inert.
+  if (config.GetString("flight_record", "") == "off") {
+    obs::FlightJournal::Get().SetEnabled(false);
+  }
+  const std::string flight_dir = config.GetString("flight_dump", "");
+  if (!flight_dir.empty()) {
+    obs::FlightDumpOptions flight_options;
+    flight_options.directory = flight_dir;
+    flight_options.max_dumps =
+        static_cast<std::size_t>(config.GetInt("flight_dump_max", 16));
+    flight_options.max_events_per_content =
+        static_cast<std::size_t>(config.GetInt("flight_dump_events", 64));
+    flight_options.dump_healthy =
+        config.GetString("flight_dump_all", "") == "on";
+    obs::SetFlightDumpOptions(std::move(flight_options));
   }
 #endif  // MFGCP_OBS_ENABLED
 }

@@ -30,6 +30,7 @@
 #include "common/logging.h"
 #include "core/mfg_cp.h"
 #include "obs/alloc_probe.h"
+#include "obs/flight_recorder.h"
 #include "obs/stream.h"
 
 namespace mfg {
@@ -207,6 +208,62 @@ void BM_PlanEpochInto64Streaming(benchmark::State& state) {
 #endif
 }
 BENCHMARK(BM_PlanEpochInto64Streaming)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The warmed epoch loop with the flight recorder journaling every solve
+// event — the acceptance check that the record path is allocation-free
+// (rings register during the untimed warmup epochs; after that a record
+// is plain stores into the thread's own ring). No dump directory is
+// configured and no probe runs, so this measures pure journal overhead
+// against BM_PlanEpochInto64; solver_allocs_per_epoch must stay 0 with
+// recording ON.
+void BM_PlanEpochInto64Flight(benchmark::State& state) {
+#if !MFGCP_OBS_ENABLED
+  state.SkipWithError("built with -DMFGCP_OBS=OFF");
+  return;
+#else
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  auto catalog = content::Catalog::CreateUniform(kContents, 100.0).value();
+  auto popularity =
+      content::PopularityModel::CreateZipf(kContents, 0.8).value();
+  auto timeliness =
+      content::TimelinessModel::Create(content::TimelinessParams()).value();
+  auto framework = core::MfgCpFramework::Create(ScalingOptions(workers),
+                                                catalog, popularity,
+                                                timeliness)
+                       .value();
+  const core::EpochObservation obs = ScalingObservation();
+  core::EpochPlanBuffer buffer;
+  obs::FlightJournal::Get().SetEnabled(true);
+  MFG_CHECK(framework.PlanEpochInto(obs, buffer).ok());
+  MFG_CHECK(framework.PlanEpochInto(obs, buffer).ok());
+
+  const std::size_t thread_allocs_before = obs::ThreadAllocationCount();
+  std::size_t iterations = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(framework.PlanEpochInto(obs, buffer));
+    ++iterations;
+  }
+  const std::size_t thread_allocs =
+      obs::ThreadAllocationCount() - thread_allocs_before;
+
+  std::size_t worker_allocs = 0;
+  const core::EpochRuntime& runtime = framework.epoch_runtime();
+  for (std::size_t w = 0; w < runtime.num_workers(); ++w) {
+    worker_allocs += runtime.worker(w).allocations;
+  }
+  state.counters["workers"] = static_cast<double>(workers);
+  state.counters["flight_rings"] =
+      static_cast<double>(obs::FlightJournal::Get().num_rings());
+  state.counters["solver_allocs_per_epoch"] = benchmark::Counter(
+      static_cast<double>(thread_allocs + worker_allocs * iterations),
+      benchmark::Counter::kAvgIterations);
+#endif
+}
+BENCHMARK(BM_PlanEpochInto64Flight)
     ->Arg(1)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)

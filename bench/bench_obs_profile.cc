@@ -17,7 +17,10 @@
 //       registry streamed as a JSONL time series and one health line per
 //       epoch (the CI streaming soak runs exactly this)
 
+#include <optional>
+
 #include "bench_common.h"
+#include "core/fault_injection.h"
 #include "core/mfg_cp.h"
 
 namespace mfg {
@@ -31,6 +34,14 @@ void Run(const common::Config& config) {
       static_cast<std::size_t>(config.GetInt("parallelism", 1));
   const std::size_t contents =
       static_cast<std::size_t>(config.GetInt("num_contents", 16));
+#if MFGCP_OBS_ENABLED
+  // eq_probe=on enables the per-epoch equilibrium-quality gauge stage
+  // (eq.* registry gauges + the health line's eq block);
+  // eq_probe_contents= sets the probed window (0 = every active slot).
+  options.eq_probe.enabled = config.GetString("eq_probe", "") == "on";
+  options.eq_probe.max_contents =
+      static_cast<std::size_t>(config.GetInt("eq_probe_contents", 4));
+#endif
 
   auto catalog = content::Catalog::CreateUniform(
       contents, options.base_params.content_size);
@@ -53,6 +64,34 @@ void Run(const common::Config& config) {
   bench::Section("Alg. 1 planning epochs");
   const std::size_t epochs =
       static_cast<std::size_t>(config.GetInt("epochs", 1));
+
+#if MFGCP_FAULTS_ENABLED
+  // fault_rate= arms a seeded fault plan over the whole run (fault_seed=
+  // keys it), restricted to solver-stage sites so the recovery ladder can
+  // absorb every hit and the epoch loop still returns Ok — the CI soak
+  // uses this to exercise the ladder, the flight dumps, and the eq probe
+  // on degraded slots at once.
+  std::optional<core::faults::ScopedFaultInjection> fault_injection;
+  static core::faults::FaultPlan fault_plan;
+  const double fault_rate = config.GetDouble("fault_rate", 0.0);
+  if (fault_rate > 0.0) {
+    core::faults::FaultPlan::SeedOptions seed_options;
+    seed_options.seed =
+        static_cast<std::uint64_t>(config.GetInt("fault_seed", 7));
+    seed_options.num_epochs = epochs;
+    seed_options.num_contents = contents;
+    seed_options.fault_rate = fault_rate;
+    seed_options.sites = {
+        core::faults::FaultSite::kSolve, core::faults::FaultSite::kHjbStep,
+        core::faults::FaultSite::kFpkStep,
+        core::faults::FaultSite::kNonConvergence};
+    fault_plan = core::faults::FaultPlan::FromSeed(seed_options);
+    fault_injection.emplace(fault_plan);
+    std::printf("armed fault plan: rate=%.2f seed=%llu\n", fault_rate,
+                static_cast<unsigned long long>(seed_options.seed));
+  }
+#endif  // MFGCP_FAULTS_ENABLED
+
   core::EpochPlanBuffer buffer;
   core::EpochHealthReport health;
   for (std::size_t epoch = 0; epoch < epochs; ++epoch) {

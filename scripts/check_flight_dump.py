@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validates flight-recorder JSONL post-mortem dumps (obs/flight_dump.h).
+
+Usage: check_flight_dump.py <dump.jsonl> [<dump.jsonl> ...]
+
+Asserts what the dump writer promises (OBSERVABILITY.md "Flight
+recorder"): the first line is a `flight_header` object with the schema
+version, epoch, per-content event cap, and covered content list; every
+following line is an `event` object with the full key set, a known event
+name, the header's epoch, a content from the header list, numeric (or
+null, for non-finite payloads) v0/v1, span_id == content, per-content
+`seq` strictly increasing, and at most `max_events_per_content` events
+per content. Exit code 0 = every dump is well-formed.
+"""
+
+import json
+import sys
+
+
+EVENT_NAMES = frozenset((
+    "block_claim", "attempt_begin", "iteration", "hjb_sweep", "fpk_sweep",
+    "divergence", "solve_end", "ladder", "fault",
+))
+EVENT_KEYS = ("type", "event", "epoch", "content", "attempt", "detail",
+              "iter", "v0", "v1", "seq", "span_id")
+HEADER_KEYS = ("type", "schema", "epoch", "max_events_per_content",
+               "trace_span", "contents")
+
+
+def fail(path, line_no, message):
+    print(f"check_flight_dump: {path}:{line_no}: {message}",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def check_dump(path):
+    with open(path, "r", encoding="utf-8") as dump:
+        lines = [line.strip() for line in dump if line.strip()]
+    if not lines:
+        fail(path, 0, "empty dump")
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        fail(path, 1, f"header is not valid JSON: {error}")
+    for key in HEADER_KEYS:
+        if key not in header:
+            fail(path, 1, f"header missing key {key!r}")
+    if header["type"] != "flight_header":
+        fail(path, 1, f"first line has type {header['type']!r}, "
+                      "expected 'flight_header'")
+    if header["schema"] != 1:
+        fail(path, 1, f"unknown schema version {header['schema']!r}")
+    contents = set(header["contents"])
+    if not contents:
+        fail(path, 1, "header covers no contents")
+    epoch = header["epoch"]
+    max_events = header["max_events_per_content"]
+
+    per_content_counts = {}
+    per_content_last_seq = {}
+    for line_no, line in enumerate(lines[1:], start=2):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as error:
+            fail(path, line_no, f"not valid JSON: {error}")
+        for key in EVENT_KEYS:
+            if key not in event:
+                fail(path, line_no, f"event missing key {key!r}")
+        if event["type"] != "event":
+            fail(path, line_no, f"unexpected type {event['type']!r}")
+        if event["event"] not in EVENT_NAMES:
+            fail(path, line_no, f"unknown event name {event['event']!r}")
+        if event["event"] == "block_claim":
+            fail(path, line_no,
+                 "block_claim is scheduling scope and must not appear in "
+                 "per-content dumps")
+        if event["epoch"] != epoch:
+            fail(path, line_no,
+                 f"event epoch {event['epoch']} != header epoch {epoch}")
+        content = event["content"]
+        if content not in contents:
+            fail(path, line_no,
+                 f"content {content} not in the header's content list")
+        if event["span_id"] != content:
+            fail(path, line_no,
+                 f"span_id {event['span_id']} != content {content}")
+        for field in ("v0", "v1"):
+            value = event[field]
+            if value is not None and not isinstance(value, (int, float)):
+                fail(path, line_no,
+                     f"{field} must be a number or null, got {value!r}")
+        last_seq = per_content_last_seq.get(content)
+        if last_seq is not None and event["seq"] <= last_seq:
+            fail(path, line_no,
+                 f"content {content}: seq {event['seq']} not increasing "
+                 f"(previous {last_seq})")
+        per_content_last_seq[content] = event["seq"]
+        count = per_content_counts.get(content, 0) + 1
+        if max_events > 0 and count > max_events:
+            fail(path, line_no,
+                 f"content {content} has more than "
+                 f"max_events_per_content={max_events} events")
+        per_content_counts[content] = count
+
+    total = sum(per_content_counts.values())
+    print(f"check_flight_dump: {path}: OK (epoch {epoch}, "
+          f"{len(contents)} content(s), {total} event(s))")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check_dump(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
 """Validates a MetricsStreamer JSONL stream (obs/stream.h).
 
-Usage: check_stream.py <stream.jsonl>
+Usage: check_stream.py <stream.jsonl> [--require-gauge NAME]...
 
 Asserts what the streamer promises (OBSERVABILITY.md "Streaming export"):
 every line parses as a JSON object with the row schema, `seq` increments
 from 0 with no gaps, `unix_ms` is non-decreasing, windows after the
 baseline have positive width, and cumulative counter values never
-decrease across rows. Exit code 0 = stream is well-formed.
+decrease across rows. Each --require-gauge NAME (repeatable) additionally
+demands that gauge appears in at least one row — the CI soak uses this to
+prove the eq.* equilibrium-quality gauges reached the stream. Exit code
+0 = stream is well-formed.
 """
 
+import argparse
 import json
 import sys
 
@@ -24,14 +28,21 @@ def fail(line_no, message):
 
 
 def main():
-    if len(sys.argv) != 2:
-        print(__doc__, file=sys.stderr)
-        sys.exit(2)
-    path = sys.argv[1]
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("stream", help="JSONL stream to validate")
+    parser.add_argument("--require-gauge", action="append", default=[],
+                        metavar="NAME", dest="require_gauges",
+                        help="fail unless this gauge appears in some row "
+                             "(repeatable)")
+    args = parser.parse_args()
+    path = args.stream
 
     rows = 0
     last_unix_ms = None
     last_counter_values = {}
+    seen_gauges = set()
     with open(path, "r", encoding="utf-8") as stream:
         for line_no, line in enumerate(stream, start=1):
             line = line.strip()
@@ -70,6 +81,7 @@ def main():
                 for field in ("value", "delta"):
                     if field not in gauge:
                         fail(line_no, f"gauge {name!r} missing {field!r}")
+                seen_gauges.add(name)
             for name, hist in row["histograms"].items():
                 for field in ("count", "sum", "delta_count", "delta_sum",
                               "le", "delta_buckets"):
@@ -87,6 +99,13 @@ def main():
     if rows < 2:
         print(f"check_stream: only {rows} row(s); expected at least the "
               "baseline and the final flush", file=sys.stderr)
+        sys.exit(1)
+    missing = [name for name in args.require_gauges
+               if name not in seen_gauges]
+    if missing:
+        print(f"check_stream: required gauge(s) never appeared: "
+              f"{', '.join(missing)} (saw {sorted(seen_gauges)})",
+              file=sys.stderr)
         sys.exit(1)
     print(f"check_stream: OK ({rows} rows, {len(last_counter_values)} "
           "counters)")

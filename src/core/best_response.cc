@@ -10,6 +10,7 @@
 #include "core/nonconvergence_log.h"
 #include "econ/utility.h"
 #include "numerics/interpolation.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace mfg::core {
@@ -156,6 +157,9 @@ common::Status BestResponseLearner::SolveFromInto(
     // eq.hjb until the swap below).
     eq.value_change_history.push_back(
         MaxAbsDifference(hjb_buf.value, eq.hjb.value));
+    MFG_FLIGHT_EVENT(kIteration, 0, params_.content_id,
+                     static_cast<std::uint32_t>(iter), max_change,
+                     eq.value_change_history.back());
     std::swap(eq.hjb, hjb_buf);
     // Expose the *relaxed* policy (the population's actual play).
     eq.hjb.policy = policy;
@@ -191,6 +195,13 @@ common::Status BestResponseLearner::SolveFromInto(
   } else {
     MFG_OBS_COUNT("core.best_response.converged", 1);
   }
+  MFG_FLIGHT_EVENT(
+      kSolveEnd, eq.converged ? std::uint8_t{1} : std::uint8_t{0},
+      params_.content_id, static_cast<std::uint32_t>(eq.iterations),
+      eq.policy_change_history.empty() ? 0.0
+                                       : eq.policy_change_history.back(),
+      eq.value_change_history.empty() ? 0.0
+                                      : eq.value_change_history.back());
   // Refresh the mean-field quantities for the final policy/density pair so
   // callers see a consistent triple (x, λ, mf).
   for (std::size_t n = 0; n <= nt; ++n) {

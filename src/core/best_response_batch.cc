@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "core/fault_injection.h"
 #include "core/nonconvergence_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace mfg::core {
@@ -244,6 +245,9 @@ void BatchBestResponseLearner::SolveInto(std::span<LaneJob> lanes,
       eq.policy_change_history.push_back(max_change);
       eq.value_change_history.push_back(
           MaxAbsDifference(lane.hjb_buffer.value, eq.hjb.value));
+      MFG_FLIGHT_EVENT(kIteration, 0, content_id_[l],
+                       static_cast<std::uint32_t>(iter), max_change,
+                       eq.value_change_history.back());
       std::swap(eq.hjb, lane.hjb_buffer);
       eq.hjb.policy = lane.policy;
       std::swap(eq.mean_field, lane.mean_field);
@@ -296,6 +300,13 @@ void BatchBestResponseLearner::SolveInto(std::span<LaneJob> lanes,
     } else {
       MFG_OBS_COUNT("core.best_response.converged", 1);
     }
+    MFG_FLIGHT_EVENT(
+        kSolveEnd, eq.converged ? std::uint8_t{1} : std::uint8_t{0},
+        content_id_[l], static_cast<std::uint32_t>(eq.iterations),
+        eq.policy_change_history.empty() ? 0.0
+                                         : eq.policy_change_history.back(),
+        eq.value_change_history.empty() ? 0.0
+                                        : eq.value_change_history.back());
     // Refresh the mean-field quantities for the final policy/density pair
     // so callers see a consistent triple (x, λ, mf).
     for (std::size_t n = 0; n <= nt; ++n) {

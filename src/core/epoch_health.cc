@@ -24,6 +24,16 @@ std::string FormatHealthLine(const EpochHealthReport& report) {
       << " converged=" << report.best_response_converged
       << " nonconverged=" << report.best_response_nonconverged
       << " allocs=" << report.epoch_allocations;
+  if (report.eq_probed > 0) {
+    char gap[32], rel[32], cons[32], price[32];
+    std::snprintf(gap, sizeof(gap), "%.3g", report.eq_exploitability);
+    std::snprintf(rel, sizeof(rel), "%.3g", report.eq_exploitability_rel);
+    std::snprintf(cons, sizeof(cons), "%.3g",
+                  report.eq_consistency_residual);
+    std::snprintf(price, sizeof(price), "%.3g", report.eq_price_mean);
+    out << " eq probed=" << report.eq_probed << " gap=" << gap
+        << " rel=" << rel << " cons=" << cons << " price=" << price;
+  }
   if (!report.degraded_contents.empty()) {
     out << " degraded=[";
     for (std::size_t i = 0; i < report.degraded_contents.size(); ++i) {
@@ -31,6 +41,9 @@ std::string FormatHealthLine(const EpochHealthReport& report) {
       out << report.degraded_contents[i];
     }
     out << "]";
+  }
+  if (!report.flight_dump_path.empty()) {
+    out << " dump=" << report.flight_dump_path;
   }
   return out.str();
 }

@@ -55,6 +55,25 @@ struct EpochHealthReport {
   // core.epoch.degraded_contents gauge.
   std::vector<content::ContentId> degraded_contents;
 
+  // Equilibrium-quality probe results (MfgCpOptions::eq_probe); all zero
+  // when the probe is disabled or every probed slot failed. The gap/
+  // residual fields are worst-case over the probed slots and mirror the
+  // eq.* gauges.
+  std::size_t eq_probed = 0;            // Slots the probe evaluated.
+  double eq_exploitability = 0.0;       // Max ε-Nash gap (Definition 3).
+  double eq_exploitability_rel = 0.0;   // Max relative gap.
+  double eq_consistency_residual = 0.0; // Max FPK fixed-point L1 gap.
+  // Price-trajectory stats over every active slot's mean field (not only
+  // the probed ones; computed whenever the probe is enabled).
+  double eq_price_min = 0.0;
+  double eq_price_mean = 0.0;
+  double eq_price_max = 0.0;
+
+  // Path of the flight-recorder post-mortem written for this epoch, ""
+  // when none (no dump directory configured, epoch healthy, or the dump
+  // rate limiter suppressed it). See obs/flight_dump.h.
+  std::string flight_dump_path;
+
   // The core.epoch.degraded_contents gauge value for this epoch.
   std::size_t DegradedCount() const {
     return carried_forward + fallback + failed;
@@ -68,8 +87,10 @@ struct EpochHealthReport {
 // One-line rendering for logs, e.g.
 //   epoch 7: active=16 wall=0.245s outcomes solved=14 retried=1
 //   carried_forward=1 fallback=0 failed=0 br solves=19 converged=18
-//   nonconverged=1 allocs=0 degraded=[3]
-// (single line; "degraded=[]" is omitted when empty).
+//   nonconverged=1 allocs=0 eq probed=4 gap=0.0012 rel=3.1e-05
+//   cons=0.0044 price=0.52 degraded=[3] dump=dumps/flight_epoch7_0.jsonl
+// (single line; the eq block appears only when eq_probed > 0, the
+// degraded list and dump path only when non-empty).
 std::string FormatHealthLine(const EpochHealthReport& report);
 
 // Process-wide toggle: when enabled, PlanEpochInto logs

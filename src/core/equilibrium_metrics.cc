@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "core/fpk_solver.h"
 #include "core/hjb_solver.h"
 #include "numerics/finite_difference.h"
 #include "numerics/quadrature.h"
@@ -119,6 +120,28 @@ common::StatusOr<ExploitabilityReport> ComputeExploitability(
     const MfgParams& params, const Equilibrium& equilibrium) {
   return ComputeExploitabilityOfPolicy(params, equilibrium,
                                        equilibrium.hjb.policy.ToNested());
+}
+
+common::StatusOr<double> ComputeConsistencyResidual(
+    const MfgParams& params, const Equilibrium& equilibrium) {
+  const std::size_t nt = params.grid.num_time_steps;
+  if (equilibrium.fpk.densities.size() != nt + 1 ||
+      equilibrium.hjb.policy.size() != nt + 1) {
+    return common::Status::InvalidArgument(
+        "equilibrium does not match params' discretization");
+  }
+  MFG_ASSIGN_OR_RETURN(FpkSolver1D fpk, FpkSolver1D::Create(params));
+  MFG_ASSIGN_OR_RETURN(FpkSolution resolved,
+                       fpk.Solve(equilibrium.fpk.densities.front(),
+                                 equilibrium.hjb.policy));
+  double residual = 0.0;
+  for (std::size_t n = 0; n <= nt; ++n) {
+    MFG_ASSIGN_OR_RETURN(
+        double l1,
+        resolved.densities[n].L1Distance(equilibrium.fpk.densities[n]));
+    residual = std::max(residual, l1);
+  }
+  return residual;
 }
 
 }  // namespace mfg::core

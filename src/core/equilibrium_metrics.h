@@ -54,6 +54,16 @@ common::StatusOr<ExploitabilityReport> ComputeExploitabilityOfPolicy(
     const MfgParams& params, const Equilibrium& equilibrium,
     const std::vector<std::vector<double>>& policy);
 
+// Mean-field consistency residual — the FPK fixed-point gap of Alg. 2:
+// re-solves the forward FPK (Eq. 15) from the equilibrium's initial
+// density under its *final* policy and returns the largest per-node L1
+// distance max_n ∫ |λ_resolved(t_n) − λ(t_n)| dq. A converged candidate
+// carries a small residual (its stored trajectory lags the final policy by
+// at most one relaxation step); carry-forward/fallback products whose
+// density never saw the shipped policy show a large one.
+common::StatusOr<double> ComputeConsistencyResidual(
+    const MfgParams& params, const Equilibrium& equilibrium);
+
 }  // namespace mfg::core
 
 #endif  // MFGCP_CORE_EQUILIBRIUM_METRICS_H_

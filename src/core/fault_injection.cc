@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/random.h"
+#include "obs/flight_recorder.h"
 
 namespace mfg::core::faults {
 namespace {
@@ -135,6 +136,9 @@ common::Status Check(FaultSite site) {
   const FaultSpec* spec = Match(site, coords);
   if (spec == nullptr) return common::Status::Ok();
   g_injected.fetch_add(1, std::memory_order_relaxed);
+  MFG_FLIGHT_EVENT_AT(kFaultInjected, static_cast<std::uint8_t>(site),
+                      coords.epoch, coords.content, coords.attempt, 0, 0.0,
+                      0.0);
   return common::Status(
       spec->code,
       "injected fault at " + std::string(FaultSiteName(site)) + " (epoch " +
@@ -147,6 +151,9 @@ bool Fires(FaultSite site) {
   ThreadCoordinates coords;
   if (Match(site, coords) == nullptr) return false;
   g_injected.fetch_add(1, std::memory_order_relaxed);
+  MFG_FLIGHT_EVENT_AT(kFaultInjected, static_cast<std::uint8_t>(site),
+                      coords.epoch, coords.content, coords.attempt, 0, 0.0,
+                      0.0);
   return true;
 }
 

@@ -6,6 +6,7 @@
 
 #include "numerics/finite_difference.h"
 #include "numerics/simd_support.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace mfg::core {
@@ -172,6 +173,8 @@ void FpkBatchSolver::SolveInto(std::span<LaneIo> lanes, Workspace& ws) const {
   alive.assign(m, 0);
   update.assign(m, 0.0);
   ws.bad.assign(m, 0.0);
+  ws.clip_mass.assign(m, 0.0);
+  ws.clip_failed.assign(m, 0);
 
   std::size_t max_substeps = 0;
   for (std::size_t l = 0; l < m; ++l) {
@@ -273,6 +276,9 @@ void FpkBatchSolver::SolveInto(std::span<LaneIo> lanes, Workspace& ws) const {
               std::to_string(ws.singular_row[l]));
           alive[l] = 0;
         } else if (!LaneAllFinite(ws.lambda, l)) {
+          MFG_FLIGHT_EVENT(kDivergence, obs::kFlightDivergenceFpk,
+                           params_[l].content_id,
+                           static_cast<std::uint32_t>(n), 0.0, 0.0);
           lanes[l].status = common::Status::NumericalError(
               "implicit FPK diverged at time node " + std::to_string(n));
           alive[l] = 0;
@@ -295,6 +301,9 @@ void FpkBatchSolver::SolveInto(std::span<LaneIo> lanes, Workspace& ws) const {
         numerics::AccumulateNonFiniteLanesInto(ws.lambda, ws.bad);
         for (std::size_t l = 0; l < m; ++l) {
           if (update[l] == 0.0 || ws.bad[l] == 0.0) continue;
+          MFG_FLIGHT_EVENT(kDivergence, obs::kFlightDivergenceFpk,
+                           params_[l].content_id,
+                           static_cast<std::uint32_t>(n), 0.0, 0.0);
           lanes[l].status = common::Status::NumericalError(
               "FPK density diverged at time node " + std::to_string(n));
           alive[l] = 0;
@@ -302,23 +311,32 @@ void FpkBatchSolver::SolveInto(std::span<LaneIo> lanes, Workspace& ws) const {
       }
     }
 
-    // Clip-and-normalize through the scalar Density1D path, then gather
-    // the normalized row back — the scalar `ws.lambda = out.values()`
-    // round-trip per lane.
+    // Lane-parallel clip-and-normalize in SoA layout (bit-identical to the
+    // scalar Density1D::ClipAndNormalize per lane), then scatter each live
+    // lane's normalized row into its Density1D — λ never leaves the batch
+    // layout. A lane whose mass underflows keeps its clipped row (the
+    // scalar failure path leaves out the same way) and drops out.
+    numerics::ClipAndNormalizeBatchInto(std::span<const double>(dx_),
+                                        ws.lambda, ws.clip_mass,
+                                        ws.clip_failed);
     for (std::size_t l = 0; l < m; ++l) {
       if (!alive[l]) continue;
       numerics::Density1D& out = lanes[l].solution->densities[n + 1];
       std::vector<double>& values = out.mutable_values();
       for (std::size_t i = 0; i < nq; ++i) values[i] = lam[i * m + l];
-      const common::Status clip = out.ClipAndNormalize();
-      if (!clip.ok()) {
-        lanes[l].status = clip;
+      if (ws.clip_failed[l] != 0) {
+        lanes[l].status = common::Status::NumericalError("density mass is ~0");
         alive[l] = 0;
-        continue;
       }
-      const std::vector<double>& normalized = out.values();
-      for (std::size_t i = 0; i < nq; ++i) lam[i * m + l] = normalized[i];
     }
+  }
+
+  for (std::size_t l = 0; l < m; ++l) {
+    if (!alive[l]) continue;
+    MFG_FLIGHT_EVENT(kFpkSweep, 0, params_[l].content_id, 0,
+                     static_cast<double>(substeps_[l]),
+                     obs::FlightMaxAbs(std::span<const double>(
+                         lanes[l].solution->densities[nt].values())));
   }
 }
 

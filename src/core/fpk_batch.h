@@ -17,10 +17,11 @@
 // Content-batched counterpart of FpkSolver1D (see hjb_batch.h for the
 // batching model). Lane l runs the scalar forward sweep expression tree on
 // its own density/policy, so active lanes reproduce FpkSolver1D::SolveInto
-// bit-for-bit. The ClipAndNormalize guard stays scalar: each output node
-// scatters a lane's SoA density row into its Density1D, normalizes through
-// the existing scalar code path, and gathers the result back — exactly the
-// `ws.lambda = out.values()` round-trip of the scalar solver.
+// bit-for-bit. The ClipAndNormalize guard runs lane-parallel in SoA layout
+// (numerics::ClipAndNormalizeBatchInto, the scalar accumulation order per
+// lane); each output node then scatters the normalized row into the lane's
+// Density1D — λ stays in the batch layout end-to-end, with no per-node
+// gather-back.
 //
 // Both stepping schemes are supported; all bound lanes must share
 // grid.implicit_fpk (they derive from one base_params on the epoch path).
@@ -44,6 +45,9 @@ class FpkBatchSolver {
     // mask lanes match the double data width.
     std::vector<double> update;
     std::vector<double> bad;
+    // Scratch for the lane-parallel ClipAndNormalizeBatchInto guard.
+    std::vector<double> clip_mass;
+    std::vector<std::uint8_t> clip_failed;
   };
 
   struct LaneIo {

@@ -6,6 +6,7 @@
 
 #include "common/math_util.h"
 #include "numerics/finite_difference.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace mfg::core {
@@ -200,6 +201,9 @@ common::Status FpkSolver1D::SolveInto(const numerics::Density1D& initial,
     if (params_.grid.implicit_fpk) {
       MFG_RETURN_IF_ERROR(implicit_step(ws.lambda, dt_out));
       if (!common::AllFinite(std::span<const double>(ws.lambda))) {
+        MFG_FLIGHT_EVENT(kDivergence, obs::kFlightDivergenceFpk,
+                         params_.content_id, static_cast<std::uint32_t>(n),
+                         0.0, 0.0);
         return common::Status::NumericalError(
             "implicit FPK diverged at time node " + std::to_string(n));
       }
@@ -225,6 +229,9 @@ common::Status FpkSolver1D::SolveInto(const numerics::Density1D& initial,
           lambda[i] -= dt_sub_over_dx * (face_flux[i + 1] - face_flux[i]);
         }
         if (!common::AllFinite(std::span<const double>(lambda))) {
+          MFG_FLIGHT_EVENT(kDivergence, obs::kFlightDivergenceFpk,
+                           params_.content_id, static_cast<std::uint32_t>(n),
+                           0.0, 0.0);
           return common::Status::NumericalError(
               "FPK density diverged at time node " + std::to_string(n));
         }
@@ -235,6 +242,9 @@ common::Status FpkSolver1D::SolveInto(const numerics::Density1D& initial,
     MFG_RETURN_IF_ERROR(out.ClipAndNormalize());
     ws.lambda = out.values();
   }
+  MFG_FLIGHT_EVENT(
+      kFpkSweep, 0, params_.content_id, 0, static_cast<double>(substeps),
+      obs::FlightMaxAbs(std::span<const double>(solution.densities[nt].values())));
   return common::Status::Ok();
 }
 

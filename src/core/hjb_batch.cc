@@ -6,6 +6,7 @@
 
 #include "numerics/finite_difference.h"
 #include "numerics/simd_support.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace mfg::core {
@@ -571,6 +572,9 @@ void HjbBatchSolver::SolveInto(std::span<LaneIo> lanes, Workspace& ws) const {
     numerics::AccumulateNonFiniteLanesInto(ws.v, ws.bad);
     for (std::size_t l = 0; l < m; ++l) {
       if (alive[l] == 0 || ws.bad[l] == 0.0) continue;
+      MFG_FLIGHT_EVENT(kDivergence, obs::kFlightDivergenceHjb,
+                       params_[l].content_id, static_cast<std::uint32_t>(n),
+                       0.0, 0.0);
       lanes[l].status = common::Status::NumericalError(
           "HJB value diverged at time node " + std::to_string(n));
       alive[l] = 0;
@@ -589,6 +593,14 @@ void HjbBatchSolver::SolveInto(std::span<LaneIo> lanes, Workspace& ws) const {
         policy_row[i] = ws.x_star.at(i, l);
       }
     }
+  }
+
+  for (std::size_t l = 0; l < m; ++l) {
+    if (!alive[l]) continue;
+    MFG_FLIGHT_EVENT(kHjbSweep, 0, params_[l].content_id, 0,
+                     static_cast<double>(substeps_[l]),
+                     obs::FlightMaxAbs(std::span<const double>(
+                         lanes[l].solution->value[0])));
   }
 }
 

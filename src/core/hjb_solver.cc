@@ -8,6 +8,7 @@
 #include "econ/costs.h"
 #include "econ/utility.h"
 #include "numerics/finite_difference.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace mfg::core {
@@ -244,6 +245,9 @@ common::Status HjbSolver1D::SolveInto(
         ws.v[i] += dt_sub * hamiltonian;  // Backward: V(t) = V(t+dt) + dt·H.
       }
       if (!common::AllFinite(std::span<const double>(ws.v))) {
+        MFG_FLIGHT_EVENT(kDivergence, obs::kFlightDivergenceHjb,
+                         params_.content_id, static_cast<std::uint32_t>(n),
+                         0.0, 0.0);
         return common::Status::NumericalError(
             "HJB value diverged at time node " + std::to_string(n));
       }
@@ -255,6 +259,9 @@ common::Status HjbSolver1D::SolveInto(
       policy_row[i] = OptimalRate(ws.dv[i], avail_[i]);
     }
   }
+  MFG_FLIGHT_EVENT(kHjbSweep, 0, params_.content_id, 0,
+                   static_cast<double>(substeps),
+                   obs::FlightMaxAbs(std::span<const double>(ws.v)));
   return common::Status::Ok();
 }
 

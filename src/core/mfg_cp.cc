@@ -7,9 +7,12 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/equilibrium_metrics.h"
 #include "core/fault_injection.h"
 #include "core/nonconvergence_log.h"
 #include "numerics/density.h"
+#include "obs/flight_dump.h"
+#include "obs/flight_recorder.h"
 #include "obs/obs.h"
 
 namespace mfg::core {
@@ -73,6 +76,7 @@ common::Status AttemptSlotSolve(const EpochSolveJob& job,
                                 std::size_t attempt) {
   const content::ContentId k = result.content;
   MFG_FAULT_SCOPE(job.buffer->epoch_index, k, attempt);
+  MFG_FLIGHT_SCOPE(job.buffer->epoch_index, attempt);
   auto params = job.framework->ContentParams(
       k, job.buffer->popularity[k], job.obs->mean_timeliness[k],
       static_cast<double>(job.obs->request_counts[k]));
@@ -82,6 +86,10 @@ common::Status AttemptSlotSolve(const EpochSolveJob& job,
                   params->learning);
   }
   result.params = std::move(*params);
+  MFG_FLIGHT_EVENT(
+      kAttemptBegin, 0, k,
+      static_cast<std::uint32_t>(result.params.learning.max_iterations),
+      result.params.learning.relaxation, result.params.learning.tolerance);
   if (!wc.learner.has_value()) {
     auto learner = BestResponseLearner::Create(result.params);
     if (!learner.ok()) return learner.status();
@@ -194,6 +202,12 @@ void FinishSlotAfterFirstAttempt(const EpochSolveJob& job,
   if (!recovery.enabled ||
       (!status.ok() && !IsRecoverable(status.code()))) {
     outcome = SlotOutcome::kFailed;
+    MFG_FLIGHT_EVENT_AT(kLadder,
+                        static_cast<std::uint8_t>(SlotOutcome::kFailed),
+                        job.buffer->epoch_index, k,
+                        static_cast<std::uint16_t>(result.attempts), 0,
+                        static_cast<double>(result.attempts),
+                        static_cast<double>(static_cast<int>(status.code())));
     return;
   }
 
@@ -204,6 +218,11 @@ void FinishSlotAfterFirstAttempt(const EpochSolveJob& job,
     if (status.ok() && result.equilibrium.converged) {
       outcome = SlotOutcome::kRetried;
       SaveLastGood(job, k, result);
+      MFG_FLIGHT_EVENT_AT(
+          kLadder, static_cast<std::uint8_t>(SlotOutcome::kRetried),
+          job.buffer->epoch_index, k,
+          static_cast<std::uint16_t>(result.attempts), 0,
+          static_cast<double>(result.attempts), 0.0);
       MFG_OBS_COUNT("core.epoch.retries", 1);
       MFG_LOG(WARNING) << "content " << k << ": recovered on relaxed retry "
                        << attempt << " (epoch "
@@ -212,6 +231,12 @@ void FinishSlotAfterFirstAttempt(const EpochSolveJob& job,
     }
     if (!status.ok() && !IsRecoverable(status.code())) {
       outcome = SlotOutcome::kFailed;
+      MFG_FLIGHT_EVENT_AT(
+          kLadder, static_cast<std::uint8_t>(SlotOutcome::kFailed),
+          job.buffer->epoch_index, k,
+          static_cast<std::uint16_t>(result.attempts), 0,
+          static_cast<double>(result.attempts),
+          static_cast<double>(static_cast<int>(status.code())));
       return;
     }
   }
@@ -220,6 +245,11 @@ void FinishSlotAfterFirstAttempt(const EpochSolveJob& job,
     // equilibrium rather than discard a usable (if slow) fixed point —
     // the pre-ladder contract never dropped a clean solve either.
     outcome = SlotOutcome::kRetried;
+    MFG_FLIGHT_EVENT_AT(kLadder,
+                        static_cast<std::uint8_t>(SlotOutcome::kRetried),
+                        job.buffer->epoch_index, k,
+                        static_cast<std::uint16_t>(result.attempts), 0,
+                        static_cast<double>(result.attempts), 0.0);
     MFG_OBS_COUNT("core.epoch.retries", 1);
     MFG_LOG(WARNING) << "content " << k
                      << ": still unconverged after relaxed retries; using "
@@ -239,6 +269,11 @@ void FinishSlotAfterFirstAttempt(const EpochSolveJob& job,
                      << job.buffer->epoch_index << ")";
     status = common::Status::Ok();
     outcome = SlotOutcome::kCarriedForward;
+    MFG_FLIGHT_EVENT_AT(
+        kLadder, static_cast<std::uint8_t>(SlotOutcome::kCarriedForward),
+        job.buffer->epoch_index, k,
+        static_cast<std::uint16_t>(result.attempts), 0,
+        static_cast<double>(result.attempts), 0.0);
     MFG_OBS_COUNT("core.epoch.carry_forwards", 1);
     return;
   }
@@ -253,12 +288,23 @@ void FinishSlotAfterFirstAttempt(const EpochSolveJob& job,
                      << job.buffer->epoch_index << ")";
     status = common::Status::Ok();
     outcome = SlotOutcome::kFallback;
+    MFG_FLIGHT_EVENT_AT(kLadder,
+                        static_cast<std::uint8_t>(SlotOutcome::kFallback),
+                        job.buffer->epoch_index, k,
+                        static_cast<std::uint16_t>(result.attempts), 0,
+                        static_cast<double>(result.attempts), 0.0);
     MFG_OBS_COUNT("core.epoch.fallbacks", 1);
     return;
   }
   // status keeps the original solve error; the fallback failure is the
   // less actionable of the two.
   outcome = SlotOutcome::kFailed;
+  MFG_FLIGHT_EVENT_AT(kLadder,
+                      static_cast<std::uint8_t>(SlotOutcome::kFailed),
+                      job.buffer->epoch_index, k,
+                      static_cast<std::uint16_t>(result.attempts), 0,
+                      static_cast<double>(result.attempts),
+                      static_cast<double>(static_cast<int>(status.code())));
 }
 
 // Solves one content slot on worker `worker`'s long-lived learner and
@@ -295,6 +341,15 @@ void SolveEpochBlock(void* ctx, std::size_t worker, std::size_t begin,
   NonConvergenceEpochScope nonconvergence_scope(job.buffer->epoch_index);
   EpochRuntime::WorkerContext& wc = job.runtime->worker(worker);
   const std::size_t width = end - begin;
+  // Scheduling-scope breadcrumb (excluded from per-content drains: block
+  // shapes depend on the worker count).
+  MFG_FLIGHT_EVENT_AT(kBlockClaim, 0, job.buffer->epoch_index,
+                      job.buffer->results[begin].content, 0,
+                      static_cast<std::uint32_t>(width),
+                      static_cast<double>(worker), 0.0);
+  // Ambient coordinates for the lockstep attempt-0 solve below; the
+  // batched solvers record each lane's events under its own content id.
+  MFG_FLIGHT_SCOPE(job.buffer->epoch_index, 0);
   BatchBestResponseLearner& learner = wc.batch_learner;
   learner.Reset(width);
   wc.batch_jobs.resize(width);
@@ -321,6 +376,10 @@ void SolveEpochBlock(void* ctx, std::size_t worker, std::size_t begin,
       continue;
     }
     result.params = std::move(*params);
+    MFG_FLIGHT_EVENT(
+        kAttemptBegin, 0, k,
+        static_cast<std::uint32_t>(result.params.learning.max_iterations),
+        result.params.learning.relaxation, result.params.learning.tolerance);
     const common::Status bind = learner.BindLane(i, result.params);
     if (!bind.ok()) {
       lane.status = bind;
@@ -553,6 +612,102 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
       "core.epoch.degraded_contents",
       static_cast<double>(carried_forward + fallback + failed));
 
+  // Equilibrium-quality probe (options_.eq_probe): re-evaluates the
+  // best response against each probed slot's final mean field (ε-Nash
+  // exploitability, Definition 3) and re-solves the FPK under its final
+  // policy (mean-field consistency residual, Eq. 15). Runs on the calling
+  // thread after the pool is idle — allocating is fine here, and no
+  // FlightScope is open, so the probe's own solver passes record nothing.
+  std::size_t eq_probed = 0;
+  double eq_gap = 0.0;
+  double eq_rel = 0.0;
+  double eq_cons = 0.0;
+  double eq_price_min = 0.0;
+  double eq_price_mean = 0.0;
+  double eq_price_max = 0.0;
+  if (options_.eq_probe.enabled && buffer.num_active > 0) {
+    const std::size_t limit =
+        options_.eq_probe.max_contents == 0
+            ? buffer.num_active
+            : std::min(options_.eq_probe.max_contents, buffer.num_active);
+    // Rotate the probed window across epochs so every content is
+    // eventually covered at any max_contents.
+    const std::size_t start = (epoch * limit) % buffer.num_active;
+    for (std::size_t i = 0; i < limit; ++i) {
+      const std::size_t slot = (start + i) % buffer.num_active;
+      if (buffer.outcomes[slot] == SlotOutcome::kFailed) continue;
+      const EpochContentResult& result = buffer.results[slot];
+      auto exploitability =
+          ComputeExploitability(result.params, result.equilibrium);
+      auto consistency =
+          ComputeConsistencyResidual(result.params, result.equilibrium);
+      if (!exploitability.ok() || !consistency.ok()) continue;
+      ++eq_probed;
+      eq_gap = std::max(eq_gap, exploitability->gap);
+      eq_rel = std::max(eq_rel, exploitability->RelativeGap());
+      eq_cons = std::max(eq_cons, *consistency);
+    }
+    // Price-trajectory stats over every active slot's mean field (cheap:
+    // no solves), so the gauge covers the whole epoch even when the
+    // probe window is small.
+    std::size_t price_samples = 0;
+    double price_sum = 0.0;
+    for (std::size_t slot = 0; slot < buffer.num_active; ++slot) {
+      const Equilibrium& eq = buffer.results[slot].equilibrium;
+      for (const MeanFieldQuantities& mf : eq.mean_field) {
+        if (price_samples == 0) {
+          eq_price_min = mf.price;
+          eq_price_max = mf.price;
+        } else {
+          eq_price_min = std::min(eq_price_min, mf.price);
+          eq_price_max = std::max(eq_price_max, mf.price);
+        }
+        price_sum += mf.price;
+        ++price_samples;
+      }
+    }
+    if (price_samples > 0) {
+      eq_price_mean = price_sum / static_cast<double>(price_samples);
+    }
+    MFG_OBS_GAUGE_SET("eq.probed_contents", static_cast<double>(eq_probed));
+    MFG_OBS_GAUGE_SET("eq.exploitability", eq_gap);
+    MFG_OBS_GAUGE_SET("eq.exploitability_rel", eq_rel);
+    MFG_OBS_GAUGE_SET("eq.consistency_residual", eq_cons);
+    MFG_OBS_GAUGE_SET("eq.price_min", eq_price_min);
+    MFG_OBS_GAUGE_SET("eq.price_mean", eq_price_mean);
+    MFG_OBS_GAUGE_SET("eq.price_max", eq_price_max);
+  }
+
+#if MFGCP_OBS_ENABLED
+  // Flight-recorder post-mortem: drain the affected contents' retained
+  // events into a JSONL dump. Degraded slots trigger it; dump_healthy
+  // (`flight_dump_all=on`) dumps every active content on demand. Only
+  // entered when a dump directory is configured, so the zero-allocation
+  // epoch contract is unchanged for everyone else.
+  std::string flight_dump_path;
+  if (obs::FlightDumpConfigured() && buffer.num_active > 0) {
+    const bool dump_all = obs::GetFlightDumpOptions().dump_healthy;
+    std::vector<std::size_t> dump_contents;
+    for (std::size_t slot = 0; slot < buffer.num_active; ++slot) {
+      const SlotOutcome outcome = buffer.outcomes[slot];
+      const bool degraded = outcome == SlotOutcome::kCarriedForward ||
+                            outcome == SlotOutcome::kFallback ||
+                            outcome == SlotOutcome::kFailed;
+      if (degraded || dump_all) {
+        dump_contents.push_back(buffer.results[slot].content);
+      }
+    }
+    if (!dump_contents.empty()) {
+      flight_dump_path = obs::WriteFlightDump(epoch, dump_contents);
+      if (!flight_dump_path.empty()) {
+        MFG_LOG(WARNING) << "epoch " << epoch
+                         << ": flight post-mortem written to "
+                         << flight_dump_path;
+      }
+    }
+  }
+#endif  // MFGCP_OBS_ENABLED
+
   if (report != nullptr) {
     report->epoch = epoch;
     report->active_contents = buffer.num_active;
@@ -566,6 +721,18 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
     report->fallback = fallback;
     report->failed = failed;
     report->epoch_allocations = state_->runtime.last_epoch_allocations();
+    report->eq_probed = eq_probed;
+    report->eq_exploitability = eq_gap;
+    report->eq_exploitability_rel = eq_rel;
+    report->eq_consistency_residual = eq_cons;
+    report->eq_price_min = eq_price_min;
+    report->eq_price_mean = eq_price_mean;
+    report->eq_price_max = eq_price_max;
+#if MFGCP_OBS_ENABLED
+    report->flight_dump_path = flight_dump_path;
+#else
+    report->flight_dump_path.clear();
+#endif
     // Slots keep ascending content order, so this listing is ascending
     // too. Reuses the report's vector capacity across epochs.
     report->degraded_contents.clear();

@@ -67,6 +67,18 @@ struct EpochRecoveryOptions {
   double fallback_top_fraction = 0.3;
 };
 
+// Per-epoch equilibrium-quality probe (ε-Nash exploitability and
+// mean-field consistency residual; see equilibrium_metrics.h). The probe
+// runs on the calling thread *after* the worker pool finishes, so it is
+// allowed to allocate — it never touches the zero-allocation solve path.
+// Results land in the eq.* registry gauges and EpochHealthReport.
+struct EquilibriumProbeOptions {
+  bool enabled = false;
+  // Slots probed per epoch, rotated round-robin across epochs so every
+  // content is eventually covered. 0 = probe every active slot.
+  std::size_t max_contents = 4;
+};
+
 struct MfgCpOptions {
   // Template parameters; PlanEpoch overwrites the per-content fields
   // (popularity, timeliness, num_requests, content_size).
@@ -87,6 +99,8 @@ struct MfgCpOptions {
   std::size_t batch_width = 8;
   // Per-content failure handling (see EpochRecoveryOptions above).
   EpochRecoveryOptions recovery;
+  // Equilibrium-quality gauge stage (see EquilibriumProbeOptions above).
+  EquilibriumProbeOptions eq_probe;
 };
 
 // What the framework observes about one epoch (aggregated per content).

@@ -1,0 +1,140 @@
+#include "obs/flight_dump.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace mfg::obs {
+namespace {
+
+struct DumpState {
+  std::mutex mutex;
+  FlightDumpOptions options;
+  std::unordered_set<std::uint64_t> dumped;  // (epoch << 32) | content
+  std::size_t files_written = 0;
+};
+
+DumpState& State() {
+  static DumpState* state = new DumpState();
+  return *state;
+}
+
+std::atomic<bool> g_configured{false};
+
+std::uint64_t PairKey(std::size_t epoch, std::size_t content) {
+  return (static_cast<std::uint64_t>(epoch) << 32) |
+         static_cast<std::uint64_t>(content & 0xffffffffu);
+}
+
+// Shortest round-trip formatting for event payloads. JSON has no literal
+// for non-finite values, so those become null.
+std::string FormatDouble(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return std::string(buf);
+}
+
+}  // namespace
+
+void SetFlightDumpOptions(FlightDumpOptions options) {
+  DumpState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.options = std::move(options);
+  g_configured.store(!state.options.directory.empty(),
+                     std::memory_order_relaxed);
+}
+
+FlightDumpOptions GetFlightDumpOptions() {
+  DumpState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.options;
+}
+
+bool FlightDumpConfigured() {
+  return g_configured.load(std::memory_order_relaxed);
+}
+
+std::string WriteFlightDump(std::size_t epoch,
+                            std::span<const std::size_t> contents) {
+  if (!FlightJournal::Enabled()) return "";
+  DumpState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.options.directory.empty()) return "";
+  if (state.files_written >= state.options.max_dumps) return "";
+
+  // Rate limit: each (epoch, content) pair is dumped at most once.
+  std::vector<std::size_t> fresh;
+  fresh.reserve(contents.size());
+  for (std::size_t content : contents) {
+    if (state.dumped.count(PairKey(epoch, content)) == 0) {
+      fresh.push_back(content);
+    }
+  }
+  if (fresh.empty()) return "";
+
+  std::error_code ec;
+  std::filesystem::create_directories(state.options.directory, ec);
+  if (ec) return "";
+  const std::string path = state.options.directory + "/flight_epoch" +
+                           std::to_string(epoch) + "_" +
+                           std::to_string(state.files_written) + ".jsonl";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) return "";
+
+  out << "{\"type\":\"flight_header\",\"schema\":1,\"epoch\":" << epoch
+      << ",\"max_events_per_content\":"
+      << state.options.max_events_per_content << ",\"trace_span\":"
+      << "\"PlanEpoch.SolveContent\",\"contents\":[";
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (i > 0) out << ",";
+    out << fresh[i];
+  }
+  out << "]}\n";
+
+  std::vector<FlightEvent> events;
+  for (std::size_t content : fresh) {
+    events.clear();
+    FlightJournal::Get().CollectInto(epoch, content, events);
+    // Keep the LAST max_events_per_content events — the tail leading up to
+    // the degradation is what a post-mortem needs.
+    std::size_t first = 0;
+    if (state.options.max_events_per_content > 0 &&
+        events.size() > state.options.max_events_per_content) {
+      first = events.size() - state.options.max_events_per_content;
+    }
+    for (std::size_t k = first; k < events.size(); ++k) {
+      const FlightEvent& e = events[k];
+      out << "{\"type\":\"event\",\"event\":\"" << FlightEventTypeName(e.type)
+          << "\",\"epoch\":" << e.epoch << ",\"content\":" << e.content
+          << ",\"attempt\":" << e.attempt << ",\"detail\":"
+          << static_cast<unsigned>(e.detail) << ",\"iter\":" << e.iter
+          << ",\"v0\":" << FormatDouble(e.v0)
+          << ",\"v1\":" << FormatDouble(e.v1) << ",\"seq\":" << e.seq
+          << ",\"span_id\":" << e.content << "}\n";
+    }
+    state.dumped.insert(PairKey(epoch, content));
+  }
+  out.flush();
+  ++state.files_written;
+  return path;
+}
+
+void ResetFlightDumpStateForTesting() {
+  DumpState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.options = FlightDumpOptions();
+  state.dumped.clear();
+  state.files_written = 0;
+  g_configured.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace mfg::obs

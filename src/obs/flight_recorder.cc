@@ -1,0 +1,195 @@
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace mfg::obs {
+namespace {
+
+// One fixed-capacity event ring, written by exactly one thread. `written`
+// is plain (not atomic): readers only run after the writer has gone idle,
+// under the same pool-idle happens-before edge the per-worker allocation
+// counters use.
+struct Ring {
+  std::vector<FlightEvent> slots;
+  std::uint64_t written = 0;
+};
+
+std::atomic<bool> g_enabled{true};
+std::atomic<std::uint64_t> g_next_seq{0};
+
+thread_local Ring* t_ring = nullptr;
+
+struct JournalState {
+  mutable std::mutex mutex;  // Guards `rings` (the list, not the slots).
+  std::vector<std::unique_ptr<Ring>> rings;
+  std::atomic<std::size_t> capacity{FlightJournal::kDefaultRingCapacity};
+};
+
+JournalState& State() {
+  static JournalState* state = new JournalState();
+  return *state;
+}
+
+Ring& ThreadRing() {
+  if (t_ring == nullptr) {
+    JournalState& state = State();
+    auto ring = std::make_unique<Ring>();
+    ring->slots.resize(state.capacity.load(std::memory_order_relaxed));
+    t_ring = ring.get();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.rings.push_back(std::move(ring));
+  }
+  return *t_ring;
+}
+
+void WriteEvent(FlightEventType type, std::uint8_t detail, std::size_t epoch,
+                std::size_t content, std::size_t attempt, std::uint32_t iter,
+                double v0, double v1) {
+  Ring& ring = ThreadRing();
+  if (ring.slots.empty()) return;
+  FlightEvent& e = ring.slots[ring.written % ring.slots.size()];
+  e.seq = g_next_seq.fetch_add(1, std::memory_order_relaxed);
+  e.epoch = static_cast<std::uint32_t>(epoch);
+  e.content = static_cast<std::uint32_t>(content);
+  e.iter = iter;
+  e.attempt = static_cast<std::uint16_t>(attempt);
+  e.type = type;
+  e.detail = detail;
+  e.v0 = v0;
+  e.v1 = v1;
+  ++ring.written;
+}
+
+struct Scope {
+  bool active = false;
+  std::size_t epoch = 0;
+  std::size_t attempt = 0;
+};
+
+thread_local Scope t_scope;
+
+}  // namespace
+
+std::string_view FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kBlockClaim:
+      return "block_claim";
+    case FlightEventType::kAttemptBegin:
+      return "attempt_begin";
+    case FlightEventType::kIteration:
+      return "iteration";
+    case FlightEventType::kHjbSweep:
+      return "hjb_sweep";
+    case FlightEventType::kFpkSweep:
+      return "fpk_sweep";
+    case FlightEventType::kDivergence:
+      return "divergence";
+    case FlightEventType::kSolveEnd:
+      return "solve_end";
+    case FlightEventType::kLadder:
+      return "ladder";
+    case FlightEventType::kFaultInjected:
+      return "fault";
+  }
+  return "unknown";
+}
+
+FlightJournal& FlightJournal::Get() {
+  static FlightJournal* journal = new FlightJournal();
+  return *journal;
+}
+
+bool FlightJournal::Enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void FlightJournal::SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void FlightJournal::RecordScoped(FlightEventType type, std::uint8_t detail,
+                                 std::size_t content, std::uint32_t iter,
+                                 double v0, double v1) {
+  if (!t_scope.active) return;
+  WriteEvent(type, detail, t_scope.epoch, content, t_scope.attempt, iter, v0,
+             v1);
+}
+
+void FlightJournal::RecordAt(FlightEventType type, std::uint8_t detail,
+                             std::size_t epoch, std::size_t content,
+                             std::size_t attempt, std::uint32_t iter,
+                             double v0, double v1) {
+  WriteEvent(type, detail, epoch, content, attempt, iter, v0, v1);
+}
+
+std::size_t FlightJournal::CollectInto(std::size_t epoch, std::size_t content,
+                                       std::vector<FlightEvent>& out) const {
+  JournalState& state = State();
+  const std::size_t before = out.size();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (const std::unique_ptr<Ring>& ring : state.rings) {
+    const std::size_t capacity = ring->slots.size();
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(ring->written, capacity);
+    for (std::uint64_t k = 0; k < retained; ++k) {
+      const FlightEvent& e =
+          ring->slots[(ring->written - retained + k) % capacity];
+      if (e.type == FlightEventType::kBlockClaim) continue;
+      if (e.epoch != epoch || e.content != content) continue;
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out.size() - before;
+}
+
+void FlightJournal::SetRingCapacity(std::size_t capacity) {
+  State().capacity.store(capacity, std::memory_order_relaxed);
+}
+
+std::size_t FlightJournal::ring_capacity() const {
+  return State().capacity.load(std::memory_order_relaxed);
+}
+
+std::size_t FlightJournal::num_rings() const {
+  JournalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.rings.size();
+}
+
+void FlightJournal::ResetForTesting(std::size_t capacity) {
+  JournalState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (capacity != 0) {
+    state.capacity.store(capacity, std::memory_order_relaxed);
+  }
+  const std::size_t target = state.capacity.load(std::memory_order_relaxed);
+  for (std::unique_ptr<Ring>& ring : state.rings) {
+    ring->written = 0;
+    if (capacity != 0 && ring->slots.size() != target) {
+      ring->slots.assign(target, FlightEvent{});
+    }
+  }
+}
+
+FlightScope::FlightScope(std::size_t epoch, std::size_t attempt)
+    : saved_active_(t_scope.active),
+      saved_epoch_(t_scope.epoch),
+      saved_attempt_(t_scope.attempt) {
+  t_scope.active = true;
+  t_scope.epoch = epoch;
+  t_scope.attempt = attempt;
+}
+
+FlightScope::~FlightScope() {
+  t_scope.active = saved_active_;
+  t_scope.epoch = saved_epoch_;
+  t_scope.attempt = saved_attempt_;
+}
+
+}  // namespace mfg::obs
