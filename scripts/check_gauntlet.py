@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Validates a baseline-gauntlet CSV (sim/gauntlet.h, bench_gauntlet).
+
+Usage: check_gauntlet.py <gauntlet.csv> [--expect-requests N]
+                         [--expect-schemes NAME,NAME,...]
+
+Asserts what the gauntlet promises (EXPERIMENTS.md "Baseline gauntlet"):
+the exact column header, per-row accounting identities (hits + misses ==
+requests, hit_ratio == hits/requests, backhaul only on misses), sane
+ranges, and two cross-row invariants that hold for any request stream:
+
+  * LRU's hit ratio is monotone nondecreasing in capacity (the stack
+    property of inclusion caches).
+  * OPT (the offline upper bound, which sees realized counts) has at
+    least as many hits as MPC (static most-popular by prior) at every
+    capacity — OPT picks the best static set in hindsight.
+
+--expect-requests pins the request count per cell; --expect-schemes
+demands that exactly that scheme set appears. Exit code 0 = CSV is
+well-formed and the invariants hold.
+"""
+
+import argparse
+import csv
+import sys
+
+EXPECTED_HEADER = [
+    "scheme", "capacity", "requests", "hits", "misses", "hit_ratio",
+    "mean_delay", "backhaul_mb", "backhaul_rate", "replans",
+    "replan_faults", "replay_seconds",
+]
+
+
+def fail(message):
+    print(f"check_gauntlet: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("csv_path", help="gauntlet CSV to validate")
+    parser.add_argument("--expect-requests", type=int, default=None,
+                        metavar="N",
+                        help="require every cell to replay exactly N requests")
+    parser.add_argument("--expect-schemes", default=None, metavar="LIST",
+                        help="comma-separated scheme names that must appear, "
+                             "exactly (e.g. MFG-CP,LRU,LFU,PG,MPC,OPT)")
+    args = parser.parse_args()
+
+    with open(args.csv_path, newline="", encoding="utf-8") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            fail("empty file")
+        if header != EXPECTED_HEADER:
+            fail(f"header mismatch:\n  got      {header}\n"
+                 f"  expected {EXPECTED_HEADER}")
+        rows = []
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(EXPECTED_HEADER):
+                fail(f"line {line_no}: {len(row)} fields, expected "
+                     f"{len(EXPECTED_HEADER)}")
+            try:
+                cell = {
+                    "scheme": row[0],
+                    "capacity": int(row[1]),
+                    "requests": int(row[2]),
+                    "hits": int(row[3]),
+                    "misses": int(row[4]),
+                    "hit_ratio": float(row[5]),
+                    "mean_delay": float(row[6]),
+                    "backhaul_mb": float(row[7]),
+                    "backhaul_rate": float(row[8]),
+                    "replans": int(row[9]),
+                    "replan_faults": int(row[10]),
+                    "replay_seconds": float(row[11]),
+                }
+            except ValueError as error:
+                fail(f"line {line_no}: {error}")
+            cell["line"] = line_no
+            rows.append(cell)
+
+    if not rows:
+        fail("no data rows")
+
+    for cell in rows:
+        where = f"line {cell['line']} ({cell['scheme']}/C={cell['capacity']})"
+        if cell["capacity"] <= 0:
+            fail(f"{where}: capacity must be positive")
+        if cell["requests"] <= 0:
+            fail(f"{where}: requests must be positive")
+        if cell["hits"] + cell["misses"] != cell["requests"]:
+            fail(f"{where}: hits {cell['hits']} + misses {cell['misses']} "
+                 f"!= requests {cell['requests']}")
+        ratio = cell["hits"] / cell["requests"]
+        if abs(cell["hit_ratio"] - ratio) > 1e-9:
+            fail(f"{where}: hit_ratio {cell['hit_ratio']} != hits/requests "
+                 f"{ratio}")
+        if not 0.0 <= cell["hit_ratio"] <= 1.0:
+            fail(f"{where}: hit_ratio out of [0, 1]")
+        if cell["mean_delay"] < 0.0:
+            fail(f"{where}: negative mean_delay")
+        if cell["backhaul_mb"] < 0.0 or cell["backhaul_rate"] < 0.0:
+            fail(f"{where}: negative backhaul")
+        if cell["misses"] == 0 and cell["backhaul_mb"] != 0.0:
+            fail(f"{where}: backhaul without misses")
+        if cell["replan_faults"] > cell["replans"]:
+            fail(f"{where}: replan_faults {cell['replan_faults']} > "
+                 f"replans {cell['replans']}")
+        if args.expect_requests is not None and \
+                cell["requests"] != args.expect_requests:
+            fail(f"{where}: requests {cell['requests']} != expected "
+                 f"{args.expect_requests}")
+
+    schemes = {cell["scheme"] for cell in rows}
+    if args.expect_schemes is not None:
+        expected = {name for name in args.expect_schemes.split(",") if name}
+        if schemes != expected:
+            fail(f"scheme set {sorted(schemes)} != expected "
+                 f"{sorted(expected)}")
+
+    by_scheme = {}
+    for cell in rows:
+        by_scheme.setdefault(cell["scheme"], {})[cell["capacity"]] = cell
+
+    # LRU stack property: hits are monotone nondecreasing in capacity.
+    lru = by_scheme.get("LRU", {})
+    previous = None
+    for capacity in sorted(lru):
+        cell = lru[capacity]
+        if previous is not None and cell["hits"] < previous["hits"]:
+            fail(f"LRU hits decreased with capacity: C={previous['capacity']} "
+                 f"had {previous['hits']}, C={capacity} has {cell['hits']}")
+        previous = cell
+
+    # Offline bound dominates static most-popular at every shared capacity.
+    opt = by_scheme.get("OPT", {})
+    mpc = by_scheme.get("MPC", {})
+    for capacity in sorted(set(opt) & set(mpc)):
+        if opt[capacity]["hits"] < mpc[capacity]["hits"]:
+            fail(f"OPT hits {opt[capacity]['hits']} < MPC hits "
+                 f"{mpc[capacity]['hits']} at C={capacity} — the offline "
+                 "bound must dominate every static scheme")
+
+    print(f"check_gauntlet: OK ({len(rows)} cells, schemes "
+          f"{sorted(schemes)}, capacities "
+          f"{sorted({cell['capacity'] for cell in rows})})")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,9 +11,10 @@ benchmark is slower than the baseline by more than --threshold percent.
 
 Counters named with --counter (default: the allocation counters
 allocs_per_iter / allocs_per_epoch / max_worker_allocs /
-solver_allocs_per_epoch) are compared exactly: any increase over the
-baseline value is a regression regardless of the time threshold — these
-back the zero-allocation contract, where "a little worse" is a leak.
+solver_allocs_per_epoch / allocs_per_replay) are compared exactly: any
+increase over the baseline value is a regression regardless of the time
+threshold — these back the zero-allocation contract, where "a little
+worse" is a leak.
 
 Benchmarks present on only one side are reported but never fatal unless
 --require-all is given (baselines are allowed to trail the bench set by
@@ -29,6 +30,7 @@ DEFAULT_COUNTERS = (
     "allocs_per_epoch",
     "max_worker_allocs",
     "solver_allocs_per_epoch",
+    "allocs_per_replay",
 )
 
 

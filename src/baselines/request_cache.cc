@@ -1,0 +1,246 @@
+#include "baselines/request_cache.h"
+
+#include <algorithm>
+
+namespace mfg::baselines {
+
+namespace {
+
+common::Status ValidateShape(std::size_t num_contents, std::size_t capacity,
+                             std::span<const double> prior) {
+  if (num_contents == 0) {
+    return common::Status::InvalidArgument("catalog must be non-empty");
+  }
+  if (num_contents > 0xFFFFFFFEull) {
+    return common::Status::InvalidArgument("catalog too large for uint32 ids");
+  }
+  if (capacity == 0) {
+    return common::Status::InvalidArgument("cache capacity must be positive");
+  }
+  if (!prior.empty() && prior.size() != num_contents) {
+    return common::Status::InvalidArgument(
+        "prior must have one weight per content");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace
+
+void SelectTopByScore(std::span<const double> score, std::size_t capacity,
+                      std::vector<std::uint32_t>& out) {
+  const std::size_t take = std::min(capacity, score.size());
+  out.clear();
+  out.reserve(score.size());
+  for (std::uint32_t k = 0; k < score.size(); ++k) out.push_back(k);
+  // Descending by score; the smaller id wins a tie, so the selection is a
+  // pure function of the score vector.
+  const auto better = [&](std::uint32_t a, std::uint32_t b) {
+    if (score[a] != score[b]) return score[a] > score[b];
+    return a < b;
+  };
+  std::partial_sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(take),
+                    out.end(), better);
+  out.resize(take);
+}
+
+// ---------------------------------------------------------------- LruCache
+
+common::Status LruCache::Reset(std::size_t num_contents, std::size_t capacity,
+                               std::span<const double> prior) {
+  if (auto status = ValidateShape(num_contents, capacity, prior); !status.ok()) {
+    return status;
+  }
+  capacity_ = capacity;
+  resident_ = 0;
+  head_ = kNil;
+  tail_ = kNil;
+  prev_.assign(num_contents, kNil);
+  next_.assign(num_contents, kNil);
+  cached_.assign(num_contents, 0);
+  return common::Status::Ok();
+}
+
+void LruCache::Unlink(std::uint32_t content) {
+  const std::uint32_t p = prev_[content];
+  const std::uint32_t n = next_[content];
+  if (p != kNil) next_[p] = n; else head_ = n;
+  if (n != kNil) prev_[n] = p; else tail_ = p;
+}
+
+void LruCache::PushFront(std::uint32_t content) {
+  prev_[content] = kNil;
+  next_[content] = head_;
+  if (head_ != kNil) prev_[head_] = content;
+  head_ = content;
+  if (tail_ == kNil) tail_ = content;
+}
+
+bool LruCache::OnRequest(std::uint32_t content) {
+  if (cached_[content]) {
+    if (head_ != content) {
+      Unlink(content);
+      PushFront(content);
+    }
+    return true;
+  }
+  if (resident_ == capacity_) {
+    const std::uint32_t victim = tail_;
+    Unlink(victim);
+    cached_[victim] = 0;
+    --resident_;
+  }
+  cached_[content] = 1;
+  PushFront(content);
+  ++resident_;
+  return false;
+}
+
+bool LruCache::IsCached(std::uint32_t content) const {
+  return cached_[content] != 0;
+}
+
+// ---------------------------------------------------------------- LfuCache
+
+common::Status LfuCache::Reset(std::size_t num_contents, std::size_t capacity,
+                               std::span<const double> prior) {
+  if (auto status = ValidateShape(num_contents, capacity, prior); !status.ok()) {
+    return status;
+  }
+  capacity_ = capacity;
+  frequency_.assign(num_contents, 0);
+  cached_.assign(num_contents, 0);
+  residents_.clear();
+  residents_.reserve(capacity);
+  return common::Status::Ok();
+}
+
+bool LfuCache::OnRequest(std::uint32_t content) {
+  ++frequency_[content];
+  if (cached_[content]) return true;
+  if (residents_.size() == capacity_) {
+    std::size_t victim_slot = 0;
+    for (std::size_t s = 1; s < residents_.size(); ++s) {
+      const std::uint32_t a = residents_[s];
+      const std::uint32_t b = residents_[victim_slot];
+      if (frequency_[a] < frequency_[b] ||
+          (frequency_[a] == frequency_[b] && a < b)) {
+        victim_slot = s;
+      }
+    }
+    cached_[residents_[victim_slot]] = 0;
+    residents_[victim_slot] = content;
+  } else {
+    residents_.push_back(content);
+  }
+  cached_[content] = 1;
+  return false;
+}
+
+bool LfuCache::IsCached(std::uint32_t content) const {
+  return cached_[content] != 0;
+}
+
+// --------------------------------------------- PopularityGreedyCache
+
+common::Status PopularityGreedyCache::Reset(std::size_t num_contents,
+                                            std::size_t capacity,
+                                            std::span<const double> prior) {
+  if (auto status = ValidateShape(num_contents, capacity, prior); !status.ok()) {
+    return status;
+  }
+  capacity_ = capacity;
+  count_.assign(num_contents, 0);
+  cached_.assign(num_contents, 0);
+  residents_.clear();
+  residents_.reserve(capacity);
+  return common::Status::Ok();
+}
+
+bool PopularityGreedyCache::OnRequest(std::uint32_t content) {
+  ++count_[content];
+  if (cached_[content]) return true;
+  if (residents_.size() < capacity_) {
+    residents_.push_back(content);
+    cached_[content] = 1;
+    return false;
+  }
+  std::size_t victim_slot = 0;
+  for (std::size_t s = 1; s < residents_.size(); ++s) {
+    const std::uint32_t a = residents_[s];
+    const std::uint32_t b = residents_[victim_slot];
+    if (count_[a] < count_[b] || (count_[a] == count_[b] && a < b)) {
+      victim_slot = s;
+    }
+  }
+  // Admit only when strictly more requested than the coldest resident —
+  // a tie keeps the incumbent, so a stream of singletons cannot churn a
+  // warm cache.
+  const std::uint32_t victim = residents_[victim_slot];
+  if (count_[content] > count_[victim]) {
+    cached_[victim] = 0;
+    residents_[victim_slot] = content;
+    cached_[content] = 1;
+  }
+  return false;
+}
+
+bool PopularityGreedyCache::IsCached(std::uint32_t content) const {
+  return cached_[content] != 0;
+}
+
+// ----------------------------------------------------------- StaticSetCache
+
+common::Status StaticSetCache::Reset(std::size_t num_contents,
+                                     std::size_t capacity,
+                                     std::span<const double> prior) {
+  if (auto status = ValidateShape(num_contents, capacity, prior); !status.ok()) {
+    return status;
+  }
+  num_contents_ = num_contents;
+  capacity_ = capacity;
+  cached_.assign(num_contents, 0);
+  residents_.clear();
+  residents_.reserve(capacity);
+  order_.clear();
+  order_.reserve(num_contents);
+  if (prior.empty()) return common::Status::Ok();
+  return AssignTopByScore(prior);
+}
+
+common::Status StaticSetCache::AssignTopByScore(std::span<const double> score) {
+  if (score.size() != num_contents_) {
+    return common::Status::InvalidArgument(
+        "score must have one entry per content");
+  }
+  SelectTopByScore(score, capacity_, order_);
+  return Assign(order_);
+}
+
+common::Status StaticSetCache::Assign(std::span<const std::uint32_t> contents) {
+  if (contents.size() > capacity_) {
+    return common::Status::InvalidArgument("placement exceeds cache capacity");
+  }
+  for (const std::uint32_t k : contents) {
+    if (k >= num_contents_) {
+      return common::Status::InvalidArgument("placement content out of range");
+    }
+  }
+  std::fill(cached_.begin(), cached_.end(), std::uint8_t{0});
+  residents_.clear();
+  for (const std::uint32_t k : contents) {
+    if (cached_[k]) continue;
+    cached_[k] = 1;
+    residents_.push_back(k);
+  }
+  return common::Status::Ok();
+}
+
+bool StaticSetCache::OnRequest(std::uint32_t content) {
+  return cached_[content] != 0;
+}
+
+bool StaticSetCache::IsCached(std::uint32_t content) const {
+  return cached_[content] != 0;
+}
+
+}  // namespace mfg::baselines

@@ -44,11 +44,16 @@ enum class FaultSite : std::uint8_t {
   kHjbStep,           // HJB sweep inside the fixed-point loop.
   kFpkStep,           // FPK sweep inside the fixed-point loop.
   kNonConvergence,    // Forces converged=false on an otherwise-clean solve.
+  kReplan,            // Epoch-boundary replan in the request engine
+                      // (sim/request_engine.h) — the seam between request
+                      // replay and PlanEpochInto. A hit degrades the epoch
+                      // to the previous placement instead of failing the
+                      // replay.
 };
-inline constexpr std::size_t kNumFaultSites = 6;
+inline constexpr std::size_t kNumFaultSites = 7;
 
 // "params_build", "rebind", "solve", "hjb_step", "fpk_step",
-// "non_convergence".
+// "non_convergence", "replan".
 std::string_view FaultSiteName(FaultSite site);
 
 // Parses a FaultSiteName back into `out`; returns false (out untouched)

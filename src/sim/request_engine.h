@@ -1,0 +1,124 @@
+#ifndef MFGCP_SIM_REQUEST_ENGINE_H_
+#define MFGCP_SIM_REQUEST_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "baselines/request_cache.h"
+#include "common/status.h"
+#include "sim/request_stream.h"
+
+// The discrete-event request replay engine: streams a RequestStream
+// through one cache policy, scoring the paper's request-level headline
+// metrics — cache hit ratio, access delay, and backhaul load — and
+// re-planning at epoch boundaries through a caller-supplied hook (the
+// MFG-CP scheme routes that hook into MfgCpFramework::PlanEpochInto; see
+// sim/gauntlet.h). ARCHITECTURE.md §7 describes the layering.
+//
+// Hot-path contract (mirrors the *Into solver conventions of ROADMAP.md):
+//   - ReplayInto(Workspace&) reuses caller storage and is allocation-free
+//     once the workspace and the policy have warmed up
+//     (tests/sim/request_alloc_test.cc, bench_request_replay's
+//     allocs_per_replay=0 counter) — including across MFG-CP replans,
+//     which ride PlanEpochInto's own zero-allocation path.
+//   - The replay loop itself is RNG-free and single-threaded; all
+//     parallelism lives behind the replan hook (the epoch worker pool).
+//     Statistics are therefore bit-identical for a given stream seed at
+//     any planner parallelism and batch width (the determinism contract
+//     of epoch_runtime.h, extended to request replay; guarded by
+//     tests/sim/gauntlet_test.cc).
+//   - The epoch-boundary replan is a named fault site
+//     (faults::FaultSite::kReplan): an injected replan failure degrades
+//     the epoch to the previous placement instead of failing the replay,
+//     mirroring the planner's carry-forward ladder.
+//
+// Delay/backhaul model (onlineJCCP-style accounting at unit-size
+// contents): a hit is served from the edge cache at `edge_rate_mb`; a
+// miss pays `backhaul_latency` plus the transfer at `backhaul_rate_mb`
+// and adds the content size to the backhaul ledger.
+
+namespace mfg::sim {
+
+struct RequestEngineOptions {
+  std::size_t num_contents = 20;   // K; must match the stream's catalog.
+  std::size_t cache_capacity = 4;  // Resident contents per edge cache.
+  double content_size_mb = 100.0;  // Homogeneous Q_k.
+  double edge_rate_mb = 200.0;     // Edge service rate, MB per unit time.
+  double backhaul_rate_mb = 40.0;  // Backhaul transfer rate.
+  double backhaul_latency = 0.5;   // Fixed round trip per miss.
+  // Sim-time between replans; 0 = never replan (static schemes). The
+  // first boundary is at t = epoch_period.
+  double epoch_period = 0.0;
+};
+
+// Cumulative ledger of one replay.
+struct RequestReplayStats {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double total_delay = 0.0;    // Summed access delay, unit-time.
+  double backhaul_mb = 0.0;    // Bytes pulled over the backhaul.
+  std::uint64_t replans = 0;        // Epoch boundaries crossed.
+  std::uint64_t replan_faults = 0;  // Boundaries degraded to the previous
+                                    // placement (kReplan faults or hook
+                                    // errors).
+  double horizon = 0.0;        // Arrival time of the last request.
+
+  double HitRatio() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(requests);
+  }
+  double MeanDelay() const {
+    return requests == 0 ? 0.0 : total_delay / static_cast<double>(requests);
+  }
+  // Backhaul traffic per unit sim-time.
+  double BackhaulRate() const {
+    return horizon <= 0.0 ? 0.0 : backhaul_mb / horizon;
+  }
+};
+
+// Epoch-boundary replan seam. OnEpochBoundary runs on the replay thread
+// when sim time crosses an epoch boundary, with the per-content request
+// counts observed during the finished epoch; it typically re-plans and
+// re-assigns `policy`'s placement. A non-ok return (or an injected
+// kReplan fault) leaves the previous placement serving the next epoch and
+// bumps RequestReplayStats::replan_faults — degraded, never fatal.
+class ReplanHook {
+ public:
+  virtual ~ReplanHook() = default;
+  virtual common::Status OnEpochBoundary(
+      std::size_t epoch, std::span<const std::uint64_t> epoch_counts,
+      baselines::RequestCachePolicy& policy) = 0;
+};
+
+class RequestEngine {
+ public:
+  // Long-lived replay scratch: the per-epoch observation counters. Reused
+  // across replays; allocation-free once sized for num_contents.
+  struct Workspace {
+    std::vector<std::uint64_t> epoch_counts;
+  };
+
+  explicit RequestEngine(const RequestEngineOptions& options)
+      : options_(options) {}
+
+  // Replays `stream` through `policy`, accumulating into `stats` (which
+  // is reset first). `hook` may be null (no replanning even when
+  // epoch_period > 0). The policy must already be Reset to the engine's
+  // catalog shape.
+  common::Status ReplayInto(const RequestStream& stream,
+                            baselines::RequestCachePolicy& policy,
+                            ReplanHook* hook, Workspace& workspace,
+                            RequestReplayStats& stats) const;
+
+  const RequestEngineOptions& options() const { return options_; }
+
+ private:
+  RequestEngineOptions options_;
+};
+
+}  // namespace mfg::sim
+
+#endif  // MFGCP_SIM_REQUEST_ENGINE_H_

@@ -1,0 +1,148 @@
+#include "sim/request_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+
+namespace mfg::sim {
+
+namespace {
+
+// Cumulative (unnormalized) weights for binary-search sampling: one
+// categorical draw costs O(log K) instead of Categorical's O(K) scan,
+// which matters when generating multi-million-request streams.
+void BuildCdf(const std::vector<double>& weights, std::vector<double>& cdf) {
+  cdf.resize(weights.size());
+  double total = 0.0;
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    total += weights[k];
+    cdf[k] = total;
+  }
+}
+
+std::uint32_t SampleCdf(const std::vector<double>& cdf, common::Rng& rng) {
+  const double u = rng.Uniform() * cdf.back();
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+  const std::size_t k = static_cast<std::size_t>(it - cdf.begin());
+  return static_cast<std::uint32_t>(std::min(k, cdf.size() - 1));
+}
+
+}  // namespace
+
+bool ParseArrivalProcess(std::string_view text, ArrivalProcess& out) {
+  if (text == "poisson") {
+    out = ArrivalProcess::kPoisson;
+    return true;
+  }
+  if (text == "trace") {
+    out = ArrivalProcess::kTrace;
+    return true;
+  }
+  return false;
+}
+
+void RequestStream::CountRequestsInto(
+    std::size_t begin, std::size_t end, std::size_t num_contents,
+    std::vector<std::uint64_t>& counts) const {
+  counts.assign(num_contents, 0);
+  end = std::min(end, size());
+  for (std::size_t i = begin; i < end; ++i) {
+    if (content[i] < num_contents) ++counts[content[i]];
+  }
+}
+
+common::Status GenerateRequestStreamInto(const RequestStreamOptions& options,
+                                         const content::Trace* trace,
+                                         RequestStream& out) {
+  if (options.num_contents == 0) {
+    return common::Status::InvalidArgument("num_contents must be positive");
+  }
+  if (options.num_requests == 0) {
+    return common::Status::InvalidArgument("num_requests must be positive");
+  }
+  if (options.arrival_rate <= 0.0) {
+    return common::Status::InvalidArgument("arrival_rate must be positive");
+  }
+  std::vector<std::vector<double>> day_cdfs;
+  if (options.arrival == ArrivalProcess::kTrace) {
+    if (trace == nullptr || trace->num_days() == 0) {
+      return common::Status::InvalidArgument(
+          "trace arrivals need a non-empty trace");
+    }
+    if (trace->num_categories < options.num_contents) {
+      return common::Status::InvalidArgument(
+          "trace covers fewer categories than num_contents");
+    }
+    if (options.trace_day_period <= 0.0) {
+      return common::Status::InvalidArgument(
+          "trace_day_period must be positive");
+    }
+    // Restrict each day's weights to the first num_contents categories
+    // (extra trace categories are ignored); a day whose restriction is
+    // all-zero cannot be sampled from.
+    day_cdfs.resize(trace->num_days());
+    std::vector<double> weights(options.num_contents);
+    for (std::size_t day = 0; day < trace->num_days(); ++day) {
+      const std::vector<double>& row = trace->daily_counts[day];
+      for (std::size_t k = 0; k < options.num_contents; ++k) {
+        weights[k] = row[k];
+      }
+      BuildCdf(weights, day_cdfs[day]);
+      if (!(day_cdfs[day].back() > 0.0)) {
+        return common::Status::InvalidArgument(
+            "trace day " + std::to_string(day) +
+            " has no requests in the first " +
+            std::to_string(options.num_contents) + " categories");
+      }
+    }
+  }
+
+  std::vector<double> zipf_cdf;
+  if (options.arrival == ArrivalProcess::kPoisson) {
+    if (options.zipf_iota < 0.0) {
+      return common::Status::InvalidArgument("zipf_iota must be non-negative");
+    }
+    std::vector<double> weights(options.num_contents);
+    for (std::size_t k = 0; k < options.num_contents; ++k) {
+      weights[k] =
+          1.0 / std::pow(static_cast<double>(k + 1), options.zipf_iota);
+    }
+    BuildCdf(weights, zipf_cdf);
+  }
+
+  common::Rng rng(options.seed);
+  out.arrival_time.clear();
+  out.content.clear();
+  out.arrival_time.reserve(options.num_requests);
+  out.content.reserve(options.num_requests);
+
+  double t = 0.0;
+  for (std::size_t i = 0; i < options.num_requests; ++i) {
+    t += rng.Exponential(options.arrival_rate);
+    std::uint32_t k = 0;
+    if (options.arrival == ArrivalProcess::kPoisson) {
+      k = SampleCdf(zipf_cdf, rng);
+    } else {
+      const std::size_t day =
+          static_cast<std::size_t>(t / options.trace_day_period) %
+          day_cdfs.size();
+      k = SampleCdf(day_cdfs[day], rng);
+    }
+    out.arrival_time.push_back(t);
+    out.content.push_back(k);
+  }
+  return common::Status::Ok();
+}
+
+common::StatusOr<RequestStream> GenerateRequestStream(
+    const RequestStreamOptions& options, const content::Trace* trace) {
+  RequestStream stream;
+  if (auto status = GenerateRequestStreamInto(options, trace, stream);
+      !status.ok()) {
+    return status;
+  }
+  return stream;
+}
+
+}  // namespace mfg::sim
