@@ -31,6 +31,7 @@ DEFAULT_COUNTERS = (
     "max_worker_allocs",
     "solver_allocs_per_epoch",
     "allocs_per_replay",
+    "allocs_per_tick",
 )
 
 

@@ -24,6 +24,9 @@ std::string FormatHealthLine(const EpochHealthReport& report) {
       << " converged=" << report.best_response_converged
       << " nonconverged=" << report.best_response_nonconverged
       << " allocs=" << report.epoch_allocations;
+  if (report.plan_deadline_misses > 0) {
+    out << " deadline_misses=" << report.plan_deadline_misses;
+  }
   if (report.eq_probed > 0) {
     char gap[32], rel[32], cons[32], price[32];
     std::snprintf(gap, sizeof(gap), "%.3g", report.eq_exploitability);

@@ -49,6 +49,13 @@ struct EpochHealthReport {
   // unless the binary links mfgcp_obs_alloc_hooks).
   std::size_t epoch_allocations = 0;
 
+  // Wall-clock planning-deadline overruns charged to this epoch's plan.
+  // PlanEpochInto itself always resets this to 0; the serving runtime
+  // (serve/serve_loop.h) sets it when the plan missed its publication
+  // deadline (the kPlanDeadline degradation path) — the plan keeps
+  // serving the *next* boundary instead of this one.
+  std::size_t plan_deadline_misses = 0;
+
   // Contents not served by a solve this epoch (carried forward, fallback,
   // or failed), ascending. Retried contents recovered by solving, so they
   // are tallied above but not listed here — matching the

@@ -26,8 +26,8 @@ struct ThreadCoordinates {
 thread_local ThreadCoordinates t_coords;
 
 constexpr std::string_view kSiteNames[kNumFaultSites] = {
-    "params_build", "rebind",   "solve",           "hjb_step",
-    "fpk_step",     "non_convergence", "replan",
+    "params_build", "rebind",          "solve",  "hjb_step",
+    "fpk_step",     "non_convergence", "replan", "plan_deadline",
 };
 
 // The spec matching this thread's coordinates, or nullptr. Also reports
@@ -64,10 +64,12 @@ bool ParseFaultSite(std::string_view text, FaultSite& out) {
 FaultPlan FaultPlan::FromSeed(const SeedOptions& options) {
   FaultPlan plan;
   common::Rng rng(options.seed);
-  // The solve-path sites of Alg. 1 line 2. kReplan is deliberately not a
-  // default candidate: it lives on the request engine's epoch boundary,
+  // The solve-path sites of Alg. 1 line 2. kReplan and kPlanDeadline are
+  // deliberately not default candidates: they live on the request
+  // engine's epoch boundary and the serving runtime's publication step,
   // not inside the recovery ladder, so seeded solver scenarios keep their
-  // historical shape — opt in with `sites = {FaultSite::kReplan}`.
+  // historical shape — opt in with e.g. `sites = {FaultSite::kReplan,
+  // FaultSite::kPlanDeadline}`.
   const std::vector<FaultSite> all_sites = {
       FaultSite::kParamsBuild, FaultSite::kRebind,
       FaultSite::kSolve,       FaultSite::kHjbStep,

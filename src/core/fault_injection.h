@@ -49,11 +49,17 @@ enum class FaultSite : std::uint8_t {
                       // replay and PlanEpochInto. A hit degrades the epoch
                       // to the previous placement instead of failing the
                       // replay.
+  kPlanDeadline,      // Wall-clock planning deadline in the serving
+                      // runtime (serve/serve_loop.h) — a forced-state
+                      // site: a hit makes the finished plan count as
+                      // having overrun its deadline, so publication is
+                      // deferred to the next epoch boundary while the
+                      // previous plan keeps serving.
 };
-inline constexpr std::size_t kNumFaultSites = 7;
+inline constexpr std::size_t kNumFaultSites = 8;
 
 // "params_build", "rebind", "solve", "hjb_step", "fpk_step",
-// "non_convergence", "replan".
+// "non_convergence", "replan", "plan_deadline".
 std::string_view FaultSiteName(FaultSite site);
 
 // Parses a FaultSiteName back into `out`; returns false (out untouched)

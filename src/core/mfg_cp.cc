@@ -721,6 +721,11 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
     report->fallback = fallback;
     report->failed = failed;
     report->epoch_allocations = state_->runtime.last_epoch_allocations();
+    // Deadline misses are a *publication* property: only the serving
+    // runtime (which owns the wall-clock schedule) can charge one, after
+    // this call returns. Reset here so a reused report never carries a
+    // stale miss into a fresh epoch.
+    report->plan_deadline_misses = 0;
     report->eq_probed = eq_probed;
     report->eq_exploitability = eq_gap;
     report->eq_exploitability_rel = eq_rel;

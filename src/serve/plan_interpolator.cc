@@ -1,0 +1,53 @@
+#include "serve/plan_interpolator.h"
+
+namespace mfg::serve {
+
+void PlanInterpolator::Reset(std::size_t num_contents) {
+  prev_price_.assign(num_contents, 0.0);
+  curr_price_.assign(num_contents, 0.0);
+  prev_rate_.assign(num_contents, 0.0);
+  curr_rate_.assign(num_contents, 0.0);
+  prev_popularity_.assign(num_contents, 0.0);
+  curr_popularity_.assign(num_contents, 0.0);
+  prev_mean_price_ = 0.0;
+  curr_mean_price_ = 0.0;
+  publications_ = 0;
+}
+
+void PlanInterpolator::Advance(const core::PublishedPlan& plan) {
+  if (publications_ == 0) {
+    prev_price_.assign(plan.mean_price.begin(), plan.mean_price.end());
+    prev_rate_.assign(plan.mean_rate.begin(), plan.mean_rate.end());
+    prev_popularity_.assign(plan.popularity.begin(), plan.popularity.end());
+    prev_mean_price_ = plan.mean_price_overall;
+  } else {
+    prev_price_.swap(curr_price_);
+    prev_rate_.swap(curr_rate_);
+    prev_popularity_.swap(curr_popularity_);
+    prev_mean_price_ = curr_mean_price_;
+  }
+  curr_price_.assign(plan.mean_price.begin(), plan.mean_price.end());
+  curr_rate_.assign(plan.mean_rate.begin(), plan.mean_rate.end());
+  curr_popularity_.assign(plan.popularity.begin(), plan.popularity.end());
+  curr_mean_price_ = plan.mean_price_overall;
+  ++publications_;
+}
+
+double PlanInterpolator::PriceAt(std::size_t content, double u) const {
+  return Lerp(prev_price_[content], curr_price_[content], Clamp01(u));
+}
+
+double PlanInterpolator::RateAt(std::size_t content, double u) const {
+  return Lerp(prev_rate_[content], curr_rate_[content], Clamp01(u));
+}
+
+double PlanInterpolator::PopularityAt(std::size_t content, double u) const {
+  return Lerp(prev_popularity_[content], curr_popularity_[content],
+              Clamp01(u));
+}
+
+double PlanInterpolator::MeanPriceAt(double u) const {
+  return Lerp(prev_mean_price_, curr_mean_price_, Clamp01(u));
+}
+
+}  // namespace mfg::serve

@@ -1,0 +1,60 @@
+#ifndef MFGCP_SERVE_PLAN_INTERPOLATOR_H_
+#define MFGCP_SERVE_PLAN_INTERPOLATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/plan_publication.h"
+
+// Mean-field interpolation between finalized epoch plans. Plans are
+// published only at epoch boundaries, but the serving runtime answers
+// mid-epoch queries ("what is the equilibrium price now?") every tick —
+// the DZSimulator pattern of interpolating between the last two
+// *finalized* states rather than extrapolating an unfinished one. The
+// interpolation is linear per content between the previous and current
+// published aggregates (price, mean caching rate, popularity), so it is
+// exact at the boundaries (u = 0 reproduces the previous plan, u = 1 the
+// current one) and monotone in between.
+//
+// Advance/Reset are allocation-free once sized for the catalog; the At()
+// queries are branch-plus-FMA reads the serve tick path calls freely.
+
+namespace mfg::serve {
+
+class PlanInterpolator {
+ public:
+  // Sizes the aggregates for a catalog of `num_contents` and zeroes them.
+  void Reset(std::size_t num_contents);
+
+  // Rotates in a newly published plan: the current aggregates become the
+  // previous ones, `plan` becomes current. The first Advance after Reset
+  // seeds *both* endpoints from `plan` (interpolating up from the zeroed
+  // state would fabricate a price ramp no planner produced).
+  void Advance(const core::PublishedPlan& plan);
+
+  // Linear interpolants at epoch fraction u ∈ [0, 1] (clamped): 0 is the
+  // previously published plan, 1 the currently published one.
+  double PriceAt(std::size_t content, double u) const;
+  double RateAt(std::size_t content, double u) const;
+  double PopularityAt(std::size_t content, double u) const;
+  // The scalar mean-price trajectory (PublishedPlan::mean_price_overall).
+  double MeanPriceAt(double u) const;
+
+  std::size_t publications() const { return publications_; }
+  std::size_t num_contents() const { return prev_price_.size(); }
+
+ private:
+  static double Lerp(double a, double b, double u) { return a + (b - a) * u; }
+  static double Clamp01(double u) { return u < 0.0 ? 0.0 : (u > 1.0 ? 1.0 : u); }
+
+  std::vector<double> prev_price_, curr_price_;
+  std::vector<double> prev_rate_, curr_rate_;
+  std::vector<double> prev_popularity_, curr_popularity_;
+  double prev_mean_price_ = 0.0;
+  double curr_mean_price_ = 0.0;
+  std::size_t publications_ = 0;
+};
+
+}  // namespace mfg::serve
+
+#endif  // MFGCP_SERVE_PLAN_INTERPOLATOR_H_

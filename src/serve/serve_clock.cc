@@ -1,0 +1,34 @@
+#include "serve/serve_clock.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace mfg::serve {
+
+bool ParseTimescale(std::string_view text, double& out) {
+  if (text == "inf") {
+    out = kTimescaleInfinite;
+    return true;
+  }
+  if (text.empty()) return false;
+  const std::string buffer(text);
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) return false;
+  if (!(value > 0.0) || value == kTimescaleInfinite) return false;
+  out = value;
+  return true;
+}
+
+common::Status ValidateServeClockOptions(const ServeClockOptions& options) {
+  if (!(options.timescale > 0.0)) {
+    return common::Status::InvalidArgument(
+        "timescale must be positive (or inf for unpaced serving)");
+  }
+  if (!(options.tick_ms > 0.0)) {
+    return common::Status::InvalidArgument("tick_ms must be positive");
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace mfg::serve

@@ -1,0 +1,89 @@
+#ifndef MFGCP_SERVE_SERVE_CLOCK_H_
+#define MFGCP_SERVE_SERVE_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <thread>
+
+#include "common/status.h"
+
+// Simulation-time / wall-clock decoupling for the serving runtime
+// (ARCHITECTURE.md §8). The DZSimulator exemplar's loop structure: the
+// serve loop runs on a fixed wall-clock tick schedule, and each tick
+// advances simulated time by tick_seconds · timescale. timescale = 1
+// replays the request stream in real time; larger values fast-forward;
+// +inf ("as fast as possible") disables pacing entirely, which is the
+// batch-equivalence mode — no sleeping, no wall clock on the sim path,
+// so the served event sequence is bit-identical to a gauntlet replay.
+
+namespace mfg::serve {
+
+inline constexpr double kTimescaleInfinite =
+    std::numeric_limits<double>::infinity();
+
+// Parses "inf" (case-sensitive, the bench key spelling) or a positive
+// decimal timescale; returns false (out untouched) on anything else.
+bool ParseTimescale(std::string_view text, double& out);
+
+struct ServeClockOptions {
+  // Simulated time units per wall-clock second; +inf = unpaced.
+  double timescale = kTimescaleInfinite;
+  // Wall-clock tick period. Ignored (no pacing) at infinite timescale.
+  double tick_ms = 10.0;
+};
+
+common::Status ValidateServeClockOptions(const ServeClockOptions& options);
+
+// The tick scheduler. Paced mode sleeps to absolute tick instants
+// (start + n · tick), so a slow tick body is absorbed instead of
+// accumulating drift; unpaced mode never touches the wall clock between
+// Start and ElapsedWallSeconds.
+class ServeClock {
+ public:
+  explicit ServeClock(const ServeClockOptions& options) : options_(options) {}
+
+  bool paced() const { return options_.timescale != kTimescaleInfinite; }
+  // Simulated time one tick advances (paced mode only; infinite in
+  // unpaced mode).
+  double sim_dt() const { return options_.tick_ms / 1000.0 * options_.timescale; }
+  const ServeClockOptions& options() const { return options_; }
+
+  // Anchors the tick schedule at now.
+  void Start() {
+    start_ = std::chrono::steady_clock::now();
+    next_tick_ = start_;
+    ticks_ = 0;
+  }
+
+  // Sleeps until the next scheduled tick instant (no-op when unpaced).
+  // Returns immediately when the schedule is already behind (overrun
+  // ticks are not re-run; sim time just advances in larger steps of the
+  // caller's accounting).
+  void WaitForNextTick() {
+    ++ticks_;
+    if (!paced()) return;
+    next_tick_ += std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+        std::chrono::duration<double, std::milli>(options_.tick_ms));
+    std::this_thread::sleep_until(next_tick_);
+  }
+
+  double ElapsedWallSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  ServeClockOptions options_;
+  std::chrono::steady_clock::time_point start_{};
+  std::chrono::steady_clock::time_point next_tick_{};
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace mfg::serve
+
+#endif  // MFGCP_SERVE_SERVE_CLOCK_H_

@@ -1,0 +1,532 @@
+#include "serve/serve_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+#include "content/popularity.h"
+#include "core/fault_injection.h"
+#include "obs/alloc_probe.h"
+#include "obs/obs.h"
+
+namespace mfg::serve {
+
+namespace {
+
+// The serve-side kReplan seam, with the exact coordinates and site the
+// batch replay's ReplanStep uses — (epoch, content 0, attempt 0) — so a
+// fault plan keyed for the gauntlet degrades the serving runtime the
+// same way. MFG_FAULT_POINT fails the enclosing function, hence the
+// dedicated Status frame.
+common::Status BoundaryFaultCheck(std::size_t epoch) {
+  MFG_FAULT_SCOPE(epoch, 0, 0);
+  MFG_FAULT_POINT(kReplan);
+  return common::Status::Ok();
+}
+
+// The kPlanDeadline forced-state site: a hit makes the finished plan
+// count as having overrun its deadline (synchronous mode has no real
+// wall-clock budget to miss, so chaos tests force the path here).
+bool DeadlineFaultFires(std::size_t epoch) {
+  MFG_FAULT_SCOPE(epoch, 0, 0);
+  return MFG_FAULT_FORCED(kPlanDeadline);
+}
+
+std::chrono::steady_clock::duration MillisDuration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace
+
+// Per-Run accumulation state. The request ledger lives in scalars updated
+// in arrival order — the same accumulation order as ReplayInto, which is
+// what makes the unpaced synchronous ledger EXPECT_EQ-comparable.
+struct ServeLoop::RunState {
+  ServeStats& stats;
+  sim::RequestCostModel costs;
+  double period = 0.0;
+  double next_boundary = 0.0;
+  std::size_t epoch = 0;  // Boundaries crossed so far.
+  double sim_now = 0.0;
+  double last_pub_sim = 0.0;
+  std::uint64_t served = 0;
+  std::uint64_t hits = 0;
+  double total_delay = 0.0;
+  double backhaul_mb = 0.0;
+  // Steady-allocation window (armed at the second publication).
+  bool window_armed = false;
+  std::size_t window_allocs = 0;
+  std::uint64_t window_ticks = 0;
+};
+
+ServeLoop::ServeLoop(const ServeOptions& options)
+    : options_(options), clock_(options.clock) {}
+
+ServeLoop::~ServeLoop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (planner_.joinable()) planner_.join();
+}
+
+common::StatusOr<std::unique_ptr<ServeLoop>> ServeLoop::Create(
+    const ServeOptions& options) {
+  if (auto status = sim::ValidateRequestEngineOptions(options.engine);
+      !status.ok()) {
+    return status;
+  }
+  if (options.engine.epoch_period <= 0.0) {
+    return common::Status::InvalidArgument(
+        "serving runtime needs engine.epoch_period > 0");
+  }
+  if (auto status = ValidateServeClockOptions(options.clock); !status.ok()) {
+    return status;
+  }
+  if (options.plan_deadline_ms < 0.0) {
+    return common::Status::InvalidArgument("plan_deadline_ms must be >= 0");
+  }
+  if (options.synthetic_plan_delay_ms < 0.0) {
+    return common::Status::InvalidArgument(
+        "synthetic_plan_delay_ms must be >= 0");
+  }
+
+  ServeOptions resolved = options;
+  resolved.plan.collect_health = true;  // Every plan round yields a report.
+  auto loop = std::unique_ptr<ServeLoop>(new ServeLoop(resolved));
+
+  const std::size_t k = resolved.engine.num_contents;
+  auto popularity = content::PopularityModel::CreateZipf(k, resolved.zipf_iota);
+  if (!popularity.ok()) return popularity.status();
+  loop->prior_ = popularity.value().prior();
+
+  auto hook = sim::MfgPlanReplanHook::Create(
+      resolved.plan, k, resolved.engine.content_size_mb, resolved.zipf_iota);
+  if (!hook.ok()) return hook.status();
+  loop->hook_ = std::move(hook).value();
+
+  const std::size_t capacity = resolved.engine.cache_capacity;
+  if (auto status = loop->cache_a_.Reset(k, capacity, loop->prior_);
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = loop->cache_b_.Reset(k, capacity, loop->prior_);
+      !status.ok()) {
+    return status;
+  }
+
+  // Pre-size every cross-thread buffer so the steady path only ever
+  // assigns into warmed storage.
+  loop->counts_.assign(k, 0);
+  loop->job_counts_.assign(k, 0);
+  loop->published_plan_.score.assign(k, 0.0);
+  loop->published_plan_.popularity.assign(k, 0.0);
+  loop->published_plan_.mean_rate.assign(k, 0.0);
+  loop->published_plan_.mean_price.assign(k, 0.0);
+  loop->interpolator_.Reset(k);
+
+  loop->planner_ = std::thread(&ServeLoop::PlannerMain, loop.get());
+  return loop;
+}
+
+void ServeLoop::PlannerMain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return shutdown_ || job_posted_; });
+    if (shutdown_) return;
+    job_posted_ = false;
+    const std::size_t epoch = job_epoch_;
+    baselines::StaticSetCache* cache = job_cache_;
+    lock.unlock();
+
+    if (options_.synthetic_plan_delay_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(
+              options_.synthetic_plan_delay_ms));
+    }
+    // The gauntlet's replan hook, verbatim: observation update,
+    // PlanEpochInto on the persistent pool, score, re-place `cache` (the
+    // back buffer — the serve thread never probes it mid-job).
+    common::Status status = hook_->OnEpochBoundary(epoch, job_counts_, *cache);
+    if (status.ok()) {
+      core::SnapshotPublishedPlan(hook_->plan_buffer(), published_plan_);
+      published_plan_.epoch = epoch;
+      if (options_.on_plan) {
+        options_.on_plan(hook_->plan_buffer(), hook_->last_health());
+      }
+    }
+
+    lock.lock();
+    job_status_ = std::move(status);
+    job_done_ = true;
+    cv_.notify_all();
+  }
+}
+
+void ServeLoop::PostPlanJob(std::size_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_epoch_ = epoch;
+    std::copy(counts_.begin(), counts_.end(), job_counts_.begin());
+    job_cache_ = back_;
+    job_posted_ = true;
+    job_done_ = false;
+  }
+  cv_.notify_all();
+  job_running_ = true;
+  job_miss_counted_ = false;
+  if (options_.plan_deadline_ms > 0.0) {
+    job_deadline_ = std::chrono::steady_clock::now() +
+                    MillisDuration(options_.plan_deadline_ms);
+  }
+}
+
+bool ServeLoop::JobDone() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return job_done_;
+}
+
+void ServeLoop::WaitForJob() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return job_done_; });
+}
+
+void ServeLoop::CountDeadlineMiss(RunState& state) {
+  job_miss_counted_ = true;
+  ++state.stats.deadline_misses;
+  MFG_OBS_COUNT("serve.plan_deadline_misses", 1);
+}
+
+void ServeLoop::FinishJob(RunState& state) {
+  job_running_ = false;
+  if (!job_status_.ok()) {
+    // A planner error past the recovery ladder degrades exactly like the
+    // batch replay: the previous placement keeps serving.
+    ++state.stats.requests.replan_faults;
+    MFG_OBS_COUNT("serve.replan_faults", 1);
+    MFG_LOG(WARNING) << "serve epoch " << job_epoch_
+                     << " replan degraded to previous placement: "
+                     << job_status_;
+    job_miss_counted_ = false;
+    return;
+  }
+
+  // Health scalars → the publication row. Copying a healthy report is
+  // allocation-free (empty degraded list and dump path).
+  last_health_ = hook_->last_health();
+  if (last_health_.failed > 0) ++state.stats.failed_epochs;
+  pending_row_ = ServeEpochRow{};
+  pending_row_.epoch = job_epoch_;
+  pending_row_.active = last_health_.active_contents;
+  pending_row_.solved = last_health_.solved;
+  pending_row_.retried = last_health_.retried;
+  pending_row_.carried_forward = last_health_.carried_forward;
+  pending_row_.fallback = last_health_.fallback;
+  pending_row_.failed = last_health_.failed;
+  pending_row_.plan_seconds = last_health_.plan_seconds;
+  pending_row_.mean_price = published_plan_.mean_price_overall;
+
+  bool deferred = job_miss_counted_;  // Async overruns were counted live.
+  if (options_.plan_deadline_ms <= 0.0 && DeadlineFaultFires(job_epoch_)) {
+    // Synchronous mode has no wall-clock budget; only the forced
+    // kPlanDeadline site defers publication (the deterministic chaos
+    // path).
+    CountDeadlineMiss(state);
+    deferred = true;
+  }
+  pending_row_.deadline_misses = deferred ? 1 : 0;
+  last_health_.plan_deadline_misses = deferred ? 1 : 0;
+  job_miss_counted_ = false;
+  if (deferred) {
+    plan_pending_ = true;  // Swap at the next boundary instead.
+  } else {
+    Publish(state);
+  }
+}
+
+void ServeLoop::Publish(RunState& state) {
+  std::swap(front_, back_);
+  interpolator_.Advance(published_plan_);
+  pending_row_.seq = state.stats.publications;
+  pending_row_.epoch_published = state.epoch;
+  pending_row_.tick = state.stats.ticks;
+  pending_row_.sim_time = state.sim_now;
+  state.stats.rows.push_back(pending_row_);
+  ++state.stats.publications;
+  state.last_pub_sim = state.sim_now;
+  MFG_OBS_COUNT("serve.publications", 1);
+  if (!state.window_armed && state.stats.publications == 2) {
+    // Two publications in, every first-hit instrument and buffer is
+    // warmed: open the steady-allocation window.
+    state.window_armed = true;
+    state.window_allocs = obs::ThreadAllocationCount();
+    state.window_ticks = state.stats.ticks;
+  }
+}
+
+void ServeLoop::HandleBoundary(RunState& state) {
+  const bool async = options_.plan_deadline_ms > 0.0;
+  // Collect a round that finished since the last poll (async only —
+  // synchronous rounds never outlive their boundary).
+  if (async && job_running_ && JobDone()) {
+    if (!job_miss_counted_ &&
+        std::chrono::steady_clock::now() > job_deadline_) {
+      CountDeadlineMiss(state);
+    }
+    FinishJob(state);
+  }
+  // A deferred plan swaps in at the boundary it waited for.
+  if (plan_pending_) {
+    plan_pending_ = false;
+    Publish(state);
+  }
+
+  ++state.stats.requests.replans;
+  MFG_OBS_COUNT("serve.replans", 1);
+  if (job_running_) {
+    // The planner is still inside the previous round: this boundary has
+    // no plan round of its own (the previous plan serves through it).
+    if (!job_miss_counted_ &&
+        std::chrono::steady_clock::now() > job_deadline_) {
+      CountDeadlineMiss(state);
+    }
+    ++state.stats.skipped_plan_rounds;
+    MFG_OBS_COUNT("serve.skipped_plan_rounds", 1);
+  } else if (auto fault = BoundaryFaultCheck(state.epoch); !fault.ok()) {
+    // kReplan fault: identical degradation to the batch replay — nothing
+    // is planned, the previous placement serves the next epoch.
+    ++state.stats.requests.replan_faults;
+    MFG_OBS_COUNT("serve.replan_faults", 1);
+    MFG_LOG(WARNING) << "serve epoch " << state.epoch
+                     << " replan degraded to previous placement: " << fault;
+  } else {
+    PostPlanJob(state.epoch);
+    ++state.stats.plan_rounds;
+    MFG_OBS_COUNT("serve.plan_rounds", 1);
+    if (!async) {
+      const auto wait_start = std::chrono::steady_clock::now();
+      WaitForJob();
+      MFG_OBS_OBSERVE(
+          "serve.plan_wait_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wait_start)
+              .count());
+      FinishJob(state);
+    }
+  }
+  // The epoch's observation restarts regardless of how the round went —
+  // the same unconditional reset the batch replay performs.
+  std::fill(counts_.begin(), counts_.end(), std::uint64_t{0});
+  state.next_boundary += state.period;
+  ++state.epoch;
+}
+
+common::Status ServeLoop::Run(const sim::RequestStream& stream,
+                              ServeStats& stats) {
+  if (stream.empty()) {
+    return common::Status::InvalidArgument("request stream is empty");
+  }
+  stats = ServeStats{};
+  return RunLoop(stream, stats);
+}
+
+common::Status ServeLoop::RunLoop(const sim::RequestStream& stream,
+                                  ServeStats& stats) {
+  const std::size_t k = options_.engine.num_contents;
+  front_ = &cache_a_;
+  back_ = &cache_b_;
+  if (auto status =
+          front_->Reset(k, options_.engine.cache_capacity, prior_);
+      !status.ok()) {
+    return status;
+  }
+  if (auto status = back_->Reset(k, options_.engine.cache_capacity, prior_);
+      !status.ok()) {
+    return status;
+  }
+  interpolator_.Reset(k);
+  std::fill(counts_.begin(), counts_.end(), std::uint64_t{0});
+  cursor_.Bind(stream);
+  plan_pending_ = false;
+  job_running_ = false;
+  job_miss_counted_ = false;
+
+  RunState state{stats, sim::RequestCostModel::FromOptions(options_.engine)};
+  state.period = options_.engine.epoch_period;
+  state.next_boundary = state.period;
+  const double horizon = stream.arrival_time.back();
+  // One row per expected publication plus slack for deferred tails, so
+  // the push_back in Publish never reallocates inside the steady window.
+  stats.rows.reserve(static_cast<std::size_t>(horizon / state.period) + 4);
+
+  const bool paced = clock_.paced();
+  const bool async = options_.plan_deadline_ms > 0.0;
+  const double sim_dt = clock_.sim_dt();
+  clock_.Start();
+
+  common::Status result = common::Status::Ok();
+  while (!cursor_.AtEnd()) {
+    clock_.WaitForNextTick();
+    ++stats.ticks;
+    double target;
+    if (paced) {
+      state.sim_now += sim_dt;
+      target = state.sim_now;
+    } else {
+      // Unpaced: jump straight to whichever comes later, the next epoch
+      // boundary or the next arrival, so every tick makes progress and
+      // the boundary/request interleaving matches the batch replay.
+      target = std::max(state.next_boundary, cursor_.NextArrival());
+      state.sim_now = std::min(target, horizon);
+    }
+
+    // Fire boundaries simulated time crossed. The NextArrival guard keeps
+    // the firing order identical to the batch replay, which only reaches
+    // a boundary en route to a later request — in particular the tail
+    // after the final request never replans.
+    while (!cursor_.AtEnd() && state.next_boundary <= target &&
+           state.next_boundary <= cursor_.NextArrival()) {
+      HandleBoundary(state);
+    }
+
+    double t = 0.0;
+    std::uint32_t content = 0;
+    while (cursor_.Next(target, t, content)) {
+      while (t >= state.next_boundary) HandleBoundary(state);
+      if (content >= k) {
+        result = common::Status::InvalidArgument(
+            "stream content id out of catalog range");
+        break;
+      }
+      ++counts_[content];
+      if (front_->OnRequest(content)) {
+        ++state.hits;
+        state.total_delay += state.costs.hit_delay;
+      } else {
+        state.total_delay += state.costs.miss_delay;
+        state.backhaul_mb += state.costs.miss_backhaul_mb;
+      }
+      ++state.served;
+    }
+    if (!result.ok()) break;
+
+    // Async poll: publish a round that completed within its deadline at
+    // this tick; an overrun tick publishes nothing (the miss is counted
+    // once, the late plan waits for the next boundary).
+    if (async && job_running_) {
+      if (JobDone()) {
+        if (!job_miss_counted_ &&
+            std::chrono::steady_clock::now() > job_deadline_) {
+          CountDeadlineMiss(state);
+        }
+        FinishJob(state);
+      } else if (!job_miss_counted_ &&
+                 std::chrono::steady_clock::now() > job_deadline_) {
+        CountDeadlineMiss(state);
+      }
+    }
+
+    MFG_OBS_COUNT("serve.ticks", 1);
+    MFG_OBS_GAUGE_SET("serve.sim_time", state.sim_now);
+    if (interpolator_.publications() > 0) {
+      const double u = (state.sim_now - state.last_pub_sim) / state.period;
+      MFG_OBS_GAUGE_SET("serve.interp_price", interpolator_.MeanPriceAt(u));
+    }
+  }
+
+  // Close the steady window before anything below touches the heap.
+  if (state.window_armed) {
+    stats.steady_allocs = obs::ThreadAllocationCount() - state.window_allocs;
+    stats.steady_ticks = stats.ticks - state.window_ticks;
+  }
+
+  // Tail: an in-flight async round still completes (the planner must not
+  // be mid-job when the next Run rebinds the buffers); an on-time round
+  // publishes, a late or deferred one stays collected-but-unpublished —
+  // no boundary remains to swap at.
+  if (job_running_) {
+    WaitForJob();
+    if (async && !job_miss_counted_ &&
+        std::chrono::steady_clock::now() > job_deadline_) {
+      CountDeadlineMiss(state);
+    }
+    FinishJob(state);
+  }
+
+  stats.requests.requests = state.served;
+  stats.requests.hits = state.hits;
+  stats.requests.misses = state.served - state.hits;
+  stats.requests.total_delay = state.total_delay;
+  stats.requests.backhaul_mb = state.backhaul_mb;
+  stats.requests.horizon = horizon;
+  stats.wall_seconds = clock_.ElapsedWallSeconds();
+
+  MFG_OBS_COUNT("serve.requests", state.served);
+  MFG_OBS_GAUGE_SET("serve.last_hit_ratio", stats.requests.HitRatio());
+  MFG_OBS_OBSERVE("serve.run_seconds", stats.wall_seconds);
+
+  if (!result.ok()) return result;
+  if (!options_.jsonl_path.empty()) return WriteJsonl(stats);
+  return common::Status::Ok();
+}
+
+common::Status ServeLoop::WriteJsonl(const ServeStats& stats) const {
+  std::ofstream out(options_.jsonl_path);
+  if (!out) {
+    return common::Status::IoError("cannot open serve JSONL path: " +
+                                   options_.jsonl_path);
+  }
+  out << std::setprecision(17);
+  for (const ServeEpochRow& row : stats.rows) {
+    out << "{\"type\":\"epoch\",\"seq\":" << row.seq
+        << ",\"epoch\":" << row.epoch
+        << ",\"epoch_published\":" << row.epoch_published
+        << ",\"tick\":" << row.tick << ",\"sim_time\":" << row.sim_time
+        << ",\"active\":" << row.active << ",\"solved\":" << row.solved
+        << ",\"retried\":" << row.retried
+        << ",\"carried_forward\":" << row.carried_forward
+        << ",\"fallback\":" << row.fallback << ",\"failed\":" << row.failed
+        << ",\"plan_seconds\":" << row.plan_seconds
+        << ",\"deadline_miss\":" << row.deadline_misses
+        << ",\"mean_price\":" << row.mean_price << "}\n";
+  }
+  out << "{\"type\":\"summary\",\"ticks\":" << stats.ticks
+      << ",\"publications\":" << stats.publications
+      << ",\"plan_rounds\":" << stats.plan_rounds
+      << ",\"deadline_misses\":" << stats.deadline_misses
+      << ",\"skipped_plan_rounds\":" << stats.skipped_plan_rounds
+      << ",\"failed_epochs\":" << stats.failed_epochs
+      << ",\"requests\":" << stats.requests.requests
+      << ",\"hits\":" << stats.requests.hits
+      << ",\"misses\":" << stats.requests.misses
+      << ",\"replans\":" << stats.requests.replans
+      << ",\"replan_faults\":" << stats.requests.replan_faults
+      << ",\"total_delay\":" << stats.requests.total_delay
+      << ",\"backhaul_mb\":" << stats.requests.backhaul_mb
+      << ",\"horizon\":" << stats.requests.horizon
+      << ",\"steady_allocs\":" << stats.steady_allocs
+      << ",\"steady_ticks\":" << stats.steady_ticks
+      << ",\"wall_seconds\":" << stats.wall_seconds
+      << ",\"tick_ms\":" << options_.clock.tick_ms
+      << ",\"plan_deadline_ms\":" << options_.plan_deadline_ms
+      << ",\"timescale\":";
+  if (clock_.paced()) {
+    out << options_.clock.timescale;
+  } else {
+    out << "\"inf\"";
+  }
+  out << "}\n";
+  if (!out.good()) {
+    return common::Status::IoError("failed writing serve JSONL: " +
+                                   options_.jsonl_path);
+  }
+  return common::Status::Ok();
+}
+
+}  // namespace mfg::serve

@@ -1,0 +1,238 @@
+#ifndef MFGCP_SERVE_SERVE_LOOP_H_
+#define MFGCP_SERVE_SERVE_LOOP_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "baselines/request_cache.h"
+#include "common/status.h"
+#include "core/epoch_health.h"
+#include "core/plan_publication.h"
+#include "serve/plan_interpolator.h"
+#include "serve/serve_clock.h"
+#include "sim/gauntlet.h"
+#include "sim/request_engine.h"
+#include "sim/request_stream.h"
+
+// The online serving runtime (ARCHITECTURE.md §8): a long-lived loop that
+// serves a request stream on a wall-clock tick schedule while the MFG-CP
+// planner re-plans epochs on a dedicated planner thread. This is the
+// ROADMAP "Online serving runtime" item: the same MfgPlanReplanHook the
+// batch gauntlet replays through, driven as a service instead of a replay
+// pass.
+//
+// Structure per tick:
+//   1. advance simulated time by tick · timescale (ServeClock; timescale
+//      inf = unpaced, drain as fast as possible),
+//   2. fire any epoch boundaries simulated time crossed — publish the
+//      double-buffered plan prepared by the planner thread and hand the
+//      finished epoch's request counts over as the next planning job,
+//   3. drain arrived requests through the *front* placement
+//      (StaticSetCache::OnRequest is a read-only membership probe, so the
+//      planner re-placing the back cache never races the serve path),
+//   4. answer mid-epoch mean-field queries by linear interpolation
+//      between the last two published plans (PlanInterpolator).
+//
+// Planning deadline (plan_deadline_ms):
+//   0 (default) — synchronous boundaries: the serve thread blocks until
+//     the planner finishes, which makes serving at timescale inf
+//     *bit-identical* to the batch gauntlet replay (the determinism
+//     contract; guarded by tests/serve/serve_equivalence_test.cc). The
+//     kPlanDeadline fault site can still force a deterministic
+//     deferred-publication epoch for chaos testing.
+//   > 0 — asynchronous: the boundary posts the job and keeps serving the
+//     previous plan. A plan that completes within the deadline publishes
+//     at the completion tick; an overrun tick publishes nothing — the
+//     miss is counted (serve.plan_deadline_misses, the new kPlanDeadline
+//     degradation path riding the PR 4 recovery ladder and the PR 5
+//     health reports) and the late plan swaps in at the next boundary. A
+//     boundary reached while the planner is still busy skips its plan
+//     round entirely (counts into skipped_plan_rounds).
+//
+// Hot-path contract: after the loop has warmed up (two publications), the
+// serve thread performs zero heap allocations per tick — guarded by
+// tests/serve/serve_alloc_test.cc and bench_serve's allocs_per_tick=0
+// counter. Fault-injected boundaries (kReplan/kPlanDeadline) may allocate
+// for their WARN logs and degraded-health copies; the healthy path never
+// does.
+
+namespace mfg::serve {
+
+struct ServeOptions {
+  // Catalog shape, cache capacity, delay model, and the epoch period
+  // (sim-time between replans; must be > 0 — a serving runtime exists to
+  // re-plan). num_contents must match the stream.
+  sim::RequestEngineOptions engine;
+  // Planner knobs (the gauntlet's replan hook, reused verbatim;
+  // collect_health is forced on so every plan round yields a report).
+  sim::MfgPlanReplanHook::Options plan;
+  // Tick schedule and sim-time/wall-clock ratio.
+  ServeClockOptions clock;
+  // Wall-clock budget per plan round in ms; 0 = synchronous boundaries
+  // (see the header comment).
+  double plan_deadline_ms = 0.0;
+  // Test/bench knob: the planner thread sleeps this long before each
+  // plan round, simulating a slow planner without faking clocks.
+  double synthetic_plan_delay_ms = 0.0;
+  // Zipf skew of the popularity prior seeding the initial placement and
+  // the planner catalog (matches the stream generator's zipf_iota).
+  double zipf_iota = 0.8;
+  // Per-epoch JSONL rows ("" = none), written by Run after the loop
+  // finishes (never from the tick path); scripts/check_serve.py
+  // validates the file.
+  std::string jsonl_path;
+  // Called on the *planner thread* after every completed plan round with
+  // the live plan buffer and its health report, before publication. The
+  // chaos soak recounts ladder outcomes through this. May be null.
+  std::function<void(const core::EpochPlanBuffer&,
+                     const core::EpochHealthReport&)>
+      on_plan;
+};
+
+// One published plan, as a flat row for the JSONL export: the epoch
+// handoff accounting check_serve.py validates.
+struct ServeEpochRow {
+  std::size_t seq = 0;              // Publication sequence, from 0.
+  std::size_t epoch = 0;            // Boundary whose counts fed the plan.
+  std::size_t epoch_published = 0;  // Boundary index at publication
+                                    // (== epoch for an on-time sync
+                                    // round; later for deferred ones).
+  std::uint64_t tick = 0;           // Tick count at publication.
+  double sim_time = 0.0;
+  // Ladder tallies of the plan round (EpochHealthReport scalars).
+  std::size_t active = 0;
+  std::size_t solved = 0;
+  std::size_t retried = 0;
+  std::size_t carried_forward = 0;
+  std::size_t fallback = 0;
+  std::size_t failed = 0;
+  double plan_seconds = 0.0;
+  std::size_t deadline_misses = 0;  // 0 or 1 for this plan round.
+  double mean_price = 0.0;          // PublishedPlan::mean_price_overall.
+};
+
+struct ServeStats {
+  // Request-level ledger, accumulated in arrival order with the shared
+  // RequestCostModel — EXPECT_EQ-comparable to a gauntlet replay of the
+  // same stream in synchronous unpaced mode.
+  sim::RequestReplayStats requests;
+  std::uint64_t ticks = 0;
+  std::uint64_t publications = 0;       // Plans swapped in.
+  std::uint64_t plan_rounds = 0;        // Plan jobs dispatched.
+  std::uint64_t deadline_misses = 0;    // kPlanDeadline degradations.
+  std::uint64_t skipped_plan_rounds = 0;  // Boundaries with a busy planner.
+  std::uint64_t failed_epochs = 0;      // Plan rounds with health.failed > 0.
+  // Serve-thread heap allocations over the steady window (from the
+  // second publication to the end of the loop) and the ticks it spans;
+  // 0 allocations once warmed, and 0 unless mfgcp_obs_alloc_hooks is
+  // linked.
+  std::size_t steady_allocs = 0;
+  std::uint64_t steady_ticks = 0;
+  double wall_seconds = 0.0;
+  std::vector<ServeEpochRow> rows;  // One row per publication, seq order.
+};
+
+class ServeLoop {
+ public:
+  static common::StatusOr<std::unique_ptr<ServeLoop>> Create(
+      const ServeOptions& options);
+  ~ServeLoop();
+
+  ServeLoop(const ServeLoop&) = delete;
+  ServeLoop& operator=(const ServeLoop&) = delete;
+
+  // Serves `stream` to completion (the replayed-stream mode; a live
+  // ingestion front end would append to the stream the cursor tails).
+  // `stats` is reset first. Run may be called again on the same loop;
+  // planner carry-forward state (last-good equilibria, the fault-plan
+  // epoch index) persists across runs like a long-lived daemon's would.
+  common::Status Run(const sim::RequestStream& stream, ServeStats& stats);
+
+  // The placement currently serving (front buffer).
+  std::span<const std::uint32_t> placement() const {
+    return front_->placement();
+  }
+  const PlanInterpolator& interpolator() const { return interpolator_; }
+  // Health report of the last completed plan round, including any
+  // deadline miss charged to it.
+  const core::EpochHealthReport& last_health() const { return last_health_; }
+  const core::MfgCpFramework& framework() const {
+    return hook_->framework();
+  }
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  struct RunState;
+
+  explicit ServeLoop(const ServeOptions& options);
+
+  common::Status RunLoop(const sim::RequestStream& stream, ServeStats& stats);
+  void PlannerMain();
+  void HandleBoundary(RunState& state);
+  void PostPlanJob(std::size_t epoch);
+  bool JobDone();
+  void WaitForJob();
+  // Collects a finished plan round: copies health, charges any deadline
+  // miss, and either publishes or defers to the next boundary.
+  void FinishJob(RunState& state);
+  void Publish(RunState& state);
+  // Counts the job's deadline miss once (async overrun ticks).
+  void CountDeadlineMiss(RunState& state);
+  common::Status WriteJsonl(const ServeStats& stats) const;
+
+  ServeOptions options_;
+  ServeClock clock_;
+  std::unique_ptr<sim::MfgPlanReplanHook> hook_;
+  std::vector<double> prior_;
+
+  // Double-buffered placements: the serve path probes front_, the
+  // planner thread re-places back_; Publish swaps the pointers on the
+  // serve thread while no plan job is in flight.
+  baselines::StaticSetCache cache_a_{"MFG-CP"};
+  baselines::StaticSetCache cache_b_{"MFG-CP"};
+  baselines::StaticSetCache* front_ = &cache_a_;
+  baselines::StaticSetCache* back_ = &cache_b_;
+
+  // Plan artifacts handed planner → serve (written only while a job is
+  // in flight, read only after the done handshake).
+  core::PublishedPlan published_plan_;
+  PlanInterpolator interpolator_;
+  core::EpochHealthReport last_health_;
+
+  // Serve-side request counters of the running epoch.
+  std::vector<std::uint64_t> counts_;
+  sim::RequestStreamCursor cursor_;
+
+  // Planner-thread job channel.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool job_posted_ = false;
+  bool job_done_ = false;
+  bool shutdown_ = false;
+  std::size_t job_epoch_ = 0;
+  std::vector<std::uint64_t> job_counts_;
+  common::Status job_status_;
+  baselines::StaticSetCache* job_cache_ = nullptr;
+
+  // Serve-side view of the in-flight round (no locking needed; only the
+  // serve thread reads or writes these).
+  bool job_running_ = false;
+  bool job_miss_counted_ = false;
+  std::chrono::steady_clock::time_point job_deadline_{};
+  bool plan_pending_ = false;
+  ServeEpochRow pending_row_;
+
+  std::thread planner_;
+};
+
+}  // namespace mfg::serve
+
+#endif  // MFGCP_SERVE_SERVE_LOOP_H_

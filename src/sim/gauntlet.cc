@@ -8,6 +8,7 @@
 #include "content/catalog.h"
 #include "content/popularity.h"
 #include "content/timeliness.h"
+#include "core/plan_publication.h"
 #include "obs/obs.h"
 
 namespace mfg::sim {
@@ -122,7 +123,9 @@ common::Status MfgPlanReplanHook::OnEpochBoundary(
   observation_.mean_remaining.assign(k, options_.mean_remaining);
 
   MFG_OBS_SCOPED_TIMER("sim.gauntlet.plan_seconds");
-  if (auto status = framework_.PlanEpochInto(observation_, plan_buffer_);
+  if (auto status = framework_.PlanEpochInto(
+          observation_, plan_buffer_,
+          options_.collect_health ? &last_health_ : nullptr);
       !status.ok()) {
     return status;
   }
@@ -131,25 +134,9 @@ common::Status MfgPlanReplanHook::OnEpochBoundary(
   // planned mean caching rate (the equilibrium control surface averaged
   // over (t, q)); inactive contents keep a small popularity-only score so
   // leftover capacity still fills deterministically by popularity rank.
-  constexpr double kInactiveWeight = 0.05;
-  score_.assign(k, 0.0);
-  for (std::size_t i = 0; i < k; ++i) {
-    score_[i] = kInactiveWeight * plan_buffer_.popularity[i];
-  }
-  for (std::size_t slot = 0; slot < plan_buffer_.num_active; ++slot) {
-    const core::EpochContentResult& result = plan_buffer_.results[slot];
-    const numerics::TimeField2D& control = result.equilibrium.hjb.policy;
-    double sum = 0.0;
-    std::size_t cells = 0;
-    for (std::size_t n = 0; n < control.size(); ++n) {
-      for (double x : control[n]) sum += x;
-      cells += control.cols();
-    }
-    const double mean_rate = cells == 0 ? 0.0 : sum / static_cast<double>(cells);
-    score_[result.content] =
-        plan_buffer_.popularity[result.content] *
-        (kInactiveWeight + (1.0 - kInactiveWeight) * mean_rate);
-  }
+  // The arithmetic lives in core/plan_publication so the serving runtime
+  // publishes bit-identical placements from the same plan buffer.
+  core::ComputePlacementScores(plan_buffer_, score_);
   return cache->AssignTopByScore(score_);
 }
 

@@ -72,6 +72,10 @@ class MfgPlanReplanHook final : public ReplanHook {
     // carry (the engine observes counts only).
     double mean_timeliness = 2.5;
     double mean_remaining = 70.0;
+    // When true, every OnEpochBoundary fills last_health() with the
+    // epoch's EpochHealthReport (the serving runtime and soak tests read
+    // it; the default keeps the historical no-report planning path).
+    bool collect_health = false;
   };
 
   // Builds the planner over a homogeneous catalog with a Zipf prior
@@ -86,6 +90,9 @@ class MfgPlanReplanHook final : public ReplanHook {
 
   const core::EpochPlanBuffer& plan_buffer() const { return plan_buffer_; }
   const core::MfgCpFramework& framework() const { return framework_; }
+  // The last boundary's health report (valid after the first
+  // OnEpochBoundary when Options::collect_health is set).
+  const core::EpochHealthReport& last_health() const { return last_health_; }
 
  private:
   MfgPlanReplanHook(const Options& options, core::MfgCpFramework framework)
@@ -95,6 +102,7 @@ class MfgPlanReplanHook final : public ReplanHook {
   core::MfgCpFramework framework_;
   core::EpochPlanBuffer plan_buffer_;
   core::EpochObservation observation_;
+  core::EpochHealthReport last_health_;
   std::vector<double> score_;
 };
 

@@ -27,6 +27,22 @@ common::Status ReplanStep(std::size_t epoch,
 
 }  // namespace
 
+common::Status ValidateRequestEngineOptions(
+    const RequestEngineOptions& options) {
+  if (options.num_contents == 0) {
+    return common::Status::InvalidArgument("num_contents must be positive");
+  }
+  if (options.content_size_mb <= 0.0 || options.edge_rate_mb <= 0.0 ||
+      options.backhaul_rate_mb <= 0.0 || options.backhaul_latency < 0.0) {
+    return common::Status::InvalidArgument(
+        "delay model parameters must be positive");
+  }
+  if (options.epoch_period < 0.0) {
+    return common::Status::InvalidArgument("epoch_period must be >= 0");
+  }
+  return common::Status::Ok();
+}
+
 common::Status RequestEngine::ReplayInto(const RequestStream& stream,
                                          baselines::RequestCachePolicy& policy,
                                          ReplanHook* hook,
@@ -35,27 +51,18 @@ common::Status RequestEngine::ReplayInto(const RequestStream& stream,
   if (stream.empty()) {
     return common::Status::InvalidArgument("request stream is empty");
   }
-  if (options_.num_contents == 0) {
-    return common::Status::InvalidArgument("num_contents must be positive");
-  }
-  if (options_.content_size_mb <= 0.0 || options_.edge_rate_mb <= 0.0 ||
-      options_.backhaul_rate_mb <= 0.0 || options_.backhaul_latency < 0.0) {
-    return common::Status::InvalidArgument(
-        "delay model parameters must be positive");
-  }
-  if (options_.epoch_period < 0.0) {
-    return common::Status::InvalidArgument("epoch_period must be >= 0");
+  if (auto status = ValidateRequestEngineOptions(options_); !status.ok()) {
+    return status;
   }
   stats = RequestReplayStats{};
   workspace.epoch_counts.assign(options_.num_contents, 0);
 
   // Per-request costs are loop invariants of the homogeneous catalog:
   // the inner loop is a policy call, a branch, and three adds.
-  const double hit_delay = options_.content_size_mb / options_.edge_rate_mb;
-  const double miss_delay = options_.backhaul_latency +
-                            options_.content_size_mb /
-                                options_.backhaul_rate_mb;
-  const double miss_backhaul_mb = options_.content_size_mb;
+  const RequestCostModel costs = RequestCostModel::FromOptions(options_);
+  const double hit_delay = costs.hit_delay;
+  const double miss_delay = costs.miss_delay;
+  const double miss_backhaul_mb = costs.miss_backhaul_mb;
 
   const bool replanning = hook != nullptr && options_.epoch_period > 0.0;
   double next_boundary =

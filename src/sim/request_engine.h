@@ -79,6 +79,30 @@ struct RequestReplayStats {
   }
 };
 
+// Validates the delay-model and catalog fields shared by every consumer
+// of RequestEngineOptions (ReplayInto and the serving runtime), so both
+// paths reject a bad configuration with the same message.
+common::Status ValidateRequestEngineOptions(const RequestEngineOptions& options);
+
+// Per-request costs of the homogeneous catalog, hoisted out of the
+// request loop (the loop invariants ReplayInto always used). Shared by
+// ReplayInto and serve::ServeLoop so both paths accumulate bit-identical
+// delay/backhaul ledgers from the same expressions.
+struct RequestCostModel {
+  double hit_delay = 0.0;        // content_size / edge_rate.
+  double miss_delay = 0.0;       // latency + content_size / backhaul_rate.
+  double miss_backhaul_mb = 0.0; // content_size.
+
+  static RequestCostModel FromOptions(const RequestEngineOptions& options) {
+    RequestCostModel model;
+    model.hit_delay = options.content_size_mb / options.edge_rate_mb;
+    model.miss_delay = options.backhaul_latency +
+                       options.content_size_mb / options.backhaul_rate_mb;
+    model.miss_backhaul_mb = options.content_size_mb;
+    return model;
+  }
+};
+
 // Epoch-boundary replan seam. OnEpochBoundary runs on the replay thread
 // when sim time crosses an epoch boundary, with the per-content request
 // counts observed during the finished epoch; it typically re-plans and

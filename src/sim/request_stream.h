@@ -2,6 +2,7 @@
 #define MFGCP_SIM_REQUEST_STREAM_H_
 
 #include <cstdint>
+#include <limits>
 #include <string_view>
 #include <vector>
 
@@ -65,6 +66,50 @@ struct RequestStream {
   void CountRequestsInto(std::size_t begin, std::size_t end,
                          std::size_t num_contents,
                          std::vector<std::uint64_t>& counts) const;
+};
+
+// Incremental tail reader over a RequestStream: the serving runtime
+// (serve/serve_loop.h) drains requests tick by tick as simulated time
+// advances, instead of walking the whole stream in one replay pass. The
+// cursor is a bare index — binding and advancing never allocate — and
+// yields requests in arrival order, so a cursor-driven drain visits the
+// exact event sequence ReplayInto does.
+class RequestStreamCursor {
+ public:
+  RequestStreamCursor() = default;
+  explicit RequestStreamCursor(const RequestStream& stream) { Bind(stream); }
+
+  // Rebinds to `stream` (borrowed; must outlive the cursor) and rewinds.
+  void Bind(const RequestStream& stream) {
+    stream_ = &stream;
+    position_ = 0;
+  }
+
+  bool AtEnd() const {
+    return stream_ == nullptr || position_ >= stream_->size();
+  }
+  std::size_t position() const { return position_; }
+
+  // Arrival time of the next unread request; +inf when drained.
+  double NextArrival() const {
+    return AtEnd() ? std::numeric_limits<double>::infinity()
+                   : stream_->arrival_time[position_];
+  }
+
+  // Pops the next request when it arrives at or before `until`; returns
+  // false (outputs untouched) when the next arrival is later or the
+  // stream is drained.
+  bool Next(double until, double& arrival, std::uint32_t& content) {
+    if (AtEnd() || stream_->arrival_time[position_] > until) return false;
+    arrival = stream_->arrival_time[position_];
+    content = stream_->content[position_];
+    ++position_;
+    return true;
+  }
+
+ private:
+  const RequestStream* stream_ = nullptr;
+  std::size_t position_ = 0;
 };
 
 // Generates a stream into caller storage, reusing its capacity. For

@@ -57,6 +57,21 @@ TEST(EpochHealthTest, FormatHealthLineOmitsEmptyDegradedList) {
   EXPECT_THAT(line, ::testing::Not(HasSubstr("degraded=")));
 }
 
+TEST(EpochHealthTest, FormatHealthLineShowsDeadlineMissesOnlyWhenCharged) {
+  // The serving runtime's kPlanDeadline degradation (serve/serve_loop.h)
+  // charges plan_deadline_misses onto the report; the planner's own path
+  // always leaves it 0 and the line must stay byte-identical for those.
+  EpochHealthReport report;
+  report.epoch = 3;
+  report.active_contents = 4;
+  report.plan_seconds = 0.01;
+  report.solved = 4;
+  EXPECT_THAT(FormatHealthLine(report),
+              ::testing::Not(HasSubstr("deadline_misses")));
+  report.plan_deadline_misses = 1;
+  EXPECT_THAT(FormatHealthLine(report), HasSubstr("deadline_misses=1"));
+}
+
 TEST(EpochHealthTest, DerivedCountsAndHealthiness) {
   EpochHealthReport report;
   report.solved = 3;

@@ -20,7 +20,7 @@ TEST(FaultInjectionTest, SiteNamesRoundTrip) {
       FaultSite::kParamsBuild, FaultSite::kRebind,
       FaultSite::kSolve,       FaultSite::kHjbStep,
       FaultSite::kFpkStep,     FaultSite::kNonConvergence,
-      FaultSite::kReplan,
+      FaultSite::kReplan,      FaultSite::kPlanDeadline,
   };
   ASSERT_EQ(std::size(sites), kNumFaultSites);
   for (FaultSite site : sites) {

@@ -1,0 +1,57 @@
+// Asserts the serve thread's zero-allocation steady state (the
+// allocs_per_tick=0 contract bench_serve records). Links
+// mfgcp_obs_alloc_hooks so obs::ThreadAllocationCount() counts real
+// operator-new calls: from the second publication to the end of the run,
+// the tick path — boundary drain, request serving, publication swap,
+// interpolation, instruments — must never touch the heap.
+
+#include <gtest/gtest.h>
+
+#include "serve/serve_loop.h"
+#include "serve_test_util.h"
+#include "sim/request_stream.h"
+
+namespace mfg::serve {
+namespace {
+
+using serve::testing::SmallServeOptions;
+using serve::testing::SmallStreamOptions;
+
+TEST(ServeLoopAllocTest, UnpacedSteadyStateServesWithoutAllocating) {
+  auto stream = sim::GenerateRequestStream(SmallStreamOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  auto loop = ServeLoop::Create(SmallServeOptions());
+  ASSERT_TRUE(loop.ok()) << loop.status();
+
+  ServeStats stats;
+  ASSERT_TRUE(loop.value()->Run(stream.value(), stats).ok());
+  ASSERT_GE(stats.publications, 3u)
+      << "need publications beyond the warmup pair for a steady window";
+  EXPECT_GT(stats.steady_ticks, 0u);
+  EXPECT_EQ(stats.steady_allocs, 0u);
+}
+
+TEST(ServeLoopAllocTest, PacedSteadyStateServesWithoutAllocating) {
+  // Paced mode adds the sleep-until scheduler to the tick path; it must
+  // stay allocation-free too. 500x timescale covers the ~100-unit horizon
+  // in ~20 paced 10ms ticks (about 0.2s of wall clock).
+  auto stream = sim::GenerateRequestStream(SmallStreamOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  ServeOptions options = SmallServeOptions();
+  options.clock.timescale = 500.0;
+  options.clock.tick_ms = 10.0;
+  auto loop = ServeLoop::Create(options);
+  ASSERT_TRUE(loop.ok()) << loop.status();
+
+  ServeStats stats;
+  ASSERT_TRUE(loop.value()->Run(stream.value(), stats).ok());
+  ASSERT_GE(stats.publications, 3u);
+  EXPECT_GT(stats.steady_ticks, 0u);
+  EXPECT_EQ(stats.steady_allocs, 0u);
+  // Pacing really happened: many more ticks than boundaries.
+  EXPECT_GT(stats.ticks, stats.publications);
+}
+
+}  // namespace
+}  // namespace mfg::serve

@@ -1,0 +1,193 @@
+// The kPlanDeadline degradation path: a plan that misses its publication
+// deadline is held back — the loop keeps serving the previous plan and
+// the late plan swaps in at the next epoch boundary. Covered twice: the
+// forced fault site (deterministic, synchronous mode) and a real
+// wall-clock overrun (asynchronous mode with a deliberately slow
+// planner and generous margins).
+
+#include <gtest/gtest.h>
+
+#include "core/fault_injection.h"
+#include "serve/serve_loop.h"
+#include "serve_test_util.h"
+#include "sim/request_stream.h"
+
+namespace mfg::serve {
+namespace {
+
+using serve::testing::SmallServeOptions;
+using serve::testing::SmallStreamOptions;
+
+#if MFGCP_FAULTS_ENABLED
+TEST(ServeLoopDeadlineTest, ForcedMissDefersPublicationOneBoundary) {
+  auto stream = sim::GenerateRequestStream(SmallStreamOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  core::faults::FaultPlan plan;
+  core::faults::FaultSpec spec;
+  spec.site = core::faults::FaultSite::kPlanDeadline;
+  spec.epoch = 0;
+  spec.content = 0;
+  plan.Add(spec);
+  core::faults::ScopedFaultInjection arm(plan);
+
+  auto loop = ServeLoop::Create(SmallServeOptions());
+  ASSERT_TRUE(loop.ok()) << loop.status();
+  ServeStats stats;
+  ASSERT_TRUE(loop.value()->Run(stream.value(), stats).ok());
+
+  EXPECT_EQ(stats.deadline_misses, 1u);
+  EXPECT_EQ(stats.failed_epochs, 0u);
+  ASSERT_GE(stats.rows.size(), 2u);
+
+  // Plan 0 overran: published only at boundary 1, flagged as a miss.
+  EXPECT_EQ(stats.rows[0].epoch, 0u);
+  EXPECT_EQ(stats.rows[0].deadline_misses, 1u);
+  EXPECT_EQ(stats.rows[0].epoch_published, 1u);
+  // Plan 1 was on time and published at its own boundary — right after
+  // the deferred plan 0 swapped in.
+  EXPECT_EQ(stats.rows[1].epoch, 1u);
+  EXPECT_EQ(stats.rows[1].deadline_misses, 0u);
+  EXPECT_EQ(stats.rows[1].epoch_published, 1u);
+  EXPECT_GE(stats.rows[1].tick, stats.rows[0].tick);
+
+  // The miss lands in the health report (the PR 5 surface): the last
+  // plan of the run was on time, so recheck via the rows instead of
+  // last_health(), then force a second run without the fault to show the
+  // counter really is per-plan, not sticky.
+  ServeStats clean;
+  ASSERT_TRUE(loop.value()->Run(stream.value(), clean).ok());
+  EXPECT_EQ(clean.deadline_misses, 1u)  // Epoch index resumed at 0? No —
+      << "fault plans key on the serve boundary index, which restarts "
+         "per Run; the armed spec fires again";
+}
+
+TEST(ServeLoopDeadlineTest, ForcedMissKeepsServingThePreviousPlan) {
+  // A stream whose epoch-0 traffic inverts the Zipf prior: contents
+  // 9/10/11 take every request, so plan 0 places {9,10,11} while the
+  // initial prior placement holds {0,1,2}. Deferring plan 0's
+  // publication by one boundary therefore serves all of epoch 1 from the
+  // stale prior placement — hundreds of hits turn into misses, proving
+  // the overrun epoch really kept the previous plan.
+  sim::RequestStream stream;
+  for (std::size_t i = 0; i < 1200; ++i) {
+    // 0 <= t < 34.8: epochs 0 and 1 of the 18.0 period, hot tail contents.
+    stream.arrival_time.push_back(0.029 * static_cast<double>(i));
+    stream.content.push_back(static_cast<std::uint32_t>(9 + i % 3));
+  }
+  for (std::size_t i = 0; i < 30; ++i) {
+    // Past boundary 2 so every epoch above gets planned.
+    stream.arrival_time.push_back(36.5 + 0.1 * static_cast<double>(i));
+    stream.content.push_back(static_cast<std::uint32_t>(i % 12));
+  }
+
+  auto baseline_loop = ServeLoop::Create(SmallServeOptions());
+  ASSERT_TRUE(baseline_loop.ok()) << baseline_loop.status();
+  ServeStats baseline;
+  ASSERT_TRUE(baseline_loop.value()->Run(stream, baseline).ok());
+
+  core::faults::FaultPlan plan;
+  core::faults::FaultSpec spec;
+  spec.site = core::faults::FaultSite::kPlanDeadline;
+  spec.epoch = 0;
+  spec.content = 0;
+  plan.Add(spec);
+  core::faults::ScopedFaultInjection arm(plan);
+
+  auto faulted_loop = ServeLoop::Create(SmallServeOptions());
+  ASSERT_TRUE(faulted_loop.ok()) << faulted_loop.status();
+  ServeStats faulted;
+  ASSERT_TRUE(faulted_loop.value()->Run(stream, faulted).ok());
+
+  EXPECT_EQ(faulted.requests.requests, baseline.requests.requests);
+  EXPECT_EQ(faulted.requests.hits + faulted.requests.misses,
+            faulted.requests.requests);
+  EXPECT_EQ(faulted.publications, baseline.publications);
+  EXPECT_EQ(faulted.deadline_misses, 1u);
+  // Epoch 1 holds ~580 hot-content requests; the stale placement misses
+  // them all, the published plan hits them all.
+  EXPECT_GT(baseline.requests.hits, faulted.requests.hits + 500);
+}
+#endif  // MFGCP_FAULTS_ENABLED
+
+TEST(ServeLoopDeadlineTest, AsyncOverrunCountsMissAndKeepsServing) {
+  // A planner that sleeps 80ms against a 5ms deadline overruns every
+  // round it gets; the serve loop must keep draining the stream on the
+  // previous placement, count the miss, and skip boundaries that arrive
+  // while the planner is busy. Margins are generous (16x) so scheduler
+  // jitter cannot flip the outcome.
+  auto stream = sim::GenerateRequestStream(SmallStreamOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  ServeOptions options = SmallServeOptions();
+  options.plan_deadline_ms = 5.0;
+  options.synthetic_plan_delay_ms = 80.0;
+  auto loop = ServeLoop::Create(options);
+  ASSERT_TRUE(loop.ok()) << loop.status();
+
+  ServeStats stats;
+  auto status = loop.value()->Run(stream.value(), stats);
+  ASSERT_TRUE(status.ok()) << status;
+
+  EXPECT_EQ(stats.requests.requests, 20000u);
+  EXPECT_EQ(stats.requests.hits + stats.requests.misses,
+            stats.requests.requests);
+  EXPECT_GE(stats.deadline_misses, 1u);
+  // Unpaced serving blasts through the remaining boundaries while the
+  // planner sleeps its first 80ms: those rounds are skipped, not queued.
+  EXPECT_GE(stats.skipped_plan_rounds, 1u);
+  EXPECT_EQ(stats.plan_rounds + stats.skipped_plan_rounds,
+            stats.requests.replans);
+}
+
+TEST(ServeLoopDeadlineTest, AsyncOnTimePlanPublishes) {
+  // Same asynchronous machinery, but the deadline is far beyond any real
+  // planning time: at least the round collected at the stream tail must
+  // publish with no miss charged.
+  auto stream = sim::GenerateRequestStream(SmallStreamOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  ServeOptions options = SmallServeOptions();
+  options.plan_deadline_ms = 60000.0;
+  auto loop = ServeLoop::Create(options);
+  ASSERT_TRUE(loop.ok()) << loop.status();
+
+  ServeStats stats;
+  ASSERT_TRUE(loop.value()->Run(stream.value(), stats).ok());
+  EXPECT_EQ(stats.deadline_misses, 0u);
+  EXPECT_GE(stats.publications, 1u);
+  EXPECT_EQ(stats.failed_epochs, 0u);
+}
+
+TEST(ServeLoopDeadlineTest, CreateRejectsBadOptions) {
+  ServeOptions options = SmallServeOptions();
+  options.engine.epoch_period = 0.0;
+  EXPECT_FALSE(ServeLoop::Create(options).ok());
+
+  options = SmallServeOptions();
+  options.plan_deadline_ms = -1.0;
+  EXPECT_FALSE(ServeLoop::Create(options).ok());
+
+  options = SmallServeOptions();
+  options.synthetic_plan_delay_ms = -1.0;
+  EXPECT_FALSE(ServeLoop::Create(options).ok());
+
+  options = SmallServeOptions();
+  options.clock.timescale = 0.0;
+  EXPECT_FALSE(ServeLoop::Create(options).ok());
+
+  options = SmallServeOptions();
+  options.clock.tick_ms = 0.0;
+  EXPECT_FALSE(ServeLoop::Create(options).ok());
+}
+
+TEST(ServeLoopDeadlineTest, RunRejectsAnEmptyStream) {
+  auto loop = ServeLoop::Create(SmallServeOptions());
+  ASSERT_TRUE(loop.ok()) << loop.status();
+  sim::RequestStream empty;
+  ServeStats stats;
+  EXPECT_FALSE(loop.value()->Run(empty, stats).ok());
+}
+
+}  // namespace
+}  // namespace mfg::serve

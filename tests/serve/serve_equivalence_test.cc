@@ -1,0 +1,165 @@
+// The serving runtime's determinism contract: at timescale inf with
+// synchronous boundaries, ServeLoop's request ledger and final placement
+// are bit-identical to a batch gauntlet replay of the same stream — at
+// any planner parallelism and batch width. This is the serve-side
+// extension of GauntletTest.StatisticsAreBitIdenticalAcrossPlanner-
+// Parallelism: the tick scheduler, double-buffered publication, and
+// planner thread must be invisible in the statistics.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/request_cache.h"
+#include "content/popularity.h"
+#include "serve/serve_loop.h"
+#include "sim/gauntlet.h"
+#include "sim/request_engine.h"
+#include "sim/request_stream.h"
+#include "serve_test_util.h"
+
+namespace mfg::serve {
+namespace {
+
+using serve::testing::SmallServeOptions;
+using serve::testing::SmallStreamOptions;
+
+struct BatchReference {
+  sim::RequestReplayStats stats;
+  std::vector<std::uint32_t> placement;
+};
+
+// The gauntlet's MFG-CP cell, spelled out: fresh replan hook, Zipf-seeded
+// StaticSetCache, one ReplayInto pass. Exposes the final placement the
+// GauntletOutcome does not carry.
+BatchReference ReplayReference(const sim::RequestStream& stream,
+                               const ServeOptions& serve_options) {
+  BatchReference reference;
+  const std::size_t k = serve_options.engine.num_contents;
+  auto hook = sim::MfgPlanReplanHook::Create(
+      serve_options.plan, k, serve_options.engine.content_size_mb,
+      serve_options.zipf_iota);
+  EXPECT_TRUE(hook.ok()) << hook.status();
+  auto popularity =
+      content::PopularityModel::CreateZipf(k, serve_options.zipf_iota);
+  EXPECT_TRUE(popularity.ok()) << popularity.status();
+
+  baselines::StaticSetCache cache("MFG-CP");
+  EXPECT_TRUE(cache
+                  .Reset(k, serve_options.engine.cache_capacity,
+                         popularity.value().prior())
+                  .ok());
+  const sim::RequestEngine engine(serve_options.engine);
+  sim::RequestEngine::Workspace workspace;
+  auto status = engine.ReplayInto(stream, cache, hook.value().get(),
+                                  workspace, reference.stats);
+  EXPECT_TRUE(status.ok()) << status;
+  reference.placement.assign(cache.placement().begin(),
+                             cache.placement().end());
+  return reference;
+}
+
+TEST(ServeLoopEquivalenceTest, UnpacedServeMatchesBatchReplayBitForBit) {
+  auto stream = sim::GenerateRequestStream(SmallStreamOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  const BatchReference reference =
+      ReplayReference(stream.value(), SmallServeOptions());
+  ASSERT_GT(reference.stats.replans, 0u);
+
+  for (std::size_t parallelism : {1u, 2u, 8u}) {
+    for (std::size_t batch_width : {1u, 8u}) {
+      ServeOptions options = SmallServeOptions();
+      options.plan.planner.parallelism = parallelism;
+      options.plan.planner.batch_width = batch_width;
+      auto loop = ServeLoop::Create(options);
+      ASSERT_TRUE(loop.ok()) << loop.status();
+
+      ServeStats stats;
+      auto status = loop.value()->Run(stream.value(), stats);
+      ASSERT_TRUE(status.ok()) << status;
+
+      SCOPED_TRACE(::testing::Message() << "parallelism " << parallelism
+                                        << " batch " << batch_width);
+      EXPECT_EQ(stats.requests.requests, reference.stats.requests);
+      EXPECT_EQ(stats.requests.hits, reference.stats.hits);
+      EXPECT_EQ(stats.requests.misses, reference.stats.misses);
+      EXPECT_EQ(stats.requests.replans, reference.stats.replans);
+      EXPECT_EQ(stats.requests.replan_faults, reference.stats.replan_faults);
+      // Bit-identical accumulations, not just close.
+      EXPECT_EQ(stats.requests.total_delay, reference.stats.total_delay);
+      EXPECT_EQ(stats.requests.backhaul_mb, reference.stats.backhaul_mb);
+      EXPECT_EQ(stats.requests.horizon, reference.stats.horizon);
+
+      // The placement left serving is the batch replay's final placement,
+      // entry for entry (AssignTopByScore orders deterministically).
+      auto placement = loop.value()->placement();
+      ASSERT_EQ(placement.size(), reference.placement.size());
+      for (std::size_t i = 0; i < placement.size(); ++i) {
+        EXPECT_EQ(placement[i], reference.placement[i]) << "slot " << i;
+      }
+
+      // Every boundary planned and published, synchronously and on time.
+      EXPECT_EQ(stats.plan_rounds, stats.requests.replans);
+      EXPECT_EQ(stats.publications, stats.plan_rounds);
+      EXPECT_EQ(stats.rows.size(), stats.publications);
+      EXPECT_EQ(stats.deadline_misses, 0u);
+      EXPECT_EQ(stats.skipped_plan_rounds, 0u);
+      EXPECT_EQ(stats.failed_epochs, 0u);
+    }
+  }
+}
+
+TEST(ServeLoopEquivalenceTest, MatchesTheGauntletCellItself) {
+  // Belt and braces: the hand-rolled reference above is the gauntlet's
+  // MFG-CP cell; make sure the gauntlet agrees, so the serve contract is
+  // anchored to RunGauntlet and not to this test's private replay.
+  auto stream = sim::GenerateRequestStream(SmallStreamOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  sim::GauntletOptions gauntlet;
+  gauntlet.stream = SmallStreamOptions();
+  gauntlet.engine = SmallServeOptions().engine;
+  gauntlet.capacities = {SmallServeOptions().engine.cache_capacity};
+  gauntlet.schemes = {sim::GauntletScheme::kMfgPlan};
+  gauntlet.plan = SmallServeOptions().plan;
+  auto outcomes = sim::RunGauntlet(gauntlet);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status();
+  ASSERT_EQ(outcomes->size(), 1u);
+
+  auto loop = ServeLoop::Create(SmallServeOptions());
+  ASSERT_TRUE(loop.ok()) << loop.status();
+  ServeStats stats;
+  ASSERT_TRUE(loop.value()->Run(stream.value(), stats).ok());
+
+  const sim::RequestReplayStats& cell = (*outcomes)[0].stats;
+  EXPECT_EQ(stats.requests.hits, cell.hits);
+  EXPECT_EQ(stats.requests.misses, cell.misses);
+  EXPECT_EQ(stats.requests.replans, cell.replans);
+  EXPECT_EQ(stats.requests.total_delay, cell.total_delay);
+  EXPECT_EQ(stats.requests.backhaul_mb, cell.backhaul_mb);
+}
+
+TEST(ServeLoopEquivalenceTest, RerunningTheSameLoopStaysDeterministic) {
+  // A long-lived daemon replans across many streams; the ledger of a
+  // repeat Run over the same stream must reproduce the first (planner
+  // carry-forward state persists, but with identical observations the
+  // plans are identical).
+  auto stream = sim::GenerateRequestStream(SmallStreamOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+  auto loop = ServeLoop::Create(SmallServeOptions());
+  ASSERT_TRUE(loop.ok()) << loop.status();
+
+  ServeStats first;
+  ASSERT_TRUE(loop.value()->Run(stream.value(), first).ok());
+  ServeStats second;
+  ASSERT_TRUE(loop.value()->Run(stream.value(), second).ok());
+  EXPECT_EQ(second.requests.hits, first.requests.hits);
+  EXPECT_EQ(second.requests.total_delay, first.requests.total_delay);
+  EXPECT_EQ(second.publications, first.publications);
+}
+
+}  // namespace
+}  // namespace mfg::serve

@@ -1,0 +1,157 @@
+// Unit coverage for the serving runtime's time machinery: the plan
+// interpolator (exact at the boundaries, monotone and clamped between
+// them, seeded without a ramp-from-zero) and the serve clock / timescale
+// parsing.
+
+#include <gtest/gtest.h>
+
+#include "core/plan_publication.h"
+#include "serve/plan_interpolator.h"
+#include "serve/serve_clock.h"
+
+namespace mfg::serve {
+namespace {
+
+core::PublishedPlan MakePlan(std::size_t k, double base) {
+  core::PublishedPlan plan;
+  plan.mean_price.resize(k);
+  plan.mean_rate.resize(k);
+  plan.popularity.resize(k);
+  plan.score.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    plan.mean_price[i] = base + static_cast<double>(i);
+    plan.mean_rate[i] = base * 0.1 + static_cast<double>(i) * 0.01;
+    plan.popularity[i] = 1.0 / (1.0 + static_cast<double>(i) + base);
+  }
+  plan.mean_price_overall = base;
+  return plan;
+}
+
+TEST(ServeInterpolatorTest, FirstPublicationSeedsBothEndpoints) {
+  PlanInterpolator interp;
+  interp.Reset(4);
+  EXPECT_EQ(interp.num_contents(), 4u);
+  EXPECT_EQ(interp.publications(), 0u);
+
+  interp.Advance(MakePlan(4, 2.0));
+  EXPECT_EQ(interp.publications(), 1u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const double expected = 2.0 + static_cast<double>(i);
+    // No ramp from the zeroed state: u=0 and u=1 are both the first plan.
+    EXPECT_EQ(interp.PriceAt(i, 0.0), expected);
+    EXPECT_EQ(interp.PriceAt(i, 1.0), expected);
+    EXPECT_EQ(interp.PriceAt(i, 0.37), expected);
+  }
+  EXPECT_EQ(interp.MeanPriceAt(0.5), 2.0);
+}
+
+TEST(ServeInterpolatorTest, ExactAtBoundariesLinearBetween) {
+  PlanInterpolator interp;
+  interp.Reset(3);
+  interp.Advance(MakePlan(3, 1.0));
+  interp.Advance(MakePlan(3, 5.0));
+  EXPECT_EQ(interp.publications(), 2u);
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double prev = 1.0 + static_cast<double>(i);
+    const double curr = 5.0 + static_cast<double>(i);
+    EXPECT_EQ(interp.PriceAt(i, 0.0), prev);  // Exact, not approximate.
+    EXPECT_EQ(interp.PriceAt(i, 1.0), curr);
+    EXPECT_DOUBLE_EQ(interp.PriceAt(i, 0.5), 0.5 * (prev + curr));
+  }
+  EXPECT_EQ(interp.MeanPriceAt(0.0), 1.0);
+  EXPECT_EQ(interp.MeanPriceAt(1.0), 5.0);
+
+  // Monotone in u when the endpoints are ordered.
+  double last = interp.MeanPriceAt(0.0);
+  for (int step = 1; step <= 10; ++step) {
+    const double value = interp.MeanPriceAt(0.1 * step);
+    EXPECT_GE(value, last);
+    last = value;
+  }
+}
+
+TEST(ServeInterpolatorTest, ClampsOutOfRangeFractions) {
+  PlanInterpolator interp;
+  interp.Reset(2);
+  interp.Advance(MakePlan(2, 1.0));
+  interp.Advance(MakePlan(2, 3.0));
+  // Queries before the previous boundary or past the next one do not
+  // extrapolate (a late plan would otherwise overshoot prices).
+  EXPECT_EQ(interp.MeanPriceAt(-2.0), interp.MeanPriceAt(0.0));
+  EXPECT_EQ(interp.MeanPriceAt(7.5), interp.MeanPriceAt(1.0));
+}
+
+TEST(ServeInterpolatorTest, AdvanceRotatesPlans) {
+  PlanInterpolator interp;
+  interp.Reset(2);
+  interp.Advance(MakePlan(2, 1.0));
+  interp.Advance(MakePlan(2, 3.0));
+  interp.Advance(MakePlan(2, 10.0));
+  EXPECT_EQ(interp.MeanPriceAt(0.0), 3.0);
+  EXPECT_EQ(interp.MeanPriceAt(1.0), 10.0);
+  EXPECT_EQ(interp.publications(), 3u);
+
+  interp.Reset(2);
+  EXPECT_EQ(interp.publications(), 0u);
+  EXPECT_EQ(interp.MeanPriceAt(0.5), 0.0);
+}
+
+TEST(ServeClockTest, ParseTimescaleAcceptsInfAndPositives) {
+  double value = 0.0;
+  ASSERT_TRUE(ParseTimescale("inf", value));
+  EXPECT_EQ(value, kTimescaleInfinite);
+  ASSERT_TRUE(ParseTimescale("2.5", value));
+  EXPECT_EQ(value, 2.5);
+  ASSERT_TRUE(ParseTimescale("1", value));
+  EXPECT_EQ(value, 1.0);
+
+  double untouched = -7.0;
+  EXPECT_FALSE(ParseTimescale("", untouched));
+  EXPECT_FALSE(ParseTimescale("0", untouched));
+  EXPECT_FALSE(ParseTimescale("-3", untouched));
+  EXPECT_FALSE(ParseTimescale("fast", untouched));
+  EXPECT_FALSE(ParseTimescale("2.5x", untouched));
+  EXPECT_EQ(untouched, -7.0);
+}
+
+TEST(ServeClockTest, SimDtScalesWithTimescale) {
+  ServeClockOptions options;
+  options.timescale = 50.0;
+  options.tick_ms = 20.0;
+  ServeClock clock(options);
+  EXPECT_TRUE(clock.paced());
+  // One 20ms tick advances 20/1000 * 50 = 1.0 units of simulated time.
+  EXPECT_DOUBLE_EQ(clock.sim_dt(), 1.0);
+
+  options.timescale = kTimescaleInfinite;
+  ServeClock unpaced(options);
+  EXPECT_FALSE(unpaced.paced());
+}
+
+TEST(ServeClockTest, UnpacedTicksDoNotSleep) {
+  ServeClockOptions options;
+  options.timescale = kTimescaleInfinite;
+  options.tick_ms = 1000.0;  // Would be 10 seconds of sleeping if paced.
+  ServeClock clock(options);
+  clock.Start();
+  for (int i = 0; i < 10; ++i) clock.WaitForNextTick();
+  EXPECT_EQ(clock.ticks(), 10u);
+  EXPECT_LT(clock.ElapsedWallSeconds(), 5.0);
+}
+
+TEST(ServeClockTest, ValidateRejectsNonPositiveKnobs) {
+  ServeClockOptions options;
+  options.timescale = 0.0;
+  EXPECT_FALSE(ValidateServeClockOptions(options).ok());
+  options.timescale = -1.0;
+  EXPECT_FALSE(ValidateServeClockOptions(options).ok());
+  options.timescale = 1.0;
+  options.tick_ms = 0.0;
+  EXPECT_FALSE(ValidateServeClockOptions(options).ok());
+  options.tick_ms = 10.0;
+  EXPECT_TRUE(ValidateServeClockOptions(options).ok());
+}
+
+}  // namespace
+}  // namespace mfg::serve

@@ -1,0 +1,41 @@
+#ifndef MFGCP_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define MFGCP_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include <cstddef>
+
+#include "serve/serve_loop.h"
+#include "sim/request_stream.h"
+
+// Shared scenario for the serving-runtime tests: the gauntlet_test
+// SmallGauntlet shape (12 contents, 20k requests, 5 MFG replans) driven
+// through ServeLoop, so the equivalence suite compares against the exact
+// batch configuration the gauntlet's own determinism test pins down.
+
+namespace mfg::serve::testing {
+
+inline sim::RequestStreamOptions SmallStreamOptions() {
+  sim::RequestStreamOptions options;
+  options.num_contents = 12;
+  options.num_requests = 20000;
+  options.arrival_rate = 200.0;
+  options.seed = 21;
+  return options;
+}
+
+inline ServeOptions SmallServeOptions() {
+  ServeOptions options;
+  options.engine.num_contents = 12;
+  options.engine.cache_capacity = 3;
+  options.engine.epoch_period = 18.0;
+  // The FastOptions planner shape of tests/core/epoch_test_util.h.
+  options.plan.planner.base_params.grid.num_q_nodes = 41;
+  options.plan.planner.base_params.grid.num_time_steps = 50;
+  options.plan.planner.base_params.learning.max_iterations = 20;
+  options.zipf_iota = SmallStreamOptions().zipf_iota;
+  options.clock.timescale = kTimescaleInfinite;
+  return options;
+}
+
+}  // namespace mfg::serve::testing
+
+#endif  // MFGCP_TESTS_SERVE_SERVE_TEST_UTIL_H_

@@ -175,6 +175,60 @@ TEST(RequestStreamTest, RejectsBadTraceSetups) {
       << "a day with no requests inside the catalog must be rejected";
 }
 
+TEST(RequestStreamTest, CursorTailsTheStreamInOrder) {
+  RequestStream stream;
+  stream.arrival_time = {0.5, 1.0, 1.0, 3.5};
+  stream.content = {2, 0, 1, 2};
+
+  RequestStreamCursor cursor(stream);
+  EXPECT_FALSE(cursor.AtEnd());
+  EXPECT_EQ(cursor.position(), 0u);
+  EXPECT_EQ(cursor.NextArrival(), 0.5);
+
+  double t = 0.0;
+  std::uint32_t content = 0;
+  // Nothing has arrived before t=0.25; the cursor does not advance.
+  EXPECT_FALSE(cursor.Next(0.25, t, content));
+  EXPECT_EQ(cursor.position(), 0u);
+
+  // Drain through t=1.0 inclusive: three requests, stream order.
+  ASSERT_TRUE(cursor.Next(1.0, t, content));
+  EXPECT_EQ(t, 0.5);
+  EXPECT_EQ(content, 2u);
+  ASSERT_TRUE(cursor.Next(1.0, t, content));
+  EXPECT_EQ(t, 1.0);
+  EXPECT_EQ(content, 0u);
+  ASSERT_TRUE(cursor.Next(1.0, t, content));
+  EXPECT_EQ(content, 1u);
+  EXPECT_FALSE(cursor.Next(1.0, t, content));
+  EXPECT_EQ(cursor.NextArrival(), 3.5);
+
+  ASSERT_TRUE(cursor.Next(10.0, t, content));
+  EXPECT_TRUE(cursor.AtEnd());
+  EXPECT_EQ(cursor.NextArrival(), std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(cursor.Next(10.0, t, content));
+}
+
+TEST(RequestStreamTest, CursorRebindsAndHandlesUnbound) {
+  RequestStreamCursor cursor;
+  EXPECT_TRUE(cursor.AtEnd()) << "an unbound cursor is exhausted, not UB";
+  EXPECT_EQ(cursor.NextArrival(), std::numeric_limits<double>::infinity());
+
+  RequestStream stream;
+  stream.arrival_time = {2.0};
+  stream.content = {4};
+  cursor.Bind(stream);
+  EXPECT_FALSE(cursor.AtEnd());
+  double t = 0.0;
+  std::uint32_t content = 0;
+  ASSERT_TRUE(cursor.Next(2.0, t, content));
+  EXPECT_TRUE(cursor.AtEnd());
+  // Bind rewinds: the same stream replays from the start.
+  cursor.Bind(stream);
+  EXPECT_EQ(cursor.position(), 0u);
+  EXPECT_EQ(cursor.NextArrival(), 2.0);
+}
+
 TEST(RequestStreamTest, ParsesArrivalNames) {
   ArrivalProcess arrival = ArrivalProcess::kTrace;
   EXPECT_TRUE(ParseArrivalProcess("poisson", arrival));
