@@ -17,6 +17,7 @@
 #include "core/best_response.h"
 #include "core/epoch_health.h"
 #include "core/policy.h"
+#include "obs/exporter.h"
 #include "obs/flight_dump.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
@@ -47,8 +48,14 @@
 //   flight_dump_events=<n> last-N events kept per content in a dump (64)
 //   flight_dump_all=on     also dump healthy epochs (every active content)
 //   flight_record=off      disable the flight-recorder journal entirely
-// The streaming and flight keys are ignored (with no output file) when the
-// binary is built with -DMFGCP_OBS=OFF; health_log works either way.
+//   admin_port=<p>         serve the live admin endpoint (/metrics /healthz
+//                          /readyz /epochz /flightz, obs/exporter.h) on
+//                          127.0.0.1:<p> for the whole run; 0 picks an
+//                          ephemeral port (printed at startup)
+//   epochz_capacity=<n>    /epochz ring size (default 64)
+// The streaming, flight, and admin keys are ignored (with no output file
+// or socket) when the binary is built with -DMFGCP_OBS=OFF; health_log
+// works either way.
 
 namespace mfg::bench {
 
@@ -207,6 +214,13 @@ inline void InitObservability(const common::Config& config) {
   // are silently ignored (no file is created).
   const std::string stream_path = config.GetString("metrics_stream", "");
   if (!stream_path.empty()) {
+    // The wide-CSV's column set is frozen at Start from the instruments
+    // registered so far; touch the hot latency histograms up front so
+    // their p50/p90/p99 columns exist even though the first Observe
+    // happens mid-run (default seconds bounds, same as the macros use).
+    obs::Registry::Global().GetHistogram("core.plan_epoch.seconds");
+    obs::Registry::Global().GetHistogram("serve.tick_latency");
+    obs::Registry::Global().GetHistogram("serve.plan_publish_latency");
     obs::StreamOptions stream_options;
     stream_options.jsonl_path = stream_path;
     stream_options.csv_path = config.GetString("metrics_stream_csv", "");
@@ -244,6 +258,25 @@ inline void InitObservability(const common::Config& config) {
     flight_options.dump_healthy =
         config.GetString("flight_dump_all", "") == "on";
     obs::SetFlightDumpOptions(std::move(flight_options));
+  }
+
+  // Live introspection plane (OBSERVABILITY.md "Live introspection"): one
+  // process-wide exporter for the whole run, stopped from atexit like the
+  // streamer. Inert when the telemetry layer is compiled out.
+  const std::int64_t admin_port = config.GetInt("admin_port", -1);
+  if (admin_port >= 0) {
+    obs::ExporterOptions admin_options;
+    admin_options.port = static_cast<int>(admin_port);
+    admin_options.epochz_capacity =
+        static_cast<std::size_t>(config.GetInt("epochz_capacity", 64));
+    const auto status = obs::AdminExporter::Global().Start(admin_options);
+    if (status.ok()) {
+      std::printf("admin: http://127.0.0.1:%d/metrics\n",
+                  obs::AdminExporter::Global().port());
+      std::atexit([] { obs::AdminExporter::Global().Stop(); });
+    } else {
+      std::fprintf(stderr, "admin: %s\n", status.ToString().c_str());
+    }
   }
 #endif  // MFGCP_OBS_ENABLED
 }

@@ -40,6 +40,7 @@
 #include <string>
 
 #include "bench_common.h"
+#include "common/build_info.h"
 #include "common/table.h"
 #include "core/fault_injection.h"
 #include "serve/serve_clock.h"
@@ -183,9 +184,18 @@ int Run(int argc, char** argv) {
     std::ofstream out(bench_json);
     MFG_CHECK(out.good()) << "cannot write " << bench_json;
     out << std::setprecision(17);
+    // Build provenance rides the context object (the same fields the
+    // admin /metrics endpoint exposes as mfgcp_build_info), so a checked
+    // -in baseline records which build produced it.
+    const common::BuildInfo& build = common::GetBuildInfo();
     out << "{\n"
         << "  \"context\": {\"library_build_type\": \"" << MFGCP_BUILD_TYPE
-        << "\"},\n"
+        << "\", \"git_describe\": \"" << build.git_describe
+        << "\", \"compiler\": \"" << build.compiler
+        << "\", \"mfgcp_obs\": " << (build.obs_enabled ? "true" : "false")
+        << ", \"mfgcp_faults\": " << (build.faults_enabled ? "true" : "false")
+        << ", \"mfgcp_simd\": " << (build.simd_enabled ? "true" : "false")
+        << "},\n"
         << "  \"benchmarks\": [\n"
         << "    {\n"
         << "      \"name\": \"BM_ServeLoop/" << mode << "\",\n"

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""Validates a Prometheus text-exposition scrape from the admin exporter.
+
+Usage: check_scrape.py <metrics.prom> [--require-series NAME]...
+
+Lints what GET /metrics promises (OBSERVABILITY.md "Live introspection"):
+the payload parses as Prometheus text exposition format 0.0.4, every
+sample belongs to a family announced by a preceding # TYPE line, counter
+samples end in _total, and every histogram family carries a coherent
+cumulative surface — le bounds strictly ascending and ending "+Inf",
+bucket values non-decreasing in le, a _sum sample, and a _count sample
+equal to the +Inf bucket. The mfgcp_build_info gauge must be present
+with its provenance labels.
+
+Each --require-series NAME (repeatable) demands that family appear in
+the scrape. Names may be given in registry form ("serve.tick_latency")
+or exposition form ("serve_tick_latency"): dots are sanitized to
+underscores before matching, counters match their _total sample, and
+histograms match when all of _bucket/_sum/_count are present. Exit code
+0 = scrape is well-formed.
+"""
+
+import argparse
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+\d+)?$")
+LABEL_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(line_no, message):
+    print(f"check_scrape: line {line_no}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(line_no, text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    try:
+        return float(text)
+    except ValueError:
+        fail(line_no, f"unparseable sample value {text!r}")
+
+
+def sanitize(name):
+    """Registry name -> exposition family name (exporter.cc SanitizeName)."""
+    out = [ch if (ch.isalnum() or ch in "_:") else "_" for ch in name]
+    if not out or not (out[0].isalpha() or name[0] in "_:"):
+        out.insert(0, "_")
+    return "".join(out)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("scrape", help="saved /metrics payload to validate")
+    parser.add_argument("--require-series", action="append", default=[],
+                        metavar="NAME", dest="require_series",
+                        help="fail unless this family appears (repeatable; "
+                             "registry or exposition spelling)")
+    args = parser.parse_args()
+
+    types = {}          # family -> counter|gauge|histogram
+    # histogram family -> {"buckets": [(le, value)], "sum": x, "count": n}
+    histograms = {}
+    plain_samples = {}  # non-histogram sample name -> value
+    samples = 0
+    with open(args.scrape, "r", encoding="utf-8") as scrape:
+        for line_no, line in enumerate(scrape, start=1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4:
+                    fail(line_no, f"malformed TYPE line: {line!r}")
+                family, kind = parts[2], parts[3]
+                if kind not in ("counter", "gauge", "histogram"):
+                    fail(line_no, f"unknown type {kind!r} for {family!r}")
+                if family in types:
+                    fail(line_no, f"duplicate TYPE for family {family!r}")
+                types[family] = kind
+                if kind == "histogram":
+                    histograms[family] = {
+                        "buckets": [], "sum": None, "count": None}
+                continue
+            if line.startswith("#"):
+                continue  # HELP / comments.
+            match = SAMPLE_RE.match(line)
+            if not match:
+                fail(line_no, f"unparseable sample line: {line!r}")
+            name = match.group("name")
+            value = parse_value(line_no, match.group("value"))
+            labels = dict(LABEL_RE.findall(match.group("labels") or ""))
+            samples += 1
+
+            # Resolve the family this sample belongs to.
+            family, suffix = None, None
+            for candidate_suffix in ("_bucket", "_sum", "_count", "_total",
+                                     ""):
+                base = (name[:-len(candidate_suffix)]
+                        if candidate_suffix else name)
+                if base in types:
+                    family, suffix = base, candidate_suffix
+                    break
+            if family is None:
+                fail(line_no, f"sample {name!r} has no preceding # TYPE")
+            kind = types[family]
+            if kind == "counter":
+                # The exporter announces counter families with the _total
+                # suffix baked in (# TYPE foo_total counter; foo_total N).
+                if not name.endswith("_total"):
+                    fail(line_no, f"counter sample {name!r} must end _total")
+                if value < 0:
+                    fail(line_no, f"counter {name!r} is negative: {value}")
+            elif kind == "gauge":
+                if suffix != "":
+                    fail(line_no, f"gauge sample {name!r} must be bare "
+                                  f"{family!r}")
+            else:  # histogram
+                hist = histograms[family]
+                if suffix == "_bucket":
+                    if "le" not in labels:
+                        fail(line_no, f"{name!r} bucket missing le label")
+                    le = parse_value(line_no, labels["le"])
+                    hist["buckets"].append((line_no, le, value))
+                elif suffix == "_sum":
+                    hist["sum"] = value
+                elif suffix == "_count":
+                    hist["count"] = value
+                else:
+                    fail(line_no, f"histogram sample {name!r} must be "
+                                  "_bucket, _sum, or _count")
+            if kind != "histogram":
+                plain_samples[name] = (line_no, value, labels)
+
+    if not types:
+        fail(0, "no # TYPE lines at all — empty or non-exposition payload")
+
+    # Histogram coherence: ascending le ending +Inf, cumulative monotone,
+    # _count == +Inf bucket, _sum present.
+    for family, hist in histograms.items():
+        buckets = hist["buckets"]
+        if not buckets:
+            fail(0, f"histogram {family!r} has no _bucket samples")
+        first_line = buckets[0][0]
+        for i in range(1, len(buckets)):
+            if buckets[i][1] <= buckets[i - 1][1]:
+                fail(buckets[i][0], f"histogram {family!r}: le bounds not "
+                                    "strictly ascending")
+            if buckets[i][2] < buckets[i - 1][2]:
+                fail(buckets[i][0], f"histogram {family!r}: cumulative "
+                                    "bucket values decreased")
+        if buckets[-1][1] != float("inf"):
+            fail(buckets[-1][0], f"histogram {family!r}: last bucket must "
+                                 "be le=\"+Inf\"")
+        if hist["sum"] is None:
+            fail(first_line, f"histogram {family!r} missing _sum")
+        if hist["count"] is None:
+            fail(first_line, f"histogram {family!r} missing _count")
+        if hist["count"] != buckets[-1][2]:
+            fail(first_line, f"histogram {family!r}: _count "
+                             f"{hist['count']} != +Inf bucket "
+                             f"{buckets[-1][2]}")
+
+    if "mfgcp_build_info" not in types:
+        fail(0, "mfgcp_build_info family missing from the scrape")
+    build_info = [entry for name, entry in plain_samples.items()
+                  if name == "mfgcp_build_info"]
+    if not build_info:
+        fail(0, "mfgcp_build_info has no sample")
+    _, info_value, info_labels = build_info[0]
+    for label in ("git_describe", "compiler", "build_type", "obs", "faults",
+                  "simd"):
+        if label not in info_labels:
+            fail(0, f"mfgcp_build_info missing label {label!r}")
+    if info_value != 1.0:
+        fail(0, f"mfgcp_build_info value {info_value} != 1")
+
+    missing = []
+    for required in args.require_series:
+        family = sanitize(required)
+        if family not in types and f"{family}_total" in types:
+            family = f"{family}_total"  # Counter spelled in registry form.
+        if family not in types:
+            missing.append(required)
+            continue
+        if types[family] == "histogram":
+            hist = histograms[family]
+            if not hist["buckets"] or hist["sum"] is None \
+                    or hist["count"] is None:
+                missing.append(required)
+    if missing:
+        print(f"check_scrape: required series missing or incomplete: "
+              f"{', '.join(missing)} (saw {sorted(types)})",
+              file=sys.stderr)
+        sys.exit(1)
+
+    print(f"check_scrape: OK ({len(types)} families, {samples} samples, "
+          f"{len(histograms)} histograms)")
+
+
+if __name__ == "__main__":
+    main()

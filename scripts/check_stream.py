@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Validates a MetricsStreamer JSONL stream (obs/stream.h).
 
-Usage: check_stream.py <stream.jsonl> [--require-gauge NAME]...
+Usage: check_stream.py <stream.jsonl> [--csv <stream.csv>]
+                       [--require-gauge NAME]...
 
 Asserts what the streamer promises (OBSERVABILITY.md "Streaming export"):
 every line parses as a JSON object with the row schema, `seq` increments
@@ -9,12 +10,19 @@ from 0 with no gaps, `unix_ms` is non-decreasing, windows after the
 baseline have positive width, and cumulative counter values never
 decrease across rows. Each --require-gauge NAME (repeatable) additionally
 demands that gauge appears in at least one row — the CI soak uses this to
-prove the eq.* equilibrium-quality gauges reached the stream. Exit code
-0 = stream is well-formed.
+prove the eq.* equilibrium-quality gauges reached the stream.
+
+With --csv the companion wide-CSV is validated against the JSONL: one
+data row per JSONL row with matching seq, a constant column count, and
+for every histogram's <name>.p50/.p90/.p99 percentile triplet the window
+estimates must be finite, non-negative, monotone (p50 <= p90 <= p99),
+and bounded by the histogram's highest finite bucket bound (the
+QuantileFromBuckets overflow clamp). Exit code 0 = well-formed.
 """
 
 import argparse
 import json
+import math
 import sys
 
 
@@ -27,11 +35,78 @@ def fail(line_no, message):
     sys.exit(1)
 
 
+def fail_csv(line_no, message):
+    print(f"check_stream: csv line {line_no}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_csv(path, jsonl_seqs, hist_max_bounds):
+    """Validates the wide-CSV against the parsed JSONL stream.
+
+    jsonl_seqs: ordered list of seq values seen in the JSONL.
+    hist_max_bounds: {histogram name: highest finite bucket bound}.
+    """
+    with open(path, "r", encoding="utf-8") as csv_file:
+        lines = [line.rstrip("\n") for line in csv_file if line.strip()]
+    if not lines:
+        fail_csv(0, "empty CSV")
+    header = lines[0].split(",")
+    if header[:3] != ["seq", "unix_ms", "window_s"]:
+        fail_csv(1, f"header must start seq,unix_ms,window_s; got "
+                    f"{header[:3]}")
+    # Percentile triplets must be adjacent and complete.
+    triplets = []  # (name, index of the .p50 column)
+    i = 3
+    while i < len(header):
+        column = header[i]
+        if column.endswith(".p50"):
+            name = column[:-len(".p50")]
+            if (i + 2 >= len(header) or header[i + 1] != f"{name}.p90"
+                    or header[i + 2] != f"{name}.p99"):
+                fail_csv(1, f"histogram {name!r}: .p50 column not followed "
+                            "by .p90 and .p99")
+            triplets.append((name, i))
+            i += 3
+        else:
+            i += 1
+    data = lines[1:]
+    if len(data) != len(jsonl_seqs):
+        fail_csv(0, f"{len(data)} data rows vs {len(jsonl_seqs)} JSONL rows")
+    for row_no, line in enumerate(data, start=2):
+        fields = line.split(",")
+        if len(fields) != len(header):
+            fail_csv(row_no, f"{len(fields)} fields vs {len(header)} "
+                             "header columns")
+        if int(fields[0]) != jsonl_seqs[row_no - 2]:
+            fail_csv(row_no, f"seq {fields[0]} != JSONL seq "
+                             f"{jsonl_seqs[row_no - 2]}")
+        for name, col in triplets:
+            try:
+                p50, p90, p99 = (float(fields[col + k]) for k in range(3))
+            except ValueError as error:
+                fail_csv(row_no, f"histogram {name!r}: {error}")
+            for label, value in (("p50", p50), ("p90", p90), ("p99", p99)):
+                if not math.isfinite(value) or value < 0:
+                    fail_csv(row_no, f"{name}.{label} = {value} is not a "
+                                     "finite non-negative estimate")
+            if not p50 <= p90 <= p99:
+                fail_csv(row_no, f"histogram {name!r}: percentiles not "
+                                 f"monotone ({p50} / {p90} / {p99})")
+            bound = hist_max_bounds.get(name)
+            if bound is not None and p99 > bound:
+                fail_csv(row_no, f"{name}.p99 = {p99} exceeds the highest "
+                                 f"finite bucket bound {bound}")
+    return len(data), len(triplets)
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("stream", help="JSONL stream to validate")
+    parser.add_argument("--csv", metavar="PATH", default=None,
+                        help="companion wide-CSV (metrics_stream_csv=) to "
+                             "validate against the JSONL")
     parser.add_argument("--require-gauge", action="append", default=[],
                         metavar="NAME", dest="require_gauges",
                         help="fail unless this gauge appears in some row "
@@ -43,6 +118,8 @@ def main():
     last_unix_ms = None
     last_counter_values = {}
     seen_gauges = set()
+    jsonl_seqs = []
+    hist_max_bounds = {}
     with open(path, "r", encoding="utf-8") as stream:
         for line_no, line in enumerate(stream, start=1):
             line = line.strip()
@@ -94,6 +171,9 @@ def main():
                 if hist["le"] and hist["le"][-1] != "inf":
                     fail(line_no,
                          f"histogram {name!r}: last bound must be \"inf\"")
+                if len(hist["le"]) > 1:
+                    hist_max_bounds[name] = float(hist["le"][-2])
+            jsonl_seqs.append(row["seq"])
             rows += 1
 
     if rows < 2:
@@ -107,8 +187,13 @@ def main():
               f"{', '.join(missing)} (saw {sorted(seen_gauges)})",
               file=sys.stderr)
         sys.exit(1)
+    csv_note = ""
+    if args.csv:
+        csv_rows, csv_hists = check_csv(args.csv, jsonl_seqs, hist_max_bounds)
+        csv_note = (f"; csv OK ({csv_rows} rows, {csv_hists} percentile "
+                    "triplets)")
     print(f"check_stream: OK ({rows} rows, {len(last_counter_values)} "
-          "counters)")
+          f"counters{csv_note})")
 
 
 if __name__ == "__main__":

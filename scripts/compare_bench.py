@@ -50,10 +50,26 @@ def load_runs(path):
     return runs
 
 
-def build_type(path):
+def context(path):
     with open(path) as f:
-        ctx = json.load(f).get("context", {})
-    return ctx.get("library_build_type", "unknown")
+        return json.load(f).get("context", {})
+
+
+def describe_provenance(label, ctx):
+    """One line of build provenance (the fields bench_serve stamps into
+    context, mirroring the admin exporter's mfgcp_build_info gauge)."""
+    flags = ", ".join(
+        f"{key.removeprefix('mfgcp_')}={'on' if ctx[key] else 'off'}"
+        for key in ("mfgcp_obs", "mfgcp_faults", "mfgcp_simd")
+        if key in ctx)
+    parts = [ctx.get("library_build_type", "unknown")]
+    if ctx.get("git_describe"):
+        parts.append(ctx["git_describe"])
+    if ctx.get("compiler"):
+        parts.append(ctx["compiler"])
+    if flags:
+        parts.append(flags)
+    print(f"{label}: {' | '.join(parts)}")
 
 
 def main():
@@ -85,8 +101,11 @@ def main():
 
     base = load_runs(args.baseline)
     cand = load_runs(args.candidate)
-    for path in (args.baseline, args.candidate):
-        bt = build_type(path)
+    for label, path in (("baseline", args.baseline),
+                        ("candidate", args.candidate)):
+        ctx = context(path)
+        describe_provenance(label, ctx)
+        bt = ctx.get("library_build_type", "unknown")
         if bt.lower() not in ("release", "relwithdebinfo"):
             print(f"warning: {path} was recorded from a '{bt}' build; "
                   "times are not comparable to optimized baselines")

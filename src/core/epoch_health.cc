@@ -37,6 +37,14 @@ std::string FormatHealthLine(const EpochHealthReport& report) {
     out << " eq probed=" << report.eq_probed << " gap=" << gap
         << " rel=" << rel << " cons=" << cons << " price=" << price;
   }
+  if (report.serve_ticks > 0) {
+    char p50[32], p90[32], p99[32];
+    std::snprintf(p50, sizeof(p50), "%.3g", report.serve_tick_p50);
+    std::snprintf(p90, sizeof(p90), "%.3g", report.serve_tick_p90);
+    std::snprintf(p99, sizeof(p99), "%.3g", report.serve_tick_p99);
+    out << " serve ticks=" << report.serve_ticks << " tick_p50=" << p50
+        << " tick_p90=" << p90 << " tick_p99=" << p99;
+  }
   if (!report.degraded_contents.empty()) {
     out << " degraded=[";
     for (std::size_t i = 0; i < report.degraded_contents.size(); ++i) {

@@ -76,6 +76,16 @@ struct EpochHealthReport {
   double eq_price_mean = 0.0;
   double eq_price_max = 0.0;
 
+  // Serving-runtime tick-latency percentiles at plan-collection time
+  // (seconds, estimated from the serve.tick_latency histogram with
+  // obs::QuantileFromBuckets). All zero when the report did not come from
+  // the serving runtime or the telemetry layer is compiled out; rendered
+  // by FormatHealthLine only when serve_ticks > 0.
+  std::uint64_t serve_ticks = 0;
+  double serve_tick_p50 = 0.0;
+  double serve_tick_p90 = 0.0;
+  double serve_tick_p99 = 0.0;
+
   // Path of the flight-recorder post-mortem written for this epoch, ""
   // when none (no dump directory configured, epoch healthy, or the dump
   // rate limiter suppressed it). See obs/flight_dump.h.
@@ -96,8 +106,9 @@ struct EpochHealthReport {
 //   carried_forward=1 fallback=0 failed=0 br solves=19 converged=18
 //   nonconverged=1 allocs=0 eq probed=4 gap=0.0012 rel=3.1e-05
 //   cons=0.0044 price=0.52 degraded=[3] dump=dumps/flight_epoch7_0.jsonl
-// (single line; the eq block appears only when eq_probed > 0, the
-// degraded list and dump path only when non-empty).
+// (single line; the eq block appears only when eq_probed > 0, the serve
+// tick-percentile block only when serve_ticks > 0, the degraded list and
+// dump path only when non-empty).
 std::string FormatHealthLine(const EpochHealthReport& report);
 
 // Process-wide toggle: when enabled, PlanEpochInto logs

@@ -11,6 +11,7 @@
 #include "core/fault_injection.h"
 #include "core/nonconvergence_log.h"
 #include "numerics/density.h"
+#include "obs/exporter.h"
 #include "obs/flight_dump.h"
 #include "obs/flight_recorder.h"
 #include "obs/obs.h"
@@ -774,6 +775,11 @@ common::Status MfgCpFramework::PlanEpochInto(const EpochObservation& obs,
     }
     return common::Status(first_code, std::move(failure_detail));
   }
+#if MFGCP_OBS_ENABLED
+  // Latch the admin plane's /readyz: the process has published at least
+  // one plan (obs/exporter.h).
+  obs::AdminSetReady(true);
+#endif
   return common::Status::Ok();
 }
 

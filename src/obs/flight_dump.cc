@@ -1,5 +1,6 @@
 #include "obs/flight_dump.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdint>
@@ -126,6 +127,28 @@ std::string WriteFlightDump(std::size_t epoch,
   out.flush();
   ++state.files_written;
   return path;
+}
+
+std::vector<std::string> ListFlightDumps() {
+  std::string directory;
+  {
+    DumpState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    directory = state.options.directory;
+  }
+  std::vector<std::string> files;
+  if (directory.empty()) return files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("flight_", 0) == 0 &&
+        name.size() > 6 && name.substr(name.size() - 6) == ".jsonl") {
+      files.push_back(name);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
 }
 
 void ResetFlightDumpStateForTesting() {

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <span>
 #include <string>
+#include <vector>
 
 // JSONL post-mortem writer for the flight recorder (flight_recorder.h).
 //
@@ -49,6 +50,12 @@ bool FlightDumpConfigured();
 // path only).
 std::string WriteFlightDump(std::size_t epoch,
                             std::span<const std::size_t> contents);
+
+// Lists the `flight_*.jsonl` dump files currently present in the
+// configured directory, sorted ascending by name. Empty when no directory
+// is configured (or it does not exist). Allocates — meant for cold
+// surfaces like the admin /flightz endpoint, never the epoch path.
+std::vector<std::string> ListFlightDumps();
 
 // Testing: clears options, the (epoch, content) ledger, and the file count.
 void ResetFlightDumpStateForTesting();

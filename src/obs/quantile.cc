@@ -1,0 +1,63 @@
+#include "obs/quantile.h"
+
+#include <array>
+#include <cstddef>
+
+namespace mfg::obs {
+
+double QuantileFromBuckets(std::span<const double> bounds,
+                           std::span<const std::uint64_t> buckets, double q) {
+  if (buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+
+  std::uint64_t total = 0;
+  for (std::uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    const double previous = cumulative;
+    cumulative += static_cast<double>(buckets[b]);
+    if (rank <= cumulative && buckets[b] > 0) {
+      const double lower = b == 0 ? 0.0 : bounds[b - 1];
+      const double upper = bounds[b];
+      const double fraction = (rank - previous) / static_cast<double>(buckets[b]);
+      return lower + (upper - lower) * fraction;
+    }
+  }
+  // Rank fell into the +inf overflow bucket; report the ladder's ceiling.
+  return bounds.empty() ? 0.0 : bounds[bounds.size() - 1];
+}
+
+double QuantileFromBuckets(const HistogramSample& sample, double q) {
+  return QuantileFromBuckets(
+      std::span<const double>(sample.bounds.data(), sample.num_bounds),
+      std::span<const std::uint64_t>(sample.buckets.data(),
+                                     sample.num_bounds + 1),
+      q);
+}
+
+double QuantileFromBuckets(const HistogramDelta& delta, double q) {
+  return QuantileFromBuckets(
+      std::span<const double>(delta.bounds.data(), delta.num_bounds),
+      std::span<const std::uint64_t>(delta.delta_buckets.data(),
+                                     delta.num_bounds + 1),
+      q);
+}
+
+double QuantileFromBuckets(const Histogram& histogram, double q) {
+  const std::size_t num_bounds = histogram.num_bounds();
+  std::array<double, Histogram::kMaxBuckets> bounds;
+  std::array<std::uint64_t, Histogram::kMaxBuckets + 1> buckets;
+  for (std::size_t b = 0; b < num_bounds; ++b) bounds[b] = histogram.bound(b);
+  for (std::size_t b = 0; b <= num_bounds; ++b) {
+    buckets[b] = histogram.bucket_count(b);
+  }
+  return QuantileFromBuckets(
+      std::span<const double>(bounds.data(), num_bounds),
+      std::span<const std::uint64_t>(buckets.data(), num_bounds + 1), q);
+}
+
+}  // namespace mfg::obs

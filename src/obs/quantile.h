@@ -1,0 +1,50 @@
+#ifndef MFGCP_OBS_QUANTILE_H_
+#define MFGCP_OBS_QUANTILE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+// Quantile estimation over the fixed-bucket histograms in metrics.h, in
+// the style of Prometheus' histogram_quantile(): find the bucket the
+// requested rank falls into, then interpolate linearly inside it. The
+// estimate is exact at bucket edges and at worst one bucket wide in
+// between — good enough for tail-latency dashboards, and computable from
+// a snapshot without retaining raw observations.
+//
+// Shared conventions across the overloads:
+//   - q is clamped to [0, 1]; an empty histogram estimates 0.
+//   - The first bucket interpolates from 0 (all default ladders are
+//     non-negative; a histogram of negative observations under-reports).
+//   - Ranks landing in the +inf overflow bucket return the highest finite
+//     bound — the estimator never invents a value above the ladder.
+// Estimates are monotone in q, so p50 <= p90 <= p99 always holds for the
+// same bucket contents.
+
+namespace mfg::obs {
+
+// Core form: `bounds` are the finite upper bucket bounds (ascending) and
+// `buckets` the per-bucket observation counts with buckets.size() ==
+// bounds.size() + 1 (the trailing entry is the +inf overflow bucket).
+// Bucket counts are raw per-bucket tallies, not cumulative.
+double QuantileFromBuckets(std::span<const double> bounds,
+                           std::span<const std::uint64_t> buckets, double q);
+
+// Cumulative capture (snapshot.h): quantile over every observation since
+// process start.
+double QuantileFromBuckets(const HistogramSample& sample, double q);
+
+// Windowed delta (snapshot.h): quantile over the observations that landed
+// within the window — what the streaming CSV columns report.
+double QuantileFromBuckets(const HistogramDelta& delta, double q);
+
+// Live instrument: reads the bucket atomics into stack storage and
+// estimates from that — allocation-free, safe to call concurrently with
+// recorders (the read is racy in the benign snapshot sense).
+double QuantileFromBuckets(const Histogram& histogram, double q);
+
+}  // namespace mfg::obs
+
+#endif  // MFGCP_OBS_QUANTILE_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/proc_stats.h"
+#include "obs/quantile.h"
 
 namespace mfg::obs {
 namespace {
@@ -46,6 +47,7 @@ common::Status MetricsStreamer::Start(const StreamOptions& options) {
   }
   csv_counter_columns_.clear();
   csv_gauge_columns_.clear();
+  csv_histogram_columns_.clear();
   options_ = options;
   seq_ = 0;
   windows_written_ = 0;
@@ -73,6 +75,12 @@ common::Status MetricsStreamer::Start(const StreamOptions& options) {
     for (const GaugeSample& sample : prev_.gauges) {
       csv_gauge_columns_.push_back(sample.name);
       csv_out_ << "," << sample.name;
+    }
+    for (const HistogramSample& sample : prev_.histograms) {
+      csv_histogram_columns_.push_back(sample.name);
+      csv_out_ << "," << sample.name << ".p50"
+               << "," << sample.name << ".p90"
+               << "," << sample.name << ".p99";
     }
     csv_out_ << "\n";
   }
@@ -215,6 +223,26 @@ void MetricsStreamer::AppendCsvRow(const MetricsDelta& delta) {
       AppendDouble(out, delta.gauges[d].value);
     } else {
       out << 0;
+    }
+  }
+  d = 0;
+  for (const std::string& column : csv_histogram_columns_) {
+    while (d < delta.histograms.size() && delta.histograms[d].name < column) {
+      ++d;
+    }
+    if (d < delta.histograms.size() && delta.histograms[d].name == column) {
+      // Percentiles of this window's observations only (the delta
+      // buckets), so the columns track latency shifts over time instead
+      // of a run-lifetime average.
+      const HistogramDelta& h = delta.histograms[d];
+      out << ",";
+      AppendDouble(out, QuantileFromBuckets(h, 0.50));
+      out << ",";
+      AppendDouble(out, QuantileFromBuckets(h, 0.90));
+      out << ",";
+      AppendDouble(out, QuantileFromBuckets(h, 0.99));
+    } else {
+      out << ",0,0,0";
     }
   }
   out << "\n";

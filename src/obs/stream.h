@@ -44,8 +44,11 @@
 //
 // The optional CSV stream is a wide-format companion for quick plotting:
 // one row per window, columns fixed at Start() from the instruments
-// registered at that moment (counter deltas and gauge values; histograms
-// and later registrations appear only in the JSONL stream).
+// registered at that moment — counter deltas, gauge values, and per-window
+// histogram percentile estimates (`<name>.p50/.p90/.p99`, computed from
+// the window's bucket increments with QuantileFromBuckets; 0 for an empty
+// window). Later registrations appear only in the JSONL stream.
+// scripts/check_stream.py --csv validates the file.
 
 namespace mfg::obs {
 
@@ -103,6 +106,7 @@ class MetricsStreamer {
   std::ofstream csv_out_;
   std::vector<std::string> csv_counter_columns_;
   std::vector<std::string> csv_gauge_columns_;
+  std::vector<std::string> csv_histogram_columns_;
   std::uint64_t seq_ = 0;
   std::uint64_t windows_written_ = 0;
   std::int64_t last_unix_ms_ = 0;  // Clamp: rows stay non-decreasing even

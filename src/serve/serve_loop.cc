@@ -12,6 +12,10 @@
 #include "core/fault_injection.h"
 #include "obs/alloc_probe.h"
 #include "obs/obs.h"
+#if MFGCP_OBS_ENABLED
+#include "obs/exporter.h"
+#include "obs/quantile.h"
+#endif
 
 namespace mfg::serve {
 
@@ -68,6 +72,17 @@ ServeLoop::ServeLoop(const ServeOptions& options)
     : options_(options), clock_(options.clock) {}
 
 ServeLoop::~ServeLoop() {
+  // Stop() joins the planner *before* any member (plan buffers, the
+  // replan hook, the job channel) is torn down, and the planner drains a
+  // posted round before honoring shutdown — so an in-flight async plan
+  // can never touch freed buffers.
+  Stop();
+#if MFGCP_OBS_ENABLED
+  if (started_admin_) obs::AdminExporter::Global().Stop();
+#endif
+}
+
+void ServeLoop::Stop() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
@@ -131,6 +146,20 @@ common::StatusOr<std::unique_ptr<ServeLoop>> ServeLoop::Create(
   loop->published_plan_.mean_price.assign(k, 0.0);
   loop->interpolator_.Reset(k);
 
+#if MFGCP_OBS_ENABLED
+  if (resolved.admin_port >= 0 && !obs::AdminExporter::Global().active()) {
+    obs::ExporterOptions admin;
+    admin.port = resolved.admin_port;
+    admin.epochz_capacity =
+        resolved.epochz_capacity == 0 ? 64 : resolved.epochz_capacity;
+    if (auto status = obs::AdminExporter::Global().Start(admin);
+        !status.ok()) {
+      return status;
+    }
+    loop->started_admin_ = true;
+  }
+#endif
+
   loop->planner_ = std::thread(&ServeLoop::PlannerMain, loop.get());
   return loop;
 }
@@ -139,7 +168,10 @@ void ServeLoop::PlannerMain() {
   std::unique_lock<std::mutex> lock(mutex_);
   while (true) {
     cv_.wait(lock, [this] { return shutdown_ || job_posted_; });
-    if (shutdown_) return;
+    // Drain a posted round even when shutdown was requested after the
+    // post: a WaitForJob on the serve thread is (or will be) blocked on
+    // this round, and Stop() relies on never stranding it.
+    if (!job_posted_) return;  // shutdown_ with nothing pending.
     job_posted_ = false;
     const std::size_t epoch = job_epoch_;
     baselines::StaticSetCache* cache = job_cache_;
@@ -169,9 +201,10 @@ void ServeLoop::PlannerMain() {
   }
 }
 
-void ServeLoop::PostPlanJob(std::size_t epoch) {
+bool ServeLoop::PostPlanJob(std::size_t epoch) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return false;  // Stop() raced this boundary.
     job_epoch_ = epoch;
     std::copy(counts_.begin(), counts_.end(), job_counts_.begin());
     job_cache_ = back_;
@@ -181,10 +214,11 @@ void ServeLoop::PostPlanJob(std::size_t epoch) {
   cv_.notify_all();
   job_running_ = true;
   job_miss_counted_ = false;
+  job_post_time_ = std::chrono::steady_clock::now();
   if (options_.plan_deadline_ms > 0.0) {
-    job_deadline_ = std::chrono::steady_clock::now() +
-                    MillisDuration(options_.plan_deadline_ms);
+    job_deadline_ = job_post_time_ + MillisDuration(options_.plan_deadline_ms);
   }
+  return true;
 }
 
 bool ServeLoop::JobDone() {
@@ -220,6 +254,28 @@ void ServeLoop::FinishJob(RunState& state) {
   // Health scalars → the publication row. Copying a healthy report is
   // allocation-free (empty degraded list and dump path).
   last_health_ = hook_->last_health();
+#if MFGCP_OBS_ENABLED
+  {
+    // Tick-latency percentiles ride the health report (FormatHealthLine's
+    // serve block). Reading the live histogram is allocation-free.
+    static obs::Histogram& tick_hist =
+        obs::Registry::Global().GetHistogram("serve.tick_latency");
+    last_health_.serve_ticks = tick_hist.Count();
+    last_health_.serve_tick_p50 = obs::QuantileFromBuckets(tick_hist, 0.50);
+    last_health_.serve_tick_p90 = obs::QuantileFromBuckets(tick_hist, 0.90);
+    last_health_.serve_tick_p99 = obs::QuantileFromBuckets(tick_hist, 0.99);
+  }
+  if (options_.plan_deadline_ms > 0.0) {
+    // Margin left on the wall-clock budget (negative = overrun; those
+    // land in the histogram's lowest bucket — the miss *count* is what
+    // alerts key on, this is the shape).
+    MFG_OBS_OBSERVE(
+        "serve.plan_deadline_margin",
+        std::chrono::duration<double>(job_deadline_ -
+                                      std::chrono::steady_clock::now())
+            .count());
+  }
+#endif
   if (last_health_.failed > 0) ++state.stats.failed_epochs;
   pending_row_ = ServeEpochRow{};
   pending_row_.epoch = job_epoch_;
@@ -261,6 +317,42 @@ void ServeLoop::Publish(RunState& state) {
   ++state.stats.publications;
   state.last_pub_sim = state.sim_now;
   MFG_OBS_COUNT("serve.publications", 1);
+#if MFGCP_OBS_ENABLED
+  // Job post → swap-in, including any deferred-publication wait — the
+  // end-to-end staleness a scraper cares about.
+  MFG_OBS_OBSERVE(
+      "serve.plan_publish_latency",
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    job_post_time_)
+          .count());
+  if (obs::AdminActive()) {
+    // One POD record per publication feeds the admin /epochz ring; the
+    // copy mutex inside is plan-round granularity, never per tick.
+    obs::EpochRecord record;
+    record.seq = pending_row_.seq;
+    record.epoch = pending_row_.epoch;
+    record.epoch_published = pending_row_.epoch_published;
+    record.sim_time = pending_row_.sim_time;
+    record.active = pending_row_.active;
+    record.solved = pending_row_.solved;
+    record.retried = pending_row_.retried;
+    record.carried_forward = pending_row_.carried_forward;
+    record.fallback = pending_row_.fallback;
+    record.failed = pending_row_.failed;
+    record.deadline_misses = pending_row_.deadline_misses;
+    record.plan_seconds = pending_row_.plan_seconds;
+    record.allocations = last_health_.epoch_allocations;
+    record.eq_probed = last_health_.eq_probed;
+    record.eq_exploitability = last_health_.eq_exploitability;
+    record.eq_consistency_residual = last_health_.eq_consistency_residual;
+    record.mean_price = pending_row_.mean_price;
+    record.serve_ticks = last_health_.serve_ticks;
+    record.tick_p50 = last_health_.serve_tick_p50;
+    record.tick_p90 = last_health_.serve_tick_p90;
+    record.tick_p99 = last_health_.serve_tick_p99;
+    obs::AdminRecordEpoch(record);
+  }
+#endif
   if (!state.window_armed && state.stats.publications == 2) {
     // Two publications in, every first-hit instrument and buffer is
     // warmed: open the steady-allocation window.
@@ -305,8 +397,12 @@ void ServeLoop::HandleBoundary(RunState& state) {
     MFG_OBS_COUNT("serve.replan_faults", 1);
     MFG_LOG(WARNING) << "serve epoch " << state.epoch
                      << " replan degraded to previous placement: " << fault;
+  } else if (!PostPlanJob(state.epoch)) {
+    // Stop() raced this boundary: the planner is gone, so the round is
+    // skipped and the previous placement serves through.
+    ++state.stats.skipped_plan_rounds;
+    MFG_OBS_COUNT("serve.skipped_plan_rounds", 1);
   } else {
-    PostPlanJob(state.epoch);
     ++state.stats.plan_rounds;
     MFG_OBS_COUNT("serve.plan_rounds", 1);
     if (!async) {
@@ -331,6 +427,15 @@ common::Status ServeLoop::Run(const sim::RequestStream& stream,
                               ServeStats& stats) {
   if (stream.empty()) {
     return common::Status::InvalidArgument("request stream is empty");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = false;
+  }
+  if (!planner_.joinable()) {
+    // A Stop() preceded this Run: respawn the planner thread. The hook's
+    // carry-forward state survived, so this behaves like a daemon reload.
+    planner_ = std::thread(&ServeLoop::PlannerMain, this);
   }
   stats = ServeStats{};
   return RunLoop(stream, stats);
@@ -373,6 +478,12 @@ common::Status ServeLoop::RunLoop(const sim::RequestStream& stream,
   common::Status result = common::Status::Ok();
   while (!cursor_.AtEnd()) {
     clock_.WaitForNextTick();
+#if MFGCP_OBS_ENABLED
+    // Tick-body latency (excludes the pacing sleep above). The clock
+    // reads compile out with the telemetry layer so obs-off ticks pay
+    // nothing.
+    const auto tick_start = std::chrono::steady_clock::now();
+#endif
     ++stats.ticks;
     double target;
     if (paced) {
@@ -438,6 +549,13 @@ common::Status ServeLoop::RunLoop(const sim::RequestStream& stream,
       const double u = (state.sim_now - state.last_pub_sim) / state.period;
       MFG_OBS_GAUGE_SET("serve.interp_price", interpolator_.MeanPriceAt(u));
     }
+#if MFGCP_OBS_ENABLED
+    MFG_OBS_OBSERVE(
+        "serve.tick_latency",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      tick_start)
+            .count());
+#endif
   }
 
   // Close the steady window before anything below touches the heap.

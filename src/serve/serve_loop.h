@@ -89,6 +89,15 @@ struct ServeOptions {
   // finishes (never from the tick path); scripts/check_serve.py
   // validates the file.
   std::string jsonl_path;
+  // Live introspection plane (obs/exporter.h, OBSERVABILITY.md "Live
+  // introspection"): admin_port >= 0 makes Create start the process-wide
+  // admin endpoint on 127.0.0.1 when none is active yet (0 = ephemeral
+  // port — query obs::AdminPort()); the loop then feeds /epochz one
+  // record per publication. Negative leaves the admin plane untouched.
+  // Inert when built with -DMFGCP_OBS=OFF (plain fields, no obs types).
+  int admin_port = -1;
+  // /epochz ring capacity when this loop starts the exporter.
+  std::size_t epochz_capacity = 64;
   // Called on the *planner thread* after every completed plan round with
   // the live plan buffer and its health report, before publication. The
   // chaos soak recounts ladder outcomes through this. May be null.
@@ -156,6 +165,16 @@ class ServeLoop {
   // epoch index) persists across runs like a long-lived daemon's would.
   common::Status Run(const sim::RequestStream& stream, ServeStats& stats);
 
+  // Shuts the planner thread down, draining (never abandoning) a posted
+  // or in-flight plan round first, so the plan buffers and the replan
+  // hook are guaranteed idle afterwards — the ordering the destructor
+  // relies on before members are torn down. Idempotent; a later Run
+  // respawns the planner, so stop/start cycles work like a daemon reload
+  // (tests/serve/serve_lifecycle_test.cc). A Run in progress on another
+  // thread sees its remaining boundaries skip their plan rounds and
+  // finishes serving on the last published placement.
+  void Stop();
+
   // The placement currently serving (front buffer).
   std::span<const std::uint32_t> placement() const {
     return front_->placement();
@@ -177,7 +196,9 @@ class ServeLoop {
   common::Status RunLoop(const sim::RequestStream& stream, ServeStats& stats);
   void PlannerMain();
   void HandleBoundary(RunState& state);
-  void PostPlanJob(std::size_t epoch);
+  // False when the loop is shut down (no planner to serve the job); the
+  // boundary then counts as a skipped plan round.
+  bool PostPlanJob(std::size_t epoch);
   bool JobDone();
   void WaitForJob();
   // Collects a finished plan round: copies health, charges any deadline
@@ -227,8 +248,12 @@ class ServeLoop {
   bool job_running_ = false;
   bool job_miss_counted_ = false;
   std::chrono::steady_clock::time_point job_deadline_{};
+  std::chrono::steady_clock::time_point job_post_time_{};
   bool plan_pending_ = false;
   ServeEpochRow pending_row_;
+  // True when Create started the process-wide admin exporter (and the
+  // destructor must stop it).
+  bool started_admin_ = false;
 
   std::thread planner_;
 };

@@ -1,0 +1,346 @@
+#include "obs/exporter.h"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/quantile.h"
+#include "obs/snapshot.h"
+#include "scrape_test_util.h"
+
+// The live introspection plane: QuantileFromBuckets estimation, the
+// Prometheus/JSON renderers, and the embedded HTTP admin endpoint
+// (round-trips over a real loopback socket, lifecycle, and a concurrent
+// scrape-while-recording race the TSan job runs).
+
+namespace mfg::obs {
+namespace {
+
+using ::testing::HasSubstr;
+
+// ---------------------------------------------------------------------
+// QuantileFromBuckets: pure estimation, available in every build.
+
+TEST(QuantileFromBucketsTest, EmptyHistogramEstimatesZero) {
+  EXPECT_EQ(QuantileFromBuckets(std::span<const double>(),
+                                std::span<const std::uint64_t>(), 0.5),
+            0.0);
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<std::uint64_t> buckets = {0, 0, 0};
+  EXPECT_EQ(QuantileFromBuckets(bounds, buckets, 0.99), 0.0);
+}
+
+TEST(QuantileFromBucketsTest, InterpolatesWithinBucket) {
+  const std::vector<double> bounds = {10.0};
+  const std::vector<std::uint64_t> buckets = {4, 0};
+  // First bucket interpolates from 0: rank q*4 of 4 across [0, 10].
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 0.0), 0.0);
+}
+
+TEST(QuantileFromBucketsTest, WalksCumulativeRanksAcrossBuckets) {
+  const std::vector<double> bounds = {1.0, 2.0, 4.0};
+  const std::vector<std::uint64_t> buckets = {2, 2, 2, 0};
+  // rank 3 of 6 lands mid-way through the (1, 2] bucket.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 0.5), 1.5);
+  // rank 6 of 6 is the top of the (2, 4] bucket.
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 1.0), 4.0);
+}
+
+TEST(QuantileFromBucketsTest, OverflowRanksClampToHighestFiniteBound) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  const std::vector<std::uint64_t> buckets = {0, 0, 5};
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 0.99), 2.0);
+}
+
+TEST(QuantileFromBucketsTest, ClampsOutOfRangeQ) {
+  const std::vector<double> bounds = {10.0};
+  const std::vector<std::uint64_t> buckets = {4, 0};
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(bounds, buckets, 2.0), 10.0);
+}
+
+TEST(QuantileFromBucketsTest, MonotoneInQ) {
+  const std::vector<double> bounds = {0.5, 1.0, 2.0, 8.0};
+  const std::vector<std::uint64_t> buckets = {7, 0, 3, 11, 2};
+  double prev = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double estimate = QuantileFromBuckets(bounds, buckets, q);
+    EXPECT_GE(estimate, prev) << "q=" << q;
+    prev = estimate;
+  }
+}
+
+TEST(QuantileFromBucketsTest, SampleAndDeltaOverloadsMatchTheSpanForm) {
+  HistogramSample sample;
+  sample.num_bounds = 3;
+  sample.bounds = {1.0, 2.0, 4.0};
+  sample.buckets = {2, 2, 2, 0};
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(sample, 0.5), 1.5);
+
+  HistogramDelta delta;
+  delta.num_bounds = 3;
+  delta.bounds = {1.0, 2.0, 4.0};
+  delta.delta_buckets = {2, 2, 2, 0};
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(delta, 0.5), 1.5);
+}
+
+TEST(QuantileFromBucketsTest, LiveHistogramOverloadReadsTheAtomics) {
+  Histogram& histogram = Registry::Global().GetHistogram(
+      "test.exporter.quantile_live", {1.0, 2.0, 4.0});
+  histogram.Reset();
+  for (int i = 0; i < 2; ++i) histogram.Observe(0.5);
+  for (int i = 0; i < 2; ++i) histogram.Observe(1.5);
+  for (int i = 0; i < 2; ++i) histogram.Observe(3.0);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(histogram, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(QuantileFromBuckets(histogram, 1.0), 4.0);
+}
+
+#if !MFGCP_OBS_ENABLED
+
+TEST(AdminExporterTest, RequiresObservability) {
+  GTEST_SKIP() << "admin exporter tests need the observability layer "
+                  "compiled in (MFGCP_OBS=ON)";
+}
+
+#else  // MFGCP_OBS_ENABLED
+
+using testing::HttpBody;
+using testing::HttpGet;
+
+int StatusCodeOf(const std::string& response) {
+  const std::size_t space = response.find(' ');
+  if (space == std::string::npos) return -1;
+  return std::atoi(response.c_str() + space + 1);
+}
+
+// ---------------------------------------------------------------------
+// Renderers (pure, no socket).
+
+TEST(AdminExporterRenderTest, PrometheusCountersGaugesAndBuildInfo) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"core.epoch.retries", 7});
+  snapshot.gauges.push_back({"serve.sim_time", 12.5});
+
+  const std::string text = AdminExporter::RenderPrometheus(snapshot);
+  EXPECT_THAT(text, HasSubstr("# TYPE core_epoch_retries_total counter\n"
+                              "core_epoch_retries_total 7\n"));
+  EXPECT_THAT(text, HasSubstr("# TYPE serve_sim_time gauge\n"
+                              "serve_sim_time 12.5\n"));
+  EXPECT_THAT(text, HasSubstr("# TYPE mfgcp_build_info gauge\n"));
+  EXPECT_THAT(text, HasSubstr("mfgcp_build_info{git_describe="));
+  EXPECT_THAT(text, HasSubstr("} 1\n"));
+}
+
+TEST(AdminExporterRenderTest, PrometheusHistogramsAreCumulative) {
+  MetricsSnapshot snapshot;
+  HistogramSample sample;
+  sample.name = "serve.tick_latency";
+  sample.num_bounds = 2;
+  sample.bounds = {0.1, 1.0};
+  sample.buckets = {3, 2, 1};  // Per-bucket counts, not cumulative.
+  sample.count = 6;
+  sample.sum = 2.5;
+  snapshot.histograms.push_back(sample);
+
+  const std::string text = AdminExporter::RenderPrometheus(snapshot);
+  EXPECT_THAT(text, HasSubstr("# TYPE serve_tick_latency histogram\n"));
+  EXPECT_THAT(text, HasSubstr("serve_tick_latency_bucket{le=\"0.1\"} 3\n"));
+  EXPECT_THAT(text, HasSubstr("serve_tick_latency_bucket{le=\"1\"} 5\n"));
+  EXPECT_THAT(text, HasSubstr("serve_tick_latency_bucket{le=\"+Inf\"} 6\n"));
+  EXPECT_THAT(text, HasSubstr("serve_tick_latency_sum 2.5\n"));
+  // _count equals the +Inf cumulative bucket (scrape-consistent even
+  // while recorders are mid-Observe).
+  EXPECT_THAT(text, HasSubstr("serve_tick_latency_count 6\n"));
+}
+
+TEST(AdminExporterRenderTest, EpochJsonCarriesTheRecordFields) {
+  EpochRecord record;
+  record.seq = 3;
+  record.epoch = 4;
+  record.epoch_published = 5;
+  record.solved = 11;
+  record.plan_seconds = 0.25;
+  record.tick_p99 = 0.002;
+  const std::string json = AdminExporter::RenderEpochJson({record}, 16);
+  EXPECT_THAT(json, HasSubstr("\"capacity\":16"));
+  EXPECT_THAT(json, HasSubstr("\"count\":1"));
+  EXPECT_THAT(json, HasSubstr("\"seq\":3"));
+  EXPECT_THAT(json, HasSubstr("\"epoch\":4"));
+  EXPECT_THAT(json, HasSubstr("\"epoch_published\":5"));
+  EXPECT_THAT(json, HasSubstr("\"solved\":11"));
+  EXPECT_THAT(json, HasSubstr("\"plan_seconds\":0.25"));
+  EXPECT_THAT(json, HasSubstr("\"tick_p99\":0.002"));
+}
+
+// ---------------------------------------------------------------------
+// The embedded endpoint over a real loopback socket.
+
+TEST(AdminExporterTest, ServesTheAdminSurface) {
+  AdminSetReady(false);
+  AdminExporter exporter;
+  ExporterOptions options;
+  options.port = 0;  // Ephemeral.
+  options.epochz_capacity = 4;
+  ASSERT_TRUE(exporter.Start(options).ok());
+  ASSERT_GT(exporter.port(), 0);
+  const int port = exporter.port();
+
+  // Liveness and the index.
+  EXPECT_EQ(StatusCodeOf(HttpGet(port, "/healthz")), 200);
+  EXPECT_THAT(HttpBody(HttpGet(port, "/")), HasSubstr("/metrics"));
+
+  // Readiness flips with the plan latch.
+  EXPECT_EQ(StatusCodeOf(HttpGet(port, "/readyz")), 503);
+  AdminSetReady(true);
+  EXPECT_EQ(StatusCodeOf(HttpGet(port, "/readyz")), 200);
+  AdminSetReady(false);
+
+  // A scrape renders the live registry.
+  Registry::Global().GetCounter("test.exporter.scrape_me").Add(3);
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_EQ(StatusCodeOf(metrics), 200);
+  EXPECT_THAT(metrics, HasSubstr("text/plain; version=0.0.4"));
+  EXPECT_THAT(HttpBody(metrics), HasSubstr("test_exporter_scrape_me_total"));
+  EXPECT_THAT(HttpBody(metrics), HasSubstr("mfgcp_build_info{"));
+
+  // /epochz grows as records arrive and keeps only the ring tail.
+  EXPECT_THAT(HttpBody(HttpGet(port, "/epochz")),
+              HasSubstr("\"count\":0"));
+  for (std::uint64_t seq = 0; seq < 6; ++seq) {
+    EpochRecord record;
+    record.seq = seq;
+    exporter.RecordEpoch(record);
+  }
+  const std::string epochz = HttpBody(HttpGet(port, "/epochz"));
+  EXPECT_THAT(epochz, HasSubstr("\"capacity\":4"));
+  EXPECT_THAT(epochz, HasSubstr("\"count\":4"));
+  EXPECT_THAT(epochz, HasSubstr("\"seq\":5"));          // Newest kept.
+  EXPECT_THAT(epochz, ::testing::Not(HasSubstr("\"seq\":1,")));  // Evicted.
+
+  // /flightz answers even with no dump directory configured.
+  EXPECT_THAT(HttpBody(HttpGet(port, "/flightz")), HasSubstr("\"files\":["));
+
+  // Unknown routes and methods.
+  EXPECT_EQ(StatusCodeOf(HttpGet(port, "/nope")), 404);
+
+  EXPECT_GE(exporter.requests_served(), 9u);
+  exporter.Stop();
+  EXPECT_FALSE(exporter.active());
+  // Stopped exporter refuses connections.
+  EXPECT_EQ(HttpGet(port, "/healthz"), "");
+}
+
+TEST(AdminExporterTest, StartIsExclusiveAndStopIsIdempotent) {
+  AdminExporter exporter;
+  ExporterOptions options;
+  options.port = 0;
+  ASSERT_TRUE(exporter.Start(options).ok());
+  const auto again = exporter.Start(options);
+  EXPECT_EQ(again.code(), common::StatusCode::kFailedPrecondition);
+  exporter.Stop();
+  exporter.Stop();  // No-op.
+
+  // Stop/start cycles get a fresh socket.
+  ASSERT_TRUE(exporter.Start(options).ok());
+  EXPECT_EQ(StatusCodeOf(HttpGet(exporter.port(), "/healthz")), 200);
+  exporter.Stop();
+}
+
+TEST(AdminExporterTest, RejectsBadOptions) {
+  AdminExporter exporter;
+  ExporterOptions bad_port;
+  bad_port.port = 70000;
+  EXPECT_EQ(exporter.Start(bad_port).code(),
+            common::StatusCode::kInvalidArgument);
+  ExporterOptions bad_address;
+  bad_address.bind_address = "not-an-address";
+  EXPECT_EQ(exporter.Start(bad_address).code(),
+            common::StatusCode::kInvalidArgument);
+  ExporterOptions bad_capacity;
+  bad_capacity.epochz_capacity = 0;
+  EXPECT_EQ(exporter.Start(bad_capacity).code(),
+            common::StatusCode::kInvalidArgument);
+}
+
+TEST(AdminExporterTest, GlobalFacadeNoOpsWhileInactive) {
+  ASSERT_FALSE(AdminExporter::Global().active());
+  EXPECT_FALSE(AdminActive());
+  EXPECT_EQ(AdminPort(), -1);
+  EpochRecord record;
+  AdminRecordEpoch(record);  // Must not crash or block.
+
+  ExporterOptions options;
+  options.port = 0;
+  ASSERT_TRUE(AdminExporter::Global().Start(options).ok());
+  EXPECT_TRUE(AdminActive());
+  EXPECT_EQ(AdminPort(), AdminExporter::Global().port());
+  AdminExporter::Global().Stop();
+  EXPECT_FALSE(AdminActive());
+}
+
+// The race the TSan job is pointed at: scrapes (snapshot + render on the
+// exporter thread) racing wait-free recorders and per-publication ring
+// writes.
+TEST(AdminExporterTest, ConcurrentScrapesWhileRecording) {
+  AdminExporter exporter;
+  ExporterOptions options;
+  options.port = 0;
+  options.epochz_capacity = 8;
+  ASSERT_TRUE(exporter.Start(options).ok());
+  const int port = exporter.port();
+
+  std::atomic<bool> stop{false};
+  std::thread recorder([&stop] {
+    Counter& counter =
+        Registry::Global().GetCounter("test.exporter.race_counter");
+    Histogram& histogram = Registry::Global().GetHistogram(
+        "test.exporter.race_hist", {0.001, 0.01, 0.1});
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      counter.Add(1);
+      histogram.Observe(0.001 * static_cast<double>(i % 200));
+      ++i;
+    }
+  });
+  std::thread ring_writer([&stop, &exporter] {
+    std::uint64_t seq = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      EpochRecord record;
+      record.seq = seq++;
+      exporter.RecordEpoch(record);
+      std::this_thread::yield();
+    }
+  });
+
+  int ok_scrapes = 0;
+  for (int i = 0; i < 25; ++i) {
+    if (StatusCodeOf(HttpGet(port, "/metrics")) == 200) ++ok_scrapes;
+    if (StatusCodeOf(HttpGet(port, "/epochz")) == 200) ++ok_scrapes;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  recorder.join();
+  ring_writer.join();
+  EXPECT_EQ(ok_scrapes, 50);
+
+  // Histogram consistency under concurrency: cumulative buckets must be
+  // monotone and _count must equal the +Inf bucket in every scrape; spot
+  // -check the final one.
+  const std::string body = HttpBody(HttpGet(port, "/metrics"));
+  EXPECT_THAT(body, HasSubstr("test_exporter_race_hist_bucket{le=\"+Inf\"}"));
+  exporter.Stop();
+}
+
+#endif  // MFGCP_OBS_ENABLED
+
+}  // namespace
+}  // namespace mfg::obs

@@ -1,0 +1,59 @@
+#ifndef MFGCP_TESTS_OBS_SCRAPE_TEST_UTIL_H_
+#define MFGCP_TESTS_OBS_SCRAPE_TEST_UTIL_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <string>
+
+// Minimal raw-socket HTTP/1.0 GET against the embedded admin exporter
+// (obs/exporter.h), shared by exporter_test and the serve concurrent-
+// scrape allocation test. Returns the full response (status line, headers,
+// body), or "" when the connection failed — deliberately dependency-free
+// so the tests exercise the exporter's real socket path.
+
+namespace mfg::obs::testing {
+
+inline std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<unsigned short>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) !=
+      static_cast<ssize_t>(request.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// The body portion of an HTTP response ("" if malformed).
+inline std::string HttpBody(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+}  // namespace mfg::obs::testing
+
+#endif  // MFGCP_TESTS_OBS_SCRAPE_TEST_UTIL_H_

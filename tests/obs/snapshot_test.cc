@@ -3,8 +3,11 @@
 #include <gmock/gmock.h>
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
+#include <thread>
 
 #include "obs/metrics.h"
 
@@ -192,6 +195,98 @@ TEST(MetricsSnapshotTest, HistogramBucketDeltas) {
   EXPECT_EQ(h->delta_buckets[0], 1u);  // The 0.25 observation.
   EXPECT_EQ(h->delta_buckets[1], 0u);
   EXPECT_EQ(h->delta_buckets[2], 1u);  // The 100.0 overflow.
+}
+
+void AddHistogram(MetricsSnapshot& snap, const std::string& name,
+                  std::uint64_t count, double sum,
+                  std::initializer_list<std::uint64_t> buckets) {
+  HistogramSample& sample = snap.histograms.emplace_back();
+  sample.name = name;
+  sample.count = count;
+  sample.sum = sum;
+  sample.num_bounds = buckets.size() - 1;
+  std::size_t b = 0;
+  for (const std::uint64_t v : buckets) sample.buckets[b++] = v;
+  for (std::size_t i = 0; i < sample.num_bounds; ++i) {
+    sample.bounds[i] = static_cast<double>(i + 1);
+  }
+}
+
+TEST(MetricsSnapshotTest, EmptySnapshotsDiffToAnEmptyDelta) {
+  // Two captures with no instruments at all — the degenerate registry.
+  const MetricsSnapshot earlier = Synthetic(0, 0);
+  const MetricsSnapshot later = Synthetic(2'000'000'000, 2000);
+
+  MetricsDelta delta;
+  // Prime the output with stale rows; Diff must clear them.
+  delta.counters.resize(3);
+  delta.histograms.resize(2);
+  Diff(later, earlier, delta);
+  EXPECT_DOUBLE_EQ(delta.window_seconds, 2.0);
+  EXPECT_TRUE(delta.counters.empty());
+  EXPECT_TRUE(delta.gauges.empty());
+  EXPECT_TRUE(delta.histograms.empty());
+}
+
+TEST(MetricsSnapshotTest, HistogramBelowEarlierClampsInsteadOfWrapping) {
+  // A ResetForTesting raced the window: every cumulative histogram field
+  // moved backwards. Deltas must clamp to the later values — per bucket,
+  // for the count, and for the sum — never wrap the unsigned subtraction.
+  MetricsSnapshot earlier = Synthetic(0, 0);
+  AddHistogram(earlier, "lat", /*count=*/50, /*sum=*/500.0, {30, 15, 5});
+  MetricsSnapshot later = Synthetic(1'000'000'000, 1000);
+  AddHistogram(later, "lat", /*count=*/4, /*sum=*/6.5, {2, 1, 1});
+
+  MetricsDelta delta;
+  Diff(later, earlier, delta);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  const HistogramDelta& h = delta.histograms[0];
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_EQ(h.delta_count, 4u);
+  EXPECT_DOUBLE_EQ(h.delta_sum, 6.5);
+  EXPECT_EQ(h.delta_buckets[0], 2u);
+  EXPECT_EQ(h.delta_buckets[1], 1u);
+  EXPECT_EQ(h.delta_buckets[2], 1u);
+}
+
+TEST(MetricsSnapshotTest, DiffStaysCoherentUnderAConcurrentRecorder) {
+  // Snapshots race a live Observe loop (the exporter's situation: scrapes
+  // capture while serve threads record). The wait-free record path means
+  // captures are not atomic across fields, but every derived delta must
+  // still be internally sane: buckets never exceed the +inf-cumulative
+  // count seen by a later capture, and nothing wraps. Primarily a TSan
+  // target (tsan job runs -R MetricsSnapshot).
+  Registry& registry = Registry::Global();
+  Histogram& hist =
+      registry.GetHistogram("test.snapshot.concurrent", {1.0, 10.0});
+  std::atomic<bool> stop{false};
+  std::thread recorder([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      hist.Observe(static_cast<double>(i % 20));
+      ++i;
+    }
+  });
+
+  MetricsSnapshot earlier;
+  MetricsSnapshot later;
+  MetricsDelta delta;
+  for (int round = 0; round < 50; ++round) {
+    CaptureSnapshot(earlier);
+    CaptureSnapshot(later);
+    Diff(later, earlier, delta);
+    for (const HistogramDelta& h : delta.histograms) {
+      std::uint64_t bucket_total = 0;
+      for (std::size_t b = 0; b <= h.num_bounds; ++b) {
+        bucket_total += h.delta_buckets[b];
+      }
+      // No wrap: a window this short can never hold ~2^64 observations.
+      EXPECT_LT(h.delta_count, std::uint64_t{1} << 60) << h.name;
+      EXPECT_LT(bucket_total, std::uint64_t{1} << 60) << h.name;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  recorder.join();
 }
 
 TEST(MetricsSnapshotTest, EmptyWindowHasZeroRate) {

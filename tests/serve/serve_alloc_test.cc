@@ -7,9 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "serve/serve_loop.h"
 #include "serve_test_util.h"
 #include "sim/request_stream.h"
+#if MFGCP_OBS_ENABLED
+#include "../obs/scrape_test_util.h"
+#include "obs/exporter.h"
+#endif
 
 namespace mfg::serve {
 namespace {
@@ -52,6 +59,41 @@ TEST(ServeLoopAllocTest, PacedSteadyStateServesWithoutAllocating) {
   // Pacing really happened: many more ticks than boundaries.
   EXPECT_GT(stats.ticks, stats.publications);
 }
+
+#if MFGCP_OBS_ENABLED
+// The live-introspection acceptance contract: a concurrent scraper
+// hammering the admin endpoint must not push allocations (or locks that
+// allocate) onto the serve thread — all rendering and socket work stays
+// on the exporter thread.
+TEST(ServeLoopAllocTest, SteadyStateHoldsWhileBeingScraped) {
+  auto stream = sim::GenerateRequestStream(SmallStreamOptions());
+  ASSERT_TRUE(stream.ok()) << stream.status();
+
+  ServeOptions options = SmallServeOptions();
+  options.admin_port = 0;  // ServeLoop starts the exporter, ephemeral port.
+  auto loop = ServeLoop::Create(options);
+  ASSERT_TRUE(loop.ok()) << loop.status();
+  const int port = obs::AdminPort();
+  ASSERT_GT(port, 0);
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&stop, port] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::testing::HttpGet(port, "/metrics");
+      obs::testing::HttpGet(port, "/epochz");
+    }
+  });
+
+  ServeStats stats;
+  const auto status = loop.value()->Run(stream.value(), stats);
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_GE(stats.publications, 3u);
+  EXPECT_GT(stats.steady_ticks, 0u);
+  EXPECT_EQ(stats.steady_allocs, 0u);
+}
+#endif  // MFGCP_OBS_ENABLED
 
 }  // namespace
 }  // namespace mfg::serve
